@@ -1,0 +1,84 @@
+//===- bench/fig15_overall.cpp - Figure 15 reproduction ------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Fig 15 of the paper: execution-time slowdown of the STI
+/// relative to the synthesized C++ code per benchmark, plus the Section 5.1
+/// legacy-interpreter comparison. Paper findings: STI is 1.32-5.67x slower
+/// on real workloads (specrand outlier ~23x from tree-generation overhead);
+/// the legacy interpreter is 9.8-43x slower.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace stird;
+using namespace stird::bench;
+
+int main() {
+  printHeader("Fig 15 — interpreter vs synthesized-code slowdown",
+              "STI 1.32-5.67x (specrand ~23x); legacy up to 43x, "
+              "VPC legacy timeouts");
+
+  Harness H;
+  std::printf("%-16s %-14s %10s %10s %8s %10s %8s\n", "suite", "benchmark",
+              "synth(s)", "sti(s)", "sti/x", "legacy(s)", "leg/x");
+
+  struct SuiteStats {
+    std::vector<double> Sti, Legacy;
+  };
+  std::map<std::string, SuiteStats> Stats;
+
+  for (const Workload &W : allSuites()) {
+    SynthMeasurement Synth = H.runSynth(W);
+    if (!Synth.Ok) {
+      std::printf("%-16s %-14s   SYNTHESIS FAILED\n", W.Suite.c_str(),
+                  W.Name.c_str());
+      continue;
+    }
+
+    interp::EngineOptions StiOptions;
+    InterpMeasurement Sti = H.runInterp(W, StiOptions);
+
+    interp::EngineOptions LegacyOptions;
+    LegacyOptions.TheBackend = interp::Backend::Legacy;
+    InterpMeasurement Legacy = H.runInterp(W, LegacyOptions);
+
+    if (Sti.TotalTuples != Synth.TotalTuples ||
+        Legacy.TotalTuples != Sti.TotalTuples) {
+      std::printf("%-16s %-14s   RESULT MISMATCH (synth=%zu sti=%zu "
+                  "legacy=%zu)\n",
+                  W.Suite.c_str(), W.Name.c_str(), Synth.TotalTuples,
+                  Sti.TotalTuples, Legacy.TotalTuples);
+      continue;
+    }
+
+    const double StiSlowdown = Sti.Seconds / Synth.RunSeconds;
+    const double LegacySlowdown = Legacy.Seconds / Synth.RunSeconds;
+    std::printf("%-16s %-14s %10.4f %10.4f %8.2f %10.4f %8.2f\n",
+                W.Suite.c_str(), W.Name.c_str(), Synth.RunSeconds,
+                Sti.Seconds, StiSlowdown, Legacy.Seconds, LegacySlowdown);
+    Stats[W.Suite].Sti.push_back(StiSlowdown);
+    Stats[W.Suite].Legacy.push_back(LegacySlowdown);
+  }
+
+  std::printf("\nper-suite STI slowdown (vs synthesized, lower is better)\n");
+  std::printf("%-10s %8s %8s %8s   %14s\n", "suite", "min", "geomean",
+              "max", "legacy geomean");
+  for (auto &[Suite, S] : Stats) {
+    if (S.Sti.empty())
+      continue;
+    std::printf("%-10s %8.2f %8.2f %8.2f   %14.2f\n", Suite.c_str(),
+                *std::min_element(S.Sti.begin(), S.Sti.end()),
+                geomean(S.Sti), *std::max_element(S.Sti.begin(), S.Sti.end()),
+                geomean(S.Legacy));
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+//===- bench/micro_der.cpp - DER data structure microbenchmarks ----------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks of the DER substrates (supporting references [29-31,40]
+/// of the paper): insert, membership and range-scan throughput of the
+/// specialized B-tree and Brie against std::set, plus the union-find
+/// equivalence relation, and the cost of the legacy runtime comparator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "der/BTreeSet.h"
+#include "der/Brie.h"
+#include "der/EquivalenceRelation.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <set>
+
+using namespace stird;
+
+namespace {
+
+std::vector<Tuple<2>> pairs(std::size_t N, RamDomain Range, unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<RamDomain> Dist(0, Range);
+  std::vector<Tuple<2>> Result(N);
+  for (auto &Tuple : Result)
+    Tuple = {Dist(Rng), Dist(Rng)};
+  return Result;
+}
+
+void BM_BTreeInsert(benchmark::State &State) {
+  auto Data = pairs(static_cast<std::size_t>(State.range(0)), 1 << 20, 1);
+  for (auto _ : State) {
+    BTreeSet<2> Set;
+    for (const auto &Tuple : Data)
+      Set.insert(Tuple);
+    benchmark::DoNotOptimize(Set.size());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<std::int64_t>(Data.size()));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(10000)->Arg(100000);
+
+void BM_StdSetInsert(benchmark::State &State) {
+  auto Data = pairs(static_cast<std::size_t>(State.range(0)), 1 << 20, 1);
+  for (auto _ : State) {
+    std::set<Tuple<2>> Set;
+    for (const auto &Tuple : Data)
+      Set.insert(Tuple);
+    benchmark::DoNotOptimize(Set.size());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<std::int64_t>(Data.size()));
+}
+BENCHMARK(BM_StdSetInsert)->Arg(10000)->Arg(100000);
+
+void BM_BrieInsertDense(benchmark::State &State) {
+  const std::size_t N = static_cast<std::size_t>(State.range(0));
+  for (auto _ : State) {
+    Brie<2> Set;
+    for (std::size_t I = 0; I < N; ++I)
+      Set.insert({static_cast<RamDomain>(I / 64),
+                  static_cast<RamDomain>(I % 1024)});
+    benchmark::DoNotOptimize(Set.size());
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<std::int64_t>(N));
+}
+BENCHMARK(BM_BrieInsertDense)->Arg(10000)->Arg(100000);
+
+void BM_BTreeContains(benchmark::State &State) {
+  auto Data = pairs(100000, 1 << 20, 2);
+  BTreeSet<2> Set;
+  for (const auto &Tuple : Data)
+    Set.insert(Tuple);
+  auto Probes = pairs(1024, 1 << 20, 3);
+  for (auto _ : State) {
+    std::size_t Hits = 0;
+    for (const auto &Probe : Probes)
+      Hits += Set.contains(Probe);
+    benchmark::DoNotOptimize(Hits);
+  }
+  State.SetItemsProcessed(State.iterations() * 1024);
+}
+BENCHMARK(BM_BTreeContains);
+
+void BM_BTreeRangeScan(benchmark::State &State) {
+  BTreeSet<2> Set;
+  for (RamDomain Key = 0; Key < 1000; ++Key)
+    for (RamDomain Value = 0; Value < 100; ++Value)
+      Set.insert({Key, Value});
+  for (auto _ : State) {
+    // Scan one prefix range per key.
+    std::size_t Count = 0;
+    for (RamDomain Key = 0; Key < 1000; ++Key) {
+      Tuple<2> Low = {Key, std::numeric_limits<RamDomain>::min()};
+      Tuple<2> High = {Key, std::numeric_limits<RamDomain>::max()};
+      for (auto It = Set.lowerBound(Low), End = Set.upperBound(High);
+           It != End; ++It)
+        ++Count;
+    }
+    benchmark::DoNotOptimize(Count);
+  }
+  State.SetItemsProcessed(State.iterations() * 100000);
+}
+BENCHMARK(BM_BTreeRangeScan);
+
+void BM_BTreeIterateAll(benchmark::State &State) {
+  auto Data = pairs(100000, 1 << 20, 4);
+  BTreeSet<2> Set;
+  for (const auto &Tuple : Data)
+    Set.insert(Tuple);
+  for (auto _ : State) {
+    RamDomain Sum = 0;
+    for (auto It = Set.begin(), End = Set.end(); It != End; ++It)
+      Sum += (*It)[0];
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<std::int64_t>(Set.size()));
+}
+BENCHMARK(BM_BTreeIterateAll);
+
+// The legacy runtime comparator against the specialized natural order —
+// the core of the Section 5.1 legacy slowdown.
+void BM_LegacyComparatorInsert(benchmark::State &State) {
+  auto Data = pairs(static_cast<std::size_t>(State.range(0)), 1 << 20, 5);
+  static const std::uint32_t OrderArray[2] = {0, 1};
+  for (auto _ : State) {
+    RuntimeOrderCompare<16> Cmp;
+    Cmp.Order = OrderArray;
+    Cmp.Length = 2;
+    BTreeSet<16, RuntimeOrderCompare<16>> Set(Cmp);
+    for (const auto &Pair : Data) {
+      Tuple<16> Wide{};
+      Wide[0] = Pair[0];
+      Wide[1] = Pair[1];
+      Set.insert(Wide);
+    }
+    benchmark::DoNotOptimize(Set.size());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<std::int64_t>(Data.size()));
+}
+BENCHMARK(BM_LegacyComparatorInsert)->Arg(10000)->Arg(100000);
+
+void BM_EqrelInsert(benchmark::State &State) {
+  auto Data = pairs(static_cast<std::size_t>(State.range(0)), 4096, 6);
+  for (auto _ : State) {
+    EquivalenceRelation Rel;
+    for (const auto &Pair : Data)
+      Rel.insert(Pair[0], Pair[1]);
+    benchmark::DoNotOptimize(Rel.size());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<std::int64_t>(Data.size()));
+}
+BENCHMARK(BM_EqrelInsert)->Arg(10000)->Arg(100000);
+
+void BM_EqrelContains(benchmark::State &State) {
+  auto Data = pairs(50000, 4096, 7);
+  EquivalenceRelation Rel;
+  for (const auto &Pair : Data)
+    Rel.insert(Pair[0], Pair[1]);
+  auto Probes = pairs(1024, 4096, 8);
+  for (auto _ : State) {
+    std::size_t Hits = 0;
+    for (const auto &Probe : Probes)
+      Hits += Rel.contains(Probe[0], Probe[1]);
+    benchmark::DoNotOptimize(Hits);
+  }
+  State.SetItemsProcessed(State.iterations() * 1024);
+}
+BENCHMARK(BM_EqrelContains);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+//===- bench/table1_first_run.cpp - Table 1 reproduction -----------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 1: the ratio (synthesizer compile + execute) /
+/// (interpreter execute) — how many times the interpreter finishes before
+/// the synthesizer's first run completes. Paper: VPC avg 0.79 (20% >= 1),
+/// DDisasm avg 15.2 (90% >= 1), DOOP avg 2.12 (100% >= 1); overall 6.46.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+using namespace stird;
+using namespace stird::bench;
+
+int main() {
+  printHeader("Table 1 — first-run ratio (compile+run)/interpret",
+              "VPC avg 0.79, DDisasm avg 15.2, DOOP avg 2.12; overall 6.46");
+
+  Harness H;
+  std::map<std::string, std::vector<double>> Ratios;
+  std::vector<double> All;
+
+  std::printf("%-16s %-14s %12s %10s %10s %8s\n", "suite", "benchmark",
+              "compile(s)", "synth(s)", "sti(s)", "ratio");
+  std::vector<Workload> Suite = allSuites();
+  // Only Table 1 pays for the long-running VPC instance whose first-run
+  // ratio drops below one.
+  Suite.insert(Suite.begin() + 3, vpcXLarge());
+  for (const Workload &W : Suite) {
+    SynthMeasurement Synth = H.runSynth(W);
+    if (!Synth.Ok)
+      continue;
+    InterpMeasurement Sti = H.runInterp(W);
+    const double Ratio =
+        (Synth.CompileSeconds + Synth.RunSeconds) / Sti.Seconds;
+    std::printf("%-16s %-14s %12.2f %10.4f %10.4f %8.2f\n", W.Suite.c_str(),
+                W.Name.c_str(), Synth.CompileSeconds, Synth.RunSeconds,
+                Sti.Seconds, Ratio);
+    Ratios[W.Suite].push_back(Ratio);
+    All.push_back(Ratio);
+  }
+
+  std::printf("\n%-10s %12s %8s %8s %8s\n", "suite", "# ratio>=1", "avg",
+              "max", "min");
+  auto PrintRow = [](const std::string &Name,
+                     const std::vector<double> &Values) {
+    if (Values.empty())
+      return;
+    int AtLeastOne = 0;
+    double Sum = 0;
+    for (double V : Values) {
+      AtLeastOne += V >= 1.0;
+      Sum += V;
+    }
+    std::printf("%-10s %11.1f%% %8.2f %8.2f %8.2f\n", Name.c_str(),
+                100.0 * AtLeastOne / static_cast<double>(Values.size()),
+                Sum / static_cast<double>(Values.size()),
+                *std::max_element(Values.begin(), Values.end()),
+                *std::min_element(Values.begin(), Values.end()));
+  };
+  for (const auto &[Suite, Values] : Ratios)
+    PrintRow(Suite, Values);
+  PrintRow("overall", All);
+  return 0;
+}

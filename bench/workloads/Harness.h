@@ -1,0 +1,84 @@
+//===- bench/workloads/Harness.h - Measurement harness ----------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery of the figure/table reproduction binaries: fact-file
+/// materialization, interpreter and synthesized-code measurement (with a
+/// compile cache shared across bench binaries), and table printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_BENCH_HARNESS_H
+#define STIRD_BENCH_HARNESS_H
+
+#include "core/Program.h"
+#include "interp/Engine.h"
+#include "workloads/Workloads.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace stird::bench {
+
+/// Result of one interpreter measurement.
+struct InterpMeasurement {
+  /// Best-of-N wall seconds, including interpreter-tree generation (as in
+  /// the paper).
+  double Seconds = 0;
+  /// Total tuples across all relations (cross-engine checksum).
+  std::size_t TotalTuples = 0;
+  std::uint64_t Dispatches = 0;
+  /// Per-rule accumulated seconds from the profiler (last repetition).
+  std::map<std::string, double> RuleSeconds;
+};
+
+/// Result of one synthesized-code measurement.
+struct SynthMeasurement {
+  double CompileSeconds = 0;
+  /// Best-of-N wall seconds of the compiled binary (whole process).
+  double RunSeconds = 0;
+  std::size_t TotalTuples = 0;
+  std::map<std::string, double> RuleSeconds;
+  bool Ok = false;
+};
+
+/// The harness: owns a work directory (default "stird_bench_cache" under
+/// the current directory) holding fact files and cached compiled binaries.
+class Harness {
+public:
+  explicit Harness(std::string WorkDir = "stird_bench_cache",
+                   int Repetitions = 3);
+
+  /// Writes the workload's fact files (idempotent) and returns their
+  /// directory.
+  std::string materializeFacts(const Workload &W);
+
+  /// Runs the workload on an interpreter backend. Options' fact dir is set
+  /// by the harness; outputs are not stored.
+  InterpMeasurement runInterp(const Workload &W,
+                              interp::EngineOptions Options = {});
+
+  /// Synthesizes, compiles (cached by source hash) and runs the workload's
+  /// compiled baseline.
+  SynthMeasurement runSynth(const Workload &W);
+
+  int repetitions() const { return Repetitions; }
+
+private:
+  std::string WorkDir;
+  int Repetitions;
+};
+
+/// Prints the standard header used by every figure binary.
+void printHeader(const std::string &Title, const std::string &PaperClaim);
+
+/// Geometric-mean helper for ratio summaries.
+double geomean(const std::vector<double> &Values);
+
+} // namespace stird::bench
+
+#endif // STIRD_BENCH_HARNESS_H

@@ -1,0 +1,64 @@
+//===- bench/workloads/Workloads.h - Synthetic benchmark suites -*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the paper's three real-world benchmark suites
+/// (Section 5): VPC (Amazon network reachability), DDisasm (datalog
+/// disassembly over SPEC CPU2006 binaries) and DOOP (points-to analysis
+/// over DaCapo). Each generator reproduces the performance-relevant shape
+/// of its suite — see DESIGN.md's substitution table — at laptop scale,
+/// with deterministic pseudo-random inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_BENCH_WORKLOADS_H
+#define STIRD_BENCH_WORKLOADS_H
+
+#include "util/RamTypes.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stird::bench {
+
+/// One benchmark: a Datalog program plus generated input facts.
+struct Workload {
+  std::string Suite; ///< "vpc", "ddisasm" or "doop"
+  std::string Name;
+  std::string Source;
+  /// Input relation name -> tuples (written as fact files by the harness).
+  std::vector<std::pair<std::string, std::vector<DynTuple>>> Facts;
+};
+
+/// VPC-shaped: long-running recursive reachability joins where execution
+/// dwarfs compile time (the <1 first-run ratios of Table 1).
+std::vector<Workload> vpcSuite();
+
+/// DDisasm-shaped: address arithmetic with the paper's `moved_label`
+/// pattern — depth-2 loop nests whose inner filters carry many small
+/// arithmetic dispatches (Fig 17) — plus a specrand-like near-empty input
+/// where interpreter code generation dominates (the 23x outlier).
+std::vector<Workload> ddisasmSuite();
+
+/// DOOP-shaped: mutually recursive Andersen-style points-to analysis.
+std::vector<Workload> doopSuite();
+
+/// All suites concatenated (13 workloads).
+std::vector<Workload> allSuites();
+
+/// The Fig 16 case-study workload: a gamess-like DDisasm instance whose
+/// runtime is dominated by a handful of arithmetic-filter outlier rules.
+Workload gamessLike();
+
+/// A VPC instance big enough that the synthesizer beats the interpreter
+/// even including compilation — the Table 1 "<1 ratio" phenomenon. Used
+/// only by the Table 1 harness (it takes tens of seconds per engine).
+Workload vpcXLarge();
+
+} // namespace stird::bench
+
+#endif // STIRD_BENCH_WORKLOADS_H

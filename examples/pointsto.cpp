@@ -1,0 +1,87 @@
+//===- examples/pointsto.cpp - Andersen-style points-to analysis --------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A field-sensitive Andersen-style points-to analysis — the DOOP-shaped
+/// workload of the paper's evaluation, scaled to a synthetic program. The
+/// analysis is mutually recursive: loads and stores depend on the points-to
+/// sets they help compute.
+///
+///   $ ./pointsto [num_vars]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Program.h"
+#include "util/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+using namespace stird;
+
+int main(int argc, char **argv) {
+  const RamDomain NumVars = argc > 1 ? std::atoi(argv[1]) : 400;
+
+  auto Prog = core::Program::fromSource(R"(
+    // new:   v = new Obj
+    // assign: v = w
+    // store: v.f = w
+    // load:  v = w.f
+    .decl new_(v:number, o:number)
+    .decl assign(v:number, w:number)
+    .decl store(v:number, f:number, w:number)
+    .decl load(v:number, w:number, f:number)
+
+    .decl vpt(v:number, o:number)        // var points to object
+    .decl hpt(o:number, f:number, p:number) // heap field points to
+
+    vpt(v, o) :- new_(v, o).
+    vpt(v, o) :- assign(v, w), vpt(w, o).
+    hpt(o, f, p) :- store(v, f, w), vpt(v, o), vpt(w, p).
+    vpt(v, p) :- load(v, w, f), vpt(w, o), hpt(o, f, p).
+  )");
+  if (!Prog)
+    return 1;
+
+  // Synthesize a program shape: allocations, copy chains, field traffic.
+  std::mt19937 Rng(1234);
+  std::uniform_int_distribution<RamDomain> Var(0, NumVars - 1);
+  std::uniform_int_distribution<RamDomain> Field(0, 7);
+  std::vector<DynTuple> News, Assigns, Stores, Loads;
+  for (RamDomain V = 0; V < NumVars; V += 4)
+    News.push_back({V, V / 4});
+  for (RamDomain I = 0; I < NumVars * 2; ++I)
+    Assigns.push_back({Var(Rng), Var(Rng)});
+  for (RamDomain I = 0; I < NumVars / 2; ++I)
+    Stores.push_back({Var(Rng), Field(Rng), Var(Rng)});
+  for (RamDomain I = 0; I < NumVars / 2; ++I)
+    Loads.push_back({Var(Rng), Var(Rng), Field(Rng)});
+
+  auto Engine = Prog->makeEngine();
+  Engine->insertTuples("new_", News);
+  Engine->insertTuples("assign", Assigns);
+  Engine->insertTuples("store", Stores);
+  Engine->insertTuples("load", Loads);
+
+  Timer T;
+  Engine->run();
+  const double Seconds = T.seconds();
+
+  std::size_t Vpt = Engine->getTuples("vpt").size();
+  std::size_t Hpt = Engine->getTuples("hpt").size();
+  std::printf("points-to over %d vars: %zu var-points-to facts, "
+              "%zu heap-points-to facts in %.3f ms\n",
+              static_cast<int>(NumVars), Vpt, Hpt, Seconds * 1e3);
+
+  // Per-rule profile, Soufflé-profiler style.
+  std::printf("\n%-60s %12s %10s\n", "rule", "seconds", "rounds");
+  for (const auto &Rule : Engine->getProfiler().rules())
+    std::printf("%-60.60s %12.6f %10llu\n", Rule.Label.c_str(),
+                Rule.Seconds,
+                static_cast<unsigned long long>(Rule.Invocations));
+  return 0;
+}

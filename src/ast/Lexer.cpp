@@ -1,0 +1,304 @@
+//===- ast/Lexer.cpp - Datalog tokenizer -----------------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace stird;
+using namespace stird::ast;
+
+namespace {
+
+/// Cursor over the source text tracking line/column for diagnostics.
+class Cursor {
+public:
+  Cursor(const std::string &Source, std::vector<std::string> &Errors)
+      : Source(Source), Errors(Errors) {}
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(std::size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  SrcLoc loc() const { return {Line, Col}; }
+
+  void error(const std::string &Message) {
+    Errors.push_back("line " + std::to_string(Line) + ":" +
+                     std::to_string(Col) + ": " + Message);
+  }
+
+private:
+  const std::string &Source;
+  std::vector<std::string> &Errors;
+  std::size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+};
+
+} // namespace
+
+/// Skips whitespace and //-style or /* */-style comments.
+static void skipTrivia(Cursor &C) {
+  for (;;) {
+    while (!C.atEnd() && std::isspace(static_cast<unsigned char>(C.peek())))
+      C.advance();
+    if (C.peek() == '/' && C.peek(1) == '/') {
+      while (!C.atEnd() && C.peek() != '\n')
+        C.advance();
+      continue;
+    }
+    if (C.peek() == '/' && C.peek(1) == '*') {
+      C.advance();
+      C.advance();
+      while (!C.atEnd() && !(C.peek() == '*' && C.peek(1) == '/'))
+        C.advance();
+      if (!C.atEnd()) {
+        C.advance();
+        C.advance();
+      } else {
+        C.error("unterminated block comment");
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+static bool isIdentStart(char Ch) {
+  return std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_';
+}
+static bool isIdentChar(char Ch) {
+  return std::isalnum(static_cast<unsigned char>(Ch)) || Ch == '_' ||
+         Ch == '?';
+}
+
+/// Lexes a number starting at the current position; handles hex, the 'u'
+/// unsigned suffix and a fractional part.
+static Token lexNumber(Cursor &C) {
+  Token Tok;
+  Tok.Loc = C.loc();
+  std::string Digits;
+  if (C.peek() == '0' && (C.peek(1) == 'x' || C.peek(1) == 'X')) {
+    Digits += C.advance();
+    Digits += C.advance();
+    while (std::isxdigit(static_cast<unsigned char>(C.peek())))
+      Digits += C.advance();
+    Tok.Kind = TokenKind::Number;
+    Tok.Number =
+        static_cast<RamDomain>(std::strtoll(Digits.c_str(), nullptr, 16));
+    return Tok;
+  }
+  while (std::isdigit(static_cast<unsigned char>(C.peek())))
+    Digits += C.advance();
+  if (C.peek() == '.' && std::isdigit(static_cast<unsigned char>(C.peek(1)))) {
+    Digits += C.advance();
+    while (std::isdigit(static_cast<unsigned char>(C.peek())))
+      Digits += C.advance();
+    Tok.Kind = TokenKind::Float;
+    Tok.FloatValue = static_cast<RamFloat>(std::strtod(Digits.c_str(), nullptr));
+    return Tok;
+  }
+  if (C.peek() == 'u') {
+    C.advance();
+    Tok.Kind = TokenKind::Unsigned;
+    Tok.UnsignedValue =
+        static_cast<RamUnsigned>(std::strtoull(Digits.c_str(), nullptr, 10));
+    return Tok;
+  }
+  Tok.Kind = TokenKind::Number;
+  Tok.Number =
+      static_cast<RamDomain>(std::strtoll(Digits.c_str(), nullptr, 10));
+  return Tok;
+}
+
+static Token lexString(Cursor &C) {
+  Token Tok;
+  Tok.Kind = TokenKind::String;
+  Tok.Loc = C.loc();
+  C.advance(); // opening quote
+  for (;;) {
+    if (C.atEnd() || C.peek() == '\n') {
+      C.error("unterminated string literal");
+      break;
+    }
+    char Ch = C.advance();
+    if (Ch == '"')
+      break;
+    if (Ch == '\\') {
+      char Esc = C.advance();
+      switch (Esc) {
+      case 'n':
+        Tok.Text += '\n';
+        break;
+      case 't':
+        Tok.Text += '\t';
+        break;
+      case '\\':
+        Tok.Text += '\\';
+        break;
+      case '"':
+        Tok.Text += '"';
+        break;
+      default:
+        C.error(std::string("unknown escape '\\") + Esc + "'");
+        Tok.Text += Esc;
+      }
+      continue;
+    }
+    Tok.Text += Ch;
+  }
+  return Tok;
+}
+
+std::vector<Token> stird::ast::lex(const std::string &Source,
+                                   std::vector<std::string> &Errors) {
+  std::vector<Token> Tokens;
+  Cursor C(Source, Errors);
+  auto Push = [&](TokenKind Kind, SrcLoc Loc) {
+    Token Tok;
+    Tok.Kind = Kind;
+    Tok.Loc = Loc;
+    Tokens.push_back(std::move(Tok));
+  };
+
+  for (;;) {
+    skipTrivia(C);
+    if (C.atEnd())
+      break;
+    SrcLoc Loc = C.loc();
+    char Ch = C.peek();
+
+    if (std::isdigit(static_cast<unsigned char>(Ch))) {
+      Tokens.push_back(lexNumber(C));
+      continue;
+    }
+    if (Ch == '"') {
+      Tokens.push_back(lexString(C));
+      continue;
+    }
+    if (Ch == '_' && !isIdentChar(C.peek(1))) {
+      C.advance();
+      Push(TokenKind::Underscore, Loc);
+      continue;
+    }
+    if (isIdentStart(Ch)) {
+      Token Tok;
+      Tok.Kind = TokenKind::Ident;
+      Tok.Loc = Loc;
+      while (isIdentChar(C.peek()))
+        Tok.Text += C.advance();
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+
+    C.advance();
+    switch (Ch) {
+    case '.':
+      if (isIdentStart(C.peek())) {
+        Token Tok;
+        Tok.Kind = TokenKind::Directive;
+        Tok.Loc = Loc;
+        while (isIdentChar(C.peek()))
+          Tok.Text += C.advance();
+        Tokens.push_back(std::move(Tok));
+      } else {
+        Push(TokenKind::Dot, Loc);
+      }
+      break;
+    case '(':
+      Push(TokenKind::LParen, Loc);
+      break;
+    case ')':
+      Push(TokenKind::RParen, Loc);
+      break;
+    case '{':
+      Push(TokenKind::LBrace, Loc);
+      break;
+    case '}':
+      Push(TokenKind::RBrace, Loc);
+      break;
+    case ',':
+      Push(TokenKind::Comma, Loc);
+      break;
+    case ':':
+      if (C.peek() == '-') {
+        C.advance();
+        Push(TokenKind::If, Loc);
+      } else {
+        Push(TokenKind::Colon, Loc);
+      }
+      break;
+    case '!':
+      if (C.peek() == '=') {
+        C.advance();
+        Push(TokenKind::Ne, Loc);
+      } else {
+        Push(TokenKind::Bang, Loc);
+      }
+      break;
+    case '=':
+      Push(TokenKind::Eq, Loc);
+      break;
+    case '<':
+      if (C.peek() == '=') {
+        C.advance();
+        Push(TokenKind::Le, Loc);
+      } else {
+        Push(TokenKind::Lt, Loc);
+      }
+      break;
+    case '>':
+      if (C.peek() == '=') {
+        C.advance();
+        Push(TokenKind::Ge, Loc);
+      } else {
+        Push(TokenKind::Gt, Loc);
+      }
+      break;
+    case '+':
+      Push(TokenKind::Plus, Loc);
+      break;
+    case '-':
+      Push(TokenKind::Minus, Loc);
+      break;
+    case '*':
+      Push(TokenKind::Star, Loc);
+      break;
+    case '/':
+      Push(TokenKind::Slash, Loc);
+      break;
+    case '%':
+      Push(TokenKind::Percent, Loc);
+      break;
+    case '^':
+      Push(TokenKind::Caret, Loc);
+      break;
+    case '$':
+      Push(TokenKind::Dollar, Loc);
+      break;
+    default:
+      C.error(std::string("unexpected character '") + Ch + "'");
+      break;
+    }
+  }
+
+  Token Eof;
+  Eof.Kind = TokenKind::Eof;
+  Eof.Loc = C.loc();
+  Tokens.push_back(std::move(Eof));
+  return Tokens;
+}

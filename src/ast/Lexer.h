@@ -1,0 +1,75 @@
+//===- ast/Lexer.h - Datalog tokenizer --------------------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Datalog dialect. A '.' directly followed by a letter
+/// starts a directive keyword (".decl", ".input", ...); any other '.' is the
+/// clause terminator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_AST_LEXER_H
+#define STIRD_AST_LEXER_H
+
+#include "ast/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace stird::ast {
+
+/// Token categories produced by the lexer.
+enum class TokenKind {
+  Eof,
+  Ident,      ///< identifier or word-operator (band, count, ...)
+  Number,     ///< signed decimal or hex integer literal
+  Unsigned,   ///< integer literal with 'u' suffix
+  Float,      ///< floating-point literal
+  String,     ///< double-quoted string literal
+  Directive,  ///< .decl/.input/... — Text holds the name without the dot
+  Dot,        ///< clause terminator '.'
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Colon,
+  If,        ///< ':-'
+  Bang,      ///< '!'
+  Eq,        ///< '='
+  Ne,        ///< '!='
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Caret,
+  Underscore,
+  Dollar,
+};
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;     ///< identifier/directive/string contents
+  RamDomain Number = 0; ///< value for Number tokens
+  RamUnsigned UnsignedValue = 0;
+  RamFloat FloatValue = 0;
+  SrcLoc Loc;
+};
+
+/// Tokenizes \p Source. On a lexical error, appends a message to \p Errors
+/// and recovers by skipping the offending character.
+std::vector<Token> lex(const std::string &Source,
+                       std::vector<std::string> &Errors);
+
+} // namespace stird::ast
+
+#endif // STIRD_AST_LEXER_H

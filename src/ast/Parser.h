@@ -1,0 +1,38 @@
+//===- ast/Parser.h - Datalog parser ----------------------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing an ast::Program. Collects all
+/// diagnostics instead of stopping at the first error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_AST_PARSER_H
+#define STIRD_AST_PARSER_H
+
+#include "ast/Ast.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stird::ast {
+
+/// Result of parsing: the program (possibly partial on errors) plus
+/// diagnostics.
+struct ParseResult {
+  std::unique_ptr<Program> Prog;
+  std::vector<std::string> Errors;
+
+  bool succeeded() const { return Errors.empty(); }
+};
+
+/// Parses Datalog source text.
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace stird::ast
+
+#endif // STIRD_AST_PARSER_H

@@ -1,0 +1,667 @@
+//===- ast/SemanticAnalysis.cpp - Checks and program structure -------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/SemanticAnalysis.h"
+
+#include "util/MiscUtil.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+
+using namespace stird;
+using namespace stird::ast;
+
+namespace {
+
+bool isNumericKind(TypeKind Kind) {
+  return Kind == TypeKind::Number || Kind == TypeKind::Unsigned ||
+         Kind == TypeKind::Float;
+}
+
+bool isIntegralKind(TypeKind Kind) {
+  return Kind == TypeKind::Number || Kind == TypeKind::Unsigned;
+}
+
+/// Per-program checking state.
+class Analyzer {
+public:
+  Analyzer(const Program &Prog, SemanticInfo &Info) : Prog(Prog), Info(Info) {}
+
+  void run() {
+    for (const auto &C : Prog.Clauses)
+      checkClause(*C);
+    stratify();
+  }
+
+private:
+  void error(SrcLoc Loc, const std::string &Message) {
+    Info.Errors.push_back("line " + std::to_string(Loc.Line) + ":" +
+                          std::to_string(Loc.Col) + ": " + Message);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Clause checking
+  //===--------------------------------------------------------------------===
+
+  /// Variable typing scope: one per clause, with aggregate bodies sharing
+  /// the enclosing clause's scope (Soufflé-style variable injection).
+  using VarTypes = std::unordered_map<std::string, TypeKind>;
+
+  void checkClause(const Clause &C) {
+    const RelationDecl *HeadRel = Prog.findRelation(C.getHead().getName());
+    if (!HeadRel) {
+      error(C.getLoc(),
+            "undeclared relation '" + C.getHead().getName() + "' in head");
+      return;
+    }
+    if (C.getHead().getArity() != HeadRel->getArity()) {
+      error(C.getLoc(), "arity mismatch for '" + HeadRel->getName() +
+                            "': expected " +
+                            std::to_string(HeadRel->getArity()) + ", got " +
+                            std::to_string(C.getHead().getArity()));
+      return;
+    }
+    if (C.isFact())
+      checkFactArgs(C);
+
+    VarTypes Vars;
+    // Pass 1: atoms bind variable types (body first so constraints see
+    // body-variable types; head last).
+    for (const auto &Lit : C.getBody())
+      if (Lit->getKind() != Literal::Kind::Constraint)
+        checkLiteralAtoms(*Lit, Vars);
+    checkAtomArgs(C.getHead(), Vars);
+    // Pass 2: constraints.
+    for (const auto &Lit : C.getBody())
+      if (Lit->getKind() == Literal::Kind::Constraint)
+        checkConstraint(static_cast<const Constraint &>(*Lit), Vars);
+
+    checkGroundedness(C);
+    Info.ClausesOf[HeadRel->getName()].push_back(&C);
+  }
+
+  /// Facts must be entirely constant.
+  void checkFactArgs(const Clause &C) {
+    for (const auto &Arg : C.getHead().getArgs()) {
+      switch (Arg->getKind()) {
+      case Argument::Kind::NumberConstant:
+      case Argument::Kind::UnsignedConstant:
+      case Argument::Kind::FloatConstant:
+      case Argument::Kind::StringConstant:
+        break;
+      default:
+        error(Arg->getLoc(), "facts must have constant arguments");
+      }
+    }
+  }
+
+  void checkLiteralAtoms(const Literal &Lit, VarTypes &Vars) {
+    switch (Lit.getKind()) {
+    case Literal::Kind::Atom:
+      checkAtomArgs(static_cast<const Atom &>(Lit), Vars);
+      return;
+    case Literal::Kind::Negation:
+      checkAtomArgs(static_cast<const Negation &>(Lit).getAtom(), Vars);
+      return;
+    case Literal::Kind::Constraint:
+      return;
+    }
+  }
+
+  void checkAtomArgs(const Atom &A, VarTypes &Vars) {
+    const RelationDecl *Rel = Prog.findRelation(A.getName());
+    if (!Rel) {
+      error(A.getLoc(), "undeclared relation '" + A.getName() + "'");
+      return;
+    }
+    if (A.getArity() != Rel->getArity()) {
+      error(A.getLoc(), "arity mismatch for '" + Rel->getName() +
+                            "': expected " +
+                            std::to_string(Rel->getArity()) + ", got " +
+                            std::to_string(A.getArity()));
+      return;
+    }
+    for (std::size_t I = 0; I < A.getArity(); ++I)
+      checkArg(*A.getArgs()[I], Rel->getAttributes()[I].Type, Vars);
+  }
+
+  void checkConstraint(const Constraint &Con, VarTypes &Vars) {
+    // Pick the constraint's operand type from whichever side already has a
+    // known type; default to number.
+    TypeKind Kind = TypeKind::Number;
+    if (auto Known = peekType(Con.getLhs(), Vars))
+      Kind = *Known;
+    else if (auto Known = peekType(Con.getRhs(), Vars))
+      Kind = *Known;
+    checkArg(Con.getLhs(), Kind, Vars);
+    checkArg(Con.getRhs(), Kind, Vars);
+  }
+
+  /// Non-committal type probe: the type of an argument if it is already
+  /// determined by a constant, a recorded variable, or a functor with a
+  /// fixed result type.
+  std::optional<TypeKind> peekType(const Argument &Arg,
+                                   const VarTypes &Vars) const {
+    switch (Arg.getKind()) {
+    case Argument::Kind::NumberConstant:
+      return TypeKind::Number;
+    case Argument::Kind::UnsignedConstant:
+      return TypeKind::Unsigned;
+    case Argument::Kind::FloatConstant:
+      return TypeKind::Float;
+    case Argument::Kind::StringConstant:
+      return TypeKind::Symbol;
+    case Argument::Kind::Counter:
+      return TypeKind::Number;
+    case Argument::Kind::Variable: {
+      auto It = Vars.find(static_cast<const Variable &>(Arg).getName());
+      if (It == Vars.end())
+        return std::nullopt;
+      return It->second;
+    }
+    case Argument::Kind::Functor: {
+      const auto &F = static_cast<const Functor &>(Arg);
+      switch (F.getOp()) {
+      case FunctorOp::Cat:
+      case FunctorOp::Substr:
+      case FunctorOp::ToString:
+        return TypeKind::Symbol;
+      case FunctorOp::Strlen:
+      case FunctorOp::Ord:
+      case FunctorOp::ToNumber:
+        return TypeKind::Number;
+      default:
+        // Polymorphic numeric functor: peek at operands.
+        for (const auto &Operand : F.getArgs())
+          if (auto Known = peekType(*Operand, Vars))
+            return Known;
+        return std::nullopt;
+      }
+    }
+    case Argument::Kind::Aggregator: {
+      const auto &Agg = static_cast<const Aggregator &>(Arg);
+      if (Agg.getOp() == AggregateOp::Count)
+        return TypeKind::Number;
+      return std::nullopt;
+    }
+    case Argument::Kind::UnnamedVariable:
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  /// Checks \p Arg against the \p Expected type, recording the resolved
+  /// type of every node and unifying variable occurrences.
+  void checkArg(const Argument &Arg, TypeKind Expected, VarTypes &Vars) {
+    Info.ExprTypes[&Arg] = Expected;
+    switch (Arg.getKind()) {
+    case Argument::Kind::UnnamedVariable:
+      return;
+    case Argument::Kind::Variable: {
+      const auto &Var = static_cast<const Variable &>(Arg);
+      auto [It, Inserted] = Vars.emplace(Var.getName(), Expected);
+      if (!Inserted && It->second != Expected)
+        error(Arg.getLoc(), "variable '" + Var.getName() + "' used as both " +
+                                typeName(It->second) + " and " +
+                                typeName(Expected));
+      return;
+    }
+    case Argument::Kind::NumberConstant:
+      if (Expected != TypeKind::Number)
+        error(Arg.getLoc(), std::string("number literal where ") +
+                                typeName(Expected) + " is expected");
+      return;
+    case Argument::Kind::UnsignedConstant:
+      if (Expected != TypeKind::Unsigned)
+        error(Arg.getLoc(), std::string("unsigned literal where ") +
+                                typeName(Expected) + " is expected");
+      return;
+    case Argument::Kind::FloatConstant:
+      if (Expected != TypeKind::Float)
+        error(Arg.getLoc(), std::string("float literal where ") +
+                                typeName(Expected) + " is expected");
+      return;
+    case Argument::Kind::StringConstant:
+      if (Expected != TypeKind::Symbol)
+        error(Arg.getLoc(), std::string("string literal where ") +
+                                typeName(Expected) + " is expected");
+      return;
+    case Argument::Kind::Counter:
+      if (Expected != TypeKind::Number)
+        error(Arg.getLoc(), "'$' produces a number");
+      return;
+    case Argument::Kind::Functor:
+      checkFunctor(static_cast<const Functor &>(Arg), Expected, Vars);
+      return;
+    case Argument::Kind::Aggregator:
+      checkAggregator(static_cast<const Aggregator &>(Arg), Expected, Vars);
+      return;
+    }
+  }
+
+  void checkFunctor(const Functor &F, TypeKind Expected, VarTypes &Vars) {
+    auto RequireArgs = [&](std::size_t N) {
+      if (F.getArgs().size() == N)
+        return true;
+      error(F.getLoc(), "functor expects " + std::to_string(N) +
+                            " argument(s), got " +
+                            std::to_string(F.getArgs().size()));
+      return false;
+    };
+    switch (F.getOp()) {
+    case FunctorOp::Cat:
+      if (Expected != TypeKind::Symbol)
+        error(F.getLoc(), "cat produces a symbol");
+      for (const auto &Operand : F.getArgs())
+        checkArg(*Operand, TypeKind::Symbol, Vars);
+      return;
+    case FunctorOp::Substr:
+      if (!RequireArgs(3))
+        return;
+      if (Expected != TypeKind::Symbol)
+        error(F.getLoc(), "substr produces a symbol");
+      checkArg(*F.getArgs()[0], TypeKind::Symbol, Vars);
+      checkArg(*F.getArgs()[1], TypeKind::Number, Vars);
+      checkArg(*F.getArgs()[2], TypeKind::Number, Vars);
+      return;
+    case FunctorOp::Strlen:
+    case FunctorOp::Ord:
+      if (!RequireArgs(1))
+        return;
+      if (Expected != TypeKind::Number)
+        error(F.getLoc(), "functor produces a number");
+      checkArg(*F.getArgs()[0], TypeKind::Symbol, Vars);
+      return;
+    case FunctorOp::ToNumber:
+      if (!RequireArgs(1))
+        return;
+      if (Expected != TypeKind::Number)
+        error(F.getLoc(), "to_number produces a number");
+      checkArg(*F.getArgs()[0], TypeKind::Symbol, Vars);
+      return;
+    case FunctorOp::ToString:
+      if (!RequireArgs(1))
+        return;
+      if (Expected != TypeKind::Symbol)
+        error(F.getLoc(), "to_string produces a symbol");
+      checkArg(*F.getArgs()[0], TypeKind::Number, Vars);
+      return;
+    case FunctorOp::Neg:
+      if (!RequireArgs(1))
+        return;
+      if (!isNumericKind(Expected))
+        error(F.getLoc(), "negation requires a numeric context");
+      checkArg(*F.getArgs()[0], Expected, Vars);
+      return;
+    case FunctorOp::BNot:
+    case FunctorOp::LNot:
+      if (!RequireArgs(1))
+        return;
+      if (!isIntegralKind(Expected))
+        error(F.getLoc(), "bitwise/logical not requires an integral context");
+      checkArg(*F.getArgs()[0], Expected, Vars);
+      return;
+    case FunctorOp::Band:
+    case FunctorOp::Bor:
+    case FunctorOp::Bxor:
+    case FunctorOp::Bshl:
+    case FunctorOp::Bshr:
+      if (!RequireArgs(2))
+        return;
+      if (!isIntegralKind(Expected))
+        error(F.getLoc(), "bitwise functor requires an integral context");
+      checkArg(*F.getArgs()[0], Expected, Vars);
+      checkArg(*F.getArgs()[1], Expected, Vars);
+      return;
+    case FunctorOp::Add:
+    case FunctorOp::Sub:
+    case FunctorOp::Mul:
+    case FunctorOp::Div:
+    case FunctorOp::Mod:
+    case FunctorOp::Exp:
+    case FunctorOp::Max:
+    case FunctorOp::Min:
+      if (F.getOp() != FunctorOp::Max && F.getOp() != FunctorOp::Min &&
+          !RequireArgs(2))
+        return;
+      if (!isNumericKind(Expected))
+        error(F.getLoc(), "arithmetic functor requires a numeric context");
+      if ((F.getOp() == FunctorOp::Mod) && Expected == TypeKind::Float)
+        error(F.getLoc(), "'%' is not defined on float");
+      for (const auto &Operand : F.getArgs())
+        checkArg(*Operand, Expected, Vars);
+      return;
+    }
+  }
+
+  void checkAggregator(const Aggregator &Agg, TypeKind Expected,
+                       VarTypes &Vars) {
+    // The aggregate body shares the clause scope: outer variables are
+    // injected, new variables are local witnesses.
+    for (const auto &Lit : Agg.getBody())
+      if (Lit->getKind() != Literal::Kind::Constraint)
+        checkLiteralAtoms(*Lit, Vars);
+    for (const auto &Lit : Agg.getBody())
+      if (Lit->getKind() == Literal::Kind::Constraint)
+        checkConstraint(static_cast<const Constraint &>(*Lit), Vars);
+
+    if (Agg.getOp() == AggregateOp::Count) {
+      if (Expected != TypeKind::Number)
+        error(Agg.getLoc(), "count produces a number");
+      return;
+    }
+    if (!Agg.getTarget()) {
+      error(Agg.getLoc(), "aggregate requires a target expression");
+      return;
+    }
+    if (!isNumericKind(Expected))
+      error(Agg.getLoc(), "numeric aggregate in non-numeric context");
+    checkArg(*Agg.getTarget(), Expected, Vars);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Groundedness
+  //===--------------------------------------------------------------------===
+
+  /// Collects the names of all variables in an argument tree (not
+  /// descending into aggregate bodies, whose variables are local).
+  static void collectVars(const Argument &Arg,
+                          std::vector<std::string> &Out) {
+    switch (Arg.getKind()) {
+    case Argument::Kind::Variable:
+      Out.push_back(static_cast<const Variable &>(Arg).getName());
+      return;
+    case Argument::Kind::Functor:
+      for (const auto &Operand :
+           static_cast<const Functor &>(Arg).getArgs())
+        collectVars(*Operand, Out);
+      return;
+    default:
+      return;
+    }
+  }
+
+  static bool allGrounded(const Argument &Arg,
+                          const std::unordered_set<std::string> &Grounded) {
+    std::vector<std::string> Vars;
+    collectVars(Arg, Vars);
+    return std::all_of(Vars.begin(), Vars.end(), [&](const std::string &V) {
+      return Grounded.count(V) != 0;
+    });
+  }
+
+  void checkGroundedness(const Clause &C) {
+    std::unordered_set<std::string> Grounded;
+    // Fixpoint: positive atoms ground their direct variable arguments;
+    // an equality grounds a lone variable once the other side is grounded.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const auto &Lit : C.getBody()) {
+        if (Lit->getKind() == Literal::Kind::Atom) {
+          for (const auto &Arg :
+               static_cast<const Atom &>(*Lit).getArgs()) {
+            if (Arg->getKind() == Argument::Kind::Variable) {
+              const auto &Name =
+                  static_cast<const Variable &>(*Arg).getName();
+              Changed |= Grounded.insert(Name).second;
+            }
+          }
+          continue;
+        }
+        if (Lit->getKind() == Literal::Kind::Constraint) {
+          const auto &Con = static_cast<const Constraint &>(*Lit);
+          if (Con.getOp() != ConstraintOp::Eq)
+            continue;
+          auto TryGround = [&](const Argument &Target,
+                               const Argument &Source) {
+            if (Target.getKind() != Argument::Kind::Variable)
+              return;
+            if (!allGrounded(Source, Grounded))
+              return;
+            if (Source.getKind() == Argument::Kind::Aggregator &&
+                !aggregateGrounded(
+                    static_cast<const Aggregator &>(Source), Grounded))
+              return;
+            const auto &Name =
+                static_cast<const Variable &>(Target).getName();
+            Changed |= Grounded.insert(Name).second;
+          };
+          TryGround(Con.getLhs(), Con.getRhs());
+          TryGround(Con.getRhs(), Con.getLhs());
+        }
+      }
+    }
+
+    auto RequireGrounded = [&](const Argument &Arg, const char *Where) {
+      std::vector<std::string> Vars;
+      collectVars(Arg, Vars);
+      for (const auto &Name : Vars)
+        if (!Grounded.count(Name))
+          error(Arg.getLoc(), "ungrounded variable '" + Name + "' in " +
+                                  Where);
+    };
+
+    for (const auto &Arg : C.getHead().getArgs())
+      RequireGrounded(*Arg, "rule head");
+    for (const auto &Lit : C.getBody()) {
+      if (Lit->getKind() == Literal::Kind::Negation) {
+        for (const auto &Arg :
+             static_cast<const Negation &>(*Lit).getAtom().getArgs())
+          RequireGrounded(*Arg, "negated atom");
+      } else if (Lit->getKind() == Literal::Kind::Constraint) {
+        const auto &Con = static_cast<const Constraint &>(*Lit);
+        // An equality may ground one side; everything else must be fully
+        // grounded (already ensured by the fixpoint for grounding uses).
+        if (Con.getOp() != ConstraintOp::Eq) {
+          RequireGrounded(Con.getLhs(), "constraint");
+          RequireGrounded(Con.getRhs(), "constraint");
+        } else {
+          if (!allGrounded(Con.getLhs(), Grounded))
+            RequireGrounded(Con.getLhs(), "constraint");
+          if (!allGrounded(Con.getRhs(), Grounded))
+            RequireGrounded(Con.getRhs(), "constraint");
+        }
+      }
+    }
+  }
+
+  /// An aggregate body is internally grounded if every variable used in the
+  /// target or in negations/constraints of the body is bound by an inner
+  /// positive atom or injected from the outer scope.
+  bool aggregateGrounded(const Aggregator &Agg,
+                         const std::unordered_set<std::string> &Outer) {
+    std::unordered_set<std::string> Grounded = Outer;
+    for (const auto &Lit : Agg.getBody())
+      if (Lit->getKind() == Literal::Kind::Atom)
+        for (const auto &Arg : static_cast<const Atom &>(*Lit).getArgs())
+          if (Arg->getKind() == Argument::Kind::Variable)
+            Grounded.insert(
+                static_cast<const Variable &>(*Arg).getName());
+    if (Agg.getTarget() && !allGrounded(*Agg.getTarget(), Grounded))
+      return false;
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Stratification
+  //===--------------------------------------------------------------------===
+
+  /// Dependency edge collected from clauses.
+  struct Edge {
+    std::size_t From; // body relation
+    std::size_t To;   // head relation
+    bool Negative;
+  };
+
+  void collectBodyDeps(const Literal &Lit, std::size_t HeadIndex,
+                       std::vector<Edge> &Edges) {
+    switch (Lit.getKind()) {
+    case Literal::Kind::Atom: {
+      const auto &A = static_cast<const Atom &>(Lit);
+      if (auto Index = indexOfRelation(A.getName()))
+        Edges.push_back({*Index, HeadIndex, /*Negative=*/false});
+      for (const auto &Arg : A.getArgs())
+        collectArgDeps(*Arg, HeadIndex, Edges);
+      return;
+    }
+    case Literal::Kind::Negation: {
+      const auto &A = static_cast<const Negation &>(Lit).getAtom();
+      if (auto Index = indexOfRelation(A.getName()))
+        Edges.push_back({*Index, HeadIndex, /*Negative=*/true});
+      return;
+    }
+    case Literal::Kind::Constraint: {
+      const auto &Con = static_cast<const Constraint &>(Lit);
+      collectArgDeps(Con.getLhs(), HeadIndex, Edges);
+      collectArgDeps(Con.getRhs(), HeadIndex, Edges);
+      return;
+    }
+    }
+  }
+
+  /// Aggregates behave like negation for stratification: the aggregated
+  /// relation must be fully computed first.
+  void collectArgDeps(const Argument &Arg, std::size_t HeadIndex,
+                      std::vector<Edge> &Edges) {
+    switch (Arg.getKind()) {
+    case Argument::Kind::Functor:
+      for (const auto &Operand :
+           static_cast<const Functor &>(Arg).getArgs())
+        collectArgDeps(*Operand, HeadIndex, Edges);
+      return;
+    case Argument::Kind::Aggregator:
+      for (const auto &Lit :
+           static_cast<const Aggregator &>(Arg).getBody()) {
+        if (Lit->getKind() == Literal::Kind::Atom) {
+          const auto &A = static_cast<const Atom &>(*Lit);
+          if (auto Index = indexOfRelation(A.getName()))
+            Edges.push_back({*Index, HeadIndex, /*Negative=*/true});
+        } else {
+          collectBodyDeps(*Lit, HeadIndex, Edges);
+        }
+      }
+      return;
+    default:
+      return;
+    }
+  }
+
+  std::optional<std::size_t> indexOfRelation(const std::string &Name) const {
+    for (std::size_t I = 0; I < Prog.Relations.size(); ++I)
+      if (Prog.Relations[I]->getName() == Name)
+        return I;
+    return std::nullopt;
+  }
+
+  void stratify() {
+    const std::size_t N = Prog.Relations.size();
+    std::vector<Edge> Edges;
+    for (const auto &C : Prog.Clauses) {
+      auto HeadIndex = indexOfRelation(C->getHead().getName());
+      if (!HeadIndex)
+        continue;
+      for (const auto &Lit : C->getBody())
+        collectBodyDeps(*Lit, *HeadIndex, Edges);
+      for (const auto &Arg : C->getHead().getArgs())
+        collectArgDeps(*Arg, *HeadIndex, Edges);
+    }
+
+    std::vector<std::vector<std::size_t>> Succ(N);
+    for (const Edge &E : Edges)
+      Succ[E.From].push_back(E.To);
+
+    // Tarjan's SCC algorithm (iterative to survive deep rule chains).
+    std::vector<int> Index(N, -1), Low(N, 0), Comp(N, -1);
+    std::vector<bool> OnStack(N, false);
+    std::vector<std::size_t> Stack;
+    int NextIndex = 0;
+    int NumComps = 0;
+
+    struct Frame {
+      std::size_t Node;
+      std::size_t NextSucc;
+    };
+    for (std::size_t Start = 0; Start < N; ++Start) {
+      if (Index[Start] != -1)
+        continue;
+      std::vector<Frame> CallStack{{Start, 0}};
+      Index[Start] = Low[Start] = NextIndex++;
+      Stack.push_back(Start);
+      OnStack[Start] = true;
+      while (!CallStack.empty()) {
+        Frame &Top = CallStack.back();
+        if (Top.NextSucc < Succ[Top.Node].size()) {
+          std::size_t Next = Succ[Top.Node][Top.NextSucc++];
+          if (Index[Next] == -1) {
+            Index[Next] = Low[Next] = NextIndex++;
+            Stack.push_back(Next);
+            OnStack[Next] = true;
+            CallStack.push_back({Next, 0});
+          } else if (OnStack[Next]) {
+            Low[Top.Node] = std::min(Low[Top.Node], Index[Next]);
+          }
+          continue;
+        }
+        if (Low[Top.Node] == Index[Top.Node]) {
+          for (;;) {
+            std::size_t Member = Stack.back();
+            Stack.pop_back();
+            OnStack[Member] = false;
+            Comp[Member] = NumComps;
+            if (Member == Top.Node)
+              break;
+          }
+          ++NumComps;
+        }
+        std::size_t Done = Top.Node;
+        CallStack.pop_back();
+        if (!CallStack.empty())
+          Low[CallStack.back().Node] =
+              std::min(Low[CallStack.back().Node], Low[Done]);
+      }
+    }
+
+    // Tarjan numbers components in reverse topological order; evaluation
+    // order is the reverse of that.
+    std::vector<Stratum> Strata(NumComps);
+    for (std::size_t I = 0; I < N; ++I) {
+      std::size_t StratumIndex =
+          static_cast<std::size_t>(NumComps - 1 - Comp[I]);
+      Strata[StratumIndex].Relations.push_back(Prog.Relations[I].get());
+      Info.StratumOf[Prog.Relations[I]->getName()] = StratumIndex;
+    }
+
+    for (const Edge &E : Edges) {
+      if (Comp[E.From] != Comp[E.To])
+        continue;
+      std::size_t StratumIndex =
+          static_cast<std::size_t>(NumComps - 1 - Comp[E.From]);
+      Strata[StratumIndex].Recursive = true;
+      if (E.Negative)
+        Info.Errors.push_back(
+            "program is not stratifiable: relation '" +
+            Prog.Relations[E.To]->getName() +
+            "' depends negatively on '" + Prog.Relations[E.From]->getName() +
+            "' within the same recursive component");
+    }
+
+    Info.Strata = std::move(Strata);
+  }
+
+  const Program &Prog;
+  SemanticInfo &Info;
+};
+
+} // namespace
+
+SemanticInfo stird::ast::analyze(const Program &Prog) {
+  SemanticInfo Info;
+  Analyzer A(Prog, Info);
+  A.run();
+  return Info;
+}

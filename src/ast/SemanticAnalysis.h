@@ -1,0 +1,64 @@
+//===- ast/SemanticAnalysis.h - Checks and program structure ----*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis over a parsed program: name/arity resolution, type
+/// checking of all argument trees, groundedness of rules, and
+/// stratification (SCC condensation of the precedence graph with a
+/// negative-cycle check). The result drives the AST-to-RAM translation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_AST_SEMANTICANALYSIS_H
+#define STIRD_AST_SEMANTICANALYSIS_H
+
+#include "ast/Ast.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace stird::ast {
+
+/// One stratum: a strongly connected component of the relation precedence
+/// graph, in bottom-up evaluation order.
+struct Stratum {
+  std::vector<const RelationDecl *> Relations;
+  /// True if the component contains a cycle (mutual or self recursion), in
+  /// which case it is evaluated with a semi-naive fixpoint loop.
+  bool Recursive = false;
+};
+
+/// Everything later phases need to know about a checked program.
+struct SemanticInfo {
+  std::vector<std::string> Errors;
+
+  /// Strata in topological (evaluation) order.
+  std::vector<Stratum> Strata;
+  /// Relation name -> index into Strata.
+  std::unordered_map<std::string, std::size_t> StratumOf;
+  /// Clauses grouped by head relation, in source order.
+  std::unordered_map<std::string, std::vector<const Clause *>> ClausesOf;
+  /// Resolved primitive type of every argument node in the program.
+  std::unordered_map<const Argument *, TypeKind> ExprTypes;
+
+  bool succeeded() const { return Errors.empty(); }
+
+  /// Type of an analyzed argument node. Defaults to Number for nodes the
+  /// analysis never reached (error recovery).
+  TypeKind typeOf(const Argument *Arg) const {
+    auto It = ExprTypes.find(Arg);
+    return It == ExprTypes.end() ? TypeKind::Number : It->second;
+  }
+};
+
+/// Runs all semantic checks over \p Prog.
+SemanticInfo analyze(const Program &Prog);
+
+} // namespace stird::ast
+
+#endif // STIRD_AST_SEMANTICANALYSIS_H

@@ -1,0 +1,86 @@
+//===- core/Program.h - Public engine facade --------------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's front door. A core::Program owns the full compilation
+/// pipeline of Fig 1 — Datalog source → AST (checked) → RAM (with index
+/// selection) — and hands out execution engines over the result:
+///
+/// \code
+///   auto Prog = stird::core::Program::fromSource(R"(
+///     .decl edge(a:number, b:number)
+///     .decl path(a:number, b:number)
+///     path(x, y) :- edge(x, y).
+///     path(x, z) :- path(x, y), edge(y, z).
+///   )");
+///   auto Engine = Prog->makeEngine();
+///   Engine->insertTuples("edge", {{1, 2}, {2, 3}});
+///   Engine->run();
+///   auto Paths = Engine->getTuples("path");
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_CORE_PROGRAM_H
+#define STIRD_CORE_PROGRAM_H
+
+#include "ast/Ast.h"
+#include "interp/Engine.h"
+#include "ram/Ram.h"
+#include "translate/AstToRam.h"
+#include "translate/IndexSelection.h"
+#include "util/SymbolTable.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stird::core {
+
+/// A compiled Datalog program, ready to be executed any number of times by
+/// independently configured engines (or synthesized to C++).
+class Program {
+public:
+  /// Compiles Datalog source text. Returns null on any diagnostic; if
+  /// \p Errors is given, diagnostics are appended there, otherwise they go
+  /// to stderr.
+  static std::unique_ptr<Program>
+  fromSource(const std::string &Source,
+             std::vector<std::string> *Errors = nullptr);
+
+  /// Compiles a .dl file.
+  static std::unique_ptr<Program>
+  fromFile(const std::string &Path,
+           std::vector<std::string> *Errors = nullptr);
+
+  const ast::Program &getAst() const { return *Ast; }
+  const ram::Program &getRam() const { return *Ram; }
+  const translate::IndexSelectionResult &getIndexes() const {
+    return Indexes;
+  }
+  SymbolTable &getSymbolTable() { return Symbols; }
+  const SymbolTable &getSymbolTable() const { return Symbols; }
+
+  /// Renders the RAM program (Fig 3 style).
+  std::string dumpRam() const;
+
+  /// Creates an execution engine over this program. The program must
+  /// outlive the engine.
+  std::unique_ptr<interp::Engine>
+  makeEngine(interp::EngineOptions Options = {});
+
+private:
+  Program() = default;
+
+  std::unique_ptr<ast::Program> Ast;
+  std::unique_ptr<ram::Program> Ram;
+  translate::IndexSelectionResult Indexes;
+  SymbolTable Symbols;
+};
+
+} // namespace stird::core
+
+#endif // STIRD_CORE_PROGRAM_H

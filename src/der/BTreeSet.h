@@ -1,0 +1,380 @@
+//===- der/BTreeSet.h - Specialized B-tree for Datalog tuples ---*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-memory B-tree set over fixed-arity RamDomain tuples, the primary
+/// DER (Datalog-Enabled Relational) data structure of the paper [30,31].
+///
+/// The tree is specialized by C++ template parameters exactly as in
+/// Soufflé's synthesizer: the arity is a compile-time constant, so key
+/// copies are fixed-size memmoves, comparisons unroll and node fan-out is
+/// tuned to the tuple width. De-specialization (Section 3 of the paper)
+/// keeps only the natural lexicographic order — any other order is obtained
+/// by permuting tuples *before* insertion — so a single comparator suffices.
+/// The optional Compare parameter exists solely to also host the *legacy*
+/// interpreter's runtime-order comparator, the slow baseline of Section 5.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_DER_BTREESET_H
+#define STIRD_DER_BTREESET_H
+
+#include "util/RamTypes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace stird {
+
+/// Natural lexicographic comparison over whole tuples. Fully inlinable:
+/// the loop bound is the compile-time arity.
+template <std::size_t Arity> struct TupleCompare {
+  bool less(const Tuple<Arity> &A, const Tuple<Arity> &B) const {
+    for (std::size_t I = 0; I < Arity; ++I) {
+      if (A[I] < B[I])
+        return true;
+      if (A[I] > B[I])
+        return false;
+    }
+    return false;
+  }
+  bool equal(const Tuple<Arity> &A, const Tuple<Arity> &B) const {
+    return A == B;
+  }
+};
+
+/// The legacy interpreter's comparator: the lexicographic order lives in a
+/// runtime array and the comparison itself is reached through a function
+/// pointer, so — exactly as Section 5.1 describes — the compiler can
+/// neither inline the comparator into the B-tree operations nor unroll the
+/// permutation.
+template <std::size_t Arity> struct RuntimeOrderCompare {
+  using CompareFn = int (*)(const RamDomain *, const RamDomain *,
+                            const std::uint32_t *, std::size_t);
+
+  /// Order[K] is the source column compared at position K; only the first
+  /// Length entries participate.
+  const std::uint32_t *Order = nullptr;
+  std::size_t Length = 0;
+  /// Indirect comparison entry point (a runtime argument, as in the
+  /// legacy engine); initialized to compareLex.
+  CompareFn Fn = &RuntimeOrderCompare::compareLex;
+
+#if defined(__GNUC__)
+  __attribute__((noinline))
+#endif
+  static int
+  compareLex(const RamDomain *A, const RamDomain *B,
+             const std::uint32_t *Order, std::size_t Length) {
+    for (std::size_t K = 0; K < Length; ++K) {
+      const std::uint32_t Col = Order[K];
+      if (A[Col] < B[Col])
+        return -1;
+      if (A[Col] > B[Col])
+        return 1;
+    }
+    return 0;
+  }
+
+  bool less(const Tuple<Arity> &A, const Tuple<Arity> &B) const {
+    return Fn(A.data(), B.data(), Order, Length) < 0;
+  }
+  bool equal(const Tuple<Arity> &A, const Tuple<Arity> &B) const {
+    return Fn(A.data(), B.data(), Order, Length) == 0;
+  }
+};
+
+/// A set of Arity-wide tuples stored in a B-tree in natural lexicographic
+/// order (or the order induced by Compare).
+///
+/// Supports the DER primitive operations: insert, membership test, ordered
+/// enumeration, and the N prefix range queries expressed as lower/upper
+/// bound searches over min/max-padded tuples.
+template <std::size_t Arity, typename Compare = TupleCompare<Arity>>
+class BTreeSet {
+public:
+  using TupleType = Tuple<Arity>;
+
+private:
+  /// Keys per node, tuned so a node's key block is roughly 256 bytes, kept
+  /// odd so splits have a unique median.
+  static constexpr std::size_t computeMaxKeys() {
+    std::size_t Keys = 256 / sizeof(TupleType);
+    if (Keys < 3)
+      Keys = 3;
+    if (Keys > 15)
+      Keys = 15;
+    return Keys | 1;
+  }
+  static constexpr std::size_t MaxKeys = computeMaxKeys();
+
+  struct Node {
+    Node *Parent = nullptr;
+    std::uint16_t PosInParent = 0;
+    std::uint16_t NumKeys = 0;
+    bool IsLeaf = true;
+    TupleType Keys[MaxKeys];
+    Node *Children[MaxKeys + 1];
+  };
+
+public:
+  /// Forward iterator over the tuples in comparator order.
+  class iterator {
+  public:
+    iterator() = default;
+    iterator(const Node *N, std::size_t Pos) : Cur(N), Pos(Pos) {}
+
+    const TupleType &operator*() const {
+      assert(Cur && "dereferencing end iterator");
+      return Cur->Keys[Pos];
+    }
+    const TupleType *operator->() const { return &operator*(); }
+
+    iterator &operator++() {
+      assert(Cur && "incrementing end iterator");
+      if (!Cur->IsLeaf) {
+        // Successor is the leftmost key of the subtree right of this key.
+        const Node *N = Cur->Children[Pos + 1];
+        while (!N->IsLeaf)
+          N = N->Children[0];
+        Cur = N;
+        Pos = 0;
+        return *this;
+      }
+      ++Pos;
+      while (Cur && Pos == Cur->NumKeys) {
+        Pos = Cur->PosInParent;
+        Cur = Cur->Parent;
+      }
+      if (!Cur)
+        Pos = 0;
+      return *this;
+    }
+
+    bool operator==(const iterator &Other) const {
+      return Cur == Other.Cur && Pos == Other.Pos;
+    }
+    bool operator!=(const iterator &Other) const { return !(*this == Other); }
+
+  private:
+    const Node *Cur = nullptr;
+    std::size_t Pos = 0;
+  };
+
+  BTreeSet() = default;
+  explicit BTreeSet(Compare Cmp) : Cmp(std::move(Cmp)) {}
+
+  BTreeSet(const BTreeSet &) = delete;
+  BTreeSet &operator=(const BTreeSet &) = delete;
+
+  BTreeSet(BTreeSet &&Other) noexcept
+      : Root(Other.Root), NumTuples(Other.NumTuples),
+        Cmp(std::move(Other.Cmp)) {
+    Other.Root = nullptr;
+    Other.NumTuples = 0;
+  }
+  BTreeSet &operator=(BTreeSet &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    clear();
+    Root = Other.Root;
+    NumTuples = Other.NumTuples;
+    Cmp = std::move(Other.Cmp);
+    Other.Root = nullptr;
+    Other.NumTuples = 0;
+    return *this;
+  }
+
+  ~BTreeSet() { clear(); }
+
+  /// Inserts \p Key; returns false if it was already present.
+  bool insert(const TupleType &Key) {
+    if (!Root) {
+      Root = new Node();
+      Root->NumKeys = 1;
+      Root->Keys[0] = Key;
+      NumTuples = 1;
+      return true;
+    }
+    if (Root->NumKeys == MaxKeys) {
+      Node *NewRoot = new Node();
+      NewRoot->IsLeaf = false;
+      NewRoot->Children[0] = Root;
+      Root->Parent = NewRoot;
+      Root->PosInParent = 0;
+      splitChild(NewRoot, 0);
+      Root = NewRoot;
+    }
+    return insertNonFull(Root, Key);
+  }
+
+  /// Membership test for the full tuple.
+  bool contains(const TupleType &Key) const {
+    const Node *N = Root;
+    while (N) {
+      std::size_t I = lowerPos(N, Key);
+      if (I < N->NumKeys && Cmp.equal(N->Keys[I], Key))
+        return true;
+      if (N->IsLeaf)
+        return false;
+      N = N->Children[I];
+    }
+    return false;
+  }
+
+  /// First tuple not less than \p Key.
+  iterator lowerBound(const TupleType &Key) const {
+    iterator Result = end();
+    const Node *N = Root;
+    while (N) {
+      std::size_t I = lowerPos(N, Key);
+      if (I < N->NumKeys)
+        Result = iterator(N, I);
+      if (N->IsLeaf)
+        break;
+      N = N->Children[I];
+    }
+    return Result;
+  }
+
+  /// First tuple greater than \p Key.
+  iterator upperBound(const TupleType &Key) const {
+    iterator Result = end();
+    const Node *N = Root;
+    while (N) {
+      std::size_t I = upperPos(N, Key);
+      if (I < N->NumKeys)
+        Result = iterator(N, I);
+      if (N->IsLeaf)
+        break;
+      N = N->Children[I];
+    }
+    return Result;
+  }
+
+  iterator begin() const {
+    if (!Root)
+      return end();
+    const Node *N = Root;
+    while (!N->IsLeaf)
+      N = N->Children[0];
+    return iterator(N, 0);
+  }
+  iterator end() const { return iterator(); }
+
+  std::size_t size() const { return NumTuples; }
+  bool empty() const { return NumTuples == 0; }
+
+  /// Removes all tuples and frees all nodes.
+  void clear() {
+    if (Root)
+      destroy(Root);
+    Root = nullptr;
+    NumTuples = 0;
+  }
+
+  /// Exchanges contents with \p Other in O(1); both trees must use
+  /// equivalent comparators (callers swap whole relations, Section 2).
+  void swapData(BTreeSet &Other) {
+    std::swap(Root, Other.Root);
+    std::swap(NumTuples, Other.NumTuples);
+    std::swap(Cmp, Other.Cmp);
+  }
+
+private:
+  /// First index I in \p N with Keys[I] >= Key.
+  std::size_t lowerPos(const Node *N, const TupleType &Key) const {
+    std::size_t I = 0;
+    while (I < N->NumKeys && Cmp.less(N->Keys[I], Key))
+      ++I;
+    return I;
+  }
+  /// First index I in \p N with Keys[I] > Key.
+  std::size_t upperPos(const Node *N, const TupleType &Key) const {
+    std::size_t I = 0;
+    while (I < N->NumKeys && !Cmp.less(Key, N->Keys[I]))
+      ++I;
+    return I;
+  }
+
+  bool insertNonFull(Node *N, const TupleType &Key) {
+    for (;;) {
+      std::size_t I = lowerPos(N, Key);
+      if (I < N->NumKeys && Cmp.equal(N->Keys[I], Key))
+        return false;
+      if (N->IsLeaf) {
+        for (std::size_t J = N->NumKeys; J > I; --J)
+          N->Keys[J] = N->Keys[J - 1];
+        N->Keys[I] = Key;
+        ++N->NumKeys;
+        ++NumTuples;
+        return true;
+      }
+      if (N->Children[I]->NumKeys == MaxKeys) {
+        splitChild(N, I);
+        // The median moved up into position I; re-decide the direction.
+        if (Cmp.equal(N->Keys[I], Key))
+          return false;
+        if (Cmp.less(N->Keys[I], Key))
+          ++I;
+      }
+      N = N->Children[I];
+    }
+  }
+
+  /// Splits the full child at \p Index of \p Parent, moving the median key
+  /// up. Maintains parent back-pointers of all moved grandchildren.
+  void splitChild(Node *Parent, std::size_t Index) {
+    Node *Left = Parent->Children[Index];
+    assert(Left->NumKeys == MaxKeys && "splitting a non-full node");
+    constexpr std::size_t Mid = MaxKeys / 2;
+
+    Node *Right = new Node();
+    Right->IsLeaf = Left->IsLeaf;
+    Right->NumKeys = static_cast<std::uint16_t>(MaxKeys - Mid - 1);
+    for (std::size_t J = 0; J < Right->NumKeys; ++J)
+      Right->Keys[J] = Left->Keys[Mid + 1 + J];
+    if (!Left->IsLeaf) {
+      for (std::size_t J = 0; J <= Right->NumKeys; ++J) {
+        Right->Children[J] = Left->Children[Mid + 1 + J];
+        Right->Children[J]->Parent = Right;
+        Right->Children[J]->PosInParent = static_cast<std::uint16_t>(J);
+      }
+    }
+    Left->NumKeys = static_cast<std::uint16_t>(Mid);
+
+    // Shift the parent's keys/children to make room at Index.
+    for (std::size_t J = Parent->NumKeys; J > Index; --J) {
+      Parent->Keys[J] = Parent->Keys[J - 1];
+      Parent->Children[J + 1] = Parent->Children[J];
+      Parent->Children[J + 1]->PosInParent = static_cast<std::uint16_t>(J + 1);
+    }
+    Parent->Keys[Index] = Left->Keys[Mid];
+    Parent->Children[Index + 1] = Right;
+    ++Parent->NumKeys;
+
+    Right->Parent = Parent;
+    Right->PosInParent = static_cast<std::uint16_t>(Index + 1);
+  }
+
+  void destroy(Node *N) {
+    if (!N->IsLeaf)
+      for (std::size_t I = 0; I <= N->NumKeys; ++I)
+        destroy(N->Children[I]);
+    delete N;
+  }
+
+  Node *Root = nullptr;
+  std::size_t NumTuples = 0;
+  Compare Cmp;
+};
+
+} // namespace stird
+
+#endif // STIRD_DER_BTREESET_H

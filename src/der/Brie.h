@@ -1,0 +1,331 @@
+//===- der/Brie.h - Specialized trie for Datalog tuples ---------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trie ("Brie" [29]) over fixed-arity RamDomain tuples. One trie level
+/// per tuple column; the final column is stored as 64-bit bitmap chunks, so
+/// dense value ranges cost one bit per tuple. Like every de-specialized DER
+/// structure it stores tuples in the natural lexicographic (signed) order
+/// and supports the N prefix-range primitive searches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_DER_BRIE_H
+#define STIRD_DER_BRIE_H
+
+#include "util/RamTypes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace stird {
+
+/// Trie-of-bitmaps set over Arity-wide tuples.
+template <std::size_t Arity> class Brie {
+  static_assert(Arity >= 1, "Brie requires at least one column");
+
+  /// A node at level L stores the distinct values of column L under one
+  /// prefix: as sorted (value, child) pairs for inner levels, or as sorted
+  /// (chunk-base, 64-bit mask) pairs for the last level.
+  struct Node {
+    std::vector<std::pair<RamDomain, Node *>> Children;
+    std::vector<std::pair<RamDomain, std::uint64_t>> Chunks;
+
+    ~Node() {
+      for (auto &Entry : Children)
+        delete Entry.second;
+    }
+  };
+
+  /// Chunk base for a last-column value; arithmetic shift keeps the signed
+  /// order of bases consistent with the value order.
+  static RamDomain chunkBase(RamDomain Value) { return Value >> 6; }
+  static std::uint64_t chunkBit(RamDomain Value) {
+    return std::uint64_t(1) << (static_cast<std::uint32_t>(Value) & 63U);
+  }
+
+public:
+  using TupleType = Tuple<Arity>;
+
+  Brie() = default;
+  Brie(const Brie &) = delete;
+  Brie &operator=(const Brie &) = delete;
+  Brie(Brie &&Other) noexcept { swapData(Other); }
+  Brie &operator=(Brie &&Other) noexcept {
+    clear();
+    swapData(Other);
+    return *this;
+  }
+  ~Brie() { clear(); }
+
+  /// Iterates the tuples of one subtrie in lexicographic order. A prefix
+  /// range scan is an iterator rooted below the bound columns.
+  class iterator {
+  public:
+    iterator() = default;
+
+    const TupleType &operator*() const {
+      assert(!Done && "dereferencing end iterator");
+      return Current;
+    }
+    const TupleType *operator->() const { return &operator*(); }
+
+    iterator &operator++() {
+      assert(!Done && "incrementing end iterator");
+      advanceBit();
+      return *this;
+    }
+
+    bool operator==(const iterator &Other) const {
+      if (Done || Other.Done)
+        return Done == Other.Done;
+      return Current == Other.Current;
+    }
+    bool operator!=(const iterator &Other) const { return !(*this == Other); }
+
+  private:
+    friend class Brie;
+
+    /// Positions begin() at the smallest tuple below \p Root, where \p Root
+    /// is the node for column \p StartLevel and Current[0..StartLevel) is
+    /// already filled with the bound prefix.
+    iterator(const Node *Root, std::size_t StartLevel, TupleType Prefix)
+        : Current(Prefix), Start(StartLevel) {
+      if (!Root) {
+        Done = true;
+        return;
+      }
+      Nodes[Start] = Root;
+      Done = !descendFrom(Start);
+    }
+
+    /// Descends from level \p Level (whose node is set) picking the first
+    /// entry at every level; returns false if any level is empty.
+    bool descendFrom(std::size_t Level) {
+      for (std::size_t L = Level; L + 1 < Arity; ++L) {
+        const Node *N = Nodes[L];
+        if (N->Children.empty())
+          return false;
+        Pos[L] = 0;
+        Current[L] = N->Children[0].first;
+        Nodes[L + 1] = N->Children[0].second;
+      }
+      const Node *Leaf = Nodes[Arity - 1];
+      if (Leaf->Chunks.empty())
+        return false;
+      ChunkPos = 0;
+      return firstBitFrom(0);
+    }
+
+    /// Selects the lowest set bit >= \p MinBit of the current chunk, moving
+    /// to later chunks as needed. Returns false if the leaf is exhausted.
+    bool firstBitFrom(std::uint32_t MinBit) {
+      const Node *Leaf = Nodes[Arity - 1];
+      while (ChunkPos < Leaf->Chunks.size()) {
+        std::uint64_t Mask = Leaf->Chunks[ChunkPos].second;
+        if (MinBit < 64)
+          Mask &= ~std::uint64_t(0) << MinBit;
+        if (Mask != 0) {
+          Bit = static_cast<std::uint32_t>(__builtin_ctzll(Mask));
+          Current[Arity - 1] = static_cast<RamDomain>(
+              (static_cast<std::uint32_t>(Leaf->Chunks[ChunkPos].first) << 6) |
+              Bit);
+          return true;
+        }
+        ++ChunkPos;
+        MinBit = 0;
+      }
+      return false;
+    }
+
+    void advanceBit() {
+      if (OneShot) {
+        Done = true;
+        return;
+      }
+      if (Bit < 63 && firstBitFrom(Bit + 1))
+        return;
+      ++ChunkPos;
+      if (firstBitFrom(0))
+        return;
+      ascend();
+    }
+
+    /// Current leaf exhausted: climb to the deepest inner level with a next
+    /// sibling, step to it and descend again. Levels above Start are fixed.
+    void ascend() {
+      std::size_t L = Arity - 1;
+      while (L > Start) {
+        --L;
+        const Node *N = Nodes[L];
+        if (Pos[L] + 1 < N->Children.size()) {
+          ++Pos[L];
+          Current[L] = N->Children[Pos[L]].first;
+          Nodes[L + 1] = N->Children[Pos[L]].second;
+          if (L + 2 <= Arity - 1) {
+            if (!descendFrom(L + 1)) {
+              // Children are never empty once created, so descent from a
+              // live sibling always succeeds.
+              Done = true;
+            }
+            return;
+          }
+          ChunkPos = 0;
+          if (!firstBitFrom(0))
+            Done = true;
+          return;
+        }
+      }
+      Done = true;
+    }
+
+    TupleType Current{};
+    const Node *Nodes[Arity] = {};
+    std::size_t Pos[Arity] = {};
+    std::size_t ChunkPos = 0;
+    std::uint32_t Bit = 0;
+    std::size_t Start = 0;
+    bool Done = true;
+    /// Set for fully-bound ranges: the iterator yields exactly one tuple.
+    bool OneShot = false;
+  };
+
+  /// Inserts \p Key; returns false if it was already present.
+  bool insert(const TupleType &Key) {
+    Node *N = &Root;
+    for (std::size_t L = 0; L + 1 < Arity; ++L)
+      N = findOrCreateChild(N, Key[L]);
+    auto It = std::lower_bound(
+        N->Chunks.begin(), N->Chunks.end(), chunkBase(Key[Arity - 1]),
+        [](const auto &Entry, RamDomain Base) { return Entry.first < Base; });
+    const std::uint64_t Bit = chunkBit(Key[Arity - 1]);
+    if (It == N->Chunks.end() || It->first != chunkBase(Key[Arity - 1])) {
+      N->Chunks.insert(It, {chunkBase(Key[Arity - 1]), Bit});
+      ++NumTuples;
+      return true;
+    }
+    if (It->second & Bit)
+      return false;
+    It->second |= Bit;
+    ++NumTuples;
+    return true;
+  }
+
+  /// Membership test for the full tuple.
+  bool contains(const TupleType &Key) const {
+    const Node *N = &Root;
+    for (std::size_t L = 0; L + 1 < Arity; ++L) {
+      N = findChild(N, Key[L]);
+      if (!N)
+        return false;
+    }
+    auto It = std::lower_bound(
+        N->Chunks.begin(), N->Chunks.end(), chunkBase(Key[Arity - 1]),
+        [](const auto &Entry, RamDomain Base) { return Entry.first < Base; });
+    return It != N->Chunks.end() && It->first == chunkBase(Key[Arity - 1]) &&
+           (It->second & chunkBit(Key[Arity - 1]));
+  }
+
+  iterator begin() const { return iterator(&Root, 0, TupleType{}); }
+  iterator end() const { return iterator(); }
+
+  /// Iterator over tuples whose first \p PrefixLen columns equal \p Key's;
+  /// the matching end iterator is end().
+  iterator prefixBegin(const TupleType &Key, std::size_t PrefixLen) const {
+    assert(PrefixLen <= Arity && "prefix longer than arity");
+    if (PrefixLen == Arity)
+      return contains(Key) ? singleton(Key) : end();
+    const Node *N = &Root;
+    TupleType Prefix{};
+    for (std::size_t L = 0; L < PrefixLen; ++L) {
+      Prefix[L] = Key[L];
+      N = findChild(N, Key[L]);
+      if (!N)
+        return end();
+    }
+    return iterator(N, PrefixLen, Prefix);
+  }
+
+  /// True if some tuple matches the first \p PrefixLen columns of \p Key.
+  bool containsPrefix(const TupleType &Key, std::size_t PrefixLen) const {
+    return prefixBegin(Key, PrefixLen) != end();
+  }
+
+  std::size_t size() const { return NumTuples; }
+  bool empty() const { return NumTuples == 0; }
+
+  void clear() {
+    for (auto &Entry : Root.Children)
+      delete Entry.second;
+    Root.Children.clear();
+    Root.Chunks.clear();
+    NumTuples = 0;
+  }
+
+  void swapData(Brie &Other) {
+    Root.Children.swap(Other.Root.Children);
+    Root.Chunks.swap(Other.Root.Chunks);
+    std::swap(NumTuples, Other.NumTuples);
+  }
+
+private:
+  /// An iterator positioned exactly on \p Key with no continuation: used
+  /// for fully-bound "ranges" of at most one tuple.
+  iterator singleton(const TupleType &Key) const {
+    return prefixAt(Key);
+  }
+
+  iterator prefixAt(const TupleType &Key) const {
+    // Descend all inner levels along Key and position the leaf on the bit.
+    iterator It;
+    It.Start = Arity - 1;
+    It.Current = Key;
+    const Node *N = &Root;
+    for (std::size_t L = 0; L + 1 < Arity; ++L) {
+      N = findChild(N, Key[L]);
+      assert(N && "singleton of absent tuple");
+    }
+    It.Nodes[Arity - 1] = N;
+    auto ChunkIt = std::lower_bound(
+        N->Chunks.begin(), N->Chunks.end(), chunkBase(Key[Arity - 1]),
+        [](const auto &Entry, RamDomain Base) { return Entry.first < Base; });
+    It.ChunkPos = static_cast<std::size_t>(ChunkIt - N->Chunks.begin());
+    It.Bit = static_cast<std::uint32_t>(Key[Arity - 1]) & 63U;
+    It.Done = false;
+    It.OneShot = true;
+    return It;
+  }
+
+  static const Node *findChild(const Node *N, RamDomain Value) {
+    auto It = std::lower_bound(
+        N->Children.begin(), N->Children.end(), Value,
+        [](const auto &Entry, RamDomain V) { return Entry.first < V; });
+    if (It == N->Children.end() || It->first != Value)
+      return nullptr;
+    return It->second;
+  }
+
+  static Node *findOrCreateChild(Node *N, RamDomain Value) {
+    auto It = std::lower_bound(
+        N->Children.begin(), N->Children.end(), Value,
+        [](const auto &Entry, RamDomain V) { return Entry.first < V; });
+    if (It != N->Children.end() && It->first == Value)
+      return It->second;
+    Node *Child = new Node();
+    N->Children.insert(It, {Value, Child});
+    return Child;
+  }
+
+  Node Root;
+  std::size_t NumTuples = 0;
+};
+
+} // namespace stird
+
+#endif // STIRD_DER_BRIE_H

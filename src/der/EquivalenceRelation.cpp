@@ -1,0 +1,121 @@
+//===- der/EquivalenceRelation.cpp - Union-find binary relation ------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "der/EquivalenceRelation.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace stird;
+
+const std::vector<RamDomain> EquivalenceRelation::EmptyMembers;
+
+std::size_t EquivalenceRelation::internValue(RamDomain Value) {
+  auto It = IndexOf.find(Value);
+  if (It != IndexOf.end())
+    return It->second;
+  std::size_t Index = ValueOf.size();
+  IndexOf.emplace(Value, Index);
+  ValueOf.push_back(Value);
+  Parent.push_back(Index);
+  Rank.push_back(0);
+  ClassSize.push_back(1);
+  NumPairs += 1; // the reflexive pair (Value, Value)
+  Stale = true;
+  return Index;
+}
+
+std::size_t EquivalenceRelation::findRoot(std::size_t Index) const {
+  // Path compression: Parent is mutable so reads stay amortized-constant.
+  std::size_t Root = Index;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  while (Parent[Index] != Root) {
+    std::size_t Next = Parent[Index];
+    Parent[Index] = Root;
+    Index = Next;
+  }
+  return Root;
+}
+
+bool EquivalenceRelation::insert(RamDomain A, RamDomain B) {
+  const std::size_t HadA = IndexOf.count(A);
+  const std::size_t HadB = IndexOf.count(B);
+  std::size_t IA = internValue(A);
+  std::size_t IB = internValue(B);
+  std::size_t RootA = findRoot(IA);
+  std::size_t RootB = findRoot(IB);
+  if (RootA == RootB)
+    return !(HadA && HadB); // grew iff a value was new
+  if (Rank[RootA] < Rank[RootB])
+    std::swap(RootA, RootB);
+  const std::size_t SizeA = ClassSize[RootA];
+  const std::size_t SizeB = ClassSize[RootB];
+  Parent[RootB] = RootA;
+  if (Rank[RootA] == Rank[RootB])
+    ++Rank[RootA];
+  ClassSize[RootA] = SizeA + SizeB;
+  // Pairs go from SizeA^2 + SizeB^2 to (SizeA + SizeB)^2.
+  NumPairs += 2 * SizeA * SizeB;
+  Stale = true;
+  return true;
+}
+
+bool EquivalenceRelation::contains(RamDomain A, RamDomain B) const {
+  auto ItA = IndexOf.find(A);
+  if (ItA == IndexOf.end())
+    return false;
+  auto ItB = IndexOf.find(B);
+  if (ItB == IndexOf.end())
+    return false;
+  return findRoot(ItA->second) == findRoot(ItB->second);
+}
+
+void EquivalenceRelation::clear() {
+  IndexOf.clear();
+  ValueOf.clear();
+  Parent.clear();
+  Rank.clear();
+  ClassSize.clear();
+  NumPairs = 0;
+  Stale = false;
+  SortedValues.clear();
+  MembersOfRoot.clear();
+}
+
+void EquivalenceRelation::swapData(EquivalenceRelation &Other) {
+  IndexOf.swap(Other.IndexOf);
+  ValueOf.swap(Other.ValueOf);
+  Parent.swap(Other.Parent);
+  Rank.swap(Other.Rank);
+  ClassSize.swap(Other.ClassSize);
+  std::swap(NumPairs, Other.NumPairs);
+  std::swap(Stale, Other.Stale);
+  SortedValues.swap(Other.SortedValues);
+  MembersOfRoot.swap(Other.MembersOfRoot);
+}
+
+void EquivalenceRelation::refresh() const {
+  if (!Stale)
+    return;
+  SortedValues = ValueOf;
+  std::sort(SortedValues.begin(), SortedValues.end());
+  MembersOfRoot.clear();
+  for (std::size_t I = 0; I < ValueOf.size(); ++I)
+    MembersOfRoot[findRoot(I)].push_back(ValueOf[I]);
+  for (auto &Entry : MembersOfRoot)
+    std::sort(Entry.second.begin(), Entry.second.end());
+  Stale = false;
+}
+
+const std::vector<RamDomain> &
+EquivalenceRelation::membersOf(RamDomain A) const {
+  refresh();
+  auto It = IndexOf.find(A);
+  if (It == IndexOf.end())
+    return EmptyMembers;
+  return MembersOfRoot.at(findRoot(It->second));
+}

@@ -1,0 +1,45 @@
+//===- interp/Context.h - Interpreter runtime environment -------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime context of one query evaluation: a register file of tuple
+/// pointers indexed by tuple id (Fig 5's second execute() argument). Scans
+/// install a pointer to the current tuple before running their nested
+/// operation; expressions read elements through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_INTERP_CONTEXT_H
+#define STIRD_INTERP_CONTEXT_H
+
+#include "util/RamTypes.h"
+
+#include <cassert>
+#include <vector>
+
+namespace stird::interp {
+
+/// Tuple registers of a query invocation.
+class Context {
+public:
+  explicit Context(std::size_t NumTupleIds) : Tuples(NumTupleIds, nullptr) {}
+
+  const RamDomain *&operator[](std::size_t TupleId) {
+    assert(TupleId < Tuples.size() && "tuple id out of range");
+    return Tuples[TupleId];
+  }
+  const RamDomain *operator[](std::size_t TupleId) const {
+    assert(TupleId < Tuples.size() && "tuple id out of range");
+    return Tuples[TupleId];
+  }
+
+private:
+  std::vector<const RamDomain *> Tuples;
+};
+
+} // namespace stird::interp
+
+#endif // STIRD_INTERP_CONTEXT_H

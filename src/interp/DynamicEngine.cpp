@@ -1,0 +1,239 @@
+//===- interp/DynamicEngine.cpp - The de-specialized adapter engine ----------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic-adapter executor: every relation access goes through the
+/// virtual RelationWrapper interface, iterators are virtualized TupleStreams
+/// amortized by the 128-tuple buffer, and tuple buffers live on the heap
+/// because arities are only known at runtime (Section 3). This is the
+/// baseline the static instruction generation of Section 4.1 is measured
+/// against (Fig 18), and — paired with LegacyRelation storage — the legacy
+/// interpreter of Section 5.1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Engine.h"
+
+#include "interp/Context.h"
+#include "interp/EvalUtil.h"
+#include "util/MiscUtil.h"
+#include "util/Timer.h"
+
+using namespace stird;
+using namespace stird::interp;
+
+namespace {
+
+class DynamicExecutor final : public ExecutorBase {
+public:
+  explicit DynamicExecutor(EngineState &State) : State(State) {}
+
+  void run(const Node &Root) override {
+    Context Empty(0);
+    execute(&Root, Empty);
+  }
+
+private:
+  /// Builds the (possibly encoded) search key of a primitive search into
+  /// \p Key, which must be zero-initialized with the relation's arity.
+  void buildKey(const SuperInstruction &Pattern, bool NeedsEncode,
+                const Order &Ord, std::vector<RamDomain> &Key,
+                Context &Ctx) {
+    fillSuper(Pattern, Key.data(), Ctx,
+              [&](const Node &Expr) { return execute(&Expr, Ctx); });
+    if (NeedsEncode) {
+      std::vector<RamDomain> Source = Key;
+      Ord.encode(Source.data(), Key.data());
+    }
+  }
+
+  RamDomain execute(const Node *N, Context &Ctx) {
+    ++State.NumDispatches;
+    switch (N->Type) {
+    //===-------------------------- Expressions --------------------------===//
+    case NodeType::Constant:
+      return static_cast<const ConstantNode *>(N)->Value;
+    case NodeType::TupleElement: {
+      const auto *TE = static_cast<const TupleElementNode *>(N);
+      return Ctx[TE->TupleId][TE->Element];
+    }
+    case NodeType::Intrinsic: {
+      const auto *Op = static_cast<const IntrinsicNode *>(N);
+      RamDomain Args[8];
+      assert(Op->Args.size() <= 8 && "intrinsic arity too large");
+      for (std::size_t I = 0; I < Op->Args.size(); ++I)
+        Args[I] = execute(Op->Args[I].get(), Ctx);
+      return applyIntrinsic(Op->Op, Args, Op->Args.size(), State.Symbols);
+    }
+    case NodeType::AutoIncrement:
+      return State.Counter++;
+
+    //===-------------------------- Conditions ---------------------------===//
+    case NodeType::True:
+      return 1;
+    case NodeType::Conjunction: {
+      const auto *C = static_cast<const ConjunctionNode *>(N);
+      return execute(C->Lhs.get(), Ctx) && execute(C->Rhs.get(), Ctx);
+    }
+    case NodeType::Negation:
+      return !execute(static_cast<const NegationNode *>(N)->Inner.get(),
+                      Ctx);
+    case NodeType::Constraint: {
+      const auto *C = static_cast<const ConstraintNode *>(N);
+      return applyCmp(C->Op, execute(C->Lhs.get(), Ctx),
+                      execute(C->Rhs.get(), Ctx))
+                 ? 1
+                 : 0;
+    }
+    case NodeType::FusedCondition:
+      return runFusedCondition(*static_cast<const FusedConditionNode *>(N),
+                               Ctx)
+                 ? 1
+                 : 0;
+    case NodeType::EmptinessCheck:
+      return static_cast<const EmptinessCheckNode *>(N)->Rel->empty() ? 1
+                                                                      : 0;
+    case NodeType::GenericExistence: {
+      const auto *E = static_cast<const ExistenceNode *>(N);
+      std::vector<RamDomain> Key(E->Rel->getArity(), 0);
+      buildKey(E->Pattern, E->NeedsEncode, E->Rel->getOrder(E->IndexPos),
+               Key, Ctx);
+      return E->Rel->containsRange(E->IndexPos, Key.data(), E->PrefixLen,
+                                   E->Mask)
+                 ? 1
+                 : 0;
+    }
+
+    //===-------------------------- Operations ---------------------------===//
+    case NodeType::GenericScan: {
+      const auto *S = static_cast<const ScanNode *>(N);
+      BufferedTupleSource Source(S->Rel->scan(S->IndexPos, S->Decode),
+                                 S->Rel->getArity(),
+                                 State.StreamBufferCapacity);
+      while (const RamDomain *Tuple = Source.next()) {
+        Ctx[S->TupleId] = Tuple;
+        execute(S->Nested.get(), Ctx);
+      }
+      return 1;
+    }
+    case NodeType::GenericIndexScan: {
+      const auto *S = static_cast<const IndexScanNode *>(N);
+      std::vector<RamDomain> Key(S->Rel->getArity(), 0);
+      buildKey(S->Pattern, S->NeedsEncode, S->Rel->getOrder(S->IndexPos),
+               Key, Ctx);
+      BufferedTupleSource Source(
+          S->Rel->range(S->IndexPos, Key.data(), S->PrefixLen, S->Mask,
+                        S->Decode),
+          S->Rel->getArity(), State.StreamBufferCapacity);
+      while (const RamDomain *Tuple = Source.next()) {
+        Ctx[S->TupleId] = Tuple;
+        execute(S->Nested.get(), Ctx);
+      }
+      return 1;
+    }
+    case NodeType::Filter: {
+      const auto *F = static_cast<const FilterNode *>(N);
+      if (execute(F->Cond.get(), Ctx))
+        execute(F->Nested.get(), Ctx);
+      return 1;
+    }
+    case NodeType::GenericProject: {
+      const auto *P = static_cast<const ProjectNode *>(N);
+      std::vector<RamDomain> Tuple(P->Rel->getArity(), 0);
+      fillSuper(P->Values, Tuple.data(), Ctx,
+                [&](const Node &Expr) { return execute(&Expr, Ctx); });
+      P->Rel->insert(Tuple.data());
+      return 1;
+    }
+    case NodeType::GenericAggregate: {
+      const auto *A = static_cast<const AggregateNode *>(N);
+      std::vector<RamDomain> Key(A->Rel->getArity(), 0);
+      buildKey(A->Pattern, A->NeedsEncode, A->Rel->getOrder(A->IndexPos),
+               Key, Ctx);
+      BufferedTupleSource Source(
+          A->Rel->range(A->IndexPos, Key.data(), A->PrefixLen, A->Mask,
+                        A->Decode),
+          A->Rel->getArity(), State.StreamBufferCapacity);
+      AggAccumulator Acc;
+      Acc.init(A->Func);
+      while (const RamDomain *Tuple = Source.next()) {
+        Ctx[A->TupleId] = Tuple;
+        if (A->Cond && !execute(A->Cond.get(), Ctx))
+          continue;
+        Acc.step(A->Func,
+                 A->Target ? execute(A->Target.get(), Ctx) : 0);
+      }
+      if (Acc.hasResult(A->Func)) {
+        RamDomain Result[1] = {Acc.Value};
+        Ctx[A->TupleId] = Result;
+        execute(A->Nested.get(), Ctx);
+      }
+      return 1;
+    }
+
+    //===-------------------------- Statements ---------------------------===//
+    case NodeType::Sequence: {
+      const auto *Seq = static_cast<const SequenceNode *>(N);
+      for (const auto &Child : Seq->Children)
+        if (!execute(Child.get(), Ctx))
+          return 0;
+      return 1;
+    }
+    case NodeType::Loop: {
+      const auto *L = static_cast<const LoopNode *>(N);
+      while (execute(L->Body.get(), Ctx)) {
+      }
+      return 1;
+    }
+    case NodeType::Exit:
+      return execute(static_cast<const ExitNode *>(N)->Cond.get(), Ctx) ? 0
+                                                                        : 1;
+    case NodeType::Query: {
+      const auto *Q = static_cast<const QueryNode *>(N);
+      Context QueryCtx(Q->NumTupleIds);
+      execute(Q->Root.get(), QueryCtx);
+      return 1;
+    }
+    case NodeType::Clear:
+      static_cast<const ClearNode *>(N)->Rel->clear();
+      return 1;
+    case NodeType::SwapRel: {
+      const auto *S = static_cast<const SwapNode *>(N);
+      S->Rel->swap(*S->Second);
+      return 1;
+    }
+    case NodeType::Merge: {
+      const auto *M = static_cast<const MergeNode *>(N);
+      M->Destination->insertAll(*M->Rel);
+      return 1;
+    }
+    case NodeType::Io:
+      State.executeIo(*static_cast<const IoNode *>(N));
+      return 1;
+    case NodeType::LogTimer: {
+      const auto *Log = static_cast<const LogTimerNode *>(N);
+      Timer T;
+      std::uint64_t Before = State.NumDispatches;
+      RamDomain Result = execute(Log->Body.get(), Ctx);
+      State.Prof.record(Log->ProfileId, T.seconds(),
+                        State.NumDispatches - Before);
+      return Result;
+    }
+
+    default:
+      fatal("specialized opcode reached the dynamic-adapter executor");
+    }
+  }
+
+  EngineState &State;
+};
+
+} // namespace
+
+std::unique_ptr<ExecutorBase>
+stird::interp::createDynamicExecutor(EngineState &State) {
+  return std::make_unique<DynamicExecutor>(State);
+}

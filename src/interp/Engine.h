@@ -1,0 +1,152 @@
+//===- interp/Engine.h - Interpreter engines --------------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter engine facade. One Engine owns the runtime relations,
+/// generates the interpreter tree from a RAM program, and executes it with
+/// one of four executors:
+///
+///  * StaticLambda — the STI: specialized instructions, with the
+///    register-pressure lambda-CASE trick of Section 4.3 enabled;
+///  * StaticPlain — the STI compiled without the lambda trick (the
+///    Section 5.5 register-pressure ablation);
+///  * DynamicAdapter — the de-specialized virtual-adapter interpreter with
+///    buffered iterators (the Fig 18 baseline);
+///  * Legacy — the pre-STI interpreter with runtime-order comparators
+///    (Section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_INTERP_ENGINE_H
+#define STIRD_INTERP_ENGINE_H
+
+#include "interp/Node.h"
+#include "interp/Profiler.h"
+#include "interp/Relation.h"
+#include "ram/Ram.h"
+#include "translate/IndexSelection.h"
+#include "util/SymbolTable.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace stird::interp {
+
+/// Which executor runs the interpreter tree.
+enum class Backend {
+  StaticLambda,
+  StaticPlain,
+  DynamicAdapter,
+  Legacy,
+};
+
+/// Engine configuration. The optimization toggles map one-to-one onto the
+/// paper's ablation experiments.
+struct EngineOptions {
+  Backend TheBackend = Backend::StaticLambda;
+  /// Section 4.4 super-instructions (Fig 19 ablation).
+  bool SuperInstructions = true;
+  /// Section 4.2 static tuple reordering (Section 5.5 ablation).
+  bool StaticReordering = true;
+  /// Section 5.2 hand-crafted fused-condition super-instructions.
+  bool FuseConditions = false;
+  /// Directory searched for .input fact files.
+  std::string FactDir = ".";
+  /// Directory receiving .output files.
+  std::string OutputDir = ".";
+  /// Echo .printsize results on stdout (they are always recorded in
+  /// EngineState::PrintSizes); benchmarks switch this off.
+  bool EchoPrintSize = true;
+};
+
+/// Mutable state shared between the engine facade and its executor.
+struct EngineState {
+  explicit EngineState(SymbolTable &Symbols) : Symbols(Symbols) {}
+
+  SymbolTable &Symbols;
+  std::unordered_map<std::string, std::unique_ptr<RelationWrapper>> Relations;
+  /// Dispatch counter: incremented on every execute() entry of whichever
+  /// executor runs (Fig 19's dispatch-elimination metric).
+  std::uint64_t NumDispatches = 0;
+  /// The `$` auto-increment counter.
+  RamDomain Counter = 0;
+  Profiler Prof;
+  std::string FactDir = ".";
+  std::string OutputDir = ".";
+  bool EchoPrintSize = true;
+  /// Tuples buffered per virtual iterator refill in the dynamic executor:
+  /// 128 for the de-specialized adapter, 1 for the legacy interpreter
+  /// (which predates the buffering mechanism).
+  std::size_t StreamBufferCapacity = StreamBufferTuples;
+  /// Results of .printsize directives, in execution order.
+  std::vector<std::pair<std::string, std::size_t>> PrintSizes;
+
+  /// Executes an Io node (shared across executors; cold path).
+  void executeIo(const IoNode &Node);
+};
+
+/// Interface of the per-backend executors.
+class ExecutorBase {
+public:
+  virtual ~ExecutorBase() = default;
+  /// Executes the whole interpreter tree rooted at \p Root.
+  virtual void run(const Node &Root) = 0;
+};
+
+std::unique_ptr<ExecutorBase> createDynamicExecutor(EngineState &State);
+std::unique_ptr<ExecutorBase> createStaticExecutorLambda(EngineState &State);
+std::unique_ptr<ExecutorBase> createStaticExecutorPlain(EngineState &State);
+
+/// The engine: builds relations + interpreter tree for a RAM program and
+/// runs it. The RAM program, index selection result and symbol table must
+/// outlive the engine.
+class Engine {
+public:
+  Engine(const ram::Program &Prog,
+         const translate::IndexSelectionResult &Indexes,
+         SymbolTable &Symbols, EngineOptions Options = {});
+  ~Engine();
+
+  /// Generates the interpreter tree (timed as part of run(), as in the
+  /// paper's measurements) and executes the program.
+  void run();
+
+  /// Generates the interpreter tree without executing and renders it
+  /// (one line per INode with opcodes and super-instruction slots).
+  std::string dumpTree();
+
+  /// Access to a relation's runtime contents.
+  RelationWrapper *getRelation(const std::string &Name);
+  const RelationWrapper *getRelation(const std::string &Name) const;
+
+  /// Inserts tuples programmatically (before run(), e.g. EDB injection).
+  void insertTuples(const std::string &Name,
+                    const std::vector<DynTuple> &Tuples);
+  /// Snapshot of a relation's tuples in source order, sorted.
+  std::vector<DynTuple> getTuples(const std::string &Name) const;
+
+  std::uint64_t getNumDispatches() const { return State.NumDispatches; }
+  const Profiler &getProfiler() const { return State.Prof; }
+  const std::vector<std::pair<std::string, std::size_t>> &
+  getPrintSizes() const {
+    return State.PrintSizes;
+  }
+  const EngineOptions &getOptions() const { return Options; }
+
+private:
+  const ram::Program &Prog;
+  const translate::IndexSelectionResult &Indexes;
+  EngineOptions Options;
+  EngineState State;
+  NodePtr Root;
+};
+
+} // namespace stird::interp
+
+#endif // STIRD_INTERP_ENGINE_H

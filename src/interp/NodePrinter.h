@@ -1,0 +1,33 @@
+//===- interp/NodePrinter.h - Interpreter-tree dump -------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a generated interpreter tree: one line per INode with its
+/// (possibly specialized) opcode, the relation/index it targets and its
+/// super-instruction layout. Makes the Section 4 optimizations visible:
+/// `stird --dump-tree` shows opcodes like IndexScan_Btree_2 with their
+/// folded constant/tuple-element slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_INTERP_NODEPRINTER_H
+#define STIRD_INTERP_NODEPRINTER_H
+
+#include "interp/Node.h"
+
+#include <string>
+
+namespace stird::interp {
+
+/// Spelling of an opcode (e.g. "IndexScan_Btree_2", "Filter").
+const char *nodeTypeName(NodeType Type);
+
+/// Renders the tree rooted at \p Root, two-space indented.
+std::string printTree(const Node &Root);
+
+} // namespace stird::interp
+
+#endif // STIRD_INTERP_NODEPRINTER_H

@@ -1,0 +1,89 @@
+//===- interp/Order.h - Column orders for de-specialized indexes -*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The de-specialization of lexicographic orders (Section 3, step 1): every
+/// index stores tuples in the *natural* order of its cells, and any other
+/// order is realized by permuting tuples on insertion. An Order maps index
+/// positions to source columns; encode() applies it, decode() inverts it
+/// (Fig 6b of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_INTERP_ORDER_H
+#define STIRD_INTERP_ORDER_H
+
+#include "util/RamTypes.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace stird::interp {
+
+/// A column permutation: Columns[J] is the source column stored at index
+/// position J.
+class Order {
+public:
+  Order() = default;
+  explicit Order(std::vector<std::uint32_t> Columns)
+      : Columns(std::move(Columns)) {
+    Inverse.resize(this->Columns.size());
+    for (std::uint32_t J = 0; J < this->Columns.size(); ++J) {
+      assert(this->Columns[J] < this->Columns.size() &&
+             "order entry out of range");
+      Inverse[this->Columns[J]] = J;
+    }
+  }
+
+  /// Identity order of the given width.
+  static Order identity(std::size_t Arity) {
+    std::vector<std::uint32_t> Columns(Arity);
+    for (std::size_t I = 0; I < Arity; ++I)
+      Columns[I] = static_cast<std::uint32_t>(I);
+    return Order(std::move(Columns));
+  }
+
+  std::size_t size() const { return Columns.size(); }
+
+  /// Source column stored at index position \p J.
+  std::uint32_t column(std::size_t J) const { return Columns[J]; }
+  /// Index position holding source column \p I.
+  std::uint32_t position(std::size_t I) const { return Inverse[I]; }
+
+  const std::vector<std::uint32_t> &columns() const { return Columns; }
+
+  bool isIdentity() const {
+    for (std::uint32_t J = 0; J < Columns.size(); ++J)
+      if (Columns[J] != J)
+        return false;
+    return true;
+  }
+
+  /// Permutes a source-order tuple into index order.
+  void encode(const RamDomain *Source, RamDomain *Encoded) const {
+    for (std::size_t J = 0; J < Columns.size(); ++J)
+      Encoded[J] = Source[Columns[J]];
+  }
+
+  /// Permutes an index-order tuple back into source order.
+  void decode(const RamDomain *Encoded, RamDomain *Source) const {
+    for (std::size_t J = 0; J < Columns.size(); ++J)
+      Source[Columns[J]] = Encoded[J];
+  }
+
+  bool operator==(const Order &Other) const {
+    return Columns == Other.Columns;
+  }
+
+private:
+  std::vector<std::uint32_t> Columns;
+  std::vector<std::uint32_t> Inverse;
+};
+
+} // namespace stird::interp
+
+#endif // STIRD_INTERP_ORDER_H

@@ -1,0 +1,24 @@
+//===- interp/Profiler.cpp - Per-rule execution profiling -------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Profiler.h"
+
+using namespace stird::interp;
+
+std::size_t Profiler::registerRule(const std::string &Label) {
+  auto It = IdOf.find(Label);
+  if (It != IdOf.end())
+    return It->second;
+  std::size_t Id = Rules.size();
+  Rules.push_back(RuleProfile{Label, 0, 0, 0});
+  IdOf.emplace(Label, Id);
+  return Id;
+}
+
+const RuleProfile *Profiler::find(const std::string &Label) const {
+  auto It = IdOf.find(Label);
+  return It == IdOf.end() ? nullptr : &Rules[It->second];
+}

@@ -1,0 +1,59 @@
+//===- interp/Profiler.h - Per-rule execution profiling ---------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Soufflé-profiler analog: accumulates wall time, invocation counts
+/// and dispatch counts per LogTimer label (one label per rule version).
+/// Drives the Section 5.2 case study (Fig 16) and the dispatch-elimination
+/// measurement of the super-instruction experiment (Fig 19).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_INTERP_PROFILER_H
+#define STIRD_INTERP_PROFILER_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace stird::interp {
+
+/// Accumulated statistics of one rule version.
+struct RuleProfile {
+  std::string Label;
+  double Seconds = 0;
+  std::uint64_t Invocations = 0;
+  std::uint64_t Dispatches = 0;
+};
+
+/// Collects per-rule statistics across a run.
+class Profiler {
+public:
+  /// Registers \p Label (idempotent) and returns its dense id.
+  std::size_t registerRule(const std::string &Label);
+
+  /// Accumulates one timed execution of rule \p Id.
+  void record(std::size_t Id, double Seconds, std::uint64_t Dispatches) {
+    RuleProfile &Profile = Rules[Id];
+    Profile.Seconds += Seconds;
+    Profile.Invocations += 1;
+    Profile.Dispatches += Dispatches;
+  }
+
+  const std::vector<RuleProfile> &rules() const { return Rules; }
+
+  /// Finds the accumulated profile for a label; null if never executed.
+  const RuleProfile *find(const std::string &Label) const;
+
+private:
+  std::vector<RuleProfile> Rules;
+  std::unordered_map<std::string, std::size_t> IdOf;
+};
+
+} // namespace stird::interp
+
+#endif // STIRD_INTERP_PROFILER_H

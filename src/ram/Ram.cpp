@@ -1,0 +1,19 @@
+//===- ram/Ram.cpp - RAM IR helpers -----------------------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ram/Ram.h"
+
+namespace stird::ram {
+
+std::uint32_t searchSignature(const std::vector<ExprPtr> &Pattern) {
+  std::uint32_t Signature = 0;
+  for (std::size_t I = 0; I < Pattern.size(); ++I)
+    if (Pattern[I] && Pattern[I]->getKind() != Expression::Kind::Undef)
+      Signature |= (1U << I);
+  return Signature;
+}
+
+} // namespace stird::ram

@@ -1,0 +1,36 @@
+//===- ram/RamPrinter.h - Textual dump of RAM programs ----------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders RAM programs in the style of Fig 3 of the paper, for tests,
+/// debugging and documentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_RAM_RAMPRINTER_H
+#define STIRD_RAM_RAMPRINTER_H
+
+#include "ram/Ram.h"
+
+#include <string>
+
+namespace stird::ram {
+
+/// Renders a whole program.
+std::string print(const Program &Prog);
+
+/// Renders a single statement subtree.
+std::string print(const Statement &Stmt);
+
+/// Renders a single expression.
+std::string print(const Expression &Expr);
+
+/// Renders a single condition.
+std::string print(const Condition &Cond);
+
+} // namespace stird::ram
+
+#endif // STIRD_RAM_RAMPRINTER_H

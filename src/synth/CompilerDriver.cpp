@@ -1,0 +1,95 @@
+//===- synth/CompilerDriver.cpp - Compile and run synthesized code -----------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/CompilerDriver.h"
+
+#include "util/MiscUtil.h"
+#include "util/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace stird;
+using namespace stird::synth;
+
+#ifndef STIRD_SOURCE_DIR
+#error "STIRD_SOURCE_DIR must point at the stird src/ directory"
+#endif
+
+std::optional<CompileOutcome>
+stird::synth::compileSynthesized(const std::string &CppSource,
+                                 const std::string &WorkDir,
+                                 const std::string &Name) {
+  const std::string SourcePath = WorkDir + "/" + Name + ".cpp";
+  const std::string BinaryPath = WorkDir + "/" + Name + ".bin";
+  const std::string LogPath = WorkDir + "/" + Name + ".compile.log";
+  {
+    std::ofstream Out(SourcePath);
+    if (!Out)
+      fatal("cannot write synthesized source to '" + SourcePath + "'");
+    Out << CppSource;
+  }
+
+  const std::string SrcDir = STIRD_SOURCE_DIR;
+  std::string Command = "g++ -O2 -std=c++20 -I " + SrcDir + " " +
+                        SourcePath + " " + SrcDir +
+                        "/util/SymbolTable.cpp " + SrcDir +
+                        "/util/Csv.cpp " + SrcDir +
+                        "/der/EquivalenceRelation.cpp -o " + BinaryPath +
+                        " > " + LogPath + " 2>&1";
+  Timer T;
+  int Status = std::system(Command.c_str());
+  if (Status != 0) {
+    std::fprintf(stderr,
+                 "synthesized compilation failed; see %s\n",
+                 LogPath.c_str());
+    return std::nullopt;
+  }
+  return CompileOutcome{BinaryPath, T.seconds()};
+}
+
+RunOutcome stird::synth::runSynthesized(const std::string &BinaryPath,
+                                        const std::string &FactDir,
+                                        const std::string &OutDir,
+                                        bool StoreOutputs) {
+  const std::string ReportPath = BinaryPath + ".out";
+  std::string Command = BinaryPath + " --facts " + FactDir + " --out " +
+                        OutDir;
+  if (!StoreOutputs)
+    Command += " --no-store";
+  Command += " > " + ReportPath + " 2>&1";
+
+  RunOutcome Result;
+  Timer T;
+  Result.ExitCode = std::system(Command.c_str());
+  Result.WallSeconds = T.seconds();
+
+  std::ifstream In(ReportPath);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::istringstream Parts(Line);
+    std::string Tag;
+    std::getline(Parts, Tag, '\t');
+    if (Tag == "RUNTIME") {
+      Parts >> Result.RuntimeSeconds;
+    } else if (Tag == "RELSIZE" || Tag == "SIZE") {
+      std::string Name;
+      std::getline(Parts, Name, '\t');
+      std::size_t Size = 0;
+      Parts >> Size;
+      Result.RelationSizes[Name] = Size;
+    } else if (Tag == "RULE") {
+      std::string IdText, SecondsText, Label;
+      std::getline(Parts, IdText, '\t');
+      std::getline(Parts, SecondsText, '\t');
+      std::getline(Parts, Label);
+      Result.RuleSeconds[Label] = std::strtod(SecondsText.c_str(), nullptr);
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,58 @@
+//===- synth/CompilerDriver.h - Compile and run synthesized code -*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the system C++ compiler over synthesized sources and runs the
+/// resulting binaries, measuring compile and run time separately — the two
+/// quantities Table 1 of the paper relates (first-run = compile + execute).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_SYNTH_COMPILERDRIVER_H
+#define STIRD_SYNTH_COMPILERDRIVER_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace stird::synth {
+
+/// Outcome of compiling one synthesized translation unit.
+struct CompileOutcome {
+  std::string BinaryPath;
+  double CompileSeconds = 0;
+};
+
+/// Parsed stdout of one synthesized-binary run.
+struct RunOutcome {
+  /// Total wall time reported by the binary (RUNTIME record).
+  double RuntimeSeconds = 0;
+  /// Wall time of the whole process as observed by the driver.
+  double WallSeconds = 0;
+  /// Final size of every relation (RELSIZE records).
+  std::map<std::string, std::size_t> RelationSizes;
+  /// Per-rule accumulated seconds keyed by rule label (RULE records).
+  std::map<std::string, double> RuleSeconds;
+  int ExitCode = 0;
+};
+
+/// Writes \p CppSource to WorkDir/Name.cpp, compiles it with the system
+/// g++ (-O2, linking the stird runtime sources) and returns the binary
+/// path plus compile time; nullopt if compilation fails.
+std::optional<CompileOutcome> compileSynthesized(const std::string &CppSource,
+                                                 const std::string &WorkDir,
+                                                 const std::string &Name);
+
+/// Runs a compiled binary with the given fact/output directories and
+/// parses its report. \p StoreOutputs controls --no-store.
+RunOutcome runSynthesized(const std::string &BinaryPath,
+                          const std::string &FactDir,
+                          const std::string &OutDir,
+                          bool StoreOutputs = true);
+
+} // namespace stird::synth
+
+#endif // STIRD_SYNTH_COMPILERDRIVER_H

@@ -1,0 +1,48 @@
+//===- synth/CppSynthesizer.h - RAM to C++ code generation ------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthesizer: generates a self-contained C++ translation unit from a
+/// RAM program, the compiled baseline of every experiment in the paper.
+///
+/// Relations become structs holding one fully specialized index per
+/// selected order — the insertion-time column permutation is emitted as
+/// straight-line constant assignments, search keys are built with constant
+/// subscripts and element accesses are resolved to encoded positions at
+/// generation time. Rule bodies become plain nested C++ loops; nothing is
+/// dispatched and nothing is virtual. The generated unit includes the same
+/// der/ headers the interpreter uses, so both execution paths share the
+/// identical underlying DER data structures (as in Soufflé).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_SYNTH_CPPSYNTHESIZER_H
+#define STIRD_SYNTH_CPPSYNTHESIZER_H
+
+#include "ram/Ram.h"
+#include "translate/IndexSelection.h"
+#include "util/SymbolTable.h"
+
+#include <string>
+
+namespace stird::synth {
+
+/// Generates the C++ source reproducing \p Prog. \p Symbols must be the
+/// table used during translation: its contents are replayed at startup of
+/// the generated binary so symbol ordinals agree with the RAM constants.
+///
+/// The generated program understands:
+///   --facts <dir>   fact-file directory (default ".")
+///   --out <dir>     output directory (default ".")
+///   --no-store      skip .output file writing
+/// and prints RUNTIME/SIZE/RULE records on stdout (see CompilerDriver).
+std::string synthesize(const ram::Program &Prog,
+                       const translate::IndexSelectionResult &Indexes,
+                       const SymbolTable &Symbols);
+
+} // namespace stird::synth
+
+#endif // STIRD_SYNTH_CPPSYNTHESIZER_H

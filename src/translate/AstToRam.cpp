@@ -1,0 +1,1038 @@
+//===- translate/AstToRam.cpp - Datalog to RAM translation ------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "translate/AstToRam.h"
+
+#include "util/MiscUtil.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace stird;
+using namespace stird::translate;
+
+namespace {
+
+using ast::TypeKind;
+
+ColumnTypeKind toColumnType(TypeKind Kind) {
+  switch (Kind) {
+  case TypeKind::Number:
+    return ColumnTypeKind::Number;
+  case TypeKind::Unsigned:
+    return ColumnTypeKind::Unsigned;
+  case TypeKind::Float:
+    return ColumnTypeKind::Float;
+  case TypeKind::Symbol:
+    return ColumnTypeKind::Symbol;
+  }
+  unreachable("unknown type kind");
+}
+
+ram::StructureKind toRamStructure(ast::StructureKind Kind) {
+  switch (Kind) {
+  case ast::StructureKind::Btree:
+    return ram::StructureKind::Btree;
+  case ast::StructureKind::Brie:
+    return ram::StructureKind::Brie;
+  case ast::StructureKind::Eqrel:
+    return ram::StructureKind::Eqrel;
+  }
+  unreachable("unknown structure kind");
+}
+
+/// Resolves an AST functor plus its inferred result type to a typed RAM
+/// intrinsic opcode.
+ram::IntrinsicOp resolveIntrinsic(ast::FunctorOp Op, TypeKind Type) {
+  using ast::FunctorOp;
+  using ram::IntrinsicOp;
+  const bool IsFloat = Type == TypeKind::Float;
+  const bool IsUnsigned = Type == TypeKind::Unsigned;
+  switch (Op) {
+  case FunctorOp::Neg:
+    return IsFloat ? IntrinsicOp::FNeg : IntrinsicOp::Neg;
+  case FunctorOp::BNot:
+    return IntrinsicOp::BNot;
+  case FunctorOp::LNot:
+    return IntrinsicOp::LNot;
+  case FunctorOp::Ord:
+    return IntrinsicOp::Ord;
+  case FunctorOp::Strlen:
+    return IntrinsicOp::Strlen;
+  case FunctorOp::ToNumber:
+    return IntrinsicOp::ToNumber;
+  case FunctorOp::ToString:
+    return IntrinsicOp::ToString;
+  case FunctorOp::Add:
+    return IsFloat ? IntrinsicOp::FAdd : IntrinsicOp::Add;
+  case FunctorOp::Sub:
+    return IsFloat ? IntrinsicOp::FSub : IntrinsicOp::Sub;
+  case FunctorOp::Mul:
+    return IsFloat ? IntrinsicOp::FMul : IntrinsicOp::Mul;
+  case FunctorOp::Div:
+    return IsFloat ? IntrinsicOp::FDiv
+                   : (IsUnsigned ? IntrinsicOp::UDiv : IntrinsicOp::Div);
+  case FunctorOp::Mod:
+    return IsUnsigned ? IntrinsicOp::UMod : IntrinsicOp::Mod;
+  case FunctorOp::Exp:
+    return IsFloat ? IntrinsicOp::FExp
+                   : (IsUnsigned ? IntrinsicOp::UExp : IntrinsicOp::Exp);
+  case FunctorOp::Band:
+    return IntrinsicOp::Band;
+  case FunctorOp::Bor:
+    return IntrinsicOp::Bor;
+  case FunctorOp::Bxor:
+    return IntrinsicOp::Bxor;
+  case FunctorOp::Bshl:
+    return IntrinsicOp::Bshl;
+  case FunctorOp::Bshr:
+    return IsUnsigned ? IntrinsicOp::UBshr : IntrinsicOp::Bshr;
+  case FunctorOp::Max:
+    return IsFloat ? IntrinsicOp::FMax
+                   : (IsUnsigned ? IntrinsicOp::UMax : IntrinsicOp::Max);
+  case FunctorOp::Min:
+    return IsFloat ? IntrinsicOp::FMin
+                   : (IsUnsigned ? IntrinsicOp::UMin : IntrinsicOp::Min);
+  case FunctorOp::Cat:
+    return IntrinsicOp::Cat;
+  case FunctorOp::Substr:
+    return IntrinsicOp::Substr;
+  }
+  unreachable("unknown functor op");
+}
+
+ram::CmpOp resolveCmp(ast::ConstraintOp Op, TypeKind Type) {
+  using ast::ConstraintOp;
+  using ram::CmpOp;
+  const bool IsFloat = Type == TypeKind::Float;
+  const bool IsUnsigned = Type == TypeKind::Unsigned;
+  switch (Op) {
+  case ConstraintOp::Eq:
+    return CmpOp::Eq;
+  case ConstraintOp::Ne:
+    return CmpOp::Ne;
+  case ConstraintOp::Lt:
+    return IsFloat ? CmpOp::FLt : (IsUnsigned ? CmpOp::ULt : CmpOp::Lt);
+  case ConstraintOp::Le:
+    return IsFloat ? CmpOp::FLe : (IsUnsigned ? CmpOp::ULe : CmpOp::Le);
+  case ConstraintOp::Gt:
+    return IsFloat ? CmpOp::FGt : (IsUnsigned ? CmpOp::UGt : CmpOp::Gt);
+  case ConstraintOp::Ge:
+    return IsFloat ? CmpOp::FGe : (IsUnsigned ? CmpOp::UGe : CmpOp::Ge);
+  case ConstraintOp::Match:
+  case ConstraintOp::Contains:
+    break;
+  }
+  unreachable("unsupported constraint op");
+}
+
+ram::AggFunc resolveAggFunc(ast::AggregateOp Op, TypeKind Type) {
+  using ast::AggregateOp;
+  using ram::AggFunc;
+  const bool IsFloat = Type == TypeKind::Float;
+  const bool IsUnsigned = Type == TypeKind::Unsigned;
+  switch (Op) {
+  case AggregateOp::Count:
+    return AggFunc::Count;
+  case AggregateOp::Sum:
+    return IsFloat ? AggFunc::FSum
+                   : (IsUnsigned ? AggFunc::USum : AggFunc::Sum);
+  case AggregateOp::Min:
+    return IsFloat ? AggFunc::FMin
+                   : (IsUnsigned ? AggFunc::UMin : AggFunc::Min);
+  case AggregateOp::Max:
+    return IsFloat ? AggFunc::FMax
+                   : (IsUnsigned ? AggFunc::UMax : AggFunc::Max);
+  }
+  unreachable("unknown aggregate op");
+}
+
+/// Collects names of variables in an argument tree, not descending into
+/// aggregate bodies.
+void collectVars(const ast::Argument &Arg, std::vector<std::string> &Out) {
+  switch (Arg.getKind()) {
+  case ast::Argument::Kind::Variable:
+    Out.push_back(static_cast<const ast::Variable &>(Arg).getName());
+    return;
+  case ast::Argument::Kind::Functor:
+    for (const auto &Operand :
+         static_cast<const ast::Functor &>(Arg).getArgs())
+      collectVars(*Operand, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+/// Collects variables of an aggregate including its body (for readiness
+/// checks against the outer scope).
+void collectAggregateVars(const ast::Aggregator &Agg,
+                          std::vector<std::string> &Out) {
+  if (Agg.getTarget())
+    collectVars(*Agg.getTarget(), Out);
+  for (const auto &Lit : Agg.getBody()) {
+    switch (Lit->getKind()) {
+    case ast::Literal::Kind::Atom:
+      for (const auto &Arg :
+           static_cast<const ast::Atom &>(*Lit).getArgs())
+        collectVars(*Arg, Out);
+      break;
+    case ast::Literal::Kind::Negation:
+      for (const auto &Arg :
+           static_cast<const ast::Negation &>(*Lit).getAtom().getArgs())
+        collectVars(*Arg, Out);
+      break;
+    case ast::Literal::Kind::Constraint: {
+      const auto &Con = static_cast<const ast::Constraint &>(*Lit);
+      collectVars(Con.getLhs(), Out);
+      collectVars(Con.getRhs(), Out);
+      break;
+    }
+    }
+  }
+}
+
+/// Returns the aggregator beneath \p Arg if Arg is exactly an aggregate
+/// expression (not nested inside a functor), else null.
+const ast::Aggregator *asAggregator(const ast::Argument &Arg) {
+  if (Arg.getKind() == ast::Argument::Kind::Aggregator)
+    return &static_cast<const ast::Aggregator &>(Arg);
+  return nullptr;
+}
+
+/// The translator.
+class Translator {
+public:
+  Translator(const ast::Program &AstProg, const ast::SemanticInfo &Info,
+             SymbolTable &Symbols, const TranslationOptions &Options,
+             TranslationResult &Result)
+      : AstProg(AstProg), Info(Info), Symbols(Symbols), Options(Options),
+        Result(Result) {}
+
+  void run() {
+    Result.Prog = std::make_unique<ram::Program>();
+    Prog = Result.Prog.get();
+
+    for (const auto &Decl : AstProg.Relations) {
+      std::vector<ColumnTypeKind> Columns;
+      for (const auto &Attr : Decl->getAttributes())
+        Columns.push_back(toColumnType(Attr.Type));
+      ram::Relation *Rel = Prog->addRelation(
+          Decl->getName(), Columns, toRamStructure(Decl->getStructure()));
+      if (Decl->isInput())
+        Rel->markInput(Decl->getInputPath());
+      if (Decl->isOutput())
+        Rel->markOutput(Decl->getOutputPath());
+      if (Decl->isPrintSize())
+        Rel->markPrintSize();
+      RelOf[Decl->getName()] = Rel;
+    }
+
+    std::vector<ram::StmtPtr> Main;
+    for (const auto &Decl : AstProg.Relations)
+      if (Decl->isInput())
+        Main.push_back(std::make_unique<ram::Io>(
+            ram::Io::Direction::Load, RelOf.at(Decl->getName())));
+
+    for (const auto &Stratum : Info.Strata)
+      emitStratum(Stratum, Main);
+
+    for (const auto &Decl : AstProg.Relations) {
+      if (Decl->isOutput())
+        Main.push_back(std::make_unique<ram::Io>(
+            ram::Io::Direction::Store, RelOf.at(Decl->getName())));
+      if (Decl->isPrintSize())
+        Main.push_back(std::make_unique<ram::Io>(
+            ram::Io::Direction::PrintSize, RelOf.at(Decl->getName())));
+    }
+    Prog->setMain(std::make_unique<ram::Sequence>(std::move(Main)));
+  }
+
+private:
+  void error(const std::string &Message) {
+    Result.Errors.push_back(Message);
+  }
+
+  /// Whether a clause is recursive w.r.t. its stratum: some positive body
+  /// atom names a relation of the same stratum.
+  bool isRecursiveClause(const ast::Clause &C,
+                         const std::unordered_set<std::string> &Scc) const {
+    for (const auto &Lit : C.getBody())
+      if (Lit->getKind() == ast::Literal::Kind::Atom &&
+          Scc.count(static_cast<const ast::Atom &>(*Lit).getName()))
+        return true;
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Stratum emission
+  //===--------------------------------------------------------------------===
+
+  void emitStratum(const ast::Stratum &Stratum,
+                   std::vector<ram::StmtPtr> &Main) {
+    std::unordered_set<std::string> Scc;
+    for (const auto *Decl : Stratum.Relations)
+      Scc.insert(Decl->getName());
+
+    if (!Stratum.Recursive) {
+      for (const auto *Decl : Stratum.Relations)
+        for (const auto *C : clausesOf(Decl->getName()))
+          emitRule(*C, RelOf.at(Decl->getName()), /*Scc=*/{},
+                   /*DeltaPos=*/-1, /*GuardRel=*/nullptr,
+                   /*UseDeltaFor=*/{}, Main);
+      return;
+    }
+
+    // A recursive component containing an equivalence relation is computed
+    // with a naive fixpoint: the union-find closure generates pairs beyond
+    // those explicitly inserted, which semi-naive deltas would miss.
+    bool Naive = Options.ForceNaiveEvaluation;
+    for (const auto *Decl : Stratum.Relations)
+      if (Decl->getStructure() == ast::StructureKind::Eqrel)
+        Naive = true;
+
+    // Create new_/delta_ relations.
+    std::unordered_map<std::string, ram::Relation *> NewRel, DeltaRel;
+    for (const auto *Decl : Stratum.Relations) {
+      ram::Relation *Full = RelOf.at(Decl->getName());
+      ram::StructureKind AuxStructure =
+          Full->getStructure() == ram::StructureKind::Eqrel
+              ? ram::StructureKind::Btree
+              : Full->getStructure();
+      NewRel[Decl->getName()] =
+          Prog->addRelation("new_" + Decl->getName(),
+                            Full->getColumnTypes(), AuxStructure);
+      if (!Naive)
+        DeltaRel[Decl->getName()] =
+            Prog->addRelation("delta_" + Decl->getName(),
+                              Full->getColumnTypes(), AuxStructure);
+    }
+
+    // Non-recursive rules feed the full relations before the loop.
+    for (const auto *Decl : Stratum.Relations)
+      for (const auto *C : clausesOf(Decl->getName()))
+        if (!isRecursiveClause(*C, Scc))
+          emitRule(*C, RelOf.at(Decl->getName()), Scc, -1, nullptr, {},
+                   Main);
+
+    if (!Naive)
+      for (const auto *Decl : Stratum.Relations)
+        Main.push_back(std::make_unique<ram::MergeInto>(
+            RelOf.at(Decl->getName()), DeltaRel.at(Decl->getName())));
+
+    // Loop body.
+    std::vector<ram::StmtPtr> LoopBody;
+    for (const auto *Decl : Stratum.Relations) {
+      ram::Relation *Full = RelOf.at(Decl->getName());
+      for (const auto *C : clausesOf(Decl->getName())) {
+        if (!isRecursiveClause(*C, Scc))
+          continue;
+        if (Naive) {
+          emitRule(*C, NewRel.at(Decl->getName()), Scc, -1, Full, {},
+                   LoopBody);
+          continue;
+        }
+        // Semi-naive: one version per occurrence of an SCC relation, with
+        // that occurrence reading the delta.
+        int NumSccAtoms = 0;
+        for (const auto &Lit : C->getBody())
+          if (Lit->getKind() == ast::Literal::Kind::Atom &&
+              Scc.count(static_cast<const ast::Atom &>(*Lit).getName()))
+            ++NumSccAtoms;
+        for (int Version = 0; Version < NumSccAtoms; ++Version)
+          emitRule(*C, NewRel.at(Decl->getName()), Scc, Version, Full,
+                   DeltaRel, LoopBody);
+      }
+    }
+
+    // Exit when no relation produced new knowledge.
+    ram::CondPtr ExitCond;
+    for (const auto *Decl : Stratum.Relations) {
+      ram::CondPtr Part = std::make_unique<ram::EmptinessCheck>(
+          NewRel.at(Decl->getName()));
+      ExitCond = ExitCond ? std::make_unique<ram::Conjunction>(
+                                std::move(ExitCond), std::move(Part))
+                          : std::move(Part);
+    }
+    LoopBody.push_back(std::make_unique<ram::Exit>(std::move(ExitCond)));
+
+    for (const auto *Decl : Stratum.Relations) {
+      ram::Relation *Full = RelOf.at(Decl->getName());
+      ram::Relation *NewR = NewRel.at(Decl->getName());
+      LoopBody.push_back(std::make_unique<ram::MergeInto>(NewR, Full));
+      if (!Naive) {
+        LoopBody.push_back(std::make_unique<ram::Swap>(
+            DeltaRel.at(Decl->getName()), NewR));
+      }
+      LoopBody.push_back(std::make_unique<ram::Clear>(NewR));
+    }
+
+    Main.push_back(std::make_unique<ram::Loop>(
+        std::make_unique<ram::Sequence>(std::move(LoopBody))));
+
+    // Post-loop hygiene: the auxiliary relations hold no useful data.
+    for (const auto *Decl : Stratum.Relations) {
+      if (!Naive)
+        Main.push_back(std::make_unique<ram::Clear>(
+            DeltaRel.at(Decl->getName())));
+      Main.push_back(
+          std::make_unique<ram::Clear>(NewRel.at(Decl->getName())));
+    }
+  }
+
+  std::vector<const ast::Clause *>
+  clausesOf(const std::string &Name) const {
+    auto It = Info.ClausesOf.find(Name);
+    return It == Info.ClausesOf.end() ? std::vector<const ast::Clause *>{}
+                                      : It->second;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Rule emission
+  //===--------------------------------------------------------------------===
+
+  /// Translates one rule version.
+  ///
+  /// \p Target is the relation receiving head insertions (new_R inside a
+  /// fixpoint). \p DeltaPos, when >= 0, is the index (among SCC atoms) of
+  /// the occurrence that reads its delta relation. \p GuardRel, when set,
+  /// adds a NOT-in-GuardRel filter before insertion (semi-naive dedup).
+  void emitRule(const ast::Clause &C, ram::Relation *Target,
+                const std::unordered_set<std::string> &Scc, int DeltaPos,
+                ram::Relation *GuardRel,
+                const std::unordered_map<std::string, ram::Relation *>
+                    &DeltaRel,
+                std::vector<ram::StmtPtr> &Out) {
+    ClauseState State(*this, C, Target, Scc, DeltaPos, GuardRel, DeltaRel);
+    ram::OpPtr Root = State.build();
+    if (!Root)
+      return;
+
+    ram::StmtPtr Stmt = std::make_unique<ram::Query>(std::move(Root));
+    if (Options.EnableProfiling) {
+      std::string Label = C.toString();
+      if (DeltaPos >= 0)
+        Label += " [v" + std::to_string(DeltaPos) + "]";
+      Stmt = std::make_unique<ram::LogTimer>(std::move(Label),
+                                             std::move(Stmt));
+    }
+    Out.push_back(std::move(Stmt));
+  }
+
+  /// Per-rule translation state: variable bindings, literal scheduling and
+  /// tuple-id assignment.
+  class ClauseState {
+  public:
+    ClauseState(Translator &T, const ast::Clause &C, ram::Relation *Target,
+                const std::unordered_set<std::string> &Scc, int DeltaPos,
+                ram::Relation *GuardRel,
+                const std::unordered_map<std::string, ram::Relation *>
+                    &DeltaRel)
+        : T(T), C(C), Target(Target), Scc(Scc), DeltaPos(DeltaPos),
+          GuardRel(GuardRel), DeltaRel(DeltaRel) {
+      for (const auto &Lit : C.getBody()) {
+        if (Lit->getKind() == ast::Literal::Kind::Atom)
+          Atoms.push_back(static_cast<const ast::Atom *>(Lit.get()));
+        else
+          Pending.push_back(Lit.get());
+      }
+      computeOuterVars();
+    }
+
+    ram::OpPtr build() {
+      ram::OpPtr Root = buildLevel(0);
+      if (!Root)
+        return nullptr;
+      if (!T.Options.EnableEmptinessChecks || Atoms.empty())
+        return Root;
+      // Fig-3-style pre-check: skip the whole rule body if any scanned
+      // relation is empty.
+      ram::CondPtr Pre;
+      std::unordered_set<const ram::Relation *> Seen;
+      for (std::size_t I = 0; I < Atoms.size(); ++I) {
+        const ram::Relation *Rel = atomRelation(I);
+        if (!Rel || !Seen.insert(Rel).second)
+          continue;
+        ram::CondPtr Part = std::make_unique<ram::Negation>(
+            std::make_unique<ram::EmptinessCheck>(Rel));
+        Pre = Pre ? std::make_unique<ram::Conjunction>(std::move(Pre),
+                                                       std::move(Part))
+                  : std::move(Part);
+      }
+      if (Pre)
+        Root = std::make_unique<ram::Filter>(std::move(Pre),
+                                             std::move(Root));
+      return Root;
+    }
+
+  private:
+    /// The RAM relation an atom reads: its delta version when this atom is
+    /// the rule version's delta occurrence, else the full relation.
+    const ram::Relation *atomRelation(std::size_t AtomIdx) {
+      const ast::Atom *A = Atoms[AtomIdx];
+      const ram::Relation *Full = T.RelOf.count(A->getName())
+                                      ? T.RelOf.at(A->getName())
+                                      : nullptr;
+      if (!Full)
+        return nullptr;
+      if (DeltaPos < 0 || !Scc.count(A->getName()))
+        return Full;
+      // Count which SCC occurrence this is.
+      int SccIndex = 0;
+      for (std::size_t I = 0; I < AtomIdx; ++I)
+        if (Scc.count(Atoms[I]->getName()))
+          ++SccIndex;
+      if (SccIndex == DeltaPos) {
+        auto It = DeltaRel.find(A->getName());
+        if (It != DeltaRel.end())
+          return It->second;
+      }
+      return Full;
+    }
+
+    void computeOuterVars() {
+      auto Add = [&](const ast::Argument &Arg) {
+        std::vector<std::string> Vars;
+        collectVars(Arg, Vars);
+        OuterVars.insert(Vars.begin(), Vars.end());
+      };
+      for (const auto *A : Atoms)
+        for (const auto &Arg : A->getArgs())
+          Add(*Arg);
+      for (const auto &Arg : C.getHead().getArgs())
+        Add(*Arg);
+      for (const ast::Literal *Lit : Pending) {
+        if (Lit->getKind() == ast::Literal::Kind::Negation) {
+          for (const auto &Arg :
+               static_cast<const ast::Negation &>(*Lit).getAtom().getArgs())
+            Add(*Arg);
+        } else if (Lit->getKind() == ast::Literal::Kind::Constraint) {
+          const auto &Con = static_cast<const ast::Constraint &>(*Lit);
+          if (!asAggregator(Con.getLhs()))
+            Add(Con.getLhs());
+          if (!asAggregator(Con.getRhs()))
+            Add(Con.getRhs());
+        }
+      }
+    }
+
+    bool isBound(const std::string &Name) const {
+      return VarBindings.count(Name) || EqBindings.count(Name);
+    }
+
+    bool allVarsBound(const ast::Argument &Arg) const {
+      std::vector<std::string> Vars;
+      collectVars(Arg, Vars);
+      return std::all_of(Vars.begin(), Vars.end(),
+                         [&](const std::string &V) { return isBound(V); });
+    }
+
+    //===------------------------------------------------------------------===
+    // Expression translation (requires all variables bound)
+    //===------------------------------------------------------------------===
+
+    ram::ExprPtr translateExpr(const ast::Argument &Arg) {
+      switch (Arg.getKind()) {
+      case ast::Argument::Kind::NumberConstant:
+        return std::make_unique<ram::Constant>(
+            static_cast<const ast::NumberConstant &>(Arg).getValue());
+      case ast::Argument::Kind::UnsignedConstant:
+        return std::make_unique<ram::Constant>(ramBitCast<RamDomain>(
+            static_cast<const ast::UnsignedConstant &>(Arg).getValue()));
+      case ast::Argument::Kind::FloatConstant:
+        return std::make_unique<ram::Constant>(ramBitCast<RamDomain>(
+            static_cast<const ast::FloatConstant &>(Arg).getValue()));
+      case ast::Argument::Kind::StringConstant:
+        return std::make_unique<ram::Constant>(T.Symbols.intern(
+            static_cast<const ast::StringConstant &>(Arg).getValue()));
+      case ast::Argument::Kind::Counter:
+        return std::make_unique<ram::AutoIncrement>();
+      case ast::Argument::Kind::Variable: {
+        const auto &Name = static_cast<const ast::Variable &>(Arg).getName();
+        auto It = VarBindings.find(Name);
+        if (It != VarBindings.end())
+          return std::make_unique<ram::TupleElement>(It->second.first,
+                                                     It->second.second);
+        auto EqIt = EqBindings.find(Name);
+        if (EqIt != EqBindings.end())
+          return translateExpr(*EqIt->second);
+        T.error("internal: use of unbound variable '" + Name + "' in '" +
+                C.toString() + "'");
+        return std::make_unique<ram::Constant>(0);
+      }
+      case ast::Argument::Kind::Functor: {
+        const auto &F = static_cast<const ast::Functor &>(Arg);
+        std::vector<ram::ExprPtr> Args;
+        for (const auto &Operand : F.getArgs())
+          Args.push_back(translateExpr(*Operand));
+        return std::make_unique<ram::Intrinsic>(
+            resolveIntrinsic(F.getOp(), T.Info.typeOf(&Arg)),
+            std::move(Args));
+      }
+      case ast::Argument::Kind::UnnamedVariable:
+        T.error("'_' cannot be used as a value in '" + C.toString() + "'");
+        return std::make_unique<ram::Constant>(0);
+      case ast::Argument::Kind::Aggregator:
+        T.error("aggregates are only supported as the right-hand side of "
+                "an equality in '" +
+                C.toString() + "'");
+        return std::make_unique<ram::Constant>(0);
+      }
+      unreachable("unknown argument kind");
+    }
+
+    //===------------------------------------------------------------------===
+    // Literal scheduling
+    //===------------------------------------------------------------------===
+
+    /// True if the literal can be placed with the current bindings.
+    bool isReady(const ast::Literal &Lit) const {
+      if (Lit.getKind() == ast::Literal::Kind::Negation) {
+        const auto &A = static_cast<const ast::Negation &>(Lit).getAtom();
+        return std::all_of(A.getArgs().begin(), A.getArgs().end(),
+                           [&](const std::unique_ptr<ast::Argument> &Arg) {
+                             return Arg->getKind() ==
+                                        ast::Argument::Kind::UnnamedVariable ||
+                                    allVarsBound(*Arg);
+                           });
+      }
+      const auto &Con = static_cast<const ast::Constraint &>(Lit);
+      const ast::Aggregator *Agg = asAggregator(Con.getRhs());
+      const ast::Argument *Other = &Con.getLhs();
+      if (!Agg) {
+        Agg = asAggregator(Con.getLhs());
+        Other = &Con.getRhs();
+      }
+      if (Agg) {
+        // Ready when all outer variables the aggregate references are
+        // bound, and the other side is a variable or bound expression.
+        std::vector<std::string> Vars;
+        collectAggregateVars(*Agg, Vars);
+        for (const auto &Name : Vars)
+          if (OuterVars.count(Name) && !isBound(Name))
+            return false;
+        if (Other->getKind() == ast::Argument::Kind::Variable)
+          return true;
+        return allVarsBound(*Other);
+      }
+      // A binding equality `x = expr` is ready once expr is bound.
+      if (Con.getOp() == ast::ConstraintOp::Eq) {
+        const bool LhsLoneVar =
+            Con.getLhs().getKind() == ast::Argument::Kind::Variable &&
+            !isBound(static_cast<const ast::Variable &>(Con.getLhs())
+                         .getName());
+        const bool RhsLoneVar =
+            Con.getRhs().getKind() == ast::Argument::Kind::Variable &&
+            !isBound(static_cast<const ast::Variable &>(Con.getRhs())
+                         .getName());
+        if (LhsLoneVar && !RhsLoneVar)
+          return allVarsBound(Con.getRhs());
+        if (RhsLoneVar && !LhsLoneVar)
+          return allVarsBound(Con.getLhs());
+      }
+      return allVarsBound(Con.getLhs()) && allVarsBound(Con.getRhs());
+    }
+
+    /// Places a ready literal, returning the operation wrapping the rest of
+    /// the translation.
+    ram::OpPtr placeLiteral(const ast::Literal &Lit, std::size_t AtomIdx) {
+      if (Lit.getKind() == ast::Literal::Kind::Negation) {
+        const auto &A = static_cast<const ast::Negation &>(Lit).getAtom();
+        const ram::Relation *Rel = T.RelOf.count(A.getName())
+                                       ? T.RelOf.at(A.getName())
+                                       : nullptr;
+        if (!Rel) {
+          T.error("undeclared relation '" + A.getName() + "'");
+          return nullptr;
+        }
+        std::vector<ram::ExprPtr> Pattern;
+        for (const auto &Arg : A.getArgs()) {
+          if (Arg->getKind() == ast::Argument::Kind::UnnamedVariable)
+            Pattern.push_back(std::make_unique<ram::Undef>());
+          else
+            Pattern.push_back(translateExpr(*Arg));
+        }
+        ram::OpPtr Rest = buildLevel(AtomIdx);
+        if (!Rest)
+          return nullptr;
+        return std::make_unique<ram::Filter>(
+            std::make_unique<ram::Negation>(
+                std::make_unique<ram::ExistenceCheck>(Rel,
+                                                      std::move(Pattern))),
+            std::move(Rest));
+      }
+
+      const auto &Con = static_cast<const ast::Constraint &>(Lit);
+      const ast::Aggregator *Agg = asAggregator(Con.getRhs());
+      const ast::Argument *Other = &Con.getLhs();
+      if (!Agg) {
+        Agg = asAggregator(Con.getLhs());
+        Other = &Con.getRhs();
+      }
+      if (Agg)
+        return placeAggregate(Con, *Agg, *Other, AtomIdx);
+
+      if (Con.getOp() == ast::ConstraintOp::Eq) {
+        // Binding equality: record and continue without a filter.
+        auto TryBind = [&](const ast::Argument &VarSide,
+                           const ast::Argument &ExprSide) -> bool {
+          if (VarSide.getKind() != ast::Argument::Kind::Variable)
+            return false;
+          const auto &Name =
+              static_cast<const ast::Variable &>(VarSide).getName();
+          if (isBound(Name) || !allVarsBound(ExprSide))
+            return false;
+          EqBindings[Name] = &ExprSide;
+          return true;
+        };
+        if (TryBind(Con.getLhs(), Con.getRhs()) ||
+            TryBind(Con.getRhs(), Con.getLhs()))
+          return buildLevel(AtomIdx);
+      }
+
+      TypeKind Type = T.Info.typeOf(&Con.getLhs());
+      ram::CondPtr Cond = std::make_unique<ram::Constraint>(
+          resolveCmp(Con.getOp(), Type), translateExpr(Con.getLhs()),
+          translateExpr(Con.getRhs()));
+      ram::OpPtr Rest = buildLevel(AtomIdx);
+      if (!Rest)
+        return nullptr;
+      return std::make_unique<ram::Filter>(std::move(Cond), std::move(Rest));
+    }
+
+    /// Places `Other = Agg{...}`: emits a ram::Aggregate binding a fresh
+    /// tuple id and binds/filters the other side against the result.
+    ram::OpPtr placeAggregate(const ast::Constraint &Con,
+                              const ast::Aggregator &Agg,
+                              const ast::Argument &Other,
+                              std::size_t AtomIdx) {
+      if (Con.getOp() != ast::ConstraintOp::Eq) {
+        T.error("aggregates are only supported in equalities in '" +
+                C.toString() + "'");
+        return nullptr;
+      }
+      // The body must contain exactly one positive atom; remaining
+      // literals become the aggregate's inner condition.
+      const ast::Atom *InnerAtom = nullptr;
+      std::vector<const ast::Literal *> InnerRest;
+      for (const auto &Lit : Agg.getBody()) {
+        if (Lit->getKind() == ast::Literal::Kind::Atom && !InnerAtom)
+          InnerAtom = static_cast<const ast::Atom *>(Lit.get());
+        else
+          InnerRest.push_back(Lit.get());
+      }
+      if (!InnerAtom) {
+        T.error("aggregate body requires a positive atom in '" +
+                C.toString() + "'");
+        return nullptr;
+      }
+      const ram::Relation *Rel = T.RelOf.count(InnerAtom->getName())
+                                     ? T.RelOf.at(InnerAtom->getName())
+                                     : nullptr;
+      if (!Rel) {
+        T.error("undeclared relation '" + InnerAtom->getName() + "'");
+        return nullptr;
+      }
+
+      const std::uint32_t Tid = NextTupleId++;
+      std::vector<ram::ExprPtr> Pattern;
+      std::vector<ram::CondPtr> InnerConds;
+      std::vector<std::string> LocalVars;
+      for (std::size_t Col = 0; Col < InnerAtom->getArgs().size(); ++Col) {
+        const ast::Argument &Arg = *InnerAtom->getArgs()[Col];
+        if (Arg.getKind() == ast::Argument::Kind::UnnamedVariable) {
+          Pattern.push_back(std::make_unique<ram::Undef>());
+          continue;
+        }
+        if (Arg.getKind() == ast::Argument::Kind::Variable) {
+          const auto &Name =
+              static_cast<const ast::Variable &>(Arg).getName();
+          if (!isBound(Name)) {
+            // Inner-local witness variable.
+            VarBindings[Name] = {Tid, static_cast<std::uint32_t>(Col)};
+            LocalVars.push_back(Name);
+            Pattern.push_back(std::make_unique<ram::Undef>());
+            continue;
+          }
+        }
+        if (allVarsBound(Arg)) {
+          Pattern.push_back(translateExpr(Arg));
+          continue;
+        }
+        T.error("unbound expression in aggregate pattern in '" +
+                C.toString() + "'");
+        return nullptr;
+      }
+
+      for (const ast::Literal *Lit : InnerRest) {
+        if (Lit->getKind() == ast::Literal::Kind::Constraint) {
+          const auto &Inner = static_cast<const ast::Constraint &>(*Lit);
+          TypeKind Type = T.Info.typeOf(&Inner.getLhs());
+          InnerConds.push_back(std::make_unique<ram::Constraint>(
+              resolveCmp(Inner.getOp(), Type),
+              translateExpr(Inner.getLhs()),
+              translateExpr(Inner.getRhs())));
+        } else if (Lit->getKind() == ast::Literal::Kind::Negation) {
+          const auto &A =
+              static_cast<const ast::Negation &>(*Lit).getAtom();
+          const ram::Relation *NegRel = T.RelOf.count(A.getName())
+                                            ? T.RelOf.at(A.getName())
+                                            : nullptr;
+          if (!NegRel) {
+            T.error("undeclared relation '" + A.getName() + "'");
+            return nullptr;
+          }
+          std::vector<ram::ExprPtr> NegPattern;
+          for (const auto &Arg : A.getArgs())
+            NegPattern.push_back(
+                Arg->getKind() == ast::Argument::Kind::UnnamedVariable
+                    ? std::make_unique<ram::Undef>()
+                    : translateExpr(*Arg));
+          InnerConds.push_back(std::make_unique<ram::Negation>(
+              std::make_unique<ram::ExistenceCheck>(
+                  NegRel, std::move(NegPattern))));
+        } else {
+          T.error("aggregate body supports one positive atom plus "
+                  "constraints in '" +
+                  C.toString() + "'");
+          return nullptr;
+        }
+      }
+      ram::CondPtr InnerCond;
+      for (auto &Part : InnerConds)
+        InnerCond = InnerCond
+                        ? std::make_unique<ram::Conjunction>(
+                              std::move(InnerCond), std::move(Part))
+                        : std::move(Part);
+
+      ram::ExprPtr TargetExpr;
+      TypeKind ResultType = T.Info.typeOf(&Con.getLhs());
+      if (Agg.getOp() != ast::AggregateOp::Count) {
+        TargetExpr = translateExpr(*Agg.getTarget());
+        ResultType = T.Info.typeOf(Agg.getTarget());
+      }
+
+      // The locals die with the fold; tuple id Tid then holds the result.
+      for (const auto &Name : LocalVars)
+        VarBindings.erase(Name);
+
+      ram::OpPtr Rest;
+      if (Other.getKind() == ast::Argument::Kind::Variable &&
+          !isBound(static_cast<const ast::Variable &>(Other).getName())) {
+        VarBindings[static_cast<const ast::Variable &>(Other).getName()] = {
+            Tid, 0};
+        Rest = buildLevel(AtomIdx);
+      } else {
+        ram::CondPtr Match = std::make_unique<ram::Constraint>(
+            ram::CmpOp::Eq, translateExpr(Other),
+            std::make_unique<ram::TupleElement>(Tid, 0));
+        ram::OpPtr Inner = buildLevel(AtomIdx);
+        if (!Inner)
+          return nullptr;
+        Rest = std::make_unique<ram::Filter>(std::move(Match),
+                                             std::move(Inner));
+      }
+      if (!Rest)
+        return nullptr;
+      return std::make_unique<ram::Aggregate>(
+          resolveAggFunc(Agg.getOp(), ResultType), Rel, Tid,
+          std::move(Pattern), std::move(TargetExpr), std::move(InnerCond),
+          std::move(Rest));
+    }
+
+    //===------------------------------------------------------------------===
+    // Level builder
+    //===------------------------------------------------------------------===
+
+    ram::OpPtr buildLevel(std::size_t AtomIdx) {
+      // Place any literal that became ready.
+      for (std::size_t I = 0; I < Pending.size(); ++I) {
+        if (!isReady(*Pending[I]))
+          continue;
+        const ast::Literal *Lit = Pending[I];
+        Pending.erase(Pending.begin() + static_cast<std::ptrdiff_t>(I));
+        return placeLiteral(*Lit, AtomIdx);
+      }
+
+      if (AtomIdx < Atoms.size())
+        return buildAtom(AtomIdx);
+
+      if (!Pending.empty()) {
+        T.error("could not schedule all literals of '" + C.toString() +
+                "' (ungrounded or unsupported construct)");
+        return nullptr;
+      }
+      return buildHead();
+    }
+
+    ram::OpPtr buildAtom(std::size_t AtomIdx) {
+      const ast::Atom *A = Atoms[AtomIdx];
+      const ram::Relation *Rel = atomRelation(AtomIdx);
+      if (!Rel) {
+        T.error("undeclared relation '" + A->getName() + "'");
+        return nullptr;
+      }
+      const std::uint32_t Tid = NextTupleId++;
+      std::vector<ram::ExprPtr> Pattern(A->getArgs().size());
+      std::vector<ram::CondPtr> SelfConds;
+
+      for (std::size_t Col = 0; Col < A->getArgs().size(); ++Col) {
+        const ast::Argument &Arg = *A->getArgs()[Col];
+        switch (Arg.getKind()) {
+        case ast::Argument::Kind::UnnamedVariable:
+          Pattern[Col] = std::make_unique<ram::Undef>();
+          break;
+        case ast::Argument::Kind::Variable: {
+          const auto &Name =
+              static_cast<const ast::Variable &>(Arg).getName();
+          auto It = VarBindings.find(Name);
+          if (It != VarBindings.end()) {
+            if (It->second.first == Tid) {
+              // Repeated variable within this atom: filter inside.
+              Pattern[Col] = std::make_unique<ram::Undef>();
+              SelfConds.push_back(std::make_unique<ram::Constraint>(
+                  ram::CmpOp::Eq,
+                  std::make_unique<ram::TupleElement>(
+                      Tid, static_cast<std::uint32_t>(Col)),
+                  std::make_unique<ram::TupleElement>(It->second.first,
+                                                      It->second.second)));
+            } else {
+              Pattern[Col] = std::make_unique<ram::TupleElement>(
+                  It->second.first, It->second.second);
+            }
+            break;
+          }
+          if (EqBindings.count(Name)) {
+            Pattern[Col] = translateExpr(Arg);
+            break;
+          }
+          // First occurrence: bind to this scan.
+          VarBindings[Name] = {Tid, static_cast<std::uint32_t>(Col)};
+          Pattern[Col] = std::make_unique<ram::Undef>();
+          break;
+        }
+        default:
+          if (allVarsBound(Arg)) {
+            Pattern[Col] = translateExpr(Arg);
+          } else {
+            // Value determined only later: scan unbound and post-filter.
+            Pattern[Col] = std::make_unique<ram::Undef>();
+            DeferredColumnChecks.push_back(
+                {Tid, static_cast<std::uint32_t>(Col), &Arg});
+          }
+          break;
+        }
+      }
+
+      ram::OpPtr Nested = buildLevel(AtomIdx + 1);
+      if (!Nested)
+        return nullptr;
+
+      // Deferred column checks whose expressions became bound at deeper
+      // levels are placed right here if they belong to this tuple... they
+      // were placed by deferred processing in buildHead; see below.
+      for (auto &Cond : SelfConds)
+        Nested = std::make_unique<ram::Filter>(std::move(Cond),
+                                               std::move(Nested));
+
+      const bool AllWildcard =
+          ram::searchSignature(Pattern) == 0;
+      if (AllWildcard)
+        return std::make_unique<ram::Scan>(Rel, Tid, std::move(Nested));
+      return std::make_unique<ram::IndexScan>(Rel, Tid, std::move(Pattern),
+                                              std::move(Nested));
+    }
+
+    ram::OpPtr buildHead() {
+      // Deferred atom-column checks (functor arguments whose variables were
+      // bound by later atoms) become plain filters now.
+      std::vector<ram::CondPtr> Checks;
+      for (const auto &Deferred : DeferredColumnChecks) {
+        if (!allVarsBound(*Deferred.Expr)) {
+          T.error("ungrounded expression in atom argument in '" +
+                  C.toString() + "'");
+          return nullptr;
+        }
+        Checks.push_back(std::make_unique<ram::Constraint>(
+            ram::CmpOp::Eq,
+            std::make_unique<ram::TupleElement>(Deferred.TupleId,
+                                                Deferred.Column),
+            translateExpr(*Deferred.Expr)));
+      }
+
+      std::vector<ram::ExprPtr> Values;
+      for (const auto &Arg : C.getHead().getArgs())
+        Values.push_back(translateExpr(*Arg));
+
+      ram::OpPtr Op;
+      if (GuardRel) {
+        std::vector<ram::ExprPtr> GuardPattern;
+        for (const auto &Arg : C.getHead().getArgs())
+          GuardPattern.push_back(translateExpr(*Arg));
+        Op = std::make_unique<ram::Filter>(
+            std::make_unique<ram::Negation>(
+                std::make_unique<ram::ExistenceCheck>(
+                    GuardRel, std::move(GuardPattern))),
+            std::make_unique<ram::Project>(Target, std::move(Values)));
+      } else {
+        Op = std::make_unique<ram::Project>(Target, std::move(Values));
+      }
+      for (auto &Cond : Checks)
+        Op = std::make_unique<ram::Filter>(std::move(Cond), std::move(Op));
+      return Op;
+    }
+
+    Translator &T;
+    const ast::Clause &C;
+    ram::Relation *Target;
+    const std::unordered_set<std::string> &Scc;
+    int DeltaPos;
+    ram::Relation *GuardRel;
+    const std::unordered_map<std::string, ram::Relation *> &DeltaRel;
+
+    std::vector<const ast::Atom *> Atoms;
+    std::vector<const ast::Literal *> Pending;
+    std::unordered_map<std::string, std::pair<std::uint32_t, std::uint32_t>>
+        VarBindings;
+    std::unordered_map<std::string, const ast::Argument *> EqBindings;
+    std::unordered_set<std::string> OuterVars;
+    struct DeferredCheck {
+      std::uint32_t TupleId;
+      std::uint32_t Column;
+      const ast::Argument *Expr;
+    };
+    std::vector<DeferredCheck> DeferredColumnChecks;
+    std::uint32_t NextTupleId = 0;
+  };
+
+  const ast::Program &AstProg;
+  const ast::SemanticInfo &Info;
+  SymbolTable &Symbols;
+  const TranslationOptions &Options;
+  TranslationResult &Result;
+  ram::Program *Prog = nullptr;
+  std::unordered_map<std::string, ram::Relation *> RelOf;
+};
+
+} // namespace
+
+TranslationResult
+stird::translate::translateToRam(const ast::Program &AstProg,
+                                 const ast::SemanticInfo &Info,
+                                 SymbolTable &Symbols,
+                                 const TranslationOptions &Options) {
+  TranslationResult Result;
+  if (!Info.succeeded()) {
+    Result.Errors = Info.Errors;
+    return Result;
+  }
+  Translator T(AstProg, Info, Symbols, Options, Result);
+  T.run();
+  return Result;
+}

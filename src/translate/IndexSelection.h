@@ -1,0 +1,74 @@
+//===- translate/IndexSelection.h - Automatic index selection ---*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automatic index selection for RAM programs, after Subotic et al.,
+/// "Automatic Index Selection for Large-Scale Datalog Computation" (VLDB
+/// 2018) — reference [48] of the paper.
+///
+/// Every primitive search on a relation is a set of bound columns (a
+/// *search signature*). A lexicographic order serves a signature iff the
+/// signature's columns form a prefix of the order, so a set of signatures
+/// that forms a chain under strict set inclusion can share one order. The
+/// minimum number of orders is therefore a minimum chain partition of the
+/// signature poset, computed via Dilworth's theorem as a maximum bipartite
+/// matching on the strict-containment DAG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_TRANSLATE_INDEXSELECTION_H
+#define STIRD_TRANSLATE_INDEXSELECTION_H
+
+#include "ram/Ram.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace stird::translate {
+
+/// Where a primitive search lands after index selection.
+struct SearchPlacement {
+  std::size_t OrderIndex = 0; ///< which of the relation's orders to use
+  std::size_t PrefixLength = 0; ///< how many leading index columns are bound
+};
+
+/// Index assignment for one relation.
+struct RelationIndexInfo {
+  /// Full column permutations, one per physical index; Orders[0] exists for
+  /// every relation and serves full scans.
+  std::vector<std::vector<std::uint32_t>> Orders;
+  /// Search signature (bound-column bitmask) -> placement.
+  std::unordered_map<std::uint32_t, SearchPlacement> Placement;
+};
+
+/// Result of index selection over a whole program.
+struct IndexSelectionResult {
+  std::unordered_map<const ram::Relation *, RelationIndexInfo> Info;
+
+  const RelationIndexInfo &of(const ram::Relation &Rel) const {
+    auto It = Info.find(&Rel);
+    assert(It != Info.end() && "relation was not analyzed");
+    return It->second;
+  }
+};
+
+/// Computes a minimum chain partition of \p Signatures (bitmasks over
+/// \p Arity columns) and derives one order per chain. Exposed for direct
+/// testing; selectIndexes() is the program-level driver.
+RelationIndexInfo
+computeIndexes(const std::vector<std::uint32_t> &Signatures,
+               std::size_t Arity);
+
+/// Analyzes every primitive search in \p Prog, assigns orders to all
+/// relations (writing them into ram::Relation::setOrders) and returns the
+/// per-search placements. Relations connected by Swap statements receive
+/// identical index sets so contents can be exchanged in O(1).
+IndexSelectionResult selectIndexes(ram::Program &Prog);
+
+} // namespace stird::translate
+
+#endif // STIRD_TRANSLATE_INDEXSELECTION_H

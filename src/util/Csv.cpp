@@ -1,0 +1,119 @@
+//===- util/Csv.cpp - Tab-separated fact file IO ---------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/Csv.h"
+
+#include "util/MiscUtil.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+using namespace stird;
+
+RamDomain stird::parseColumn(const std::string &Raw, ColumnTypeKind Kind,
+                             SymbolTable &Symbols) {
+  switch (Kind) {
+  case ColumnTypeKind::Number: {
+    RamDomain Value = 0;
+    auto [Ptr, Ec] =
+        std::from_chars(Raw.data(), Raw.data() + Raw.size(), Value);
+    if (Ec != std::errc() || Ptr != Raw.data() + Raw.size())
+      fatal("malformed number column: '" + Raw + "'");
+    return Value;
+  }
+  case ColumnTypeKind::Unsigned: {
+    RamUnsigned Value = 0;
+    auto [Ptr, Ec] =
+        std::from_chars(Raw.data(), Raw.data() + Raw.size(), Value);
+    if (Ec != std::errc() || Ptr != Raw.data() + Raw.size())
+      fatal("malformed unsigned column: '" + Raw + "'");
+    return ramBitCast<RamDomain>(Value);
+  }
+  case ColumnTypeKind::Float: {
+    try {
+      return ramBitCast<RamDomain>(static_cast<RamFloat>(std::stod(Raw)));
+    } catch (...) {
+      fatal("malformed float column: '" + Raw + "'");
+    }
+  }
+  case ColumnTypeKind::Symbol:
+    return Symbols.intern(Raw);
+  }
+  unreachable("unknown column type");
+}
+
+std::string stird::printColumn(RamDomain Value, ColumnTypeKind Kind,
+                               const SymbolTable &Symbols) {
+  switch (Kind) {
+  case ColumnTypeKind::Number:
+    return std::to_string(Value);
+  case ColumnTypeKind::Unsigned:
+    return std::to_string(ramBitCast<RamUnsigned>(Value));
+  case ColumnTypeKind::Float: {
+    std::ostringstream Out;
+    Out << ramBitCast<RamFloat>(Value);
+    return Out.str();
+  }
+  case ColumnTypeKind::Symbol:
+    return Symbols.resolve(Value);
+  }
+  unreachable("unknown column type");
+}
+
+std::vector<DynTuple>
+stird::readFactStream(std::istream &In,
+                      const std::vector<ColumnTypeKind> &Types,
+                      SymbolTable &Symbols) {
+  std::vector<DynTuple> Tuples;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    DynTuple Tuple;
+    Tuple.reserve(Types.size());
+    std::size_t Begin = 0;
+    for (std::size_t Col = 0; Col < Types.size(); ++Col) {
+      std::size_t End = (Col + 1 == Types.size())
+                            ? Line.size()
+                            : Line.find('\t', Begin);
+      if (End == std::string::npos)
+        fatal("fact line has too few columns: '" + Line + "'");
+      Tuple.push_back(
+          parseColumn(Line.substr(Begin, End - Begin), Types[Col], Symbols));
+      Begin = End + 1;
+    }
+    Tuples.push_back(std::move(Tuple));
+  }
+  return Tuples;
+}
+
+std::vector<DynTuple>
+stird::readFactFile(const std::string &Path,
+                    const std::vector<ColumnTypeKind> &Types,
+                    SymbolTable &Symbols) {
+  std::ifstream In(Path);
+  if (!In)
+    fatal("cannot open fact file '" + Path + "'");
+  return readFactStream(In, Types, Symbols);
+}
+
+void stird::writeFactFile(const std::string &Path,
+                          const std::vector<ColumnTypeKind> &Types,
+                          const SymbolTable &Symbols,
+                          const std::vector<DynTuple> &Tuples) {
+  std::ofstream Out(Path);
+  if (!Out)
+    fatal("cannot open output file '" + Path + "'");
+  for (const DynTuple &Tuple : Tuples) {
+    for (std::size_t Col = 0; Col < Types.size(); ++Col) {
+      if (Col != 0)
+        Out << '\t';
+      Out << printColumn(Tuple[Col], Types[Col], Symbols);
+    }
+    Out << '\n';
+  }
+}

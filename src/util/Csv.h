@@ -1,0 +1,59 @@
+//===- util/Csv.h - Tab-separated fact file IO ------------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader/writer for Soufflé-style fact files: one tuple per line, columns
+/// separated by tabs, symbols stored verbatim, numbers in decimal. Used by
+/// the .input/.output directives and by the synthesized binaries, so both
+/// execution paths consume identical data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_UTIL_CSV_H
+#define STIRD_UTIL_CSV_H
+
+#include "util/RamTypes.h"
+#include "util/SymbolTable.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stird {
+
+/// How a single fact-file column is converted to/from a RamDomain cell.
+enum class ColumnTypeKind { Number, Unsigned, Float, Symbol };
+
+/// Parses one raw column string into a RamDomain according to \p Kind,
+/// interning through \p Symbols when the column holds a symbol.
+RamDomain parseColumn(const std::string &Raw, ColumnTypeKind Kind,
+                      SymbolTable &Symbols);
+
+/// Renders one RamDomain cell back into text according to \p Kind.
+std::string printColumn(RamDomain Value, ColumnTypeKind Kind,
+                        const SymbolTable &Symbols);
+
+/// Reads a whole tab-separated fact file. Each line must have exactly
+/// Types.size() columns. Returns the tuples in file order.
+std::vector<DynTuple> readFactFile(const std::string &Path,
+                                   const std::vector<ColumnTypeKind> &Types,
+                                   SymbolTable &Symbols);
+
+/// Parses fact tuples from an already-open stream (used by tests and by
+/// in-memory inputs).
+std::vector<DynTuple> readFactStream(std::istream &In,
+                                     const std::vector<ColumnTypeKind> &Types,
+                                     SymbolTable &Symbols);
+
+/// Writes tuples as a tab-separated fact file.
+void writeFactFile(const std::string &Path,
+                   const std::vector<ColumnTypeKind> &Types,
+                   const SymbolTable &Symbols,
+                   const std::vector<DynTuple> &Tuples);
+
+} // namespace stird
+
+#endif // STIRD_UTIL_CSV_H

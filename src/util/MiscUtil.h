@@ -1,0 +1,37 @@
+//===- util/MiscUtil.h - Small shared helpers -------------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and tiny helpers shared across subsystems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_UTIL_MISCUTIL_H
+#define STIRD_UTIL_MISCUTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace stird {
+
+/// Reports an unrecoverable usage or environment error and aborts. Library
+/// invariant violations use assert(); this is for errors triggered by user
+/// input that the current call path cannot surface as a diagnostic.
+[[noreturn]] inline void fatal(const std::string &Message) {
+  std::fprintf(stderr, "stird fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+/// Marks a point in control flow that is a bug to reach.
+[[noreturn]] inline void unreachable(const char *Message) {
+  std::fprintf(stderr, "stird internal error: %s\n", Message);
+  std::abort();
+}
+
+} // namespace stird
+
+#endif // STIRD_UTIL_MISCUTIL_H

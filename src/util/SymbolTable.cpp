@@ -1,0 +1,24 @@
+//===- util/SymbolTable.cpp - String interning ----------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/SymbolTable.h"
+
+using namespace stird;
+
+RamDomain SymbolTable::intern(std::string_view Symbol) {
+  auto It = Ordinals.find(std::string(Symbol));
+  if (It != Ordinals.end())
+    return It->second;
+  RamDomain Ordinal = static_cast<RamDomain>(Symbols.size());
+  Symbols.emplace_back(Symbol);
+  Ordinals.emplace(Symbols.back(), Ordinal);
+  return Ordinal;
+}
+
+RamDomain SymbolTable::lookup(std::string_view Symbol) const {
+  auto It = Ordinals.find(std::string(Symbol));
+  return It == Ordinals.end() ? -1 : It->second;
+}

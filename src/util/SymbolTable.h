@@ -1,0 +1,61 @@
+//===- util/SymbolTable.h - String interning --------------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A symbol table interning strings to dense RamDomain ordinals so that
+/// symbol attributes can live inside integer-only de-specialized indexes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_UTIL_SYMBOLTABLE_H
+#define STIRD_UTIL_SYMBOLTABLE_H
+
+#include "util/RamTypes.h"
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace stird {
+
+/// Bidirectional map between strings and their dense ordinals.
+///
+/// Ordinal order is insertion order, not lexicographic order; this is the
+/// reason the paper notes that ordered range queries on symbol columns are
+/// no longer meaningful after de-specialization (Section 3, step 2).
+class SymbolTable {
+public:
+  /// Interns \p Symbol, returning its ordinal. Idempotent.
+  RamDomain intern(std::string_view Symbol);
+
+  /// Returns the ordinal of \p Symbol or -1 if it was never interned.
+  RamDomain lookup(std::string_view Symbol) const;
+
+  /// Returns the string for ordinal \p Index. \p Index must be valid.
+  const std::string &resolve(RamDomain Index) const {
+    assert(Index >= 0 && static_cast<std::size_t>(Index) < Symbols.size() &&
+           "symbol ordinal out of range");
+    return Symbols[static_cast<std::size_t>(Index)];
+  }
+
+  /// Returns true if \p Index denotes an interned symbol.
+  bool contains(RamDomain Index) const {
+    return Index >= 0 && static_cast<std::size_t>(Index) < Symbols.size();
+  }
+
+  /// Number of distinct interned symbols.
+  std::size_t size() const { return Symbols.size(); }
+
+private:
+  std::vector<std::string> Symbols;
+  std::unordered_map<std::string, RamDomain> Ordinals;
+};
+
+} // namespace stird
+
+#endif // STIRD_UTIL_SYMBOLTABLE_H

@@ -1,0 +1,48 @@
+//===- util/Timer.h - Wall-clock timing helpers -----------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simple monotonic wall-clock timer used by the profiler and the benchmark
+/// harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_UTIL_TIMER_H
+#define STIRD_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace stird {
+
+/// Measures elapsed wall-clock time from construction or the last restart().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Resets the reference point to now.
+  void restart() { Start = Clock::now(); }
+
+  /// Seconds elapsed since the reference point.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Microseconds elapsed since the reference point.
+  std::uint64_t microseconds() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              Start)
+            .count());
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace stird
+
+#endif // STIRD_UTIL_TIMER_H

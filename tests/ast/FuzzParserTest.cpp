@@ -1,0 +1,123 @@
+//===- tests/ast/FuzzParserTest.cpp - Parser robustness sweeps -----------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight fuzzing of the frontend: random token soups, truncations of
+/// valid programs and byte mutations must produce diagnostics, never
+/// crashes or accepted-garbage programs that later break translation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Parser.h"
+
+#include "ast/SemanticAnalysis.h"
+#include "translate/AstToRam.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace stird;
+using namespace stird::ast;
+
+namespace {
+
+/// The full pipeline must terminate without crashing on any input; if all
+/// stages succeed the result must be a usable program.
+void pipelineSurvives(const std::string &Source) {
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.succeeded())
+    return;
+  SemanticInfo Info = analyze(*Parsed.Prog);
+  if (!Info.succeeded())
+    return;
+  SymbolTable Symbols;
+  auto Translated = translate::translateToRam(*Parsed.Prog, Info, Symbols);
+  if (Translated.succeeded()) {
+    EXPECT_NE(Translated.Prog, nullptr);
+  }
+}
+
+class RandomTokenSoupTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTokenSoupTest, NeverCrashes) {
+  static const std::vector<std::string> Tokens = {
+      ".decl", ".input",  ".output", "(",      ")",     ",",    ":",
+      ":-",    ".",       "!",       "=",      "!=",    "<",    "<=",
+      "x",     "y",       "rel",     "number", "symbol", "42",  "3.5",
+      "7u",    "\"str\"", "_",       "$",      "+",      "-",   "*",
+      "count", "sum",     "{",       "}",      "band",   "eqrel"};
+  std::mt19937 Rng(static_cast<unsigned>(GetParam()));
+  std::uniform_int_distribution<std::size_t> Pick(0, Tokens.size() - 1);
+  std::uniform_int_distribution<int> Len(1, 120);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    std::string Source;
+    const int N = Len(Rng);
+    for (int I = 0; I < N; ++I) {
+      Source += Tokens[Pick(Rng)];
+      Source += (Rng() % 4 == 0) ? "\n" : " ";
+    }
+    pipelineSurvives(Source);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomTokenSoupTest,
+                         ::testing::Range(0, 8));
+
+TEST(FuzzParserTest, TruncationsOfValidProgramNeverCrash) {
+  const std::string Valid =
+      ".decl edge(a:number, b:number)\n"
+      ".decl path(a:number, b:number)\n"
+      ".input edge\n.output path\n"
+      "path(x, y) :- edge(x, y).\n"
+      "path(x, z) :- path(x, y), edge(y, z), x != z, x + 1 > 0.\n"
+      ".decl c(n:number)\nc(n) :- n = count : { edge(_, _) }.\n";
+  for (std::size_t Len = 0; Len <= Valid.size(); ++Len)
+    pipelineSurvives(Valid.substr(0, Len));
+}
+
+TEST(FuzzParserTest, ByteMutationsNeverCrash) {
+  const std::string Valid =
+      ".decl e(a:number, b:symbol)\n"
+      "e(1, \"x\").\n"
+      ".decl r(a:number)\n"
+      "r(x + 2) :- e(x, s), strlen(s) > 0, !e(x, \"no\").\n";
+  std::mt19937 Rng(99);
+  std::uniform_int_distribution<std::size_t> Pos(0, Valid.size() - 1);
+  std::uniform_int_distribution<int> Byte(32, 126);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::string Mutated = Valid;
+    Mutated[Pos(Rng)] = static_cast<char>(Byte(Rng));
+    pipelineSurvives(Mutated);
+  }
+}
+
+TEST(FuzzParserTest, PathologicalNestingParses) {
+  // Deep parentheses must not blow the stack unreasonably.
+  std::string Source = ".decl a(x:number)\n.decl b(x:number)\nb(";
+  for (int I = 0; I < 200; ++I)
+    Source += "(";
+  Source += "x";
+  for (int I = 0; I < 200; ++I)
+    Source += ")";
+  Source += ") :- a(x).";
+  pipelineSurvives(Source);
+}
+
+TEST(FuzzParserTest, LongClauseBodies) {
+  std::string Source = ".decl e(a:number, b:number)\n.decl r(x:number)\n"
+                       "r(x0) :- e(x0, x1)";
+  for (int I = 1; I < 120; ++I)
+    Source += ", e(x" + std::to_string(I) + ", x" + std::to_string(I + 1) +
+              ")";
+  Source += ".";
+  ParseResult Parsed = parseProgram(Source);
+  ASSERT_TRUE(Parsed.succeeded());
+  EXPECT_EQ(Parsed.Prog->Clauses[0]->getBody().size(), 120u);
+  pipelineSurvives(Source);
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tests/ast/LexerTest.cpp - Tokenizer tests -------------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace stird;
+using namespace stird::ast;
+
+namespace {
+
+std::vector<Token> lexOk(const std::string &Source) {
+  std::vector<std::string> Errors;
+  auto Tokens = lex(Source, Errors);
+  EXPECT_TRUE(Errors.empty()) << (Errors.empty() ? "" : Errors[0]);
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Result;
+  for (const auto &Tok : Tokens)
+    Result.push_back(Tok.Kind);
+  return Result;
+}
+
+TEST(LexerTest, SimpleAtom) {
+  auto Tokens = lexOk("edge(x, y).");
+  EXPECT_EQ(kinds(Tokens),
+            (std::vector<TokenKind>{TokenKind::Ident, TokenKind::LParen,
+                                    TokenKind::Ident, TokenKind::Comma,
+                                    TokenKind::Ident, TokenKind::RParen,
+                                    TokenKind::Dot, TokenKind::Eof}));
+  EXPECT_EQ(Tokens[0].Text, "edge");
+}
+
+TEST(LexerTest, DirectiveVersusDot) {
+  auto Tokens = lexOk(".decl a(x:number)\na(1).");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Directive);
+  EXPECT_EQ(Tokens[0].Text, "decl");
+  // The clause terminator is a plain Dot.
+  bool SawDot = false;
+  for (const auto &Tok : Tokens)
+    SawDot |= Tok.Kind == TokenKind::Dot;
+  EXPECT_TRUE(SawDot);
+}
+
+TEST(LexerTest, NumberLiterals) {
+  auto Tokens = lexOk("42 0x1F 7u 3.5");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Number);
+  EXPECT_EQ(Tokens[0].Number, 42);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Number);
+  EXPECT_EQ(Tokens[1].Number, 31);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Unsigned);
+  EXPECT_EQ(Tokens[2].UnsignedValue, 7u);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::Float);
+  EXPECT_FLOAT_EQ(Tokens[3].FloatValue, 3.5f);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto Tokens = lexOk(R"("a\tb\nc\"d\\e")");
+  ASSERT_EQ(Tokens[0].Kind, TokenKind::String);
+  EXPECT_EQ(Tokens[0].Text, "a\tb\nc\"d\\e");
+}
+
+TEST(LexerTest, Operators) {
+  auto Tokens = lexOk(":- != <= >= < > = ! + - * / % ^ $ _ :");
+  EXPECT_EQ(kinds(Tokens),
+            (std::vector<TokenKind>{
+                TokenKind::If, TokenKind::Ne, TokenKind::Le, TokenKind::Ge,
+                TokenKind::Lt, TokenKind::Gt, TokenKind::Eq,
+                TokenKind::Bang, TokenKind::Plus, TokenKind::Minus,
+                TokenKind::Star, TokenKind::Slash, TokenKind::Percent,
+                TokenKind::Caret, TokenKind::Dollar,
+                TokenKind::Underscore, TokenKind::Colon, TokenKind::Eof}));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Tokens = lexOk("a // line comment\n/* block\ncomment */ b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, UnderscoreInsideIdentifier) {
+  auto Tokens = lexOk("foo_bar _x _");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Ident);
+  EXPECT_EQ(Tokens[0].Text, "foo_bar");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Ident);
+  EXPECT_EQ(Tokens[1].Text, "_x");
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Underscore);
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto Tokens = lexOk("a\nb\n  c");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2);
+  EXPECT_EQ(Tokens[2].Loc.Line, 3);
+  EXPECT_EQ(Tokens[2].Loc.Col, 3);
+}
+
+TEST(LexerTest, ErrorsReported) {
+  std::vector<std::string> Errors;
+  lex("a @ b", Errors);
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].find("unexpected character"), std::string::npos);
+
+  Errors.clear();
+  lex("\"unterminated", Errors);
+  EXPECT_FALSE(Errors.empty());
+
+  Errors.clear();
+  lex("/* never closed", Errors);
+  EXPECT_FALSE(Errors.empty());
+}
+
+} // namespace

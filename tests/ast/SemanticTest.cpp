@@ -1,0 +1,234 @@
+//===- tests/ast/SemanticTest.cpp - Semantic analysis tests --------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/SemanticAnalysis.h"
+
+#include "ast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace stird;
+using namespace stird::ast;
+
+namespace {
+
+SemanticInfo analyzeSource(const std::string &Source,
+                           std::unique_ptr<Program> &ProgOut) {
+  ParseResult Result = parseProgram(Source);
+  EXPECT_TRUE(Result.succeeded())
+      << (Result.Errors.empty() ? "" : Result.Errors[0]);
+  ProgOut = std::move(Result.Prog);
+  return analyze(*ProgOut);
+}
+
+SemanticInfo analyzeSource(const std::string &Source) {
+  std::unique_ptr<Program> Prog;
+  return analyzeSource(Source, Prog);
+}
+
+bool hasError(const SemanticInfo &Info, const std::string &Needle) {
+  for (const auto &Message : Info.Errors)
+    if (Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(SemanticTest, AcceptsWellTypedProgram) {
+  SemanticInfo Info = analyzeSource(
+      ".decl e(a:number, b:number)\n.decl p(a:number, b:number)\n"
+      "p(x, y) :- e(x, y).\np(x, z) :- p(x, y), e(y, z).");
+  EXPECT_TRUE(Info.succeeded())
+      << (Info.Errors.empty() ? "" : Info.Errors[0]);
+}
+
+TEST(SemanticTest, UndeclaredRelation) {
+  SemanticInfo Info = analyzeSource(".decl a(x:number)\na(x) :- nope(x).");
+  EXPECT_TRUE(hasError(Info, "undeclared relation 'nope'"));
+}
+
+TEST(SemanticTest, ArityMismatch) {
+  SemanticInfo Info =
+      analyzeSource(".decl a(x:number)\n.decl b(x:number, y:number)\n"
+                    "a(x) :- b(x).");
+  EXPECT_TRUE(hasError(Info, "arity mismatch"));
+}
+
+TEST(SemanticTest, TypeMismatchAcrossVariableUses) {
+  SemanticInfo Info = analyzeSource(
+      ".decl n(x:number)\n.decl s(x:symbol)\n.decl r(x:number)\n"
+      "r(x) :- n(x), s(x).");
+  EXPECT_TRUE(hasError(Info, "used as both"));
+}
+
+TEST(SemanticTest, LiteralTypeChecking) {
+  SemanticInfo Info =
+      analyzeSource(".decl s(x:symbol)\ns(42) :- s(_).");
+  EXPECT_TRUE(hasError(Info, "number literal"));
+
+  SemanticInfo Info2 =
+      analyzeSource(".decl n(x:number)\nn(\"text\") :- n(_).");
+  EXPECT_TRUE(hasError(Info2, "string literal"));
+
+  SemanticInfo Info3 =
+      analyzeSource(".decl f(x:float)\n.decl n(x:number)\n"
+                    "n(x) :- f(x).");
+  EXPECT_FALSE(Info3.succeeded());
+}
+
+TEST(SemanticTest, FactsMustBeConstant) {
+  SemanticInfo Info = analyzeSource(".decl a(x:number)\na(x).");
+  EXPECT_TRUE(hasError(Info, "constant"));
+}
+
+TEST(SemanticTest, UngroundedHeadVariable) {
+  SemanticInfo Info =
+      analyzeSource(".decl a(x:number)\n.decl b(x:number)\n"
+                    "a(y) :- b(x).");
+  EXPECT_TRUE(hasError(Info, "ungrounded variable 'y'"));
+}
+
+TEST(SemanticTest, UngroundedNegationVariable) {
+  SemanticInfo Info =
+      analyzeSource(".decl a(x:number)\n.decl b(x:number)\n"
+                    ".decl c(x:number)\n"
+                    "a(x) :- b(x), !c(y).");
+  EXPECT_TRUE(hasError(Info, "ungrounded variable 'y'"));
+}
+
+TEST(SemanticTest, EqualityGroundsVariables) {
+  SemanticInfo Info =
+      analyzeSource(".decl a(x:number)\n.decl b(x:number)\n"
+                    "a(y) :- b(x), y = x + 1.");
+  EXPECT_TRUE(Info.succeeded())
+      << (Info.Errors.empty() ? "" : Info.Errors[0]);
+}
+
+TEST(SemanticTest, ChainedEqualitiesGroundTransitively) {
+  SemanticInfo Info =
+      analyzeSource(".decl a(x:number)\n.decl b(x:number)\n"
+                    "a(z) :- b(x), z = y * 2, y = x + 1.");
+  EXPECT_TRUE(Info.succeeded())
+      << (Info.Errors.empty() ? "" : Info.Errors[0]);
+}
+
+TEST(SemanticTest, CyclicEqualityIsUngrounded) {
+  SemanticInfo Info =
+      analyzeSource(".decl a(x:number)\n.decl b(x:number)\n"
+                    "a(y) :- b(_), y = z, z = y.");
+  EXPECT_TRUE(hasError(Info, "ungrounded"));
+}
+
+TEST(SemanticTest, StratificationOrdersDependencies) {
+  std::unique_ptr<Program> Prog;
+  SemanticInfo Info = analyzeSource(
+      ".decl base(x:number)\n.decl mid(x:number)\n.decl top(x:number)\n"
+      "mid(x) :- base(x).\ntop(x) :- mid(x).",
+      Prog);
+  ASSERT_TRUE(Info.succeeded());
+  EXPECT_LT(Info.StratumOf.at("base"), Info.StratumOf.at("mid"));
+  EXPECT_LT(Info.StratumOf.at("mid"), Info.StratumOf.at("top"));
+}
+
+TEST(SemanticTest, MutualRecursionSharesStratum) {
+  SemanticInfo Info = analyzeSource(
+      ".decl a(x:number)\n.decl b(x:number)\n.decl e(x:number, y:number)\n"
+      "a(y) :- b(x), e(x, y).\nb(y) :- a(x), e(x, y).");
+  ASSERT_TRUE(Info.succeeded());
+  EXPECT_EQ(Info.StratumOf.at("a"), Info.StratumOf.at("b"));
+  EXPECT_TRUE(Info.Strata[Info.StratumOf.at("a")].Recursive);
+}
+
+TEST(SemanticTest, SelfRecursionMarksRecursive) {
+  SemanticInfo Info = analyzeSource(
+      ".decl e(x:number, y:number)\n.decl p(x:number, y:number)\n"
+      "p(x, y) :- e(x, y).\np(x, z) :- p(x, y), e(y, z).");
+  ASSERT_TRUE(Info.succeeded());
+  EXPECT_TRUE(Info.Strata[Info.StratumOf.at("p")].Recursive);
+  EXPECT_FALSE(Info.Strata[Info.StratumOf.at("e")].Recursive);
+}
+
+TEST(SemanticTest, NegativeCycleRejected) {
+  SemanticInfo Info =
+      analyzeSource(".decl a(x:number)\n.decl b(x:number)\n"
+                    "a(x) :- b(x), !a(x).");
+  EXPECT_TRUE(hasError(Info, "not stratifiable"));
+}
+
+TEST(SemanticTest, MutualNegativeCycleRejected) {
+  SemanticInfo Info =
+      analyzeSource(".decl a(x:number)\n.decl b(x:number)\n"
+                    ".decl s(x:number)\n"
+                    "a(x) :- s(x), !b(x).\nb(x) :- s(x), !a(x).");
+  EXPECT_TRUE(hasError(Info, "not stratifiable"));
+}
+
+TEST(SemanticTest, NegationAcrossStrataAllowed) {
+  SemanticInfo Info =
+      analyzeSource(".decl a(x:number)\n.decl b(x:number)\n"
+                    ".decl s(x:number)\n"
+                    "a(x) :- s(x).\nb(x) :- s(x), !a(x).");
+  EXPECT_TRUE(Info.succeeded())
+      << (Info.Errors.empty() ? "" : Info.Errors[0]);
+  EXPECT_LT(Info.StratumOf.at("a"), Info.StratumOf.at("b"));
+}
+
+TEST(SemanticTest, AggregateActsLikeNegationForStratification) {
+  SemanticInfo Info = analyzeSource(
+      ".decl a(x:number)\n.decl c(x:number)\n"
+      "c(n) :- n = count : { a(_) }.\na(x) :- c(x).");
+  EXPECT_TRUE(hasError(Info, "not stratifiable"));
+}
+
+TEST(SemanticTest, AggregateOverLowerStratumAllowed) {
+  SemanticInfo Info = analyzeSource(
+      ".decl a(x:number)\n.decl c(x:number)\n"
+      "a(1).\nc(n) :- n = count : { a(_) }.");
+  EXPECT_TRUE(Info.succeeded())
+      << (Info.Errors.empty() ? "" : Info.Errors[0]);
+}
+
+TEST(SemanticTest, FunctorTypeRules) {
+  // cat over numbers is a type error.
+  SemanticInfo Info =
+      analyzeSource(".decl n(x:number)\nn(x) :- n(y), x = cat(y, y).");
+  EXPECT_FALSE(Info.succeeded());
+
+  // strlen produces a number.
+  SemanticInfo Info2 = analyzeSource(
+      ".decl s(x:symbol)\n.decl n(x:number)\n"
+      "n(strlen(x)) :- s(x).");
+  EXPECT_TRUE(Info2.succeeded())
+      << (Info2.Errors.empty() ? "" : Info2.Errors[0]);
+
+  // '%' on float is rejected.
+  SemanticInfo Info3 = analyzeSource(
+      ".decl f(x:float)\nf(x % 2.0) :- f(x).");
+  EXPECT_TRUE(hasError(Info3, "not defined on float"));
+}
+
+TEST(SemanticTest, ClausesGroupedByHead) {
+  std::unique_ptr<Program> Prog;
+  SemanticInfo Info = analyzeSource(
+      ".decl a(x:number)\n.decl b(x:number)\n"
+      "a(1).\na(2).\nb(x) :- a(x).",
+      Prog);
+  ASSERT_TRUE(Info.succeeded());
+  EXPECT_EQ(Info.ClausesOf.at("a").size(), 2u);
+  EXPECT_EQ(Info.ClausesOf.at("b").size(), 1u);
+}
+
+TEST(SemanticTest, ExprTypesRecorded) {
+  std::unique_ptr<Program> Prog;
+  SemanticInfo Info = analyzeSource(
+      ".decl f(x:float)\n.decl g(x:float)\n"
+      "g(x + 1.5) :- f(x).",
+      Prog);
+  ASSERT_TRUE(Info.succeeded());
+  const Argument &Head = *Prog->Clauses[0]->getHead().getArgs()[0];
+  EXPECT_EQ(Info.typeOf(&Head), TypeKind::Float);
+}
+
+} // namespace

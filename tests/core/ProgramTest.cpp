@@ -1,0 +1,97 @@
+//===- tests/core/ProgramTest.cpp - Facade tests -------------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Program.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+using namespace stird;
+using namespace stird::core;
+
+namespace {
+
+TEST(ProgramTest, FromSourceCompiles) {
+  auto Prog = Program::fromSource(
+      ".decl a(x:number)\n.decl b(x:number)\nb(x) :- a(x).");
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_NE(Prog->getRam().findRelation("a"), nullptr);
+  EXPECT_NE(Prog->getRam().findRelation("b"), nullptr);
+}
+
+TEST(ProgramTest, ParseErrorsReported) {
+  std::vector<std::string> Errors;
+  auto Prog = Program::fromSource(".decl a(x:number\n", &Errors);
+  EXPECT_EQ(Prog, nullptr);
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(ProgramTest, SemanticErrorsReported) {
+  std::vector<std::string> Errors;
+  auto Prog =
+      Program::fromSource(".decl a(x:number)\na(y) :- a(x).", &Errors);
+  EXPECT_EQ(Prog, nullptr);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("ungrounded"), std::string::npos);
+}
+
+TEST(ProgramTest, FromFile) {
+  const std::string Path = ::testing::TempDir() + "/prog_test.dl";
+  {
+    std::ofstream Out(Path);
+    Out << ".decl a(x:number)\na(7).\n";
+  }
+  auto Prog = Program::fromFile(Path);
+  ASSERT_NE(Prog, nullptr);
+  auto E = Prog->makeEngine();
+  E->run();
+  EXPECT_EQ(E->getTuples("a"), (std::vector<DynTuple>{{7}}));
+}
+
+TEST(ProgramTest, FromFileMissing) {
+  std::vector<std::string> Errors;
+  auto Prog = Program::fromFile("/nonexistent/prog.dl", &Errors);
+  EXPECT_EQ(Prog, nullptr);
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(ProgramTest, DumpRamRendersProgram) {
+  auto Prog = Program::fromSource(
+      ".decl e(a:number, b:number)\n.decl p(a:number, b:number)\n"
+      "p(x, y) :- e(x, y).\np(x, z) :- p(x, y), e(y, z).");
+  ASSERT_NE(Prog, nullptr);
+  std::string Text = Prog->dumpRam();
+  EXPECT_NE(Text.find("RELATION p"), std::string::npos);
+  EXPECT_NE(Text.find("LOOP"), std::string::npos);
+}
+
+TEST(ProgramTest, MultipleEnginesFromOneProgram) {
+  auto Prog = Program::fromSource(
+      ".decl a(x:number)\n.decl b(x:number)\nb(x + 1) :- a(x).");
+  ASSERT_NE(Prog, nullptr);
+  auto E1 = Prog->makeEngine();
+  E1->insertTuples("a", {{1}});
+  E1->run();
+  auto E2 = Prog->makeEngine();
+  E2->insertTuples("a", {{10}, {20}});
+  E2->run();
+  EXPECT_EQ(E1->getTuples("b"), (std::vector<DynTuple>{{2}}));
+  EXPECT_EQ(E2->getTuples("b"), (std::vector<DynTuple>{{11}, {21}}));
+}
+
+TEST(ProgramTest, SymbolTableSharedAcrossPhases) {
+  auto Prog =
+      Program::fromSource(".decl a(s:symbol)\na(\"compiled-in\").");
+  ASSERT_NE(Prog, nullptr);
+  auto E = Prog->makeEngine();
+  E->run();
+  auto Tuples = E->getTuples("a");
+  ASSERT_EQ(Tuples.size(), 1u);
+  EXPECT_EQ(Prog->getSymbolTable().resolve(Tuples[0][0]), "compiled-in");
+}
+
+} // namespace

@@ -1,0 +1,273 @@
+//===- tests/der/BTreeSetTest.cpp - B-tree set tests --------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "der/BTreeSet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+using namespace stird;
+
+namespace {
+
+/// Deterministic random tuple generator.
+template <std::size_t Arity>
+std::vector<Tuple<Arity>> randomTuples(std::size_t Count, RamDomain Range,
+                                       unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<RamDomain> Dist(-Range, Range);
+  std::vector<Tuple<Arity>> Tuples(Count);
+  for (auto &Tuple : Tuples)
+    for (auto &Cell : Tuple)
+      Cell = Dist(Rng);
+  return Tuples;
+}
+
+template <typename ArityConstant>
+class BTreeSetTypedTest : public ::testing::Test {};
+
+using TestedArities =
+    ::testing::Types<std::integral_constant<std::size_t, 1>,
+                     std::integral_constant<std::size_t, 2>,
+                     std::integral_constant<std::size_t, 3>,
+                     std::integral_constant<std::size_t, 4>,
+                     std::integral_constant<std::size_t, 7>,
+                     std::integral_constant<std::size_t, 16>>;
+TYPED_TEST_SUITE(BTreeSetTypedTest, TestedArities);
+
+TYPED_TEST(BTreeSetTypedTest, InsertAndContainsMatchStdSet) {
+  constexpr std::size_t Arity = TypeParam::value;
+  BTreeSet<Arity> Set;
+  std::set<Tuple<Arity>> Reference;
+  // Small value range forces duplicate inserts.
+  for (const auto &Tuple : randomTuples<Arity>(2000, 5, 42)) {
+    EXPECT_EQ(Set.insert(Tuple), Reference.insert(Tuple).second);
+    EXPECT_EQ(Set.size(), Reference.size());
+  }
+  for (const auto &Tuple : randomTuples<Arity>(500, 5, 43))
+    EXPECT_EQ(Set.contains(Tuple), Reference.count(Tuple) != 0);
+}
+
+TYPED_TEST(BTreeSetTypedTest, IterationIsSortedAndComplete) {
+  constexpr std::size_t Arity = TypeParam::value;
+  BTreeSet<Arity> Set;
+  std::set<Tuple<Arity>> Reference;
+  for (const auto &Tuple : randomTuples<Arity>(3000, 100, 7)) {
+    Set.insert(Tuple);
+    Reference.insert(Tuple);
+  }
+  std::vector<Tuple<Arity>> FromTree;
+  for (auto It = Set.begin(), End = Set.end(); It != End; ++It)
+    FromTree.push_back(*It);
+  std::vector<Tuple<Arity>> FromReference(Reference.begin(),
+                                          Reference.end());
+  EXPECT_EQ(FromTree, FromReference);
+}
+
+TYPED_TEST(BTreeSetTypedTest, BoundsMatchStdSet) {
+  constexpr std::size_t Arity = TypeParam::value;
+  BTreeSet<Arity> Set;
+  std::set<Tuple<Arity>> Reference;
+  for (const auto &Tuple : randomTuples<Arity>(1000, 20, 11)) {
+    Set.insert(Tuple);
+    Reference.insert(Tuple);
+  }
+  for (const auto &Key : randomTuples<Arity>(300, 25, 12)) {
+    auto RefLower = Reference.lower_bound(Key);
+    auto TreeLower = Set.lowerBound(Key);
+    if (RefLower == Reference.end())
+      EXPECT_EQ(TreeLower, Set.end());
+    else
+      EXPECT_EQ(*TreeLower, *RefLower);
+
+    auto RefUpper = Reference.upper_bound(Key);
+    auto TreeUpper = Set.upperBound(Key);
+    if (RefUpper == Reference.end())
+      EXPECT_EQ(TreeUpper, Set.end());
+    else
+      EXPECT_EQ(*TreeUpper, *RefUpper);
+  }
+}
+
+TYPED_TEST(BTreeSetTypedTest, PrefixRangeEqualsBruteForceFilter) {
+  constexpr std::size_t Arity = TypeParam::value;
+  BTreeSet<Arity> Set;
+  std::vector<Tuple<Arity>> All = randomTuples<Arity>(1500, 8, 21);
+  for (const auto &Tuple : All)
+    Set.insert(Tuple);
+
+  for (std::size_t PrefixLen = 0; PrefixLen <= Arity; ++PrefixLen) {
+    for (const auto &Key : randomTuples<Arity>(40, 8, 22)) {
+      Tuple<Arity> Low = Key, High = Key;
+      for (std::size_t J = PrefixLen; J < Arity; ++J) {
+        Low[J] = std::numeric_limits<RamDomain>::min();
+        High[J] = std::numeric_limits<RamDomain>::max();
+      }
+      std::set<Tuple<Arity>> Expected;
+      for (const auto &Tuple : All) {
+        bool Match = true;
+        for (std::size_t J = 0; J < PrefixLen; ++J)
+          Match &= Tuple[J] == Key[J];
+        if (Match)
+          Expected.insert(Tuple);
+      }
+      std::vector<Tuple<Arity>> Got;
+      for (auto It = Set.lowerBound(Low), End = Set.upperBound(High);
+           It != End; ++It)
+        Got.push_back(*It);
+      EXPECT_EQ(Got.size(), Expected.size());
+      EXPECT_TRUE(std::is_sorted(Got.begin(), Got.end()));
+      for (const auto &Tuple : Got)
+        EXPECT_TRUE(Expected.count(Tuple));
+    }
+  }
+}
+
+TYPED_TEST(BTreeSetTypedTest, ClearAndReuse) {
+  constexpr std::size_t Arity = TypeParam::value;
+  BTreeSet<Arity> Set;
+  for (const auto &Tuple : randomTuples<Arity>(500, 50, 31))
+    Set.insert(Tuple);
+  EXPECT_FALSE(Set.empty());
+  Set.clear();
+  EXPECT_TRUE(Set.empty());
+  EXPECT_EQ(Set.size(), 0u);
+  EXPECT_EQ(Set.begin(), Set.end());
+  Tuple<Arity> One{};
+  EXPECT_TRUE(Set.insert(One));
+  EXPECT_TRUE(Set.contains(One));
+  EXPECT_EQ(Set.size(), 1u);
+}
+
+TYPED_TEST(BTreeSetTypedTest, SwapDataExchangesContents) {
+  constexpr std::size_t Arity = TypeParam::value;
+  BTreeSet<Arity> A, B;
+  Tuple<Arity> TupleA{}, TupleB{};
+  TupleA[0] = 1;
+  TupleB[0] = 2;
+  A.insert(TupleA);
+  B.insert(TupleB);
+  B.insert(TupleA);
+  A.swapData(B);
+  EXPECT_EQ(A.size(), 2u);
+  EXPECT_EQ(B.size(), 1u);
+  EXPECT_TRUE(A.contains(TupleB));
+  EXPECT_TRUE(B.contains(TupleA));
+  EXPECT_FALSE(B.contains(TupleB));
+}
+
+TYPED_TEST(BTreeSetTypedTest, MoveConstructionTransfersOwnership) {
+  constexpr std::size_t Arity = TypeParam::value;
+  BTreeSet<Arity> Source;
+  for (const auto &Tuple : randomTuples<Arity>(200, 50, 33))
+    Source.insert(Tuple);
+  std::size_t Size = Source.size();
+  BTreeSet<Arity> Target(std::move(Source));
+  EXPECT_EQ(Target.size(), Size);
+  EXPECT_EQ(Source.size(), 0u);
+}
+
+TEST(BTreeSetTest, NegativeValuesOrderCorrectly) {
+  BTreeSet<1> Set;
+  for (RamDomain Value : {5, -3, 0, -100, 100, -1, 1})
+    Set.insert({Value});
+  std::vector<RamDomain> Got;
+  for (auto It = Set.begin(), End = Set.end(); It != End; ++It)
+    Got.push_back((*It)[0]);
+  EXPECT_EQ(Got, (std::vector<RamDomain>{-100, -3, -1, 0, 1, 5, 100}));
+}
+
+TEST(BTreeSetTest, ExtremeValues) {
+  BTreeSet<2> Set;
+  const RamDomain Min = std::numeric_limits<RamDomain>::min();
+  const RamDomain Max = std::numeric_limits<RamDomain>::max();
+  EXPECT_TRUE(Set.insert({Min, Max}));
+  EXPECT_TRUE(Set.insert({Max, Min}));
+  EXPECT_TRUE(Set.insert({Min, Min}));
+  EXPECT_TRUE(Set.insert({Max, Max}));
+  EXPECT_FALSE(Set.insert({Min, Max}));
+  EXPECT_EQ(Set.size(), 4u);
+  EXPECT_TRUE(Set.contains({Min, Min}));
+  auto It = Set.begin();
+  EXPECT_EQ(*It, (Tuple<2>{Min, Min}));
+}
+
+TEST(BTreeSetTest, SequentialInsertAscendingAndDescending) {
+  BTreeSet<1> Ascending, Descending;
+  const int N = 10000;
+  for (int I = 0; I < N; ++I) {
+    EXPECT_TRUE(Ascending.insert({I}));
+    EXPECT_TRUE(Descending.insert({N - I}));
+  }
+  EXPECT_EQ(Ascending.size(), static_cast<std::size_t>(N));
+  EXPECT_EQ(Descending.size(), static_cast<std::size_t>(N));
+  RamDomain Prev = std::numeric_limits<RamDomain>::min();
+  std::size_t Count = 0;
+  for (auto It = Ascending.begin(), End = Ascending.end(); It != End;
+       ++It) {
+    EXPECT_GT((*It)[0], Prev);
+    Prev = (*It)[0];
+    ++Count;
+  }
+  EXPECT_EQ(Count, static_cast<std::size_t>(N));
+}
+
+TEST(BTreeSetRuntimeCompareTest, StoresUnderPermutedOrder) {
+  // The legacy comparator: order (1, 0) over arity-2 tuples stored in
+  // source order.
+  static const std::uint32_t OrderArray[2] = {1, 0};
+  RuntimeOrderCompare<16> Cmp;
+  Cmp.Order = OrderArray;
+  Cmp.Length = 2;
+  BTreeSet<16, RuntimeOrderCompare<16>> Set(Cmp);
+
+  auto MakeWide = [](RamDomain A, RamDomain B) {
+    Tuple<16> Wide{};
+    Wide[0] = A;
+    Wide[1] = B;
+    return Wide;
+  };
+  EXPECT_TRUE(Set.insert(MakeWide(1, 9)));
+  EXPECT_TRUE(Set.insert(MakeWide(2, 3)));
+  EXPECT_TRUE(Set.insert(MakeWide(3, 5)));
+  // Same (second, first) key as an existing tuple: duplicate under the
+  // comparator's projection of the first two columns.
+  EXPECT_FALSE(Set.insert(MakeWide(2, 3)));
+
+  // Iteration is ordered by column 1 first.
+  std::vector<RamDomain> SecondColumns;
+  for (auto It = Set.begin(), End = Set.end(); It != End; ++It)
+    SecondColumns.push_back((*It)[1]);
+  EXPECT_EQ(SecondColumns, (std::vector<RamDomain>{3, 5, 9}));
+}
+
+TEST(BTreeSetRuntimeCompareTest, RandomAgainstReferenceWithOrder) {
+  static const std::uint32_t OrderArray[3] = {2, 0, 1};
+  RuntimeOrderCompare<16> Cmp;
+  Cmp.Order = OrderArray;
+  Cmp.Length = 3;
+  BTreeSet<16, RuntimeOrderCompare<16>> Set(Cmp);
+
+  auto Project = [](const Tuple<16> &Wide) {
+    return std::array<RamDomain, 3>{Wide[2], Wide[0], Wide[1]};
+  };
+  std::set<std::array<RamDomain, 3>> Reference;
+  std::mt19937 Rng(5);
+  std::uniform_int_distribution<RamDomain> Dist(-4, 4);
+  for (int I = 0; I < 1000; ++I) {
+    Tuple<16> Wide{};
+    for (int J = 0; J < 3; ++J)
+      Wide[J] = Dist(Rng);
+    EXPECT_EQ(Set.insert(Wide), Reference.insert(Project(Wide)).second);
+  }
+  EXPECT_EQ(Set.size(), Reference.size());
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+//===- tests/der/BrieTest.cpp - Brie trie tests --------------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "der/Brie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+using namespace stird;
+
+namespace {
+
+template <std::size_t Arity>
+std::vector<Tuple<Arity>> randomTuples(std::size_t Count, RamDomain Range,
+                                       unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<RamDomain> Dist(-Range, Range);
+  std::vector<Tuple<Arity>> Tuples(Count);
+  for (auto &Tuple : Tuples)
+    for (auto &Cell : Tuple)
+      Cell = Dist(Rng);
+  return Tuples;
+}
+
+template <typename ArityConstant> class BrieTypedTest : public ::testing::Test {
+};
+
+using TestedArities =
+    ::testing::Types<std::integral_constant<std::size_t, 1>,
+                     std::integral_constant<std::size_t, 2>,
+                     std::integral_constant<std::size_t, 3>,
+                     std::integral_constant<std::size_t, 5>,
+                     std::integral_constant<std::size_t, 8>>;
+TYPED_TEST_SUITE(BrieTypedTest, TestedArities);
+
+TYPED_TEST(BrieTypedTest, InsertAndContainsMatchStdSet) {
+  constexpr std::size_t Arity = TypeParam::value;
+  Brie<Arity> Set;
+  std::set<Tuple<Arity>> Reference;
+  for (const auto &Tuple : randomTuples<Arity>(2000, 5, 101)) {
+    EXPECT_EQ(Set.insert(Tuple), Reference.insert(Tuple).second);
+    EXPECT_EQ(Set.size(), Reference.size());
+  }
+  for (const auto &Tuple : randomTuples<Arity>(500, 5, 102))
+    EXPECT_EQ(Set.contains(Tuple), Reference.count(Tuple) != 0);
+}
+
+TYPED_TEST(BrieTypedTest, IterationIsSortedAndComplete) {
+  constexpr std::size_t Arity = TypeParam::value;
+  Brie<Arity> Set;
+  std::set<Tuple<Arity>> Reference;
+  for (const auto &Tuple : randomTuples<Arity>(3000, 70, 103)) {
+    Set.insert(Tuple);
+    Reference.insert(Tuple);
+  }
+  std::vector<Tuple<Arity>> FromTrie;
+  for (auto It = Set.begin(), End = Set.end(); It != End; ++It)
+    FromTrie.push_back(*It);
+  std::vector<Tuple<Arity>> FromReference(Reference.begin(),
+                                          Reference.end());
+  EXPECT_EQ(FromTrie, FromReference);
+}
+
+TYPED_TEST(BrieTypedTest, PrefixRangesEqualBruteForceFilter) {
+  constexpr std::size_t Arity = TypeParam::value;
+  Brie<Arity> Set;
+  std::vector<Tuple<Arity>> All = randomTuples<Arity>(1200, 6, 104);
+  for (const auto &Tuple : All)
+    Set.insert(Tuple);
+
+  for (std::size_t PrefixLen = 0; PrefixLen <= Arity; ++PrefixLen) {
+    for (const auto &Key : randomTuples<Arity>(40, 6, 105)) {
+      std::set<Tuple<Arity>> Expected;
+      for (const auto &Tuple : All) {
+        bool Match = true;
+        for (std::size_t J = 0; J < PrefixLen; ++J)
+          Match &= Tuple[J] == Key[J];
+        if (Match)
+          Expected.insert(Tuple);
+      }
+      std::vector<Tuple<Arity>> Got;
+      for (auto It = Set.prefixBegin(Key, PrefixLen), End = Set.end();
+           It != End; ++It)
+        Got.push_back(*It);
+      EXPECT_TRUE(std::is_sorted(Got.begin(), Got.end()));
+      ASSERT_EQ(Got.size(), Expected.size())
+          << "prefix length " << PrefixLen;
+      for (const auto &Tuple : Got)
+        EXPECT_TRUE(Expected.count(Tuple));
+      EXPECT_EQ(Set.containsPrefix(Key, PrefixLen), !Expected.empty());
+    }
+  }
+}
+
+TYPED_TEST(BrieTypedTest, DenseSequentialValues) {
+  constexpr std::size_t Arity = TypeParam::value;
+  Brie<Arity> Set;
+  // Dense last column: the sweet spot of the bitmap leaves.
+  for (RamDomain I = 0; I < 1000; ++I) {
+    Tuple<Arity> Tuple{};
+    Tuple[Arity - 1] = I;
+    EXPECT_TRUE(Set.insert(Tuple));
+  }
+  EXPECT_EQ(Set.size(), 1000u);
+  RamDomain Expected = 0;
+  for (auto It = Set.begin(), End = Set.end(); It != End; ++It)
+    EXPECT_EQ((*It)[Arity - 1], Expected++);
+}
+
+TYPED_TEST(BrieTypedTest, ClearAndReuse) {
+  constexpr std::size_t Arity = TypeParam::value;
+  Brie<Arity> Set;
+  for (const auto &Tuple : randomTuples<Arity>(400, 30, 106))
+    Set.insert(Tuple);
+  Set.clear();
+  EXPECT_TRUE(Set.empty());
+  EXPECT_EQ(Set.begin(), Set.end());
+  Tuple<Arity> One{};
+  EXPECT_TRUE(Set.insert(One));
+  EXPECT_EQ(Set.size(), 1u);
+}
+
+TYPED_TEST(BrieTypedTest, SwapDataExchangesContents) {
+  constexpr std::size_t Arity = TypeParam::value;
+  Brie<Arity> A, B;
+  Tuple<Arity> TupleA{}, TupleB{};
+  TupleA[0] = 1;
+  TupleB[0] = 2;
+  A.insert(TupleA);
+  B.insert(TupleB);
+  A.swapData(B);
+  EXPECT_TRUE(A.contains(TupleB));
+  EXPECT_TRUE(B.contains(TupleA));
+  EXPECT_FALSE(A.contains(TupleA));
+}
+
+TEST(BrieTest, NegativeValuesIterateInSignedOrder) {
+  Brie<1> Set;
+  for (RamDomain Value : {63, -64, -1, 0, -65, 64, 1})
+    Set.insert({Value});
+  std::vector<RamDomain> Got;
+  for (auto It = Set.begin(), End = Set.end(); It != End; ++It)
+    Got.push_back((*It)[0]);
+  EXPECT_EQ(Got, (std::vector<RamDomain>{-65, -64, -1, 0, 1, 63, 64}));
+}
+
+TEST(BrieTest, ChunkBoundaryValues) {
+  Brie<1> Set;
+  // Values straddling the 64-bit chunk boundaries.
+  for (RamDomain Value : {0, 63, 64, 127, 128, -1, -63, -64, -128})
+    EXPECT_TRUE(Set.insert({Value}));
+  for (RamDomain Value : {0, 63, 64, 127, 128, -1, -63, -64, -128})
+    EXPECT_TRUE(Set.contains({Value}));
+  EXPECT_FALSE(Set.contains({1}));
+  EXPECT_FALSE(Set.contains({-2}));
+  EXPECT_EQ(Set.size(), 9u);
+}
+
+TEST(BrieTest, FullyBoundRangeYieldsExactlyOneTuple) {
+  Brie<2> Set;
+  Set.insert({1, 2});
+  Set.insert({1, 3});
+  Set.insert({2, 2});
+  std::size_t Count = 0;
+  for (auto It = Set.prefixBegin({1, 2}, 2), End = Set.end(); It != End;
+       ++It) {
+    EXPECT_EQ(*It, (Tuple<2>{1, 2}));
+    ++Count;
+  }
+  EXPECT_EQ(Count, 1u);
+  // Absent tuple: empty range.
+  EXPECT_EQ(Set.prefixBegin({5, 5}, 2), Set.end());
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+//===- tests/der/EquivalenceRelationTest.cpp - Eqrel tests ---------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "der/EquivalenceRelation.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+using namespace stird;
+
+namespace {
+
+TEST(EquivalenceRelationTest, ReflexiveOnInsert) {
+  EquivalenceRelation Rel;
+  EXPECT_TRUE(Rel.insert(1, 2));
+  EXPECT_TRUE(Rel.contains(1, 1));
+  EXPECT_TRUE(Rel.contains(2, 2));
+  EXPECT_TRUE(Rel.contains(1, 2));
+  EXPECT_TRUE(Rel.contains(2, 1)); // symmetry
+}
+
+TEST(EquivalenceRelationTest, TransitivityThroughUnions) {
+  EquivalenceRelation Rel;
+  Rel.insert(1, 2);
+  Rel.insert(3, 4);
+  EXPECT_FALSE(Rel.contains(1, 3));
+  Rel.insert(2, 3);
+  EXPECT_TRUE(Rel.contains(1, 4));
+  EXPECT_TRUE(Rel.contains(4, 1));
+}
+
+TEST(EquivalenceRelationTest, SizeIsSumOfSquaredClassSizes) {
+  EquivalenceRelation Rel;
+  Rel.insert(1, 1);
+  EXPECT_EQ(Rel.size(), 1u); // {1}: 1 pair
+  Rel.insert(1, 2);
+  EXPECT_EQ(Rel.size(), 4u); // {1,2}: 4 pairs
+  Rel.insert(3, 4);
+  EXPECT_EQ(Rel.size(), 8u); // + {3,4}: 4 pairs
+  Rel.insert(2, 3);
+  EXPECT_EQ(Rel.size(), 16u); // {1,2,3,4}: 16 pairs
+}
+
+TEST(EquivalenceRelationTest, InsertReturnValueTracksGrowth) {
+  EquivalenceRelation Rel;
+  EXPECT_TRUE(Rel.insert(1, 2));
+  EXPECT_FALSE(Rel.insert(1, 2));
+  EXPECT_FALSE(Rel.insert(2, 1));
+  EXPECT_TRUE(Rel.insert(2, 3));
+  EXPECT_FALSE(Rel.insert(1, 3)); // already implied transitively
+  EXPECT_TRUE(Rel.insert(9, 9));
+  EXPECT_FALSE(Rel.insert(9, 9));
+}
+
+TEST(EquivalenceRelationTest, IterationYieldsSortedClosure) {
+  EquivalenceRelation Rel;
+  Rel.insert(2, 1);
+  Rel.insert(5, 5);
+  std::vector<Tuple<2>> Pairs;
+  for (auto It = Rel.begin(), End = Rel.end(); It != End; ++It)
+    Pairs.push_back(*It);
+  std::vector<Tuple<2>> Expected = {
+      {1, 1}, {1, 2}, {2, 1}, {2, 2}, {5, 5}};
+  EXPECT_EQ(Pairs, Expected);
+}
+
+TEST(EquivalenceRelationTest, MembersOfReturnsSortedClass) {
+  EquivalenceRelation Rel;
+  Rel.insert(7, 3);
+  Rel.insert(3, 11);
+  EXPECT_EQ(Rel.membersOf(7), (std::vector<RamDomain>{3, 7, 11}));
+  EXPECT_EQ(Rel.membersOf(3), (std::vector<RamDomain>{3, 7, 11}));
+  EXPECT_TRUE(Rel.membersOf(99).empty());
+}
+
+TEST(EquivalenceRelationTest, ContainsFirst) {
+  EquivalenceRelation Rel;
+  Rel.insert(1, 2);
+  EXPECT_TRUE(Rel.containsFirst(1));
+  EXPECT_TRUE(Rel.containsFirst(2));
+  EXPECT_FALSE(Rel.containsFirst(3));
+}
+
+TEST(EquivalenceRelationTest, ClearAndSwap) {
+  EquivalenceRelation A, B;
+  A.insert(1, 2);
+  B.insert(8, 9);
+  B.insert(9, 10);
+  A.swapData(B);
+  EXPECT_TRUE(A.contains(8, 10));
+  EXPECT_TRUE(B.contains(1, 2));
+  A.clear();
+  EXPECT_TRUE(A.empty());
+  EXPECT_EQ(A.begin(), A.end());
+  EXPECT_FALSE(A.contains(8, 10));
+}
+
+TEST(EquivalenceRelationTest, RandomUnionsMatchBruteForceClosure) {
+  std::mt19937 Rng(77);
+  std::uniform_int_distribution<RamDomain> Dist(0, 40);
+  EquivalenceRelation Rel;
+  // Brute-force reference: class label per element.
+  std::map<RamDomain, int> Label;
+  int NextLabel = 0;
+  auto Ensure = [&](RamDomain V) {
+    if (!Label.count(V))
+      Label[V] = NextLabel++;
+  };
+  for (int I = 0; I < 500; ++I) {
+    RamDomain A = Dist(Rng), B = Dist(Rng);
+    Rel.insert(A, B);
+    Ensure(A);
+    Ensure(B);
+    int From = Label[A], To = Label[B];
+    if (From != To)
+      for (auto &Entry : Label)
+        if (Entry.second == From)
+          Entry.second = To;
+  }
+  // Every pair agrees with the reference closure.
+  std::size_t Pairs = 0;
+  for (const auto &[ValueA, LabelA] : Label)
+    for (const auto &[ValueB, LabelB] : Label) {
+      EXPECT_EQ(Rel.contains(ValueA, ValueB), LabelA == LabelB);
+      if (LabelA == LabelB)
+        ++Pairs;
+    }
+  EXPECT_EQ(Rel.size(), Pairs);
+}
+
+TEST(EquivalenceRelationTest, MutationInvalidatesLazyListsCorrectly) {
+  EquivalenceRelation Rel;
+  Rel.insert(1, 2);
+  EXPECT_EQ(Rel.membersOf(1).size(), 2u);
+  Rel.insert(2, 3);
+  EXPECT_EQ(Rel.membersOf(1).size(), 3u); // refreshed after mutation
+  Rel.insert(10, 11);
+  std::size_t Count = 0;
+  for (auto It = Rel.begin(), End = Rel.end(); It != End; ++It)
+    ++Count;
+  EXPECT_EQ(Count, 9u + 4u);
+}
+
+TEST(EquivalenceRelationTest, NegativeValues) {
+  EquivalenceRelation Rel;
+  Rel.insert(-5, 5);
+  EXPECT_TRUE(Rel.contains(5, -5));
+  EXPECT_EQ(Rel.membersOf(5), (std::vector<RamDomain>{-5, 5}));
+  auto It = Rel.begin();
+  EXPECT_EQ(*It, (Tuple<2>{-5, -5}));
+}
+
+} // namespace

@@ -1,0 +1,354 @@
+//===- tests/interp/EngineTest.cpp - End-to-end STI execution tests ------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Engine.h"
+
+#include "core/Program.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+using namespace stird;
+using namespace stird::interp;
+
+namespace {
+
+/// Compiles, runs on the default (STI) backend and returns the engine.
+std::unique_ptr<Engine> runProgram(core::Program &Prog,
+                                   EngineOptions Options = {}) {
+  auto E = Prog.makeEngine(Options);
+  E->run();
+  return E;
+}
+
+std::unique_ptr<core::Program> compile(const std::string &Source) {
+  std::vector<std::string> Errors;
+  auto Prog = core::Program::fromSource(Source, &Errors);
+  EXPECT_NE(Prog, nullptr) << (Errors.empty() ? "" : Errors[0]);
+  return Prog;
+}
+
+TEST(EngineTest, FactsOnly) {
+  auto Prog = compile(".decl a(x:number, y:number)\na(1, 2).\na(3, 4).");
+  auto E = runProgram(*Prog);
+  EXPECT_EQ(E->getTuples("a"),
+            (std::vector<DynTuple>{{1, 2}, {3, 4}}));
+}
+
+TEST(EngineTest, TransitiveClosure) {
+  auto Prog = compile(
+      ".decl edge(a:number, b:number)\n.decl path(a:number, b:number)\n"
+      "path(x, y) :- edge(x, y).\n"
+      "path(x, z) :- path(x, y), edge(y, z).");
+  auto E = Prog->makeEngine();
+  E->insertTuples("edge", {{1, 2}, {2, 3}, {3, 4}});
+  E->run();
+  EXPECT_EQ(E->getTuples("path"),
+            (std::vector<DynTuple>{
+                {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}));
+}
+
+TEST(EngineTest, CyclicGraphTerminates) {
+  auto Prog = compile(
+      ".decl edge(a:number, b:number)\n.decl path(a:number, b:number)\n"
+      "path(x, y) :- edge(x, y).\n"
+      "path(x, z) :- path(x, y), edge(y, z).");
+  auto E = Prog->makeEngine();
+  E->insertTuples("edge", {{1, 2}, {2, 3}, {3, 1}});
+  E->run();
+  // Full 3x3 closure.
+  EXPECT_EQ(E->getTuples("path").size(), 9u);
+}
+
+TEST(EngineTest, PaperSecurityAnalysisExample) {
+  // Fig 2 of the paper.
+  auto Prog = compile(R"(
+    .decl Unsafe(b:symbol)
+    .decl Edge(a:symbol, b:symbol)
+    .decl Protect(b:symbol)
+    .decl Vulnerable(b:symbol)
+    .decl Violation(b:symbol)
+    Unsafe("while").
+    Unsafe(y) :- Unsafe(x), Edge(x, y), !Protect(y).
+    Violation(x) :- Vulnerable(x), Unsafe(x).
+  )");
+  auto E = Prog->makeEngine();
+  SymbolTable &Symbols = Prog->getSymbolTable();
+  auto Sym = [&](const char *S) {
+    return DynTuple{Symbols.intern(S)};
+  };
+  auto Pair = [&](const char *A, const char *B) {
+    return DynTuple{Symbols.intern(A), Symbols.intern(B)};
+  };
+  E->insertTuples("Edge", {Pair("while", "body"), Pair("body", "call"),
+                           Pair("body", "guarded"), Pair("call", "exit")});
+  E->insertTuples("Protect", {Sym("guarded")});
+  E->insertTuples("Vulnerable", {Sym("call"), Sym("guarded")});
+  E->run();
+
+  auto Violations = E->getTuples("Violation");
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Symbols.resolve(Violations[0][0]), "call");
+  // "guarded" is protected, so it never becomes unsafe.
+  auto Unsafe = E->getTuples("Unsafe");
+  for (const auto &Tuple : Unsafe)
+    EXPECT_NE(Symbols.resolve(Tuple[0]), "guarded");
+}
+
+TEST(EngineTest, NegationStratified) {
+  auto Prog = compile(
+      ".decl node(x:number)\n.decl covered(x:number)\n"
+      ".decl uncovered(x:number)\n"
+      "uncovered(x) :- node(x), !covered(x).");
+  auto E = Prog->makeEngine();
+  E->insertTuples("node", {{1}, {2}, {3}});
+  E->insertTuples("covered", {{2}});
+  E->run();
+  EXPECT_EQ(E->getTuples("uncovered"),
+            (std::vector<DynTuple>{{1}, {3}}));
+}
+
+TEST(EngineTest, ArithmeticAndConstraints) {
+  auto Prog = compile(
+      ".decl n(x:number)\n.decl r(x:number, y:number)\n"
+      "r(x, y) :- n(x), y = x * x + 1, y < 20.");
+  auto E = Prog->makeEngine();
+  E->insertTuples("n", {{1}, {2}, {3}, {4}, {5}});
+  E->run();
+  EXPECT_EQ(E->getTuples("r"),
+            (std::vector<DynTuple>{{1, 2}, {2, 5}, {3, 10}, {4, 17}}));
+}
+
+TEST(EngineTest, MutualRecursionEvenOdd) {
+  auto Prog = compile(
+      ".decl succ(a:number, b:number)\n"
+      ".decl even(x:number)\n.decl odd(x:number)\n"
+      "even(0).\n"
+      "odd(y) :- even(x), succ(x, y).\n"
+      "even(y) :- odd(x), succ(x, y).");
+  auto E = Prog->makeEngine();
+  std::vector<DynTuple> Succ;
+  for (RamDomain I = 0; I < 10; ++I)
+    Succ.push_back({I, I + 1});
+  E->insertTuples("succ", Succ);
+  E->run();
+  EXPECT_EQ(E->getTuples("even"),
+            (std::vector<DynTuple>{{0}, {2}, {4}, {6}, {8}, {10}}));
+  EXPECT_EQ(E->getTuples("odd"),
+            (std::vector<DynTuple>{{1}, {3}, {5}, {7}, {9}}));
+}
+
+TEST(EngineTest, StringFunctors) {
+  auto Prog = compile(
+      ".decl name(s:symbol)\n.decl out(s:symbol, n:number)\n"
+      "out(cat(s, \"!\"), strlen(s)) :- name(s).");
+  auto E = Prog->makeEngine();
+  SymbolTable &Symbols = Prog->getSymbolTable();
+  E->insertTuples("name", {{Symbols.intern("ab")}, {Symbols.intern("xyz")}});
+  E->run();
+  auto Out = E->getTuples("out");
+  ASSERT_EQ(Out.size(), 2u);
+  // Sorted by ordinal; verify the contents regardless of order.
+  bool SawAb = false, SawXyz = false;
+  for (const auto &Tuple : Out) {
+    const std::string &Text = Symbols.resolve(Tuple[0]);
+    if (Text == "ab!") {
+      EXPECT_EQ(Tuple[1], 2);
+      SawAb = true;
+    } else if (Text == "xyz!") {
+      EXPECT_EQ(Tuple[1], 3);
+      SawXyz = true;
+    }
+  }
+  EXPECT_TRUE(SawAb);
+  EXPECT_TRUE(SawXyz);
+}
+
+TEST(EngineTest, UnsignedAndFloatColumns) {
+  auto Prog = compile(
+      ".decl u(x:unsigned)\n.decl big(x:unsigned)\n"
+      "big(x) :- u(x), x > 2000000000u.\n"
+      ".decl f(x:float)\n.decl pos(x:float)\n"
+      "pos(x) :- f(x), x > 0.0.");
+  auto E = Prog->makeEngine();
+  E->insertTuples("u", {{ramBitCast<RamDomain>(RamUnsigned(3000000000u))},
+                        {ramBitCast<RamDomain>(RamUnsigned(5u))}});
+  E->insertTuples("f", {{ramBitCast<RamDomain>(RamFloat(1.5f))},
+                        {ramBitCast<RamDomain>(RamFloat(-2.5f))}});
+  E->run();
+  auto Big = E->getTuples("big");
+  ASSERT_EQ(Big.size(), 1u);
+  EXPECT_EQ(ramBitCast<RamUnsigned>(Big[0][0]), 3000000000u);
+  auto Pos = E->getTuples("pos");
+  ASSERT_EQ(Pos.size(), 1u);
+  EXPECT_FLOAT_EQ(ramBitCast<RamFloat>(Pos[0][0]), 1.5f);
+}
+
+TEST(EngineTest, CountAggregate) {
+  auto Prog = compile(
+      ".decl e(a:number, b:number)\n.decl deg(a:number, n:number)\n"
+      ".decl node(a:number)\n"
+      "deg(x, n) :- node(x), n = count : { e(x, _) }.");
+  auto E = Prog->makeEngine();
+  E->insertTuples("node", {{1}, {2}, {3}});
+  E->insertTuples("e", {{1, 5}, {1, 6}, {2, 7}});
+  E->run();
+  EXPECT_EQ(E->getTuples("deg"),
+            (std::vector<DynTuple>{{1, 2}, {2, 1}, {3, 0}}));
+}
+
+TEST(EngineTest, SumMinMaxAggregates) {
+  auto Prog = compile(
+      ".decl v(x:number)\n.decl stats(s:number, lo:number, hi:number)\n"
+      "stats(s, lo, hi) :- s = sum x : { v(x) }, lo = min y : { v(y) }, "
+      "hi = max z : { v(z) }.");
+  auto E = Prog->makeEngine();
+  E->insertTuples("v", {{4}, {-2}, {10}});
+  E->run();
+  EXPECT_EQ(E->getTuples("stats"),
+            (std::vector<DynTuple>{{12, -2, 10}}));
+}
+
+TEST(EngineTest, MinOverEmptyRangeProducesNothing) {
+  auto Prog = compile(
+      ".decl v(x:number)\n.decl lo(x:number)\n"
+      "lo(m) :- m = min x : { v(x) }.");
+  auto E = runProgram(*Prog);
+  EXPECT_TRUE(E->getTuples("lo").empty());
+}
+
+TEST(EngineTest, CounterProducesDistinctIds) {
+  auto Prog = compile(
+      ".decl item(x:number)\n.decl numbered(id:number, x:number)\n"
+      "numbered($, x) :- item(x).");
+  auto E = Prog->makeEngine();
+  E->insertTuples("item", {{10}, {20}, {30}});
+  E->run();
+  auto Out = E->getTuples("numbered");
+  ASSERT_EQ(Out.size(), 3u);
+  std::set<RamDomain> Ids;
+  for (const auto &Tuple : Out)
+    Ids.insert(Tuple[0]);
+  EXPECT_EQ(Ids.size(), 3u);
+}
+
+TEST(EngineTest, EqrelComputesClosure) {
+  auto Prog = compile(
+      ".decl link(a:number, b:number)\n"
+      ".decl same(a:number, b:number) eqrel\n"
+      "same(a, b) :- link(a, b).");
+  auto E = Prog->makeEngine();
+  E->insertTuples("link", {{1, 2}, {2, 3}, {10, 11}});
+  E->run();
+  // Classes {1,2,3} and {10,11}: 9 + 4 pairs.
+  EXPECT_EQ(E->getTuples("same").size(), 13u);
+  const RelationWrapper *Same = E->getRelation("same");
+  RamDomain Pair[2] = {3, 1};
+  EXPECT_TRUE(Same->contains(Pair));
+}
+
+TEST(EngineTest, EqrelInRecursionWithReader) {
+  // Reading an eqrel inside the same SCC exercises the naive fixpoint.
+  auto Prog = compile(
+      ".decl init(a:number, b:number)\n"
+      ".decl bridge(a:number, b:number)\n"
+      ".decl same(a:number, b:number) eqrel\n"
+      "same(a, b) :- init(a, b).\n"
+      "same(b, c) :- same(a, b), bridge(a, c).");
+  auto E = Prog->makeEngine();
+  E->insertTuples("init", {{1, 2}});
+  E->insertTuples("bridge", {{2, 5}});
+  E->run();
+  const RelationWrapper *Same = E->getRelation("same");
+  // bridge(2,5) with same(1,2): adds 2~5 (via a=2 when closure gives
+  // same(2,2) etc.), so 1, 2, 5 all join one class.
+  RamDomain Pair[2] = {1, 5};
+  EXPECT_TRUE(Same->contains(Pair));
+}
+
+TEST(EngineTest, BrieRelationEndToEnd) {
+  auto Prog = compile(
+      ".decl edge(a:number, b:number) brie\n"
+      ".decl path(a:number, b:number) brie\n"
+      "path(x, y) :- edge(x, y).\n"
+      "path(x, z) :- path(x, y), edge(y, z).");
+  auto E = Prog->makeEngine();
+  E->insertTuples("edge", {{0, 1}, {1, 2}, {2, 3}});
+  E->run();
+  EXPECT_EQ(E->getTuples("path").size(), 6u);
+}
+
+TEST(EngineTest, FileInputOutput) {
+  const std::string Dir = ::testing::TempDir();
+  {
+    std::ofstream Facts(Dir + "/edge.facts");
+    Facts << "1\t2\n2\t3\n";
+  }
+  auto Prog = compile(
+      ".decl edge(a:number, b:number)\n.decl path(a:number, b:number)\n"
+      ".input edge\n.output path\n.printsize path\n"
+      "path(x, y) :- edge(x, y).\n"
+      "path(x, z) :- path(x, y), edge(y, z).");
+  EngineOptions Options;
+  Options.FactDir = Dir;
+  Options.OutputDir = Dir;
+  auto E = Prog->makeEngine(Options);
+  E->run();
+
+  ASSERT_EQ(E->getPrintSizes().size(), 1u);
+  EXPECT_EQ(E->getPrintSizes()[0].first, "path");
+  EXPECT_EQ(E->getPrintSizes()[0].second, 3u);
+
+  std::ifstream Out(Dir + "/path.csv");
+  ASSERT_TRUE(Out.good());
+  std::string Line;
+  std::vector<std::string> Lines;
+  while (std::getline(Out, Line))
+    Lines.push_back(Line);
+  EXPECT_EQ(Lines, (std::vector<std::string>{"1\t2", "1\t3", "2\t3"}));
+}
+
+TEST(EngineTest, ProfilerAttributesTimeToRules) {
+  auto Prog = compile(
+      ".decl e(a:number, b:number)\n.decl p(a:number, b:number)\n"
+      "p(x, y) :- e(x, y).\n"
+      "p(x, z) :- p(x, y), e(y, z).");
+  auto E = Prog->makeEngine();
+  std::vector<DynTuple> Chain;
+  for (RamDomain I = 0; I < 50; ++I)
+    Chain.push_back({I, I + 1});
+  E->insertTuples("e", Chain);
+  E->run();
+  const Profiler &Prof = E->getProfiler();
+  ASSERT_GE(Prof.rules().size(), 2u);
+  const RuleProfile *Recursive =
+      Prof.find("p(x, z) :- p(x, y), e(y, z). [v0]");
+  ASSERT_NE(Recursive, nullptr);
+  EXPECT_GT(Recursive->Invocations, 1u); // once per fixpoint round
+  EXPECT_GT(Recursive->Dispatches, 0u);
+  EXPECT_GT(E->getNumDispatches(), 0u);
+}
+
+TEST(EngineTest, LongChainDeepRecursion) {
+  auto Prog = compile(
+      ".decl e(a:number, b:number)\n.decl p(a:number, b:number)\n"
+      "p(x, y) :- e(x, y).\n"
+      "p(x, z) :- p(x, y), e(y, z).");
+  auto E = Prog->makeEngine();
+  const RamDomain N = 300;
+  std::vector<DynTuple> Chain;
+  for (RamDomain I = 0; I < N; ++I)
+    Chain.push_back({I, I + 1});
+  E->insertTuples("e", Chain);
+  E->run();
+  EXPECT_EQ(E->getTuples("p").size(),
+            static_cast<std::size_t>(N) * (N + 1) / 2);
+}
+
+} // namespace

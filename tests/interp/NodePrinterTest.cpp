@@ -1,0 +1,89 @@
+//===- tests/interp/NodePrinterTest.cpp - Tree dump tests ----------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/NodePrinter.h"
+
+#include "core/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace stird;
+using namespace stird::interp;
+
+namespace {
+
+std::string dumpFor(const char *Source, EngineOptions Options = {}) {
+  auto Prog = core::Program::fromSource(Source);
+  EXPECT_NE(Prog, nullptr);
+  auto Engine = Prog->makeEngine(Options);
+  return Engine->dumpTree();
+}
+
+const char *JoinProgram =
+    ".decl e(a:number, b:number)\n.decl p(a:number, b:number)\n"
+    "p(x, y) :- e(x, y).\np(x, z) :- p(x, y), e(y, z).";
+
+TEST(NodePrinterTest, StiTreeShowsSpecializedOpcodes) {
+  std::string Tree = dumpFor(JoinProgram);
+  EXPECT_NE(Tree.find("Scan_Btree_2"), std::string::npos);
+  EXPECT_NE(Tree.find("IndexScan_Btree_2"), std::string::npos);
+  EXPECT_NE(Tree.find("Project_Btree_2"), std::string::npos);
+  EXPECT_NE(Tree.find("Existence_Btree_2"), std::string::npos);
+  EXPECT_NE(Tree.find("Loop"), std::string::npos);
+  // No generic opcodes in a specialized tree.
+  EXPECT_EQ(Tree.find("GenericScan"), std::string::npos);
+}
+
+TEST(NodePrinterTest, DynamicTreeShowsGenericOpcodes) {
+  EngineOptions Options;
+  Options.TheBackend = Backend::DynamicAdapter;
+  std::string Tree = dumpFor(JoinProgram, Options);
+  EXPECT_NE(Tree.find("GenericScan"), std::string::npos);
+  EXPECT_NE(Tree.find("GenericIndexScan"), std::string::npos);
+  EXPECT_EQ(Tree.find("Scan_Btree_2"), std::string::npos);
+}
+
+TEST(NodePrinterTest, SuperInstructionSlotsAreShown) {
+  std::string Tree = dumpFor(
+      ".decl a(x:number)\n.decl b(x:number, y:number)\n"
+      "b(x, 7) :- a(x).");
+  // The insert folds slot 1 to the constant 7 and slot 0 to a tuple read.
+  EXPECT_NE(Tree.find("1=const:7"), std::string::npos);
+  EXPECT_NE(Tree.find("0=t0.0"), std::string::npos);
+
+  EngineOptions NoSuper;
+  NoSuper.SuperInstructions = false;
+  std::string Plain = dumpFor(
+      ".decl a(x:number)\n.decl b(x:number, y:number)\n"
+      "b(x, 7) :- a(x).",
+      NoSuper);
+  // Without super-instructions every slot dispatches generically.
+  EXPECT_EQ(Plain.find("const:7"), std::string::npos);
+  EXPECT_NE(Plain.find("=expr"), std::string::npos);
+}
+
+TEST(NodePrinterTest, FusedConditionShowsMicroOpCount) {
+  EngineOptions Fuse;
+  Fuse.FuseConditions = true;
+  std::string Tree = dumpFor(
+      ".decl a(x:number, y:number)\n.decl b(x:number)\n"
+      "b(x) :- a(x, y), x + y * 2 < 100, x != y.",
+      Fuse);
+  EXPECT_NE(Tree.find("FusedCondition ["), std::string::npos);
+  EXPECT_NE(Tree.find("micro-ops]"), std::string::npos);
+}
+
+TEST(NodePrinterTest, EveryOpcodeHasAName) {
+  // Smoke-check the macro-generated name table.
+  EXPECT_STREQ(nodeTypeName(NodeType::Scan_Btree_1), "Scan_Btree_1");
+  EXPECT_STREQ(nodeTypeName(NodeType::Aggregate_Brie_8),
+               "Aggregate_Brie_8");
+  EXPECT_STREQ(nodeTypeName(NodeType::Existence_Eqrel_2),
+               "Existence_Eqrel_2");
+  EXPECT_STREQ(nodeTypeName(NodeType::Filter), "Filter");
+}
+
+} // namespace

@@ -1,0 +1,285 @@
+//===- tests/interp/RelationTest.cpp - De-specialized relation tests -----------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Relation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+using namespace stird;
+using namespace stird::interp;
+
+namespace {
+
+/// A relation declaration fixture: binary relation with two orders, the
+/// identity and the flipped order (serving searches on the second column).
+class RelationTest : public ::testing::Test {
+protected:
+  RelationTest()
+      : Decl("edge", {ColumnTypeKind::Number, ColumnTypeKind::Number},
+             ram::StructureKind::Btree) {
+    Decl.setOrders({{0, 1}, {1, 0}});
+  }
+
+  std::vector<Order> orders() const {
+    return {Order({0, 1}), Order({1, 0})};
+  }
+
+  static std::vector<Tuple<2>> drain(RelationWrapper &Rel,
+                                     std::unique_ptr<TupleStream> Stream) {
+    BufferedTupleSource Source(std::move(Stream), Rel.getArity());
+    std::vector<Tuple<2>> Result;
+    while (const RamDomain *Tuple = Source.next())
+      Result.push_back({Tuple[0], Tuple[1]});
+    return Result;
+  }
+
+  ram::Relation Decl;
+};
+
+TEST_F(RelationTest, InsertContainsSize) {
+  auto Rel = createRelation(Decl, orders());
+  RamDomain T1[2] = {1, 2};
+  RamDomain T2[2] = {2, 1};
+  EXPECT_TRUE(Rel->insert(T1));
+  EXPECT_FALSE(Rel->insert(T1));
+  EXPECT_TRUE(Rel->insert(T2));
+  EXPECT_EQ(Rel->size(), 2u);
+  EXPECT_TRUE(Rel->contains(T1));
+  RamDomain T3[2] = {1, 1};
+  EXPECT_FALSE(Rel->contains(T3));
+}
+
+TEST_F(RelationTest, ScanDecodedYieldsSourceOrderTuples) {
+  auto Rel = createRelation(Decl, orders());
+  RamDomain T1[2] = {10, 1};
+  RamDomain T2[2] = {20, 2};
+  Rel->insert(T1);
+  Rel->insert(T2);
+  // Index 1 stores flipped tuples; decoding must restore source order.
+  auto Tuples = drain(*Rel, Rel->scan(1, /*Decode=*/true));
+  ASSERT_EQ(Tuples.size(), 2u);
+  EXPECT_EQ(Tuples[0], (Tuple<2>{10, 1}));
+  EXPECT_EQ(Tuples[1], (Tuple<2>{20, 2}));
+
+  // Without decoding, tuples arrive in index order (flipped).
+  auto Encoded = drain(*Rel, Rel->scan(1, /*Decode=*/false));
+  EXPECT_EQ(Encoded[0], (Tuple<2>{1, 10}));
+}
+
+TEST_F(RelationTest, RangeOnSecondColumnViaFlippedIndex) {
+  auto Rel = createRelation(Decl, orders());
+  for (RamDomain X = 0; X < 10; ++X) {
+    RamDomain T[2] = {X, X % 3};
+    Rel->insert(T);
+  }
+  // Search b = 1 through index 1 (order {1, 0}); encoded key = (1, _).
+  RamDomain Key[2] = {1, 0};
+  auto Tuples =
+      drain(*Rel, Rel->range(1, Key, /*PrefixLen=*/1, /*Mask=*/0b10,
+                             /*Decode=*/true));
+  std::set<Tuple<2>> Expected = {{1, 1}, {4, 1}, {7, 1}};
+  EXPECT_EQ(Tuples.size(), Expected.size());
+  for (const auto &Tuple : Tuples)
+    EXPECT_TRUE(Expected.count(Tuple));
+  EXPECT_TRUE(Rel->containsRange(1, Key, 1, 0b10));
+  RamDomain Missing[2] = {99, 0};
+  EXPECT_FALSE(Rel->containsRange(1, Missing, 1, 0b10));
+}
+
+TEST_F(RelationTest, SwapExchangesContentsOfAllIndexes) {
+  auto RelA = createRelation(Decl, orders());
+  auto RelB = createRelation(Decl, orders());
+  RamDomain T1[2] = {1, 2};
+  RamDomain T2[2] = {3, 4};
+  RelA->insert(T1);
+  RelB->insert(T2);
+  RelA->swap(*RelB);
+  EXPECT_TRUE(RelA->contains(T2));
+  EXPECT_TRUE(RelB->contains(T1));
+  // The secondary index must have been swapped too.
+  RamDomain Key[2] = {4, 0};
+  EXPECT_TRUE(RelA->containsRange(1, Key, 1, 0b10));
+}
+
+TEST_F(RelationTest, InsertAllMerges) {
+  auto RelA = createRelation(Decl, orders());
+  auto RelB = createRelation(Decl, orders());
+  for (RamDomain X = 0; X < 5; ++X) {
+    RamDomain T[2] = {X, X};
+    RelA->insert(T);
+  }
+  RamDomain Extra[2] = {2, 2};
+  RelB->insert(Extra);
+  RelB->insertAll(*RelA);
+  EXPECT_EQ(RelB->size(), 5u);
+}
+
+TEST_F(RelationTest, ForEachVisitsAllTuplesInSourceOrder) {
+  auto Rel = createRelation(Decl, orders());
+  std::set<Tuple<2>> Expected;
+  std::mt19937 Rng(3);
+  std::uniform_int_distribution<RamDomain> Dist(-50, 50);
+  for (int I = 0; I < 300; ++I) {
+    Tuple<2> T = {Dist(Rng), Dist(Rng)};
+    Rel->insert(T.data());
+    Expected.insert(T);
+  }
+  std::vector<Tuple<2>> Seen;
+  Rel->forEach(
+      [&](const RamDomain *Tuple) { Seen.push_back({Tuple[0], Tuple[1]}); });
+  EXPECT_EQ(Seen.size(), Expected.size());
+  for (const auto &Tuple : Seen)
+    EXPECT_TRUE(Expected.count(Tuple));
+}
+
+TEST(RelationFactoryTest, CreatesEveryShapeInThePortfolio) {
+  // B-tree arities 1..16.
+  for (std::size_t Arity = 1; Arity <= 16; ++Arity) {
+    ram::Relation Decl("r",
+                       std::vector<ColumnTypeKind>(
+                           Arity, ColumnTypeKind::Number),
+                       ram::StructureKind::Btree);
+    auto Rel = createRelation(Decl, {Order::identity(Arity)});
+    EXPECT_EQ(Rel->getKind(), RelKind::Btree);
+    EXPECT_EQ(Rel->getArity(), Arity);
+    std::vector<RamDomain> T(Arity, 1);
+    EXPECT_TRUE(Rel->insert(T.data()));
+    EXPECT_TRUE(Rel->contains(T.data()));
+  }
+  // Brie arities 1..8.
+  for (std::size_t Arity = 1; Arity <= 8; ++Arity) {
+    ram::Relation Decl("r",
+                       std::vector<ColumnTypeKind>(
+                           Arity, ColumnTypeKind::Number),
+                       ram::StructureKind::Brie);
+    auto Rel = createRelation(Decl, {Order::identity(Arity)});
+    EXPECT_EQ(Rel->getKind(), RelKind::Brie);
+    std::vector<RamDomain> T(Arity, 2);
+    EXPECT_TRUE(Rel->insert(T.data()));
+  }
+  // Eqrel.
+  ram::Relation EqDecl(
+      "eq", {ColumnTypeKind::Number, ColumnTypeKind::Number},
+      ram::StructureKind::Eqrel);
+  auto Eq = createRelation(EqDecl, {Order::identity(2)});
+  EXPECT_EQ(Eq->getKind(), RelKind::Eqrel);
+}
+
+TEST(EqrelRelationTest, RangeMasksFollowUnionFindSemantics) {
+  ram::Relation Decl("eq",
+                     {ColumnTypeKind::Number, ColumnTypeKind::Number},
+                     ram::StructureKind::Eqrel);
+  auto Rel = createRelation(Decl, {Order::identity(2)});
+  RamDomain P1[2] = {1, 2};
+  RamDomain P2[2] = {2, 3};
+  Rel->insert(P1);
+  Rel->insert(P2);
+  // Class {1,2,3}: 9 pairs.
+  EXPECT_EQ(Rel->size(), 9u);
+
+  auto Drain = [&](std::unique_ptr<TupleStream> Stream) {
+    BufferedTupleSource Source(std::move(Stream), 2);
+    std::vector<Tuple<2>> Result;
+    while (const RamDomain *Tuple = Source.next())
+      Result.push_back({Tuple[0], Tuple[1]});
+    return Result;
+  };
+
+  // Mask 01: pairs (1, *).
+  RamDomain KeyA[2] = {1, 0};
+  auto FirstBound = Drain(Rel->range(0, KeyA, 1, 0b01, false));
+  EXPECT_EQ(FirstBound,
+            (std::vector<Tuple<2>>{{1, 1}, {1, 2}, {1, 3}}));
+
+  // Mask 10: pairs (*, 3).
+  RamDomain KeyB[2] = {0, 3};
+  auto SecondBound = Drain(Rel->range(0, KeyB, 1, 0b10, false));
+  EXPECT_EQ(SecondBound,
+            (std::vector<Tuple<2>>{{1, 3}, {2, 3}, {3, 3}}));
+
+  // Mask 11: exactly one pair when related.
+  RamDomain KeyC[2] = {3, 1};
+  auto Both = Drain(Rel->range(0, KeyC, 2, 0b11, false));
+  EXPECT_EQ(Both, (std::vector<Tuple<2>>{{3, 1}}));
+  RamDomain KeyD[2] = {3, 99};
+  EXPECT_TRUE(Drain(Rel->range(0, KeyD, 2, 0b11, false)).empty());
+
+  // Full scan yields the whole closure.
+  EXPECT_EQ(Drain(Rel->scan(0, false)).size(), 9u);
+}
+
+TEST(LegacyRelationTest, RuntimeComparatorMatchesDespecializedResults) {
+  ram::Relation Decl("edge",
+                     {ColumnTypeKind::Number, ColumnTypeKind::Number},
+                     ram::StructureKind::Btree);
+  Decl.setOrders({{0, 1}, {1, 0}});
+  std::vector<Order> Orders = {Order({0, 1}), Order({1, 0})};
+  auto Modern = createRelation(Decl, Orders, /*Legacy=*/false);
+  auto Legacy = createRelation(Decl, Orders, /*Legacy=*/true);
+  EXPECT_EQ(Legacy->getKind(), RelKind::Legacy);
+
+  std::mt19937 Rng(9);
+  std::uniform_int_distribution<RamDomain> Dist(-20, 20);
+  for (int I = 0; I < 500; ++I) {
+    RamDomain T[2] = {Dist(Rng), Dist(Rng)};
+    EXPECT_EQ(Modern->insert(T), Legacy->insert(T));
+  }
+  EXPECT_EQ(Modern->size(), Legacy->size());
+
+  // Identical range results through the flipped index.
+  for (RamDomain Key = -20; Key <= 20; ++Key) {
+    RamDomain Pattern[2] = {Key, Key};
+    EXPECT_EQ(Modern->containsRange(1, Pattern, 1, 0b10),
+              Legacy->containsRange(1, Pattern, 1, 0b10))
+        << "key " << Key;
+
+    auto DrainSorted = [](RelationWrapper &,
+                          std::unique_ptr<TupleStream> Stream) {
+      BufferedTupleSource Source(std::move(Stream), 2);
+      std::vector<Tuple<2>> Result;
+      while (const RamDomain *Tuple = Source.next())
+        Result.push_back({Tuple[0], Tuple[1]});
+      std::sort(Result.begin(), Result.end());
+      return Result;
+    };
+    EXPECT_EQ(DrainSorted(*Modern, Modern->range(1, Pattern, 1, 0b10, true)),
+              DrainSorted(*Legacy, Legacy->range(1, Pattern, 1, 0b10, true)));
+  }
+}
+
+TEST(BufferedTupleSourceTest, AmortizesRefillsOverBufferSize) {
+  /// A stream that counts its virtual refills.
+  class CountingStream final : public TupleStream {
+  public:
+    std::size_t Remaining;
+    std::size_t Refills = 0;
+    explicit CountingStream(std::size_t N) : Remaining(N) {}
+    std::size_t refill(RamDomain *Buffer, std::size_t Capacity) override {
+      ++Refills;
+      std::size_t N = std::min(Capacity, Remaining);
+      for (std::size_t I = 0; I < N; ++I)
+        Buffer[I] = static_cast<RamDomain>(I);
+      Remaining -= N;
+      return N;
+    }
+  };
+
+  auto Stream = std::make_unique<CountingStream>(1000);
+  CountingStream *Raw = Stream.get();
+  BufferedTupleSource Source(std::move(Stream), /*Arity=*/1);
+  std::size_t Count = 0;
+  while (Source.next())
+    ++Count;
+  EXPECT_EQ(Count, 1000u);
+  // 1000 tuples at 128 per refill: 8 refills plus the final empty one.
+  EXPECT_EQ(Raw->Refills, 9u);
+}
+
+} // namespace

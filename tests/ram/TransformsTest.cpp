@@ -1,0 +1,167 @@
+//===- tests/ram/TransformsTest.cpp - RAM optimization tests -------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ram/Transforms.h"
+
+#include "ast/Parser.h"
+#include "ast/SemanticAnalysis.h"
+#include "core/Program.h"
+#include "ram/RamPrinter.h"
+#include "translate/AstToRam.h"
+
+#include <gtest/gtest.h>
+
+using namespace stird;
+using namespace stird::ram;
+
+namespace {
+
+/// Translates without the core facade so the RAM is unoptimized.
+struct RawTranslation {
+  std::unique_ptr<ram::Program> Prog;
+  SymbolTable Symbols;
+};
+
+RawTranslation translateRaw(const std::string &Source) {
+  RawTranslation Result;
+  auto Parsed = ast::parseProgram(Source);
+  EXPECT_TRUE(Parsed.succeeded());
+  auto Info = ast::analyze(*Parsed.Prog);
+  EXPECT_TRUE(Info.succeeded());
+  auto Translated =
+      translate::translateToRam(*Parsed.Prog, Info, Result.Symbols);
+  EXPECT_TRUE(Translated.succeeded());
+  Result.Prog = std::move(Translated.Prog);
+  return Result;
+}
+
+TEST(TransformsTest, FoldsConstantArithmetic) {
+  auto T = translateRaw(".decl a(x:number)\n.decl b(x:number)\n"
+                        "b(x + (2 * 3 + 4)) :- a(x).");
+  std::string Before = print(*T.Prog);
+  EXPECT_NE(Before.find("mul(2, 3)"), std::string::npos);
+
+  TransformStats Stats = foldConstants(*T.Prog, T.Symbols);
+  EXPECT_GE(Stats.FoldedExpressions, 2u); // 2*3 and 6+4
+  std::string After = print(*T.Prog);
+  EXPECT_EQ(After.find("mul"), std::string::npos);
+  EXPECT_NE(After.find("add(t0.0, 10)"), std::string::npos);
+}
+
+TEST(TransformsTest, FoldsConstantStringFunctors) {
+  auto T = translateRaw(".decl a(x:number)\n.decl b(s:symbol, n:number)\n"
+                        "b(cat(\"foo\", \"bar\"), strlen(\"four\")) :- "
+                        "a(_).");
+  TransformStats Stats = foldConstants(*T.Prog, T.Symbols);
+  EXPECT_GE(Stats.FoldedExpressions, 2u);
+  // The folded cat result is interned.
+  EXPECT_GE(T.Symbols.lookup("foobar"), 0);
+  std::string After = print(*T.Prog);
+  // The rule *label* still spells cat(...); the executable body after
+  // QUERY must not.
+  std::size_t Body = After.find("QUERY");
+  ASSERT_NE(Body, std::string::npos);
+  EXPECT_EQ(After.find("cat(", Body), std::string::npos);
+  EXPECT_NE(After.find(",4) INTO b"), std::string::npos);
+}
+
+TEST(TransformsTest, FoldsTrueConstraintsAwayEntirely) {
+  auto T = translateRaw(".decl a(x:number)\n.decl b(x:number)\n"
+                        "b(x) :- a(x), 1 < 2, 3 = 3.");
+  TransformStats Stats = foldConstants(*T.Prog, T.Symbols);
+  EXPECT_GE(Stats.FoldedConditions, 2u);
+  std::string After = print(*T.Prog);
+  // Both filters vanish: the scan directly feeds the insert.
+  EXPECT_EQ(After.find("IF (1 < 2)"), std::string::npos);
+  EXPECT_EQ(After.find("IF (3 = 3)"), std::string::npos);
+}
+
+TEST(TransformsTest, NeverTrueConstraintIsKept) {
+  auto T = translateRaw(".decl a(x:number)\n.decl b(x:number)\n"
+                        "b(x) :- a(x), 2 < 1.");
+  foldConstants(*T.Prog, T.Symbols);
+  std::string After = print(*T.Prog);
+  // Dead rule: the never-true filter survives (documented behavior).
+  EXPECT_NE(After.find("IF (2 < 1)"), std::string::npos);
+}
+
+TEST(TransformsTest, MergesFilterChains) {
+  auto T = translateRaw(
+      ".decl a(x:number, y:number)\n.decl b(x:number)\n"
+      "b(x) :- a(x, y), x < y, x != 3, y != 7, x + y < 100.");
+  std::string Before = print(*T.Prog);
+  // Four separate filters before merging.
+  std::size_t FiltersBefore = 0;
+  for (std::size_t Pos = Before.find("IF "); Pos != std::string::npos;
+       Pos = Before.find("IF ", Pos + 1))
+    ++FiltersBefore;
+  EXPECT_GE(FiltersBefore, 4u);
+
+  std::size_t Merged = mergeAdjacentFilters(*T.Prog);
+  EXPECT_EQ(Merged, 3u);
+  std::string After = print(*T.Prog);
+  EXPECT_NE(After.find(" AND "), std::string::npos);
+}
+
+TEST(TransformsTest, TransformsPreserveResults) {
+  const std::string Source =
+      ".decl e(a:number, b:number)\n.decl out(a:number, b:number)\n"
+      ".decl tc(a:number, b:number)\n"
+      "out(x + 1 * 2, y) :- e(x, y), x < y + 2 * 5, x != 2 + 1, "
+      "y % (6 / 3) = 0.\n"
+      "tc(x, y) :- e(x, y).\ntc(x, z) :- tc(x, y), e(y, z).";
+
+  // Reference: unoptimized RAM executed directly.
+  auto Raw = translateRaw(Source);
+  auto RawIndexes = translate::selectIndexes(*Raw.Prog);
+  interp::Engine RawEngine(*Raw.Prog, RawIndexes, Raw.Symbols);
+  std::vector<DynTuple> Edges;
+  for (RamDomain I = 0; I < 40; ++I)
+    Edges.push_back({I % 11, (I * 3) % 11});
+  RawEngine.insertTuples("e", Edges);
+  RawEngine.run();
+
+  // Optimized: the core facade applies both passes.
+  auto Optimized = core::Program::fromSource(Source);
+  ASSERT_NE(Optimized, nullptr);
+  auto Engine = Optimized->makeEngine();
+  Engine->insertTuples("e", Edges);
+  Engine->run();
+
+  EXPECT_EQ(Engine->getTuples("out"), RawEngine.getTuples("out"));
+  EXPECT_EQ(Engine->getTuples("tc"), RawEngine.getTuples("tc"));
+  EXPECT_FALSE(Engine->getTuples("out").empty());
+}
+
+TEST(TransformsTest, MergedFiltersFuseIntoOneMicroProgram) {
+  // With merging + fusion, a whole multi-conjunct filter costs one
+  // dispatch: dispatch counts must drop strictly more than with fusion of
+  // individual filters disabled.
+  const std::string Source =
+      ".decl a(x:number, y:number)\n.decl b(x:number)\n"
+      "b(x) :- a(x, y), x < y, x != 3, y != 7, x + y < 100, "
+      "(x band 1) = (y band 1).";
+  auto Prog = core::Program::fromSource(Source);
+  ASSERT_NE(Prog, nullptr);
+
+  auto Run = [&](bool Fuse) {
+    interp::EngineOptions Options;
+    Options.FuseConditions = Fuse;
+    auto Engine = Prog->makeEngine(Options);
+    std::vector<DynTuple> Data;
+    for (RamDomain I = 0; I < 200; ++I)
+      Data.push_back({I % 23, (I * 7) % 23});
+    Engine->insertTuples("a", Data);
+    Engine->run();
+    return std::pair(Engine->getTuples("b"), Engine->getNumDispatches());
+  };
+  auto [FusedTuples, FusedDispatches] = Run(true);
+  auto [PlainTuples, PlainDispatches] = Run(false);
+  EXPECT_EQ(FusedTuples, PlainTuples);
+  EXPECT_LT(FusedDispatches, PlainDispatches);
+}
+
+} // namespace

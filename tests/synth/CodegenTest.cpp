@@ -1,0 +1,112 @@
+//===- tests/synth/CodegenTest.cpp - Generated-code structure tests ------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fast (no compiler invocation) checks on the shape of the synthesized
+/// C++: relations become fully specialized structs, permutations are
+/// emitted as constant subscripts, rule bodies become plain loops, and
+/// swapped relations share one struct type.
+///
+//===----------------------------------------------------------------------===//
+
+#include "synth/CppSynthesizer.h"
+
+#include "core/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace stird;
+
+namespace {
+
+std::string synthesizeSource(const std::string &Source) {
+  auto Prog = core::Program::fromSource(Source);
+  EXPECT_NE(Prog, nullptr);
+  if (!Prog)
+    return "";
+  return synth::synthesize(Prog->getRam(), Prog->getIndexes(),
+                           Prog->getSymbolTable());
+}
+
+TEST(CodegenTest, RelationsBecomeSpecializedStructs) {
+  std::string Cpp = synthesizeSource(
+      ".decl e(a:number, b:number)\n.decl r(x:number)\n"
+      "r(y) :- e(7, y).");
+  EXPECT_NE(Cpp.find("stird::BTreeSet<2>"), std::string::npos);
+  EXPECT_NE(Cpp.find("struct RelType_btree_2_01"), std::string::npos);
+  EXPECT_NE(Cpp.find(" R_e;"), std::string::npos);
+  EXPECT_NE(Cpp.find(" R_r;"), std::string::npos);
+}
+
+TEST(CodegenTest, InsertEmitsConstantSubscriptPermutations) {
+  // Searching on e's second column adds a flipped index whose insert-time
+  // permutation must be straight-line constant subscripts.
+  std::string Cpp = synthesizeSource(
+      ".decl e(a:number, b:number)\n.decl s(x:number)\n.decl r(x:number)\n"
+      "r(x) :- s(y), e(x, y).");
+  EXPECT_NE(Cpp.find("s[1], s[0]"), std::string::npos)
+      << "flipped index insert should encode with constant subscripts";
+  EXPECT_NE(Cpp.find("pad_lo<2, 1>"), std::string::npos)
+      << "range query should use compile-time prefix padding";
+}
+
+TEST(CodegenTest, RecursiveProgramEmitsFixpointLoop) {
+  std::string Cpp = synthesizeSource(
+      ".decl e(a:number, b:number)\n.decl p(a:number, b:number)\n"
+      "p(x, y) :- e(x, y).\np(x, z) :- p(x, y), e(y, z).");
+  EXPECT_NE(Cpp.find("for (;;) {"), std::string::npos);
+  EXPECT_NE(Cpp.find("if (R_new_p.empty()) break;"), std::string::npos);
+  EXPECT_NE(Cpp.find("R_delta_p.swapData(R_new_p);"), std::string::npos);
+  // Swapped relations share one struct type.
+  std::size_t DeltaDecl = Cpp.find(" R_delta_p;");
+  std::size_t NewDecl = Cpp.find(" R_new_p;");
+  ASSERT_NE(DeltaDecl, std::string::npos);
+  ASSERT_NE(NewDecl, std::string::npos);
+  auto TypeBefore = [&](std::size_t Pos) {
+    std::size_t LineStart = Cpp.rfind('\n', Pos);
+    return Cpp.substr(LineStart + 1, Pos - LineStart - 1);
+  };
+  EXPECT_EQ(TypeBefore(DeltaDecl), TypeBefore(NewDecl));
+}
+
+TEST(CodegenTest, SymbolTableIsReplayedInOrder) {
+  std::string Cpp = synthesizeSource(
+      ".decl a(s:symbol)\na(\"first\").\na(\"second\").");
+  std::size_t First = Cpp.find("rt::symbols.intern(\"first\")");
+  std::size_t Second = Cpp.find("rt::symbols.intern(\"second\")");
+  ASSERT_NE(First, std::string::npos);
+  ASSERT_NE(Second, std::string::npos);
+  EXPECT_LT(First, Second);
+}
+
+TEST(CodegenTest, EqrelUsesUnionFindStructure) {
+  std::string Cpp = synthesizeSource(
+      ".decl link(a:number, b:number)\n"
+      ".decl same(a:number, b:number) eqrel\n"
+      "same(a, b) :- link(a, b).");
+  EXPECT_NE(Cpp.find("stird::EquivalenceRelation"), std::string::npos);
+  EXPECT_NE(Cpp.find("eq.insert(s[0], s[1])"), std::string::npos);
+}
+
+TEST(CodegenTest, RuleTimersAndReportingEmitted) {
+  std::string Cpp = synthesizeSource(
+      ".decl a(x:number)\n.decl b(x:number)\nb(x) :- a(x).");
+  EXPECT_NE(Cpp.find("stird::Timer rt_timer;"), std::string::npos);
+  EXPECT_NE(Cpp.find("ruleSeconds[0]"), std::string::npos);
+  EXPECT_NE(Cpp.find("RUNTIME\\t"), std::string::npos);
+  EXPECT_NE(Cpp.find("RELSIZE\\tb"), std::string::npos);
+}
+
+TEST(CodegenTest, BrieRelationsUsePrefixRanges) {
+  std::string Cpp = synthesizeSource(
+      ".decl e(a:number, b:number) brie\n.decl s(x:number)\n"
+      ".decl r(x:number)\n"
+      "r(y) :- s(x), e(x, y).");
+  EXPECT_NE(Cpp.find("stird::Brie<2>"), std::string::npos);
+  EXPECT_NE(Cpp.find(".prefixBegin("), std::string::npos);
+}
+
+} // namespace

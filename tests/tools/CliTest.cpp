@@ -1,0 +1,152 @@
+//===- tests/tools/CliTest.cpp - Command-line driver tests ---------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests of the `stird` driver binary: runs it as a subprocess
+/// over real .dl and fact files and checks outputs, dumps and exit codes.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef STIRD_TOOL_PATH
+#error "STIRD_TOOL_PATH must point at the stird driver binary"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int ExitCode = 0;
+  std::string Output; // stdout + stderr
+};
+
+CommandResult runTool(const std::string &Args, const std::string &Dir) {
+  const std::string OutPath = Dir + "/cli.out";
+  const std::string Command =
+      std::string(STIRD_TOOL_PATH) + " " + Args + " > " + OutPath + " 2>&1";
+  CommandResult Result;
+  Result.ExitCode = std::system(Command.c_str());
+  std::ifstream In(OutPath);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Result.Output = Buffer.str();
+  return Result;
+}
+
+/// A scratch directory with the transitive-closure program and facts.
+std::string makeFixture(const std::string &Name) {
+  const std::string Dir = ::testing::TempDir() + "/cli_" + Name;
+  std::filesystem::create_directories(Dir);
+  std::ofstream(Dir + "/tc.dl") << ".decl edge(a:number, b:number)\n"
+                                   ".decl path(a:number, b:number)\n"
+                                   ".input edge\n.output path\n"
+                                   ".printsize path\n"
+                                   "path(x, y) :- edge(x, y).\n"
+                                   "path(x, z) :- path(x, y), edge(y, z).\n";
+  std::ofstream(Dir + "/edge.facts") << "1\t2\n2\t3\n3\t4\n";
+  return Dir;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+TEST(CliTest, RunsProgramAndWritesOutputs) {
+  std::string Dir = makeFixture("run");
+  CommandResult Result =
+      runTool(Dir + "/tc.dl -F " + Dir + " -D " + Dir, Dir);
+  EXPECT_EQ(Result.ExitCode, 0) << Result.Output;
+  EXPECT_NE(Result.Output.find("path\t6"), std::string::npos)
+      << Result.Output;
+  EXPECT_EQ(readFile(Dir + "/path.csv"),
+            "1\t2\n1\t3\n1\t4\n2\t3\n2\t4\n3\t4\n");
+}
+
+TEST(CliTest, AllBackendsAgree) {
+  for (const char *Backend : {"sti", "sti-plain", "dynamic", "legacy"}) {
+    std::string Dir = makeFixture(std::string("backend_") + Backend);
+    CommandResult Result = runTool(Dir + "/tc.dl -F " + Dir + " -D " + Dir +
+                                       " --backend " + Backend,
+                                   Dir);
+    EXPECT_EQ(Result.ExitCode, 0) << Backend << ": " << Result.Output;
+    EXPECT_EQ(readFile(Dir + "/path.csv"),
+              "1\t2\n1\t3\n1\t4\n2\t3\n2\t4\n3\t4\n")
+        << Backend;
+  }
+}
+
+TEST(CliTest, DumpRamAndDumpTree) {
+  std::string Dir = makeFixture("dumps");
+  CommandResult Ram = runTool(Dir + "/tc.dl --dump-ram", Dir);
+  EXPECT_EQ(Ram.ExitCode, 0);
+  EXPECT_NE(Ram.Output.find("LOOP"), std::string::npos);
+  EXPECT_NE(Ram.Output.find("SWAP (delta_path, new_path)"),
+            std::string::npos);
+
+  CommandResult Tree = runTool(Dir + "/tc.dl --dump-tree", Dir);
+  EXPECT_EQ(Tree.ExitCode, 0);
+  EXPECT_NE(Tree.Output.find("IndexScan_Btree_2"), std::string::npos);
+
+  CommandResult DynTree =
+      runTool(Dir + "/tc.dl --dump-tree --backend dynamic", Dir);
+  EXPECT_NE(DynTree.Output.find("GenericIndexScan"), std::string::npos);
+}
+
+TEST(CliTest, ProfileReportsRules) {
+  std::string Dir = makeFixture("profile");
+  CommandResult Result =
+      runTool(Dir + "/tc.dl -F " + Dir + " -D " + Dir + " --profile", Dir);
+  EXPECT_EQ(Result.ExitCode, 0);
+  EXPECT_NE(Result.Output.find("path(x, z) :- path(x, y), edge(y, z). [v0]"),
+            std::string::npos)
+      << Result.Output;
+}
+
+TEST(CliTest, SynthesizeWritesCompilableSource) {
+  std::string Dir = makeFixture("synth");
+  CommandResult Result =
+      runTool(Dir + "/tc.dl --synthesize " + Dir + "/gen.cpp", Dir);
+  EXPECT_EQ(Result.ExitCode, 0) << Result.Output;
+  std::string Generated = readFile(Dir + "/gen.cpp");
+  EXPECT_NE(Generated.find("stird::BTreeSet<2>"), std::string::npos);
+  EXPECT_NE(Generated.find("int main("), std::string::npos);
+}
+
+TEST(CliTest, ErrorsExitNonZero) {
+  std::string Dir = makeFixture("errors");
+  CommandResult Missing = runTool("/nonexistent/prog.dl", Dir);
+  EXPECT_NE(Missing.ExitCode, 0);
+
+  std::ofstream(Dir + "/bad.dl") << ".decl a(x:number)\na(y) :- a(x).\n";
+  CommandResult Semantic = runTool(Dir + "/bad.dl", Dir);
+  EXPECT_NE(Semantic.ExitCode, 0);
+  EXPECT_NE(Semantic.Output.find("ungrounded"), std::string::npos);
+
+  CommandResult BadFlag = runTool(Dir + "/bad.dl --backend warp", Dir);
+  EXPECT_NE(BadFlag.ExitCode, 0);
+}
+
+TEST(CliTest, AblationFlagsAccepted) {
+  std::string Dir = makeFixture("flags");
+  CommandResult Result = runTool(
+      Dir + "/tc.dl -F " + Dir + " -D " + Dir +
+          " --no-super --no-reorder --fuse-conditions",
+      Dir);
+  EXPECT_EQ(Result.ExitCode, 0) << Result.Output;
+  EXPECT_EQ(readFile(Dir + "/path.csv"),
+            "1\t2\n1\t3\n1\t4\n2\t3\n2\t4\n3\t4\n");
+}
+
+} // namespace

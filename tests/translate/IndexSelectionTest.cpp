@@ -1,0 +1,180 @@
+//===- tests/translate/IndexSelectionTest.cpp - Chain cover tests --------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "translate/IndexSelection.h"
+
+#include "ast/Parser.h"
+#include "ast/SemanticAnalysis.h"
+#include "translate/AstToRam.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+using namespace stird;
+using namespace stird::translate;
+
+namespace {
+
+/// Checks the fundamental contract: every signature is served by an order
+/// whose first popcount(sig) columns are exactly the signature's columns.
+void expectValidCover(const RelationIndexInfo &Info,
+                      const std::vector<std::uint32_t> &Signatures,
+                      std::size_t Arity) {
+  ASSERT_FALSE(Info.Orders.empty());
+  for (const auto &Order : Info.Orders) {
+    ASSERT_EQ(Order.size(), Arity);
+    // Each order is a permutation.
+    std::uint32_t Seen = 0;
+    for (std::uint32_t Col : Order) {
+      ASSERT_LT(Col, Arity);
+      ASSERT_FALSE(Seen & (1U << Col)) << "duplicate column in order";
+      Seen |= 1U << Col;
+    }
+  }
+  for (std::uint32_t Sig : Signatures) {
+    if (Sig == 0)
+      continue;
+    auto It = Info.Placement.find(Sig);
+    ASSERT_NE(It, Info.Placement.end()) << "signature not placed";
+    const auto &Placement = It->second;
+    ASSERT_LT(Placement.OrderIndex, Info.Orders.size());
+    EXPECT_EQ(Placement.PrefixLength,
+              static_cast<std::size_t>(std::popcount(Sig)));
+    const auto &Order = Info.Orders[Placement.OrderIndex];
+    std::uint32_t Prefix = 0;
+    for (std::size_t J = 0; J < Placement.PrefixLength; ++J)
+      Prefix |= 1U << Order[J];
+    EXPECT_EQ(Prefix, Sig)
+        << "prefix of the assigned order must equal the signature";
+  }
+}
+
+TEST(IndexSelectionTest, SingleSignature) {
+  auto Info = computeIndexes({0b01}, 2);
+  expectValidCover(Info, {0b01}, 2);
+  EXPECT_EQ(Info.Orders.size(), 1u);
+}
+
+TEST(IndexSelectionTest, ChainOfSubsetsSharesOneOrder) {
+  // {0} ⊂ {0,1} ⊂ {0,1,2}: a single order must suffice.
+  auto Info = computeIndexes({0b001, 0b011, 0b111}, 3);
+  expectValidCover(Info, {0b001, 0b011, 0b111}, 3);
+  EXPECT_EQ(Info.Orders.size(), 1u);
+}
+
+TEST(IndexSelectionTest, IncomparableSignaturesNeedSeparateOrders) {
+  // {0} and {1} cannot share a prefix.
+  auto Info = computeIndexes({0b01, 0b10}, 2);
+  expectValidCover(Info, {0b01, 0b10}, 2);
+  EXPECT_EQ(Info.Orders.size(), 2u);
+}
+
+TEST(IndexSelectionTest, PaperExampleTwoChains) {
+  // {0}, {1}, {0,1}: minimum chain cover is 2 ({0}⊂{0,1} and {1}).
+  auto Info = computeIndexes({0b01, 0b10, 0b11}, 2);
+  expectValidCover(Info, {0b01, 0b10, 0b11}, 2);
+  EXPECT_EQ(Info.Orders.size(), 2u);
+}
+
+TEST(IndexSelectionTest, DiamondNeedsTwoChains) {
+  // {0}, {1}, {0,1}, {0,1,2}: chains {0}⊂{0,1}⊂{0,1,2} and {1}.
+  auto Info = computeIndexes({0b001, 0b010, 0b011, 0b111}, 3);
+  expectValidCover(Info, {0b001, 0b010, 0b011, 0b111}, 3);
+  EXPECT_EQ(Info.Orders.size(), 2u);
+}
+
+TEST(IndexSelectionTest, EmptySignatureSetGetsNaturalOrder) {
+  auto Info = computeIndexes({}, 3);
+  ASSERT_EQ(Info.Orders.size(), 1u);
+  EXPECT_EQ(Info.Orders[0], (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(IndexSelectionTest, DuplicateSignaturesDeduplicated) {
+  auto Info = computeIndexes({0b01, 0b01, 0b01}, 2);
+  expectValidCover(Info, {0b01}, 2);
+  EXPECT_EQ(Info.Orders.size(), 1u);
+}
+
+TEST(IndexSelectionTest, AntichainNeedsOneOrderEach) {
+  // Pairwise incomparable two-column signatures over 4 columns.
+  std::vector<std::uint32_t> Sigs = {0b0011, 0b0101, 0b1010, 0b1100};
+  auto Info = computeIndexes(Sigs, 4);
+  expectValidCover(Info, Sigs, 4);
+  // {0,1}⊂? none — all have popcount 2, so no chains merge.
+  EXPECT_EQ(Info.Orders.size(), 4u);
+}
+
+/// Property sweep: on random signature sets, the cover must be valid and
+/// no larger than the number of signatures.
+class IndexSelectionRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IndexSelectionRandomTest, RandomSignatureSetsGetValidMinimalCovers) {
+  auto [Arity, Seed] = GetParam();
+  std::mt19937 Rng(static_cast<unsigned>(Seed));
+  std::uniform_int_distribution<std::uint32_t> Dist(
+      1, (1U << Arity) - 1);
+  std::vector<std::uint32_t> Sigs;
+  for (int I = 0; I < 10; ++I)
+    Sigs.push_back(Dist(Rng));
+
+  auto Info = computeIndexes(Sigs, static_cast<std::size_t>(Arity));
+  expectValidCover(Info, Sigs, static_cast<std::size_t>(Arity));
+
+  std::set<std::uint32_t> Unique(Sigs.begin(), Sigs.end());
+  EXPECT_LE(Info.Orders.size(), Unique.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IndexSelectionRandomTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8),
+                       ::testing::Range(0, 10)));
+
+TEST(IndexSelectionProgramTest, SwappedRelationsShareLayout) {
+  // Build a recursive program; delta/new must end up with identical
+  // orders so SWAP can exchange them in O(1).
+  auto Parsed = ast::parseProgram(
+      ".decl e(a:number, b:number)\n.decl p(a:number, b:number)\n"
+      "p(x, y) :- e(x, y).\np(x, z) :- p(x, y), e(y, z).");
+  ASSERT_TRUE(Parsed.succeeded());
+  auto Info = ast::analyze(*Parsed.Prog);
+  ASSERT_TRUE(Info.succeeded());
+  SymbolTable Symbols;
+  auto Translated = translateToRam(*Parsed.Prog, Info, Symbols);
+  ASSERT_TRUE(Translated.succeeded());
+
+  auto Result = selectIndexes(*Translated.Prog);
+  const ram::Relation *Delta = Translated.Prog->findRelation("delta_p");
+  const ram::Relation *New = Translated.Prog->findRelation("new_p");
+  ASSERT_NE(Delta, nullptr);
+  ASSERT_NE(New, nullptr);
+  EXPECT_EQ(Delta->getOrders(), New->getOrders());
+}
+
+TEST(IndexSelectionProgramTest, SearchOnSecondColumnGetsServingOrder) {
+  auto Parsed = ast::parseProgram(
+      ".decl e(a:number, b:number)\n.decl r(a:number)\n.decl s(a:number)\n"
+      "r(x) :- s(y), e(x, y).");
+  ASSERT_TRUE(Parsed.succeeded());
+  auto Info = ast::analyze(*Parsed.Prog);
+  ASSERT_TRUE(Info.succeeded());
+  SymbolTable Symbols;
+  auto Translated = translateToRam(*Parsed.Prog, Info, Symbols);
+  ASSERT_TRUE(Translated.succeeded());
+
+  auto Result = selectIndexes(*Translated.Prog);
+  const ram::Relation *E = Translated.Prog->findRelation("e");
+  ASSERT_NE(E, nullptr);
+  // The scan binds column 1 (y); the serving order must start with it.
+  const auto &EInfo = Result.of(*E);
+  auto It = EInfo.Placement.find(0b10);
+  ASSERT_NE(It, EInfo.Placement.end());
+  EXPECT_EQ(EInfo.Orders[It->second.OrderIndex][0], 1u);
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+//===- tests/util/CsvTest.cpp - Fact-file IO tests -----------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/Csv.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace stird;
+
+namespace {
+
+TEST(CsvTest, ParsesAllColumnTypes) {
+  SymbolTable Symbols;
+  EXPECT_EQ(parseColumn("-42", ColumnTypeKind::Number, Symbols), -42);
+  EXPECT_EQ(ramBitCast<RamUnsigned>(
+                parseColumn("4000000000", ColumnTypeKind::Unsigned, Symbols)),
+            4000000000u);
+  EXPECT_FLOAT_EQ(ramBitCast<RamFloat>(
+                      parseColumn("2.5", ColumnTypeKind::Float, Symbols)),
+                  2.5f);
+  RamDomain Sym = parseColumn("alice", ColumnTypeKind::Symbol, Symbols);
+  EXPECT_EQ(Symbols.resolve(Sym), "alice");
+}
+
+TEST(CsvTest, PrintRoundTripsValues) {
+  SymbolTable Symbols;
+  EXPECT_EQ(printColumn(-7, ColumnTypeKind::Number, Symbols), "-7");
+  EXPECT_EQ(printColumn(ramBitCast<RamDomain>(RamUnsigned(3000000000u)),
+                        ColumnTypeKind::Unsigned, Symbols),
+            "3000000000");
+  RamDomain Sym = Symbols.intern("bob");
+  EXPECT_EQ(printColumn(Sym, ColumnTypeKind::Symbol, Symbols), "bob");
+}
+
+TEST(CsvTest, ReadStreamParsesTabSeparatedTuples) {
+  SymbolTable Symbols;
+  std::istringstream In("1\talice\n2\tbob\n\n3\tcarol\n");
+  auto Tuples = readFactStream(
+      In, {ColumnTypeKind::Number, ColumnTypeKind::Symbol}, Symbols);
+  ASSERT_EQ(Tuples.size(), 3u);
+  EXPECT_EQ(Tuples[0][0], 1);
+  EXPECT_EQ(Symbols.resolve(Tuples[0][1]), "alice");
+  EXPECT_EQ(Symbols.resolve(Tuples[2][1]), "carol");
+}
+
+TEST(CsvTest, SymbolsMayContainSpaces) {
+  SymbolTable Symbols;
+  std::istringstream In("a b c\t1\n");
+  auto Tuples = readFactStream(
+      In, {ColumnTypeKind::Symbol, ColumnTypeKind::Number}, Symbols);
+  ASSERT_EQ(Tuples.size(), 1u);
+  EXPECT_EQ(Symbols.resolve(Tuples[0][0]), "a b c");
+}
+
+TEST(CsvTest, LastColumnTakesRestOfLine) {
+  SymbolTable Symbols;
+  std::istringstream In("1\thas\ttabs inside\n");
+  auto Tuples = readFactStream(
+      In, {ColumnTypeKind::Number, ColumnTypeKind::Symbol}, Symbols);
+  ASSERT_EQ(Tuples.size(), 1u);
+  EXPECT_EQ(Symbols.resolve(Tuples[0][1]), "has\ttabs inside");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string Path = ::testing::TempDir() + "/csv_roundtrip.facts";
+  SymbolTable Symbols;
+  std::vector<ColumnTypeKind> Types = {ColumnTypeKind::Number,
+                                       ColumnTypeKind::Symbol};
+  std::vector<DynTuple> Tuples = {{1, Symbols.intern("x")},
+                                  {-5, Symbols.intern("y z")}};
+  writeFactFile(Path, Types, Symbols, Tuples);
+  auto ReadBack = readFactFile(Path, Types, Symbols);
+  EXPECT_EQ(ReadBack, Tuples);
+}
+
+} // namespace

@@ -1,0 +1,59 @@
+//===- tests/util/SymbolTableTest.cpp - Symbol interning tests -----------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/SymbolTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace stird;
+
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable Table;
+  RamDomain A = Table.intern("hello");
+  RamDomain B = Table.intern("world");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Table.intern("hello"), A);
+  EXPECT_EQ(Table.intern("world"), B);
+  EXPECT_EQ(Table.size(), 2u);
+}
+
+TEST(SymbolTableTest, OrdinalsAreDense) {
+  SymbolTable Table;
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Table.intern("sym" + std::to_string(I)), I);
+}
+
+TEST(SymbolTableTest, ResolveRoundTrips) {
+  SymbolTable Table;
+  RamDomain Id = Table.intern("round-trip");
+  EXPECT_EQ(Table.resolve(Id), "round-trip");
+  EXPECT_TRUE(Table.contains(Id));
+  EXPECT_FALSE(Table.contains(Id + 1));
+  EXPECT_FALSE(Table.contains(-1));
+}
+
+TEST(SymbolTableTest, LookupWithoutInterning) {
+  SymbolTable Table;
+  EXPECT_EQ(Table.lookup("absent"), -1);
+  Table.intern("present");
+  EXPECT_EQ(Table.lookup("present"), 0);
+  EXPECT_EQ(Table.size(), 1u);
+}
+
+TEST(SymbolTableTest, EmptyAndWeirdStrings) {
+  SymbolTable Table;
+  RamDomain Empty = Table.intern("");
+  RamDomain Tab = Table.intern("\t");
+  RamDomain Unicode = Table.intern("caf\xc3\xa9");
+  EXPECT_EQ(Table.resolve(Empty), "");
+  EXPECT_EQ(Table.resolve(Tab), "\t");
+  EXPECT_EQ(Table.resolve(Unicode), "caf\xc3\xa9");
+  EXPECT_EQ(Table.size(), 3u);
+}
+
+} // namespace

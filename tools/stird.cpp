@@ -1,0 +1,151 @@
+//===- tools/stird.cpp - The stird command-line driver -------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Soufflé-style command-line driver:
+///
+///   stird program.dl [options]
+///
+///   -F, --facts <dir>     fact-file directory (default .)
+///   -D, --output <dir>    output directory (default .)
+///   --backend <name>      sti | sti-plain | dynamic | legacy
+///   --no-super            disable super-instructions (Section 4.4)
+///   --no-reorder          disable static tuple reordering (Section 4.2)
+///   --fuse-conditions     enable fused-condition super-instructions (5.2)
+///   --dump-ram            print the RAM program and exit
+///   --profile             print the per-rule profile after the run
+///   --synthesize <file>   write the synthesized C++ instead of running
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Program.h"
+#include "synth/CppSynthesizer.h"
+#include "util/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace stird;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: stird <program.dl> [-F factdir] [-D outdir] [--backend "
+      "sti|sti-plain|dynamic|legacy]\n"
+      "             [--no-super] [--no-reorder] [--fuse-conditions]\n"
+      "             [--dump-ram] [--dump-tree] [--profile] "
+      "[--synthesize <file.cpp>]\n");
+}
+
+int main(int argc, char **argv) {
+  std::string ProgramPath;
+  interp::EngineOptions Options;
+  bool DumpRam = false;
+  bool DumpTree = false;
+  bool Profile = false;
+  std::string SynthesizePath;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++I];
+    };
+    if (Arg == "-F" || Arg == "--facts") {
+      Options.FactDir = Next();
+    } else if (Arg == "-D" || Arg == "--output") {
+      Options.OutputDir = Next();
+    } else if (Arg == "--backend") {
+      std::string Name = Next();
+      if (Name == "sti")
+        Options.TheBackend = interp::Backend::StaticLambda;
+      else if (Name == "sti-plain")
+        Options.TheBackend = interp::Backend::StaticPlain;
+      else if (Name == "dynamic")
+        Options.TheBackend = interp::Backend::DynamicAdapter;
+      else if (Name == "legacy")
+        Options.TheBackend = interp::Backend::Legacy;
+      else {
+        std::fprintf(stderr, "unknown backend '%s'\n", Name.c_str());
+        return 1;
+      }
+    } else if (Arg == "--no-super") {
+      Options.SuperInstructions = false;
+    } else if (Arg == "--no-reorder") {
+      Options.StaticReordering = false;
+    } else if (Arg == "--fuse-conditions") {
+      Options.FuseConditions = true;
+    } else if (Arg == "--dump-ram") {
+      DumpRam = true;
+    } else if (Arg == "--dump-tree") {
+      DumpTree = true;
+    } else if (Arg == "--profile") {
+      Profile = true;
+    } else if (Arg == "--synthesize") {
+      SynthesizePath = Next();
+    } else if (Arg == "-h" || Arg == "--help") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] != '-' && ProgramPath.empty()) {
+      ProgramPath = Arg;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (ProgramPath.empty()) {
+    usage();
+    return 1;
+  }
+
+  auto Prog = core::Program::fromFile(ProgramPath);
+  if (!Prog)
+    return 1;
+
+  if (DumpRam) {
+    std::printf("%s", Prog->dumpRam().c_str());
+    return 0;
+  }
+  if (DumpTree) {
+    auto Engine = Prog->makeEngine(Options);
+    std::printf("%s", Engine->dumpTree().c_str());
+    return 0;
+  }
+  if (!SynthesizePath.empty()) {
+    std::ofstream Out(SynthesizePath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", SynthesizePath.c_str());
+      return 1;
+    }
+    Out << synth::synthesize(Prog->getRam(), Prog->getIndexes(),
+                             Prog->getSymbolTable());
+    std::printf("synthesized C++ written to %s\n", SynthesizePath.c_str());
+    return 0;
+  }
+
+  auto Engine = Prog->makeEngine(Options);
+  Timer T;
+  Engine->run();
+  std::fprintf(stderr, "runtime: %.6f s, %llu dispatches\n", T.seconds(),
+               static_cast<unsigned long long>(Engine->getNumDispatches()));
+
+  if (Profile) {
+    std::fprintf(stderr, "%12s %10s %14s  rule\n", "seconds", "rounds",
+                 "dispatches");
+    for (const auto &Rule : Engine->getProfiler().rules())
+      std::fprintf(stderr, "%12.6f %10llu %14llu  %s\n", Rule.Seconds,
+                   static_cast<unsigned long long>(Rule.Invocations),
+                   static_cast<unsigned long long>(Rule.Dispatches),
+                   Rule.Label.c_str());
+  }
+  return 0;
+}
