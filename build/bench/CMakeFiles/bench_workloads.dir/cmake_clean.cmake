@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libbench_workloads.a"
+  "../lib/libbench_workloads.pdb"
+  "CMakeFiles/bench_workloads.dir/workloads/Harness.cpp.o"
+  "CMakeFiles/bench_workloads.dir/workloads/Harness.cpp.o.d"
+  "CMakeFiles/bench_workloads.dir/workloads/Workloads.cpp.o"
+  "CMakeFiles/bench_workloads.dir/workloads/Workloads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_overall.dir/fig15_overall.cpp.o"
+  "CMakeFiles/fig15_overall.dir/fig15_overall.cpp.o.d"
+  "fig15_overall"
+  "fig15_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

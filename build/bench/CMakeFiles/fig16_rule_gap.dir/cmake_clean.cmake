@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_rule_gap.dir/fig16_rule_gap.cpp.o"
+  "CMakeFiles/fig16_rule_gap.dir/fig16_rule_gap.cpp.o.d"
+  "fig16_rule_gap"
+  "fig16_rule_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_rule_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

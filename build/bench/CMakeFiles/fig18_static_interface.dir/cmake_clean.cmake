@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_static_interface.dir/fig18_static_interface.cpp.o"
+  "CMakeFiles/fig18_static_interface.dir/fig18_static_interface.cpp.o.d"
+  "fig18_static_interface"
+  "fig18_static_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_static_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

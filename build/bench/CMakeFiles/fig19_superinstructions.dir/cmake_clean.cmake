@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_superinstructions.dir/fig19_superinstructions.cpp.o"
+  "CMakeFiles/fig19_superinstructions.dir/fig19_superinstructions.cpp.o.d"
+  "fig19_superinstructions"
+  "fig19_superinstructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_superinstructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_der.dir/micro_der.cpp.o"
+  "CMakeFiles/micro_der.dir/micro_der.cpp.o.d"
+  "micro_der"
+  "micro_der.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_der.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_threading.dir/micro_threading.cpp.o"
+  "CMakeFiles/micro_threading.dir/micro_threading.cpp.o.d"
+  "micro_threading"
+  "micro_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_register_pressure.dir/sec55_register_pressure.cpp.o"
+  "CMakeFiles/sec55_register_pressure.dir/sec55_register_pressure.cpp.o.d"
+  "sec55_register_pressure"
+  "sec55_register_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_register_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

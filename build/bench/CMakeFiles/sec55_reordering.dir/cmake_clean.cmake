@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_reordering.dir/sec55_reordering.cpp.o"
+  "CMakeFiles/sec55_reordering.dir/sec55_reordering.cpp.o.d"
+  "sec55_reordering"
+  "sec55_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_first_run.dir/table1_first_run.cpp.o"
+  "CMakeFiles/table1_first_run.dir/table1_first_run.cpp.o.d"
+  "table1_first_run"
+  "table1_first_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_first_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow.dir/dataflow.cpp.o"
+  "CMakeFiles/dataflow.dir/dataflow.cpp.o.d"
+  "dataflow"
+  "dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

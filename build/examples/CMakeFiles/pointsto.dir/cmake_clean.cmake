@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointsto.dir/pointsto.cpp.o"
+  "CMakeFiles/pointsto.dir/pointsto.cpp.o.d"
+  "pointsto"
+  "pointsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

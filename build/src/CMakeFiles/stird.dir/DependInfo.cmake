@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/Ast.cpp" "src/CMakeFiles/stird.dir/ast/Ast.cpp.o" "gcc" "src/CMakeFiles/stird.dir/ast/Ast.cpp.o.d"
+  "/root/repo/src/ast/Lexer.cpp" "src/CMakeFiles/stird.dir/ast/Lexer.cpp.o" "gcc" "src/CMakeFiles/stird.dir/ast/Lexer.cpp.o.d"
+  "/root/repo/src/ast/Parser.cpp" "src/CMakeFiles/stird.dir/ast/Parser.cpp.o" "gcc" "src/CMakeFiles/stird.dir/ast/Parser.cpp.o.d"
+  "/root/repo/src/ast/SemanticAnalysis.cpp" "src/CMakeFiles/stird.dir/ast/SemanticAnalysis.cpp.o" "gcc" "src/CMakeFiles/stird.dir/ast/SemanticAnalysis.cpp.o.d"
+  "/root/repo/src/core/Program.cpp" "src/CMakeFiles/stird.dir/core/Program.cpp.o" "gcc" "src/CMakeFiles/stird.dir/core/Program.cpp.o.d"
+  "/root/repo/src/der/EquivalenceRelation.cpp" "src/CMakeFiles/stird.dir/der/EquivalenceRelation.cpp.o" "gcc" "src/CMakeFiles/stird.dir/der/EquivalenceRelation.cpp.o.d"
+  "/root/repo/src/der/Instantiations.cpp" "src/CMakeFiles/stird.dir/der/Instantiations.cpp.o" "gcc" "src/CMakeFiles/stird.dir/der/Instantiations.cpp.o.d"
+  "/root/repo/src/interp/DynamicEngine.cpp" "src/CMakeFiles/stird.dir/interp/DynamicEngine.cpp.o" "gcc" "src/CMakeFiles/stird.dir/interp/DynamicEngine.cpp.o.d"
+  "/root/repo/src/interp/Engine.cpp" "src/CMakeFiles/stird.dir/interp/Engine.cpp.o" "gcc" "src/CMakeFiles/stird.dir/interp/Engine.cpp.o.d"
+  "/root/repo/src/interp/Generator.cpp" "src/CMakeFiles/stird.dir/interp/Generator.cpp.o" "gcc" "src/CMakeFiles/stird.dir/interp/Generator.cpp.o.d"
+  "/root/repo/src/interp/NodePrinter.cpp" "src/CMakeFiles/stird.dir/interp/NodePrinter.cpp.o" "gcc" "src/CMakeFiles/stird.dir/interp/NodePrinter.cpp.o.d"
+  "/root/repo/src/interp/Profiler.cpp" "src/CMakeFiles/stird.dir/interp/Profiler.cpp.o" "gcc" "src/CMakeFiles/stird.dir/interp/Profiler.cpp.o.d"
+  "/root/repo/src/interp/Relation.cpp" "src/CMakeFiles/stird.dir/interp/Relation.cpp.o" "gcc" "src/CMakeFiles/stird.dir/interp/Relation.cpp.o.d"
+  "/root/repo/src/interp/StaticEngineLambda.cpp" "src/CMakeFiles/stird.dir/interp/StaticEngineLambda.cpp.o" "gcc" "src/CMakeFiles/stird.dir/interp/StaticEngineLambda.cpp.o.d"
+  "/root/repo/src/interp/StaticEnginePlain.cpp" "src/CMakeFiles/stird.dir/interp/StaticEnginePlain.cpp.o" "gcc" "src/CMakeFiles/stird.dir/interp/StaticEnginePlain.cpp.o.d"
+  "/root/repo/src/ram/Clone.cpp" "src/CMakeFiles/stird.dir/ram/Clone.cpp.o" "gcc" "src/CMakeFiles/stird.dir/ram/Clone.cpp.o.d"
+  "/root/repo/src/ram/Ram.cpp" "src/CMakeFiles/stird.dir/ram/Ram.cpp.o" "gcc" "src/CMakeFiles/stird.dir/ram/Ram.cpp.o.d"
+  "/root/repo/src/ram/RamPrinter.cpp" "src/CMakeFiles/stird.dir/ram/RamPrinter.cpp.o" "gcc" "src/CMakeFiles/stird.dir/ram/RamPrinter.cpp.o.d"
+  "/root/repo/src/ram/Transforms.cpp" "src/CMakeFiles/stird.dir/ram/Transforms.cpp.o" "gcc" "src/CMakeFiles/stird.dir/ram/Transforms.cpp.o.d"
+  "/root/repo/src/synth/CompilerDriver.cpp" "src/CMakeFiles/stird.dir/synth/CompilerDriver.cpp.o" "gcc" "src/CMakeFiles/stird.dir/synth/CompilerDriver.cpp.o.d"
+  "/root/repo/src/synth/CppSynthesizer.cpp" "src/CMakeFiles/stird.dir/synth/CppSynthesizer.cpp.o" "gcc" "src/CMakeFiles/stird.dir/synth/CppSynthesizer.cpp.o.d"
+  "/root/repo/src/translate/AstToRam.cpp" "src/CMakeFiles/stird.dir/translate/AstToRam.cpp.o" "gcc" "src/CMakeFiles/stird.dir/translate/AstToRam.cpp.o.d"
+  "/root/repo/src/translate/IndexSelection.cpp" "src/CMakeFiles/stird.dir/translate/IndexSelection.cpp.o" "gcc" "src/CMakeFiles/stird.dir/translate/IndexSelection.cpp.o.d"
+  "/root/repo/src/util/Csv.cpp" "src/CMakeFiles/stird.dir/util/Csv.cpp.o" "gcc" "src/CMakeFiles/stird.dir/util/Csv.cpp.o.d"
+  "/root/repo/src/util/SymbolTable.cpp" "src/CMakeFiles/stird.dir/util/SymbolTable.cpp.o" "gcc" "src/CMakeFiles/stird.dir/util/SymbolTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_der.dir/der/BTreeSetTest.cpp.o"
+  "CMakeFiles/test_der.dir/der/BTreeSetTest.cpp.o.d"
+  "CMakeFiles/test_der.dir/der/BrieTest.cpp.o"
+  "CMakeFiles/test_der.dir/der/BrieTest.cpp.o.d"
+  "CMakeFiles/test_der.dir/der/EquivalenceRelationTest.cpp.o"
+  "CMakeFiles/test_der.dir/der/EquivalenceRelationTest.cpp.o.d"
+  "test_der"
+  "test_der.pdb"
+  "test_der[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_der.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

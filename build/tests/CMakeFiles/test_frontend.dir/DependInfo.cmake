@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ast/FuzzParserTest.cpp" "tests/CMakeFiles/test_frontend.dir/ast/FuzzParserTest.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/ast/FuzzParserTest.cpp.o.d"
+  "/root/repo/tests/ast/LexerTest.cpp" "tests/CMakeFiles/test_frontend.dir/ast/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/ast/LexerTest.cpp.o.d"
+  "/root/repo/tests/ast/ParserTest.cpp" "tests/CMakeFiles/test_frontend.dir/ast/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/ast/ParserTest.cpp.o.d"
+  "/root/repo/tests/ast/SemanticTest.cpp" "tests/CMakeFiles/test_frontend.dir/ast/SemanticTest.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/ast/SemanticTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stird.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend.dir/ast/FuzzParserTest.cpp.o"
+  "CMakeFiles/test_frontend.dir/ast/FuzzParserTest.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/ast/LexerTest.cpp.o"
+  "CMakeFiles/test_frontend.dir/ast/LexerTest.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/ast/ParserTest.cpp.o"
+  "CMakeFiles/test_frontend.dir/ast/ParserTest.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/ast/SemanticTest.cpp.o"
+  "CMakeFiles/test_frontend.dir/ast/SemanticTest.cpp.o.d"
+  "test_frontend"
+  "test_frontend.pdb"
+  "test_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interp/EngineTest.cpp" "tests/CMakeFiles/test_interp.dir/interp/EngineTest.cpp.o" "gcc" "tests/CMakeFiles/test_interp.dir/interp/EngineTest.cpp.o.d"
+  "/root/repo/tests/interp/NodePrinterTest.cpp" "tests/CMakeFiles/test_interp.dir/interp/NodePrinterTest.cpp.o" "gcc" "tests/CMakeFiles/test_interp.dir/interp/NodePrinterTest.cpp.o.d"
+  "/root/repo/tests/interp/OptimizationTest.cpp" "tests/CMakeFiles/test_interp.dir/interp/OptimizationTest.cpp.o" "gcc" "tests/CMakeFiles/test_interp.dir/interp/OptimizationTest.cpp.o.d"
+  "/root/repo/tests/interp/RelationTest.cpp" "tests/CMakeFiles/test_interp.dir/interp/RelationTest.cpp.o" "gcc" "tests/CMakeFiles/test_interp.dir/interp/RelationTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stird.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

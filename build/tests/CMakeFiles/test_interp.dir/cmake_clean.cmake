@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp.dir/interp/EngineTest.cpp.o"
+  "CMakeFiles/test_interp.dir/interp/EngineTest.cpp.o.d"
+  "CMakeFiles/test_interp.dir/interp/NodePrinterTest.cpp.o"
+  "CMakeFiles/test_interp.dir/interp/NodePrinterTest.cpp.o.d"
+  "CMakeFiles/test_interp.dir/interp/OptimizationTest.cpp.o"
+  "CMakeFiles/test_interp.dir/interp/OptimizationTest.cpp.o.d"
+  "CMakeFiles/test_interp.dir/interp/RelationTest.cpp.o"
+  "CMakeFiles/test_interp.dir/interp/RelationTest.cpp.o.d"
+  "test_interp"
+  "test_interp.pdb"
+  "test_interp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

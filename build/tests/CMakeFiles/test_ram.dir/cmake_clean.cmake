@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ram.dir/ram/TransformsTest.cpp.o"
+  "CMakeFiles/test_ram.dir/ram/TransformsTest.cpp.o.d"
+  "test_ram"
+  "test_ram.pdb"
+  "test_ram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

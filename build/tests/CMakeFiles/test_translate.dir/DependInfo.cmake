@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/translate/AstToRamTest.cpp" "tests/CMakeFiles/test_translate.dir/translate/AstToRamTest.cpp.o" "gcc" "tests/CMakeFiles/test_translate.dir/translate/AstToRamTest.cpp.o.d"
+  "/root/repo/tests/translate/IndexSelectionTest.cpp" "tests/CMakeFiles/test_translate.dir/translate/IndexSelectionTest.cpp.o" "gcc" "tests/CMakeFiles/test_translate.dir/translate/IndexSelectionTest.cpp.o.d"
+  "/root/repo/tests/translate/SemiNaiveTest.cpp" "tests/CMakeFiles/test_translate.dir/translate/SemiNaiveTest.cpp.o" "gcc" "tests/CMakeFiles/test_translate.dir/translate/SemiNaiveTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stird.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

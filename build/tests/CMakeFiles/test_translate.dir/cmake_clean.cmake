@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_translate.dir/translate/AstToRamTest.cpp.o"
+  "CMakeFiles/test_translate.dir/translate/AstToRamTest.cpp.o.d"
+  "CMakeFiles/test_translate.dir/translate/IndexSelectionTest.cpp.o"
+  "CMakeFiles/test_translate.dir/translate/IndexSelectionTest.cpp.o.d"
+  "CMakeFiles/test_translate.dir/translate/SemiNaiveTest.cpp.o"
+  "CMakeFiles/test_translate.dir/translate/SemiNaiveTest.cpp.o.d"
+  "test_translate"
+  "test_translate.pdb"
+  "test_translate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

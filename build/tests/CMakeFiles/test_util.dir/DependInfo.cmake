@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/CsvTest.cpp" "tests/CMakeFiles/test_util.dir/util/CsvTest.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/CsvTest.cpp.o.d"
+  "/root/repo/tests/util/OrderTest.cpp" "tests/CMakeFiles/test_util.dir/util/OrderTest.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/OrderTest.cpp.o.d"
+  "/root/repo/tests/util/SymbolTableTest.cpp" "tests/CMakeFiles/test_util.dir/util/SymbolTableTest.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/SymbolTableTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stird.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stird_cli.dir/stird.cpp.o"
+  "CMakeFiles/stird_cli.dir/stird.cpp.o.d"
+  "stird"
+  "stird.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stird_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
