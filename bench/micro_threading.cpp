@@ -19,8 +19,14 @@
 /// threading should help most) and one interleaving B-tree probes (the
 /// Datalog profile, where the relational work hides dispatch costs).
 ///
+/// A second group covers the other meaning of "threading": full engine
+/// runs of a transitive closure at 1, 2 and 4 evaluation threads
+/// (partitioned outermost scans, per-worker insert buffers). On a single
+/// core the interesting output is the overhead column, not a speedup.
+///
 //===----------------------------------------------------------------------===//
 
+#include "core/Program.h"
 #include "der/BTreeSet.h"
 #include "util/RamTypes.h"
 
@@ -301,6 +307,72 @@ void BM_RelationalComputedGoto(benchmark::State &State) {
     benchmark::DoNotOptimize(runComputedGoto(Program, Rounds));
 }
 BENCHMARK(BM_RelationalComputedGoto);
+
+//===----------------------------------------------------------------------===//
+// Engine-level evaluation threads (1 / 2 / 4)
+//===----------------------------------------------------------------------===//
+
+const char *TcSource = R"(
+.decl edge(a:number, b:number)
+.decl path(a:number, b:number)
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+)";
+
+std::vector<stird::DynTuple> tcEdges() {
+  std::vector<stird::DynTuple> Edges;
+  // A few chains plus cross links: enough delta tuples per iteration for
+  // the partitioner to produce real multi-partition scans.
+  for (RamDomain C = 0; C < 8; ++C)
+    for (RamDomain I = 0; I < 60; ++I)
+      Edges.push_back({C * 1000 + I, C * 1000 + I + 1});
+  for (RamDomain C = 0; C + 1 < 8; ++C)
+    Edges.push_back({C * 1000 + 30, (C + 1) * 1000});
+  return Edges;
+}
+
+std::size_t runTc(std::size_t NumThreads, interp::Backend TheBackend) {
+  auto Prog = core::Program::fromSource(TcSource);
+  if (!Prog)
+    std::abort();
+  interp::EngineOptions Options;
+  Options.TheBackend = TheBackend;
+  Options.NumThreads = NumThreads;
+  Options.EchoPrintSize = false;
+  auto Engine = Prog->makeEngine(Options);
+  Engine->insertTuples("edge", tcEdges());
+  Engine->run();
+  return Engine->getTuples("path").size();
+}
+
+/// Thread counts must not change the fixpoint; checked once at startup.
+const bool ThreadsVerified = [] {
+  std::size_t Reference = runTc(1, interp::Backend::StaticLambda);
+  for (std::size_t N : {2u, 4u})
+    for (auto B : {interp::Backend::StaticLambda,
+                   interp::Backend::DynamicAdapter})
+      if (runTc(N, B) != Reference) {
+        std::fprintf(stderr, "thread count changed the fixpoint\n");
+        std::abort();
+      }
+  return true;
+}();
+
+void BM_EngineTcSti(benchmark::State &State) {
+  const auto NumThreads = static_cast<std::size_t>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        runTc(NumThreads, interp::Backend::StaticLambda));
+}
+BENCHMARK(BM_EngineTcSti)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_EngineTcDynamic(benchmark::State &State) {
+  const auto NumThreads = static_cast<std::size_t>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        runTc(NumThreads, interp::Backend::DynamicAdapter));
+}
+BENCHMARK(BM_EngineTcDynamic)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 

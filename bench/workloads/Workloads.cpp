@@ -269,6 +269,14 @@ std::vector<Workload> stird::bench::doopSuite() {
   };
 }
 
+std::vector<Workload> stird::bench::tinySuites() {
+  return {
+      makeVpc("vpc-tiny", 8, 60, 41),
+      makeDdisasm("ddisasm-tiny", 300, 60, 150, 42),
+      makeDoop("doop-tiny", 48, 2, 43),
+  };
+}
+
 std::vector<Workload> stird::bench::allSuites() {
   std::vector<Workload> All = vpcSuite();
   for (auto &W : ddisasmSuite())

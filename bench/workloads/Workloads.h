@@ -50,6 +50,11 @@ std::vector<Workload> doopSuite();
 /// All suites concatenated (13 workloads).
 std::vector<Workload> allSuites();
 
+/// One miniature instance per suite — the same program shapes at a scale
+/// that runs in milliseconds. Used by the cross-thread-count differential
+/// tests, where each workload runs many (backend, thread-count) pairs.
+std::vector<Workload> tinySuites();
+
 /// The Fig 16 case-study workload: a gamess-like DDisasm instance whose
 /// runtime is dominated by a handful of arithmetic-filter outlier rules.
 Workload gamessLike();

@@ -76,5 +76,7 @@ std::string Program::dumpRam() const { return ram::print(*Ram); }
 
 std::unique_ptr<interp::Engine>
 Program::makeEngine(interp::EngineOptions Options) {
+  if (Options.NumThreads == 0)
+    Options.NumThreads = NumThreads;
   return std::make_unique<interp::Engine>(*Ram, Indexes, Symbols, Options);
 }

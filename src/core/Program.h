@@ -68,9 +68,15 @@ public:
   std::string dumpRam() const;
 
   /// Creates an execution engine over this program. The program must
-  /// outlive the engine.
+  /// outlive the engine. When Options.NumThreads is 0 (unset), the
+  /// program's own default thread count (setNumThreads) is substituted.
   std::unique_ptr<interp::Engine>
   makeEngine(interp::EngineOptions Options = {});
+
+  /// Default evaluation thread count applied to engines whose options
+  /// leave NumThreads unset. Values <= 1 mean sequential evaluation.
+  void setNumThreads(std::size_t N) { NumThreads = N; }
+  std::size_t getNumThreads() const { return NumThreads; }
 
 private:
   Program() = default;
@@ -79,6 +85,7 @@ private:
   std::unique_ptr<ram::Program> Ram;
   translate::IndexSelectionResult Indexes;
   SymbolTable Symbols;
+  std::size_t NumThreads = 1;
 };
 
 } // namespace stird::core

@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 namespace stird {
 
@@ -287,7 +288,82 @@ public:
     std::swap(Cmp, Other.Cmp);
   }
 
+  /// Splits the set into at most \p MaxParts disjoint, order-contiguous
+  /// iterator ranges whose concatenation is the full scan. Split points are
+  /// keys of the top two tree levels, so fewer ranges than requested may
+  /// come back; an empty set yields none.
+  std::vector<std::pair<iterator, iterator>>
+  partition(std::size_t MaxParts) const {
+    std::vector<std::pair<iterator, iterator>> Parts;
+    if (!Root)
+      return Parts;
+    if (MaxParts <= 1) {
+      Parts.emplace_back(begin(), end());
+      return Parts;
+    }
+    std::vector<TupleType> Seps;
+    collectSeparators(Root, /*Depth=*/1, Seps);
+    splitBySeparators(Parts, Seps, begin(), end(), MaxParts);
+    return Parts;
+  }
+
+  /// Range analogue of partition(): splits [lowerBound(Low),
+  /// upperBound(High)) instead of the full scan.
+  std::vector<std::pair<iterator, iterator>>
+  partitionRange(const TupleType &Low, const TupleType &High,
+                 std::size_t MaxParts) const {
+    std::vector<std::pair<iterator, iterator>> Parts;
+    if (!Root)
+      return Parts;
+    iterator First = lowerBound(Low);
+    iterator Last = upperBound(High);
+    if (First == Last)
+      return Parts;
+    if (MaxParts <= 1) {
+      Parts.emplace_back(First, Last);
+      return Parts;
+    }
+    std::vector<TupleType> Seps;
+    collectSeparators(Root, /*Depth=*/1, Seps);
+    // Only separators in (Low, High] produce bounds inside [First, Last).
+    std::vector<TupleType> Inside;
+    for (const TupleType &S : Seps)
+      if (Cmp.less(Low, S) && !Cmp.less(High, S))
+        Inside.push_back(S);
+    splitBySeparators(Parts, Inside, First, Last, MaxParts);
+    return Parts;
+  }
+
 private:
+  /// In-order collection of the keys of the top \p Depth + 1 levels; being
+  /// stored keys they are exact lowerBound targets, and in-order collection
+  /// keeps them sorted.
+  void collectSeparators(const Node *N, int Depth,
+                         std::vector<TupleType> &Keys) const {
+    for (std::size_t I = 0; I < N->NumKeys; ++I) {
+      if (!N->IsLeaf && Depth > 0)
+        collectSeparators(N->Children[I], Depth - 1, Keys);
+      Keys.push_back(N->Keys[I]);
+    }
+    if (!N->IsLeaf && Depth > 0)
+      collectSeparators(N->Children[N->NumKeys], Depth - 1, Keys);
+  }
+
+  /// Cuts [First, Last) at evenly spaced entries of the sorted \p Seps into
+  /// min(MaxParts, Seps.size() + 1) contiguous ranges.
+  void splitBySeparators(std::vector<std::pair<iterator, iterator>> &Parts,
+                         const std::vector<TupleType> &Seps, iterator First,
+                         iterator Last, std::size_t MaxParts) const {
+    std::size_t N = std::min(MaxParts, Seps.size() + 1);
+    iterator Start = First;
+    for (std::size_t P = 1; P < N; ++P) {
+      iterator Split = lowerBound(Seps[P * Seps.size() / N]);
+      Parts.emplace_back(Start, Split);
+      Start = Split;
+    }
+    Parts.emplace_back(Start, Last);
+  }
+
   /// First index I in \p N with Keys[I] >= Key.
   std::size_t lowerPos(const Node *N, const TupleType &Key) const {
     std::size_t I = 0;

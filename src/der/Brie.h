@@ -274,7 +274,53 @@ public:
     std::swap(NumTuples, Other.NumTuples);
   }
 
+  /// Splits the set into at most \p MaxParts disjoint, order-contiguous
+  /// iterator ranges whose concatenation is the full scan. Split points are
+  /// the root's children (bitmap chunks for Arity == 1), so fewer ranges
+  /// than requested may come back; an empty set yields none. Safe because
+  /// child subtrees and chunks are never empty once created (there is no
+  /// per-tuple deletion), so every boundary iterator is dereferenceable.
+  std::vector<std::pair<iterator, iterator>>
+  partition(std::size_t MaxParts) const {
+    std::vector<std::pair<iterator, iterator>> Parts;
+    if (NumTuples == 0)
+      return Parts;
+    if (MaxParts <= 1) {
+      Parts.emplace_back(begin(), end());
+      return Parts;
+    }
+    const std::size_t Slots =
+        Arity == 1 ? Root.Chunks.size() : Root.Children.size();
+    const std::size_t N = std::min(MaxParts, Slots);
+    std::vector<iterator> Bounds;
+    Bounds.reserve(N);
+    for (std::size_t P = 0; P < N; ++P)
+      Bounds.push_back(beginAtSlot(P * Slots / N));
+    for (std::size_t P = 0; P + 1 < N; ++P)
+      Parts.emplace_back(Bounds[P], Bounds[P + 1]);
+    Parts.emplace_back(Bounds[N - 1], end());
+    return Parts;
+  }
+
 private:
+  /// An iterator on the first tuple under the root's \p Slot-th child
+  /// (chunk for Arity == 1); the partition boundaries.
+  iterator beginAtSlot(std::size_t Slot) const {
+    iterator It;
+    It.Start = 0;
+    It.Nodes[0] = &Root;
+    if constexpr (Arity == 1) {
+      It.ChunkPos = Slot;
+      It.Done = !It.firstBitFrom(0);
+    } else {
+      It.Pos[0] = Slot;
+      It.Current[0] = Root.Children[Slot].first;
+      It.Nodes[1] = Root.Children[Slot].second;
+      It.Done = !It.descendFrom(1);
+    }
+    return It;
+  }
+
   /// An iterator positioned exactly on \p Key with no continuation: used
   /// for fully-bound "ranges" of at most one tuple.
   iterator singleton(const TupleType &Key) const {

@@ -19,6 +19,7 @@
 
 #include "interp/Context.h"
 #include "interp/EvalUtil.h"
+#include "interp/Parallel.h"
 #include "util/MiscUtil.h"
 #include "util/Timer.h"
 
@@ -29,7 +30,15 @@ namespace {
 
 class DynamicExecutor final : public ExecutorBase {
 public:
-  explicit DynamicExecutor(EngineState &State) : State(State) {}
+  explicit DynamicExecutor(EngineState &State)
+      : State(State), Dispatches(&State.NumDispatches) {}
+
+  /// Worker-side instance for one partition of a parallel scan: dispatches
+  /// count into a local counter (summed at the barrier) and inserts are
+  /// buffered instead of applied.
+  DynamicExecutor(EngineState &State, std::uint64_t *Dispatches,
+                  TupleBuffer *Buffer)
+      : State(State), Dispatches(Dispatches), Buffer(Buffer) {}
 
   void run(const Node &Root) override {
     Context Empty(0);
@@ -51,7 +60,7 @@ private:
   }
 
   RamDomain execute(const Node *N, Context &Ctx) {
-    ++State.NumDispatches;
+    ++*Dispatches;
     switch (N->Type) {
     //===-------------------------- Expressions --------------------------===//
     case NodeType::Constant:
@@ -134,6 +143,24 @@ private:
       }
       return 1;
     }
+    case NodeType::ParallelScan: {
+      const auto *S = static_cast<const ParallelScanNode *>(N);
+      auto Streams =
+          S->Rel->partitionScan(S->IndexPos, State.NumThreads, S->Decode);
+      return runPartitions(*S->Rel, S->TupleId, *S->Nested, S->NumTupleIds,
+                           Streams);
+    }
+    case NodeType::ParallelIndexScan: {
+      const auto *S = static_cast<const ParallelIndexScanNode *>(N);
+      std::vector<RamDomain> Key(S->Rel->getArity(), 0);
+      buildKey(S->Pattern, S->NeedsEncode, S->Rel->getOrder(S->IndexPos),
+               Key, Ctx);
+      auto Streams =
+          S->Rel->partitionRange(S->IndexPos, Key.data(), S->PrefixLen,
+                                 S->Mask, S->Decode, State.NumThreads);
+      return runPartitions(*S->Rel, S->TupleId, *S->Nested, S->NumTupleIds,
+                           Streams);
+    }
     case NodeType::Filter: {
       const auto *F = static_cast<const FilterNode *>(N);
       if (execute(F->Cond.get(), Ctx))
@@ -145,7 +172,10 @@ private:
       std::vector<RamDomain> Tuple(P->Rel->getArity(), 0);
       fillSuper(P->Values, Tuple.data(), Ctx,
                 [&](const Node &Expr) { return execute(&Expr, Ctx); });
-      P->Rel->insert(Tuple.data());
+      if (Buffer)
+        Buffer->add(*P->Rel, Tuple.data());
+      else
+        P->Rel->insert(Tuple.data());
       return 1;
     }
     case NodeType::GenericAggregate: {
@@ -216,10 +246,9 @@ private:
     case NodeType::LogTimer: {
       const auto *Log = static_cast<const LogTimerNode *>(N);
       Timer T;
-      std::uint64_t Before = State.NumDispatches;
+      std::uint64_t Before = *Dispatches;
       RamDomain Result = execute(Log->Body.get(), Ctx);
-      State.Prof.record(Log->ProfileId, T.seconds(),
-                        State.NumDispatches - Before);
+      State.Prof.record(Log->ProfileId, T.seconds(), *Dispatches - Before);
       return Result;
     }
 
@@ -228,7 +257,54 @@ private:
     }
   }
 
+  /// Executes the partition streams of a parallel scan: on this thread
+  /// when there is at most one partition (or no pool), else on the worker
+  /// pool — one sibling executor, context and insert buffer per partition,
+  /// merged back deterministically at the barrier.
+  RamDomain runPartitions(RelationWrapper &Rel, std::uint32_t TupleId,
+                          const Node &Nested, std::size_t NumTupleIds,
+                          std::vector<std::unique_ptr<TupleStream>> &Streams) {
+    if (Streams.empty())
+      return 1;
+    const std::size_t Arity = Rel.getArity();
+    if (Streams.size() == 1 || !State.Pool) {
+      for (auto &Stream : Streams) {
+        BufferedTupleSource Source(std::move(Stream), Arity,
+                                   State.StreamBufferCapacity);
+        Context Ctx(NumTupleIds);
+        while (const RamDomain *Tuple = Source.next()) {
+          Ctx[TupleId] = Tuple;
+          execute(&Nested, Ctx);
+        }
+      }
+      return 1;
+    }
+    std::vector<TupleBuffer> Buffers(Streams.size());
+    std::vector<std::uint64_t> Counts(Streams.size(), 0);
+    State.Pool->run(Streams.size(), [&](std::size_t I) {
+      DynamicExecutor Worker(State, &Counts[I], &Buffers[I]);
+      Context Ctx(NumTupleIds);
+      BufferedTupleSource Source(std::move(Streams[I]), Arity,
+                                 State.StreamBufferCapacity);
+      while (const RamDomain *Tuple = Source.next()) {
+        Ctx[TupleId] = Tuple;
+        Worker.execute(&Nested, Ctx);
+      }
+    });
+    for (TupleBuffer &B : Buffers)
+      B.flush();
+    for (std::uint64_t C : Counts)
+      *Dispatches += C;
+    return 1;
+  }
+
   EngineState &State;
+  /// Dispatch counter target: the shared engine counter on the main
+  /// executor, a partition-local counter on workers.
+  std::uint64_t *Dispatches;
+  /// Set on worker instances only: inserts go here instead of into the
+  /// relations, and the main thread flushes at the barrier.
+  TupleBuffer *Buffer = nullptr;
 };
 
 } // namespace

@@ -8,6 +8,7 @@
 
 #include "interp/Generator.h"
 #include "interp/NodePrinter.h"
+#include "interp/Parallel.h"
 #include "util/Csv.h"
 #include "util/MiscUtil.h"
 
@@ -16,6 +17,9 @@
 
 using namespace stird;
 using namespace stird::interp;
+
+EngineState::EngineState(SymbolTable &Symbols) : Symbols(Symbols) {}
+EngineState::~EngineState() = default;
 
 void EngineState::executeIo(const IoNode &Node) {
   const ram::Relation &Decl = Node.Rel->getDecl();
@@ -60,6 +64,9 @@ Engine::Engine(const ram::Program &Prog,
   State.FactDir = Options.FactDir;
   State.OutputDir = Options.OutputDir;
   State.EchoPrintSize = Options.EchoPrintSize;
+  State.NumThreads = Options.NumThreads > 0 ? Options.NumThreads : 1;
+  if (State.NumThreads > 1)
+    State.Pool = std::make_unique<ThreadPool>(State.NumThreads);
   if (Options.TheBackend == Backend::Legacy)
     State.StreamBufferCapacity = 1;
 
@@ -87,6 +94,7 @@ static GeneratorOptions generatorOptions(const EngineOptions &Options) {
   Gen.SuperInstructions = Options.SuperInstructions;
   Gen.StaticReordering = Options.StaticReordering;
   Gen.FuseConditions = Options.FuseConditions;
+  Gen.NumThreads = Options.NumThreads > 0 ? Options.NumThreads : 1;
   switch (Options.TheBackend) {
   case Backend::StaticLambda:
   case Backend::StaticPlain:

@@ -63,11 +63,20 @@ struct EngineOptions {
   /// Echo .printsize results on stdout (they are always recorded in
   /// EngineState::PrintSizes); benchmarks switch this off.
   bool EchoPrintSize = true;
+  /// Evaluation threads: eligible outermost scans are partitioned across
+  /// this many workers (thread-local contexts, per-worker insert buffers
+  /// merged at a barrier). 0 means "unset" — core::Program substitutes its
+  /// own default; the engine then treats it as 1 (sequential).
+  std::size_t NumThreads = 0;
 };
+
+class ThreadPool;
 
 /// Mutable state shared between the engine facade and its executor.
 struct EngineState {
-  explicit EngineState(SymbolTable &Symbols) : Symbols(Symbols) {}
+  // Both out-of-line: ThreadPool is incomplete here.
+  explicit EngineState(SymbolTable &Symbols);
+  ~EngineState();
 
   SymbolTable &Symbols;
   std::unordered_map<std::string, std::unique_ptr<RelationWrapper>> Relations;
@@ -86,6 +95,10 @@ struct EngineState {
   std::size_t StreamBufferCapacity = StreamBufferTuples;
   /// Results of .printsize directives, in execution order.
   std::vector<std::pair<std::string, std::size_t>> PrintSizes;
+  /// Effective evaluation thread count (>= 1) and, when it exceeds 1, the
+  /// persistent worker pool the parallel scan cases run partitions on.
+  std::size_t NumThreads = 1;
+  std::unique_ptr<ThreadPool> Pool;
 
   /// Executes an Io node (shared across executors; cold path).
   void executeIo(const IoNode &Node);

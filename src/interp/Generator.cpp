@@ -12,6 +12,7 @@
 #include <bit>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 using namespace stird;
 using namespace stird::interp;
@@ -87,6 +88,131 @@ std::size_t countTupleIds(const ram::Operation &Op) {
   unreachable("unknown operation kind");
 }
 
+//===----------------------------------------------------------------------===//
+// Parallelization eligibility
+//===----------------------------------------------------------------------===//
+
+/// What a query touches, for deciding whether its outermost scan may be
+/// partitioned across threads.
+struct QueryFootprint {
+  std::vector<const ram::Relation *> Reads;
+  std::vector<const ram::Relation *> Writes;
+  /// False when the query evaluates an expression whose result depends on
+  /// evaluation order across threads: the `$` auto-increment counter, or a
+  /// symbol-table-writing intrinsic (Cat / Substr / ToString intern new
+  /// symbols, and interned ids must not depend on the interleaving).
+  bool ExprsThreadSafe = true;
+};
+
+bool exprThreadSafe(const ram::Expression &E) {
+  using K = ram::Expression::Kind;
+  switch (E.getKind()) {
+  case K::Constant:
+  case K::TupleElement:
+  case K::Undef:
+    return true;
+  case K::AutoIncrement:
+    return false;
+  case K::Intrinsic: {
+    const auto &In = static_cast<const ram::Intrinsic &>(E);
+    switch (In.getOp()) {
+    case ram::IntrinsicOp::Cat:
+    case ram::IntrinsicOp::Substr:
+    case ram::IntrinsicOp::ToString:
+      return false;
+    default:
+      break;
+    }
+    for (const auto &Arg : In.getArgs())
+      if (!exprThreadSafe(*Arg))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+void collectExprs(const std::vector<ram::ExprPtr> &Exprs, QueryFootprint &F) {
+  for (const auto &E : Exprs)
+    if (E && !exprThreadSafe(*E))
+      F.ExprsThreadSafe = false;
+}
+
+void collectCond(const ram::Condition &Cond, QueryFootprint &F) {
+  using K = ram::Condition::Kind;
+  switch (Cond.getKind()) {
+  case K::True:
+    return;
+  case K::Conjunction: {
+    const auto &C = static_cast<const ram::Conjunction &>(Cond);
+    collectCond(C.getLhs(), F);
+    collectCond(C.getRhs(), F);
+    return;
+  }
+  case K::Negation:
+    collectCond(static_cast<const ram::Negation &>(Cond).getInner(), F);
+    return;
+  case K::Constraint: {
+    const auto &C = static_cast<const ram::Constraint &>(Cond);
+    if (!exprThreadSafe(C.getLhs()) || !exprThreadSafe(C.getRhs()))
+      F.ExprsThreadSafe = false;
+    return;
+  }
+  case K::EmptinessCheck:
+    F.Reads.push_back(
+        &static_cast<const ram::EmptinessCheck &>(Cond).getRelation());
+    return;
+  case K::ExistenceCheck: {
+    const auto &E = static_cast<const ram::ExistenceCheck &>(Cond);
+    F.Reads.push_back(&E.getRelation());
+    collectExprs(E.getPattern(), F);
+    return;
+  }
+  }
+}
+
+void collectOp(const ram::Operation &Op, QueryFootprint &F) {
+  using K = ram::Operation::Kind;
+  switch (Op.getKind()) {
+  case K::Scan: {
+    const auto &S = static_cast<const ram::Scan &>(Op);
+    F.Reads.push_back(&S.getRelation());
+    collectOp(S.getNested(), F);
+    return;
+  }
+  case K::IndexScan: {
+    const auto &S = static_cast<const ram::IndexScan &>(Op);
+    F.Reads.push_back(&S.getRelation());
+    collectExprs(S.getPattern(), F);
+    collectOp(S.getNested(), F);
+    return;
+  }
+  case K::Filter: {
+    const auto &Fl = static_cast<const ram::Filter &>(Op);
+    collectCond(Fl.getCondition(), F);
+    collectOp(Fl.getNested(), F);
+    return;
+  }
+  case K::Project: {
+    const auto &P = static_cast<const ram::Project &>(Op);
+    F.Writes.push_back(&P.getRelation());
+    collectExprs(P.getValues(), F);
+    return;
+  }
+  case K::Aggregate: {
+    const auto &A = static_cast<const ram::Aggregate &>(Op);
+    F.Reads.push_back(&A.getRelation());
+    collectExprs(A.getPattern(), F);
+    if (A.getTargetExpr() && !exprThreadSafe(*A.getTargetExpr()))
+      F.ExprsThreadSafe = false;
+    if (A.getCondition())
+      collectCond(*A.getCondition(), F);
+    collectOp(A.getNested(), F);
+    return;
+  }
+  }
+}
+
 /// The generator proper.
 class TreeGenerator {
 public:
@@ -116,7 +242,11 @@ public:
       const auto &Q = static_cast<const ram::Query &>(Stmt);
       RewriteOrders.clear();
       std::size_t NumIds = countTupleIds(Q.getRoot());
-      return std::make_unique<QueryNode>(&Stmt, genOp(Q.getRoot()), NumIds);
+      if (Options.NumThreads > 1 && shouldParallelize(Q.getRoot()))
+        ParallelRootIds = NumIds;
+      NodePtr Root = genOp(Q.getRoot());
+      ParallelRootIds.reset();
+      return std::make_unique<QueryNode>(&Stmt, std::move(Root), NumIds);
     }
     case K::Clear: {
       const auto &C = static_cast<const ram::Clear &>(Stmt);
@@ -264,6 +394,9 @@ private:
     switch (Op.getKind()) {
     case K::Scan: {
       const auto &S = static_cast<const ram::Scan &>(Op);
+      // Only the query root may carry the parallel marker; consume it
+      // before generating the nested subtree.
+      std::optional<std::size_t> Par = std::exchange(ParallelRootIds, {});
       RelationWrapper *Rel = wrapper(S.getRelation());
       const Order &Ord = Rel->getOrder(0);
       bool Decode = false;
@@ -278,12 +411,17 @@ private:
       }
       NodePtr Nested = genOp(S.getNested());
       RewriteOrders.erase(S.getTupleId());
+      if (Par)
+        return std::make_unique<ParallelScanNode>(
+            &Op, Rel, S.getTupleId(), /*IndexPos=*/0, Decode,
+            std::move(Nested), *Par);
       return std::make_unique<ScanNode>(opType(SpecOp::Scan, Rel), &Op, Rel,
                                         S.getTupleId(), /*IndexPos=*/0,
                                         Decode, std::move(Nested));
     }
     case K::IndexScan: {
       const auto &S = static_cast<const ram::IndexScan &>(Op);
+      std::optional<std::size_t> Par = std::exchange(ParallelRootIds, {});
       RelationWrapper *Rel = wrapper(S.getRelation());
       SearchPlan Plan = planSearch(Rel, S.getPattern());
       SuperInstruction Pattern = buildPatternSuper(Plan, S.getPattern());
@@ -299,6 +437,11 @@ private:
       }
       NodePtr Nested = genOp(S.getNested());
       RewriteOrders.erase(S.getTupleId());
+      if (Par)
+        return std::make_unique<ParallelIndexScanNode>(
+            &Op, Rel, S.getTupleId(), std::move(Pattern), Plan.IndexPos,
+            Plan.PrefixLen, Plan.Mask, Plan.NeedsEncode, Decode,
+            std::move(Nested), *Par);
       return std::make_unique<IndexScanNode>(
           opType(SpecOp::IndexScan, Rel), &Op, Rel, S.getTupleId(),
           std::move(Pattern), Plan.IndexPos, Plan.PrefixLen, Plan.Mask,
@@ -629,6 +772,38 @@ private:
     }
   }
 
+  /// A query's outermost scan may be partitioned when (a) every expression
+  /// is thread-safe, (b) no relation it writes is also read anywhere in the
+  /// query (semi-naive queries write `new_R` and read delta/full relations,
+  /// so per-thread insert buffering preserves semantics exactly), and
+  /// (c) it reads no equivalence relation (the union-find compresses paths
+  /// and fills lazy caches on reads, which is not thread-safe). Writes into
+  /// any relation kind are fine: they are buffered and flushed by the main
+  /// thread at the barrier.
+  bool shouldParallelize(const ram::Operation &Root) {
+    using K = ram::Operation::Kind;
+    // Peel the guard filters the translator wraps around a rule body
+    // (e.g. the non-emptiness check): their conditions run once on the
+    // main thread, so the first scan underneath is still the query root.
+    const ram::Operation *Op = &Root;
+    while (Op->getKind() == K::Filter)
+      Op = &static_cast<const ram::Filter *>(Op)->getNested();
+    if (Op->getKind() != K::Scan && Op->getKind() != K::IndexScan)
+      return false;
+    QueryFootprint F;
+    collectOp(Root, F);
+    if (!F.ExprsThreadSafe)
+      return false;
+    for (const ram::Relation *R : F.Reads)
+      if (wrapper(*R)->getKind() == RelKind::Eqrel)
+        return false;
+    for (const ram::Relation *W : F.Writes)
+      for (const ram::Relation *R : F.Reads)
+        if (W == R)
+          return false;
+    return true;
+  }
+
   RelationWrapper *wrapper(const ram::Relation &Rel) {
     auto It = State.Relations.find(Rel.getName());
     assert(It != State.Relations.end() && "relation was not materialized");
@@ -641,6 +816,10 @@ private:
   /// Per-query: tuple ids whose bound tuple is encoded, with the order to
   /// rewrite element accesses through (Section 4.2).
   std::unordered_map<std::uint32_t, const Order *> RewriteOrders;
+  /// Set while generating the root operation of a parallelizable query:
+  /// holds the query's NumTupleIds for the parallel node. Consumed by the
+  /// first Scan / IndexScan so nested scans stay sequential.
+  std::optional<std::size_t> ParallelRootIds;
 };
 
 } // namespace

@@ -37,6 +37,10 @@ struct GeneratorOptions {
   bool SuperInstructions = true;
   bool StaticReordering = true;
   bool FuseConditions = false;
+  /// With more than one thread, eligible query roots are lowered to
+  /// ParallelScan / ParallelIndexScan (see Generator.cpp for the
+  /// eligibility rules that keep evaluation deterministic).
+  std::size_t NumThreads = 1;
 };
 
 /// Builds the interpreter tree for \p Prog. Relations must already exist

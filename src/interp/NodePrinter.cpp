@@ -41,6 +41,10 @@ const char *stird::interp::nodeTypeName(NodeType Type) {
     return "GenericScan";
   case NodeType::GenericIndexScan:
     return "GenericIndexScan";
+  case NodeType::ParallelScan:
+    return "ParallelScan";
+  case NodeType::ParallelIndexScan:
+    return "ParallelIndexScan";
   case NodeType::Filter:
     return "Filter";
   case NodeType::GenericProject:

@@ -1,0 +1,106 @@
+//===- interp/Parallel.cpp - Worker pool and insert buffers ---------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Parallel.h"
+
+#include "interp/Relation.h"
+
+#include <cstring>
+
+namespace stird::interp {
+
+ThreadPool::ThreadPool(std::size_t NumThreads) {
+  const std::size_t NumWorkers = NumThreads > 0 ? NumThreads - 1 : 0;
+  Workers.reserve(NumWorkers);
+  for (std::size_t I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stop = true;
+  }
+  WakeCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::run(std::size_t NumTasks,
+                     const std::function<void(std::size_t)> &Fn) {
+  if (NumTasks == 0)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Job = &Fn;
+    Total = NumTasks;
+    Next = 0;
+    Finished = 0;
+    ++Generation;
+  }
+  WakeCV.notify_all();
+  drainTasks();
+  std::unique_lock<std::mutex> Lock(M);
+  DoneCV.wait(Lock, [this] { return Finished == Total; });
+  Job = nullptr;
+}
+
+void ThreadPool::drainTasks() {
+  for (;;) {
+    std::size_t Task;
+    const std::function<void(std::size_t)> *Fn;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (!Job || Next >= Total)
+        return;
+      Task = Next++;
+      Fn = Job;
+    }
+    (*Fn)(Task);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (++Finished == Total)
+        DoneCV.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WakeCV.wait(Lock, [&] { return Stop || Generation != SeenGeneration; });
+      if (Stop)
+        return;
+      SeenGeneration = Generation;
+    }
+    drainTasks();
+  }
+}
+
+void TupleBuffer::add(RelationWrapper &Rel, const RamDomain *Tuple) {
+  for (PerRelation &B : Buffers) {
+    if (B.Rel == &Rel) {
+      B.Cells.insert(B.Cells.end(), Tuple, Tuple + B.Arity);
+      return;
+    }
+  }
+  Buffers.push_back({&Rel, Rel.getArity(), {}});
+  PerRelation &B = Buffers.back();
+  B.Cells.insert(B.Cells.end(), Tuple, Tuple + B.Arity);
+}
+
+void TupleBuffer::flush() {
+  for (PerRelation &B : Buffers) {
+    for (std::size_t I = 0; I < B.Cells.size(); I += B.Arity)
+      B.Rel->insert(B.Cells.data() + I);
+    B.Cells.clear();
+  }
+  Buffers.clear();
+}
+
+} // namespace stird::interp

@@ -1,0 +1,94 @@
+//===- interp/Parallel.h - Worker pool and insert buffers -------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The threading runtime of the parallel semi-naive evaluator: a small
+/// persistent worker pool that executes the partitions of a ParallelScan,
+/// and the per-worker tuple buffers whose contents the main thread merges
+/// into the target relations at the end-of-scan barrier (i.e. before the
+/// fixpoint loop's SWAP ever observes them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_INTERP_PARALLEL_H
+#define STIRD_INTERP_PARALLEL_H
+
+#include "util/RamTypes.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stird::interp {
+
+class RelationWrapper;
+
+/// A persistent pool of NumThreads - 1 worker threads plus the calling
+/// thread. run() executes Fn over task indices claimed dynamically by all
+/// participants and returns only after the last task finished — the merge
+/// barrier of the parallel scan.
+class ThreadPool {
+public:
+  explicit ThreadPool(std::size_t NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  std::size_t numThreads() const { return Workers.size() + 1; }
+
+  /// Runs Fn(I) for every I in [0, NumTasks). The caller participates, so
+  /// the pool makes progress even with zero workers.
+  void run(std::size_t NumTasks, const std::function<void(std::size_t)> &Fn);
+
+private:
+  void workerLoop();
+  /// Claims and runs tasks of the current job until none remain.
+  void drainTasks();
+
+  std::mutex M;
+  std::condition_variable WakeCV;
+  std::condition_variable DoneCV;
+  std::vector<std::thread> Workers;
+  const std::function<void(std::size_t)> *Job = nullptr;
+  std::size_t Total = 0;
+  std::size_t Next = 0;
+  std::size_t Finished = 0;
+  std::uint64_t Generation = 0;
+  bool Stop = false;
+};
+
+/// One worker's pending inserts, grouped by target relation. Workers fill
+/// their buffer race-free during the parallel section; the main thread
+/// flushes all buffers into the (deduplicating) relations at the barrier,
+/// which is observably identical to direct insertion because semi-naive
+/// queries never read the relations they write.
+class TupleBuffer {
+public:
+  /// Appends a source-order tuple destined for \p Rel.
+  void add(RelationWrapper &Rel, const RamDomain *Tuple);
+
+  /// Inserts every buffered tuple into its relation and empties the
+  /// buffer. Main thread only.
+  void flush();
+
+private:
+  struct PerRelation {
+    RelationWrapper *Rel;
+    std::size_t Arity;
+    std::vector<RamDomain> Cells;
+  };
+  /// Linear scan: a query projects into one or two relations.
+  std::vector<PerRelation> Buffers;
+};
+
+} // namespace stird::interp
+
+#endif // STIRD_INTERP_PARALLEL_H

@@ -116,6 +116,31 @@ public:
                                              std::uint32_t Mask,
                                              bool Decode) const = 0;
 
+  /// Splits the full scan of index \p IndexPos into up to \p MaxParts
+  /// disjoint streams whose concatenation equals scan(IndexPos, Decode).
+  /// The default — used by the equivalence and legacy relations — is one
+  /// stream, which degrades a parallel scan to a sequential one without
+  /// affecting its result. An empty relation yields no streams.
+  virtual std::vector<std::unique_ptr<TupleStream>>
+  partitionScan(std::size_t IndexPos, std::size_t /*MaxParts*/,
+                bool Decode) const {
+    std::vector<std::unique_ptr<TupleStream>> Streams;
+    if (!empty())
+      Streams.push_back(scan(IndexPos, Decode));
+    return Streams;
+  }
+
+  /// Range analogue of partitionScan(): splits the enumeration of range()
+  /// instead of the full scan. Same single-stream default.
+  virtual std::vector<std::unique_ptr<TupleStream>>
+  partitionRange(std::size_t IndexPos, const RamDomain *EncodedKey,
+                 std::size_t PrefixLen, std::uint32_t Mask, bool Decode,
+                 std::size_t /*MaxParts*/) const {
+    std::vector<std::unique_ptr<TupleStream>> Streams;
+    Streams.push_back(range(IndexPos, EncodedKey, PrefixLen, Mask, Decode));
+    return Streams;
+  }
+
   /// Convenience enumeration in source order (IO, tests, examples).
   void forEach(const std::function<void(const RamDomain *)> &Fn) const {
     auto Stream = scan(0, /*Decode=*/true);
@@ -252,6 +277,18 @@ public:
     return {Set.lowerBound(Low), Set.upperBound(High)};
   }
 
+  std::vector<std::pair<iterator, iterator>>
+  partition(std::size_t MaxParts) const {
+    return Set.partition(MaxParts);
+  }
+  std::vector<std::pair<iterator, iterator>>
+  partitionRange(const RamDomain *EncodedKey, std::size_t PrefixLen,
+                 std::size_t MaxParts) const {
+    TupleType Low, High;
+    detail::padBounds<Arity>(EncodedKey, PrefixLen, Low, High);
+    return Set.partitionRange(Low, High, MaxParts);
+  }
+
   iterator begin() const { return Set.begin(); }
   iterator end() const { return Set.end(); }
   std::size_t size() const { return Set.size(); }
@@ -295,6 +332,24 @@ public:
     TupleType Key{};
     std::memcpy(Key.data(), EncodedKey, PrefixLen * sizeof(RamDomain));
     return {Set.prefixBegin(Key, PrefixLen), Set.end()};
+  }
+
+  std::vector<std::pair<iterator, iterator>>
+  partition(std::size_t MaxParts) const {
+    return Set.partition(MaxParts);
+  }
+  std::vector<std::pair<iterator, iterator>>
+  partitionRange(const RamDomain *EncodedKey, std::size_t PrefixLen,
+                 std::size_t MaxParts) const {
+    // A prefix search pins the iterator's Start level, so it is served as
+    // one undivided range; only full scans split across the root.
+    if (PrefixLen == 0)
+      return Set.partition(MaxParts);
+    std::vector<std::pair<iterator, iterator>> Parts;
+    auto [Begin, End] = range(EncodedKey, PrefixLen);
+    if (Begin != End)
+      Parts.emplace_back(Begin, End);
+    return Parts;
   }
 
   iterator begin() const { return Set.begin(); }
@@ -387,6 +442,28 @@ public:
     const IndexT &Index = Indexes[IndexPos];
     auto [Begin, End] = Index.range(EncodedKey, PrefixLen);
     return makeStream(Begin, End, Index.order(), Decode);
+  }
+
+  std::vector<std::unique_ptr<TupleStream>>
+  partitionScan(std::size_t IndexPos, std::size_t MaxParts,
+                bool Decode) const override {
+    const IndexT &Index = Indexes[IndexPos];
+    std::vector<std::unique_ptr<TupleStream>> Streams;
+    for (const auto &[Begin, End] : Index.partition(MaxParts))
+      Streams.push_back(makeStream(Begin, End, Index.order(), Decode));
+    return Streams;
+  }
+
+  std::vector<std::unique_ptr<TupleStream>>
+  partitionRange(std::size_t IndexPos, const RamDomain *EncodedKey,
+                 std::size_t PrefixLen, std::uint32_t /*Mask*/, bool Decode,
+                 std::size_t MaxParts) const override {
+    const IndexT &Index = Indexes[IndexPos];
+    std::vector<std::unique_ptr<TupleStream>> Streams;
+    for (const auto &[Begin, End] :
+         Index.partitionRange(EncodedKey, PrefixLen, MaxParts))
+      Streams.push_back(makeStream(Begin, End, Index.order(), Decode));
+    return Streams;
   }
 
 private:

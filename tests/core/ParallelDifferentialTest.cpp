@@ -1,0 +1,429 @@
+//===- tests/core/ParallelDifferentialTest.cpp - Thread-count invariance -------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel evaluator's correctness contract: for every program —
+/// the example programs of examples/ and miniature instances of the
+/// vpc/ddisasm/doop workload suites — every backend must produce exactly
+/// the same sorted relation contents at -j1, -j2 and -j4, and -j1 must
+/// match the sequential seed engine (thread count unset) bit for bit.
+/// On a single-core container this is the headline deliverable: verified
+/// correctness under concurrency, not speedup.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Program.h"
+#include "interp/Engine.h"
+#include "workloads/Harness.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace stird;
+using namespace stird::interp;
+
+namespace {
+
+/// One differential subject: a program, its observed relations, and an
+/// input builder (which may intern symbols through the program's table).
+struct Subject {
+  std::string Name;
+  std::string Source;
+  std::vector<std::string> Outputs;
+  std::function<std::vector<std::pair<std::string, std::vector<DynTuple>>>(
+      core::Program &)>
+      MakeInputs;
+  /// Fact directory for programs with .input directives ("" = none).
+  std::string FactDir;
+};
+
+//===----------------------------------------------------------------------===//
+// The example programs (examples/*.cpp), at their original or small scale
+//===----------------------------------------------------------------------===//
+
+Subject quickstartSubject() {
+  Subject S;
+  S.Name = "quickstart";
+  S.Source = R"(
+    .decl parent(child:symbol, parent:symbol)
+    .decl ancestor(person:symbol, ancestor:symbol)
+    ancestor(c, p) :- parent(c, p).
+    ancestor(c, a) :- ancestor(c, p), parent(p, a).
+  )";
+  S.Outputs = {"ancestor"};
+  S.MakeInputs = [](core::Program &Prog) {
+    SymbolTable &Symbols = Prog.getSymbolTable();
+    std::vector<DynTuple> Parents;
+    // A generation chain plus a second family joining it halfway.
+    for (int I = 0; I + 1 < 24; ++I)
+      Parents.push_back({Symbols.intern("p" + std::to_string(I)),
+                         Symbols.intern("p" + std::to_string(I + 1))});
+    for (int I = 0; I < 8; ++I)
+      Parents.push_back({Symbols.intern("q" + std::to_string(I)),
+                         Symbols.intern(I == 7 ? "p12"
+                                               : "q" + std::to_string(I + 1))});
+    return std::vector<std::pair<std::string, std::vector<DynTuple>>>{
+        {"parent", Parents}};
+  };
+  return S;
+}
+
+Subject reachabilitySubject() {
+  Subject S;
+  S.Name = "reachability";
+  S.Source = R"(
+    .decl in_subnet(inst:number, subnet:number)
+    .decl subnet_link(a:number, b:number)
+    .decl allows(inst:number, port:number)
+    .decl listens(inst:number, port:number)
+
+    .decl subnet_reach(a:number, b:number)
+    subnet_reach(a, b) :- subnet_link(a, b).
+    subnet_reach(a, c) :- subnet_reach(a, b), subnet_link(b, c).
+
+    .decl can_talk(a:number, b:number, port:number)
+    can_talk(a, b, p) :-
+        in_subnet(a, sa), in_subnet(b, sb), subnet_reach(sa, sb),
+        allows(a, p), listens(b, p), a != b.
+
+    .decl exposed(b:number)
+    exposed(b) :- can_talk(_, b, 22).
+  )";
+  S.Outputs = {"subnet_reach", "can_talk", "exposed"};
+  S.MakeInputs = [](core::Program &) {
+    std::vector<DynTuple> InSubnet, Links, Allows, Listens;
+    constexpr RamDomain NumSubnets = 10, NumInstances = 60;
+    for (RamDomain I = 0; I < NumInstances; ++I) {
+      InSubnet.push_back({I, I % NumSubnets});
+      Allows.push_back({I, 20 + I % 6});
+      Listens.push_back({I, 20 + (I * 3) % 6});
+    }
+    for (RamDomain Sub = 0; Sub < NumSubnets; ++Sub) {
+      Links.push_back({Sub, (Sub + 1) % NumSubnets});
+      if (Sub % 3 == 0)
+        Links.push_back({Sub, (Sub + 4) % NumSubnets});
+    }
+    return std::vector<std::pair<std::string, std::vector<DynTuple>>>{
+        {"in_subnet", InSubnet},
+        {"subnet_link", Links},
+        {"allows", Allows},
+        {"listens", Listens}};
+  };
+  return S;
+}
+
+Subject dataflowSubject() {
+  Subject S;
+  S.Name = "dataflow";
+  S.Source = R"(
+    .decl def(b:number, v:number)
+    .decl use(b:number, v:number)
+    .decl succ(a:number, b:number)
+
+    .decl reach(d:number, v:number, b:number)
+    reach(d, v, d) :- def(d, v).
+    reach(d, v, b) :- reach(d, v, a), succ(a, b), !def(b, v).
+
+    .decl live_use(b:number, v:number, d:number)
+    live_use(b, v, d) :- use(b, v), reach(d, v, b).
+
+    .decl undefined_use(b:number, v:number)
+    undefined_use(b, v) :- use(b, v), !live_use(b, v, _).
+
+    .decl fanin(b:number, v:number, n:number)
+    fanin(b, v, n) :- use(b, v), n = count : { live_use(b, v, _) }.
+  )";
+  S.Outputs = {"reach", "live_use", "undefined_use", "fanin"};
+  S.MakeInputs = [](core::Program &) {
+    std::vector<DynTuple> Defs, Uses, Succs;
+    constexpr RamDomain NumBlocks = 40, NumVars = 6;
+    for (RamDomain B = 0; B + 1 < NumBlocks; ++B) {
+      Succs.push_back({B, B + 1});
+      if (B % 5 == 0 && B + 3 < NumBlocks)
+        Succs.push_back({B, B + 3});
+    }
+    for (RamDomain B = 0; B < NumBlocks; ++B) {
+      if (B % 3 == 0)
+        Defs.push_back({B, B % NumVars});
+      if (B % 2 == 0)
+        Uses.push_back({B, (B + 1) % NumVars});
+    }
+    return std::vector<std::pair<std::string, std::vector<DynTuple>>>{
+        {"def", Defs}, {"use", Uses}, {"succ", Succs}};
+  };
+  return S;
+}
+
+Subject pointstoSubject() {
+  Subject S;
+  S.Name = "pointsto";
+  S.Source = R"(
+    .decl new_(v:number, o:number)
+    .decl assign(v:number, w:number)
+    .decl store(v:number, f:number, w:number)
+    .decl load(v:number, w:number, f:number)
+
+    .decl vpt(v:number, o:number)
+    .decl hpt(o:number, f:number, p:number)
+
+    vpt(v, o) :- new_(v, o).
+    vpt(v, o) :- assign(v, w), vpt(w, o).
+    hpt(o, f, p) :- store(v, f, w), vpt(v, o), vpt(w, p).
+    vpt(v, p) :- load(v, w, f), vpt(w, o), hpt(o, f, p).
+  )";
+  S.Outputs = {"vpt", "hpt"};
+  S.MakeInputs = [](core::Program &) {
+    std::vector<DynTuple> News, Assigns, Stores, Loads;
+    constexpr RamDomain NumVars = 50;
+    for (RamDomain V = 0; V < NumVars; V += 3)
+      News.push_back({V, V / 3});
+    for (RamDomain V = 0; V + 1 < NumVars; ++V)
+      if (V % 4 != 0)
+        Assigns.push_back({V + 1, V});
+    for (RamDomain V = 0; V < NumVars; V += 7) {
+      Stores.push_back({V, 0, (V + 5) % NumVars});
+      Loads.push_back({(V + 9) % NumVars, V, 0});
+    }
+    return std::vector<std::pair<std::string, std::vector<DynTuple>>>{
+        {"new_", News},
+        {"assign", Assigns},
+        {"store", Stores},
+        {"load", Loads}};
+  };
+  return S;
+}
+
+Subject securitySubject() {
+  Subject S;
+  S.Name = "security_analysis";
+  S.Source = R"(
+    .decl Unsafe(b:symbol)
+    .decl Edge(a:symbol, b:symbol)
+    .decl Protect(b:symbol)
+    .decl Vulnerable(b:symbol)
+    .decl Violation(b:symbol)
+    Unsafe("while").
+    Unsafe(y) :- Unsafe(x), Edge(x, y), !Protect(y).
+    Violation(x) :- Vulnerable(x), Unsafe(x).
+  )";
+  S.Outputs = {"Unsafe", "Violation"};
+  S.MakeInputs = [](core::Program &Prog) {
+    SymbolTable &Symbols = Prog.getSymbolTable();
+    auto Block = [&](int I) {
+      return Symbols.intern("block" + std::to_string(I));
+    };
+    constexpr int NumBlocks = 60;
+    std::vector<DynTuple> Edges, Protects, Vulnerables;
+    Edges.push_back({Symbols.intern("while"), Block(0)});
+    for (int I = 0; I + 1 < NumBlocks; ++I) {
+      Edges.push_back({Block(I), Block(I + 1)});
+      if (I % 7 == 0 && I + 3 < NumBlocks)
+        Edges.push_back({Block(I), Block(I + 3)});
+      if (I % 11 == 5)
+        Protects.push_back({Block(I)});
+      if (I % 5 == 2)
+        Vulnerables.push_back({Block(I)});
+    }
+    return std::vector<std::pair<std::string, std::vector<DynTuple>>>{
+        {"Edge", Edges}, {"Protect", Protects}, {"Vulnerable", Vulnerables}};
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Miniature vpc/ddisasm/doop workloads (bench/workloads generators)
+//===----------------------------------------------------------------------===//
+
+/// Input-fact files for the tiny workloads, materialized once.
+const bench::Workload &tinyWorkload(std::size_t Index) {
+  static const std::vector<bench::Workload> Suites = bench::tinySuites();
+  return Suites.at(Index);
+}
+
+Subject workloadSubject(std::size_t Index) {
+  static bench::Harness SharedHarness("stird_bench_cache", /*Repetitions=*/1);
+  const bench::Workload &W = tinyWorkload(Index);
+  Subject S;
+  S.Name = W.Suite + "_" + W.Name;
+  for (char &C : S.Name)
+    if (C == '-')
+      C = '_';
+  S.Source = W.Source;
+  S.FactDir = SharedHarness.materializeFacts(W);
+  // Observe every declared relation (the internal delta_/new_ temporaries
+  // are cleared by the fixpoint epilogue and compare trivially).
+  S.MakeInputs = [](core::Program &) {
+    return std::vector<std::pair<std::string, std::vector<DynTuple>>>{};
+  };
+  return S;
+}
+
+std::vector<Subject> subjects() {
+  std::vector<Subject> Result = {quickstartSubject(), reachabilitySubject(),
+                                 dataflowSubject(), pointstoSubject(),
+                                 securitySubject()};
+  for (std::size_t I = 0; I < 3; ++I)
+    Result.push_back(workloadSubject(I));
+  return Result;
+}
+
+constexpr std::size_t NumSubjects = 8;
+
+//===----------------------------------------------------------------------===//
+// The differential harness
+//===----------------------------------------------------------------------===//
+
+struct RunResult {
+  /// Relation name -> sorted contents.
+  std::vector<std::pair<std::string, std::vector<DynTuple>>> Relations;
+  /// .printsize results, in execution order.
+  std::vector<std::pair<std::string, std::size_t>> PrintSizes;
+
+  bool operator==(const RunResult &) const = default;
+};
+
+/// Runs a subject once. NumThreads 0 means "leave EngineOptions at the
+/// seed default" — the exact configuration the sequential engine shipped
+/// with.
+RunResult runSubject(const Subject &S, Backend TheBackend,
+                     std::size_t NumThreads) {
+  std::vector<std::string> Errors;
+  auto Prog = core::Program::fromSource(S.Source, &Errors);
+  EXPECT_NE(Prog, nullptr) << S.Name << ": "
+                           << (Errors.empty() ? "" : Errors[0]);
+  if (!Prog)
+    return {};
+  EngineOptions Options;
+  Options.TheBackend = TheBackend;
+  Options.NumThreads = NumThreads;
+  Options.EchoPrintSize = false;
+  if (!S.FactDir.empty())
+    Options.FactDir = S.FactDir;
+  auto Engine = Prog->makeEngine(Options);
+  for (const auto &[Rel, Tuples] : S.MakeInputs(*Prog))
+    Engine->insertTuples(Rel, Tuples);
+  Engine->run();
+
+  RunResult Result;
+  if (!S.Outputs.empty()) {
+    for (const std::string &Rel : S.Outputs)
+      Result.Relations.emplace_back(Rel, Engine->getTuples(Rel));
+  } else {
+    for (const auto &Rel : Prog->getRam().getRelations())
+      Result.Relations.emplace_back(Rel->getName(),
+                                    Engine->getTuples(Rel->getName()));
+  }
+  Result.PrintSizes = Engine->getPrintSizes();
+  return Result;
+}
+
+class ParallelDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+Backend backendOf(int Index) {
+  switch (Index) {
+  case 0:
+    return Backend::StaticLambda;
+  case 1:
+    return Backend::StaticPlain;
+  case 2:
+    return Backend::DynamicAdapter;
+  default:
+    return Backend::Legacy;
+  }
+}
+
+const char *backendName(int Index) {
+  switch (Index) {
+  case 0:
+    return "StaticLambda";
+  case 1:
+    return "StaticPlain";
+  case 2:
+    return "DynamicAdapter";
+  default:
+    return "Legacy";
+  }
+}
+
+TEST_P(ParallelDifferentialTest, ThreadCountsProduceIdenticalResults) {
+  auto [SubjectIndex, BackendIndex] = GetParam();
+  const Subject S = subjects()[SubjectIndex];
+  const Backend TheBackend = backendOf(BackendIndex);
+
+  // The seed configuration: thread count left unset.
+  RunResult Seed = runSubject(S, TheBackend, 0);
+  bool AnyTuples = false;
+  for (const auto &[Rel, Tuples] : Seed.Relations)
+    AnyTuples = AnyTuples || !Tuples.empty();
+  EXPECT_TRUE(AnyTuples) << S.Name << " produced no tuples at all";
+
+  for (std::size_t NumThreads : {1u, 2u, 4u}) {
+    RunResult Parallel = runSubject(S, TheBackend, NumThreads);
+    ASSERT_EQ(Parallel.Relations.size(), Seed.Relations.size());
+    for (std::size_t I = 0; I < Seed.Relations.size(); ++I)
+      EXPECT_EQ(Parallel.Relations[I], Seed.Relations[I])
+          << S.Name << " relation " << Seed.Relations[I].first
+          << " differs from the sequential seed at -j" << NumThreads
+          << " on " << backendName(BackendIndex);
+    EXPECT_EQ(Parallel.PrintSizes, Seed.PrintSizes)
+        << S.Name << " printsize results differ at -j" << NumThreads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Subjects, ParallelDifferentialTest,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(NumSubjects)),
+                       ::testing::Range(0, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>> &Info) {
+      static const std::vector<Subject> All = subjects();
+      return All[std::get<0>(Info.param)].Name + "_" +
+             backendName(std::get<1>(Info.param));
+    });
+
+/// Guards against the differential suite becoming vacuous: at -j4 the
+/// generated interpreter trees must actually contain parallel scan nodes
+/// for the recursive subjects.
+TEST(ParallelDifferentialTest, ParallelNodesAreGenerated) {
+  for (const Subject &S : subjects()) {
+    auto Prog = core::Program::fromSource(S.Source);
+    ASSERT_NE(Prog, nullptr) << S.Name;
+    EngineOptions Options;
+    Options.NumThreads = 4;
+    auto Engine = Prog->makeEngine(Options);
+    EXPECT_NE(Engine->dumpTree().find("ParallelScan"), std::string::npos)
+        << S.Name << ": no scan was parallelized at -j4";
+  }
+}
+
+/// core::Program's default thread count is substituted when the engine
+/// options leave NumThreads unset, and must be just as invariant.
+TEST(ParallelDifferentialTest, ProgramLevelThreadKnob) {
+  const Subject S = reachabilitySubject();
+  auto RunWithDefault = [&](std::size_t NumThreads) {
+    auto Prog = core::Program::fromSource(S.Source);
+    EXPECT_NE(Prog, nullptr);
+    Prog->setNumThreads(NumThreads);
+    EXPECT_EQ(Prog->getNumThreads(), NumThreads);
+    EngineOptions Options;
+    Options.EchoPrintSize = false;
+    auto Engine = Prog->makeEngine(Options);
+    for (const auto &[Rel, Tuples] : S.MakeInputs(*Prog))
+      Engine->insertTuples(Rel, Tuples);
+    Engine->run();
+    return Engine->getTuples("can_talk");
+  };
+  auto Reference = RunWithDefault(1);
+  EXPECT_FALSE(Reference.empty());
+  EXPECT_EQ(RunWithDefault(2), Reference);
+  EXPECT_EQ(RunWithDefault(4), Reference);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- tests/der/PartitionTest.cpp - Scan partitioning properties --------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Properties of the partition() APIs backing parallel scans: the
+/// concatenation of the returned ranges must equal the full in-order scan
+/// (which implies disjointness, since elements arrive in strictly
+/// increasing order), the number of ranges never exceeds the request, and
+/// the degenerate cases (empty set, MaxParts == 1, MaxParts > size)
+/// behave.
+///
+//===----------------------------------------------------------------------===//
+
+#include "der/BTreeSet.h"
+#include "der/Brie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+using namespace stird;
+
+namespace {
+
+template <std::size_t Arity>
+std::vector<Tuple<Arity>> randomTuples(std::size_t Count, RamDomain Range,
+                                       unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<RamDomain> Dist(-Range, Range);
+  std::vector<Tuple<Arity>> Tuples(Count);
+  for (auto &Tuple : Tuples)
+    for (auto &Cell : Tuple)
+      Cell = Dist(Rng);
+  return Tuples;
+}
+
+/// Concatenates the tuples of a partition list in order.
+template <typename SetT>
+std::vector<typename SetT::TupleType>
+concatenate(const std::vector<std::pair<typename SetT::iterator,
+                                        typename SetT::iterator>> &Parts) {
+  std::vector<typename SetT::TupleType> Result;
+  for (const auto &[First, Last] : Parts)
+    for (auto It = First; It != Last; ++It)
+      Result.push_back(*It);
+  return Result;
+}
+
+template <typename SetT>
+std::vector<typename SetT::TupleType> fullScan(const SetT &Set) {
+  std::vector<typename SetT::TupleType> Result;
+  for (auto It = Set.begin(), End = Set.end(); It != End; ++It)
+    Result.push_back(*It);
+  return Result;
+}
+
+/// The partition contract, checked for one (set, MaxParts) combination.
+template <typename SetT>
+void checkPartition(const SetT &Set, std::size_t MaxParts) {
+  auto Parts = Set.partition(MaxParts);
+  if (Set.size() == 0) {
+    EXPECT_TRUE(Parts.empty());
+    return;
+  }
+  EXPECT_FALSE(Parts.empty());
+  EXPECT_LE(Parts.size(), std::max<std::size_t>(MaxParts, 1));
+  // Concatenation == full scan. The scan is strictly increasing, so
+  // equality also proves no element appears in two partitions and no
+  // partition overlaps another.
+  EXPECT_EQ(concatenate<SetT>(Parts), fullScan(Set));
+}
+
+template <typename ArityConstant>
+class PartitionTypedTest : public ::testing::Test {};
+
+using TestedArities =
+    ::testing::Types<std::integral_constant<std::size_t, 1>,
+                     std::integral_constant<std::size_t, 2>,
+                     std::integral_constant<std::size_t, 3>,
+                     std::integral_constant<std::size_t, 4>>;
+TYPED_TEST_SUITE(PartitionTypedTest, TestedArities);
+
+TYPED_TEST(PartitionTypedTest, BTreeCoverageAndDisjointness) {
+  constexpr std::size_t Arity = TypeParam::value;
+  for (std::size_t Count : {0u, 1u, 2u, 7u, 100u, 5000u}) {
+    BTreeSet<Arity> Set;
+    for (const auto &Tuple : randomTuples<Arity>(Count, 50, 7 + Count))
+      Set.insert(Tuple);
+    for (std::size_t MaxParts : {1u, 2u, 3u, 4u, 8u, 64u})
+      checkPartition(Set, MaxParts);
+  }
+}
+
+TYPED_TEST(PartitionTypedTest, BrieCoverageAndDisjointness) {
+  constexpr std::size_t Arity = TypeParam::value;
+  for (std::size_t Count : {0u, 1u, 2u, 7u, 100u, 5000u}) {
+    Brie<Arity> Set;
+    for (const auto &Tuple : randomTuples<Arity>(Count, 50, 11 + Count))
+      Set.insert(Tuple);
+    for (std::size_t MaxParts : {1u, 2u, 3u, 4u, 8u, 64u})
+      checkPartition(Set, MaxParts);
+  }
+}
+
+TEST(PartitionTest, BTreeMorePartsThanElements) {
+  BTreeSet<2> Set;
+  Set.insert({1, 2});
+  Set.insert({3, 4});
+  auto Parts = Set.partition(16);
+  EXPECT_LE(Parts.size(), 16u);
+  EXPECT_EQ(concatenate<BTreeSet<2>>(Parts),
+            (std::vector<Tuple<2>>{{1, 2}, {3, 4}}));
+}
+
+TEST(PartitionTest, BrieMorePartsThanElements) {
+  Brie<1> Set;
+  Set.insert({5});
+  auto Parts = Set.partition(16);
+  ASSERT_EQ(concatenate<Brie<1>>(Parts), (std::vector<Tuple<1>>{{5}}));
+}
+
+TEST(PartitionTest, BTreeSingletonAndSinglePart) {
+  BTreeSet<1> Set;
+  Set.insert({42});
+  auto Parts = Set.partition(1);
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(concatenate<BTreeSet<1>>(Parts), (std::vector<Tuple<1>>{{42}}));
+}
+
+/// partitionRange must reproduce the [lowerBound(Low), upperBound(High))
+/// enumeration for arbitrary bounds, including bounds that are absent,
+/// below the minimum or above the maximum.
+TEST(PartitionTest, BTreePartitionRangeMatchesBoundsScan) {
+  BTreeSet<2> Set;
+  std::set<Tuple<2>> Reference;
+  for (const auto &Tuple : randomTuples<2>(3000, 40, 21)) {
+    Set.insert(Tuple);
+    Reference.insert(Tuple);
+  }
+  std::mt19937 Rng(22);
+  std::uniform_int_distribution<RamDomain> Dist(-45, 45);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    Tuple<2> Low{Dist(Rng), Dist(Rng)};
+    Tuple<2> High{Dist(Rng), Dist(Rng)};
+    if (High < Low)
+      std::swap(Low, High);
+    std::vector<Tuple<2>> Expected;
+    for (auto It = Reference.lower_bound(Low),
+              End = Reference.upper_bound(High);
+         It != End; ++It)
+      Expected.push_back(*It);
+    for (std::size_t MaxParts : {1u, 2u, 4u, 9u}) {
+      auto Parts = Set.partitionRange(Low, High, MaxParts);
+      EXPECT_EQ(concatenate<BTreeSet<2>>(Parts), Expected)
+          << "MaxParts=" << MaxParts;
+      if (Expected.empty())
+        EXPECT_TRUE(Parts.empty());
+    }
+  }
+}
+
+TEST(PartitionTest, BTreeEmptySetHasNoPartitions) {
+  BTreeSet<3> Set;
+  EXPECT_TRUE(Set.partition(4).empty());
+  EXPECT_TRUE(Set.partitionRange({0, 0, 0}, {9, 9, 9}, 4).empty());
+}
+
+TEST(PartitionTest, BrieEmptySetHasNoPartitions) {
+  Brie<2> Set;
+  EXPECT_TRUE(Set.partition(4).empty());
+}
+
+/// Large sequential inserts actually produce multiple partitions (the
+/// split-point supply of the top two tree levels is ample).
+TEST(PartitionTest, BTreeLargeSetYieldsRequestedParts) {
+  BTreeSet<1> Set;
+  for (RamDomain I = 0; I < 10000; ++I)
+    Set.insert({I});
+  for (std::size_t MaxParts : {2u, 4u, 8u}) {
+    auto Parts = Set.partition(MaxParts);
+    EXPECT_EQ(Parts.size(), MaxParts);
+    checkPartition(Set, MaxParts);
+  }
+}
+
+TEST(PartitionTest, BrieLargeSetYieldsMultipleParts) {
+  Brie<2> Set;
+  for (RamDomain I = 0; I < 5000; ++I)
+    Set.insert({I, I * 3});
+  for (std::size_t MaxParts : {2u, 4u, 8u}) {
+    auto Parts = Set.partition(MaxParts);
+    EXPECT_GT(Parts.size(), 1u);
+    EXPECT_LE(Parts.size(), MaxParts);
+    checkPartition(Set, MaxParts);
+  }
+}
+
+} // namespace

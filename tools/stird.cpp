@@ -11,6 +11,7 @@
 ///
 ///   -F, --facts <dir>     fact-file directory (default .)
 ///   -D, --output <dir>    output directory (default .)
+///   -j, --jobs <n>        evaluation threads (default 1)
 ///   --backend <name>      sti | sti-plain | dynamic | legacy
 ///   --no-super            disable super-instructions (Section 4.4)
 ///   --no-reorder          disable static tuple reordering (Section 4.2)
@@ -26,6 +27,7 @@
 #include "util/Timer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -35,8 +37,8 @@ using namespace stird;
 static void usage() {
   std::fprintf(
       stderr,
-      "usage: stird <program.dl> [-F factdir] [-D outdir] [--backend "
-      "sti|sti-plain|dynamic|legacy]\n"
+      "usage: stird <program.dl> [-F factdir] [-D outdir] [-j threads] "
+      "[--backend sti|sti-plain|dynamic|legacy]\n"
       "             [--no-super] [--no-reorder] [--fuse-conditions]\n"
       "             [--dump-ram] [--dump-tree] [--profile] "
       "[--synthesize <file.cpp>]\n");
@@ -63,6 +65,15 @@ int main(int argc, char **argv) {
       Options.FactDir = Next();
     } else if (Arg == "-D" || Arg == "--output") {
       Options.OutputDir = Next();
+    } else if (Arg == "-j" || Arg == "--jobs") {
+      const char *Value = Next();
+      char *End = nullptr;
+      long N = std::strtol(Value, &End, 10);
+      if (End == Value || *End != '\0' || N < 1) {
+        std::fprintf(stderr, "invalid thread count '%s'\n", Value);
+        return 1;
+      }
+      Options.NumThreads = static_cast<std::size_t>(N);
     } else if (Arg == "--backend") {
       std::string Name = Next();
       if (Name == "sti")
