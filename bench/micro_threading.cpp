@@ -374,6 +374,80 @@ void BM_EngineTcDynamic(benchmark::State &State) {
 }
 BENCHMARK(BM_EngineTcDynamic)->Arg(1)->Arg(2)->Arg(4);
 
+//===----------------------------------------------------------------------===//
+// Lifted fallbacks: rules that used to force sequential execution
+// (interning functors, `$`, equivalence relations) now run partitioned.
+// These benchmarks measure the cost of the concurrency-safe paths —
+// sharded symbol-table interning, relaxed atomic counters, atomic eqrel
+// path compression — against the same program at one thread.
+//===----------------------------------------------------------------------===//
+
+std::size_t runProgram(const char *Source, std::size_t NumThreads,
+                       const std::vector<stird::DynTuple> &Edges,
+                       const char *Output) {
+  auto Prog = core::Program::fromSource(Source);
+  if (!Prog)
+    std::abort();
+  interp::EngineOptions Options;
+  Options.NumThreads = NumThreads;
+  Options.EchoPrintSize = false;
+  auto Engine = Prog->makeEngine(Options);
+  Engine->insertTuples("edge", Edges);
+  Engine->run();
+  return Engine->getTuples(Output).size();
+}
+
+/// Workers intern freshly-built strings through the shared table.
+void BM_EngineInterning(benchmark::State &State) {
+  const char *Source = R"(
+    .decl edge(a:number, b:number)
+    .decl labeled(a:number, b:number, l:symbol)
+    labeled(a, b, cat(to_string(a), cat("->", to_string(b)))) :- edge(a, b).
+  )";
+  const auto NumThreads = static_cast<std::size_t>(State.range(0));
+  auto Edges = tcEdges();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        runProgram(Source, NumThreads, Edges, "labeled"));
+}
+BENCHMARK(BM_EngineInterning)->Arg(1)->Arg(2)->Arg(4);
+
+/// Workers draw `$` ids from the shared atomic counter.
+void BM_EngineCounter(benchmark::State &State) {
+  const char *Source = R"(
+    .decl edge(a:number, b:number)
+    .decl tagged(id:number, a:number, b:number)
+    tagged($, a, b) :- edge(a, b).
+  )";
+  const auto NumThreads = static_cast<std::size_t>(State.range(0));
+  auto Edges = tcEdges();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        runProgram(Source, NumThreads, Edges, "tagged"));
+}
+BENCHMARK(BM_EngineCounter)->Arg(1)->Arg(2)->Arg(4);
+
+/// Workers read the equivalence relation (concurrent findRoot with path
+/// compression) while deriving through it.
+void BM_EngineEqrel(benchmark::State &State) {
+  const char *Source = R"(
+    .decl edge(a:number, b:number)
+    .decl same(a:number, b:number) eqrel
+    .decl rep(a:number, b:number)
+    same(a, b) :- edge(a, b).
+    rep(a, b) :- same(a, b), a <= b.
+  )";
+  const auto NumThreads = static_cast<std::size_t>(State.range(0));
+  // Smaller input: the closure is quadratic per class.
+  std::vector<stird::DynTuple> Edges;
+  for (RamDomain C = 0; C < 32; ++C)
+    for (RamDomain I = 0; I < 12; ++I)
+      Edges.push_back({C * 100 + I, C * 100 + I + 1});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runProgram(Source, NumThreads, Edges, "rep"));
+}
+BENCHMARK(BM_EngineEqrel)->Arg(1)->Arg(2)->Arg(4);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -20,22 +20,28 @@ std::size_t EquivalenceRelation::internValue(RamDomain Value) {
   std::size_t Index = ValueOf.size();
   IndexOf.emplace(Value, Index);
   ValueOf.push_back(Value);
-  Parent.push_back(Index);
+  Parent.emplace_back(Index);
   Rank.push_back(0);
   ClassSize.push_back(1);
   NumPairs += 1; // the reflexive pair (Value, Value)
-  Stale = true;
+  Stale.store(true, std::memory_order_relaxed);
   return Index;
 }
 
 std::size_t EquivalenceRelation::findRoot(std::size_t Index) const {
-  // Path compression: Parent is mutable so reads stay amortized-constant.
+  // Path compression: Parent entries are mutable atomics so reads stay
+  // amortized-constant *and* safe to race with each other. While unions
+  // are excluded (the parallel evaluator's contract), every reader
+  // computes the same root, and compression only replaces a parent
+  // pointer with that root — racing relaxed loads observe either the old
+  // pointer or the root, both of which still lead to the root.
   std::size_t Root = Index;
-  while (Parent[Root] != Root)
-    Root = Parent[Root];
-  while (Parent[Index] != Root) {
-    std::size_t Next = Parent[Index];
-    Parent[Index] = Root;
+  for (std::size_t P;
+       (P = Parent[Root].V.load(std::memory_order_relaxed)) != Root;)
+    Root = P;
+  while (Index != Root) {
+    std::size_t Next = Parent[Index].V.load(std::memory_order_relaxed);
+    Parent[Index].V.store(Root, std::memory_order_relaxed);
     Index = Next;
   }
   return Root;
@@ -54,13 +60,13 @@ bool EquivalenceRelation::insert(RamDomain A, RamDomain B) {
     std::swap(RootA, RootB);
   const std::size_t SizeA = ClassSize[RootA];
   const std::size_t SizeB = ClassSize[RootB];
-  Parent[RootB] = RootA;
+  Parent[RootB].V.store(RootA, std::memory_order_relaxed);
   if (Rank[RootA] == Rank[RootB])
     ++Rank[RootA];
   ClassSize[RootA] = SizeA + SizeB;
   // Pairs go from SizeA^2 + SizeB^2 to (SizeA + SizeB)^2.
   NumPairs += 2 * SizeA * SizeB;
-  Stale = true;
+  Stale.store(true, std::memory_order_relaxed);
   return true;
 }
 
@@ -81,7 +87,7 @@ void EquivalenceRelation::clear() {
   Rank.clear();
   ClassSize.clear();
   NumPairs = 0;
-  Stale = false;
+  Stale.store(false, std::memory_order_relaxed);
   SortedValues.clear();
   MembersOfRoot.clear();
 }
@@ -93,13 +99,24 @@ void EquivalenceRelation::swapData(EquivalenceRelation &Other) {
   Rank.swap(Other.Rank);
   ClassSize.swap(Other.ClassSize);
   std::swap(NumPairs, Other.NumPairs);
-  std::swap(Stale, Other.Stale);
+  const bool MyStale = Stale.load(std::memory_order_relaxed);
+  Stale.store(Other.Stale.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  Other.Stale.store(MyStale, std::memory_order_relaxed);
   SortedValues.swap(Other.SortedValues);
   MembersOfRoot.swap(Other.MembersOfRoot);
 }
 
 void EquivalenceRelation::refresh() const {
-  if (!Stale)
+  // Double-checked locking: the acquire load pairs with the release store
+  // below, so a reader that sees Stale == false also sees the caches the
+  // refreshing thread built. Concurrent readers may all arrive here (the
+  // parallel evaluator calls begin()/membersOf() from every partition
+  // worker); one rebuilds, the rest wait and re-check.
+  if (!Stale.load(std::memory_order_acquire))
+    return;
+  std::lock_guard<std::mutex> Lock(RefreshM);
+  if (!Stale.load(std::memory_order_relaxed))
     return;
   SortedValues = ValueOf;
   std::sort(SortedValues.begin(), SortedValues.end());
@@ -108,7 +125,7 @@ void EquivalenceRelation::refresh() const {
     MembersOfRoot[findRoot(I)].push_back(ValueOf[I]);
   for (auto &Entry : MembersOfRoot)
     std::sort(Entry.second.begin(), Entry.second.end());
-  Stale = false;
+  Stale.store(false, std::memory_order_release);
 }
 
 const std::vector<RamDomain> &

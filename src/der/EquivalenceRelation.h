@@ -11,6 +11,19 @@
 /// in near-constant time while the logical relation holds |C|^2 pairs per
 /// class C. Enumeration materializes sorted per-class member lists lazily.
 ///
+/// Concurrency contract: mutations (insert/clear/swapData) are exclusive,
+/// but all read operations — contains, membersOf, iteration — are safe to
+/// run concurrently with each other. This is what the parallel evaluator
+/// relies on: during a parallel section, workers only *read* equivalence
+/// relations (their pair inserts are parked in per-worker TupleBuffers and
+/// merged into the union-find at the barrier, on the main thread), so reads
+/// need to tolerate two benign races that the sequential structure hid
+/// behind `mutable`: path compression inside findRoot (parent pointers are
+/// atomics; compression only rewrites a pointer to the class root, which
+/// every racing reader computes identically while unions are excluded) and
+/// the lazy enumeration caches (rebuilt under a mutex with double-checked
+/// staleness).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STIRD_DER_EQUIVALENCERELATION_H
@@ -18,7 +31,9 @@
 
 #include "util/RamTypes.h"
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -99,20 +114,45 @@ public:
   /// returned reference stays valid until the next mutation.
   const std::vector<RamDomain> &membersOf(RamDomain A) const;
 
+  /// All values ever seen, ascending — the "first" column of the logical
+  /// pair enumeration. The reference stays valid until the next mutation;
+  /// the parallel scan partitions this list across workers.
+  const std::vector<RamDomain> &sortedValues() const {
+    refresh();
+    return SortedValues;
+  }
+
 private:
+  /// A copyable atomic parent pointer, so the forest can live in a vector
+  /// (copies only happen on sequential growth/rehash, never concurrently).
+  struct AtomicIndex {
+    std::atomic<std::size_t> V{0};
+    AtomicIndex() = default;
+    explicit AtomicIndex(std::size_t I) : V(I) {}
+    AtomicIndex(const AtomicIndex &O)
+        : V(O.V.load(std::memory_order_relaxed)) {}
+    AtomicIndex &operator=(const AtomicIndex &O) {
+      V.store(O.V.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
   std::size_t findRoot(std::size_t Index) const;
   std::size_t internValue(RamDomain Value);
-  /// Rebuilds SortedValues and per-root member lists if stale.
+  /// Rebuilds SortedValues and per-root member lists if stale. Safe to
+  /// call from concurrent readers (double-checked locking on Stale).
   void refresh() const;
 
   std::unordered_map<RamDomain, std::size_t> IndexOf;
   std::vector<RamDomain> ValueOf;
-  mutable std::vector<std::size_t> Parent;
+  mutable std::vector<AtomicIndex> Parent;
   std::vector<std::uint8_t> Rank;
   std::vector<std::size_t> ClassSize;
   std::size_t NumPairs = 0;
 
-  mutable bool Stale = false;
+  mutable std::atomic<bool> Stale{false};
+  mutable std::mutex RefreshM;
   mutable std::vector<RamDomain> SortedValues;
   mutable std::unordered_map<std::size_t, std::vector<RamDomain>> MembersOfRoot;
   static const std::vector<RamDomain> EmptyMembers;

@@ -78,7 +78,8 @@ private:
       return applyIntrinsic(Op->Op, Args, Op->Args.size(), State.Symbols);
     }
     case NodeType::AutoIncrement:
-      return State.Counter++;
+      // Relaxed fetch-add: ids must be unique and dense, not ordered.
+      return State.Counter.fetch_add(1, std::memory_order_relaxed);
 
     //===-------------------------- Conditions ---------------------------===//
     case NodeType::True:
@@ -291,8 +292,7 @@ private:
         Worker.execute(&Nested, Ctx);
       }
     });
-    for (TupleBuffer &B : Buffers)
-      B.flush();
+    TupleBuffer::flushAll(Buffers);
     for (std::uint64_t C : Counts)
       *Dispatches += C;
     return 1;

@@ -30,6 +30,7 @@
 #include "translate/IndexSelection.h"
 #include "util/SymbolTable.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -83,8 +84,13 @@ struct EngineState {
   /// Dispatch counter: incremented on every execute() entry of whichever
   /// executor runs (Fig 19's dispatch-elimination metric).
   std::uint64_t NumDispatches = 0;
-  /// The `$` auto-increment counter.
-  RamDomain Counter = 0;
+  /// The `$` auto-increment counter. Atomic so that rules using `$` stay
+  /// eligible for parallel evaluation: workers fetch-add concurrently, so
+  /// ids are always dense and unique, but *which* row receives which id is
+  /// thread-order-dependent when the rule runs partitioned (stable within
+  /// one run; identical across runs at -j1 or whenever the rule falls back
+  /// to a single partition).
+  std::atomic<RamDomain> Counter{0};
   Profiler Prof;
   std::string FactDir = ".";
   std::string OutputDir = ".";

@@ -94,54 +94,24 @@ std::size_t countTupleIds(const ram::Operation &Op) {
 
 /// What a query touches, for deciding whether its outermost scan may be
 /// partitioned across threads.
+///
+/// The expression language no longer contributes: the `$` auto-increment
+/// counter is an atomic fetch-add, and the string functors (Cat / Substr /
+/// ToString) intern through the concurrency-safe SymbolTable, so every
+/// expression may run on a partition worker. (The resulting `$` ids and
+/// freshly interned ordinals are dense but thread-order-dependent — the
+/// documented determinism caveat of parallel evaluation.) What remains is
+/// the relation footprint: which relations the query reads and writes.
 struct QueryFootprint {
   std::vector<const ram::Relation *> Reads;
   std::vector<const ram::Relation *> Writes;
-  /// False when the query evaluates an expression whose result depends on
-  /// evaluation order across threads: the `$` auto-increment counter, or a
-  /// symbol-table-writing intrinsic (Cat / Substr / ToString intern new
-  /// symbols, and interned ids must not depend on the interleaving).
-  bool ExprsThreadSafe = true;
 };
-
-bool exprThreadSafe(const ram::Expression &E) {
-  using K = ram::Expression::Kind;
-  switch (E.getKind()) {
-  case K::Constant:
-  case K::TupleElement:
-  case K::Undef:
-    return true;
-  case K::AutoIncrement:
-    return false;
-  case K::Intrinsic: {
-    const auto &In = static_cast<const ram::Intrinsic &>(E);
-    switch (In.getOp()) {
-    case ram::IntrinsicOp::Cat:
-    case ram::IntrinsicOp::Substr:
-    case ram::IntrinsicOp::ToString:
-      return false;
-    default:
-      break;
-    }
-    for (const auto &Arg : In.getArgs())
-      if (!exprThreadSafe(*Arg))
-        return false;
-    return true;
-  }
-  }
-  return false;
-}
-
-void collectExprs(const std::vector<ram::ExprPtr> &Exprs, QueryFootprint &F) {
-  for (const auto &E : Exprs)
-    if (E && !exprThreadSafe(*E))
-      F.ExprsThreadSafe = false;
-}
 
 void collectCond(const ram::Condition &Cond, QueryFootprint &F) {
   using K = ram::Condition::Kind;
   switch (Cond.getKind()) {
   case K::True:
+  case K::Constraint:
     return;
   case K::Conjunction: {
     const auto &C = static_cast<const ram::Conjunction &>(Cond);
@@ -152,22 +122,14 @@ void collectCond(const ram::Condition &Cond, QueryFootprint &F) {
   case K::Negation:
     collectCond(static_cast<const ram::Negation &>(Cond).getInner(), F);
     return;
-  case K::Constraint: {
-    const auto &C = static_cast<const ram::Constraint &>(Cond);
-    if (!exprThreadSafe(C.getLhs()) || !exprThreadSafe(C.getRhs()))
-      F.ExprsThreadSafe = false;
-    return;
-  }
   case K::EmptinessCheck:
     F.Reads.push_back(
         &static_cast<const ram::EmptinessCheck &>(Cond).getRelation());
     return;
-  case K::ExistenceCheck: {
-    const auto &E = static_cast<const ram::ExistenceCheck &>(Cond);
-    F.Reads.push_back(&E.getRelation());
-    collectExprs(E.getPattern(), F);
+  case K::ExistenceCheck:
+    F.Reads.push_back(
+        &static_cast<const ram::ExistenceCheck &>(Cond).getRelation());
     return;
-  }
   }
 }
 
@@ -183,7 +145,6 @@ void collectOp(const ram::Operation &Op, QueryFootprint &F) {
   case K::IndexScan: {
     const auto &S = static_cast<const ram::IndexScan &>(Op);
     F.Reads.push_back(&S.getRelation());
-    collectExprs(S.getPattern(), F);
     collectOp(S.getNested(), F);
     return;
   }
@@ -193,18 +154,12 @@ void collectOp(const ram::Operation &Op, QueryFootprint &F) {
     collectOp(Fl.getNested(), F);
     return;
   }
-  case K::Project: {
-    const auto &P = static_cast<const ram::Project &>(Op);
-    F.Writes.push_back(&P.getRelation());
-    collectExprs(P.getValues(), F);
+  case K::Project:
+    F.Writes.push_back(&static_cast<const ram::Project &>(Op).getRelation());
     return;
-  }
   case K::Aggregate: {
     const auto &A = static_cast<const ram::Aggregate &>(Op);
     F.Reads.push_back(&A.getRelation());
-    collectExprs(A.getPattern(), F);
-    if (A.getTargetExpr() && !exprThreadSafe(*A.getTargetExpr()))
-      F.ExprsThreadSafe = false;
     if (A.getCondition())
       collectCond(*A.getCondition(), F);
     collectOp(A.getNested(), F);
@@ -772,14 +727,24 @@ private:
     }
   }
 
-  /// A query's outermost scan may be partitioned when (a) every expression
-  /// is thread-safe, (b) no relation it writes is also read anywhere in the
-  /// query (semi-naive queries write `new_R` and read delta/full relations,
-  /// so per-thread insert buffering preserves semantics exactly), and
-  /// (c) it reads no equivalence relation (the union-find compresses paths
-  /// and fills lazy caches on reads, which is not thread-safe). Writes into
-  /// any relation kind are fine: they are buffered and flushed by the main
-  /// thread at the barrier.
+  /// A query's outermost scan may be partitioned when no relation it
+  /// writes is also read anywhere in the same query. That is the whole
+  /// analysis now:
+  ///
+  ///  * Expressions are always thread-safe — `$` is an atomic fetch-add
+  ///    and the interning functors go through the concurrent SymbolTable.
+  ///  * Equivalence relations may be read concurrently (atomic path
+  ///    compression, locked cache refresh) and written through the same
+  ///    per-worker buffers as every other relation kind: buffered pair
+  ///    inserts are merged into the union-find at the barrier.
+  ///
+  /// The write/read disjointness check is exact per relation *object*, not
+  /// per name, which is what admits the semi-naive shape: a recursive rule
+  /// writes `new_R` while reading `delta_R` and the full `R` — three
+  /// distinct ram::Relation objects — so buffering its inserts until the
+  /// barrier is observably identical to direct insertion. A query whose
+  /// reads genuinely include a relation it writes (its matches would
+  /// depend on its own inserts) stays sequential.
   bool shouldParallelize(const ram::Operation &Root) {
     using K = ram::Operation::Kind;
     // Peel the guard filters the translator wraps around a rule body
@@ -792,11 +757,6 @@ private:
       return false;
     QueryFootprint F;
     collectOp(Root, F);
-    if (!F.ExprsThreadSafe)
-      return false;
-    for (const ram::Relation *R : F.Reads)
-      if (wrapper(*R)->getKind() == RelKind::Eqrel)
-        return false;
     for (const ram::Relation *W : F.Writes)
       for (const ram::Relation *R : F.Reads)
         if (W == R)

@@ -8,6 +8,7 @@
 
 #include "interp/Relation.h"
 
+#include <cassert>
 #include <cstring>
 
 namespace stird::interp {
@@ -96,11 +97,22 @@ void TupleBuffer::add(RelationWrapper &Rel, const RamDomain *Tuple) {
 
 void TupleBuffer::flush() {
   for (PerRelation &B : Buffers) {
+    assert(B.Arity == B.Rel->getArity() &&
+           "buffered tuple width diverged from its target relation");
+    assert(B.Cells.size() % B.Arity == 0 &&
+           "buffer holds a partial tuple");
     for (std::size_t I = 0; I < B.Cells.size(); I += B.Arity)
       B.Rel->insert(B.Cells.data() + I);
     B.Cells.clear();
   }
   Buffers.clear();
+}
+
+void TupleBuffer::flushAll(std::vector<TupleBuffer> &Buffers) {
+  // Ascending partition index, never completion order: partition I's
+  // tuples always merge before partition I+1's.
+  for (TupleBuffer &B : Buffers)
+    B.flush();
 }
 
 } // namespace stird::interp

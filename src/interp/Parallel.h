@@ -68,16 +68,27 @@ private:
 /// One worker's pending inserts, grouped by target relation. Workers fill
 /// their buffer race-free during the parallel section; the main thread
 /// flushes all buffers into the (deduplicating) relations at the barrier,
-/// which is observably identical to direct insertion because semi-naive
-/// queries never read the relations they write.
+/// which is observably identical to direct insertion because parallelized
+/// queries never read the relations they write. Equivalence relations
+/// take the same path: buffered pairs are merged into the union-find at
+/// the barrier.
 class TupleBuffer {
 public:
   /// Appends a source-order tuple destined for \p Rel.
   void add(RelationWrapper &Rel, const RamDomain *Tuple);
 
   /// Inserts every buffered tuple into its relation and empties the
-  /// buffer. Main thread only.
+  /// buffer. Main thread only. Within one buffer, tuples flush in the
+  /// order the worker produced them.
   void flush();
+
+  /// Flushes \p Buffers in ascending worker-partition index — a fixed,
+  /// thread-interleaving-independent order, so the merged relation
+  /// contents (and thus tuple iteration and output-file order) are
+  /// identical across repeated runs at any -jN. The relations themselves
+  /// are sets, but a fixed merge order also pins down any insertion-order
+  /// dependent internals (e.g. union-find representatives).
+  static void flushAll(std::vector<TupleBuffer> &Buffers);
 
 private:
   struct PerRelation {

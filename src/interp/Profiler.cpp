@@ -9,6 +9,10 @@
 using namespace stird::interp;
 
 std::size_t Profiler::registerRule(const std::string &Label) {
+  // Registration happens at tree-generation time (before any parallel
+  // section), but locking keeps the whole accumulator self-consistent if
+  // that ever changes — record() shares the same mutex.
+  std::lock_guard<std::mutex> Lock(M);
   auto It = IdOf.find(Label);
   if (It != IdOf.end())
     return It->second;

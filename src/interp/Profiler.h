@@ -16,6 +16,7 @@
 #define STIRD_INTERP_PROFILER_H
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,14 +37,19 @@ public:
   /// Registers \p Label (idempotent) and returns its dense id.
   std::size_t registerRule(const std::string &Label);
 
-  /// Accumulates one timed execution of rule \p Id.
+  /// Accumulates one timed execution of rule \p Id. Thread-safe: LogTimer
+  /// currently fires on the main thread only, but the profiler must not be
+  /// the reason rules inside parallel sections can't be timed — recording
+  /// is cold (once per rule invocation), so one mutex suffices.
   void record(std::size_t Id, double Seconds, std::uint64_t Dispatches) {
+    std::lock_guard<std::mutex> Lock(M);
     RuleProfile &Profile = Rules[Id];
     Profile.Seconds += Seconds;
     Profile.Invocations += 1;
     Profile.Dispatches += Dispatches;
   }
 
+  /// Snapshot access; callers must not run concurrently with record().
   const std::vector<RuleProfile> &rules() const { return Rules; }
 
   /// Finds the accumulated profile for a label; null if never executed.
@@ -52,6 +58,7 @@ public:
 private:
   std::vector<RuleProfile> Rules;
   std::unordered_map<std::string, std::size_t> IdOf;
+  std::mutex M;
 };
 
 } // namespace stird::interp

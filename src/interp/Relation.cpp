@@ -98,6 +98,43 @@ public:
   std::size_t refill(RamDomain *, std::size_t) override { return 0; }
 };
 
+/// One partition of an equivalence-relation scan: the (first, member)
+/// pairs whose "first" value lies in a contiguous slice [Lo, Hi) of the
+/// sorted value list. The caches are refreshed before partitioning, so
+/// refills only perform concurrent-safe reads.
+class EqrelPartitionStream final : public TupleStream {
+public:
+  EqrelPartitionStream(const EquivalenceRelation &Rel, std::size_t Lo,
+                       std::size_t Hi)
+      : Rel(Rel), First(Lo), Last(Hi) {}
+
+  std::size_t refill(RamDomain *Buffer, std::size_t Capacity) override {
+    std::size_t N = 0;
+    while (N < Capacity && First < Last) {
+      if (!Members)
+        Members = &Rel.membersOf(Rel.sortedValues()[First]);
+      if (Pos == Members->size()) {
+        Members = nullptr;
+        Pos = 0;
+        ++First;
+        continue;
+      }
+      Buffer[N * 2] = Rel.sortedValues()[First];
+      Buffer[N * 2 + 1] = (*Members)[Pos];
+      ++Pos;
+      ++N;
+    }
+    return N;
+  }
+
+private:
+  const EquivalenceRelation &Rel;
+  std::size_t First;
+  std::size_t Last;
+  std::size_t Pos = 0;
+  const std::vector<RamDomain> *Members = nullptr;
+};
+
 } // namespace
 
 std::unique_ptr<TupleStream> EqrelRelation::scan(std::size_t, bool) const {
@@ -125,6 +162,36 @@ EqrelRelation::range(std::size_t, const RamDomain *EncodedKey,
   default:
     unreachable("invalid eqrel search mask");
   }
+}
+
+std::vector<std::unique_ptr<TupleStream>>
+EqrelRelation::partitionScan(std::size_t /*IndexPos*/, std::size_t MaxParts,
+                             bool /*Decode*/) const {
+  std::vector<std::unique_ptr<TupleStream>> Streams;
+  // Refreshes the caches on the calling (main) thread, so the partition
+  // streams only touch refreshed, read-only state on the workers.
+  const std::vector<RamDomain> &Values = Rel.sortedValues();
+  if (Values.empty())
+    return Streams;
+  const std::size_t Parts = std::max<std::size_t>(
+      1, std::min(MaxParts, Values.size()));
+  const std::size_t Chunk = (Values.size() + Parts - 1) / Parts;
+  for (std::size_t Lo = 0; Lo < Values.size(); Lo += Chunk)
+    Streams.push_back(std::make_unique<EqrelPartitionStream>(
+        Rel, Lo, std::min(Lo + Chunk, Values.size())));
+  return Streams;
+}
+
+std::vector<std::unique_ptr<TupleStream>>
+EqrelRelation::partitionRange(std::size_t IndexPos,
+                              const RamDomain *EncodedKey,
+                              std::size_t PrefixLen, std::uint32_t Mask,
+                              bool Decode, std::size_t MaxParts) const {
+  if (Mask == 0)
+    return partitionScan(IndexPos, MaxParts, Decode);
+  std::vector<std::unique_ptr<TupleStream>> Streams;
+  Streams.push_back(range(IndexPos, EncodedKey, PrefixLen, Mask, Decode));
+  return Streams;
 }
 
 //===----------------------------------------------------------------------===//

@@ -536,6 +536,20 @@ public:
                                      std::uint32_t Mask,
                                      bool Decode) const override;
 
+  /// Splits the pair enumeration by "first" value: each stream walks a
+  /// contiguous slice of the sorted value list and emits (first, member)
+  /// pairs for its slice. Concatenated, the streams equal scan().
+  std::vector<std::unique_ptr<TupleStream>>
+  partitionScan(std::size_t IndexPos, std::size_t MaxParts,
+                bool Decode) const override;
+
+  /// An unbound search (mask 0) partitions like the full scan; anchored
+  /// searches keep the single-stream default.
+  std::vector<std::unique_ptr<TupleStream>>
+  partitionRange(std::size_t IndexPos, const RamDomain *EncodedKey,
+                 std::size_t PrefixLen, std::uint32_t Mask, bool Decode,
+                 std::size_t MaxParts) const override;
+
 private:
   EquivalenceRelation Rel;
 };

@@ -8,17 +8,53 @@
 
 using namespace stird;
 
+SymbolTable::~SymbolTable() {
+  for (auto &Chunk : Chunks)
+    delete[] Chunk.load(std::memory_order_relaxed);
+}
+
+RamDomain SymbolTable::appendLocked(std::string_view Symbol) {
+  const std::size_t I = NumSymbols.load(std::memory_order_relaxed);
+  const std::size_t Bucket = bucketOf(I);
+  std::string *Chunk = Chunks[Bucket].load(std::memory_order_relaxed);
+  if (!Chunk) {
+    Chunk = new std::string[FirstChunkSize << Bucket];
+    Chunks[Bucket].store(Chunk, std::memory_order_release);
+  }
+  Chunk[I - firstOrdinalOf(Bucket)] = Symbol;
+  // Release-publish the slot: any thread that acquires a count > I (via
+  // size()/contains()/the resolve assert) also sees the string.
+  NumSymbols.store(I + 1, std::memory_order_release);
+  return static_cast<RamDomain>(I);
+}
+
 RamDomain SymbolTable::intern(std::string_view Symbol) {
-  auto It = Ordinals.find(std::string(Symbol));
-  if (It != Ordinals.end())
+  Shard &S = shardFor(Symbol);
+  {
+    std::shared_lock<std::shared_mutex> Lock(S.M);
+    auto It = S.Ordinals.find(Symbol);
+    if (It != S.Ordinals.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(S.M);
+  // Re-check: another thread may have interned it between the locks.
+  auto It = S.Ordinals.find(Symbol);
+  if (It != S.Ordinals.end())
     return It->second;
-  RamDomain Ordinal = static_cast<RamDomain>(Symbols.size());
-  Symbols.emplace_back(Symbol);
-  Ordinals.emplace(Symbols.back(), Ordinal);
+  RamDomain Ordinal;
+  std::string_view Stored;
+  {
+    std::lock_guard<std::mutex> AppendLock(AppendM);
+    Ordinal = appendLocked(Symbol);
+    Stored = resolve(Ordinal);
+  }
+  S.Ordinals.emplace(Stored, Ordinal);
   return Ordinal;
 }
 
 RamDomain SymbolTable::lookup(std::string_view Symbol) const {
-  auto It = Ordinals.find(std::string(Symbol));
-  return It == Ordinals.end() ? -1 : It->second;
+  const Shard &S = shardFor(Symbol);
+  std::shared_lock<std::shared_mutex> Lock(S.M);
+  auto It = S.Ordinals.find(Symbol);
+  return It == S.Ordinals.end() ? -1 : It->second;
 }

@@ -15,11 +15,16 @@
 
 #include "util/RamTypes.h"
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cassert>
+#include <cstddef>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace stird {
 
@@ -28,32 +33,105 @@ namespace stird {
 /// Ordinal order is insertion order, not lexicographic order; this is the
 /// reason the paper notes that ordered range queries on symbol columns are
 /// no longer meaningful after de-specialization (Section 3, step 2).
+///
+/// The table is safe for concurrent lookup-or-insert: parallel partition
+/// workers intern through the string functors (`cat`/`substr`/`to_string`)
+/// while other workers resolve ordinals back to strings. The scheme is
+/// read-mostly:
+///
+///  * The string -> ordinal direction is sharded: NumShards hash maps,
+///    each under its own shared_mutex. A hit takes only the shard's
+///    shared lock; a miss upgrades to the shard's exclusive lock.
+///  * The ordinal -> string direction is an append-only chunked array
+///    (chunk k holds 1024 << k strings, published through an atomic
+///    pointer), so resolve() is lock-free and the returned reference is
+///    stable forever: chunks never move or reallocate.
+///  * Ordinal assignment is serialized by a single append mutex, acquired
+///    only on the insert-miss path, so ordinals stay dense. Which thread
+///    wins an ordinal depends on the interleaving: ordinals interned
+///    concurrently are *thread-order-dependent* across runs (but stable
+///    within one run, and identical whenever interning happens on one
+///    thread — e.g. fact loading, or any -j1 run).
 class SymbolTable {
 public:
-  /// Interns \p Symbol, returning its ordinal. Idempotent.
+  SymbolTable() = default;
+  ~SymbolTable();
+
+  SymbolTable(const SymbolTable &) = delete;
+  SymbolTable &operator=(const SymbolTable &) = delete;
+
+  /// Interns \p Symbol, returning its ordinal. Idempotent. Thread-safe.
   RamDomain intern(std::string_view Symbol);
 
   /// Returns the ordinal of \p Symbol or -1 if it was never interned.
+  /// Thread-safe.
   RamDomain lookup(std::string_view Symbol) const;
 
   /// Returns the string for ordinal \p Index. \p Index must be valid.
+  /// Thread-safe and lock-free; the reference stays valid for the table's
+  /// lifetime. Safe for any ordinal obtained from intern()/lookup() on any
+  /// thread (the shard lock orders the slot write before the ordinal is
+  /// observable) or published across a pool barrier.
   const std::string &resolve(RamDomain Index) const {
-    assert(Index >= 0 && static_cast<std::size_t>(Index) < Symbols.size() &&
+    assert(Index >= 0 && static_cast<std::size_t>(Index) <
+                             NumSymbols.load(std::memory_order_acquire) &&
            "symbol ordinal out of range");
-    return Symbols[static_cast<std::size_t>(Index)];
+    const std::size_t I = static_cast<std::size_t>(Index);
+    const std::size_t Bucket = bucketOf(I);
+    const std::string *Chunk =
+        Chunks[Bucket].load(std::memory_order_acquire);
+    return Chunk[I - firstOrdinalOf(Bucket)];
   }
 
-  /// Returns true if \p Index denotes an interned symbol.
+  /// Returns true if \p Index denotes an interned symbol. Thread-safe.
   bool contains(RamDomain Index) const {
-    return Index >= 0 && static_cast<std::size_t>(Index) < Symbols.size();
+    return Index >= 0 && static_cast<std::size_t>(Index) <
+                             NumSymbols.load(std::memory_order_acquire);
   }
 
-  /// Number of distinct interned symbols.
-  std::size_t size() const { return Symbols.size(); }
+  /// Number of distinct interned symbols. Thread-safe.
+  std::size_t size() const {
+    return NumSymbols.load(std::memory_order_acquire);
+  }
 
 private:
-  std::vector<std::string> Symbols;
-  std::unordered_map<std::string, RamDomain> Ordinals;
+  /// Chunk 0 holds 1024 strings, chunk k holds 1024 << k; 22 chunks cover
+  /// the whole non-negative RamDomain ordinal range.
+  static constexpr std::size_t FirstChunkSize = 1024;
+  static constexpr std::size_t NumChunks = 22;
+  static constexpr std::size_t NumShards = 16;
+
+  /// The chunk an ordinal lives in: ordinals [1024*(2^k - 1), 1024*(2^(k+1)
+  /// - 1)) map to chunk k.
+  static std::size_t bucketOf(std::size_t Ordinal) {
+    return std::bit_width(Ordinal / FirstChunkSize + 1) - 1;
+  }
+  static std::size_t firstOrdinalOf(std::size_t Bucket) {
+    return ((FirstChunkSize << Bucket) - FirstChunkSize);
+  }
+
+  struct Shard {
+    mutable std::shared_mutex M;
+    /// Keys view the stable chunk storage, so no second copy is held.
+    std::unordered_map<std::string_view, RamDomain> Ordinals;
+  };
+
+  Shard &shardFor(std::string_view Symbol) {
+    return Shards[std::hash<std::string_view>{}(Symbol) % NumShards];
+  }
+  const Shard &shardFor(std::string_view Symbol) const {
+    return const_cast<SymbolTable *>(this)->shardFor(Symbol);
+  }
+
+  /// Appends \p Symbol to the chunked storage and returns its ordinal.
+  /// Caller must hold AppendM.
+  RamDomain appendLocked(std::string_view Symbol);
+
+  std::array<Shard, NumShards> Shards;
+  std::array<std::atomic<std::string *>, NumChunks> Chunks{};
+  /// Serializes ordinal assignment (insert-miss path only).
+  std::mutex AppendM;
+  std::atomic<std::size_t> NumSymbols{0};
 };
 
 } // namespace stird

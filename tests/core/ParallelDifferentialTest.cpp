@@ -13,6 +13,13 @@
 /// On a single-core container this is the headline deliverable: verified
 /// correctness under concurrency, not speedup.
 ///
+/// Symbol columns are compared by *resolved string*, not by raw ordinal:
+/// when workers intern concurrently the ordinal a string receives is
+/// interleaving-dependent, so two correct runs may disagree on the raw
+/// RamDomain values while agreeing on every fact. The same applies to
+/// `$`-generated ids, whose subjects therefore observe only
+/// interleaving-invariant projections (the dense id *set* and counts).
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/Program.h"
@@ -22,6 +29,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
@@ -238,6 +246,153 @@ Subject securitySubject() {
 }
 
 //===----------------------------------------------------------------------===//
+// Lifted-fallback subjects: programs the parallel evaluator used to run
+// sequentially (interning functors, `$`, equivalence relations) and now
+// partitions across workers.
+//===----------------------------------------------------------------------===//
+
+/// Workers intern new strings via `cat` inside a recursive parallel
+/// section: path labels over a DAG. Exercises concurrent SymbolTable
+/// intern/resolve; correctness is judged on resolved strings.
+Subject internSubject() {
+  Subject S;
+  S.Name = "intern_path_labels";
+  S.Source = R"(
+    .decl edge(a:symbol, b:symbol)
+    .decl path(a:symbol, b:symbol, label:symbol)
+    path(a, b, cat(a, cat("->", b))) :- edge(a, b).
+    path(a, c, cat(l, cat("->", c))) :- path(a, b, l), edge(b, c).
+  )";
+  S.Outputs = {"path"};
+  S.MakeInputs = [](core::Program &Prog) {
+    SymbolTable &Symbols = Prog.getSymbolTable();
+    auto Node = [&](int I) { return Symbols.intern("n" + std::to_string(I)); };
+    std::vector<DynTuple> Edges;
+    // A chain with sparse shortcut edges: enough distinct paths that every
+    // worker partition interns fresh labels.
+    constexpr int NumNodes = 14;
+    for (int I = 0; I + 1 < NumNodes; ++I) {
+      Edges.push_back({Node(I), Node(I + 1)});
+      if (I % 4 == 0 && I + 2 < NumNodes)
+        Edges.push_back({Node(I), Node(I + 2)});
+    }
+    return std::vector<std::pair<std::string, std::vector<DynTuple>>>{
+        {"edge", Edges}};
+  };
+  return S;
+}
+
+/// Workers draw `$` ids concurrently. Which row receives which id is
+/// thread-order-dependent, so `tagged` itself is deliberately *not*
+/// observed — only the id set (dense 0..N-1 regardless of interleaving)
+/// and its count.
+Subject counterSubject() {
+  Subject S;
+  S.Name = "counter_dense_ids";
+  S.Source = R"(
+    .decl item(x:number)
+    .decl tagged(id:number, x:number)
+    tagged($, x) :- item(x).
+    .decl ids(i:number)
+    ids(i) :- tagged(i, _).
+    .decl num_ids(n:number)
+    num_ids(n) :- n = count : { ids(_) }.
+  )";
+  S.Outputs = {"ids", "num_ids"};
+  S.MakeInputs = [](core::Program &) {
+    std::vector<DynTuple> Items;
+    for (RamDomain I = 0; I < 64; ++I)
+      Items.push_back({I * 3});
+    return std::vector<std::pair<std::string, std::vector<DynTuple>>>{
+        {"item", Items}};
+  };
+  return S;
+}
+
+/// A recursive equivalence relation plus a rule that scans it: exercises
+/// the naive eqrel fixpoint under partitioned workers (concurrent
+/// findRoot/path compression) and the eqrel partition streams.
+Subject eqrelSubject() {
+  Subject S;
+  S.Name = "eqrel_components";
+  S.Source = R"(
+    .decl link(a:number, b:number)
+    .decl seed(a:number, b:number)
+    .decl same(a:number, b:number) eqrel
+    same(a, b) :- link(a, b).
+    same(b, c) :- same(a, b), seed(a, c).
+    .decl rep(a:number, b:number)
+    rep(a, b) :- same(a, b), a <= b.
+    .decl class_size(a:number, n:number)
+    class_size(a, n) :- same(a, a), n = count : { rep(a, _) }.
+  )";
+  S.Outputs = {"same", "rep", "class_size"};
+  S.MakeInputs = [](core::Program &) {
+    std::vector<DynTuple> Links, Seeds;
+    // Three chains of ten values each, plus seed edges that splice the
+    // second chain into the first during the fixpoint.
+    for (RamDomain Base : {0, 100, 200})
+      for (RamDomain I = 0; I < 9; ++I)
+        Links.push_back({Base + I, Base + I + 1});
+    Seeds.push_back({5, 100});
+    Seeds.push_back({205, 207});
+    return std::vector<std::pair<std::string, std::vector<DynTuple>>>{
+        {"link", Links}, {"seed", Seeds}};
+  };
+  return S;
+}
+
+/// A symbol-flavored miniature doop: the pointsto kernel over interned
+/// variable/object names, with a label rule that makes workers intern
+/// during the recursive points-to fixpoint itself.
+Subject doopSymbolSubject() {
+  Subject S;
+  S.Name = "doop_symbols";
+  S.Source = R"(
+    .decl new_(v:symbol, o:symbol)
+    .decl assign(v:symbol, w:symbol)
+    .decl store(v:symbol, f:symbol, w:symbol)
+    .decl load(v:symbol, w:symbol, f:symbol)
+
+    .decl vpt(v:symbol, o:symbol)
+    .decl hpt(o:symbol, f:symbol, p:symbol)
+    vpt(v, o) :- new_(v, o).
+    vpt(v, o) :- assign(v, w), vpt(w, o).
+    hpt(o, f, p) :- store(v, f, w), vpt(v, o), vpt(w, p).
+    vpt(v, p) :- load(v, w, f), vpt(w, o), hpt(o, f, p).
+
+    .decl alias(v:symbol, w:symbol, o:symbol)
+    alias(v, w, o) :- vpt(v, o), vpt(w, o), v != w.
+    .decl vpt_label(l:symbol)
+    vpt_label(cat(v, cat("=>", o))) :- vpt(v, o).
+  )";
+  S.Outputs = {"vpt", "hpt", "alias", "vpt_label"};
+  S.MakeInputs = [](core::Program &Prog) {
+    SymbolTable &Symbols = Prog.getSymbolTable();
+    auto Var = [&](int I) { return Symbols.intern("v" + std::to_string(I)); };
+    auto Obj = [&](int I) { return Symbols.intern("o" + std::to_string(I)); };
+    const RamDomain F = Symbols.intern("f");
+    std::vector<DynTuple> News, Assigns, Stores, Loads;
+    constexpr int NumVars = 40;
+    for (int V = 0; V < NumVars; V += 3)
+      News.push_back({Var(V), Obj(V / 3)});
+    for (int V = 0; V + 1 < NumVars; ++V)
+      if (V % 4 != 0)
+        Assigns.push_back({Var(V + 1), Var(V)});
+    for (int V = 0; V < NumVars; V += 7) {
+      Stores.push_back({Var(V), F, Var((V + 5) % NumVars)});
+      Loads.push_back({Var((V + 9) % NumVars), Var(V), F});
+    }
+    return std::vector<std::pair<std::string, std::vector<DynTuple>>>{
+        {"new_", News},
+        {"assign", Assigns},
+        {"store", Stores},
+        {"load", Loads}};
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
 // Miniature vpc/ddisasm/doop workloads (bench/workloads generators)
 //===----------------------------------------------------------------------===//
 
@@ -266,28 +421,59 @@ Subject workloadSubject(std::size_t Index) {
 }
 
 std::vector<Subject> subjects() {
-  std::vector<Subject> Result = {quickstartSubject(), reachabilitySubject(),
-                                 dataflowSubject(), pointstoSubject(),
-                                 securitySubject()};
+  std::vector<Subject> Result = {
+      quickstartSubject(),  reachabilitySubject(), dataflowSubject(),
+      pointstoSubject(),    securitySubject(),     internSubject(),
+      counterSubject(),     eqrelSubject(),        doopSymbolSubject()};
   for (std::size_t I = 0; I < 3; ++I)
     Result.push_back(workloadSubject(I));
   return Result;
 }
 
-constexpr std::size_t NumSubjects = 8;
+constexpr std::size_t NumSubjects = 12;
 
 //===----------------------------------------------------------------------===//
 // The differential harness
 //===----------------------------------------------------------------------===//
 
 struct RunResult {
-  /// Relation name -> sorted contents.
-  std::vector<std::pair<std::string, std::vector<DynTuple>>> Relations;
+  /// Relation name -> sorted contents, with symbol columns resolved to
+  /// their strings (ordinal assignment is interleaving-dependent when
+  /// workers intern concurrently; the strings are the ground truth).
+  std::vector<std::pair<std::string, std::vector<std::vector<std::string>>>>
+      Relations;
   /// .printsize results, in execution order.
   std::vector<std::pair<std::string, std::size_t>> PrintSizes;
 
   bool operator==(const RunResult &) const = default;
 };
+
+/// Renders a relation's tuples with symbol ordinals resolved, re-sorted
+/// (string order need not match ordinal order).
+std::vector<std::vector<std::string>>
+resolveTuples(core::Program &Prog, const std::string &Name,
+              const std::vector<DynTuple> &Tuples) {
+  const ram::Relation *Rel = nullptr;
+  for (const auto &Candidate : Prog.getRam().getRelations())
+    if (Candidate->getName() == Name)
+      Rel = Candidate.get();
+  EXPECT_NE(Rel, nullptr) << "unknown relation " << Name;
+  const SymbolTable &Symbols = Prog.getSymbolTable();
+  std::vector<std::vector<std::string>> Result;
+  Result.reserve(Tuples.size());
+  for (const DynTuple &Tuple : Tuples) {
+    std::vector<std::string> Row;
+    Row.reserve(Tuple.size());
+    for (std::size_t I = 0; I < Tuple.size(); ++I)
+      if (Rel && Rel->getColumnTypes()[I] == ColumnTypeKind::Symbol)
+        Row.push_back(Symbols.resolve(Tuple[I]));
+      else
+        Row.push_back(std::to_string(Tuple[I]));
+    Result.push_back(std::move(Row));
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
 
 /// Runs a subject once. NumThreads 0 means "leave EngineOptions at the
 /// seed default" — the exact configuration the sequential engine shipped
@@ -314,11 +500,13 @@ RunResult runSubject(const Subject &S, Backend TheBackend,
   RunResult Result;
   if (!S.Outputs.empty()) {
     for (const std::string &Rel : S.Outputs)
-      Result.Relations.emplace_back(Rel, Engine->getTuples(Rel));
+      Result.Relations.emplace_back(
+          Rel, resolveTuples(*Prog, Rel, Engine->getTuples(Rel)));
   } else {
     for (const auto &Rel : Prog->getRam().getRelations())
-      Result.Relations.emplace_back(Rel->getName(),
-                                    Engine->getTuples(Rel->getName()));
+      Result.Relations.emplace_back(
+          Rel->getName(), resolveTuples(*Prog, Rel->getName(),
+                                        Engine->getTuples(Rel->getName())));
   }
   Result.PrintSizes = Engine->getPrintSizes();
   return Result;

@@ -11,6 +11,7 @@
 #include <map>
 #include <random>
 #include <set>
+#include <thread>
 #include <vector>
 
 using namespace stird;
@@ -146,6 +147,55 @@ TEST(EquivalenceRelationTest, MutationInvalidatesLazyListsCorrectly) {
   for (auto It = Rel.begin(), End = Rel.end(); It != End; ++It)
     ++Count;
   EXPECT_EQ(Count, 9u + 4u);
+}
+
+TEST(EquivalenceRelationTest, ConcurrentReadsWithPathCompression) {
+  // The parallel evaluator's read contract: once unions stop (parallel
+  // sections buffer inserts until the barrier), any number of threads may
+  // call contains/membersOf/iterate concurrently. findRoot's relaxed
+  // path compression and the double-checked refresh are the
+  // ThreadSanitizer targets here (`sanitize` ctest label).
+  EquivalenceRelation Rel;
+  constexpr RamDomain NumValues = 240;
+  // Long chains first so the forest is deep and compression has work.
+  for (RamDomain I = 0; I + 1 < NumValues; ++I)
+    if (I % 8 != 7)
+      Rel.insert(I, I + 1);
+  const std::size_t ExpectedSize = Rel.size();
+  constexpr int NumThreads = 4;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Rel, T] {
+      for (RamDomain I = 0; I < NumValues; ++I) {
+        // Same-class queries from different entry points race their
+        // parent-pointer updates; all must agree.
+        EXPECT_TRUE(Rel.contains(I, I));
+        EXPECT_EQ(Rel.contains(I, (I / 8) * 8),
+                  I / 8 == ((I / 8) * 8) / 8);
+        const auto Members = Rel.membersOf(I);
+        EXPECT_EQ(Members.size(), 8u);
+        std::size_t Count = 0;
+        if (T == 0 && I == 0)
+          for (auto It = Rel.begin(), End = Rel.end(); It != End; ++It)
+            ++Count;
+        if (T == 0 && I == 0)
+          EXPECT_EQ(Count, Rel.size());
+      }
+    });
+  for (auto &Thread : Threads)
+    Thread.join();
+  EXPECT_EQ(Rel.size(), ExpectedSize);
+}
+
+TEST(EquivalenceRelationTest, SortedValuesAccessor) {
+  EquivalenceRelation Rel;
+  Rel.insert(9, 2);
+  Rel.insert(2, 4);
+  Rel.insert(30, 31);
+  EXPECT_EQ(Rel.sortedValues(), (std::vector<RamDomain>{2, 4, 9, 30, 31}));
+  Rel.insert(1, 9);
+  EXPECT_EQ(Rel.sortedValues(),
+            (std::vector<RamDomain>{1, 2, 4, 9, 30, 31}));
 }
 
 TEST(EquivalenceRelationTest, NegativeValues) {

@@ -76,6 +76,71 @@ TEST(NodePrinterTest, FusedConditionShowsMicroOpCount) {
   EXPECT_NE(Tree.find("micro-ops]"), std::string::npos);
 }
 
+/// One kitchen-sink program whose generated tree touches every structural
+/// node kind, dumped on both the specialized and the generic backends.
+const char *KitchenSink = R"(
+  .decl edge(a:number, b:number)
+  .decl item(x:number)
+  .decl path(a:number, b:number)
+  .decl same(a:number, b:number) eqrel
+  .decl tagged(id:number, x:number)
+  .decl labeled(s:symbol)
+  .decl blocked(x:number)
+  .decl cnt(n:number)
+  .decl from_one(b:number)
+  .input edge
+  .output path
+  .printsize path
+  path(x, y) :- edge(x, y).
+  path(x, z) :- path(x, y), edge(y, z).
+  same(a, b) :- edge(a, b).
+  tagged($, x) :- item(x).
+  labeled(cat("p", to_string(x))) :- item(x).
+  blocked(x) :- item(x), !edge(x, x), x < 50.
+  cnt(n) :- n = count : { item(_) }.
+  from_one(b) :- edge(1, b).
+)";
+
+TEST(NodePrinterTest, EveryStructuralNodeKindPrints) {
+  std::string Tree = dumpFor(KitchenSink);
+  for (const char *Token :
+       {"Sequence", "Loop", "Exit", "Query", "Clear", "SwapRel", "Merge",
+        "Io", "LogTimer", "Filter", "Negation", "Constraint",
+        "EmptinessCheck", "Constant", "TupleElement", "Intrinsic",
+        "AutoIncrement"})
+    EXPECT_NE(Tree.find(Token), std::string::npos) << "missing " << Token;
+  // Specialized relational opcodes for btree and eqrel relations.
+  for (const char *Token : {"Scan_Btree_2", "IndexScan_Btree_2",
+                            "Project_Btree_2", "Project_Eqrel_2",
+                            "Existence_Btree_2", "Aggregate_Btree_1"})
+    EXPECT_NE(Tree.find(Token), std::string::npos) << "missing " << Token;
+  // Query nodes carry their frame size.
+  EXPECT_NE(Tree.find("tuples="), std::string::npos);
+}
+
+TEST(NodePrinterTest, GenericNodeKindsPrint) {
+  EngineOptions Options;
+  Options.TheBackend = Backend::DynamicAdapter;
+  std::string Tree = dumpFor(KitchenSink, Options);
+  for (const char *Token :
+       {"GenericScan", "GenericIndexScan", "GenericProject",
+        "GenericExistence", "GenericAggregate"})
+    EXPECT_NE(Tree.find(Token), std::string::npos) << "missing " << Token;
+}
+
+TEST(NodePrinterTest, ParallelNodeKindsPrint) {
+  // At -j4 eligible query roots become parallel scans; both flavors must
+  // announce themselves in the dump (they execute differently, so a dump
+  // that hides them would misrepresent the plan).
+  EngineOptions Options;
+  Options.NumThreads = 4;
+  std::string Tree = dumpFor(KitchenSink, Options);
+  EXPECT_NE(Tree.find("ParallelScan"), std::string::npos);
+  EXPECT_NE(Tree.find("ParallelIndexScan"), std::string::npos);
+  // Parallel scans still print their relation and tuple id.
+  EXPECT_NE(Tree.find("ParallelScan rel="), std::string::npos);
+}
+
 TEST(NodePrinterTest, EveryOpcodeHasAName) {
   // Smoke-check the macro-generated name table.
   EXPECT_STREQ(nodeTypeName(NodeType::Scan_Btree_1), "Scan_Btree_1");

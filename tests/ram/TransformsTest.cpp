@@ -22,7 +22,10 @@ namespace {
 /// Translates without the core facade so the RAM is unoptimized.
 struct RawTranslation {
   std::unique_ptr<ram::Program> Prog;
-  SymbolTable Symbols;
+  // Held by pointer: the concurrency-safe SymbolTable is neither copyable
+  // nor movable, but this fixture is returned by value.
+  std::unique_ptr<SymbolTable> SymbolsPtr = std::make_unique<SymbolTable>();
+  SymbolTable &symbols() { return *SymbolsPtr; }
 };
 
 RawTranslation translateRaw(const std::string &Source) {
@@ -32,7 +35,7 @@ RawTranslation translateRaw(const std::string &Source) {
   auto Info = ast::analyze(*Parsed.Prog);
   EXPECT_TRUE(Info.succeeded());
   auto Translated =
-      translate::translateToRam(*Parsed.Prog, Info, Result.Symbols);
+      translate::translateToRam(*Parsed.Prog, Info, Result.symbols());
   EXPECT_TRUE(Translated.succeeded());
   Result.Prog = std::move(Translated.Prog);
   return Result;
@@ -44,7 +47,7 @@ TEST(TransformsTest, FoldsConstantArithmetic) {
   std::string Before = print(*T.Prog);
   EXPECT_NE(Before.find("mul(2, 3)"), std::string::npos);
 
-  TransformStats Stats = foldConstants(*T.Prog, T.Symbols);
+  TransformStats Stats = foldConstants(*T.Prog, T.symbols());
   EXPECT_GE(Stats.FoldedExpressions, 2u); // 2*3 and 6+4
   std::string After = print(*T.Prog);
   EXPECT_EQ(After.find("mul"), std::string::npos);
@@ -55,10 +58,10 @@ TEST(TransformsTest, FoldsConstantStringFunctors) {
   auto T = translateRaw(".decl a(x:number)\n.decl b(s:symbol, n:number)\n"
                         "b(cat(\"foo\", \"bar\"), strlen(\"four\")) :- "
                         "a(_).");
-  TransformStats Stats = foldConstants(*T.Prog, T.Symbols);
+  TransformStats Stats = foldConstants(*T.Prog, T.symbols());
   EXPECT_GE(Stats.FoldedExpressions, 2u);
   // The folded cat result is interned.
-  EXPECT_GE(T.Symbols.lookup("foobar"), 0);
+  EXPECT_GE(T.symbols().lookup("foobar"), 0);
   std::string After = print(*T.Prog);
   // The rule *label* still spells cat(...); the executable body after
   // QUERY must not.
@@ -71,7 +74,7 @@ TEST(TransformsTest, FoldsConstantStringFunctors) {
 TEST(TransformsTest, FoldsTrueConstraintsAwayEntirely) {
   auto T = translateRaw(".decl a(x:number)\n.decl b(x:number)\n"
                         "b(x) :- a(x), 1 < 2, 3 = 3.");
-  TransformStats Stats = foldConstants(*T.Prog, T.Symbols);
+  TransformStats Stats = foldConstants(*T.Prog, T.symbols());
   EXPECT_GE(Stats.FoldedConditions, 2u);
   std::string After = print(*T.Prog);
   // Both filters vanish: the scan directly feeds the insert.
@@ -82,7 +85,7 @@ TEST(TransformsTest, FoldsTrueConstraintsAwayEntirely) {
 TEST(TransformsTest, NeverTrueConstraintIsKept) {
   auto T = translateRaw(".decl a(x:number)\n.decl b(x:number)\n"
                         "b(x) :- a(x), 2 < 1.");
-  foldConstants(*T.Prog, T.Symbols);
+  foldConstants(*T.Prog, T.symbols());
   std::string After = print(*T.Prog);
   // Dead rule: the never-true filter survives (documented behavior).
   EXPECT_NE(After.find("IF (2 < 1)"), std::string::npos);
@@ -117,7 +120,7 @@ TEST(TransformsTest, TransformsPreserveResults) {
   // Reference: unoptimized RAM executed directly.
   auto Raw = translateRaw(Source);
   auto RawIndexes = translate::selectIndexes(*Raw.Prog);
-  interp::Engine RawEngine(*Raw.Prog, RawIndexes, Raw.Symbols);
+  interp::Engine RawEngine(*Raw.Prog, RawIndexes, Raw.symbols());
   std::vector<DynTuple> Edges;
   for (RamDomain I = 0; I < 40; ++I)
     Edges.push_back({I % 11, (I * 3) % 11});

@@ -138,6 +138,32 @@ TEST(CliTest, ErrorsExitNonZero) {
   EXPECT_NE(BadFlag.ExitCode, 0);
 }
 
+TEST(CliTest, ThreadCountFlagVariants) {
+  // -j N, -j 0 and -j auto all run to completion with identical output;
+  // 0 and "auto" expand to the hardware thread count, make-style.
+  for (const char *Jobs : {"1", "4", "0", "auto"}) {
+    std::string Dir = makeFixture(std::string("jobs_") + Jobs);
+    CommandResult Result = runTool(
+        Dir + "/tc.dl -F " + Dir + " -D " + Dir + " -j " + Jobs, Dir);
+    EXPECT_EQ(Result.ExitCode, 0) << "-j " << Jobs << ": " << Result.Output;
+    EXPECT_EQ(readFile(Dir + "/path.csv"),
+              "1\t2\n1\t3\n1\t4\n2\t3\n2\t4\n3\t4\n")
+        << "-j " << Jobs;
+  }
+}
+
+TEST(CliTest, ThreadCountFlagRejectsGarbage) {
+  std::string Dir = makeFixture("jobs_bad");
+  for (const char *Jobs : {"-3", "two", "4x", ""}) {
+    CommandResult Result = runTool(
+        Dir + "/tc.dl -F " + Dir + " -j '" + Jobs + "'", Dir);
+    EXPECT_NE(Result.ExitCode, 0) << "-j '" << Jobs << "' was accepted";
+    EXPECT_NE(Result.Output.find("invalid thread count"), std::string::npos)
+        << "-j '" << Jobs << "': " << Result.Output;
+    EXPECT_NE(Result.Output.find("usage:"), std::string::npos);
+  }
+}
+
 TEST(CliTest, AblationFlagsAccepted) {
   std::string Dir = makeFixture("flags");
   CommandResult Result = runTool(

@@ -20,7 +20,10 @@ namespace {
 struct Translation {
   std::unique_ptr<ast::Program> Ast;
   std::unique_ptr<ram::Program> Ram;
-  SymbolTable Symbols;
+  // Held by pointer: the concurrency-safe SymbolTable is neither copyable
+  // nor movable, but this fixture is returned by value.
+  std::unique_ptr<SymbolTable> SymbolsPtr = std::make_unique<SymbolTable>();
+  SymbolTable &symbols() { return *SymbolsPtr; }
 };
 
 Translation translateSource(const std::string &Source,
@@ -34,7 +37,7 @@ Translation translateSource(const std::string &Source,
   EXPECT_TRUE(Info.succeeded())
       << (Info.Errors.empty() ? "" : Info.Errors[0]);
   auto Translated =
-      translateToRam(*Result.Ast, Info, Result.Symbols, Options);
+      translateToRam(*Result.Ast, Info, Result.symbols(), Options);
   EXPECT_TRUE(Translated.succeeded())
       << (Translated.Errors.empty() ? "" : Translated.Errors[0]);
   Result.Ram = std::move(Translated.Prog);
@@ -128,7 +131,7 @@ TEST(AstToRamTest, FactsBecomeInsertQueries) {
   auto T = translateSource(".decl a(x:number, s:symbol)\na(1, \"hi\").");
   std::string Text = ram::print(*T.Ram);
   // The symbol is interned; its ordinal appears in the insert.
-  RamDomain Ordinal = T.Symbols.lookup("hi");
+  RamDomain Ordinal = T.symbols().lookup("hi");
   ASSERT_GE(Ordinal, 0);
   EXPECT_NE(Text.find("INSERT (1," + std::to_string(Ordinal) + ") INTO a"),
             std::string::npos);

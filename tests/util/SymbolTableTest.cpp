@@ -8,6 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
 using namespace stird;
 
 namespace {
@@ -43,6 +48,54 @@ TEST(SymbolTableTest, LookupWithoutInterning) {
   Table.intern("present");
   EXPECT_EQ(Table.lookup("present"), 0);
   EXPECT_EQ(Table.size(), 1u);
+}
+
+TEST(SymbolTableTest, ResolveAcrossChunkBoundaries) {
+  // Chunk 0 holds 1024 strings; interning past it exercises lazy chunk
+  // allocation and the bucket arithmetic in resolve().
+  SymbolTable Table;
+  constexpr int Count = 5000;
+  for (int I = 0; I < Count; ++I)
+    ASSERT_EQ(Table.intern("sym" + std::to_string(I)), I);
+  for (int I = 0; I < Count; ++I)
+    EXPECT_EQ(Table.resolve(I), "sym" + std::to_string(I));
+  EXPECT_EQ(Table.size(), static_cast<std::size_t>(Count));
+}
+
+TEST(SymbolTableTest, ConcurrentInternResolveLookup) {
+  // The parallel evaluator's contract: workers intern (contended and
+  // private strings), resolve and look up concurrently. Run under
+  // ThreadSanitizer via the `sanitize` ctest label.
+  SymbolTable Table;
+  constexpr int NumThreads = 4, PerThread = 500, NumShared = 64;
+  std::vector<std::vector<RamDomain>> Private(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Table, &Private, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        const std::string Shared = "shared" + std::to_string(I % NumShared);
+        RamDomain SharedId = Table.intern(Shared);
+        EXPECT_EQ(Table.resolve(SharedId), Shared);
+        EXPECT_EQ(Table.lookup(Shared), SharedId);
+        const std::string Mine =
+            "t" + std::to_string(T) + "_" + std::to_string(I);
+        Private[T].push_back(Table.intern(Mine));
+      }
+    });
+  for (auto &Thread : Threads)
+    Thread.join();
+  // Every string got exactly one ordinal and ordinals are dense.
+  EXPECT_EQ(Table.size(),
+            static_cast<std::size_t>(NumShared + NumThreads * PerThread));
+  std::set<RamDomain> Distinct;
+  for (int T = 0; T < NumThreads; ++T)
+    for (int I = 0; I < PerThread; ++I) {
+      RamDomain Id = Private[T][I];
+      Distinct.insert(Id);
+      EXPECT_EQ(Table.resolve(Id),
+                "t" + std::to_string(T) + "_" + std::to_string(I));
+    }
+  EXPECT_EQ(Distinct.size(), static_cast<std::size_t>(NumThreads * PerThread));
 }
 
 TEST(SymbolTableTest, EmptyAndWeirdStrings) {

@@ -11,7 +11,8 @@
 ///
 ///   -F, --facts <dir>     fact-file directory (default .)
 ///   -D, --output <dir>    output directory (default .)
-///   -j, --jobs <n>        evaluation threads (default 1)
+///   -j, --jobs <n>        evaluation threads (default 1; 0 or "auto"
+///                         uses every hardware thread)
 ///   --backend <name>      sti | sti-plain | dynamic | legacy
 ///   --no-super            disable super-instructions (Section 4.4)
 ///   --no-reorder          disable static tuple reordering (Section 4.2)
@@ -31,17 +32,25 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 
 using namespace stird;
 
 static void usage() {
   std::fprintf(
       stderr,
-      "usage: stird <program.dl> [-F factdir] [-D outdir] [-j threads] "
-      "[--backend sti|sti-plain|dynamic|legacy]\n"
+      "usage: stird <program.dl> [-F factdir] [-D outdir] "
+      "[-j threads|0|auto] [--backend sti|sti-plain|dynamic|legacy]\n"
       "             [--no-super] [--no-reorder] [--fuse-conditions]\n"
       "             [--dump-ram] [--dump-tree] [--profile] "
       "[--synthesize <file.cpp>]\n");
+}
+
+/// `-j 0` / `-j auto`: one thread per hardware thread. The standard allows
+/// hardware_concurrency() to report 0 (unknown); fall back to 1.
+static std::size_t hardwareThreads() {
+  const unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : static_cast<std::size_t>(N);
 }
 
 int main(int argc, char **argv) {
@@ -67,13 +76,23 @@ int main(int argc, char **argv) {
       Options.OutputDir = Next();
     } else if (Arg == "-j" || Arg == "--jobs") {
       const char *Value = Next();
-      char *End = nullptr;
-      long N = std::strtol(Value, &End, 10);
-      if (End == Value || *End != '\0' || N < 1) {
-        std::fprintf(stderr, "invalid thread count '%s'\n", Value);
-        return 1;
+      if (std::strcmp(Value, "auto") == 0) {
+        Options.NumThreads = hardwareThreads();
+      } else {
+        char *End = nullptr;
+        long N = std::strtol(Value, &End, 10);
+        if (End == Value || *End != '\0' || N < 0) {
+          std::fprintf(stderr,
+                       "invalid thread count '%s' (expected a non-negative "
+                       "integer or 'auto')\n",
+                       Value);
+          usage();
+          return 1;
+        }
+        // 0 means "use every hardware thread", like make -j.
+        Options.NumThreads =
+            N == 0 ? hardwareThreads() : static_cast<std::size_t>(N);
       }
-      Options.NumThreads = static_cast<std::size_t>(N);
     } else if (Arg == "--backend") {
       std::string Name = Next();
       if (Name == "sti")
