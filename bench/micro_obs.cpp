@@ -1,0 +1,126 @@
+//===- bench/micro_obs.cpp - Observability counter overhead --------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guards the cost of the per-relation observability counters
+/// (EngineOptions::CollectStats): a transitive closure over a long chain
+/// is evaluated with counters on and off, on both the static and the
+/// dynamic engine. The hot-path cost of a counter is one non-atomic
+/// increment behind a pointer null-check, so the on/off delta must stay
+/// within noise — the suite prints the measured overhead and flags it
+/// when the median exceeds 2%.
+///
+/// Run directly (it is also a standalone check, exit code 1 on failure):
+///
+///   build/bench/micro_obs [--benchmark_filter=...]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Program.h"
+#include "interp/Engine.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace stird;
+using namespace stird::interp;
+
+namespace {
+
+constexpr const char *TcSource = R"(
+.decl edge(a:number, b:number)
+.decl path(a:number, b:number)
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+)";
+
+constexpr RamDomain ChainLength = 160;
+
+double runOnce(Backend TheBackend, bool CollectStats) {
+  auto Prog = core::Program::fromSource(TcSource);
+  EngineOptions Options;
+  Options.TheBackend = TheBackend;
+  Options.CollectStats = CollectStats;
+  auto E = Prog->makeEngine(Options);
+  std::vector<DynTuple> Edges;
+  for (RamDomain I = 0; I < ChainLength; ++I)
+    Edges.push_back({I, I + 1});
+  E->insertTuples("edge", Edges);
+  const auto Start = std::chrono::steady_clock::now();
+  E->run();
+  const auto End = std::chrono::steady_clock::now();
+  if (E->getTuples("path").size() !=
+      static_cast<std::size_t>(ChainLength) * (ChainLength + 1) / 2)
+    std::abort();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+void BM_TransitiveClosure(benchmark::State &State, Backend TheBackend,
+                          bool CollectStats) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runOnce(TheBackend, CollectStats));
+}
+
+/// Median-of-N paired comparison, reported outside google-benchmark so the
+/// binary doubles as a pass/fail overhead gate.
+int checkOverhead() {
+  constexpr int Repeats = 7;
+  constexpr double LimitPct = 2.0;
+  int Failures = 0;
+  for (Backend TheBackend :
+       {Backend::StaticLambda, Backend::DynamicAdapter}) {
+    std::vector<double> On, Off;
+    // Warm-up run per configuration, then interleaved timed pairs so
+    // drift (frequency scaling, page cache) hits both sides equally.
+    runOnce(TheBackend, true);
+    runOnce(TheBackend, false);
+    for (int I = 0; I < Repeats; ++I) {
+      On.push_back(runOnce(TheBackend, true));
+      Off.push_back(runOnce(TheBackend, false));
+    }
+    std::sort(On.begin(), On.end());
+    std::sort(Off.begin(), Off.end());
+    const double MedianOn = On[Repeats / 2], MedianOff = Off[Repeats / 2];
+    const double OverheadPct = 100.0 * (MedianOn - MedianOff) / MedianOff;
+    const bool Ok = OverheadPct <= LimitPct;
+    std::printf("counters %-7s stats-on %.6fs stats-off %.6fs "
+                "overhead %+.2f%% (limit %.1f%%) %s\n",
+                TheBackend == Backend::StaticLambda ? "sti" : "dynamic",
+                MedianOn, MedianOff, OverheadPct, LimitPct,
+                Ok ? "OK" : "FAIL");
+    Failures += Ok ? 0 : 1;
+  }
+  return Failures;
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_TransitiveClosure, sti_stats_on,
+                  Backend::StaticLambda, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TransitiveClosure, sti_stats_off,
+                  Backend::StaticLambda, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TransitiveClosure, dynamic_stats_on,
+                  Backend::DynamicAdapter, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TransitiveClosure, dynamic_stats_off,
+                  Backend::DynamicAdapter, false)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return checkOverhead() == 0 ? 0 : 1;
+}

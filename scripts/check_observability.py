@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validates a stird --profile JSON document and a --trace timeline.
+
+Standard library only; exits non-zero with a diagnostic on the first
+violation. Used by CI after running a profiled example program:
+
+    python3 scripts/check_observability.py profile.json trace.json
+"""
+
+import json
+import sys
+
+PROFILE_SCHEMA = "stird-profile-v1"
+
+PROFILE_TOP_KEYS = [
+    "schema", "program", "backend", "threads", "total_seconds",
+    "dispatches", "strata", "relations",
+]
+RULE_KEYS = [
+    "label", "relation", "stratum", "version", "recursive", "seconds",
+    "invocations", "dispatches", "delta_tuples", "iterations",
+]
+ITERATION_KEYS = ["seconds", "dispatches", "delta_tuples"]
+RELATION_KEYS = [
+    "name", "arity", "kind", "indexes", "final_size", "peak_size",
+    "inserts", "inserts_new", "contains", "scans", "scan_tuples",
+    "index_scans", "index_scan_hits", "index_scan_tuples", "reorders",
+]
+
+
+def fail(message):
+    print(f"check_observability: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require_keys(obj, keys, what):
+    for key in keys:
+        if key not in obj:
+            fail(f"{what} is missing key '{key}' (has: {sorted(obj)})")
+
+
+def check_profile(path):
+    with open(path) as f:
+        doc = json.load(f)
+    require_keys(doc, PROFILE_TOP_KEYS, "profile document")
+    if doc["schema"] != PROFILE_SCHEMA:
+        fail(f"unexpected schema '{doc['schema']}'")
+    if doc["threads"] < 1:
+        fail("threads < 1")
+
+    rules = 0
+    for stratum in doc["strata"]:
+        require_keys(stratum, ["id", "seconds", "recursive", "rules"],
+                     "stratum")
+        for rule in stratum["rules"]:
+            require_keys(rule, RULE_KEYS, f"rule {rule.get('label')!r}")
+            rules += 1
+            if rule["stratum"] != stratum["id"]:
+                fail(f"rule {rule['label']!r} filed under stratum "
+                     f"{stratum['id']} but claims {rule['stratum']}")
+            if rule["invocations"] != len(rule["iterations"]):
+                fail(f"rule {rule['label']!r}: {rule['invocations']} "
+                     f"invocations vs {len(rule['iterations'])} samples")
+            for sample in rule["iterations"]:
+                require_keys(sample, ITERATION_KEYS, "iteration sample")
+            delta = sum(s["delta_tuples"] for s in rule["iterations"])
+            if delta != rule["delta_tuples"]:
+                fail(f"rule {rule['label']!r}: iteration deltas sum to "
+                     f"{delta}, rule total is {rule['delta_tuples']}")
+    if rules == 0:
+        fail("profile contains no rules")
+
+    if not doc["relations"]:
+        fail("profile contains no relations")
+    for rel in doc["relations"]:
+        require_keys(rel, RELATION_KEYS, f"relation {rel.get('name')!r}")
+        if rel["peak_size"] < rel["final_size"]:
+            fail(f"relation {rel['name']!r}: peak_size {rel['peak_size']} "
+                 f"< final_size {rel['final_size']}")
+        if rel["inserts_new"] > rel["inserts"]:
+            # Equivalence relations may close over more pairs than were
+            # inserted; everything else dedups.
+            if rel["kind"] != "eqrel":
+                fail(f"relation {rel['name']!r}: inserts_new "
+                     f"{rel['inserts_new']} > inserts {rel['inserts']}")
+        if rel["index_scan_hits"] > rel["index_scans"]:
+            fail(f"relation {rel['name']!r}: more index-scan hits than "
+                 "initiations")
+    print(f"check_observability: profile OK "
+          f"({rules} rules, {len(doc['relations'])} relations)")
+    return doc
+
+
+def check_trace(path, expect_workers):
+    with open(path) as f:
+        doc = json.load(f)
+    if "traceEvents" not in doc:
+        fail("trace has no traceEvents")
+
+    depth = {}        # tid -> open span count
+    last_ts = {}      # tid -> last timestamp
+    named_tids = set()
+    span_tids = set()
+    prev_ts = None
+    spans = 0
+    for event in doc["traceEvents"]:
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") == "thread_name":
+                named_tids.add(event["tid"])
+            continue
+        if phase not in ("B", "E"):
+            fail(f"unexpected phase {phase!r}")
+        tid, ts = event["tid"], event["ts"]
+        span_tids.add(tid)
+        if prev_ts is not None and ts < prev_ts:
+            fail(f"timestamps not sorted: {ts} after {prev_ts}")
+        prev_ts = ts
+        if tid in last_ts and ts < last_ts[tid]:
+            fail(f"track {tid} went backwards in time")
+        last_ts[tid] = ts
+        if phase == "B":
+            if "name" not in event:
+                fail("B event without a name")
+            depth[tid] = depth.get(tid, 0) + 1
+            spans += 1
+        else:
+            depth[tid] = depth.get(tid, 0) - 1
+            if depth[tid] < 0:
+                fail(f"track {tid}: E without matching B")
+    for tid, open_spans in depth.items():
+        if open_spans != 0:
+            fail(f"track {tid}: {open_spans} unbalanced span(s)")
+    unnamed = span_tids - named_tids
+    if unnamed:
+        fail(f"tracks without thread_name metadata: {sorted(unnamed)}")
+    if 0 not in span_tids:
+        fail("no main-thread track in trace")
+    if expect_workers and len(span_tids) < 2:
+        fail("multi-threaded run produced no worker tracks")
+    print(f"check_observability: trace OK "
+          f"({spans} spans on {len(span_tids)} track(s))")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print("usage: check_observability.py <profile.json> [trace.json]",
+              file=sys.stderr)
+        return 2
+    profile = check_profile(argv[1])
+    if len(argv) == 3:
+        check_trace(argv[2], expect_workers=profile["threads"] > 1)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,6 +20,8 @@
 #include "interp/Context.h"
 #include "interp/EvalUtil.h"
 #include "interp/Parallel.h"
+#include "obs/Stats.h"
+#include "obs/Trace.h"
 #include "util/MiscUtil.h"
 #include "util/Timer.h"
 
@@ -31,14 +33,17 @@ namespace {
 class DynamicExecutor final : public ExecutorBase {
 public:
   explicit DynamicExecutor(EngineState &State)
-      : State(State), Dispatches(&State.NumDispatches) {}
+      : State(State), Dispatches(&State.NumDispatches),
+        StatsArr(State.CollectStats ? State.Stats.data() : nullptr) {}
 
   /// Worker-side instance for one partition of a parallel scan: dispatches
-  /// count into a local counter (summed at the barrier) and inserts are
-  /// buffered instead of applied.
+  /// count into a local counter (summed at the barrier), inserts are
+  /// buffered instead of applied, and relation counters go into a private
+  /// block (merged at the barrier).
   DynamicExecutor(EngineState &State, std::uint64_t *Dispatches,
-                  TupleBuffer *Buffer)
-      : State(State), Dispatches(Dispatches), Buffer(Buffer) {}
+                  TupleBuffer *Buffer, obs::RelationStats *Stats)
+      : State(State), Dispatches(Dispatches), Buffer(Buffer),
+        StatsArr(Stats) {}
 
   void run(const Node &Root) override {
     Context Empty(0);
@@ -103,11 +108,18 @@ private:
                                Ctx)
                  ? 1
                  : 0;
-    case NodeType::EmptinessCheck:
-      return static_cast<const EmptinessCheckNode *>(N)->Rel->empty() ? 1
-                                                                      : 0;
+    case NodeType::EmptinessCheck: {
+      const auto *E = static_cast<const EmptinessCheckNode *>(N);
+      if (obs::RelationStats *RS = statsFor(E->Rel))
+        ++RS->Contains;
+      return E->Rel->empty() ? 1 : 0;
+    }
     case NodeType::GenericExistence: {
       const auto *E = static_cast<const ExistenceNode *>(N);
+      if (obs::RelationStats *RS = statsFor(E->Rel)) {
+        ++RS->Contains;
+        RS->Reorders += E->NeedsEncode ? 1 : 0;
+      }
       std::vector<RamDomain> Key(E->Rel->getArity(), 0);
       buildKey(E->Pattern, E->NeedsEncode, E->Rel->getOrder(E->IndexPos),
                Key, Ctx);
@@ -120,17 +132,31 @@ private:
     //===-------------------------- Operations ---------------------------===//
     case NodeType::GenericScan: {
       const auto *S = static_cast<const ScanNode *>(N);
+      obs::RelationStats *RS = statsFor(S->Rel);
+      if (RS)
+        ++RS->Scans;
       BufferedTupleSource Source(S->Rel->scan(S->IndexPos, S->Decode),
                                  S->Rel->getArity(),
                                  State.StreamBufferCapacity);
+      std::uint64_t Count = 0;
       while (const RamDomain *Tuple = Source.next()) {
+        ++Count;
         Ctx[S->TupleId] = Tuple;
         execute(S->Nested.get(), Ctx);
+      }
+      if (RS) {
+        RS->ScanTuples += Count;
+        RS->Reorders += S->Decode ? Count : 0;
       }
       return 1;
     }
     case NodeType::GenericIndexScan: {
       const auto *S = static_cast<const IndexScanNode *>(N);
+      obs::RelationStats *RS = statsFor(S->Rel);
+      if (RS) {
+        ++RS->IndexScans;
+        RS->Reorders += S->NeedsEncode ? 1 : 0;
+      }
       std::vector<RamDomain> Key(S->Rel->getArity(), 0);
       buildKey(S->Pattern, S->NeedsEncode, S->Rel->getOrder(S->IndexPos),
                Key, Ctx);
@@ -138,29 +164,48 @@ private:
           S->Rel->range(S->IndexPos, Key.data(), S->PrefixLen, S->Mask,
                         S->Decode),
           S->Rel->getArity(), State.StreamBufferCapacity);
+      std::uint64_t Count = 0;
       while (const RamDomain *Tuple = Source.next()) {
+        ++Count;
         Ctx[S->TupleId] = Tuple;
         execute(S->Nested.get(), Ctx);
+      }
+      if (RS) {
+        RS->IndexScanTuples += Count;
+        RS->IndexScanHits += Count > 0 ? 1 : 0;
+        RS->Reorders += S->Decode ? Count : 0;
       }
       return 1;
     }
     case NodeType::ParallelScan: {
       const auto *S = static_cast<const ParallelScanNode *>(N);
+      obs::RelationStats *RS = statsFor(S->Rel);
+      if (RS)
+        ++RS->Scans;
       auto Streams =
           S->Rel->partitionScan(S->IndexPos, State.NumThreads, S->Decode);
       return runPartitions(*S->Rel, S->TupleId, *S->Nested, S->NumTupleIds,
-                           Streams);
+                           Streams, RS, /*IsIndex=*/false, S->Decode);
     }
     case NodeType::ParallelIndexScan: {
       const auto *S = static_cast<const ParallelIndexScanNode *>(N);
+      obs::RelationStats *RS = statsFor(S->Rel);
+      if (RS) {
+        ++RS->IndexScans;
+        RS->Reorders += S->NeedsEncode ? 1 : 0;
+      }
       std::vector<RamDomain> Key(S->Rel->getArity(), 0);
+      if (State.Trace && S->NeedsEncode)
+        State.Trace->begin("index reorder " + S->Rel->getName());
       buildKey(S->Pattern, S->NeedsEncode, S->Rel->getOrder(S->IndexPos),
                Key, Ctx);
+      if (State.Trace && S->NeedsEncode)
+        State.Trace->end();
       auto Streams =
           S->Rel->partitionRange(S->IndexPos, Key.data(), S->PrefixLen,
                                  S->Mask, S->Decode, State.NumThreads);
       return runPartitions(*S->Rel, S->TupleId, *S->Nested, S->NumTupleIds,
-                           Streams);
+                           Streams, RS, /*IsIndex=*/true, S->Decode);
     }
     case NodeType::Filter: {
       const auto *F = static_cast<const FilterNode *>(N);
@@ -173,14 +218,27 @@ private:
       std::vector<RamDomain> Tuple(P->Rel->getArity(), 0);
       fillSuper(P->Values, Tuple.data(), Ctx,
                 [&](const Node &Expr) { return execute(&Expr, Ctx); });
-      if (Buffer)
+      obs::RelationStats *RS = statsFor(P->Rel);
+      if (RS)
+        ++RS->Inserts;
+      if (Buffer) {
+        // InsertsNew is counted at the flushAll barrier, where the insert
+        // actually happens.
         Buffer->add(*P->Rel, Tuple.data());
-      else
-        P->Rel->insert(Tuple.data());
+      } else {
+        bool Grew = P->Rel->insert(Tuple.data());
+        if (RS)
+          RS->InsertsNew += Grew ? 1 : 0;
+      }
       return 1;
     }
     case NodeType::GenericAggregate: {
       const auto *A = static_cast<const AggregateNode *>(N);
+      obs::RelationStats *RS = statsFor(A->Rel);
+      if (RS) {
+        ++RS->IndexScans;
+        RS->Reorders += A->NeedsEncode ? 1 : 0;
+      }
       std::vector<RamDomain> Key(A->Rel->getArity(), 0);
       buildKey(A->Pattern, A->NeedsEncode, A->Rel->getOrder(A->IndexPos),
                Key, Ctx);
@@ -190,12 +248,19 @@ private:
           A->Rel->getArity(), State.StreamBufferCapacity);
       AggAccumulator Acc;
       Acc.init(A->Func);
+      std::uint64_t Count = 0;
       while (const RamDomain *Tuple = Source.next()) {
+        ++Count;
         Ctx[A->TupleId] = Tuple;
         if (A->Cond && !execute(A->Cond.get(), Ctx))
           continue;
         Acc.step(A->Func,
                  A->Target ? execute(A->Target.get(), Ctx) : 0);
+      }
+      if (RS) {
+        RS->IndexScanTuples += Count;
+        RS->IndexScanHits += Count > 0 ? 1 : 0;
+        RS->Reorders += A->Decode ? Count : 0;
       }
       if (Acc.hasResult(A->Func)) {
         RamDomain Result[1] = {Acc.Value};
@@ -228,17 +293,37 @@ private:
       execute(Q->Root.get(), QueryCtx);
       return 1;
     }
-    case NodeType::Clear:
-      static_cast<const ClearNode *>(N)->Rel->clear();
+    case NodeType::Clear: {
+      const auto *C = static_cast<const ClearNode *>(N);
+      if (obs::RelationStats *RS = statsFor(C->Rel))
+        RS->notePeak(C->Rel->size());
+      C->Rel->clear();
       return 1;
+    }
     case NodeType::SwapRel: {
       const auto *S = static_cast<const SwapNode *>(N);
+      if (obs::RelationStats *RS = statsFor(S->Rel))
+        RS->notePeak(S->Rel->size());
+      if (obs::RelationStats *RS = statsFor(S->Second))
+        RS->notePeak(S->Second->size());
       S->Rel->swap(*S->Second);
       return 1;
     }
     case NodeType::Merge: {
       const auto *M = static_cast<const MergeNode *>(N);
-      M->Destination->insertAll(*M->Rel);
+      if (StatsArr) {
+        const std::uint64_t SrcSize = M->Rel->size();
+        obs::RelationStats *SrcRS = statsFor(M->Rel);
+        ++SrcRS->Scans;
+        SrcRS->ScanTuples += SrcSize;
+        obs::RelationStats *DstRS = statsFor(M->Destination);
+        DstRS->Inserts += SrcSize;
+        const std::uint64_t Before = M->Destination->size();
+        M->Destination->insertAll(*M->Rel);
+        DstRS->InsertsNew += M->Destination->size() - Before;
+      } else {
+        M->Destination->insertAll(*M->Rel);
+      }
       return 1;
     }
     case NodeType::Io:
@@ -246,10 +331,19 @@ private:
       return 1;
     case NodeType::LogTimer: {
       const auto *Log = static_cast<const LogTimerNode *>(N);
+      if (State.Trace)
+        State.Trace->begin(Log->Label);
+      const std::uint64_t SizeBefore =
+          Log->DeltaRel ? Log->DeltaRel->size() : 0;
       Timer T;
       std::uint64_t Before = *Dispatches;
       RamDomain Result = execute(Log->Body.get(), Ctx);
-      State.Prof.record(Log->ProfileId, T.seconds(), *Dispatches - Before);
+      const std::uint64_t Delta =
+          Log->DeltaRel ? Log->DeltaRel->size() - SizeBefore : 0;
+      State.Prof.record(Log->ProfileId, T.seconds(), *Dispatches - Before,
+                        Delta);
+      if (State.Trace)
+        State.Trace->end();
       return Result;
     }
 
@@ -258,44 +352,110 @@ private:
     }
   }
 
+  /// Applies the combined tuple count of a partitioned scan to the scanned
+  /// relation's counters. The total is accumulated across partitions and
+  /// applied once on the main thread, so hit/tuple counts are identical to
+  /// the single-threaded scan path at any -jN.
+  static void noteScanTotal(obs::RelationStats *RS, bool IsIndex,
+                            bool Decode, std::uint64_t Total) {
+    if (!RS)
+      return;
+    if (IsIndex) {
+      RS->IndexScanTuples += Total;
+      RS->IndexScanHits += Total > 0 ? 1 : 0;
+    } else {
+      RS->ScanTuples += Total;
+    }
+    RS->Reorders += Decode ? Total : 0;
+  }
+
   /// Executes the partition streams of a parallel scan: on this thread
   /// when there is at most one partition (or no pool), else on the worker
   /// pool — one sibling executor, context and insert buffer per partition,
-  /// merged back deterministically at the barrier.
+  /// merged back deterministically at the barrier. \p RS (nullable) is the
+  /// scanned relation's counter slot; the caller has already counted the
+  /// scan initiation.
   RamDomain runPartitions(RelationWrapper &Rel, std::uint32_t TupleId,
                           const Node &Nested, std::size_t NumTupleIds,
-                          std::vector<std::unique_ptr<TupleStream>> &Streams) {
+                          std::vector<std::unique_ptr<TupleStream>> &Streams,
+                          obs::RelationStats *RS, bool IsIndex,
+                          bool Decode) {
     if (Streams.empty())
       return 1;
     const std::size_t Arity = Rel.getArity();
     if (Streams.size() == 1 || !State.Pool) {
+      std::uint64_t Total = 0;
       for (auto &Stream : Streams) {
         BufferedTupleSource Source(std::move(Stream), Arity,
                                    State.StreamBufferCapacity);
         Context Ctx(NumTupleIds);
         while (const RamDomain *Tuple = Source.next()) {
+          ++Total;
           Ctx[TupleId] = Tuple;
           execute(&Nested, Ctx);
         }
       }
+      noteScanTotal(RS, IsIndex, Decode, Total);
       return 1;
     }
     std::vector<TupleBuffer> Buffers(Streams.size());
     std::vector<std::uint64_t> Counts(Streams.size(), 0);
+    std::vector<std::uint64_t> TupleCounts(Streams.size(), 0);
+    // Private counter block per partition, merged below at the barrier.
+    std::vector<obs::StatsBlock> WorkerStats;
+    if (StatsArr)
+      WorkerStats.assign(Streams.size(),
+                         obs::StatsBlock(State.Stats.size()));
+    const obs::TraceRecorder *TR = State.Trace;
+    std::vector<std::vector<obs::TraceEvent>> TraceBufs(
+        TR ? Streams.size() : 0);
+    const std::string SpanName =
+        (IsIndex ? "index scan " : "scan ") + Rel.getName();
     State.Pool->run(Streams.size(), [&](std::size_t I) {
-      DynamicExecutor Worker(State, &Counts[I], &Buffers[I]);
+      const std::uint64_t Start = TR ? TR->now() : 0;
+      DynamicExecutor Worker(State, &Counts[I], &Buffers[I],
+                             StatsArr ? WorkerStats[I].data() : nullptr);
       Context Ctx(NumTupleIds);
       BufferedTupleSource Source(std::move(Streams[I]), Arity,
                                  State.StreamBufferCapacity);
+      std::uint64_t Count = 0;
       while (const RamDomain *Tuple = Source.next()) {
+        ++Count;
         Ctx[TupleId] = Tuple;
         Worker.execute(&Nested, Ctx);
       }
+      TupleCounts[I] = Count;
+      if (TR) {
+        const std::uint64_t Tid = I + 1;
+        TraceBufs[I].push_back(
+            {SpanName, 'B', Start, Tid,
+             "{\"tuples\":" + std::to_string(Count) + "}"});
+        TraceBufs[I].push_back(
+            {std::string(), 'E', TR->now(), Tid, std::string()});
+      }
     });
-    TupleBuffer::flushAll(Buffers);
-    for (std::uint64_t C : Counts)
-      *Dispatches += C;
+    if (State.Trace)
+      State.Trace->begin("merge " + Rel.getName());
+    TupleBuffer::flushAll(Buffers, StatsArr);
+    if (StatsArr)
+      for (const obs::StatsBlock &WS : WorkerStats)
+        obs::mergeStats(State.Stats, WS);
+    if (State.Trace) {
+      State.Trace->end();
+      for (auto &Buf : TraceBufs)
+        State.Trace->append(std::move(Buf));
+    }
+    std::uint64_t Total = 0;
+    for (std::size_t I = 0; I < Streams.size(); ++I) {
+      *Dispatches += Counts[I];
+      Total += TupleCounts[I];
+    }
+    noteScanTotal(RS, IsIndex, Decode, Total);
     return 1;
+  }
+
+  obs::RelationStats *statsFor(const RelationWrapper *Rel) const {
+    return StatsArr ? StatsArr + Rel->getStatsId() : nullptr;
   }
 
   EngineState &State;
@@ -305,6 +465,9 @@ private:
   /// Set on worker instances only: inserts go here instead of into the
   /// relations, and the main thread flushes at the barrier.
   TupleBuffer *Buffer = nullptr;
+  /// StatsId-indexed counter array: the engine block on the main executor,
+  /// a partition-private block on workers, null when stats are off.
+  obs::RelationStats *StatsArr = nullptr;
 };
 
 } // namespace

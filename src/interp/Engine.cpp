@@ -9,6 +9,7 @@
 #include "interp/Generator.h"
 #include "interp/NodePrinter.h"
 #include "interp/Parallel.h"
+#include "obs/Trace.h"
 #include "util/Csv.h"
 #include "util/MiscUtil.h"
 
@@ -84,6 +85,21 @@ Engine::Engine(const ram::Program &Prog,
     State.Relations.emplace(
         Rel->getName(), createRelation(*Rel, std::move(Orders), UseLegacy));
   }
+
+  // Observability: assign dense stats ids in declaration order (stable
+  // across runs and engines for the same RAM program) and size the engine
+  // counter block to match.
+  State.CollectStats = Options.CollectStats;
+  for (const auto &Rel : Prog.getRelations()) {
+    RelationWrapper *Wrapper = State.Relations.at(Rel->getName()).get();
+    Wrapper->setStatsId(State.StatsRelations.size());
+    State.StatsRelations.push_back(Wrapper);
+  }
+  State.Stats.resize(State.StatsRelations.size());
+  if (Options.EnableTrace) {
+    TraceRec = std::make_unique<obs::TraceRecorder>();
+    State.Trace = TraceRec.get();
+  }
 }
 
 Engine::~Engine() = default;
@@ -122,7 +138,11 @@ std::string Engine::dumpTree() {
 void Engine::run() {
   // Interpreter-tree generation counts as execution time, exactly as in
   // the paper's measurements (it explains the specrand outlier).
+  if (State.Trace)
+    State.Trace->begin("generate tree");
   Root = generateTree(Prog, Indexes, State, generatorOptions(Options));
+  if (State.Trace)
+    State.Trace->end();
 
   std::unique_ptr<ExecutorBase> Executor;
   switch (Options.TheBackend) {
@@ -137,7 +157,17 @@ void Engine::run() {
     Executor = createDynamicExecutor(State);
     break;
   }
+  if (State.Trace)
+    State.Trace->begin("execute");
   Executor->run(*Root);
+  if (State.Trace)
+    State.Trace->end();
+
+  // Final sizes are also cardinality peaks (Clear/Swap record the peaks of
+  // relations that shrink mid-run).
+  if (State.CollectStats)
+    for (std::size_t I = 0; I < State.StatsRelations.size(); ++I)
+      State.Stats[I].notePeak(State.StatsRelations[I]->size());
 }
 
 RelationWrapper *Engine::getRelation(const std::string &Name) {

@@ -26,6 +26,7 @@
 #include "interp/Node.h"
 #include "interp/Profiler.h"
 #include "interp/Relation.h"
+#include "obs/Stats.h"
 #include "ram/Ram.h"
 #include "translate/IndexSelection.h"
 #include "util/SymbolTable.h"
@@ -36,6 +37,10 @@
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+namespace stird::obs {
+class TraceRecorder;
+} // namespace stird::obs
 
 namespace stird::interp {
 
@@ -69,6 +74,13 @@ struct EngineOptions {
   /// merged at a barrier). 0 means "unset" — core::Program substitutes its
   /// own default; the engine then treats it as 1 (sequential).
   std::size_t NumThreads = 0;
+  /// Per-relation observability counters (inserts, scans, index hits,
+  /// reorders, peaks). Hot-path cost is one non-atomic increment; the
+  /// micro_obs benchmark guards the overhead.
+  bool CollectStats = true;
+  /// Record a Chrome trace-event timeline of the run (rule spans, worker
+  /// partitions, merge barriers); read it back via Engine::getTrace().
+  bool EnableTrace = false;
 };
 
 class ThreadPool;
@@ -105,6 +117,16 @@ struct EngineState {
   /// persistent worker pool the parallel scan cases run partitions on.
   std::size_t NumThreads = 1;
   std::unique_ptr<ThreadPool> Pool;
+  /// Observability: the engine's counter block, indexed by each relation's
+  /// StatsId. The main executor writes it directly; partition workers write
+  /// private blocks merged at the flushAll barrier.
+  obs::StatsBlock Stats;
+  /// Relations in StatsId order (for reporting).
+  std::vector<const RelationWrapper *> StatsRelations;
+  bool CollectStats = true;
+  /// Trace recorder, or null when tracing is off. Main-thread use only;
+  /// workers buffer events privately (see obs/Trace.h).
+  obs::TraceRecorder *Trace = nullptr;
 
   /// Executes an Io node (shared across executors; cold path).
   void executeIo(const IoNode &Node);
@@ -152,6 +174,14 @@ public:
 
   std::uint64_t getNumDispatches() const { return State.NumDispatches; }
   const Profiler &getProfiler() const { return State.Prof; }
+  /// The engine's observability counter block (StatsId-indexed) and the
+  /// relations in the same order. Counters are complete once run() returns.
+  const obs::StatsBlock &getStats() const { return State.Stats; }
+  const std::vector<const RelationWrapper *> &getStatsRelations() const {
+    return State.StatsRelations;
+  }
+  /// The trace recorder, or null unless EngineOptions::EnableTrace was set.
+  const obs::TraceRecorder *getTrace() const { return TraceRec.get(); }
   const std::vector<std::pair<std::string, std::size_t>> &
   getPrintSizes() const {
     return State.PrintSizes;
@@ -164,6 +194,7 @@ private:
   EngineOptions Options;
   EngineState State;
   NodePtr Root;
+  std::unique_ptr<obs::TraceRecorder> TraceRec;
 };
 
 } // namespace stird::interp

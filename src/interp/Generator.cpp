@@ -225,9 +225,17 @@ public:
     }
     case K::LogTimer: {
       const auto &Log = static_cast<const ram::LogTimer &>(Stmt);
-      std::size_t Id = State.Prof.registerRule(Log.getLabel());
+      const ram::LogTimer::RuleInfo &Info = Log.getInfo();
+      RuleMeta Meta;
+      Meta.Stratum = Info.Stratum;
+      Meta.Relation = Info.Relation;
+      Meta.Version = Info.Version;
+      Meta.Recursive = Info.Recursive;
+      std::size_t Id = State.Prof.registerRule(Log.getLabel(), Meta);
+      RelationWrapper *DeltaRel =
+          Info.Target ? wrapper(*Info.Target) : nullptr;
       return std::make_unique<LogTimerNode>(&Stmt, Log.getLabel(), Id,
-                                            genStmt(Log.getBody()));
+                                            DeltaRel, genStmt(Log.getBody()));
     }
     }
     unreachable("unknown statement kind");

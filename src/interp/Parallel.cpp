@@ -7,6 +7,7 @@
 #include "interp/Parallel.h"
 
 #include "interp/Relation.h"
+#include "obs/Stats.h"
 
 #include <cassert>
 #include <cstring>
@@ -95,24 +96,31 @@ void TupleBuffer::add(RelationWrapper &Rel, const RamDomain *Tuple) {
   B.Cells.insert(B.Cells.end(), Tuple, Tuple + B.Arity);
 }
 
-void TupleBuffer::flush() {
+void TupleBuffer::flush(obs::RelationStats *Stats) {
   for (PerRelation &B : Buffers) {
     assert(B.Arity == B.Rel->getArity() &&
            "buffered tuple width diverged from its target relation");
     assert(B.Cells.size() % B.Arity == 0 &&
            "buffer holds a partial tuple");
-    for (std::size_t I = 0; I < B.Cells.size(); I += B.Arity)
-      B.Rel->insert(B.Cells.data() + I);
+    if (Stats) {
+      obs::RelationStats &RS = Stats[B.Rel->getStatsId()];
+      for (std::size_t I = 0; I < B.Cells.size(); I += B.Arity)
+        RS.InsertsNew += B.Rel->insert(B.Cells.data() + I) ? 1 : 0;
+    } else {
+      for (std::size_t I = 0; I < B.Cells.size(); I += B.Arity)
+        B.Rel->insert(B.Cells.data() + I);
+    }
     B.Cells.clear();
   }
   Buffers.clear();
 }
 
-void TupleBuffer::flushAll(std::vector<TupleBuffer> &Buffers) {
+void TupleBuffer::flushAll(std::vector<TupleBuffer> &Buffers,
+                           obs::RelationStats *Stats) {
   // Ascending partition index, never completion order: partition I's
   // tuples always merge before partition I+1's.
   for (TupleBuffer &B : Buffers)
-    B.flush();
+    B.flush(Stats);
 }
 
 } // namespace stird::interp

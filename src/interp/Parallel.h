@@ -19,6 +19,10 @@
 #include "util/RamTypes.h"
 
 #include <condition_variable>
+
+namespace stird::obs {
+struct RelationStats;
+} // namespace stird::obs
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -79,8 +83,11 @@ public:
 
   /// Inserts every buffered tuple into its relation and empties the
   /// buffer. Main thread only. Within one buffer, tuples flush in the
-  /// order the worker produced them.
-  void flush();
+  /// order the worker produced them. When \p Stats is non-null (the
+  /// engine's StatsId-indexed counter block), inserts that grow a relation
+  /// bump its InsertsNew counter — set semantics make that growth
+  /// independent of the flush order, so the counts match -j1 exactly.
+  void flush(obs::RelationStats *Stats = nullptr);
 
   /// Flushes \p Buffers in ascending worker-partition index — a fixed,
   /// thread-interleaving-independent order, so the merged relation
@@ -88,7 +95,8 @@ public:
   /// identical across repeated runs at any -jN. The relations themselves
   /// are sets, but a fixed merge order also pins down any insertion-order
   /// dependent internals (e.g. union-find representatives).
-  static void flushAll(std::vector<TupleBuffer> &Buffers);
+  static void flushAll(std::vector<TupleBuffer> &Buffers,
+                       obs::RelationStats *Stats = nullptr);
 
 private:
   struct PerRelation {

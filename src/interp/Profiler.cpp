@@ -8,7 +8,7 @@
 
 using namespace stird::interp;
 
-std::size_t Profiler::registerRule(const std::string &Label) {
+std::size_t Profiler::registerRule(const std::string &Label, RuleMeta Meta) {
   // Registration happens at tree-generation time (before any parallel
   // section), but locking keeps the whole accumulator self-consistent if
   // that ever changes — record() shares the same mutex.
@@ -17,12 +17,18 @@ std::size_t Profiler::registerRule(const std::string &Label) {
   if (It != IdOf.end())
     return It->second;
   std::size_t Id = Rules.size();
-  Rules.push_back(RuleProfile{Label, 0, 0, 0});
+  RuleProfile Profile;
+  Profile.Label = Label;
+  Profile.Meta = std::move(Meta);
+  Rules.push_back(std::move(Profile));
   IdOf.emplace(Label, Id);
   return Id;
 }
 
-const RuleProfile *Profiler::find(const std::string &Label) const {
+std::optional<RuleProfile> Profiler::find(const std::string &Label) const {
+  std::lock_guard<std::mutex> Lock(M);
   auto It = IdOf.find(Label);
-  return It == IdOf.end() ? nullptr : &Rules[It->second];
+  if (It == IdOf.end())
+    return std::nullopt;
+  return Rules[It->second];
 }

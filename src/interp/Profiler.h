@@ -5,10 +5,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The Soufflé-profiler analog: accumulates wall time, invocation counts
-/// and dispatch counts per LogTimer label (one label per rule version).
-/// Drives the Section 5.2 case study (Fig 16) and the dispatch-elimination
-/// measurement of the super-instruction experiment (Fig 19).
+/// The Soufflé-profiler analog: accumulates wall time, invocation counts,
+/// dispatch counts and produced-tuple deltas per LogTimer label (one label
+/// per rule version), keeping every individual sample so recursive rules
+/// expose their full stratum → version → iteration hierarchy. Drives the
+/// Section 5.2 case study (Fig 16), the dispatch-elimination measurement
+/// of the super-instruction experiment (Fig 19), and the JSON profile sink
+/// of the observability layer.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,48 +20,90 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace stird::interp {
 
+/// Static position of a rule version in the program: which stratum emitted
+/// it, which relation its head writes, and which semi-naive version it is.
+/// Defaults describe a rule registered without translation metadata
+/// (hand-built profilers in tests, non-rule timers).
+struct RuleMeta {
+  int Stratum = -1;
+  std::string Relation;
+  /// Semi-naive version index ([vN] in the label); -1 for non-recursive.
+  int Version = -1;
+  bool Recursive = false;
+};
+
+/// One timed execution of a rule. For a recursive rule the samples line up
+/// with the fixpoint loop's iterations, so the sequence of DeltaTuples is
+/// the rule's semi-naive convergence curve.
+struct IterationSample {
+  double Seconds = 0;
+  std::uint64_t Dispatches = 0;
+  /// Tuples the target relation gained during this execution.
+  std::uint64_t DeltaTuples = 0;
+};
+
 /// Accumulated statistics of one rule version.
 struct RuleProfile {
   std::string Label;
+  RuleMeta Meta;
   double Seconds = 0;
   std::uint64_t Invocations = 0;
   std::uint64_t Dispatches = 0;
+  std::uint64_t DeltaTuples = 0;
+  /// Per-execution samples in execution order (iteration order for rules
+  /// inside a fixpoint loop).
+  std::vector<IterationSample> Iterations;
 };
 
 /// Collects per-rule statistics across a run.
 class Profiler {
 public:
   /// Registers \p Label (idempotent) and returns its dense id.
-  std::size_t registerRule(const std::string &Label);
+  std::size_t registerRule(const std::string &Label) {
+    return registerRule(Label, RuleMeta{});
+  }
+
+  /// Registers \p Label with its translation metadata. Idempotent on the
+  /// label; the first registration's metadata wins.
+  std::size_t registerRule(const std::string &Label, RuleMeta Meta);
 
   /// Accumulates one timed execution of rule \p Id. Thread-safe: LogTimer
   /// currently fires on the main thread only, but the profiler must not be
   /// the reason rules inside parallel sections can't be timed — recording
   /// is cold (once per rule invocation), so one mutex suffices.
-  void record(std::size_t Id, double Seconds, std::uint64_t Dispatches) {
+  void record(std::size_t Id, double Seconds, std::uint64_t Dispatches,
+              std::uint64_t DeltaTuples = 0) {
     std::lock_guard<std::mutex> Lock(M);
     RuleProfile &Profile = Rules[Id];
     Profile.Seconds += Seconds;
     Profile.Invocations += 1;
     Profile.Dispatches += Dispatches;
+    Profile.DeltaTuples += DeltaTuples;
+    Profile.Iterations.push_back({Seconds, Dispatches, DeltaTuples});
   }
 
-  /// Snapshot access; callers must not run concurrently with record().
-  const std::vector<RuleProfile> &rules() const { return Rules; }
+  /// Snapshot of every rule profile, copied under the mutex: safe to call
+  /// concurrently with record().
+  std::vector<RuleProfile> rules() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Rules;
+  }
 
-  /// Finds the accumulated profile for a label; null if never executed.
-  const RuleProfile *find(const std::string &Label) const;
+  /// Snapshot of one rule's accumulated profile by label; nullopt if the
+  /// label was never registered.
+  std::optional<RuleProfile> find(const std::string &Label) const;
 
 private:
   std::vector<RuleProfile> Rules;
   std::unordered_map<std::string, std::size_t> IdOf;
-  std::mutex M;
+  mutable std::mutex M;
 };
 
 } // namespace stird::interp

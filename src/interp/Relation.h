@@ -83,6 +83,11 @@ public:
     return Orders[IndexPos];
   }
 
+  /// Dense per-engine index into the engine's observability counter block
+  /// (obs::StatsBlock); assigned once at engine construction.
+  std::size_t getStatsId() const { return StatsId; }
+  void setStatsId(std::size_t Id) { StatsId = Id; }
+
   /// Inserts a source-order tuple into every index; returns true if new.
   virtual bool insert(const RamDomain *Tuple) = 0;
   /// Full-tuple membership (via index 0).
@@ -158,6 +163,7 @@ private:
   RelKind Kind;
   const ram::Relation &Decl;
   std::vector<Order> Orders;
+  std::size_t StatsId = 0;
 };
 
 /// Reads a TupleStream through the paper's 128-tuple amortization buffer:

@@ -1,0 +1,376 @@
+//===- obs/Json.cpp - Minimal JSON value, writer and parser --------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace stird::obs::json {
+
+std::string escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+void writeNumber(std::string &Out, double D) {
+  // Integral values (the common case: counters, ids, microseconds) print
+  // without a fractional part so documents stay compact and exact.
+  if (std::isfinite(D) && D == std::floor(D) && std::fabs(D) < 1e18) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(D));
+    Out += Buf;
+    return;
+  }
+  if (!std::isfinite(D)) {
+    Out += "null"; // JSON has no Inf/NaN.
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  Out += Buf;
+}
+
+void writeValue(std::string &Out, const Value &V, int Indent, int Depth) {
+  auto newline = [&](int D) {
+    if (Indent <= 0)
+      return;
+    Out += '\n';
+    Out.append(static_cast<std::size_t>(Indent) * D, ' ');
+  };
+  if (V.isNull()) {
+    Out += "null";
+  } else if (V.isBool()) {
+    Out += V.asBool() ? "true" : "false";
+  } else if (V.isNumber()) {
+    writeNumber(Out, V.asNumber());
+  } else if (V.isString()) {
+    Out += '"';
+    Out += escape(V.asString());
+    Out += '"';
+  } else if (V.isArray()) {
+    const Array &A = V.asArray();
+    if (A.empty()) {
+      Out += "[]";
+      return;
+    }
+    Out += '[';
+    bool First = true;
+    for (const Value &E : A) {
+      if (!First)
+        Out += ',';
+      First = false;
+      newline(Depth + 1);
+      writeValue(Out, E, Indent, Depth + 1);
+    }
+    newline(Depth);
+    Out += ']';
+  } else {
+    const Object &O = V.asObject();
+    if (O.empty()) {
+      Out += "{}";
+      return;
+    }
+    Out += '{';
+    bool First = true;
+    for (const auto &[K, E] : O) {
+      if (!First)
+        Out += ',';
+      First = false;
+      newline(Depth + 1);
+      Out += '"';
+      Out += escape(K);
+      Out += "\":";
+      if (Indent > 0)
+        Out += ' ';
+      writeValue(Out, E, Indent, Depth + 1);
+    }
+    newline(Depth);
+    Out += '}';
+  }
+}
+
+/// Recursive-descent parser over the raw text.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<Value> run() {
+    skipSpace();
+    std::optional<Value> V = parseValue();
+    if (!V)
+      return std::nullopt;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return V;
+  }
+
+private:
+  const std::string &Text;
+  std::string *Error;
+  std::size_t Pos = 0;
+
+  std::nullopt_t fail(const std::string &Message) {
+    if (Error && Error->empty())
+      *Error = Message + " at byte " + std::to_string(Pos);
+    return std::nullopt;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    std::size_t Len = std::string(Word).size();
+    if (Text.compare(Pos, Len, Word) == 0) {
+      Pos += Len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> parseValue() {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      std::optional<std::string> S = parseString();
+      if (!S)
+        return std::nullopt;
+      return Value(std::move(*S));
+    }
+    if (literal("true"))
+      return Value(true);
+    if (literal("false"))
+      return Value(false);
+    if (literal("null"))
+      return Value(nullptr);
+    return parseNumber();
+  }
+
+  std::optional<Value> parseNumber() {
+    std::size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value");
+    char *End = nullptr;
+    const std::string Token = Text.substr(Start, Pos - Start);
+    double D = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size())
+      return fail("malformed number '" + Token + "'");
+    return Value(D);
+  }
+
+  std::optional<std::string> parseString() {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return std::nullopt;
+    }
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          break;
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[Pos++];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= static_cast<unsigned>(H - 'A' + 10);
+            else {
+              fail("bad \\u escape digit");
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our own writers; pass them through as-is).
+          if (Code < 0x80) {
+            Out += static_cast<char>(Code);
+          } else if (Code < 0x800) {
+            Out += static_cast<char>(0xC0 | (Code >> 6));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (Code >> 12));
+            Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail(std::string("unknown escape '\\") + E + "'");
+          return std::nullopt;
+        }
+      } else {
+        Out += C;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> parseArray() {
+    consume('[');
+    Array A;
+    skipSpace();
+    if (consume(']'))
+      return Value(std::move(A));
+    while (true) {
+      skipSpace();
+      std::optional<Value> E = parseValue();
+      if (!E)
+        return std::nullopt;
+      A.push_back(std::move(*E));
+      skipSpace();
+      if (consume(']'))
+        return Value(std::move(A));
+      if (!consume(','))
+        return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<Value> parseObject() {
+    consume('{');
+    Object O;
+    skipSpace();
+    if (consume('}'))
+      return Value(std::move(O));
+    while (true) {
+      skipSpace();
+      std::optional<std::string> Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      skipSpace();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      skipSpace();
+      std::optional<Value> E = parseValue();
+      if (!E)
+        return std::nullopt;
+      O.emplace_back(std::move(*Key), std::move(*E));
+      skipSpace();
+      if (consume('}'))
+        return Value(std::move(O));
+      if (!consume(','))
+        return fail("expected ',' or '}' in object");
+    }
+  }
+};
+
+} // namespace
+
+std::string Value::dump(int Indent) const {
+  std::string Out;
+  writeValue(Out, *this, Indent, 0);
+  if (Indent > 0)
+    Out += '\n';
+  return Out;
+}
+
+std::optional<Value> parse(const std::string &Text, std::string *Error) {
+  if (Error)
+    Error->clear();
+  return Parser(Text, Error).run();
+}
+
+} // namespace stird::obs::json

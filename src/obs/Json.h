@@ -1,0 +1,104 @@
+//===- obs/Json.h - Minimal JSON value, writer and parser -------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON library backing the observability sinks:
+/// the profile log writer, the Chrome trace writer and the stird-profile
+/// reader. Objects preserve insertion order so emitted documents are
+/// deterministic and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_OBS_JSON_H
+#define STIRD_OBS_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace stird::obs::json {
+
+class Value;
+
+/// Order-preserving key/value list (JSON objects are small here; linear
+/// lookup is fine and keeps emission deterministic).
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+/// A JSON document node.
+class Value {
+public:
+  Value() : Data(nullptr) {}
+  Value(std::nullptr_t) : Data(nullptr) {}
+  Value(bool B) : Data(B) {}
+  Value(double D) : Data(D) {}
+  Value(int I) : Data(static_cast<double>(I)) {}
+  Value(unsigned I) : Data(static_cast<double>(I)) {}
+  Value(std::int64_t I) : Data(static_cast<double>(I)) {}
+  Value(std::uint64_t I) : Data(static_cast<double>(I)) {}
+  Value(const char *S) : Data(std::string(S)) {}
+  Value(std::string S) : Data(std::move(S)) {}
+  Value(Object O) : Data(std::move(O)) {}
+  Value(Array A) : Data(std::move(A)) {}
+
+  bool isNull() const { return std::holds_alternative<std::nullptr_t>(Data); }
+  bool isBool() const { return std::holds_alternative<bool>(Data); }
+  bool isNumber() const { return std::holds_alternative<double>(Data); }
+  bool isString() const { return std::holds_alternative<std::string>(Data); }
+  bool isObject() const { return std::holds_alternative<Object>(Data); }
+  bool isArray() const { return std::holds_alternative<Array>(Data); }
+
+  bool asBool() const { return std::get<bool>(Data); }
+  double asNumber() const { return std::get<double>(Data); }
+  std::uint64_t asUint() const {
+    return static_cast<std::uint64_t>(std::get<double>(Data));
+  }
+  std::int64_t asInt() const {
+    return static_cast<std::int64_t>(std::get<double>(Data));
+  }
+  const std::string &asString() const { return std::get<std::string>(Data); }
+  const Object &asObject() const { return std::get<Object>(Data); }
+  Object &asObject() { return std::get<Object>(Data); }
+  const Array &asArray() const { return std::get<Array>(Data); }
+  Array &asArray() { return std::get<Array>(Data); }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value *find(const std::string &Key) const {
+    if (!isObject())
+      return nullptr;
+    for (const auto &[K, V] : asObject())
+      if (K == Key)
+        return &V;
+    return nullptr;
+  }
+
+  /// Appends a member to an object value.
+  void set(std::string Key, Value V) {
+    std::get<Object>(Data).emplace_back(std::move(Key), std::move(V));
+  }
+
+  /// Serializes the document. \p Indent > 0 pretty-prints with that many
+  /// spaces per level; 0 emits the compact single-line form.
+  std::string dump(int Indent = 0) const;
+
+private:
+  std::variant<std::nullptr_t, bool, double, std::string, Object, Array> Data;
+};
+
+/// Escapes \p S as the contents of a JSON string literal (no quotes).
+std::string escape(const std::string &S);
+
+/// Parses a JSON document. Returns nullopt on malformed input; when
+/// \p Error is given, a one-line diagnostic with the byte offset is stored.
+std::optional<Value> parse(const std::string &Text,
+                           std::string *Error = nullptr);
+
+} // namespace stird::obs::json
+
+#endif // STIRD_OBS_JSON_H

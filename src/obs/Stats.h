@@ -1,0 +1,82 @@
+//===- obs/Stats.h - Per-relation runtime counters --------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relation and index statistics of the observability layer. Every runtime
+/// relation owns one RelationStats slot in a dense StatsBlock; the executors
+/// bump plain (non-atomic) counters on the hot path. Thread safety comes
+/// from ownership, not atomics: the main executor writes the engine's block,
+/// each partition worker writes a private block, and the private blocks are
+/// merged into the engine's block at the end-of-scan barrier — the same
+/// point where TupleBuffer::flushAll applies the buffered inserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_OBS_STATS_H
+#define STIRD_OBS_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace stird::obs {
+
+/// Counters of one relation. All counts are totals over the whole run;
+/// "reorders" counts de-specialized tuple reorder invocations (Order
+/// encode/decode calls the interpreter had to perform at runtime because
+/// static reordering was off or a key had to be permuted into index order).
+struct RelationStats {
+  /// insert() attempts (projections and buffered worker inserts).
+  std::uint64_t Inserts = 0;
+  /// Inserts that actually grew the relation (deduplicated away otherwise).
+  std::uint64_t InsertsNew = 0;
+  /// Membership queries: existence checks and emptiness checks.
+  std::uint64_t Contains = 0;
+  /// Full-scan initiations.
+  std::uint64_t Scans = 0;
+  /// Tuples delivered by full scans.
+  std::uint64_t ScanTuples = 0;
+  /// Range-search (index scan / aggregate) initiations.
+  std::uint64_t IndexScans = 0;
+  /// Range searches that matched at least one tuple.
+  std::uint64_t IndexScanHits = 0;
+  /// Tuples delivered by range searches (the sum of all range sizes).
+  std::uint64_t IndexScanTuples = 0;
+  /// Runtime tuple/key reorder invocations (encode + decode).
+  std::uint64_t Reorders = 0;
+  /// High-water cardinality observed at clear/swap/report points. Not
+  /// merged additively: peaks combine by max.
+  std::uint64_t PeakSize = 0;
+
+  void notePeak(std::uint64_t Size) { PeakSize = std::max(PeakSize, Size); }
+
+  void merge(const RelationStats &Other) {
+    Inserts += Other.Inserts;
+    InsertsNew += Other.InsertsNew;
+    Contains += Other.Contains;
+    Scans += Other.Scans;
+    ScanTuples += Other.ScanTuples;
+    IndexScans += Other.IndexScans;
+    IndexScanHits += Other.IndexScanHits;
+    IndexScanTuples += Other.IndexScanTuples;
+    Reorders += Other.Reorders;
+    PeakSize = std::max(PeakSize, Other.PeakSize);
+  }
+};
+
+/// One counter block: RelationStats indexed by the dense per-engine stats
+/// id of each relation (RelationWrapper::getStatsId()).
+using StatsBlock = std::vector<RelationStats>;
+
+/// Merges a worker's private block into the engine block (barrier-side).
+inline void mergeStats(StatsBlock &Into, const StatsBlock &From) {
+  for (std::size_t I = 0; I < Into.size() && I < From.size(); ++I)
+    Into[I].merge(From[I]);
+}
+
+} // namespace stird::obs
+
+#endif // STIRD_OBS_STATS_H

@@ -1,0 +1,75 @@
+//===- obs/Trace.cpp - Chrome trace-event recorder -----------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <set>
+
+namespace stird::obs {
+
+std::string TraceRecorder::toJson() const {
+  // Chrome's trace viewer tolerates out-of-order events but Perfetto's
+  // importer is happier with sorted streams; a stable sort keeps the B/E
+  // nesting of equal-timestamp events intact.
+  std::vector<const TraceEvent *> Sorted;
+  Sorted.reserve(Events.size());
+  std::set<std::uint64_t> Tids;
+  for (const TraceEvent &E : Events) {
+    Sorted.push_back(&E);
+    Tids.insert(E.Tid);
+  }
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const TraceEvent *A, const TraceEvent *B) {
+                     return A->TsMicros < B->TsMicros;
+                   });
+
+  std::string Out;
+  Out.reserve(Events.size() * 96 + 256);
+  Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  auto comma = [&] {
+    if (!First)
+      Out += ",\n";
+    else
+      Out += "\n";
+    First = false;
+  };
+
+  // Process/thread name metadata so Perfetto labels the tracks.
+  comma();
+  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"stird\"}}";
+  for (std::uint64_t Tid : Tids) {
+    comma();
+    std::string ThreadName =
+        Tid == 0 ? "main" : "worker " + std::to_string(Tid - 1);
+    Out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(Tid) + ",\"args\":{\"name\":\"" +
+           json::escape(ThreadName) + "\"}}";
+  }
+
+  for (const TraceEvent *E : Sorted) {
+    comma();
+    Out += "{\"ph\":\"";
+    Out += E->Phase;
+    Out += "\",\"pid\":1,\"tid\":" + std::to_string(E->Tid) +
+           ",\"ts\":" + std::to_string(E->TsMicros);
+    if (E->Phase != 'E') {
+      Out += ",\"name\":\"" + json::escape(E->Name) + "\"";
+      Out += ",\"cat\":\"stird\"";
+      if (!E->ArgsJson.empty())
+        Out += ",\"args\":" + E->ArgsJson;
+    }
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+} // namespace stird::obs

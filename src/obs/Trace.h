@@ -1,0 +1,87 @@
+//===- obs/Trace.h - Chrome trace-event recorder ----------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records execution spans in the Chrome about:tracing / Perfetto
+/// trace-event format. The main thread records directly into the shared
+/// event list; partition workers fill private per-partition buffers that
+/// the main thread appends at the flushAll barrier, so recording never
+/// races. Track (tid) convention: tid 0 is the main thread, tid I+1 is
+/// partition worker I.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_OBS_TRACE_H
+#define STIRD_OBS_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stird::obs {
+
+/// One trace-event record. Phase follows the Chrome trace format: 'B'
+/// begins a span, 'E' ends the innermost open span on the same track.
+struct TraceEvent {
+  std::string Name;
+  char Phase = 'B';
+  std::uint64_t TsMicros = 0;
+  std::uint64_t Tid = 0;
+  /// Pre-rendered JSON object text for the "args" member, or empty.
+  std::string ArgsJson;
+};
+
+/// Collects trace events for one engine run and renders them as Chrome
+/// trace-event JSON. begin()/end()/instant() are main-thread only; worker
+/// threads build their own std::vector<TraceEvent> (stamping times via the
+/// thread-safe now()) and hand it to append() from the main thread at the
+/// partition barrier.
+class TraceRecorder {
+public:
+  TraceRecorder() : Epoch(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since the recorder was created. Thread-safe.
+  std::uint64_t now() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  /// Opens a span on track \p Tid. Main thread only.
+  void begin(std::string Name, std::uint64_t Tid = 0,
+             std::string ArgsJson = {}) {
+    Events.push_back(
+        {std::move(Name), 'B', now(), Tid, std::move(ArgsJson)});
+  }
+
+  /// Closes the innermost span on track \p Tid. Main thread only.
+  void end(std::uint64_t Tid = 0) {
+    Events.push_back({std::string(), 'E', now(), Tid, std::string()});
+  }
+
+  /// Appends worker-recorded events. Main thread only (barrier-side).
+  void append(std::vector<TraceEvent> Buffer) {
+    Events.insert(Events.end(),
+                  std::make_move_iterator(Buffer.begin()),
+                  std::make_move_iterator(Buffer.end()));
+  }
+
+  std::size_t size() const { return Events.size(); }
+
+  /// Renders the full document: {"traceEvents": [...]} with thread-name
+  /// metadata for every track seen, events stable-sorted by timestamp.
+  std::string toJson() const;
+
+private:
+  std::chrono::steady_clock::time_point Epoch;
+  std::vector<TraceEvent> Events;
+};
+
+} // namespace stird::obs
+
+#endif // STIRD_OBS_TRACE_H

@@ -145,7 +145,7 @@ StmtPtr stird::ram::clone(const Statement &Stmt) {
   }
   case Statement::Kind::LogTimer: {
     const auto &Log = static_cast<const LogTimer &>(Stmt);
-    return std::make_unique<LogTimer>(Log.getLabel(),
+    return std::make_unique<LogTimer>(Log.getLabel(), Log.getInfo(),
                                       clone(Log.getBody()));
   }
   }

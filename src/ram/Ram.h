@@ -602,14 +602,33 @@ private:
 /// Section 5.2 case study).
 class LogTimer : public Statement {
 public:
+  /// Where the timed rule sits in the program: its stratum, head relation,
+  /// semi-naive version and whether it lives inside a fixpoint loop. Target
+  /// is the relation the rule inserts into (new_R for loop-body rules), so
+  /// the engines can sample its cardinality around each execution and
+  /// report per-iteration delta sizes. Default-constructed info marks a
+  /// timer that is not a translated rule.
+  struct RuleInfo {
+    int Stratum = -1;
+    std::string Relation;
+    int Version = -1;
+    bool Recursive = false;
+    const ram::Relation *Target = nullptr;
+  };
+
   LogTimer(std::string Label, StmtPtr Body)
       : Statement(Kind::LogTimer), Label(std::move(Label)),
         Body(std::move(Body)) {}
+  LogTimer(std::string Label, RuleInfo Info, StmtPtr Body)
+      : Statement(Kind::LogTimer), Label(std::move(Label)),
+        Info(std::move(Info)), Body(std::move(Body)) {}
   const std::string &getLabel() const { return Label; }
+  const RuleInfo &getInfo() const { return Info; }
   const Statement &getBody() const { return *Body; }
 
 private:
   std::string Label;
+  RuleInfo Info;
   StmtPtr Body;
 };
 

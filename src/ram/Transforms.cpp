@@ -175,7 +175,7 @@ public:
           rewriteOp(static_cast<const Query &>(Stmt).getRoot()));
     case Statement::Kind::LogTimer: {
       const auto &Log = static_cast<const LogTimer &>(Stmt);
-      return std::make_unique<LogTimer>(Log.getLabel(),
+      return std::make_unique<LogTimer>(Log.getLabel(), Log.getInfo(),
                                         rewriteStmt(Log.getBody()));
     }
     default:
@@ -254,7 +254,7 @@ public:
           rewriteOp(static_cast<const Query &>(Stmt).getRoot()));
     case Statement::Kind::LogTimer: {
       const auto &Log = static_cast<const LogTimer &>(Stmt);
-      return std::make_unique<LogTimer>(Log.getLabel(),
+      return std::make_unique<LogTimer>(Log.getLabel(), Log.getInfo(),
                                         rewriteStmt(Log.getBody()));
     }
     default:

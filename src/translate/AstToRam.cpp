@@ -240,8 +240,8 @@ public:
         Main.push_back(std::make_unique<ram::Io>(
             ram::Io::Direction::Load, RelOf.at(Decl->getName())));
 
-    for (const auto &Stratum : Info.Strata)
-      emitStratum(Stratum, Main);
+    for (std::size_t SI = 0; SI < Info.Strata.size(); ++SI)
+      emitStratum(Info.Strata[SI], static_cast<int>(SI), Main);
 
     for (const auto &Decl : AstProg.Relations) {
       if (Decl->isOutput())
@@ -274,7 +274,7 @@ private:
   // Stratum emission
   //===--------------------------------------------------------------------===
 
-  void emitStratum(const ast::Stratum &Stratum,
+  void emitStratum(const ast::Stratum &Stratum, int StratumId,
                    std::vector<ram::StmtPtr> &Main) {
     std::unordered_set<std::string> Scc;
     for (const auto *Decl : Stratum.Relations)
@@ -285,7 +285,7 @@ private:
         for (const auto *C : clausesOf(Decl->getName()))
           emitRule(*C, RelOf.at(Decl->getName()), /*Scc=*/{},
                    /*DeltaPos=*/-1, /*GuardRel=*/nullptr,
-                   /*UseDeltaFor=*/{}, Main);
+                   /*UseDeltaFor=*/{}, StratumId, Main);
       return;
     }
 
@@ -319,7 +319,7 @@ private:
       for (const auto *C : clausesOf(Decl->getName()))
         if (!isRecursiveClause(*C, Scc))
           emitRule(*C, RelOf.at(Decl->getName()), Scc, -1, nullptr, {},
-                   Main);
+                   StratumId, Main);
 
     if (!Naive)
       for (const auto *Decl : Stratum.Relations)
@@ -335,7 +335,7 @@ private:
           continue;
         if (Naive) {
           emitRule(*C, NewRel.at(Decl->getName()), Scc, -1, Full, {},
-                   LoopBody);
+                   StratumId, LoopBody);
           continue;
         }
         // Semi-naive: one version per occurrence of an SCC relation, with
@@ -347,7 +347,7 @@ private:
             ++NumSccAtoms;
         for (int Version = 0; Version < NumSccAtoms; ++Version)
           emitRule(*C, NewRel.at(Decl->getName()), Scc, Version, Full,
-                   DeltaRel, LoopBody);
+                   DeltaRel, StratumId, LoopBody);
       }
     }
 
@@ -408,7 +408,7 @@ private:
                 ram::Relation *GuardRel,
                 const std::unordered_map<std::string, ram::Relation *>
                     &DeltaRel,
-                std::vector<ram::StmtPtr> &Out) {
+                int StratumId, std::vector<ram::StmtPtr> &Out) {
     ClauseState State(*this, C, Target, Scc, DeltaPos, GuardRel, DeltaRel);
     ram::OpPtr Root = State.build();
     if (!Root)
@@ -419,8 +419,16 @@ private:
       std::string Label = C.toString();
       if (DeltaPos >= 0)
         Label += " [v" + std::to_string(DeltaPos) + "]";
-      Stmt = std::make_unique<ram::LogTimer>(std::move(Label),
-                                             std::move(Stmt));
+      ram::LogTimer::RuleInfo Info;
+      Info.Stratum = StratumId;
+      Info.Relation = C.getHead().getName();
+      Info.Version = DeltaPos;
+      // GuardRel is set exactly for rules inside a fixpoint loop (both the
+      // semi-naive versions and naive loop bodies).
+      Info.Recursive = GuardRel != nullptr;
+      Info.Target = Target;
+      Stmt = std::make_unique<ram::LogTimer>(
+          std::move(Label), std::move(Info), std::move(Stmt));
     }
     Out.push_back(std::move(Stmt));
   }

@@ -327,11 +327,23 @@ TEST(EngineTest, ProfilerAttributesTimeToRules) {
   E->run();
   const Profiler &Prof = E->getProfiler();
   ASSERT_GE(Prof.rules().size(), 2u);
-  const RuleProfile *Recursive =
+  std::optional<RuleProfile> Recursive =
       Prof.find("p(x, z) :- p(x, y), e(y, z). [v0]");
-  ASSERT_NE(Recursive, nullptr);
+  ASSERT_TRUE(Recursive.has_value());
   EXPECT_GT(Recursive->Invocations, 1u); // once per fixpoint round
   EXPECT_GT(Recursive->Dispatches, 0u);
+  EXPECT_TRUE(Recursive->Meta.Recursive);
+  EXPECT_EQ(Recursive->Meta.Relation, "p");
+  // Each iteration sample carries the delta growth of p; their sum is the
+  // final size of p: 50*51/2 pairs from a 50-edge chain.
+  std::uint64_t Delta = 0;
+  for (const IterationSample &Sample : Recursive->Iterations)
+    Delta += Sample.DeltaTuples;
+  std::optional<RuleProfile> Base = Prof.find("p(x, y) :- e(x, y).");
+  ASSERT_TRUE(Base.has_value());
+  for (const IterationSample &Sample : Base->Iterations)
+    Delta += Sample.DeltaTuples;
+  EXPECT_EQ(Delta, 50u * 51u / 2u);
   EXPECT_GT(E->getNumDispatches(), 0u);
 }
 

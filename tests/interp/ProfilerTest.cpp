@@ -39,23 +39,47 @@ TEST(ProfilerTest, RegisterRuleIsIdempotent) {
 TEST(ProfilerTest, RecordAccumulates) {
   Profiler Prof;
   std::size_t Id = Prof.registerRule("rule");
-  Prof.record(Id, 0.5, 100);
-  Prof.record(Id, 0.25, 40);
+  Prof.record(Id, 0.5, 100, 7);
+  Prof.record(Id, 0.25, 40, 2);
   Prof.record(Id, 0.25, 2);
-  const RuleProfile *Profile = Prof.find("rule");
-  ASSERT_NE(Profile, nullptr);
+  std::optional<RuleProfile> Profile = Prof.find("rule");
+  ASSERT_TRUE(Profile.has_value());
   EXPECT_EQ(Profile->Label, "rule");
   EXPECT_DOUBLE_EQ(Profile->Seconds, 1.0);
   EXPECT_EQ(Profile->Invocations, 3u);
   EXPECT_EQ(Profile->Dispatches, 142u);
+  EXPECT_EQ(Profile->DeltaTuples, 9u);
+  // Every execution is kept as an iteration sample, in order.
+  ASSERT_EQ(Profile->Iterations.size(), 3u);
+  EXPECT_EQ(Profile->Iterations[0].DeltaTuples, 7u);
+  EXPECT_EQ(Profile->Iterations[1].DeltaTuples, 2u);
+  EXPECT_EQ(Profile->Iterations[2].DeltaTuples, 0u);
 }
 
-TEST(ProfilerTest, FindUnknownLabelIsNull) {
+TEST(ProfilerTest, FindUnknownLabelIsEmpty) {
   Profiler Prof;
   Prof.registerRule("known");
-  EXPECT_EQ(Prof.find("unknown"), nullptr);
-  ASSERT_NE(Prof.find("known"), nullptr);
+  EXPECT_FALSE(Prof.find("unknown").has_value());
+  ASSERT_TRUE(Prof.find("known").has_value());
   EXPECT_EQ(Prof.find("known")->Invocations, 0u);
+}
+
+TEST(ProfilerTest, RegisterRuleKeepsMetadata) {
+  Profiler Prof;
+  RuleMeta Meta;
+  Meta.Stratum = 2;
+  Meta.Relation = "path";
+  Meta.Version = 1;
+  Meta.Recursive = true;
+  std::size_t Id = Prof.registerRule("path... [v1]", Meta);
+  // Re-registration keeps the first metadata.
+  EXPECT_EQ(Prof.registerRule("path... [v1]"), Id);
+  std::optional<RuleProfile> Profile = Prof.find("path... [v1]");
+  ASSERT_TRUE(Profile.has_value());
+  EXPECT_EQ(Profile->Meta.Stratum, 2);
+  EXPECT_EQ(Profile->Meta.Relation, "path");
+  EXPECT_EQ(Profile->Meta.Version, 1);
+  EXPECT_TRUE(Profile->Meta.Recursive);
 }
 
 constexpr const char *TcSource = R"(
@@ -131,7 +155,8 @@ TEST(ProfilerTest, ConcurrentRecordLosesNothing) {
   for (auto &Thread : Threads)
     Thread.join();
   for (const std::size_t Id : {IdA, IdB}) {
-    const RuleProfile &Profile = Prof.rules()[Id];
+    // rules() returns a snapshot copy; keep it alive past this expression.
+    const RuleProfile Profile = Prof.rules()[Id];
     EXPECT_EQ(Profile.Invocations,
               static_cast<std::uint64_t>(NumThreads * PerThread / 2));
     EXPECT_EQ(Profile.Dispatches,

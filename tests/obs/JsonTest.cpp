@@ -1,0 +1,115 @@
+//===- tests/obs/JsonTest.cpp - JSON value/writer/parser tests -----------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the dependency-free JSON library behind the observability
+/// sinks: construction, deterministic order-preserving emission, string
+/// escaping, and parse round-trips including malformed-input diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace stird::obs::json;
+
+namespace {
+
+TEST(JsonTest, DumpScalars) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(nullptr).dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(std::uint64_t(0)).dump(), "0");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, IntegralNumbersDumpWithoutExponent) {
+  // Counter values must stay readable (and parseable by the checker
+  // script) — no 1e+06 notation for integers that fit a double exactly.
+  EXPECT_EQ(Value(std::uint64_t(1000000)).dump(), "1000000");
+  EXPECT_EQ(Value(std::int64_t(-25)).dump(), "-25");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  Object O;
+  O.emplace_back("zebra", Value(1));
+  O.emplace_back("apple", Value(2));
+  O.emplace_back("mango", Value(3));
+  EXPECT_EQ(Value(std::move(O)).dump(),
+            "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+}
+
+TEST(JsonTest, EscapeControlCharactersAndQuotes) {
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(Value(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  Object O;
+  O.emplace_back("k", Value(Array{Value(1), Value(2)}));
+  const std::string Dumped = Value(std::move(O)).dump(2);
+  EXPECT_NE(Dumped.find("{\n  \"k\": [\n"), std::string::npos);
+  EXPECT_EQ(Dumped.find("\t"), std::string::npos);
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const std::string Text =
+      R"({"schema":"v1","n":3,"neg":-2.5,"ok":true,"none":null,)"
+      R"("list":[1,"two",{"three":3}]})";
+  std::optional<Value> Doc = parse(Text);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("schema")->asString(), "v1");
+  EXPECT_EQ(Doc->find("n")->asUint(), 3u);
+  EXPECT_DOUBLE_EQ(Doc->find("neg")->asNumber(), -2.5);
+  EXPECT_TRUE(Doc->find("ok")->asBool());
+  EXPECT_TRUE(Doc->find("none")->isNull());
+  const Array &List = Doc->find("list")->asArray();
+  ASSERT_EQ(List.size(), 3u);
+  EXPECT_EQ(List[1].asString(), "two");
+  EXPECT_EQ(List[2].find("three")->asUint(), 3u);
+  // Re-emitting the parsed document reproduces the input byte-for-byte
+  // (orders are preserved, numbers stay canonical).
+  EXPECT_EQ(Doc->dump(), Text);
+}
+
+TEST(JsonTest, ParseEscapes) {
+  std::optional<Value> Doc = parse(R"(["a\"b\\c\n\t\u0041"])");
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->asArray()[0].asString(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char *Bad :
+       {"", "{", "[1,]", "{\"k\":}", "nul", "\"open", "{\"a\" 1}",
+        "[1] trailing"}) {
+    std::string Error;
+    EXPECT_FALSE(parse(Bad, &Error).has_value()) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+  }
+}
+
+TEST(JsonTest, ErrorsCarryByteOffsets) {
+  std::string Error;
+  EXPECT_FALSE(parse("[1, 2, x]", &Error).has_value());
+  EXPECT_NE(Error.find("7"), std::string::npos) << Error;
+}
+
+TEST(JsonTest, FindOnNonObjectIsNull) {
+  EXPECT_EQ(Value(5).find("k"), nullptr);
+  EXPECT_EQ(Value(Array{}).find("k"), nullptr);
+  Object O;
+  O.emplace_back("present", Value(1));
+  Value V(std::move(O));
+  EXPECT_NE(V.find("present"), nullptr);
+  EXPECT_EQ(V.find("absent"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,277 @@
+//===- tests/obs/ProfileSinkTest.cpp - Profile document & counters -------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Engine-level tests of the observability counters and the JSON profile
+/// sink. The load-bearing contract: per-relation aggregate counters are
+/// *identical* at every thread count on both the dynamic and the static
+/// engines, because workers count into private blocks merged at the
+/// partition barrier and thread-order-dependent quantities (index-scan
+/// hits, new-insert growth) are computed on the main thread after it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Program.h"
+#include "interp/Engine.h"
+#include "obs/Json.h"
+#include "obs/Profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace stird;
+using namespace stird::interp;
+
+namespace {
+
+constexpr const char *TcSource = R"(
+.decl edge(a:number, b:number)
+.decl path(a:number, b:number)
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+)";
+
+/// Keeps the program alive for as long as the engine that references its
+/// RAM and symbol table. Members destroy in reverse order: engine first.
+struct TcRun {
+  std::unique_ptr<core::Program> Prog;
+  std::unique_ptr<Engine> E;
+  Engine *operator->() const { return E.get(); }
+  explicit operator bool() const { return E != nullptr; }
+};
+
+TcRun runTc(Backend TheBackend, std::size_t NumThreads,
+            RamDomain ChainLength = 40) {
+  TcRun Run;
+  Run.Prog = core::Program::fromSource(TcSource);
+  EXPECT_NE(Run.Prog, nullptr);
+  if (!Run.Prog)
+    return Run;
+  EngineOptions Options;
+  Options.TheBackend = TheBackend;
+  Options.NumThreads = NumThreads;
+  Run.E = Run.Prog->makeEngine(Options);
+  std::vector<DynTuple> Edges;
+  for (RamDomain I = 0; I < ChainLength; ++I)
+    Edges.push_back({I, I + 1});
+  Run.E->insertTuples("edge", Edges);
+  Run.E->run();
+  return Run;
+}
+
+/// Flattens the engine's stats into name → counter list for comparison.
+std::map<std::string, std::vector<std::uint64_t>>
+statsByName(const Engine &E) {
+  std::map<std::string, std::vector<std::uint64_t>> Out;
+  const obs::StatsBlock &Stats = E.getStats();
+  const auto &Rels = E.getStatsRelations();
+  for (std::size_t I = 0; I < Rels.size(); ++I) {
+    const obs::RelationStats &RS = Stats[I];
+    Out[Rels[I]->getName()] = {RS.Inserts,        RS.InsertsNew,
+                               RS.Contains,       RS.Scans,
+                               RS.ScanTuples,     RS.IndexScans,
+                               RS.IndexScanHits,  RS.IndexScanTuples,
+                               RS.Reorders,       RS.PeakSize};
+  }
+  return Out;
+}
+
+TEST(ProfileSinkTest, CountersReflectTheRun) {
+  auto E = runTc(Backend::DynamicAdapter, 1);
+  ASSERT_TRUE(E);
+  auto Stats = statsByName(*E.E);
+  ASSERT_TRUE(Stats.count("edge"));
+  ASSERT_TRUE(Stats.count("path"));
+  // 40-edge chain: path reaches 40*41/2 tuples; its counters saw that
+  // growth and the semi-naive loop probed it for dedup.
+  const auto &Path = Stats["path"];
+  EXPECT_EQ(Path[1], 40u * 41u / 2u) << "inserts_new != final size";
+  EXPECT_GE(Path[0], Path[1]) << "inserts < inserts that grew";
+  EXPECT_GT(Path[2], 0u) << "no contains despite semi-naive guard";
+  EXPECT_EQ(Path[9], 40u * 41u / 2u) << "peak size";
+  // edge is only read: scanned by the base rule, range-searched by the
+  // recursive join, never written after load.
+  const auto &Edge = Stats["edge"];
+  EXPECT_GT(Edge[5], 0u) << "edge index scans";
+  EXPECT_GT(Edge[6], 0u) << "edge index-scan hits";
+  EXPECT_GE(Edge[5], Edge[6]) << "hits cannot exceed initiations";
+  EXPECT_GT(Edge[7], 0u) << "edge index-scan tuples";
+  EXPECT_EQ(Edge[9], 40u) << "edge peak size";
+}
+
+/// The thread-invariance contract, on both engine families. PeakSize,
+/// IndexScanHits and InsertsNew are the delicate ones: they are computed
+/// from set-semantic quantities on the main thread, never per-partition.
+TEST(ProfileSinkTest, CountersAreThreadCountInvariant) {
+  for (Backend TheBackend :
+       {Backend::StaticLambda, Backend::StaticPlain, Backend::DynamicAdapter,
+        Backend::Legacy}) {
+    auto Reference = runTc(TheBackend, 1);
+    ASSERT_TRUE(Reference);
+    auto Expected = statsByName(*Reference.E);
+    for (std::size_t NumThreads : {2u, 4u}) {
+      auto E = runTc(TheBackend, NumThreads);
+      ASSERT_TRUE(E);
+      EXPECT_EQ(statsByName(*E.E), Expected)
+          << "backend " << static_cast<int>(TheBackend) << " at -j"
+          << NumThreads;
+    }
+  }
+}
+
+TEST(ProfileSinkTest, CollectStatsOffLeavesCountersZero) {
+  auto Prog = core::Program::fromSource(TcSource);
+  ASSERT_NE(Prog, nullptr);
+  EngineOptions Options;
+  Options.CollectStats = false;
+  auto E = Prog->makeEngine(Options);
+  E->insertTuples("edge", {{1, 2}, {2, 3}});
+  E->run();
+  for (const obs::RelationStats &RS : E->getStats()) {
+    EXPECT_EQ(RS.Inserts, 0u);
+    EXPECT_EQ(RS.Scans, 0u);
+    EXPECT_EQ(RS.IndexScans, 0u);
+  }
+  EXPECT_EQ(E->getTuples("path").size(), 3u);
+}
+
+/// The JSON document carries every schema-required key with the right
+/// shape (docs/profile-schema.md).
+TEST(ProfileSinkTest, ProfileDocumentHasSchemaShape) {
+  auto E = runTc(Backend::StaticLambda, 4);
+  ASSERT_TRUE(E);
+  obs::ProfileContext Ctx;
+  Ctx.Program = "tc.dl";
+  Ctx.Backend = "sti";
+  Ctx.Threads = 4;
+  Ctx.TotalSeconds = 0.5;
+  obs::json::Value Doc = obs::buildProfile(*E.E, Ctx);
+
+  // Serialize and re-parse: the document the CLI writes must survive its
+  // own reader.
+  std::string Error;
+  std::optional<obs::json::Value> Parsed =
+      obs::json::parse(Doc.dump(2), &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+
+  ASSERT_NE(Parsed->find("schema"), nullptr);
+  EXPECT_EQ(Parsed->find("schema")->asString(), obs::ProfileSchemaVersion);
+  EXPECT_EQ(Parsed->find("program")->asString(), "tc.dl");
+  EXPECT_EQ(Parsed->find("backend")->asString(), "sti");
+  EXPECT_EQ(Parsed->find("threads")->asUint(), 4u);
+  EXPECT_GT(Parsed->find("dispatches")->asUint(), 0u);
+
+  const obs::json::Value *Strata = Parsed->find("strata");
+  ASSERT_NE(Strata, nullptr);
+  ASSERT_TRUE(Strata->isArray());
+  ASSERT_FALSE(Strata->asArray().empty());
+  bool SawRecursiveRule = false;
+  for (const obs::json::Value &Stratum : Strata->asArray()) {
+    ASSERT_NE(Stratum.find("id"), nullptr);
+    ASSERT_NE(Stratum.find("seconds"), nullptr);
+    ASSERT_NE(Stratum.find("recursive"), nullptr);
+    const obs::json::Value *Rules = Stratum.find("rules");
+    ASSERT_NE(Rules, nullptr);
+    for (const obs::json::Value &Rule : Rules->asArray()) {
+      for (const char *Key :
+           {"label", "relation", "stratum", "version", "recursive",
+            "seconds", "invocations", "dispatches", "delta_tuples",
+            "iterations"})
+        EXPECT_NE(Rule.find(Key), nullptr) << Key;
+      if (Rule.find("recursive")->asBool()) {
+        SawRecursiveRule = true;
+        const obs::json::Value *Iters = Rule.find("iterations");
+        ASSERT_TRUE(Iters->isArray());
+        // A 40-chain needs many semi-naive rounds; each carries a sample.
+        EXPECT_GT(Iters->asArray().size(), 10u);
+        std::uint64_t Delta = 0;
+        for (const obs::json::Value &Sample : Iters->asArray()) {
+          ASSERT_NE(Sample.find("seconds"), nullptr);
+          ASSERT_NE(Sample.find("dispatches"), nullptr);
+          ASSERT_NE(Sample.find("delta_tuples"), nullptr);
+          Delta += Sample.find("delta_tuples")->asUint();
+        }
+        EXPECT_EQ(Delta, Rule.find("delta_tuples")->asUint())
+            << "iteration deltas must sum to the rule total";
+      }
+    }
+  }
+  EXPECT_TRUE(SawRecursiveRule);
+
+  const obs::json::Value *Relations = Parsed->find("relations");
+  ASSERT_NE(Relations, nullptr);
+  ASSERT_TRUE(Relations->isArray());
+  bool SawPath = false;
+  for (const obs::json::Value &Rel : Relations->asArray()) {
+    for (const char *Key :
+         {"name", "arity", "kind", "indexes", "final_size", "peak_size",
+          "inserts", "inserts_new", "contains", "scans", "scan_tuples",
+          "index_scans", "index_scan_hits", "index_scan_tuples", "reorders"})
+      EXPECT_NE(Rel.find(Key), nullptr) << Key;
+    if (Rel.find("name")->asString() == "path") {
+      SawPath = true;
+      EXPECT_EQ(Rel.find("final_size")->asUint(), 40u * 41u / 2u);
+      EXPECT_EQ(Rel.find("arity")->asUint(), 2u);
+      EXPECT_EQ(Rel.find("kind")->asString(), "btree");
+    }
+  }
+  EXPECT_TRUE(SawPath);
+}
+
+/// The text report sorts rules by descending time, ends the rule table
+/// with a totals row, and keeps the rule label last on each line.
+TEST(ProfileSinkTest, TextReportIsSortedWithTotals) {
+  auto E = runTc(Backend::DynamicAdapter, 1);
+  ASSERT_TRUE(E);
+  const std::string Report = obs::renderTextReport(*E.E);
+
+  // Header, one line per rule, a totals row, then the relation table.
+  std::vector<std::string> Lines;
+  std::size_t Start = 0;
+  while (Start < Report.size()) {
+    std::size_t End = Report.find('\n', Start);
+    if (End == std::string::npos)
+      End = Report.size();
+    Lines.push_back(Report.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  ASSERT_GE(Lines.size(), 4u);
+  EXPECT_NE(Lines[0].find("seconds"), std::string::npos);
+  EXPECT_NE(Lines[0].find("rule"), std::string::npos);
+
+  double Prev = 1e30;
+  std::size_t RuleLines = 0;
+  bool SawTotal = false;
+  for (std::size_t I = 1; I < Lines.size() && !Lines[I].empty(); ++I) {
+    double Seconds = 0;
+    if (std::sscanf(Lines[I].c_str(), "%lf", &Seconds) != 1)
+      continue;
+    if (Lines[I].find("  total") != std::string::npos ||
+        Lines[I].rfind("total") == Lines[I].size() - 5) {
+      SawTotal = true;
+      break;
+    }
+    EXPECT_LE(Seconds, Prev) << "report not sorted by descending seconds";
+    Prev = Seconds;
+    ++RuleLines;
+  }
+  EXPECT_GE(RuleLines, 2u);
+  EXPECT_TRUE(SawTotal);
+  // The relation table follows after a blank line.
+  EXPECT_NE(Report.find("relation"), std::string::npos);
+  EXPECT_NE(Report.find("\n\n"), std::string::npos);
+
+  // Top-N truncation notes what it dropped.
+  const std::string Truncated = obs::renderTextReport(*E.E, 1);
+  EXPECT_NE(Truncated.find("more rules"), std::string::npos);
+}
+
+} // namespace

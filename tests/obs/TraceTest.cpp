@@ -1,0 +1,170 @@
+//===- tests/obs/TraceTest.cpp - Chrome trace-event output tests ---------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural tests of the Chrome trace-event sink: the emitted document
+/// must parse as JSON, carry per-track thread-name metadata, keep begin/end
+/// phases balanced on every track, and stamp non-decreasing timestamps —
+/// the invariants chrome://tracing and Perfetto rely on. Workers record
+/// into private buffers appended at the partition barrier, so a -j4 run
+/// must yield one track per worker without racing (the suite carries the
+/// `sanitize` label for ThreadSanitizer builds).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Program.h"
+#include "interp/Engine.h"
+#include "obs/Json.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace stird;
+using namespace stird::interp;
+using stird::obs::json::Value;
+
+namespace {
+
+constexpr const char *TcSource = R"(
+.decl edge(a:number, b:number)
+.decl path(a:number, b:number)
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+)";
+
+std::string traceOf(Backend TheBackend, std::size_t NumThreads) {
+  auto Prog = core::Program::fromSource(TcSource);
+  EXPECT_NE(Prog, nullptr);
+  if (!Prog)
+    return {};
+  EngineOptions Options;
+  Options.TheBackend = TheBackend;
+  Options.NumThreads = NumThreads;
+  Options.EnableTrace = true;
+  auto E = Prog->makeEngine(Options);
+  std::vector<DynTuple> Edges;
+  for (RamDomain I = 0; I < 64; ++I)
+    Edges.push_back({I, I + 1});
+  E->insertTuples("edge", Edges);
+  E->run();
+  const obs::TraceRecorder *Trace = E->getTrace();
+  EXPECT_NE(Trace, nullptr);
+  EXPECT_GT(Trace->size(), 0u);
+  return Trace->toJson();
+}
+
+/// Validates the trace-format invariants and returns the set of span
+/// tracks (tids of B/E events) seen.
+std::set<std::uint64_t> checkTrace(const std::string &Text) {
+  std::string Error;
+  std::optional<Value> Doc = stird::obs::json::parse(Text, &Error);
+  EXPECT_TRUE(Doc.has_value()) << Error;
+  if (!Doc)
+    return {};
+  EXPECT_EQ(Doc->find("displayTimeUnit")->asString(), "ms");
+  const Value *Events = Doc->find("traceEvents");
+  EXPECT_NE(Events, nullptr);
+  if (!Events || !Events->isArray())
+    return {};
+
+  std::map<std::uint64_t, int> Depth;          // open spans per track
+  std::map<std::uint64_t, std::uint64_t> Last; // last ts per track
+  std::set<std::uint64_t> SpanTids, NamedTids;
+  bool SawProcessName = false;
+  std::uint64_t PrevTs = 0;
+  bool FirstTs = true;
+  for (const Value &E : Events->asArray()) {
+    const Value *Ph = E.find("ph");
+    EXPECT_NE(Ph, nullptr) << "event without ph";
+    if (!Ph)
+      continue;
+    const std::string Phase = Ph->asString();
+    if (Phase == "M") {
+      const std::string Name = E.find("name")->asString();
+      if (Name == "process_name")
+        SawProcessName = true;
+      if (Name == "thread_name")
+        NamedTids.insert(E.find("tid")->asUint());
+      continue;
+    }
+    EXPECT_TRUE(Phase == "B" || Phase == "E") << Phase;
+    if (Phase != "B" && Phase != "E")
+      continue;
+    const std::uint64_t Tid = E.find("tid")->asUint();
+    const std::uint64_t Ts = E.find("ts")->asUint();
+    SpanTids.insert(Tid);
+    // Emission order is sorted by timestamp (Perfetto-friendly).
+    if (!FirstTs)
+      EXPECT_GE(Ts, PrevTs);
+    FirstTs = false;
+    PrevTs = Ts;
+    if (Last.count(Tid))
+      EXPECT_GE(Ts, Last[Tid]) << "track " << Tid << " went backwards";
+    Last[Tid] = Ts;
+    if (Phase == "B") {
+      EXPECT_NE(E.find("name"), nullptr);
+      ++Depth[Tid];
+    } else {
+      --Depth[Tid];
+      EXPECT_GE(Depth[Tid], 0) << "E without B on track " << Tid;
+    }
+  }
+  EXPECT_TRUE(SawProcessName);
+  for (const auto &[Tid, D] : Depth)
+    EXPECT_EQ(D, 0) << "unbalanced spans on track " << Tid;
+  // Every span track has thread-name metadata.
+  for (std::uint64_t Tid : SpanTids)
+    EXPECT_TRUE(NamedTids.count(Tid)) << "unnamed track " << Tid;
+  return SpanTids;
+}
+
+TEST(TraceTest, SequentialRunUsesOneTrack) {
+  const std::string Text = traceOf(Backend::DynamicAdapter, 1);
+  ASSERT_FALSE(Text.empty());
+  std::set<std::uint64_t> Tids = checkTrace(Text);
+  EXPECT_EQ(Tids, std::set<std::uint64_t>{0});
+  // The top-level phases and the rule spans land on the main track.
+  EXPECT_NE(Text.find("\"generate tree\""), std::string::npos);
+  EXPECT_NE(Text.find("\"execute\""), std::string::npos);
+  EXPECT_NE(Text.find("path(x, z) :- path(x, y), edge(y, z)."),
+            std::string::npos);
+}
+
+TEST(TraceTest, ParallelRunHasOneTrackPerWorker) {
+  for (Backend TheBackend :
+       {Backend::DynamicAdapter, Backend::StaticLambda}) {
+    const std::string Text = traceOf(TheBackend, 4);
+    ASSERT_FALSE(Text.empty());
+    std::set<std::uint64_t> Tids = checkTrace(Text);
+    EXPECT_TRUE(Tids.count(0)) << "no main track";
+    // A 64-edge chain partitions across the pool: worker tracks 1..4
+    // carry the per-partition scan spans.
+    EXPECT_GE(Tids.size(), 3u) << "no worker tracks in a -j4 trace";
+    for (std::uint64_t Tid : Tids)
+      EXPECT_LE(Tid, 4u);
+    // Worker spans carry the partition's tuple count; barrier spans mark
+    // where buffered inserts and counters merge.
+    EXPECT_NE(Text.find("\"tuples\":"), std::string::npos);
+    EXPECT_NE(Text.find("\"merge "), std::string::npos);
+    EXPECT_NE(Text.find("\"worker 0\""), std::string::npos);
+  }
+}
+
+TEST(TraceTest, TraceOffByDefault) {
+  auto Prog = core::Program::fromSource(TcSource);
+  ASSERT_NE(Prog, nullptr);
+  auto E = Prog->makeEngine();
+  E->insertTuples("edge", {{1, 2}});
+  E->run();
+  EXPECT_EQ(E->getTrace(), nullptr);
+}
+
+} // namespace

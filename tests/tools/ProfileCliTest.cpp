@@ -1,0 +1,170 @@
+//===- tests/tools/ProfileCliTest.cpp - Profile/trace CLI tests ----------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests of the observability sinks from the command line:
+/// `stird --profile=<file>` / `--trace=<file>` write schema-valid JSON, and
+/// the `stird-profile` analyzer reads the profile back and prints the
+/// hot-rule, relation-growth and convergence tables.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef STIRD_TOOL_PATH
+#error "STIRD_TOOL_PATH must point at the stird driver binary"
+#endif
+#ifndef STIRD_PROFILE_TOOL_PATH
+#error "STIRD_PROFILE_TOOL_PATH must point at the stird-profile binary"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int ExitCode = 0;
+  std::string Output; // stdout + stderr
+};
+
+CommandResult runCommand(const std::string &Binary, const std::string &Args,
+                         const std::string &Dir) {
+  const std::string OutPath = Dir + "/cli.out";
+  const std::string Command = Binary + " " + Args + " > " + OutPath + " 2>&1";
+  CommandResult Result;
+  Result.ExitCode = std::system(Command.c_str());
+  std::ifstream In(OutPath);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Result.Output = Buffer.str();
+  return Result;
+}
+
+/// A scratch directory with a transitive-closure program over a chain long
+/// enough to exercise multiple fixpoint iterations and -j4 partitioning.
+std::string makeFixture(const std::string &Name) {
+  const std::string Dir = ::testing::TempDir() + "/obs_cli_" + Name;
+  std::filesystem::create_directories(Dir);
+  std::ofstream(Dir + "/tc.dl") << ".decl edge(a:number, b:number)\n"
+                                   ".decl path(a:number, b:number)\n"
+                                   ".input edge\n.output path\n"
+                                   "path(x, y) :- edge(x, y).\n"
+                                   "path(x, z) :- path(x, y), edge(y, z).\n";
+  std::ofstream Facts(Dir + "/edge.facts");
+  for (int I = 1; I <= 24; ++I)
+    Facts << I << "\t" << I + 1 << "\n";
+  return Dir;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+TEST(ProfileCliTest, ProfileFileIsSchemaValidJson) {
+  std::string Dir = makeFixture("profile_json");
+  CommandResult Result = runCommand(
+      STIRD_TOOL_PATH,
+      Dir + "/tc.dl -F " + Dir + " -D " + Dir + " -j 4 --profile=" + Dir +
+          "/p.json --trace=" + Dir + "/t.json",
+      Dir);
+  ASSERT_EQ(Result.ExitCode, 0) << Result.Output;
+  EXPECT_NE(Result.Output.find("profile written to"), std::string::npos);
+  EXPECT_NE(Result.Output.find("trace written to"), std::string::npos);
+
+  std::string Error;
+  std::optional<stird::obs::json::Value> Profile =
+      stird::obs::json::parse(readFile(Dir + "/p.json"), &Error);
+  ASSERT_TRUE(Profile.has_value()) << Error;
+  EXPECT_EQ(Profile->find("schema")->asString(),
+            stird::obs::ProfileSchemaVersion);
+  EXPECT_EQ(Profile->find("backend")->asString(), "sti");
+  EXPECT_EQ(Profile->find("threads")->asUint(), 4u);
+  ASSERT_NE(Profile->find("strata"), nullptr);
+  ASSERT_NE(Profile->find("relations"), nullptr);
+
+  std::optional<stird::obs::json::Value> Trace =
+      stird::obs::json::parse(readFile(Dir + "/t.json"), &Error);
+  ASSERT_TRUE(Trace.has_value()) << Error;
+  ASSERT_NE(Trace->find("traceEvents"), nullptr);
+  EXPECT_GT(Trace->find("traceEvents")->asArray().size(), 4u);
+}
+
+TEST(ProfileCliTest, BareProfileFlagPrintsSortedReport) {
+  std::string Dir = makeFixture("profile_text");
+  CommandResult Result = runCommand(
+      STIRD_TOOL_PATH, Dir + "/tc.dl -F " + Dir + " -D " + Dir + " --profile",
+      Dir);
+  ASSERT_EQ(Result.ExitCode, 0) << Result.Output;
+  // Rule table with a totals row, then the relation counter table.
+  EXPECT_NE(Result.Output.find("  total"), std::string::npos)
+      << Result.Output;
+  EXPECT_NE(Result.Output.find("  path"), std::string::npos);
+  EXPECT_NE(Result.Output.find("idx-scans"), std::string::npos);
+}
+
+TEST(ProfileCliTest, AnalyzerPrintsTables) {
+  std::string Dir = makeFixture("analyzer");
+  CommandResult Run = runCommand(
+      STIRD_TOOL_PATH,
+      Dir + "/tc.dl -F " + Dir + " -D " + Dir + " --profile=" + Dir +
+          "/p.json",
+      Dir);
+  ASSERT_EQ(Run.ExitCode, 0) << Run.Output;
+
+  CommandResult Analyzed =
+      runCommand(STIRD_PROFILE_TOOL_PATH, Dir + "/p.json", Dir);
+  ASSERT_EQ(Analyzed.ExitCode, 0) << Analyzed.Output;
+  EXPECT_NE(Analyzed.Output.find("program:"), std::string::npos);
+  EXPECT_NE(Analyzed.Output.find("Hot rules"), std::string::npos);
+  EXPECT_NE(Analyzed.Output.find("Relations:"), std::string::npos);
+  EXPECT_NE(Analyzed.Output.find("Convergence"), std::string::npos);
+  EXPECT_NE(
+      Analyzed.Output.find("path(x, z) :- path(x, y), edge(y, z). [v0]"),
+      std::string::npos)
+      << Analyzed.Output;
+  // The convergence table lists the per-iteration fixpoint drain; a
+  // 24-edge chain needs a two-digit iteration count.
+  EXPECT_NE(Analyzed.Output.find("    10 "), std::string::npos)
+      << Analyzed.Output;
+
+  CommandResult Top =
+      runCommand(STIRD_PROFILE_TOOL_PATH, Dir + "/p.json --top 1", Dir);
+  ASSERT_EQ(Top.ExitCode, 0);
+  EXPECT_NE(Top.Output.find("top 1 of"), std::string::npos) << Top.Output;
+}
+
+TEST(ProfileCliTest, AnalyzerRejectsBadInput) {
+  std::string Dir = makeFixture("analyzer_bad");
+  CommandResult Missing =
+      runCommand(STIRD_PROFILE_TOOL_PATH, Dir + "/nope.json", Dir);
+  EXPECT_NE(Missing.ExitCode, 0);
+  EXPECT_NE(Missing.Output.find("cannot read"), std::string::npos);
+
+  std::ofstream(Dir + "/garbage.json") << "{not json";
+  CommandResult Garbage =
+      runCommand(STIRD_PROFILE_TOOL_PATH, Dir + "/garbage.json", Dir);
+  EXPECT_NE(Garbage.ExitCode, 0);
+  EXPECT_NE(Garbage.Output.find("malformed JSON"), std::string::npos);
+
+  std::ofstream(Dir + "/wrong.json") << "{\"schema\":\"other-v9\"}";
+  CommandResult Wrong =
+      runCommand(STIRD_PROFILE_TOOL_PATH, Dir + "/wrong.json", Dir);
+  EXPECT_NE(Wrong.ExitCode, 0);
+  EXPECT_NE(Wrong.Output.find("unsupported profile schema"),
+            std::string::npos);
+}
+
+} // namespace

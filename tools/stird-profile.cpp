@@ -1,0 +1,213 @@
+//===- tools/stird-profile.cpp - Profile log analyzer --------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reads a `stird --profile=<file>` JSON document and prints the analyses
+/// the raw log buries: the hot-rule table, per-relation growth counters,
+/// and the per-iteration convergence of every recursive rule.
+///
+///   stird-profile <profile.json> [--top N]
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using stird::obs::json::Value;
+
+namespace {
+
+struct RuleRow {
+  std::string Label;
+  std::string Relation;
+  std::int64_t Stratum = -1;
+  bool Recursive = false;
+  double Seconds = 0;
+  std::uint64_t Invocations = 0;
+  std::uint64_t Dispatches = 0;
+  std::uint64_t DeltaTuples = 0;
+  const Value *Iterations = nullptr;
+};
+
+double numberOr(const Value *V, double Default) {
+  return V && V->isNumber() ? V->asNumber() : Default;
+}
+
+std::string stringOr(const Value *V, const std::string &Default) {
+  return V && V->isString() ? V->asString() : Default;
+}
+
+[[noreturn]] void die(const std::string &Message) {
+  std::fprintf(stderr, "stird-profile: %s\n", Message.c_str());
+  std::exit(1);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Path;
+  std::size_t TopN = 10;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--top") == 0) {
+      if (I + 1 >= argc)
+        die("--top requires a number");
+      TopN = static_cast<std::size_t>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (std::strcmp(argv[I], "-h") == 0 ||
+               std::strcmp(argv[I], "--help") == 0) {
+      std::printf("usage: stird-profile <profile.json> [--top N]\n");
+      return 0;
+    } else if (Path.empty()) {
+      Path = argv[I];
+    } else {
+      die(std::string("unexpected argument '") + argv[I] + "'");
+    }
+  }
+  if (Path.empty())
+    die("usage: stird-profile <profile.json> [--top N]");
+
+  std::ifstream In(Path);
+  if (!In)
+    die("cannot read '" + Path + "'");
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+
+  std::string Error;
+  std::optional<Value> Doc = stird::obs::json::parse(Buffer.str(), &Error);
+  if (!Doc)
+    die("malformed JSON in '" + Path + "': " + Error);
+
+  const std::string Schema = stringOr(Doc->find("schema"), "");
+  if (Schema != stird::obs::ProfileSchemaVersion)
+    die("unsupported profile schema '" + Schema + "' (expected " +
+        std::string(stird::obs::ProfileSchemaVersion) + ")");
+
+  std::printf("program:  %s\n", stringOr(Doc->find("program"), "?").c_str());
+  std::printf("backend:  %s, %llu thread(s)\n",
+              stringOr(Doc->find("backend"), "?").c_str(),
+              static_cast<unsigned long long>(
+                  numberOr(Doc->find("threads"), 1)));
+  std::printf("runtime:  %.6f s, %llu dispatches\n",
+              numberOr(Doc->find("total_seconds"), 0),
+              static_cast<unsigned long long>(
+                  numberOr(Doc->find("dispatches"), 0)));
+
+  const Value *Strata = Doc->find("strata");
+  if (!Strata || !Strata->isArray())
+    die("profile has no 'strata' array");
+
+  std::vector<RuleRow> Rules;
+  for (const Value &Stratum : Strata->asArray()) {
+    const Value *RuleArr = Stratum.find("rules");
+    if (!RuleArr || !RuleArr->isArray())
+      continue;
+    for (const Value &Rule : RuleArr->asArray()) {
+      RuleRow Row;
+      Row.Label = stringOr(Rule.find("label"), "?");
+      Row.Relation = stringOr(Rule.find("relation"), "");
+      Row.Stratum = static_cast<std::int64_t>(
+          numberOr(Rule.find("stratum"), -1));
+      const Value *Rec = Rule.find("recursive");
+      Row.Recursive = Rec && Rec->isBool() && Rec->asBool();
+      Row.Seconds = numberOr(Rule.find("seconds"), 0);
+      Row.Invocations = static_cast<std::uint64_t>(
+          numberOr(Rule.find("invocations"), 0));
+      Row.Dispatches = static_cast<std::uint64_t>(
+          numberOr(Rule.find("dispatches"), 0));
+      Row.DeltaTuples = static_cast<std::uint64_t>(
+          numberOr(Rule.find("delta_tuples"), 0));
+      Row.Iterations = Rule.find("iterations");
+      Rules.push_back(std::move(Row));
+    }
+  }
+
+  // Hot rules.
+  std::vector<const RuleRow *> Hot;
+  double TotalSeconds = 0;
+  for (const RuleRow &Row : Rules) {
+    Hot.push_back(&Row);
+    TotalSeconds += Row.Seconds;
+  }
+  std::sort(Hot.begin(), Hot.end(), [](const RuleRow *A, const RuleRow *B) {
+    if (A->Seconds != B->Seconds)
+      return A->Seconds > B->Seconds;
+    return A->Label < B->Label;
+  });
+  std::printf("\nHot rules (top %zu of %zu):\n",
+              std::min(TopN, Hot.size()), Hot.size());
+  std::printf("%12s %6s %8s %14s %12s  %s\n", "seconds", "%", "invocs",
+              "dispatches", "tuples", "rule");
+  for (std::size_t I = 0; I < Hot.size() && I < TopN; ++I) {
+    const RuleRow &Row = *Hot[I];
+    std::printf("%12.6f %6.1f %8llu %14llu %12llu  %s\n", Row.Seconds,
+                TotalSeconds > 0 ? 100.0 * Row.Seconds / TotalSeconds : 0,
+                static_cast<unsigned long long>(Row.Invocations),
+                static_cast<unsigned long long>(Row.Dispatches),
+                static_cast<unsigned long long>(Row.DeltaTuples),
+                Row.Label.c_str());
+  }
+
+  // Relation growth.
+  const Value *Relations = Doc->find("relations");
+  if (Relations && Relations->isArray()) {
+    std::printf("\nRelations:\n");
+    std::printf("%10s %10s %10s %10s %12s %12s %10s  %s\n", "final",
+                "peak", "inserts", "new", "idx-scans", "idx-tuples",
+                "reorders", "relation");
+    for (const Value &Rel : Relations->asArray()) {
+      std::printf(
+          "%10llu %10llu %10llu %10llu %12llu %12llu %10llu  %s\n",
+          static_cast<unsigned long long>(
+              numberOr(Rel.find("final_size"), 0)),
+          static_cast<unsigned long long>(
+              numberOr(Rel.find("peak_size"), 0)),
+          static_cast<unsigned long long>(numberOr(Rel.find("inserts"), 0)),
+          static_cast<unsigned long long>(
+              numberOr(Rel.find("inserts_new"), 0)),
+          static_cast<unsigned long long>(
+              numberOr(Rel.find("index_scans"), 0)),
+          static_cast<unsigned long long>(
+              numberOr(Rel.find("index_scan_tuples"), 0)),
+          static_cast<unsigned long long>(
+              numberOr(Rel.find("reorders"), 0)),
+          stringOr(Rel.find("name"), "?").c_str());
+    }
+  }
+
+  // Convergence of recursive rules: the per-iteration delta curve shows
+  // how fast each fixpoint drains.
+  bool PrintedHeader = false;
+  for (const RuleRow &Row : Rules) {
+    if (!Row.Recursive || !Row.Iterations || !Row.Iterations->isArray() ||
+        Row.Iterations->asArray().empty())
+      continue;
+    if (!PrintedHeader) {
+      std::printf("\nConvergence (tuples per iteration):\n");
+      PrintedHeader = true;
+    }
+    std::printf("  %s\n", Row.Label.c_str());
+    std::printf("  %6s %12s %12s %14s\n", "iter", "seconds", "tuples",
+                "dispatches");
+    std::size_t Iter = 0;
+    for (const Value &Sample : Row.Iterations->asArray()) {
+      std::printf("  %6zu %12.6f %12llu %14llu\n", Iter++,
+                  numberOr(Sample.find("seconds"), 0),
+                  static_cast<unsigned long long>(
+                      numberOr(Sample.find("delta_tuples"), 0)),
+                  static_cast<unsigned long long>(
+                      numberOr(Sample.find("dispatches"), 0)));
+    }
+  }
+  return 0;
+}

@@ -19,11 +19,15 @@
 ///   --fuse-conditions     enable fused-condition super-instructions (5.2)
 ///   --dump-ram            print the RAM program and exit
 ///   --profile             print the per-rule profile after the run
+///   --profile=<file>      write the JSON profile document instead
+///   --trace=<file>        write a Chrome trace-event timeline of the run
 ///   --synthesize <file>   write the synthesized C++ instead of running
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Program.h"
+#include "obs/Profile.h"
+#include "obs/Trace.h"
 #include "synth/CppSynthesizer.h"
 #include "util/Timer.h"
 
@@ -42,8 +46,23 @@ static void usage() {
       "usage: stird <program.dl> [-F factdir] [-D outdir] "
       "[-j threads|0|auto] [--backend sti|sti-plain|dynamic|legacy]\n"
       "             [--no-super] [--no-reorder] [--fuse-conditions]\n"
-      "             [--dump-ram] [--dump-tree] [--profile] "
-      "[--synthesize <file.cpp>]\n");
+      "             [--dump-ram] [--dump-tree] [--profile[=<file.json>]] "
+      "[--trace=<file.json>]\n"
+      "             [--synthesize <file.cpp>]\n");
+}
+
+static const char *backendName(interp::Backend B) {
+  switch (B) {
+  case interp::Backend::StaticLambda:
+    return "sti";
+  case interp::Backend::StaticPlain:
+    return "sti-plain";
+  case interp::Backend::DynamicAdapter:
+    return "dynamic";
+  case interp::Backend::Legacy:
+    return "legacy";
+  }
+  return "unknown";
 }
 
 /// `-j 0` / `-j auto`: one thread per hardware thread. The standard allows
@@ -59,6 +78,8 @@ int main(int argc, char **argv) {
   bool DumpRam = false;
   bool DumpTree = false;
   bool Profile = false;
+  std::string ProfilePath;
+  std::string TracePath;
   std::string SynthesizePath;
 
   for (int I = 1; I < argc; ++I) {
@@ -119,6 +140,20 @@ int main(int argc, char **argv) {
       DumpTree = true;
     } else if (Arg == "--profile") {
       Profile = true;
+    } else if (Arg.rfind("--profile=", 0) == 0) {
+      Profile = true;
+      ProfilePath = Arg.substr(std::strlen("--profile="));
+      if (ProfilePath.empty()) {
+        std::fprintf(stderr, "--profile= requires a file name\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(std::strlen("--trace="));
+      if (TracePath.empty()) {
+        std::fprintf(stderr, "--trace= requires a file name\n");
+        return 1;
+      }
+      Options.EnableTrace = true;
     } else if (Arg == "--synthesize") {
       SynthesizePath = Next();
     } else if (Arg == "-h" || Arg == "--help") {
@@ -165,17 +200,35 @@ int main(int argc, char **argv) {
   auto Engine = Prog->makeEngine(Options);
   Timer T;
   Engine->run();
-  std::fprintf(stderr, "runtime: %.6f s, %llu dispatches\n", T.seconds(),
+  const double TotalSeconds = T.seconds();
+  std::fprintf(stderr, "runtime: %.6f s, %llu dispatches\n", TotalSeconds,
                static_cast<unsigned long long>(Engine->getNumDispatches()));
 
-  if (Profile) {
-    std::fprintf(stderr, "%12s %10s %14s  rule\n", "seconds", "rounds",
-                 "dispatches");
-    for (const auto &Rule : Engine->getProfiler().rules())
-      std::fprintf(stderr, "%12.6f %10llu %14llu  %s\n", Rule.Seconds,
-                   static_cast<unsigned long long>(Rule.Invocations),
-                   static_cast<unsigned long long>(Rule.Dispatches),
-                   Rule.Label.c_str());
+  if (Profile && ProfilePath.empty()) {
+    std::fprintf(stderr, "%s",
+                 obs::renderTextReport(*Engine).c_str());
+  } else if (Profile) {
+    obs::ProfileContext Ctx;
+    Ctx.Program = ProgramPath;
+    Ctx.Backend = backendName(Options.TheBackend);
+    Ctx.Threads = Options.NumThreads > 0 ? Options.NumThreads : 1;
+    Ctx.TotalSeconds = TotalSeconds;
+    std::ofstream Out(ProfilePath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", ProfilePath.c_str());
+      return 1;
+    }
+    Out << obs::buildProfile(*Engine, Ctx).dump(2);
+    std::fprintf(stderr, "profile written to %s\n", ProfilePath.c_str());
+  }
+  if (!TracePath.empty()) {
+    std::ofstream Out(TracePath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", TracePath.c_str());
+      return 1;
+    }
+    Out << Engine->getTrace()->toJson();
+    std::fprintf(stderr, "trace written to %s\n", TracePath.c_str());
   }
   return 0;
 }
