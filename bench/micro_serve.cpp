@@ -1,0 +1,159 @@
+//===- bench/micro_serve.cpp - Serving-layer latency and throughput -----------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's two costs, in the bench JSON format
+/// (--benchmark_format=json like every micro_* binary):
+///
+///  - query latency against a resident EngineSession: snapshot pinning,
+///    a bound-prefix point query, and a full scan, all on a session whose
+///    relations were derived once and stay hot;
+///  - incremental-batch throughput: driving a growing edge set through
+///    loadFacts one batch at a time (the delta-seeded update program)
+///    versus the cold baseline a user without the serving layer pays —
+///    a fresh engine re-evaluating all facts so far after every batch.
+///
+/// The batch benchmarks use manual timing so session bootstrap and input
+/// construction stay out of the measured region.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Program.h"
+#include "interp/Engine.h"
+#include "srv/Session.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+using namespace stird;
+using namespace stird::srv;
+
+namespace {
+
+constexpr const char *TcSource = R"(
+.decl edge(a:number, b:number)
+.decl path(a:number, b:number)
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+)";
+
+constexpr RamDomain ChainLength = 160;
+
+std::size_t pathsOf(RamDomain Edges) {
+  return static_cast<std::size_t>(Edges) * (Edges + 1) / 2;
+}
+
+/// A session with the full chain resident, for the read-side benchmarks.
+std::unique_ptr<EngineSession> residentSession() {
+  auto Session = EngineSession::fromSource(TcSource);
+  if (!Session)
+    std::abort();
+  std::vector<DynTuple> Edges;
+  for (RamDomain I = 0; I < ChainLength; ++I)
+    Edges.push_back({I, I + 1});
+  Session->loadFacts({{"edge", Edges}});
+  if (Session->query("path", Pattern(2)).size() != pathsOf(ChainLength))
+    std::abort();
+  return Session;
+}
+
+void BM_SnapshotPin(benchmark::State &State) {
+  auto Session = residentSession();
+  for (auto _ : State) {
+    Snapshot Snap = Session->snapshot();
+    benchmark::DoNotOptimize(Snap.epoch());
+  }
+}
+
+void BM_QueryBoundPrefix(benchmark::State &State) {
+  auto Session = residentSession();
+  Pattern P(2);
+  RamDomain From = 0;
+  for (auto _ : State) {
+    P[0] = From;
+    From = (From + 1) % ChainLength;
+    benchmark::DoNotOptimize(Session->query("path", P));
+  }
+}
+
+void BM_QueryFullScan(benchmark::State &State) {
+  auto Session = residentSession();
+  const Pattern Wildcard(2);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Session->query("path", Wildcard));
+}
+
+/// Extends the resident chain one single-edge batch at a time through the
+/// incremental update program. Each iteration rebuilds the session off the
+/// clock and times only the NumBatches loadFacts calls.
+void BM_IncrementalBatches(benchmark::State &State) {
+  const RamDomain NumBatches = static_cast<RamDomain>(State.range(0));
+  for (auto _ : State) {
+    auto Session = EngineSession::fromSource(TcSource);
+    if (!Session || !Session->isIncremental())
+      std::abort();
+    const auto Start = std::chrono::steady_clock::now();
+    for (RamDomain I = 0; I < NumBatches; ++I)
+      Session->loadFacts({{"edge", {{I, I + 1}}}});
+    const auto End = std::chrono::steady_clock::now();
+    if (Session->query("path", Pattern(2)).size() != pathsOf(NumBatches))
+      std::abort();
+    State.SetIterationTime(std::chrono::duration<double>(End - Start).count());
+  }
+  State.SetItemsProcessed(State.iterations() * NumBatches);
+}
+
+/// The no-serving-layer baseline: after every batch, a fresh engine
+/// re-derives everything from all facts seen so far.
+void BM_ColdReevaluation(benchmark::State &State) {
+  const RamDomain NumBatches = static_cast<RamDomain>(State.range(0));
+  auto Prog = core::Program::fromSource(TcSource);
+  if (!Prog)
+    std::abort();
+  for (auto _ : State) {
+    std::size_t FinalPaths = 0;
+    const auto Start = std::chrono::steady_clock::now();
+    for (RamDomain Batch = 1; Batch <= NumBatches; ++Batch) {
+      interp::EngineOptions Options;
+      Options.EchoPrintSize = false;
+      auto Engine = Prog->makeEngine(Options);
+      std::vector<DynTuple> Edges;
+      for (RamDomain I = 0; I < Batch; ++I)
+        Edges.push_back({I, I + 1});
+      Engine->insertTuples("edge", Edges);
+      Engine->run();
+      FinalPaths = Engine->getTuples("path").size();
+    }
+    const auto End = std::chrono::steady_clock::now();
+    if (FinalPaths != pathsOf(NumBatches))
+      std::abort();
+    State.SetIterationTime(std::chrono::duration<double>(End - Start).count());
+  }
+  State.SetItemsProcessed(State.iterations() * NumBatches);
+}
+
+} // namespace
+
+BENCHMARK(BM_SnapshotPin);
+BENCHMARK(BM_QueryBoundPrefix)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_QueryFullScan)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IncrementalBatches)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(160)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColdReevaluation)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(160)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

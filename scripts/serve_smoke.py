@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""CI smoke test for the serving layer.
+
+Starts stird-serve on examples/tc.dl over a Unix socket, drives one full
+load / query / stats / shutdown conversation through stird-client, and
+checks the replies — not just exit codes: the loaded edges must produce
+exactly the transitive-closure paths, the stats must report the protocol
+version and the loaded sizes, and shutdown must terminate the server.
+
+Usage: scripts/serve_smoke.py <stird-serve> <stird-client>
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+EDGES = [[1, 2], [2, 3], [3, 4], [4, 5]]
+
+
+def expected_paths(edges):
+    """Transitive closure over the edge list, as sorted string tuples."""
+    paths = {(a, b) for a, b in edges}
+    while True:
+        new = {(a, d) for a, b in paths for c, d in paths if b == c} - paths
+        if not new:
+            break
+        paths |= new
+    return sorted([str(a), str(b)] for a, b in paths)
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <stird-serve> <stird-client>")
+    serve, client = sys.argv[1], sys.argv[2]
+    repo = Path(__file__).resolve().parent.parent
+    program = repo / "examples" / "tc.dl"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        socket_path = str(Path(tmp) / "stird.sock")
+        server = subprocess.Popen(
+            [serve, str(program), "--socket", socket_path],
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            # The server prints its listening line once ready; the socket
+            # file appearing is the portable readiness signal.
+            for _ in range(200):
+                if Path(socket_path).exists():
+                    break
+                if server.poll() is not None:
+                    fail(f"server exited early: {server.stderr.read()}")
+                time.sleep(0.05)
+            else:
+                fail("server never created its socket")
+
+            requests = [
+                {"cmd": "load", "facts": {"edge": EDGES}},
+                {"cmd": "query", "relation": "path", "pattern": [1, None]},
+                {"cmd": "query", "relation": "path"},
+                {"cmd": "stats"},
+                {"cmd": "shutdown"},
+            ]
+            result = subprocess.run(
+                [client, "--socket", socket_path]
+                + [json.dumps(r) for r in requests],
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            if result.returncode != 0:
+                fail(
+                    f"client exited {result.returncode}\n"
+                    f"stdout: {result.stdout}\nstderr: {result.stderr}"
+                )
+            replies = [
+                json.loads(line)
+                for line in result.stdout.splitlines()
+                if line.strip()
+            ]
+            if len(replies) != len(requests):
+                fail(f"expected {len(requests)} replies, got {len(replies)}")
+            for reply in replies:
+                if not reply.get("ok"):
+                    fail(f"reply not ok: {reply}")
+                if "micros" not in reply:
+                    fail(f"reply lacks micros: {reply}")
+
+            load, from1, full, stats, _shutdown = replies
+            if load["inserted"] != len(EDGES) or load["duplicates"] != 0:
+                fail(f"unexpected load counts: {load}")
+            if not load["incremental"]:
+                fail("tc.dl should be update-eligible (incremental)")
+
+            want = expected_paths(EDGES)
+            if sorted(full["tuples"]) != want:
+                fail(f"full query mismatch: {full['tuples']} != {want}")
+            want_from1 = [t for t in want if t[0] == "1"]
+            if sorted(from1["tuples"]) != want_from1:
+                fail(f"bound query mismatch: {from1['tuples']}")
+            if from1["plan"]["prefix_len"] < 1:
+                fail(f"bound query used no index prefix: {from1['plan']}")
+
+            if stats["protocol"] != "stird-wire-v1":
+                fail(f"unexpected protocol: {stats['protocol']}")
+            sizes = {r["name"]: r["size"] for r in stats["relations"]}
+            if sizes != {"edge": len(EDGES), "path": len(want)}:
+                fail(f"unexpected relation sizes: {sizes}")
+            latency = stats["latency"]
+            if latency["load"]["count"] != 1 or latency["query"]["count"] != 2:
+                fail(f"unexpected latency counts: {latency}")
+
+            if server.wait(timeout=30) != 0:
+                fail(f"server exited nonzero: {server.stderr.read()}")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+
+    print("serve_smoke: OK "
+          f"({len(EDGES)} edges -> {len(expected_paths(EDGES))} paths, "
+          "load/query/stats/shutdown round-tripped)")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,7 +30,8 @@ static void reportErrors(const std::vector<std::string> &Diagnostics,
 
 std::unique_ptr<Program>
 Program::fromSource(const std::string &Source,
-                    std::vector<std::string> *Errors) {
+                    std::vector<std::string> *Errors,
+                    const CompileOptions &Options) {
   ast::ParseResult Parsed = ast::parseProgram(Source);
   if (!Parsed.succeeded()) {
     reportErrors(Parsed.Errors, Errors);
@@ -44,8 +45,10 @@ Program::fromSource(const std::string &Source,
   }
 
   auto Result = std::unique_ptr<Program>(new Program());
-  translate::TranslationResult Translated =
-      translate::translateToRam(*Parsed.Prog, Info, Result->Symbols);
+  translate::TranslationOptions TranslateOptions;
+  TranslateOptions.EmitUpdateProgram = Options.EmitUpdateProgram;
+  translate::TranslationResult Translated = translate::translateToRam(
+      *Parsed.Prog, Info, Result->Symbols, TranslateOptions);
   if (!Translated.succeeded()) {
     reportErrors(Translated.Errors, Errors);
     return nullptr;
@@ -61,7 +64,8 @@ Program::fromSource(const std::string &Source,
 }
 
 std::unique_ptr<Program> Program::fromFile(const std::string &Path,
-                                           std::vector<std::string> *Errors) {
+                                           std::vector<std::string> *Errors,
+                                           const CompileOptions &Options) {
   std::ifstream In(Path);
   if (!In) {
     reportErrors({"cannot open program file '" + Path + "'"}, Errors);
@@ -69,7 +73,7 @@ std::unique_ptr<Program> Program::fromFile(const std::string &Path,
   }
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
-  return fromSource(Buffer.str(), Errors);
+  return fromSource(Buffer.str(), Errors, Options);
 }
 
 std::string Program::dumpRam() const { return ram::print(*Ram); }

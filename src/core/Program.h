@@ -40,6 +40,14 @@
 
 namespace stird::core {
 
+/// Compilation-time choices (as opposed to the per-engine EngineOptions).
+struct CompileOptions {
+  /// Also emit the incremental-update statement so resident sessions can
+  /// apply monotonic fact batches without recomputing from scratch (see
+  /// translate::TranslationOptions::EmitUpdateProgram for eligibility).
+  bool EmitUpdateProgram = false;
+};
+
 /// A compiled Datalog program, ready to be executed any number of times by
 /// independently configured engines (or synthesized to C++).
 class Program {
@@ -49,12 +57,14 @@ public:
   /// to stderr.
   static std::unique_ptr<Program>
   fromSource(const std::string &Source,
-             std::vector<std::string> *Errors = nullptr);
+             std::vector<std::string> *Errors = nullptr,
+             const CompileOptions &Options = {});
 
   /// Compiles a .dl file.
   static std::unique_ptr<Program>
   fromFile(const std::string &Path,
-           std::vector<std::string> *Errors = nullptr);
+           std::vector<std::string> *Errors = nullptr,
+           const CompileOptions &Options = {});
 
   const ast::Program &getAst() const { return *Ast; }
   const ram::Program &getRam() const { return *Ram; }

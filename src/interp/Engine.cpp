@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 using namespace stird;
 using namespace stird::interp;
@@ -26,16 +27,25 @@ void EngineState::executeIo(const IoNode &Node) {
   const ram::Relation &Decl = Node.Rel->getDecl();
   switch (Node.Direction) {
   case ram::Io::Direction::Load: {
+    if (SuppressIo)
+      return;
     std::string Path = Decl.getInputPath().empty()
                            ? Decl.getName() + ".facts"
                            : Decl.getInputPath();
     Path = FactDir + "/" + Path;
+    // A missing file is still fatal (the program demanded the input);
+    // malformed rows are skipped and reported via IoErrors.
+    std::ifstream In(Path);
+    if (!In)
+      fatal("cannot open fact file '" + Path + "'");
     for (const DynTuple &Tuple :
-         readFactFile(Path, Decl.getColumnTypes(), Symbols))
+         readFactStream(In, Decl.getColumnTypes(), Symbols, &IoErrors, Path))
       Node.Rel->insert(Tuple.data());
     return;
   }
   case ram::Io::Direction::Store: {
+    if (SuppressIo)
+      return;
     std::string Path = Decl.getOutputPath().empty()
                            ? Decl.getName() + ".csv"
                            : Decl.getOutputPath();
@@ -65,6 +75,7 @@ Engine::Engine(const ram::Program &Prog,
   State.FactDir = Options.FactDir;
   State.OutputDir = Options.OutputDir;
   State.EchoPrintSize = Options.EchoPrintSize;
+  State.SuppressIo = Options.SuppressIo;
   State.NumThreads = Options.NumThreads > 0 ? Options.NumThreads : 1;
   if (State.NumThreads > 1)
     State.Pool = std::make_unique<ThreadPool>(State.NumThreads);
@@ -135,16 +146,9 @@ std::string Engine::dumpTree() {
   return printTree(*Tree);
 }
 
-void Engine::run() {
-  // Interpreter-tree generation counts as execution time, exactly as in
-  // the paper's measurements (it explains the specrand outlier).
-  if (State.Trace)
-    State.Trace->begin("generate tree");
-  Root = generateTree(Prog, Indexes, State, generatorOptions(Options));
-  if (State.Trace)
-    State.Trace->end();
-
-  std::unique_ptr<ExecutorBase> Executor;
+ExecutorBase &Engine::ensureExecutor() {
+  if (Executor)
+    return *Executor;
   switch (Options.TheBackend) {
   case Backend::StaticLambda:
     Executor = createStaticExecutorLambda(State);
@@ -157,14 +161,47 @@ void Engine::run() {
     Executor = createDynamicExecutor(State);
     break;
   }
+  return *Executor;
+}
+
+void Engine::run() {
+  // Interpreter-tree generation counts as execution time, exactly as in
+  // the paper's measurements (it explains the specrand outlier).
+  if (State.Trace)
+    State.Trace->begin("generate tree");
+  Root = generateTree(Prog, Indexes, State, generatorOptions(Options));
+  if (State.Trace)
+    State.Trace->end();
+
+  ExecutorBase &Exec = ensureExecutor();
   if (State.Trace)
     State.Trace->begin("execute");
-  Executor->run(*Root);
+  Exec.run(*Root);
   if (State.Trace)
     State.Trace->end();
 
   // Final sizes are also cardinality peaks (Clear/Swap record the peaks of
   // relations that shrink mid-run).
+  if (State.CollectStats)
+    for (std::size_t I = 0; I < State.StatsRelations.size(); ++I)
+      State.Stats[I].notePeak(State.StatsRelations[I]->size());
+}
+
+void Engine::runUpdate() {
+  assert(Prog.hasUpdate() &&
+         "program was translated without an update statement");
+  // The update tree is generated once, on the first batch, and reused for
+  // every subsequent one — the resident-engine counterpart of the one-shot
+  // pipeline's generate-then-execute.
+  if (!UpdateRoot)
+    UpdateRoot = generateTree(Prog.getUpdate(), Indexes, State,
+                              generatorOptions(Options));
+  ExecutorBase &Exec = ensureExecutor();
+  if (State.Trace)
+    State.Trace->begin("update");
+  Exec.run(*UpdateRoot);
+  if (State.Trace)
+    State.Trace->end();
   if (State.CollectStats)
     for (std::size_t I = 0; I < State.StatsRelations.size(); ++I)
       State.Stats[I].notePeak(State.StatsRelations[I]->size());

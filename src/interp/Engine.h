@@ -81,6 +81,10 @@ struct EngineOptions {
   /// Record a Chrome trace-event timeline of the run (rule spans, worker
   /// partitions, merge barriers); read it back via Engine::getTrace().
   bool EnableTrace = false;
+  /// Skip Load and Store Io statements (facts arrive programmatically,
+  /// results are queried in memory). Used by resident sessions; .printsize
+  /// results are still recorded.
+  bool SuppressIo = false;
 };
 
 class ThreadPool;
@@ -107,6 +111,10 @@ struct EngineState {
   std::string FactDir = ".";
   std::string OutputDir = ".";
   bool EchoPrintSize = true;
+  bool SuppressIo = false;
+  /// Malformed fact-file rows encountered by Load statements: the rows are
+  /// skipped and reported here instead of aborting the run.
+  std::vector<FactError> IoErrors;
   /// Tuples buffered per virtual iterator refill in the dynamic executor:
   /// 128 for the de-specialized adapter, 1 for the legacy interpreter
   /// (which predates the buffering mechanism).
@@ -158,6 +166,23 @@ public:
   /// paper's measurements) and executes the program.
   void run();
 
+  /// Whether the RAM program carries an incremental-update statement
+  /// (translated with EmitUpdateProgram and found eligible).
+  bool supportsIncrementalUpdate() const { return Prog.hasUpdate(); }
+
+  /// Executes the incremental-update statement over the resident
+  /// relations: the caller has inserted a monotonic batch of new EDB
+  /// tuples into both each full relation and its update-delta relation
+  /// (see ram::Program::getUpdateAux); this derives every consequence and
+  /// clears the deltas. The update tree is generated once and reused
+  /// across batches.
+  void runUpdate();
+
+  const ram::Program &getProgram() const { return Prog; }
+  const translate::IndexSelectionResult &getIndexes() const {
+    return Indexes;
+  }
+
   /// Generates the interpreter tree without executing and renders it
   /// (one line per INode with opcodes and super-instruction slots).
   std::string dumpTree();
@@ -187,13 +212,21 @@ public:
     return State.PrintSizes;
   }
   const EngineOptions &getOptions() const { return Options; }
+  /// Malformed fact-file rows skipped by Load statements during run().
+  const std::vector<FactError> &getIoErrors() const {
+    return State.IoErrors;
+  }
 
 private:
+  ExecutorBase &ensureExecutor();
+
   const ram::Program &Prog;
   const translate::IndexSelectionResult &Indexes;
   EngineOptions Options;
   EngineState State;
   NodePtr Root;
+  NodePtr UpdateRoot;
+  std::unique_ptr<ExecutorBase> Executor;
   std::unique_ptr<obs::TraceRecorder> TraceRec;
 };
 

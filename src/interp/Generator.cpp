@@ -798,3 +798,11 @@ NodePtr stird::interp::generateTree(
   TreeGenerator Gen(Indexes, State, Options);
   return Gen.genStmt(Prog.getMain());
 }
+
+NodePtr stird::interp::generateTree(
+    const ram::Statement &Root,
+    const translate::IndexSelectionResult &Indexes, EngineState &State,
+    const GeneratorOptions &Options) {
+  TreeGenerator Gen(Indexes, State, Options);
+  return Gen.genStmt(Root);
+}

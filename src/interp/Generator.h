@@ -50,6 +50,12 @@ NodePtr generateTree(const ram::Program &Prog,
                      const translate::IndexSelectionResult &Indexes,
                      EngineState &State, const GeneratorOptions &Options);
 
+/// Same, but for an explicit root statement of the program (e.g. the
+/// incremental-update statement instead of main).
+NodePtr generateTree(const ram::Statement &Root,
+                     const translate::IndexSelectionResult &Indexes,
+                     EngineState &State, const GeneratorOptions &Options);
+
 } // namespace stird::interp
 
 #endif // STIRD_INTERP_GENERATOR_H

@@ -1,0 +1,59 @@
+//===- obs/Serve.cpp - Serving-layer observability -----------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Serve.h"
+
+using namespace stird;
+using namespace stird::obs;
+
+json::Value LatencySummary::toJson() const {
+  json::Object O;
+  O.emplace_back("count", Count);
+  O.emplace_back("total_micros", TotalMicros);
+  O.emplace_back("min_micros", MinMicros);
+  O.emplace_back("max_micros", MaxMicros);
+  O.emplace_back("mean_micros",
+                 Count == 0 ? 0.0
+                            : static_cast<double>(TotalMicros) /
+                                  static_cast<double>(Count));
+  return json::Value(std::move(O));
+}
+
+void LatencyAggregator::record(const std::string &Command,
+                               std::uint64_t Micros) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, Summary] : Summaries)
+    if (Name == Command) {
+      Summary.record(Micros);
+      return;
+    }
+  Summaries.emplace_back(Command, LatencySummary{});
+  Summaries.back().second.record(Micros);
+}
+
+json::Value LatencyAggregator::toJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  json::Object O;
+  for (const auto &[Name, Summary] : Summaries)
+    O.emplace_back(Name, Summary.toJson());
+  return json::Value(std::move(O));
+}
+
+json::Value obs::relationStatsJson(const RelationStats &Stats) {
+  // Key names match the stird-profile-v1 relation records.
+  json::Object O;
+  O.emplace_back("peak_size", Stats.PeakSize);
+  O.emplace_back("inserts", Stats.Inserts);
+  O.emplace_back("inserts_new", Stats.InsertsNew);
+  O.emplace_back("contains", Stats.Contains);
+  O.emplace_back("scans", Stats.Scans);
+  O.emplace_back("scan_tuples", Stats.ScanTuples);
+  O.emplace_back("index_scans", Stats.IndexScans);
+  O.emplace_back("index_scan_hits", Stats.IndexScanHits);
+  O.emplace_back("index_scan_tuples", Stats.IndexScanTuples);
+  O.emplace_back("reorders", Stats.Reorders);
+  return json::Value(std::move(O));
+}

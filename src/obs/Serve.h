@@ -1,0 +1,69 @@
+//===- obs/Serve.h - Serving-layer observability ----------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observability for resident serving sessions: per-command request-latency
+/// aggregation and the JSON rendering of RelationStats counters, shared by
+/// the stird-serve daemon's `stats` command and by tests. Documents follow
+/// the versioned-schema convention of the other sinks (stird-profile-v1,
+/// Chrome trace): see docs/wire-protocol.md for the schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_OBS_SERVE_H
+#define STIRD_OBS_SERVE_H
+
+#include "obs/Json.h"
+#include "obs/Stats.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stird::obs {
+
+/// Latency accumulator for one request kind.
+struct LatencySummary {
+  std::uint64_t Count = 0;
+  std::uint64_t TotalMicros = 0;
+  std::uint64_t MinMicros = 0;
+  std::uint64_t MaxMicros = 0;
+
+  void record(std::uint64_t Micros) {
+    MinMicros = Count == 0 ? Micros : std::min(MinMicros, Micros);
+    MaxMicros = std::max(MaxMicros, Micros);
+    ++Count;
+    TotalMicros += Micros;
+  }
+
+  /// {"count":N,"total_micros":T,"min_micros":m,"max_micros":M,
+  ///  "mean_micros":T/N}.
+  json::Value toJson() const;
+};
+
+/// Thread-safe per-command latency aggregation: the daemon records every
+/// request under its command name; `stats` reports the totals.
+class LatencyAggregator {
+public:
+  void record(const std::string &Command, std::uint64_t Micros);
+
+  /// One member per command seen, in first-seen order.
+  json::Value toJson() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<std::pair<std::string, LatencySummary>> Summaries;
+};
+
+/// Renders one relation's counters as a JSON object (same key names as the
+/// profile sink's relation records).
+json::Value relationStatsJson(const RelationStats &Stats);
+
+} // namespace stird::obs
+
+#endif // STIRD_OBS_SERVE_H

@@ -391,5 +391,7 @@ std::string stird::ram::print(const Program &Prog) {
   }
   if (Prog.hasMain())
     Out << print(Prog.getMain());
+  if (Prog.hasUpdate())
+    Out << "UPDATE\n" << print(Prog.getUpdate());
   return Out.str();
 }

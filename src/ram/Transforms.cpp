@@ -275,6 +275,8 @@ TransformStats stird::ram::foldConstants(Program &Prog,
     return Stats;
   ConstantFolder Folder(Symbols, Stats);
   Prog.setMain(Folder.rewriteStmt(Prog.getMain()));
+  if (Prog.hasUpdate())
+    Prog.setUpdate(Folder.rewriteStmt(Prog.getUpdate()));
   return Stats;
 }
 
@@ -284,5 +286,7 @@ std::size_t stird::ram::mergeAdjacentFilters(Program &Prog) {
     return Merged;
   FilterMerger Merger(Merged);
   Prog.setMain(Merger.rewriteStmt(Prog.getMain()));
+  if (Prog.hasUpdate())
+    Prog.setUpdate(Merger.rewriteStmt(Prog.getUpdate()));
   return Merged;
 }

@@ -1,0 +1,84 @@
+//===- srv/Query.cpp - Partial-tuple queries over resident relations ----------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "srv/Query.h"
+
+#include "interp/Order.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace stird;
+using namespace stird::srv;
+
+QueryPlan srv::planQuery(const interp::RelationWrapper &Rel,
+                         const Pattern &P) {
+  assert(P.size() == Rel.getArity() && "pattern arity mismatch");
+  QueryPlan Plan;
+  for (std::size_t I = 0; I < P.size(); ++I)
+    if (P[I])
+      Plan.Mask |= std::uint32_t(1) << I;
+
+  // The equivalence relation answers any mask natively from its union-find
+  // structure; there is no index to choose.
+  if (Rel.getKind() == interp::RelKind::Eqrel) {
+    Plan.PrefixLen = static_cast<std::size_t>(__builtin_popcount(Plan.Mask));
+    return Plan;
+  }
+
+  for (std::size_t Idx = 0; Idx < Rel.getNumIndexes(); ++Idx) {
+    const interp::Order &Ord = Rel.getOrder(Idx);
+    std::size_t Len = 0;
+    while (Len < Ord.size() && P[Ord.column(Len)])
+      ++Len;
+    if (Len > Plan.PrefixLen) {
+      Plan.PrefixLen = Len;
+      Plan.IndexPos = Idx;
+    }
+  }
+  const std::size_t Bound =
+      static_cast<std::size_t>(__builtin_popcount(Plan.Mask));
+  Plan.ResidualColumns = Bound - Plan.PrefixLen;
+  return Plan;
+}
+
+std::vector<DynTuple> srv::runQuery(const interp::RelationWrapper &Rel,
+                                    const Pattern &P, QueryPlan *PlanOut) {
+  const QueryPlan Plan = planQuery(Rel, P);
+  if (PlanOut)
+    *PlanOut = Plan;
+  const std::size_t Arity = Rel.getArity();
+
+  // Build the encoded range key. For the equivalence relation the "key" is
+  // positional (its range() reads EncodedKey[0]/[1] by mask); for indexed
+  // relations it is the chosen order's prefix.
+  std::vector<RamDomain> Key(Arity, 0);
+  if (Rel.getKind() == interp::RelKind::Eqrel) {
+    for (std::size_t I = 0; I < Arity; ++I)
+      if (P[I])
+        Key[I] = *P[I];
+  } else {
+    const interp::Order &Ord = Rel.getOrder(Plan.IndexPos);
+    for (std::size_t J = 0; J < Plan.PrefixLen; ++J)
+      Key[J] = *P[Ord.column(J)];
+  }
+
+  std::vector<DynTuple> Result;
+  interp::BufferedTupleSource Source(
+      Rel.range(Plan.IndexPos, Key.data(), Plan.PrefixLen, Plan.Mask,
+                /*Decode=*/true),
+      Arity);
+  while (const RamDomain *Tuple = Source.next()) {
+    bool Matches = true;
+    for (std::size_t I = 0; I < Arity && Matches; ++I)
+      if (P[I] && *P[I] != Tuple[I])
+        Matches = false;
+    if (Matches)
+      Result.emplace_back(Tuple, Tuple + Arity);
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}

@@ -1,0 +1,59 @@
+//===- srv/Query.h - Partial-tuple queries over resident relations -*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Point and partial-tuple queries against a resident de-specialized
+/// relation. A query pattern binds any subset of the source columns; the
+/// planner reuses the translation layer's index selection by picking, among
+/// the relation's existing orders, the one whose prefix covers the most
+/// bound columns, then range-scans that index and post-filters the bound
+/// columns the prefix could not absorb. Equivalence relations serve their
+/// native anchored searches instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_SRV_QUERY_H
+#define STIRD_SRV_QUERY_H
+
+#include "interp/Relation.h"
+#include "util/RamTypes.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace stird::srv {
+
+/// A partial-tuple pattern: one entry per source column, nullopt meaning
+/// unbound (wildcard).
+using Pattern = std::vector<std::optional<RamDomain>>;
+
+/// How a pattern will be (or was) executed.
+struct QueryPlan {
+  /// Chosen index among the relation's selected orders.
+  std::size_t IndexPos = 0;
+  /// Bound cells absorbed as that index's range prefix.
+  std::size_t PrefixLen = 0;
+  /// Bitmask of bound source columns (bit I = column I).
+  std::uint32_t Mask = 0;
+  /// Bound columns the prefix could not absorb; checked tuple-by-tuple.
+  std::size_t ResidualColumns = 0;
+};
+
+/// Picks the access path for \p P: the order with the longest fully bound
+/// prefix (ties broken towards the first index, i.e. index-selection
+/// order). \p P must have one entry per column of \p Rel.
+QueryPlan planQuery(const interp::RelationWrapper &Rel, const Pattern &P);
+
+/// Executes \p P against \p Rel, returning the matching tuples in sorted
+/// source order. When \p PlanOut is given, the chosen plan is reported.
+std::vector<DynTuple> runQuery(const interp::RelationWrapper &Rel,
+                               const Pattern &P,
+                               QueryPlan *PlanOut = nullptr);
+
+} // namespace stird::srv
+
+#endif // STIRD_SRV_QUERY_H

@@ -1,0 +1,141 @@
+//===- srv/Server.cpp - stird-serve socket server -----------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "srv/Server.h"
+
+#include "srv/Wire.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace stird;
+using namespace stird::srv;
+
+Server::Server(EngineSession &Session, ServerOptions Options)
+    : Session(Session), Options(std::move(Options)) {}
+
+Server::~Server() {
+  stop();
+  std::lock_guard<std::mutex> Lock(WorkersMutex);
+  for (std::thread &Worker : Workers)
+    if (Worker.joinable())
+      Worker.join();
+  if (!Options.UnixPath.empty())
+    ::unlink(Options.UnixPath.c_str());
+}
+
+static bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message + ": " + std::strerror(errno);
+  return false;
+}
+
+bool Server::start(std::string *Error) {
+  int Fd = -1;
+  if (!Options.UnixPath.empty()) {
+    if (Options.UnixPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      if (Error)
+        *Error = "socket path too long: " + Options.UnixPath;
+      return false;
+    }
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return fail(Error, "socket");
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Options.UnixPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    ::unlink(Options.UnixPath.c_str());
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+      ::close(Fd);
+      return fail(Error, "bind " + Options.UnixPath);
+    }
+  } else {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return fail(Error, "socket");
+    int One = 1;
+    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<std::uint16_t>(Options.Port));
+    if (::inet_pton(AF_INET, Options.Host.c_str(), &Addr.sin_addr) != 1) {
+      ::close(Fd);
+      if (Error)
+        *Error = "invalid listen address '" + Options.Host + "'";
+      return false;
+    }
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+      ::close(Fd);
+      return fail(Error, "bind " + Options.Host + ":" +
+                             std::to_string(Options.Port));
+    }
+    sockaddr_in Bound{};
+    socklen_t BoundLen = sizeof(Bound);
+    if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound),
+                      &BoundLen) == 0)
+      BoundPort = ntohs(Bound.sin_port);
+  }
+  if (::listen(Fd, 16) < 0) {
+    ::close(Fd);
+    return fail(Error, "listen");
+  }
+  ListenFd.store(Fd);
+  return true;
+}
+
+void Server::serve() {
+  while (!Stopping.load(std::memory_order_acquire)) {
+    int Fd = ::accept(ListenFd.load(), nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // listening socket closed by stop()
+    }
+    std::lock_guard<std::mutex> Lock(WorkersMutex);
+    Workers.emplace_back([this, Fd] { handleConnection(Fd); });
+  }
+  // Collect finished and in-flight connections before returning so the
+  // session outlives every request.
+  std::lock_guard<std::mutex> Lock(WorkersMutex);
+  for (std::thread &Worker : Workers)
+    if (Worker.joinable())
+      Worker.join();
+  Workers.clear();
+}
+
+void Server::stop() {
+  if (Stopping.exchange(true))
+    return;
+  const int Fd = ListenFd.exchange(-1);
+  if (Fd >= 0) {
+    // shutdown() unblocks a concurrent accept(); close releases the fd.
+    ::shutdown(Fd, SHUT_RDWR);
+    ::close(Fd);
+  }
+}
+
+void Server::handleConnection(int Fd) {
+  std::string Payload;
+  for (;;) {
+    std::string Error;
+    if (!readFrame(Fd, Payload, &Error))
+      break; // EOF or framing failure: drop the connection
+    RequestOutcome Outcome = handleRequest(Session, Latency, Payload);
+    if (!writeFrame(Fd, Outcome.Reply.dump(), &Error))
+      break;
+    if (Outcome.Shutdown) {
+      stop();
+      break;
+    }
+  }
+  ::close(Fd);
+}

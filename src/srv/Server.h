@@ -1,0 +1,81 @@
+//===- srv/Server.h - stird-serve socket server -----------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon side of the serving layer: accepts stird-wire-v1 connections
+/// on a Unix or TCP socket and executes requests against one shared
+/// EngineSession. One thread per connection — concurrent queries read
+/// through snapshots and never block each other; loads are serialized by
+/// the session. A `shutdown` request stops the accept loop and drains the
+/// connection threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_SRV_SERVER_H
+#define STIRD_SRV_SERVER_H
+
+#include "obs/Serve.h"
+#include "srv/Session.h"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stird::srv {
+
+struct ServerOptions {
+  /// Unix-domain socket path. Takes precedence over TCP when non-empty;
+  /// a stale socket file at the path is unlinked before binding.
+  std::string UnixPath;
+  /// TCP listen address, used when UnixPath is empty.
+  std::string Host = "127.0.0.1";
+  /// TCP port; 0 lets the kernel pick one (see boundPort()).
+  int Port = 0;
+};
+
+class Server {
+public:
+  Server(EngineSession &Session, ServerOptions Options);
+  ~Server();
+
+  /// Binds and listens. False with \p Error on failure.
+  bool start(std::string *Error = nullptr);
+
+  /// Accepts and serves connections until a shutdown request (or stop())
+  /// arrives; returns after all connection threads finished.
+  void serve();
+
+  /// Unblocks serve() from another thread (tests, signal handlers).
+  void stop();
+
+  /// The actual TCP port after start() — useful with Port = 0.
+  int boundPort() const { return BoundPort; }
+
+  /// Request-latency totals, as reported by the `stats` command.
+  const obs::LatencyAggregator &latency() const { return Latency; }
+
+private:
+  void handleConnection(int Fd);
+
+  EngineSession &Session;
+  ServerOptions Options;
+  obs::LatencyAggregator Latency;
+
+  /// Atomic: a connection thread's shutdown request closes it while the
+  /// accept loop reads it.
+  std::atomic<int> ListenFd{-1};
+  int BoundPort = 0;
+  std::atomic<bool> Stopping{false};
+
+  std::mutex WorkersMutex;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace stird::srv
+
+#endif // STIRD_SRV_SERVER_H

@@ -1,0 +1,314 @@
+//===- srv/Session.cpp - Resident engine sessions -----------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "srv/Session.h"
+
+#include "util/MiscUtil.h"
+#include "util/Timer.h"
+
+#include <cassert>
+#include <thread>
+
+using namespace stird;
+using namespace stird::srv;
+
+/// One of the session's two engine instances. Readers pin a side with the
+/// Readers counter; the writer only mutates a side whose counter it has
+/// observed at zero after unpublishing it.
+struct stird::srv::detail::SessionSide {
+  std::unique_ptr<interp::Engine> Eng;
+  /// Batches of the session log applied to this side.
+  std::size_t Applied = 0;
+  /// Epoch readers observe through snapshots of this side.
+  std::uint64_t Epoch = 0;
+  /// Number of snapshots currently pinning this side.
+  mutable std::atomic<std::size_t> Readers{0};
+};
+
+//===----------------------------------------------------------------------===//
+// Snapshot
+//===----------------------------------------------------------------------===//
+
+Snapshot::~Snapshot() {
+  if (Side)
+    Side->Readers.fetch_sub(1, std::memory_order_release);
+}
+
+Snapshot &Snapshot::operator=(Snapshot &&Other) noexcept {
+  if (this != &Other) {
+    if (Side)
+      Side->Readers.fetch_sub(1, std::memory_order_release);
+    Side = Other.Side;
+    Other.Side = nullptr;
+  }
+  return *this;
+}
+
+const interp::RelationWrapper *
+Snapshot::relation(const std::string &Name) const {
+  return Side->Eng->getRelation(Name);
+}
+
+std::vector<DynTuple> Snapshot::query(const std::string &Relation,
+                                      const Pattern &P,
+                                      QueryPlan *PlanOut) const {
+  const interp::RelationWrapper *Rel = relation(Relation);
+  if (!Rel)
+    fatal("unknown relation '" + Relation + "'");
+  return runQuery(*Rel, P, PlanOut);
+}
+
+std::vector<DynTuple> Snapshot::tuples(const std::string &Relation) const {
+  const interp::RelationWrapper *Rel = relation(Relation);
+  if (!Rel)
+    fatal("unknown relation '" + Relation + "'");
+  return runQuery(*Rel, Pattern(Rel->getArity()));
+}
+
+std::uint64_t Snapshot::epoch() const { return Side->Epoch; }
+
+const obs::StatsBlock &Snapshot::stats() const {
+  return Side->Eng->getStats();
+}
+
+const std::vector<const interp::RelationWrapper *> &
+Snapshot::statsRelations() const {
+  return Side->Eng->getStatsRelations();
+}
+
+//===----------------------------------------------------------------------===//
+// EngineSession
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<EngineSession>
+EngineSession::fromSource(const std::string &Source,
+                          const SessionOptions &Options,
+                          std::vector<std::string> *Errors) {
+  core::CompileOptions Compile;
+  Compile.EmitUpdateProgram = true;
+  std::shared_ptr<core::Program> Prog =
+      core::Program::fromSource(Source, Errors, Compile);
+  if (!Prog)
+    return nullptr;
+  return create(std::move(Prog), Options);
+}
+
+std::unique_ptr<EngineSession>
+EngineSession::fromFile(const std::string &Path,
+                        const SessionOptions &Options,
+                        std::vector<std::string> *Errors) {
+  core::CompileOptions Compile;
+  Compile.EmitUpdateProgram = true;
+  std::shared_ptr<core::Program> Prog =
+      core::Program::fromFile(Path, Errors, Compile);
+  if (!Prog)
+    return nullptr;
+  return create(std::move(Prog), Options);
+}
+
+std::unique_ptr<EngineSession>
+EngineSession::create(std::shared_ptr<core::Program> Program,
+                      const SessionOptions &Options) {
+  return std::unique_ptr<EngineSession>(
+      new EngineSession(std::move(Program), Options));
+}
+
+EngineSession::EngineSession(std::shared_ptr<core::Program> Program,
+                             const SessionOptions &Opts)
+    : Prog(std::move(Program)), Options(Opts),
+      Incremental(Prog->getRam().hasUpdate()) {
+  // A serving engine never echoes .printsize to stdout, and only touches
+  // the filesystem when the caller asked for the program's own IO.
+  Options.Engine.SuppressIo = !Options.RunIo;
+  Options.Engine.EchoPrintSize = false;
+  for (int I = 0; I < 2; ++I) {
+    Sides[I] = std::make_unique<Side>();
+    Sides[I]->Eng = Prog->makeEngine(Options.Engine);
+    Sides[I]->Eng->run(); // bootstrap: initial facts + IO when enabled
+  }
+  Active.store(Sides[0].get());
+  PassiveIdx = 1;
+}
+
+EngineSession::~EngineSession() = default;
+
+void EngineSession::waitQuiesce(Side &S) {
+  // The side was unpublished when it last lost a publish race, so no new
+  // snapshot can pin it; we only wait for the stragglers to drain.
+  while (S.Readers.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+}
+
+std::pair<std::size_t, std::size_t>
+EngineSession::applyBatch(Side &S, const FactBatch &Batch) {
+  std::size_t Inserted = 0, Duplicates = 0;
+  for (const auto &[Name, Tuples] : Batch) {
+    interp::RelationWrapper *Full = S.Eng->getRelation(Name);
+    if (!Full)
+      fatal("unknown relation '" + Name + "'");
+    const ram::Program::UpdateAux *Aux = Prog->getRam().getUpdateAux(Name);
+    interp::RelationWrapper *Delta =
+        Incremental ? S.Eng->getRelation(Aux->Delta) : nullptr;
+    for (const DynTuple &Tuple : Tuples) {
+      if (Tuple.size() != Full->getArity())
+        fatal("arity mismatch for relation '" + Name + "'");
+      if (Full->insert(Tuple.data())) {
+        ++Inserted;
+        if (Delta)
+          Delta->insert(Tuple.data());
+      } else {
+        ++Duplicates;
+      }
+    }
+  }
+  if (Incremental)
+    S.Eng->runUpdate();
+  ++S.Applied;
+  return {Inserted, Duplicates};
+}
+
+void EngineSession::rebuild(Side &S) {
+  // Full re-evaluation fallback for programs without an update statement
+  // (negation, aggregates, ...): fresh relations, the whole batch log as
+  // EDB, one one-shot run. Restores the exact one-shot semantics at the
+  // cost of recomputation.
+  S.Eng = Prog->makeEngine(Options.Engine);
+  for (const FactBatch &Batch : Log)
+    for (const auto &[Name, Tuples] : Batch)
+      S.Eng->insertTuples(Name, Tuples);
+  S.Eng->run();
+  S.Applied = Log.size();
+}
+
+void EngineSession::catchUp(Side &S) {
+  if (S.Applied == Log.size())
+    return;
+  if (!Incremental) {
+    rebuild(S);
+    return;
+  }
+  while (S.Applied < Log.size())
+    applyBatch(S, Log[S.Applied]);
+}
+
+BatchResult EngineSession::loadFacts(const FactBatch &Batch) {
+  Timer T;
+  std::lock_guard<std::mutex> Lock(WriterMutex);
+  Side &W = *Sides[PassiveIdx];
+  waitQuiesce(W);
+  catchUp(W);
+
+  BatchResult Result;
+  Result.Incremental = Incremental;
+  Log.push_back(Batch);
+  if (Incremental) {
+    std::tie(Result.Inserted, Result.Duplicates) = applyBatch(W, Batch);
+  } else {
+    // Count EDB novelty against the caught-up side, then rebuild.
+    for (const auto &[Name, Tuples] : Batch) {
+      const interp::RelationWrapper *Full = W.Eng->getRelation(Name);
+      if (!Full)
+        fatal("unknown relation '" + Name + "'");
+      for (const DynTuple &Tuple : Tuples) {
+        if (Tuple.size() != Full->getArity())
+          fatal("arity mismatch for relation '" + Name + "'");
+        if (Full->contains(Tuple.data()))
+          ++Result.Duplicates;
+        else
+          ++Result.Inserted;
+      }
+    }
+    rebuild(W);
+  }
+  W.Epoch = Log.size();
+  Result.Epoch = W.Epoch;
+
+  // Publish: the release store orders every relation mutation above before
+  // any reader that snapshots the new side.
+  Active.store(&W, std::memory_order_release);
+  PassiveIdx = 1 - PassiveIdx;
+  Result.Seconds = T.seconds();
+  return Result;
+}
+
+BatchResult EngineSession::loadFacts(const TextBatch &Batch,
+                                     std::vector<FactError> &Errors) {
+  FactBatch Resolved;
+  for (const auto &[Name, Rows] : Batch) {
+    const std::vector<ColumnTypeKind> *Types = relationTypes(Name);
+    const std::string Source = "<load:" + Name + ">";
+    if (!Types) {
+      Errors.push_back({Source, 0, 0, "unknown relation '" + Name + "'"});
+      continue;
+    }
+    std::vector<DynTuple> Tuples;
+    for (std::size_t Row = 0; Row < Rows.size(); ++Row) {
+      if (Rows[Row].size() != Types->size()) {
+        Errors.push_back({Source, Row + 1, 0,
+                          "row has " + std::to_string(Rows[Row].size()) +
+                              " columns, expected " +
+                              std::to_string(Types->size())});
+        continue;
+      }
+      DynTuple Tuple(Types->size());
+      bool Ok = true;
+      for (std::size_t Col = 0; Col < Rows[Row].size() && Ok; ++Col) {
+        std::string Message;
+        if (!tryParseColumn(Rows[Row][Col], (*Types)[Col], symbols(),
+                            Tuple[Col], &Message)) {
+          Errors.push_back({Source, Row + 1, Col + 1, Message});
+          Ok = false;
+        }
+      }
+      if (Ok)
+        Tuples.push_back(std::move(Tuple));
+    }
+    Resolved.emplace_back(Name, std::move(Tuples));
+  }
+  return loadFacts(Resolved);
+}
+
+Snapshot EngineSession::snapshot() const {
+  for (;;) {
+    const Side *S = Active.load(std::memory_order_acquire);
+    S->Readers.fetch_add(1, std::memory_order_acq_rel);
+    // The side may have been unpublished between the load and the pin; the
+    // re-check guarantees the writer's quiesce wait sees our pin before it
+    // mutates anything.
+    if (Active.load(std::memory_order_acquire) == S)
+      return Snapshot(S);
+    S->Readers.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+std::vector<DynTuple> EngineSession::query(const std::string &Relation,
+                                           const Pattern &P) const {
+  return snapshot().query(Relation, P);
+}
+
+bool EngineSession::isIncremental() const { return Incremental; }
+
+std::uint64_t EngineSession::epoch() const {
+  return Active.load(std::memory_order_acquire)->Epoch;
+}
+
+std::vector<std::string> EngineSession::relationNames() const {
+  std::vector<std::string> Names;
+  for (const auto &Decl : Prog->getAst().Relations)
+    Names.push_back(Decl->getName());
+  return Names;
+}
+
+const std::vector<ColumnTypeKind> *
+EngineSession::relationTypes(const std::string &Relation) const {
+  // Only declared relations are served; the translator's auxiliary
+  // delta_/new_ relations stay internal.
+  if (!Prog->getAst().findRelation(Relation))
+    return nullptr;
+  const interp::RelationWrapper *Rel =
+      Active.load(std::memory_order_acquire)->Eng->getRelation(Relation);
+  return Rel ? &Rel->getDecl().getColumnTypes() : nullptr;
+}

@@ -1,0 +1,217 @@
+//===- srv/Session.h - Resident engine sessions -----------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident serving layer: an EngineSession keeps a compiled program's
+/// de-specialized relations in memory across fact batches, so repeated
+/// loads and queries skip the one-shot pipeline's per-run setup entirely.
+///
+/// Incrementality is monotonic-additions only: a batch may insert new EDB
+/// tuples, never retract. Programs the translator finds eligible (no
+/// negation, aggregates, `$`, or eqrel — see TranslationOptions::
+/// EmitUpdateProgram) re-derive consequences with a delta-seeded semi-naive
+/// update that reuses the existing LOOP/EXIT/SWAP machinery; anything else
+/// falls back to a full re-evaluation on a fresh engine (still behind the
+/// same API, reported via BatchResult::Incremental).
+///
+/// Concurrency follows the left-right pattern: the session keeps two
+/// engine instances ("sides") over one shared symbol table. Readers pin
+/// the active side with a Snapshot and are never blocked by a writer;
+/// writers (serialized by a mutex) catch the passive side up on the batch
+/// log, apply the new batch, and publish it as the new active side after
+/// waiting for the old side's readers to drain. The cost is the classic
+/// one: every batch is applied twice, and resident memory doubles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_SRV_SESSION_H
+#define STIRD_SRV_SESSION_H
+
+#include "core/Program.h"
+#include "srv/Query.h"
+#include "util/Csv.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stird::srv {
+
+namespace detail {
+struct SessionSide;
+} // namespace detail
+
+/// One batch of facts: relation name -> new tuples (resolved cells).
+using FactBatch = std::vector<std::pair<std::string, std::vector<DynTuple>>>;
+
+/// The textual form accepted from the wire: raw column strings, parsed
+/// against each relation's declared column types.
+using TextBatch =
+    std::vector<std::pair<std::string, std::vector<std::vector<std::string>>>>;
+
+/// Outcome of one loadFacts call.
+struct BatchResult {
+  /// Tuples that were genuinely new (grew a relation).
+  std::size_t Inserted = 0;
+  /// Tuples already present (deduplicated away).
+  std::size_t Duplicates = 0;
+  /// True when the delta-seeded update program ran; false when the batch
+  /// was applied by full re-evaluation (ineligible program).
+  bool Incremental = false;
+  /// Batch sequence number after this load (1-based).
+  std::uint64_t Epoch = 0;
+  /// Wall-clock seconds spent applying the batch to the published side.
+  double Seconds = 0;
+};
+
+struct SessionOptions {
+  /// Per-side engine configuration (backend, threads, stats, ...).
+  interp::EngineOptions Engine;
+  /// Execute the program's .input/.output directives during the bootstrap
+  /// run. Off by default: a serving session starts from an empty database
+  /// and receives facts through loadFacts.
+  bool RunIo = false;
+};
+
+class EngineSession;
+
+/// A consistent read view: the relation contents observed never change
+/// while the snapshot is held, even as writers publish new batches. Cheap
+/// to create (two atomic operations); holding one only delays the *next*
+/// writer reusing the pinned side, never the current one. Must not outlive
+/// its session.
+class Snapshot {
+public:
+  Snapshot(Snapshot &&Other) noexcept : Side(Other.Side) {
+    Other.Side = nullptr;
+  }
+  Snapshot &operator=(Snapshot &&Other) noexcept;
+  Snapshot(const Snapshot &) = delete;
+  Snapshot &operator=(const Snapshot &) = delete;
+  ~Snapshot();
+
+  /// Partial-tuple query (see srv::runQuery). Fatal on unknown relations;
+  /// use the session's relation metadata to validate first.
+  std::vector<DynTuple> query(const std::string &Relation, const Pattern &P,
+                              QueryPlan *PlanOut = nullptr) const;
+
+  /// All tuples of a relation, sorted.
+  std::vector<DynTuple> tuples(const std::string &Relation) const;
+
+  /// The pinned side's relation, or null if unknown. Aux relations
+  /// (delta_/new_) are reachable too; servers filter by declared names.
+  const interp::RelationWrapper *relation(const std::string &Name) const;
+
+  /// Batch sequence number this snapshot observes.
+  std::uint64_t epoch() const;
+
+  /// Observability counters of the pinned side, in stats-id order.
+  const obs::StatsBlock &stats() const;
+  const std::vector<const interp::RelationWrapper *> &
+  statsRelations() const;
+
+private:
+  friend class EngineSession;
+  explicit Snapshot(const detail::SessionSide *Side) : Side(Side) {}
+
+  const detail::SessionSide *Side;
+};
+
+/// A resident engine over one compiled program. Thread-safe: any number of
+/// concurrent snapshot()/query() callers, writers serialized internally.
+class EngineSession {
+public:
+  /// Compiles \p Source and boots a session over it. Null on compile
+  /// errors (reported like core::Program::fromSource).
+  static std::unique_ptr<EngineSession>
+  fromSource(const std::string &Source, const SessionOptions &Options = {},
+             std::vector<std::string> *Errors = nullptr);
+
+  static std::unique_ptr<EngineSession>
+  fromFile(const std::string &Path, const SessionOptions &Options = {},
+           std::vector<std::string> *Errors = nullptr);
+
+  /// Boots a session over an already compiled program (shared with other
+  /// sessions; must outlive them all).
+  static std::unique_ptr<EngineSession>
+  create(std::shared_ptr<core::Program> Program,
+         const SessionOptions &Options = {});
+
+  ~EngineSession();
+
+  /// Applies one monotonic batch of new facts and derives every
+  /// consequence. Unknown relations or arity mismatches are fatal;
+  /// validate via relationTypes() first when the input is untrusted.
+  BatchResult loadFacts(const FactBatch &Batch);
+
+  /// Textual variant: parses each cell against the relation's declared
+  /// column types. Malformed tuples are skipped and reported in
+  /// \p Errors (File = "<load:relation>", Line = 1-based tuple index);
+  /// unknown relation names produce one error each and are skipped.
+  BatchResult loadFacts(const TextBatch &Batch,
+                        std::vector<FactError> &Errors);
+
+  /// Pins the current active side for consistent reads.
+  Snapshot snapshot() const;
+
+  /// One-shot convenience: snapshot() + query on it.
+  std::vector<DynTuple> query(const std::string &Relation,
+                              const Pattern &P) const;
+
+  /// Whether batches run the incremental update program (vs re-evaluate).
+  bool isIncremental() const;
+
+  /// Batches applied so far.
+  std::uint64_t epoch() const;
+
+  /// Declared (user-visible) relation names, in declaration order.
+  std::vector<std::string> relationNames() const;
+  /// Column types of a declared relation, or null if unknown.
+  const std::vector<ColumnTypeKind> *
+  relationTypes(const std::string &Relation) const;
+
+  const core::Program &program() const { return *Prog; }
+  SymbolTable &symbols() { return Prog->getSymbolTable(); }
+  const SymbolTable &symbols() const { return Prog->getSymbolTable(); }
+
+private:
+  using Side = detail::SessionSide;
+
+  explicit EngineSession(std::shared_ptr<core::Program> Program,
+                         const SessionOptions &Options);
+
+  /// Brings \p S fully up to date with the batch log.
+  void catchUp(Side &S);
+  /// Applies one batch incrementally; returns insert/duplicate counts.
+  std::pair<std::size_t, std::size_t> applyBatch(Side &S,
+                                                 const FactBatch &Batch);
+  /// Full re-evaluation fallback: fresh engine, replay the whole log.
+  void rebuild(Side &S);
+  /// Spins until no snapshot pins \p S any more.
+  void waitQuiesce(Side &S);
+
+  std::shared_ptr<core::Program> Prog;
+  SessionOptions Options;
+  bool Incremental;
+
+  std::unique_ptr<Side> Sides[2];
+  /// The side snapshots pin. Readers load-acquire; the writer
+  /// store-releases after the passive side is fully caught up.
+  std::atomic<const Side *> Active;
+
+  /// Writer state, all under WriterMutex: the full batch log (replayed by
+  /// the rebuild fallback and by lagging sides) and which side is passive.
+  std::mutex WriterMutex;
+  std::vector<FactBatch> Log;
+  std::size_t PassiveIdx = 1;
+};
+
+} // namespace stird::srv
+
+#endif // STIRD_SRV_SESSION_H

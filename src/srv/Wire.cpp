@@ -1,0 +1,320 @@
+//===- srv/Wire.cpp - Length-prefixed JSON wire protocol ----------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "srv/Wire.h"
+
+#include "util/Csv.h"
+#include "util/Timer.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <unistd.h>
+
+using namespace stird;
+using namespace stird::srv;
+using obs::json::Array;
+using obs::json::Object;
+using obs::json::Value;
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+static bool setError(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+/// Reads exactly \p Len bytes; 1 on success, 0 on EOF at a frame boundary
+/// start, -1 on error or truncation.
+static int readExact(int Fd, char *Buffer, std::size_t Len, bool &SawData) {
+  std::size_t Done = 0;
+  while (Done < Len) {
+    ssize_t N = ::read(Fd, Buffer + Done, Len - Done);
+    if (N == 0)
+      return (Done == 0 && !SawData) ? 0 : -1;
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    SawData = true;
+    Done += static_cast<std::size_t>(N);
+  }
+  return 1;
+}
+
+bool srv::readFrame(int Fd, std::string &Payload, std::string *Error) {
+  unsigned char Prefix[4];
+  bool SawData = false;
+  int R = readExact(Fd, reinterpret_cast<char *>(Prefix), 4, SawData);
+  if (R == 0)
+    return setError(Error, ""); // clean EOF, empty error
+  if (R < 0)
+    return setError(Error, "truncated frame header");
+  const std::uint32_t Len = (std::uint32_t(Prefix[0]) << 24) |
+                            (std::uint32_t(Prefix[1]) << 16) |
+                            (std::uint32_t(Prefix[2]) << 8) |
+                            std::uint32_t(Prefix[3]);
+  if (Len > MaxFrameBytes)
+    return setError(Error,
+                    "frame of " + std::to_string(Len) + " bytes exceeds " +
+                        std::to_string(MaxFrameBytes));
+  Payload.resize(Len);
+  if (Len > 0 && readExact(Fd, Payload.data(), Len, SawData) != 1)
+    return setError(Error, "truncated frame payload");
+  return true;
+}
+
+bool srv::writeFrame(int Fd, const std::string &Payload,
+                     std::string *Error) {
+  if (Payload.size() > MaxFrameBytes)
+    return setError(Error, "frame payload exceeds MaxFrameBytes");
+  const std::uint32_t Len = static_cast<std::uint32_t>(Payload.size());
+  unsigned char Prefix[4] = {static_cast<unsigned char>(Len >> 24),
+                             static_cast<unsigned char>(Len >> 16),
+                             static_cast<unsigned char>(Len >> 8),
+                             static_cast<unsigned char>(Len)};
+  std::string Frame(reinterpret_cast<char *>(Prefix), 4);
+  Frame += Payload;
+  std::size_t Done = 0;
+  while (Done < Frame.size()) {
+    ssize_t N = ::write(Fd, Frame.data() + Done, Frame.size() - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return setError(Error, std::string("write failed: ") +
+                                 std::strerror(errno));
+    }
+    Done += static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Request handling
+//===----------------------------------------------------------------------===//
+
+static Value errorReply(const std::string &Message) {
+  Object O;
+  O.emplace_back("ok", false);
+  O.emplace_back("error", Message);
+  return Value(std::move(O));
+}
+
+/// Renders one JSON cell (string or number) as the raw column text the
+/// typed parser consumes. Returns false for any other JSON type.
+static bool cellText(const Value &Cell, std::string &Out) {
+  if (Cell.isString()) {
+    Out = Cell.asString();
+    return true;
+  }
+  if (Cell.isNumber()) {
+    const double D = Cell.asNumber();
+    if (D == static_cast<double>(static_cast<std::int64_t>(D)))
+      Out = std::to_string(static_cast<std::int64_t>(D));
+    else
+      Out = std::to_string(D);
+    return true;
+  }
+  return false;
+}
+
+static Value handleLoad(EngineSession &Session, const Value &Request) {
+  const Value *Facts = Request.find("facts");
+  if (!Facts || !Facts->isObject())
+    return errorReply("load requires a \"facts\" object");
+  TextBatch Batch;
+  for (const auto &[Relation, Rows] : Facts->asObject()) {
+    if (!Rows.isArray())
+      return errorReply("facts for '" + Relation + "' must be an array");
+    std::vector<std::vector<std::string>> Text;
+    for (const Value &Row : Rows.asArray()) {
+      if (!Row.isArray())
+        return errorReply("tuple for '" + Relation + "' must be an array");
+      std::vector<std::string> Cells;
+      for (const Value &Cell : Row.asArray()) {
+        std::string Raw;
+        if (!cellText(Cell, Raw))
+          return errorReply("cells must be strings or numbers");
+        Cells.push_back(std::move(Raw));
+      }
+      Text.push_back(std::move(Cells));
+    }
+    Batch.emplace_back(Relation, std::move(Text));
+  }
+
+  std::vector<FactError> Errors;
+  BatchResult Result = Session.loadFacts(Batch, Errors);
+  Object O;
+  O.emplace_back("ok", true);
+  O.emplace_back("inserted", static_cast<std::uint64_t>(Result.Inserted));
+  O.emplace_back("duplicates",
+                 static_cast<std::uint64_t>(Result.Duplicates));
+  O.emplace_back("incremental", Result.Incremental);
+  O.emplace_back("epoch", Result.Epoch);
+  O.emplace_back("seconds", Result.Seconds);
+  Array Warnings;
+  for (const FactError &Err : Errors)
+    Warnings.emplace_back(Err.render());
+  O.emplace_back("warnings", std::move(Warnings));
+  return Value(std::move(O));
+}
+
+static Value handleQuery(EngineSession &Session, const Value &Request) {
+  const Value *Relation = Request.find("relation");
+  if (!Relation || !Relation->isString())
+    return errorReply("query requires a \"relation\" string");
+  const std::string &Name = Relation->asString();
+  const std::vector<ColumnTypeKind> *Types = Session.relationTypes(Name);
+  if (!Types)
+    return errorReply("unknown relation '" + Name + "'");
+
+  Pattern P(Types->size());
+  if (const Value *PatternVal = Request.find("pattern")) {
+    if (!PatternVal->isArray())
+      return errorReply("\"pattern\" must be an array");
+    const Array &Cells = PatternVal->asArray();
+    if (Cells.size() != Types->size())
+      return errorReply("pattern has " + std::to_string(Cells.size()) +
+                        " columns, expected " +
+                        std::to_string(Types->size()));
+    for (std::size_t I = 0; I < Cells.size(); ++I) {
+      if (Cells[I].isNull())
+        continue;
+      std::string Raw;
+      if (!cellText(Cells[I], Raw))
+        return errorReply("pattern cells must be strings, numbers or null");
+      // An unknown symbol cannot match anything; binding to the key of an
+      // empty range would require interning it, so report no matches via
+      // an impossible pattern instead of polluting the symbol table.
+      if ((*Types)[I] == ColumnTypeKind::Symbol) {
+        RamDomain Ordinal = Session.symbols().lookup(Raw);
+        if (Ordinal < 0) {
+          Object O;
+          O.emplace_back("ok", true);
+          O.emplace_back("tuples", Array{});
+          O.emplace_back("count", std::uint64_t(0));
+          O.emplace_back("epoch", Session.epoch());
+          return Value(std::move(O));
+        }
+        P[I] = Ordinal;
+        continue;
+      }
+      RamDomain Cell = 0;
+      std::string Message;
+      if (!tryParseColumn(Raw, (*Types)[I], Session.symbols(), Cell,
+                          &Message))
+        return errorReply("pattern column " + std::to_string(I + 1) + ": " +
+                          Message);
+      P[I] = Cell;
+    }
+  }
+
+  Snapshot Snap = Session.snapshot();
+  QueryPlan Plan;
+  std::vector<DynTuple> Tuples = Snap.query(Name, P, &Plan);
+
+  Object O;
+  O.emplace_back("ok", true);
+  Array Rows;
+  for (const DynTuple &Tuple : Tuples) {
+    Array Row;
+    for (std::size_t I = 0; I < Tuple.size(); ++I)
+      Row.emplace_back(
+          printColumn(Tuple[I], (*Types)[I], Session.symbols()));
+    Rows.emplace_back(std::move(Row));
+  }
+  O.emplace_back("tuples", std::move(Rows));
+  O.emplace_back("count", static_cast<std::uint64_t>(Tuples.size()));
+  O.emplace_back("epoch", Snap.epoch());
+  Object PlanObj;
+  PlanObj.emplace_back("index", static_cast<std::uint64_t>(Plan.IndexPos));
+  PlanObj.emplace_back("prefix_len",
+                       static_cast<std::uint64_t>(Plan.PrefixLen));
+  PlanObj.emplace_back("residual_columns",
+                       static_cast<std::uint64_t>(Plan.ResidualColumns));
+  O.emplace_back("plan", std::move(PlanObj));
+  return Value(std::move(O));
+}
+
+static Value handleStats(EngineSession &Session,
+                         obs::LatencyAggregator &Latency) {
+  Snapshot Snap = Session.snapshot();
+  Object O;
+  O.emplace_back("ok", true);
+  O.emplace_back("protocol", WireProtocolVersion);
+  O.emplace_back("epoch", Snap.epoch());
+  O.emplace_back("incremental", Session.isIncremental());
+
+  // Declared relations only; the update program's aux relations are an
+  // implementation detail.
+  Array Relations;
+  const obs::StatsBlock &Stats = Snap.stats();
+  const auto &StatsRels = Snap.statsRelations();
+  for (const std::string &Name : Session.relationNames()) {
+    const interp::RelationWrapper *Rel = Snap.relation(Name);
+    if (!Rel)
+      continue;
+    Object R;
+    R.emplace_back("name", Name);
+    R.emplace_back("arity", static_cast<std::uint64_t>(Rel->getArity()));
+    R.emplace_back("size", static_cast<std::uint64_t>(Rel->size()));
+    const std::size_t Id = Rel->getStatsId();
+    if (Id < Stats.size() && Id < StatsRels.size() &&
+        StatsRels[Id] == Rel) {
+      Value StatsVal = obs::relationStatsJson(Stats[Id]);
+      for (auto &[Key, Val] : StatsVal.asObject())
+        R.emplace_back(Key, std::move(Val));
+    }
+    Relations.emplace_back(std::move(R));
+  }
+  O.emplace_back("relations", std::move(Relations));
+  O.emplace_back("latency", Latency.toJson());
+  return Value(std::move(O));
+}
+
+RequestOutcome srv::handleRequest(EngineSession &Session,
+                                  obs::LatencyAggregator &Latency,
+                                  const std::string &Payload) {
+  Timer T;
+  RequestOutcome Outcome;
+
+  std::string ParseError;
+  std::optional<Value> Request = obs::json::parse(Payload, &ParseError);
+  if (!Request || !Request->isObject()) {
+    Outcome.Reply = errorReply(
+        Request ? "request must be a JSON object"
+                : "malformed request: " + ParseError);
+  } else if (const Value *Cmd = Request->find("cmd");
+             !Cmd || !Cmd->isString()) {
+    Outcome.Reply = errorReply("request requires a \"cmd\" string");
+  } else {
+    Outcome.Command = Cmd->asString();
+    if (Outcome.Command == "load")
+      Outcome.Reply = handleLoad(Session, *Request);
+    else if (Outcome.Command == "query")
+      Outcome.Reply = handleQuery(Session, *Request);
+    else if (Outcome.Command == "stats")
+      Outcome.Reply = handleStats(Session, Latency);
+    else if (Outcome.Command == "shutdown") {
+      Object O;
+      O.emplace_back("ok", true);
+      Outcome.Reply = Value(std::move(O));
+      Outcome.Shutdown = true;
+    } else {
+      Outcome.Reply =
+          errorReply("unknown command '" + Outcome.Command + "'");
+    }
+  }
+
+  const std::uint64_t Micros = T.microseconds();
+  Latency.record(Outcome.Command, Micros);
+  Outcome.Reply.set("micros", Micros);
+  return Outcome;
+}

@@ -1,0 +1,70 @@
+//===- srv/Wire.h - Length-prefixed JSON wire protocol ----------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stird-wire-v1 protocol spoken between stird-serve and its clients:
+/// each message is one JSON document framed by a 4-byte big-endian length
+/// prefix, over a Unix or TCP stream socket. Requests carry a "cmd" member
+/// (load / query / stats / shutdown); every reply carries "ok" plus either
+/// the command's payload or an "error" string, and "micros" with the
+/// server-side handling time. docs/wire-protocol.md is the normative
+/// schema description.
+///
+/// The request handler is a pure function of (session, payload) so tests
+/// drive the full protocol without sockets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_SRV_WIRE_H
+#define STIRD_SRV_WIRE_H
+
+#include "obs/Json.h"
+#include "obs/Serve.h"
+#include "srv/Session.h"
+
+#include <cstddef>
+#include <string>
+
+namespace stird::srv {
+
+/// Protocol identifier reported by `stats` replies.
+inline constexpr const char *WireProtocolVersion = "stird-wire-v1";
+
+/// Upper bound on one frame's payload; oversized frames poison the
+/// connection (the reader cannot resynchronize) and are reported as errors.
+inline constexpr std::size_t MaxFrameBytes = std::size_t(64) << 20;
+
+/// Reads one length-prefixed frame from \p Fd into \p Payload. Returns
+/// false on clean EOF before any prefix byte; fails (false with \p Error
+/// set) on truncated frames, oversized lengths, or IO errors.
+bool readFrame(int Fd, std::string &Payload, std::string *Error = nullptr);
+
+/// Writes one length-prefixed frame. False with \p Error on failure.
+bool writeFrame(int Fd, const std::string &Payload,
+                std::string *Error = nullptr);
+
+/// Result of handling one request frame.
+struct RequestOutcome {
+  /// The reply document to send back.
+  obs::json::Value Reply;
+  /// True when the request asked the server to shut down.
+  bool Shutdown = false;
+  /// The dispatched command name ("?" for malformed requests).
+  std::string Command = "?";
+};
+
+/// Executes one stird-wire-v1 request against \p Session: parses
+/// \p Payload, dispatches on "cmd", stamps the reply with "micros" and
+/// records the latency under the command name in \p Latency. Malformed or
+/// unknown requests yield {"ok":false,"error":...} replies — the
+/// connection stays usable.
+RequestOutcome handleRequest(EngineSession &Session,
+                             obs::LatencyAggregator &Latency,
+                             const std::string &Payload);
+
+} // namespace stird::srv
+
+#endif // STIRD_SRV_WIRE_H

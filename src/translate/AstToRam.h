@@ -39,6 +39,17 @@ struct TranslationOptions {
   /// delta relations; every round rescans the full relations). Slower but
   /// semantically identical — used by the semi-naive equivalence tests.
   bool ForceNaiveEvaluation = false;
+  /// Additionally emit an incremental-update statement
+  /// (ram::Program::getUpdate()) that re-derives the fixpoint after a
+  /// monotonic batch of EDB additions, seeding semi-naive evaluation from
+  /// per-relation delta relations instead of recomputing from scratch.
+  /// Programs using negation, aggregates, `$` or eqrel relations are not
+  /// eligible (additions are not monotonic for them, or deltas lose the
+  /// closure semantics); for those no update statement is emitted and
+  /// resident sessions fall back to re-running main. Off by default: the
+  /// extra aux relations would perturb dumps and index-selection goldens
+  /// of the one-shot pipeline.
+  bool EmitUpdateProgram = false;
 };
 
 /// Result of translation.

@@ -244,10 +244,13 @@ stird::translate::computeIndexes(const std::vector<std::uint32_t> &Signatures,
 
 IndexSelectionResult stird::translate::selectIndexes(ram::Program &Prog) {
   std::map<const Relation *, std::set<std::uint32_t>> Searches;
-  if (Prog.hasMain()) {
-    SearchCollector Collector(Searches);
+  SearchCollector Collector(Searches);
+  if (Prog.hasMain())
     Collector.visitStmt(Prog.getMain());
-  }
+  // The incremental-update statement runs over the same relations; its
+  // searches (delta scans, guards) must be index-served too.
+  if (Prog.hasUpdate())
+    Collector.visitStmt(Prog.getUpdate());
 
   // Union-find over relations connected by Swap statements: swapped
   // relations must agree on their physical index layout.
@@ -285,6 +288,8 @@ IndexSelectionResult stird::translate::selectIndexes(ram::Program &Prog) {
       };
   if (Prog.hasMain())
     FindSwaps(Prog.getMain());
+  if (Prog.hasUpdate())
+    FindSwaps(Prog.getUpdate());
 
   // Merge search sets per swap group.
   std::map<const Relation *, std::set<std::uint32_t>> GroupSearches;

@@ -1,0 +1,172 @@
+//===- util/Args.cpp - Declarative command-line parsing --------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/Args.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace stird::util;
+
+Args::Args(std::string Tool, std::string Synopsis)
+    : Tool(std::move(Tool)), Synopsis(std::move(Synopsis)) {}
+
+Args &Args::flag(std::vector<std::string> Names, std::string Help,
+                 std::function<void()> Sink) {
+  Specs.push_back({Kind::Flag, std::move(Names), "", std::move(Help),
+                   std::move(Sink), nullptr});
+  return *this;
+}
+
+Args &Args::option(std::vector<std::string> Names, std::string Meta,
+                   std::string Help,
+                   std::function<std::string(const std::string &)> Sink) {
+  Specs.push_back({Kind::Option, std::move(Names), std::move(Meta),
+                   std::move(Help), nullptr, std::move(Sink)});
+  return *this;
+}
+
+Args &Args::optionalValue(
+    std::vector<std::string> Names, std::string Meta, std::string Help,
+    std::function<std::string(const std::string &)> Sink) {
+  Specs.push_back({Kind::OptionalValue, std::move(Names), std::move(Meta),
+                   std::move(Help), nullptr, std::move(Sink)});
+  return *this;
+}
+
+Args &Args::positional(std::string Meta,
+                       std::function<std::string(const std::string &)> Sink,
+                       bool Required, bool Variadic) {
+  Positionals.push_back(
+      {std::move(Meta), std::move(Sink), Required, Variadic});
+  return *this;
+}
+
+const Args::Spec *Args::find(const std::string &Name) const {
+  for (const Spec &S : Specs)
+    for (const std::string &N : S.Names)
+      if (N == Name)
+        return &S;
+  return nullptr;
+}
+
+bool Args::parse(int Argc, const char *const *Argv, std::string *Error) {
+  auto Fail = [&](std::string Message) {
+    if (Error)
+      *Error = std::move(Message);
+    return false;
+  };
+  std::size_t NextPositional = 0;
+  bool VariadicFed = false;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    const bool IsOption = Arg.size() > 1 && Arg[0] == '-';
+    if (!IsOption) {
+      if (NextPositional >= Positionals.size())
+        return Fail("unexpected argument '" + Arg + "'");
+      const Positional &P = Positionals[NextPositional];
+      if (P.Variadic)
+        VariadicFed = true;
+      else
+        ++NextPositional;
+      if (std::string Err = P.Sink(Arg); !Err.empty())
+        return Fail(Err);
+      continue;
+    }
+    if (Arg == "-h" || Arg == "--help") {
+      Help = true;
+      return true;
+    }
+    std::string Name = Arg;
+    std::string Attached;
+    bool HasAttached = false;
+    if (std::size_t Eq = Arg.find('='); Eq != std::string::npos) {
+      Name = Arg.substr(0, Eq);
+      Attached = Arg.substr(Eq + 1);
+      HasAttached = true;
+    }
+    const Spec *S = find(Name);
+    if (!S)
+      return Fail("unknown option '" + Name + "'");
+    switch (S->TheKind) {
+    case Kind::Flag:
+      if (HasAttached)
+        return Fail("option '" + Name + "' does not take a value");
+      S->FlagSink();
+      break;
+    case Kind::Option: {
+      std::string Value;
+      if (HasAttached) {
+        Value = Attached;
+      } else if (I + 1 < Argc) {
+        Value = Argv[++I];
+      } else {
+        return Fail("option '" + Name + "' requires a value");
+      }
+      if (std::string Err = S->ValueSink(Value); !Err.empty())
+        return Fail(Err);
+      break;
+    }
+    case Kind::OptionalValue:
+      if (HasAttached && Attached.empty())
+        return Fail("option '" + Name + "=' requires a value");
+      if (std::string Err = S->ValueSink(HasAttached ? Attached : "");
+          !Err.empty())
+        return Fail(Err);
+      break;
+    }
+  }
+  if (NextPositional < Positionals.size() &&
+      Positionals[NextPositional].Required &&
+      !(Positionals[NextPositional].Variadic && VariadicFed))
+    return Fail("missing " + Positionals[NextPositional].Meta);
+  return true;
+}
+
+void Args::parseOrExit(int Argc, const char *const *Argv) {
+  std::string Error;
+  if (!parse(Argc, Argv, &Error)) {
+    std::fprintf(stderr, "%s: %s\n%s", Tool.c_str(), Error.c_str(),
+                 usage().c_str());
+    std::exit(1);
+  }
+  if (Help) {
+    std::fputs(usage().c_str(), stdout);
+    std::exit(0);
+  }
+}
+
+std::string Args::usage() const {
+  std::string Out = "usage: " + Tool;
+  for (const Positional &P : Positionals)
+    Out += P.Required ? " <" + P.Meta + ">" : " [" + P.Meta + "]";
+  if (!Synopsis.empty())
+    Out += " " + Synopsis;
+  Out += "\n";
+  auto Render = [](const Spec &S) {
+    std::string Left = "  ";
+    for (std::size_t I = 0; I < S.Names.size(); ++I) {
+      if (I != 0)
+        Left += ", ";
+      Left += S.Names[I];
+    }
+    if (S.TheKind == Kind::Option)
+      Left += " <" + S.Meta + ">";
+    else if (S.TheKind == Kind::OptionalValue)
+      Left += "[=<" + S.Meta + ">]";
+    return Left;
+  };
+  for (const Spec &S : Specs) {
+    std::string Left = Render(S);
+    // Two columns: pad short spellings, break the line for long ones.
+    if (Left.size() < 28)
+      Left.resize(28, ' ');
+    else
+      Left += "\n" + std::string(28, ' ');
+    Out += Left + S.Help + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,105 @@
+//===- util/Args.h - Declarative command-line parsing -----------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flag parser shared by the stird command-line tools (stird,
+/// stird-profile, stird-serve, stird-client). Each tool registers its
+/// flags, value options and positionals with sinks; parsing handles the
+/// `--name value` / `--name=value` forms, unknown-option and
+/// missing-value diagnostics, and renders the usage text from the
+/// registered specs so help never drifts from the implementation.
+///
+/// Sinks for value options return an error message ("" on success), so a
+/// tool can reject a malformed value with its own wording and still get
+/// the shared "print error + usage, exit 1" behaviour of parseOrExit().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_UTIL_ARGS_H
+#define STIRD_UTIL_ARGS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace stird::util {
+
+class Args {
+public:
+  /// \p Tool is the program name for the usage line; \p Synopsis the part
+  /// after it (e.g. "<program.dl> [options]").
+  Args(std::string Tool, std::string Synopsis);
+
+  /// A boolean flag: `--name`. Rejects `--name=value`.
+  Args &flag(std::vector<std::string> Names, std::string Help,
+             std::function<void()> Sink);
+
+  /// A value option: `--name value` or `--name=value`. The sink returns
+  /// "" to accept the value or an error message to reject it.
+  Args &option(std::vector<std::string> Names, std::string Meta,
+               std::string Help,
+               std::function<std::string(const std::string &)> Sink);
+
+  /// An option whose value is optional and only attaches with '=':
+  /// `--name` passes "" to the sink, `--name=value` passes the value
+  /// (stird's `--profile[=<file>]`). A following bare argument is NOT
+  /// consumed as the value.
+  Args &optionalValue(std::vector<std::string> Names, std::string Meta,
+                      std::string Help,
+                      std::function<std::string(const std::string &)> Sink);
+
+  /// The next positional argument (registration order). Required
+  /// positionals missing at the end of the command line are an error.
+  /// A variadic positional (necessarily the last) absorbs every remaining
+  /// non-option argument, invoking the sink once per occurrence.
+  Args &positional(std::string Meta,
+                   std::function<std::string(const std::string &)> Sink,
+                   bool Required = true, bool Variadic = false);
+
+  /// Parses the command line. On failure returns false and, when given,
+  /// fills \p Error with a one-line diagnostic. `-h`/`--help` are always
+  /// recognized and reported via helpRequested().
+  bool parse(int Argc, const char *const *Argv, std::string *Error = nullptr);
+
+  /// parse() with the shared tool behaviour: on error prints the
+  /// diagnostic and the usage text to stderr and exits 1; on `--help`
+  /// prints the usage text to stdout and exits 0.
+  void parseOrExit(int Argc, const char *const *Argv);
+
+  bool helpRequested() const { return Help; }
+
+  /// The full usage text rendered from the registered specs.
+  std::string usage() const;
+
+private:
+  enum class Kind { Flag, Option, OptionalValue };
+  struct Spec {
+    Kind TheKind;
+    std::vector<std::string> Names;
+    std::string Meta;
+    std::string Help;
+    std::function<void()> FlagSink;
+    std::function<std::string(const std::string &)> ValueSink;
+  };
+  struct Positional {
+    std::string Meta;
+    std::function<std::string(const std::string &)> Sink;
+    bool Required;
+    bool Variadic;
+  };
+
+  const Spec *find(const std::string &Name) const;
+
+  std::string Tool;
+  std::string Synopsis;
+  std::vector<Spec> Specs;
+  std::vector<Positional> Positionals;
+  bool Help = false;
+};
+
+} // namespace stird::util
+
+#endif // STIRD_UTIL_ARGS_H

@@ -14,36 +14,68 @@
 
 using namespace stird;
 
-RamDomain stird::parseColumn(const std::string &Raw, ColumnTypeKind Kind,
-                             SymbolTable &Symbols) {
+std::string FactError::render() const {
+  std::string Out = File + ":" + std::to_string(Line) + ": ";
+  if (Column != 0)
+    Out += "column " + std::to_string(Column) + ": ";
+  return Out + Message;
+}
+
+bool stird::tryParseColumn(const std::string &Raw, ColumnTypeKind Kind,
+                           SymbolTable &Symbols, RamDomain &Out,
+                           std::string *Message) {
+  auto Fail = [&](const char *What) {
+    if (Message)
+      *Message = std::string("malformed ") + What + " column: '" + Raw + "'";
+    return false;
+  };
   switch (Kind) {
   case ColumnTypeKind::Number: {
     RamDomain Value = 0;
     auto [Ptr, Ec] =
         std::from_chars(Raw.data(), Raw.data() + Raw.size(), Value);
     if (Ec != std::errc() || Ptr != Raw.data() + Raw.size())
-      fatal("malformed number column: '" + Raw + "'");
-    return Value;
+      return Fail("number");
+    Out = Value;
+    return true;
   }
   case ColumnTypeKind::Unsigned: {
     RamUnsigned Value = 0;
     auto [Ptr, Ec] =
         std::from_chars(Raw.data(), Raw.data() + Raw.size(), Value);
     if (Ec != std::errc() || Ptr != Raw.data() + Raw.size())
-      fatal("malformed unsigned column: '" + Raw + "'");
-    return ramBitCast<RamDomain>(Value);
+      return Fail("unsigned");
+    Out = ramBitCast<RamDomain>(Value);
+    return true;
   }
   case ColumnTypeKind::Float: {
+    // std::stod accepts trailing garbage ("1.5x" -> 1.5); require the
+    // whole cell to be consumed so such rows are rejected, not mis-read.
     try {
-      return ramBitCast<RamDomain>(static_cast<RamFloat>(std::stod(Raw)));
+      std::size_t Consumed = 0;
+      const double Value = std::stod(Raw, &Consumed);
+      if (Consumed != Raw.size())
+        return Fail("float");
+      Out = ramBitCast<RamDomain>(static_cast<RamFloat>(Value));
+      return true;
     } catch (...) {
-      fatal("malformed float column: '" + Raw + "'");
+      return Fail("float");
     }
   }
   case ColumnTypeKind::Symbol:
-    return Symbols.intern(Raw);
+    Out = Symbols.intern(Raw);
+    return true;
   }
   unreachable("unknown column type");
+}
+
+RamDomain stird::parseColumn(const std::string &Raw, ColumnTypeKind Kind,
+                             SymbolTable &Symbols) {
+  RamDomain Out = 0;
+  std::string Message;
+  if (!tryParseColumn(Raw, Kind, Symbols, Out, &Message))
+    fatal(Message);
+  return Out;
 }
 
 std::string stird::printColumn(RamDomain Value, ColumnTypeKind Kind,
@@ -67,26 +99,64 @@ std::string stird::printColumn(RamDomain Value, ColumnTypeKind Kind,
 std::vector<DynTuple>
 stird::readFactStream(std::istream &In,
                       const std::vector<ColumnTypeKind> &Types,
-                      SymbolTable &Symbols) {
+                      SymbolTable &Symbols, std::vector<FactError> *Errors,
+                      const std::string &Name) {
   std::vector<DynTuple> Tuples;
   std::string Line;
+  std::size_t LineNo = 0;
+  // Reports one malformed row: records it (skipping the row) when the
+  // caller collects errors, aborts with the same context otherwise.
+  auto Report = [&](std::size_t Column, std::string Message) {
+    FactError Err{Name, LineNo, Column, std::move(Message)};
+    if (Errors)
+      Errors->push_back(std::move(Err));
+    else
+      fatal(Err.render());
+  };
   while (std::getline(In, Line)) {
+    ++LineNo;
     if (Line.empty())
       continue;
     DynTuple Tuple;
     Tuple.reserve(Types.size());
     std::size_t Begin = 0;
-    for (std::size_t Col = 0; Col < Types.size(); ++Col) {
-      std::size_t End = (Col + 1 == Types.size())
-                            ? Line.size()
-                            : Line.find('\t', Begin);
-      if (End == std::string::npos)
-        fatal("fact line has too few columns: '" + Line + "'");
-      Tuple.push_back(
-          parseColumn(Line.substr(Begin, End - Begin), Types[Col], Symbols));
+    bool Ok = true;
+    for (std::size_t Col = 0; Col < Types.size() && Ok; ++Col) {
+      const bool Last = Col + 1 == Types.size();
+      std::size_t End = Line.find('\t', Begin);
+      if (Last && End != std::string::npos) {
+        // The row continues past its final declared column: count every
+        // remaining separator so the message reports the true width.
+        std::size_t Total = Types.size();
+        for (std::size_t At = End; At != std::string::npos;
+             At = Line.find('\t', At + 1))
+          ++Total;
+        Report(0, "row has " + std::to_string(Total) + " columns, expected " +
+                      std::to_string(Types.size()));
+        Ok = false;
+        break;
+      }
+      if (Last)
+        End = Line.size();
+      if (End == std::string::npos) {
+        Report(0, "row has " + std::to_string(Col + 1) +
+                      " columns, expected " + std::to_string(Types.size()));
+        Ok = false;
+        break;
+      }
+      RamDomain Value = 0;
+      std::string Message;
+      if (!tryParseColumn(Line.substr(Begin, End - Begin), Types[Col],
+                          Symbols, Value, &Message)) {
+        Report(Col + 1, std::move(Message));
+        Ok = false;
+        break;
+      }
+      Tuple.push_back(Value);
       Begin = End + 1;
     }
-    Tuples.push_back(std::move(Tuple));
+    if (Ok)
+      Tuples.push_back(std::move(Tuple));
   }
   return Tuples;
 }
@@ -94,11 +164,16 @@ stird::readFactStream(std::istream &In,
 std::vector<DynTuple>
 stird::readFactFile(const std::string &Path,
                     const std::vector<ColumnTypeKind> &Types,
-                    SymbolTable &Symbols) {
+                    SymbolTable &Symbols, std::vector<FactError> *Errors) {
   std::ifstream In(Path);
-  if (!In)
+  if (!In) {
+    if (Errors) {
+      Errors->push_back({Path, 0, 0, "cannot open fact file"});
+      return {};
+    }
     fatal("cannot open fact file '" + Path + "'");
-  return readFactStream(In, Types, Symbols);
+  }
+  return readFactStream(In, Types, Symbols, Errors, Path);
 }
 
 void stird::writeFactFile(const std::string &Path,

@@ -10,6 +10,12 @@
 /// the .input/.output directives and by the synthesized binaries, so both
 /// execution paths consume identical data.
 ///
+/// Malformed rows are never silently mis-parsed: every cell must consume
+/// its whole column, and every row must have exactly the declared column
+/// count. Callers either receive structured FactError diagnostics (file,
+/// 1-based line, 1-based column) with the bad rows skipped, or — when no
+/// error sink is supplied — a fatal error carrying the same context.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STIRD_UTIL_CSV_H
@@ -18,6 +24,7 @@
 #include "util/RamTypes.h"
 #include "util/SymbolTable.h"
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -27,8 +34,32 @@ namespace stird {
 /// How a single fact-file column is converted to/from a RamDomain cell.
 enum class ColumnTypeKind { Number, Unsigned, Float, Symbol };
 
+/// One malformed fact-file row.
+struct FactError {
+  /// Source name: the file path, or the caller-supplied stream name.
+  std::string File;
+  /// 1-based line number of the bad row.
+  std::size_t Line = 0;
+  /// 1-based column (field) number, 0 when the whole row is malformed
+  /// (wrong column count).
+  std::size_t Column = 0;
+  std::string Message;
+
+  /// "facts/edge.facts:3: column 2: malformed number column: '1x'".
+  std::string render() const;
+};
+
+/// Parses one raw column string into \p Out according to \p Kind,
+/// interning through \p Symbols when the column holds a symbol. Returns
+/// false (with a diagnostic in \p Message when given) if the cell does not
+/// parse exactly — trailing garbage after a number counts as malformed.
+bool tryParseColumn(const std::string &Raw, ColumnTypeKind Kind,
+                    SymbolTable &Symbols, RamDomain &Out,
+                    std::string *Message = nullptr);
+
 /// Parses one raw column string into a RamDomain according to \p Kind,
-/// interning through \p Symbols when the column holds a symbol.
+/// interning through \p Symbols when the column holds a symbol. Fatal on
+/// malformed input.
 RamDomain parseColumn(const std::string &Raw, ColumnTypeKind Kind,
                       SymbolTable &Symbols);
 
@@ -37,16 +68,21 @@ std::string printColumn(RamDomain Value, ColumnTypeKind Kind,
                         const SymbolTable &Symbols);
 
 /// Reads a whole tab-separated fact file. Each line must have exactly
-/// Types.size() columns. Returns the tuples in file order.
+/// Types.size() columns. Returns the well-formed tuples in file order.
+/// With \p Errors, malformed rows are reported there and skipped;
+/// without, the first malformed row is fatal (with file:line context).
 std::vector<DynTuple> readFactFile(const std::string &Path,
                                    const std::vector<ColumnTypeKind> &Types,
-                                   SymbolTable &Symbols);
+                                   SymbolTable &Symbols,
+                                   std::vector<FactError> *Errors = nullptr);
 
 /// Parses fact tuples from an already-open stream (used by tests and by
-/// in-memory inputs).
+/// in-memory inputs). \p Name labels diagnostics in place of a file path.
 std::vector<DynTuple> readFactStream(std::istream &In,
                                      const std::vector<ColumnTypeKind> &Types,
-                                     SymbolTable &Symbols);
+                                     SymbolTable &Symbols,
+                                     std::vector<FactError> *Errors = nullptr,
+                                     const std::string &Name = "<stream>");
 
 /// Writes tuples as a tab-separated fact file.
 void writeFactFile(const std::string &Path,

@@ -38,33 +38,50 @@ TEST(RobustnessDeathTest, MissingFactFileIsFatal) {
   EXPECT_DEATH(Engine->run(), "cannot open fact file");
 }
 
-TEST(RobustnessDeathTest, MalformedNumberColumnIsFatal) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  const std::string Dir = ::testing::TempDir();
+TEST(RobustnessTest, MalformedNumberColumnIsSkippedAndReported) {
+  // Malformed rows no longer abort the run: they are skipped and reported
+  // with file, line and column via Engine::getIoErrors().
+  const std::string Dir = ::testing::TempDir() + "/badnum";
+  std::filesystem::create_directories(Dir);
   {
     std::ofstream Out(Dir + "/e.facts");
+    Out << "1\t2\n";
     Out << "1\tnot_a_number\n";
+    Out << "3\t4\n";
   }
   auto Prog = ioProgram();
   interp::EngineOptions Options;
   Options.FactDir = Dir;
   auto Engine = Prog->makeEngine(Options);
-  EXPECT_DEATH(Engine->run(), "malformed number column");
+  Engine->run();
+  EXPECT_EQ(Engine->getTuples("p"),
+            (std::vector<DynTuple>{{1, 2}, {3, 4}}));
+  ASSERT_EQ(Engine->getIoErrors().size(), 1u);
+  const FactError &Err = Engine->getIoErrors()[0];
+  EXPECT_EQ(Err.Line, 2u);
+  EXPECT_EQ(Err.Column, 2u);
+  EXPECT_NE(Err.Message.find("malformed number column"), std::string::npos);
+  EXPECT_NE(Err.File.find("e.facts"), std::string::npos);
 }
 
-TEST(RobustnessDeathTest, TruncatedFactLineIsFatal) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(RobustnessTest, TruncatedFactLineIsSkippedAndReported) {
   const std::string Dir = ::testing::TempDir() + "/trunc";
   std::filesystem::create_directories(Dir);
   {
     std::ofstream Out(Dir + "/e.facts");
     Out << "1\n"; // needs two columns
+    Out << "5\t6\n";
   }
   auto Prog = ioProgram();
   interp::EngineOptions Options;
   Options.FactDir = Dir;
   auto Engine = Prog->makeEngine(Options);
-  EXPECT_DEATH(Engine->run(), "too few columns");
+  Engine->run();
+  EXPECT_EQ(Engine->getTuples("p"), (std::vector<DynTuple>{{5, 6}}));
+  ASSERT_EQ(Engine->getIoErrors().size(), 1u);
+  EXPECT_EQ(Engine->getIoErrors()[0].Line, 1u);
+  EXPECT_NE(Engine->getIoErrors()[0].Message.find("row has 1 columns"),
+            std::string::npos);
 }
 
 TEST(RobustnessDeathTest, UnknownRelationAccessIsFatal) {

@@ -1,0 +1,291 @@
+//===- tests/srv/WireTest.cpp - stird-wire-v1 protocol tests ------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire layer in two halves, without a server: framing over a
+/// socketpair (round trips, clean EOF vs truncation, the oversized-frame
+/// guard) and handleRequest as a pure protocol function (command dispatch,
+/// error replies that keep the connection usable, the load/query/stats
+/// flows and their reply schemas).
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "srv/Session.h"
+#include "srv/Wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace stird;
+using namespace stird::srv;
+using obs::json::Value;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+struct SocketPair {
+  int Fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0); }
+  ~SocketPair() {
+    for (int Fd : Fds)
+      if (Fd >= 0)
+        ::close(Fd);
+  }
+  void closeWriter() {
+    ::close(Fds[0]);
+    Fds[0] = -1;
+  }
+};
+
+TEST(WireFramingTest, RoundTripsPayloads) {
+  SocketPair S;
+  // A frame larger than the socket buffer forces both sides to loop over
+  // partial reads/writes, so the writer runs on its own thread.
+  for (const std::string &Payload :
+       {std::string(""), std::string("{\"cmd\":\"stats\"}"),
+        std::string(1 << 20, 'x')}) {
+    std::thread Writer(
+        [&] { EXPECT_TRUE(writeFrame(S.Fds[0], Payload)); });
+    std::string Read;
+    ASSERT_TRUE(readFrame(S.Fds[1], Read));
+    Writer.join();
+    EXPECT_EQ(Read, Payload);
+  }
+}
+
+TEST(WireFramingTest, BackToBackFramesStayAligned) {
+  SocketPair S;
+  ASSERT_TRUE(writeFrame(S.Fds[0], "first"));
+  ASSERT_TRUE(writeFrame(S.Fds[0], ""));
+  ASSERT_TRUE(writeFrame(S.Fds[0], "third"));
+  std::string Read;
+  ASSERT_TRUE(readFrame(S.Fds[1], Read));
+  EXPECT_EQ(Read, "first");
+  ASSERT_TRUE(readFrame(S.Fds[1], Read));
+  EXPECT_EQ(Read, "");
+  ASSERT_TRUE(readFrame(S.Fds[1], Read));
+  EXPECT_EQ(Read, "third");
+}
+
+TEST(WireFramingTest, CleanEofIsNotAnError) {
+  SocketPair S;
+  S.closeWriter();
+  std::string Read, Error = "sentinel";
+  EXPECT_FALSE(readFrame(S.Fds[1], Read, &Error));
+  EXPECT_EQ(Error, "") << "EOF at a frame boundary must report no error";
+}
+
+TEST(WireFramingTest, TruncatedHeaderAndPayloadAreErrors) {
+  {
+    SocketPair S;
+    const char Partial[2] = {0, 0};
+    ASSERT_EQ(::write(S.Fds[0], Partial, 2), 2);
+    S.closeWriter();
+    std::string Read, Error;
+    EXPECT_FALSE(readFrame(S.Fds[1], Read, &Error));
+    EXPECT_NE(Error.find("truncated frame header"), std::string::npos);
+  }
+  {
+    SocketPair S;
+    const unsigned char Header[4] = {0, 0, 0, 10}; // promises 10 bytes
+    ASSERT_EQ(::write(S.Fds[0], Header, 4), 4);
+    ASSERT_EQ(::write(S.Fds[0], "abc", 3), 3);
+    S.closeWriter();
+    std::string Read, Error;
+    EXPECT_FALSE(readFrame(S.Fds[1], Read, &Error));
+    EXPECT_NE(Error.find("truncated frame payload"), std::string::npos);
+  }
+}
+
+TEST(WireFramingTest, OversizedFrameIsRejected) {
+  SocketPair S;
+  const unsigned char Header[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(::write(S.Fds[0], Header, 4), 4);
+  std::string Read, Error;
+  EXPECT_FALSE(readFrame(S.Fds[1], Read, &Error));
+  EXPECT_NE(Error.find("exceeds"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Request handling
+//===----------------------------------------------------------------------===//
+
+constexpr const char *TcSource = R"(
+  .decl edge(a:number, b:number)
+  .decl path(a:number, b:number)
+  path(x, y) :- edge(x, y).
+  path(x, z) :- path(x, y), edge(y, z).
+)";
+
+class WireRequestTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Session = EngineSession::fromSource(TcSource);
+    ASSERT_NE(Session, nullptr);
+  }
+
+  /// Dispatches one request and parses the reply document.
+  Value reply(const std::string &Payload, bool *Shutdown = nullptr) {
+    RequestOutcome Outcome = handleRequest(*Session, Latency, Payload);
+    if (Shutdown)
+      *Shutdown = Outcome.Shutdown;
+    return std::move(Outcome.Reply);
+  }
+
+  static bool okOf(const Value &Reply) {
+    const Value *Ok = Reply.find("ok");
+    return Ok && Ok->isBool() && Ok->asBool();
+  }
+
+  static std::string errorOf(const Value &Reply) {
+    const Value *Error = Reply.find("error");
+    return Error && Error->isString() ? Error->asString() : "";
+  }
+
+  std::unique_ptr<EngineSession> Session;
+  obs::LatencyAggregator Latency;
+};
+
+TEST_F(WireRequestTest, MalformedRequestsYieldErrorReplies) {
+  EXPECT_NE(errorOf(reply("{not json")).find("malformed request"),
+            std::string::npos);
+  EXPECT_NE(errorOf(reply("[1,2]")).find("must be a JSON object"),
+            std::string::npos);
+  EXPECT_NE(errorOf(reply("{\"x\":1}")).find("\"cmd\" string"),
+            std::string::npos);
+  EXPECT_NE(errorOf(reply("{\"cmd\":\"frobnicate\"}"))
+                .find("unknown command 'frobnicate'"),
+            std::string::npos);
+  // Every reply, error or not, carries the handling time.
+  const Value R = reply("{bad");
+  ASSERT_NE(R.find("micros"), nullptr);
+}
+
+TEST_F(WireRequestTest, LoadDerivesAndReportsCounts) {
+  const Value R = reply(
+      R"({"cmd":"load","facts":{"edge":[["1","2"],[2,3],["1","2"]]}})");
+  ASSERT_TRUE(okOf(R)) << errorOf(R);
+  EXPECT_EQ(R.find("inserted")->asNumber(), 2);
+  EXPECT_EQ(R.find("duplicates")->asNumber(), 1);
+  EXPECT_EQ(R.find("epoch")->asNumber(), 1);
+  EXPECT_TRUE(R.find("incremental")->asBool());
+
+  const Value Q = reply(R"({"cmd":"query","relation":"path"})");
+  ASSERT_TRUE(okOf(Q)) << errorOf(Q);
+  EXPECT_EQ(Q.find("count")->asNumber(), 3);
+}
+
+TEST_F(WireRequestTest, LoadReportsMalformedRowsAsWarnings) {
+  const Value R = reply(
+      R"({"cmd":"load","facts":{"edge":[["1","2"],["x","3"]]}})");
+  ASSERT_TRUE(okOf(R));
+  EXPECT_EQ(R.find("inserted")->asNumber(), 1);
+  const auto &Warnings = R.find("warnings")->asArray();
+  ASSERT_EQ(Warnings.size(), 1u);
+  EXPECT_NE(Warnings[0].asString().find("malformed number"),
+            std::string::npos);
+}
+
+TEST_F(WireRequestTest, LoadRejectsMalformedShapes) {
+  EXPECT_NE(errorOf(reply(R"({"cmd":"load"})")).find("\"facts\" object"),
+            std::string::npos);
+  EXPECT_NE(errorOf(reply(R"({"cmd":"load","facts":{"edge":[[true]]}})"))
+                .find("strings or numbers"),
+            std::string::npos);
+}
+
+TEST_F(WireRequestTest, QueryBindsPatternsAndReportsThePlan) {
+  reply(R"({"cmd":"load","facts":{"edge":[[1,2],[2,3],[3,4]]}})");
+  const Value R =
+      reply(R"({"cmd":"query","relation":"path","pattern":[1,null]})");
+  ASSERT_TRUE(okOf(R)) << errorOf(R);
+  EXPECT_EQ(R.find("count")->asNumber(), 3);
+  const auto &Tuples = R.find("tuples")->asArray();
+  for (const Value &Row : Tuples)
+    EXPECT_EQ(Row.asArray()[0].asString(), "1");
+  const Value *Plan = R.find("plan");
+  ASSERT_NE(Plan, nullptr);
+  EXPECT_GE(Plan->find("prefix_len")->asNumber(), 1);
+}
+
+TEST_F(WireRequestTest, QueryValidatesRelationAndPattern) {
+  EXPECT_NE(errorOf(reply(R"({"cmd":"query"})")).find("\"relation\""),
+            std::string::npos);
+  EXPECT_NE(errorOf(reply(R"({"cmd":"query","relation":"nosuch"})"))
+                .find("unknown relation 'nosuch'"),
+            std::string::npos);
+  EXPECT_NE(errorOf(reply(R"({"cmd":"query","relation":"path",
+                             "pattern":[1]})"))
+                .find("1 columns, expected 2"),
+            std::string::npos);
+  EXPECT_NE(errorOf(reply(R"({"cmd":"query","relation":"path",
+                             "pattern":["x",null]})"))
+                .find("pattern column 1"),
+            std::string::npos);
+}
+
+TEST_F(WireRequestTest, UnknownSymbolsInPatternsMatchNothing) {
+  auto Symbolic = EngineSession::fromSource(R"(
+    .decl name(x:symbol)
+    .decl seen(x:symbol)
+    seen(x) :- name(x).
+  )");
+  ASSERT_NE(Symbolic, nullptr);
+  obs::LatencyAggregator Agg;
+  handleRequest(*Symbolic, Agg, R"({"cmd":"load","facts":{"name":[["a"]]}})");
+  const std::size_t InternedBefore = Symbolic->symbols().size();
+
+  RequestOutcome Outcome = handleRequest(
+      *Symbolic, Agg,
+      R"({"cmd":"query","relation":"seen","pattern":["never-interned"]})");
+  ASSERT_TRUE(okOf(Outcome.Reply));
+  EXPECT_EQ(Outcome.Reply.find("count")->asNumber(), 0);
+  // The read-only miss must not grow the shared symbol table.
+  EXPECT_EQ(Symbolic->symbols().size(), InternedBefore);
+}
+
+TEST_F(WireRequestTest, StatsReportsProtocolRelationsAndLatency) {
+  reply(R"({"cmd":"load","facts":{"edge":[[1,2]]}})");
+  reply(R"({"cmd":"query","relation":"path"})");
+  const Value R = reply(R"({"cmd":"stats"})");
+  ASSERT_TRUE(okOf(R));
+  EXPECT_EQ(R.find("protocol")->asString(), WireProtocolVersion);
+  EXPECT_EQ(R.find("epoch")->asNumber(), 1);
+
+  const auto &Relations = R.find("relations")->asArray();
+  ASSERT_EQ(Relations.size(), 2u) << "declared relations only, no aux";
+  EXPECT_EQ(Relations[0].find("name")->asString(), "edge");
+  EXPECT_EQ(Relations[0].find("size")->asNumber(), 1);
+  EXPECT_EQ(Relations[1].find("name")->asString(), "path");
+  ASSERT_NE(Relations[1].find("inserts"), nullptr)
+      << "RelationStats counters missing from stats reply";
+
+  const Value *LatencyVal = R.find("latency");
+  ASSERT_NE(LatencyVal, nullptr);
+  EXPECT_EQ(LatencyVal->find("load")->find("count")->asNumber(), 1);
+  EXPECT_EQ(LatencyVal->find("query")->find("count")->asNumber(), 1);
+}
+
+TEST_F(WireRequestTest, ShutdownFlagsTheConnection) {
+  bool Shutdown = false;
+  const Value R = reply(R"({"cmd":"shutdown"})", &Shutdown);
+  EXPECT_TRUE(okOf(R));
+  EXPECT_TRUE(Shutdown);
+  // Non-shutdown commands leave the flag clear.
+  Shutdown = true;
+  reply(R"({"cmd":"stats"})", &Shutdown);
+  EXPECT_FALSE(Shutdown);
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+//===- tests/translate/UpdateProgramTest.cpp - Incremental update RAM ---------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the EmitUpdateProgram translation mode: eligibility rules,
+/// auxiliary-relation registration, printing, and end-to-end equivalence of
+/// incremental batches against one-shot evaluation at the engine level.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace stird;
+
+namespace {
+
+core::CompileOptions withUpdate() {
+  core::CompileOptions Options;
+  Options.EmitUpdateProgram = true;
+  return Options;
+}
+
+const char *TcSource = ".decl edge(a:number, b:number)\n"
+                       ".decl path(a:number, b:number)\n"
+                       "path(x, y) :- edge(x, y).\n"
+                       "path(x, z) :- path(x, y), edge(y, z).\n";
+
+TEST(UpdateProgramTest, EligibleProgramCarriesUpdateStatement) {
+  auto Prog = core::Program::fromSource(TcSource, nullptr, withUpdate());
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getRam().hasUpdate());
+  const ram::Program::UpdateAux *Aux = Prog->getRam().getUpdateAux("path");
+  ASSERT_NE(Aux, nullptr);
+  EXPECT_EQ(Aux->Delta, "delta_path");
+  EXPECT_EQ(Aux->New, "new_path");
+  EXPECT_EQ(Aux->Added, "added_path");
+  // edge is non-recursive: it gets a delta/new pair but no accumulator.
+  const ram::Program::UpdateAux *EdgeAux =
+      Prog->getRam().getUpdateAux("edge");
+  ASSERT_NE(EdgeAux, nullptr);
+  EXPECT_EQ(EdgeAux->Delta, "delta_edge");
+  EXPECT_TRUE(EdgeAux->Added.empty());
+}
+
+TEST(UpdateProgramTest, DefaultTranslationHasNoUpdateStatement) {
+  auto Prog = core::Program::fromSource(TcSource);
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_FALSE(Prog->getRam().hasUpdate());
+  EXPECT_EQ(Prog->getRam().getUpdateAux("path"), nullptr);
+}
+
+TEST(UpdateProgramTest, NegationDisablesUpdate) {
+  auto Prog = core::Program::fromSource(
+      ".decl a(x:number)\n.decl b(x:number)\n.decl c(x:number)\n"
+      "c(x) :- a(x), !b(x).",
+      nullptr, withUpdate());
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_FALSE(Prog->getRam().hasUpdate());
+}
+
+TEST(UpdateProgramTest, AggregateDisablesUpdate) {
+  auto Prog = core::Program::fromSource(
+      ".decl e(a:number, b:number)\n.decl c(n:number)\n"
+      "c(n) :- n = count : { e(_, _) }.",
+      nullptr, withUpdate());
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_FALSE(Prog->getRam().hasUpdate());
+}
+
+TEST(UpdateProgramTest, EqrelDisablesUpdate) {
+  auto Prog = core::Program::fromSource(
+      ".decl eq(a:number, b:number) eqrel\n.decl s(a:number, b:number)\n"
+      "eq(x, y) :- s(x, y).",
+      nullptr, withUpdate());
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_FALSE(Prog->getRam().hasUpdate());
+}
+
+TEST(UpdateProgramTest, CounterDisablesUpdate) {
+  auto Prog = core::Program::fromSource(
+      ".decl s(x:number)\n.decl ids(id:number, x:number)\n"
+      "ids($, x) :- s(x).",
+      nullptr, withUpdate());
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_FALSE(Prog->getRam().hasUpdate());
+}
+
+TEST(UpdateProgramTest, DumpIncludesUpdateSection) {
+  auto Prog = core::Program::fromSource(TcSource, nullptr, withUpdate());
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_NE(Prog->dumpRam().find("UPDATE"), std::string::npos);
+}
+
+/// Inserts a batch into both the full relation and its update delta (the
+/// runUpdate contract), then runs the update statement.
+void applyBatch(core::Program &Prog, interp::Engine &Engine,
+                const std::string &Rel,
+                const std::vector<DynTuple> &Tuples) {
+  const ram::Program::UpdateAux *Aux = Prog.getRam().getUpdateAux(Rel);
+  ASSERT_NE(Aux, nullptr);
+  Engine.insertTuples(Rel, Tuples);
+  Engine.insertTuples(Aux->Delta, Tuples);
+  Engine.runUpdate();
+}
+
+TEST(UpdateProgramTest, IncrementalBatchesMatchOneShot) {
+  std::vector<DynTuple> Edges = {{1, 2}, {2, 3}, {3, 4}, {4, 1},
+                                 {5, 6}, {6, 7}, {2, 5}};
+
+  auto OneShot = core::Program::fromSource(TcSource);
+  ASSERT_NE(OneShot, nullptr);
+  auto Reference = OneShot->makeEngine();
+  Reference->insertTuples("edge", Edges);
+  Reference->run();
+  auto Expected = Reference->getTuples("path");
+
+  for (std::size_t NumBatches : {1u, 2u, 3u, 7u}) {
+    auto Prog = core::Program::fromSource(TcSource, nullptr, withUpdate());
+    ASSERT_NE(Prog, nullptr);
+    auto Engine = Prog->makeEngine();
+    ASSERT_TRUE(Engine->supportsIncrementalUpdate());
+    // An empty-database bootstrap run, then the batches.
+    Engine->run();
+    for (std::size_t B = 0; B < NumBatches; ++B) {
+      std::vector<DynTuple> Batch;
+      for (std::size_t I = B; I < Edges.size(); I += NumBatches)
+        Batch.push_back(Edges[I]);
+      applyBatch(*Prog, *Engine, "edge", Batch);
+    }
+    EXPECT_EQ(Engine->getTuples("path"), Expected)
+        << "with " << NumBatches << " batches";
+    // The deltas end cleared (re-entrancy).
+    EXPECT_TRUE(
+        Engine->getTuples(Prog->getRam().getUpdateAux("edge")->Delta)
+            .empty());
+  }
+}
+
+TEST(UpdateProgramTest, MultiStratumIncrementalMatchesOneShot) {
+  const char *Source =
+      ".decl edge(a:number, b:number)\n"
+      ".decl path(a:number, b:number)\n"
+      ".decl endpoint(a:number)\n"
+      "path(x, y) :- edge(x, y).\n"
+      "path(x, z) :- path(x, y), edge(y, z).\n"
+      "endpoint(y) :- path(x, y), edge(y, x).\n";
+  std::vector<DynTuple> Edges = {{1, 2}, {2, 1}, {2, 3}, {3, 4}, {4, 2}};
+
+  auto OneShot = core::Program::fromSource(Source);
+  ASSERT_NE(OneShot, nullptr);
+  auto Reference = OneShot->makeEngine();
+  Reference->insertTuples("edge", Edges);
+  Reference->run();
+  auto ExpectedPath = Reference->getTuples("path");
+  auto ExpectedEnd = Reference->getTuples("endpoint");
+
+  auto Prog = core::Program::fromSource(Source, nullptr, withUpdate());
+  ASSERT_NE(Prog, nullptr);
+  auto Engine = Prog->makeEngine();
+  Engine->run();
+  for (const DynTuple &Edge : Edges)
+    applyBatch(*Prog, *Engine, "edge", {Edge});
+  EXPECT_EQ(Engine->getTuples("path"), ExpectedPath);
+  EXPECT_EQ(Engine->getTuples("endpoint"), ExpectedEnd);
+}
+
+TEST(UpdateProgramTest, UpdateAfterInitialFactsExtendsThem) {
+  // Facts baked into the source are loaded by the bootstrap run(); a later
+  // batch extends the same resident relations.
+  auto Prog = core::Program::fromSource(
+      ".decl edge(a:number, b:number)\n.decl path(a:number, b:number)\n"
+      "edge(1, 2).\n"
+      "path(x, y) :- edge(x, y).\n"
+      "path(x, z) :- path(x, y), edge(y, z).\n",
+      nullptr, withUpdate());
+  ASSERT_NE(Prog, nullptr);
+  auto Engine = Prog->makeEngine();
+  Engine->run();
+  EXPECT_EQ(Engine->getTuples("path"), (std::vector<DynTuple>{{1, 2}}));
+  applyBatch(*Prog, *Engine, "edge", {{2, 3}});
+  EXPECT_EQ(Engine->getTuples("path"),
+            (std::vector<DynTuple>{{1, 2}, {1, 3}, {2, 3}}));
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+//===- tests/util/ArgsTest.cpp - Shared CLI parser tests ----------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flag parser the stird tools share: both value-passing forms,
+/// unknown-option and missing-value diagnostics, sink-driven validation,
+/// optional-value options, positional ordering (including the variadic
+/// tail stird-client uses for its request list), and usage rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "util/Args.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace stird::util;
+
+namespace {
+
+/// Runs a parse over the given words (argv[0] is prepended).
+bool parseWords(Args &A, std::vector<std::string> Words,
+                std::string *Error = nullptr) {
+  std::vector<const char *> Argv = {"tool"};
+  for (const std::string &Word : Words)
+    Argv.push_back(Word.c_str());
+  return A.parse(static_cast<int>(Argv.size()), Argv.data(), Error);
+}
+
+TEST(ArgsTest, FlagsAndBothOptionForms) {
+  bool Verbose = false;
+  std::string Out;
+  Args A("tool", "[options]");
+  A.flag({"-v", "--verbose"}, "say more", [&Verbose] { Verbose = true; });
+  A.option({"-o", "--out"}, "file", "output file",
+           [&Out](const std::string &Value) {
+             Out = Value;
+             return std::string();
+           });
+
+  EXPECT_TRUE(parseWords(A, {"--verbose", "--out", "a.json"}));
+  EXPECT_TRUE(Verbose);
+  EXPECT_EQ(Out, "a.json");
+
+  Verbose = false;
+  EXPECT_TRUE(parseWords(A, {"-v", "-o=b.json"}));
+  EXPECT_TRUE(Verbose);
+  EXPECT_EQ(Out, "b.json");
+}
+
+TEST(ArgsTest, UnknownOptionIsAnError) {
+  Args A("tool", "");
+  A.flag({"--known"}, "", [] {});
+  std::string Error;
+  EXPECT_FALSE(parseWords(A, {"--unknown"}, &Error));
+  EXPECT_EQ(Error, "unknown option '--unknown'");
+  // The '=' form reports the name alone, not the attached value.
+  EXPECT_FALSE(parseWords(A, {"--nope=3"}, &Error));
+  EXPECT_EQ(Error, "unknown option '--nope'");
+}
+
+TEST(ArgsTest, MissingValueIsAnError) {
+  std::string Out;
+  Args A("tool", "");
+  A.option({"--out"}, "file", "", [&Out](const std::string &Value) {
+    Out = Value;
+    return std::string();
+  });
+  std::string Error;
+  EXPECT_FALSE(parseWords(A, {"--out"}, &Error));
+  EXPECT_EQ(Error, "option '--out' requires a value");
+}
+
+TEST(ArgsTest, FlagRejectsAttachedValue) {
+  Args A("tool", "");
+  A.flag({"--fast"}, "", [] {});
+  std::string Error;
+  EXPECT_FALSE(parseWords(A, {"--fast=yes"}, &Error));
+  EXPECT_EQ(Error, "option '--fast' does not take a value");
+}
+
+TEST(ArgsTest, SinksRejectValuesWithTheirOwnWording) {
+  Args A("tool", "");
+  A.option({"-j"}, "n", "worker threads", [](const std::string &Value) {
+    return Value == "0" ? "thread count must be positive" : std::string();
+  });
+  std::string Error;
+  EXPECT_FALSE(parseWords(A, {"-j", "0"}, &Error));
+  EXPECT_EQ(Error, "thread count must be positive");
+  EXPECT_TRUE(parseWords(A, {"-j", "4"}));
+}
+
+TEST(ArgsTest, OptionalValueOnlyAttachesWithEquals) {
+  std::vector<std::string> Seen;
+  Args A("tool", "");
+  A.optionalValue({"--profile"}, "file", "",
+                  [&Seen](const std::string &Value) {
+                    Seen.push_back(Value);
+                    return std::string();
+                  });
+  std::string Rest;
+  A.positional("rest", [&Rest](const std::string &Value) {
+    Rest = Value;
+    return std::string();
+  });
+
+  // A following bare argument is a positional, not the option's value.
+  EXPECT_TRUE(parseWords(A, {"--profile", "p.dl"}));
+  EXPECT_EQ(Seen, (std::vector<std::string>{""}));
+  EXPECT_EQ(Rest, "p.dl");
+
+  EXPECT_TRUE(parseWords(A, {"--profile=prof.json", "p.dl"}));
+  EXPECT_EQ(Seen.back(), "prof.json");
+
+  std::string Error;
+  EXPECT_FALSE(parseWords(A, {"--profile=", "p.dl"}, &Error));
+  EXPECT_EQ(Error, "option '--profile=' requires a value");
+}
+
+TEST(ArgsTest, PositionalsFillInOrderAndRequireness) {
+  std::string First, Second;
+  Args A("tool", "");
+  A.positional("first", [&First](const std::string &Value) {
+    First = Value;
+    return std::string();
+  });
+  A.positional("second",
+               [&Second](const std::string &Value) {
+                 Second = Value;
+                 return std::string();
+               },
+               /*Required=*/false);
+
+  std::string Error;
+  EXPECT_FALSE(parseWords(A, {}, &Error));
+  EXPECT_EQ(Error, "missing first");
+
+  EXPECT_TRUE(parseWords(A, {"a"}));
+  EXPECT_EQ(First, "a");
+  EXPECT_EQ(Second, "");
+
+  EXPECT_TRUE(parseWords(A, {"a", "b"}));
+  EXPECT_EQ(Second, "b");
+
+  EXPECT_FALSE(parseWords(A, {"a", "b", "c"}, &Error));
+  EXPECT_EQ(Error, "unexpected argument 'c'");
+}
+
+TEST(ArgsTest, VariadicTailAbsorbsRemainingArguments) {
+  std::string Program;
+  std::vector<std::string> Requests;
+  Args A("tool", "");
+  A.positional("program", [&Program](const std::string &Value) {
+    Program = Value;
+    return std::string();
+  });
+  A.positional("request...",
+               [&Requests](const std::string &Value) {
+                 Requests.push_back(Value);
+                 return std::string();
+               },
+               /*Required=*/false, /*Variadic=*/true);
+
+  EXPECT_TRUE(parseWords(A, {"p.dl", "r1", "r2", "r3"}));
+  EXPECT_EQ(Program, "p.dl");
+  EXPECT_EQ(Requests, (std::vector<std::string>{"r1", "r2", "r3"}));
+
+  // Zero occurrences of an optional variadic are fine.
+  Requests.clear();
+  EXPECT_TRUE(parseWords(A, {"p.dl"}));
+  EXPECT_TRUE(Requests.empty());
+}
+
+TEST(ArgsTest, RequiredVariadicNeedsAtLeastOne) {
+  std::vector<std::string> Inputs;
+  Args A("tool", "");
+  A.positional("input...",
+               [&Inputs](const std::string &Value) {
+                 Inputs.push_back(Value);
+                 return std::string();
+               },
+               /*Required=*/true, /*Variadic=*/true);
+
+  std::string Error;
+  EXPECT_FALSE(parseWords(A, {}, &Error));
+  EXPECT_EQ(Error, "missing input...");
+  EXPECT_TRUE(parseWords(A, {"one"}));
+  EXPECT_TRUE(parseWords(A, {"one", "two"}));
+}
+
+TEST(ArgsTest, HelpShortCircuitsAndRendersEverySpec) {
+  Args A("tool", "[options]");
+  A.flag({"-v", "--verbose"}, "say more", [] {});
+  A.option({"--out"}, "file", "output file", [](const std::string &) {
+    return std::string();
+  });
+  A.optionalValue({"--profile"}, "file", "profile sink",
+                  [](const std::string &) { return std::string(); });
+  A.positional("program.dl", [](const std::string &) {
+    ADD_FAILURE() << "positional sink ran during --help";
+    return std::string();
+  });
+
+  EXPECT_TRUE(parseWords(A, {"--help"}));
+  EXPECT_TRUE(A.helpRequested());
+
+  const std::string Usage = A.usage();
+  EXPECT_NE(Usage.find("usage: tool <program.dl> [options]"),
+            std::string::npos);
+  EXPECT_NE(Usage.find("-v, --verbose"), std::string::npos);
+  EXPECT_NE(Usage.find("--out <file>"), std::string::npos);
+  EXPECT_NE(Usage.find("--profile[=<file>]"), std::string::npos);
+  EXPECT_NE(Usage.find("say more"), std::string::npos);
+}
+
+} // namespace

@@ -58,13 +58,89 @@ TEST(CsvTest, SymbolsMayContainSpaces) {
   EXPECT_EQ(Symbols.resolve(Tuples[0][0]), "a b c");
 }
 
-TEST(CsvTest, LastColumnTakesRestOfLine) {
+TEST(CsvTest, ExtraColumnsAreRejectedNotFolded) {
+  // "1\thas\ttabs inside" used to silently fold the extra tab into the
+  // trailing symbol column; it is now a malformed row.
   SymbolTable Symbols;
-  std::istringstream In("1\thas\ttabs inside\n");
-  auto Tuples = readFactStream(
-      In, {ColumnTypeKind::Number, ColumnTypeKind::Symbol}, Symbols);
+  std::istringstream In("1\thas\ttabs inside\n2\tok\n");
+  std::vector<FactError> Errors;
+  auto Tuples =
+      readFactStream(In, {ColumnTypeKind::Number, ColumnTypeKind::Symbol},
+                     Symbols, &Errors, "mem.facts");
   ASSERT_EQ(Tuples.size(), 1u);
-  EXPECT_EQ(Symbols.resolve(Tuples[0][1]), "has\ttabs inside");
+  EXPECT_EQ(Symbols.resolve(Tuples[0][1]), "ok");
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_EQ(Errors[0].File, "mem.facts");
+  EXPECT_EQ(Errors[0].Line, 1u);
+  EXPECT_EQ(Errors[0].Column, 0u);
+  EXPECT_EQ(Errors[0].Message, "row has 3 columns, expected 2");
+}
+
+TEST(CsvTest, TooFewColumnsReportLineAndExpectedWidth) {
+  SymbolTable Symbols;
+  std::istringstream In("1\ta\n2\n3\tb\n");
+  std::vector<FactError> Errors;
+  auto Tuples =
+      readFactStream(In, {ColumnTypeKind::Number, ColumnTypeKind::Symbol},
+                     Symbols, &Errors, "short.facts");
+  ASSERT_EQ(Tuples.size(), 2u);
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_EQ(Errors[0].Line, 2u);
+  EXPECT_EQ(Errors[0].Message, "row has 1 columns, expected 2");
+  EXPECT_EQ(Errors[0].render(), "short.facts:2: row has 1 columns, expected 2");
+}
+
+TEST(CsvTest, MalformedCellsReportFileLineAndColumn) {
+  SymbolTable Symbols;
+  std::istringstream In("1\tx\n2x\ty\n3\tz\n");
+  std::vector<FactError> Errors;
+  auto Tuples =
+      readFactStream(In, {ColumnTypeKind::Number, ColumnTypeKind::Symbol},
+                     Symbols, &Errors, "bad.facts");
+  ASSERT_EQ(Tuples.size(), 2u);
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_EQ(Errors[0].File, "bad.facts");
+  EXPECT_EQ(Errors[0].Line, 2u);
+  EXPECT_EQ(Errors[0].Column, 1u);
+  EXPECT_EQ(Errors[0].render(),
+            "bad.facts:2: column 1: malformed number column: '2x'");
+}
+
+TEST(CsvTest, FloatCellsWithTrailingGarbageAreRejected) {
+  // std::stod would happily parse "1.5x" as 1.5; the reader must not.
+  SymbolTable Symbols;
+  std::istringstream In("1.5x\n2.5\n");
+  std::vector<FactError> Errors;
+  auto Tuples =
+      readFactStream(In, {ColumnTypeKind::Float}, Symbols, &Errors, "f.facts");
+  ASSERT_EQ(Tuples.size(), 1u);
+  EXPECT_FLOAT_EQ(ramBitCast<RamFloat>(Tuples[0][0]), 2.5f);
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_EQ(Errors[0].Column, 1u);
+  EXPECT_EQ(Errors[0].Message, "malformed float column: '1.5x'");
+}
+
+TEST(CsvTest, TryParseColumnReportsWithoutAborting) {
+  SymbolTable Symbols;
+  RamDomain Out = 0;
+  std::string Message;
+  EXPECT_FALSE(
+      tryParseColumn("twelve", ColumnTypeKind::Number, Symbols, Out, &Message));
+  EXPECT_EQ(Message, "malformed number column: 'twelve'");
+  EXPECT_FALSE(
+      tryParseColumn("-1", ColumnTypeKind::Unsigned, Symbols, Out, &Message));
+  EXPECT_TRUE(tryParseColumn("-1", ColumnTypeKind::Number, Symbols, Out));
+  EXPECT_EQ(Out, -1);
+}
+
+TEST(CsvTest, MissingFileIsCollectedWhenErrorsRequested) {
+  SymbolTable Symbols;
+  std::vector<FactError> Errors;
+  auto Tuples = readFactFile("/nonexistent/no.facts",
+                             {ColumnTypeKind::Number}, Symbols, &Errors);
+  EXPECT_TRUE(Tuples.empty());
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_EQ(Errors[0].Message, "cannot open fact file");
 }
 
 TEST(CsvTest, FileRoundTrip) {

@@ -1,0 +1,166 @@
+//===- tools/stird-client.cpp - stird-serve wire client -----------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// stird-client: a thin stird-wire-v1 client. Each positional argument is
+/// one JSON request (sent in order); with none, requests are read from
+/// stdin, one per line. Every reply prints on its own stdout line, so
+/// scripts (e.g. the CI serve-smoke job) can drive a server and assert on
+/// the replies. Exits nonzero on connection failures, protocol errors, or
+/// any {"ok":false} reply.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ToolOptions.h"
+#include "obs/Json.h"
+#include "srv/Wire.h"
+#include "util/Args.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace stird;
+
+static int connectUnix(const std::string &Path) {
+  if (Path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::fprintf(stderr, "stird-client: socket path too long\n");
+    return -1;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::fprintf(stderr, "stird-client: connect %s: %s\n", Path.c_str(),
+                 std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+static int connectTcp(const std::string &Host, int Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    std::fprintf(stderr, "stird-client: invalid address '%s'\n",
+                 Host.c_str());
+    ::close(Fd);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::fprintf(stderr, "stird-client: connect %s:%d: %s\n", Host.c_str(),
+                 Port, std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// Sends one request and prints the reply line. Returns 0 on an ok reply,
+/// 1 on {"ok":false}, 2 on transport failure.
+static int roundTrip(int Fd, const std::string &Request) {
+  std::string Error;
+  if (!srv::writeFrame(Fd, Request, &Error)) {
+    std::fprintf(stderr, "stird-client: %s\n", Error.c_str());
+    return 2;
+  }
+  std::string Reply;
+  if (!srv::readFrame(Fd, Reply, &Error)) {
+    std::fprintf(stderr, "stird-client: %s\n",
+                 Error.empty() ? "server closed the connection"
+                               : Error.c_str());
+    return 2;
+  }
+  std::printf("%s\n", Reply.c_str());
+  std::optional<obs::json::Value> Doc = obs::json::parse(Reply);
+  if (!Doc) {
+    std::fprintf(stderr, "stird-client: malformed reply\n");
+    return 2;
+  }
+  const obs::json::Value *Ok = Doc->find("ok");
+  return (Ok && Ok->isBool() && Ok->asBool()) ? 0 : 1;
+}
+
+int main(int Argc, char **Argv) {
+  std::string UnixPath, Host = "127.0.0.1", PortText;
+  int Port = 0;
+  std::vector<std::string> Requests;
+
+  util::Args Args("stird-client",
+                  "send stird-wire-v1 requests (args, or stdin lines)");
+  Args.option({"--socket"}, "path", "connect to a Unix socket",
+              tools::pathSink(UnixPath));
+  Args.option({"--host"}, "addr", "TCP address (default 127.0.0.1)",
+              tools::pathSink(Host));
+  Args.option({"--port"}, "n", "TCP port",
+              [&](const std::string &Value) -> std::string {
+                char *End = nullptr;
+                const long N = std::strtol(Value.c_str(), &End, 10);
+                if (End == Value.c_str() || *End != '\0' || N <= 0 ||
+                    N > 65535)
+                  return "invalid port '" + Value + "'";
+                Port = static_cast<int>(N);
+                PortText = Value;
+                return "";
+              });
+  Args.positional("request...",
+                  [&Requests](const std::string &Value) {
+                    Requests.push_back(Value);
+                    return std::string();
+                  },
+                  /*Required=*/false, /*Variadic=*/true);
+  Args.parseOrExit(Argc, Argv);
+
+  if (UnixPath.empty() && PortText.empty()) {
+    std::fprintf(stderr,
+                 "stird-client: pick an endpoint: --socket or --port\n");
+    return 1;
+  }
+
+  const int Fd =
+      UnixPath.empty() ? connectTcp(Host, Port) : connectUnix(UnixPath);
+  if (Fd < 0)
+    return 2;
+
+  int Status = 0;
+  if (!Requests.empty()) {
+    for (const std::string &Request : Requests) {
+      const int R = roundTrip(Fd, Request);
+      Status = std::max(Status, R);
+      if (R == 2)
+        break;
+    }
+  } else {
+    std::string Line;
+    while (std::getline(std::cin, Line)) {
+      if (Line.empty())
+        continue;
+      const int R = roundTrip(Fd, Line);
+      Status = std::max(Status, R);
+      if (R == 2)
+        break;
+    }
+  }
+  ::close(Fd);
+  return Status;
+}

@@ -15,6 +15,7 @@
 
 #include "obs/Json.h"
 #include "obs/Profile.h"
+#include "util/Args.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -59,23 +60,21 @@ std::string stringOr(const Value *V, const std::string &Default) {
 int main(int argc, char **argv) {
   std::string Path;
   std::size_t TopN = 10;
-  for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--top") == 0) {
-      if (I + 1 >= argc)
-        die("--top requires a number");
-      TopN = static_cast<std::size_t>(std::strtoul(argv[++I], nullptr, 10));
-    } else if (std::strcmp(argv[I], "-h") == 0 ||
-               std::strcmp(argv[I], "--help") == 0) {
-      std::printf("usage: stird-profile <profile.json> [--top N]\n");
-      return 0;
-    } else if (Path.empty()) {
-      Path = argv[I];
-    } else {
-      die(std::string("unexpected argument '") + argv[I] + "'");
-    }
-  }
-  if (Path.empty())
-    die("usage: stird-profile <profile.json> [--top N]");
+  stird::util::Args Args("stird-profile", "[options]");
+  Args.positional("profile.json", [&](const std::string &Value) {
+    Path = Value;
+    return std::string();
+  });
+  Args.option({"--top"}, "n", "rows in the hot-rule table (default 10)",
+              [&](const std::string &Value) -> std::string {
+                char *End = nullptr;
+                const unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+                if (End == Value.c_str() || *End != '\0')
+                  return "--top requires a number, got '" + Value + "'";
+                TopN = static_cast<std::size_t>(N);
+                return "";
+              });
+  Args.parseOrExit(argc, argv);
 
   std::ifstream In(Path);
   if (!In)

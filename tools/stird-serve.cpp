@@ -1,0 +1,90 @@
+//===- tools/stird-serve.cpp - Resident serving daemon ------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// stird-serve: compiles a Datalog program once, keeps its de-specialized
+/// relations resident, and serves stird-wire-v1 requests (load / query /
+/// stats / shutdown) over a Unix or TCP socket. See docs/wire-protocol.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ToolOptions.h"
+#include "srv/Server.h"
+#include "srv/Session.h"
+#include "util/Args.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace stird;
+
+int main(int Argc, char **Argv) {
+  std::string ProgramPath;
+  srv::SessionOptions Session;
+  srv::ServerOptions Server;
+  std::string PortText;
+
+  util::Args Args("stird-serve",
+                  "serve a resident Datalog program over a socket");
+  Args.positional("program.dl", tools::pathSink(ProgramPath));
+  Args.option({"--socket"}, "path", "listen on a Unix socket at this path",
+              tools::pathSink(Server.UnixPath));
+  Args.option({"--host"}, "addr", "TCP listen address (default 127.0.0.1)",
+              tools::pathSink(Server.Host));
+  Args.option({"--port"}, "n", "TCP port (0 lets the kernel pick)",
+              [&](const std::string &Value) -> std::string {
+                char *End = nullptr;
+                const long N = std::strtol(Value.c_str(), &End, 10);
+                if (End == Value.c_str() || *End != '\0' || N < 0 ||
+                    N > 65535)
+                  return "invalid port '" + Value + "'";
+                Server.Port = static_cast<int>(N);
+                PortText = Value;
+                return "";
+              });
+  Args.flag({"--run-io"},
+            "execute the program's .input/.output directives at bootstrap",
+            [&Session] { Session.RunIo = true; });
+  tools::addEngineOptions(Args, Session.Engine);
+  Args.parseOrExit(Argc, Argv);
+
+  if (Server.UnixPath.empty() && PortText.empty()) {
+    std::fprintf(stderr,
+                 "stird-serve: pick a listen endpoint: --socket or --port\n");
+    return 1;
+  }
+
+  std::vector<std::string> Errors;
+  std::unique_ptr<srv::EngineSession> Sess =
+      srv::EngineSession::fromFile(ProgramPath, Session, &Errors);
+  if (!Sess) {
+    for (const std::string &Message : Errors)
+      std::fprintf(stderr, "error: %s\n", Message.c_str());
+    return 1;
+  }
+
+  srv::Server Srv(*Sess, Server);
+  std::string Error;
+  if (!Srv.start(&Error)) {
+    std::fprintf(stderr, "stird-serve: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!Server.UnixPath.empty())
+    std::fprintf(stderr, "stird-serve: listening on %s (%s)\n",
+                 Server.UnixPath.c_str(),
+                 Sess->isIncremental() ? "incremental" : "re-evaluating");
+  else
+    std::fprintf(stderr, "stird-serve: listening on %s:%d (%s)\n",
+                 Server.Host.c_str(), Srv.boundPort(),
+                 Sess->isIncremental() ? "incremental" : "re-evaluating");
+  std::fflush(stderr);
+
+  Srv.serve();
+  std::fprintf(stderr, "stird-serve: shut down\n");
+  return 0;
+}

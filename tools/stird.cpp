@@ -29,48 +29,15 @@
 #include "obs/Profile.h"
 #include "obs/Trace.h"
 #include "synth/CppSynthesizer.h"
+#include "ToolOptions.h"
+#include "util/Args.h"
 #include "util/Timer.h"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
-#include <thread>
 
 using namespace stird;
-
-static void usage() {
-  std::fprintf(
-      stderr,
-      "usage: stird <program.dl> [-F factdir] [-D outdir] "
-      "[-j threads|0|auto] [--backend sti|sti-plain|dynamic|legacy]\n"
-      "             [--no-super] [--no-reorder] [--fuse-conditions]\n"
-      "             [--dump-ram] [--dump-tree] [--profile[=<file.json>]] "
-      "[--trace=<file.json>]\n"
-      "             [--synthesize <file.cpp>]\n");
-}
-
-static const char *backendName(interp::Backend B) {
-  switch (B) {
-  case interp::Backend::StaticLambda:
-    return "sti";
-  case interp::Backend::StaticPlain:
-    return "sti-plain";
-  case interp::Backend::DynamicAdapter:
-    return "dynamic";
-  case interp::Backend::Legacy:
-    return "legacy";
-  }
-  return "unknown";
-}
-
-/// `-j 0` / `-j auto`: one thread per hardware thread. The standard allows
-/// hardware_concurrency() to report 0 (unknown); fall back to 1.
-static std::size_t hardwareThreads() {
-  const unsigned N = std::thread::hardware_concurrency();
-  return N == 0 ? 1 : static_cast<std::size_t>(N);
-}
 
 int main(int argc, char **argv) {
   std::string ProgramPath;
@@ -82,95 +49,31 @@ int main(int argc, char **argv) {
   std::string TracePath;
   std::string SynthesizePath;
 
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    auto Next = [&]() -> const char * {
-      if (I + 1 >= argc) {
-        usage();
-        std::exit(1);
-      }
-      return argv[++I];
-    };
-    if (Arg == "-F" || Arg == "--facts") {
-      Options.FactDir = Next();
-    } else if (Arg == "-D" || Arg == "--output") {
-      Options.OutputDir = Next();
-    } else if (Arg == "-j" || Arg == "--jobs") {
-      const char *Value = Next();
-      if (std::strcmp(Value, "auto") == 0) {
-        Options.NumThreads = hardwareThreads();
-      } else {
-        char *End = nullptr;
-        long N = std::strtol(Value, &End, 10);
-        if (End == Value || *End != '\0' || N < 0) {
-          std::fprintf(stderr,
-                       "invalid thread count '%s' (expected a non-negative "
-                       "integer or 'auto')\n",
-                       Value);
-          usage();
-          return 1;
-        }
-        // 0 means "use every hardware thread", like make -j.
-        Options.NumThreads =
-            N == 0 ? hardwareThreads() : static_cast<std::size_t>(N);
-      }
-    } else if (Arg == "--backend") {
-      std::string Name = Next();
-      if (Name == "sti")
-        Options.TheBackend = interp::Backend::StaticLambda;
-      else if (Name == "sti-plain")
-        Options.TheBackend = interp::Backend::StaticPlain;
-      else if (Name == "dynamic")
-        Options.TheBackend = interp::Backend::DynamicAdapter;
-      else if (Name == "legacy")
-        Options.TheBackend = interp::Backend::Legacy;
-      else {
-        std::fprintf(stderr, "unknown backend '%s'\n", Name.c_str());
-        return 1;
-      }
-    } else if (Arg == "--no-super") {
-      Options.SuperInstructions = false;
-    } else if (Arg == "--no-reorder") {
-      Options.StaticReordering = false;
-    } else if (Arg == "--fuse-conditions") {
-      Options.FuseConditions = true;
-    } else if (Arg == "--dump-ram") {
-      DumpRam = true;
-    } else if (Arg == "--dump-tree") {
-      DumpTree = true;
-    } else if (Arg == "--profile") {
-      Profile = true;
-    } else if (Arg.rfind("--profile=", 0) == 0) {
-      Profile = true;
-      ProfilePath = Arg.substr(std::strlen("--profile="));
-      if (ProfilePath.empty()) {
-        std::fprintf(stderr, "--profile= requires a file name\n");
-        return 1;
-      }
-    } else if (Arg.rfind("--trace=", 0) == 0) {
-      TracePath = Arg.substr(std::strlen("--trace="));
-      if (TracePath.empty()) {
-        std::fprintf(stderr, "--trace= requires a file name\n");
-        return 1;
-      }
-      Options.EnableTrace = true;
-    } else if (Arg == "--synthesize") {
-      SynthesizePath = Next();
-    } else if (Arg == "-h" || Arg == "--help") {
-      usage();
-      return 0;
-    } else if (!Arg.empty() && Arg[0] != '-' && ProgramPath.empty()) {
-      ProgramPath = Arg;
-    } else {
-      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      usage();
-      return 1;
-    }
-  }
-  if (ProgramPath.empty()) {
-    usage();
-    return 1;
-  }
+  util::Args Args("stird", "[options]");
+  Args.positional("program.dl", tools::pathSink(ProgramPath));
+  tools::addEngineOptions(Args, Options);
+  Args.flag({"--dump-ram"}, "print the RAM program and exit",
+            [&] { DumpRam = true; });
+  Args.flag({"--dump-tree"}, "print the interpreter tree and exit",
+            [&] { DumpTree = true; });
+  Args.optionalValue({"--profile"}, "file.json",
+                     "print the per-rule profile (or write the JSON document)",
+                     [&](const std::string &Path) {
+                       Profile = true;
+                       ProfilePath = Path;
+                       return std::string();
+                     });
+  Args.option({"--trace"}, "file.json",
+              "write a Chrome trace-event timeline of the run",
+              [&](const std::string &Path) {
+                TracePath = Path;
+                Options.EnableTrace = true;
+                return std::string();
+              });
+  Args.option({"--synthesize"}, "file.cpp",
+              "write the synthesized C++ instead of running",
+              tools::pathSink(SynthesizePath));
+  Args.parseOrExit(argc, argv);
 
   auto Prog = core::Program::fromFile(ProgramPath);
   if (!Prog)
@@ -201,6 +104,8 @@ int main(int argc, char **argv) {
   Timer T;
   Engine->run();
   const double TotalSeconds = T.seconds();
+  for (const FactError &Err : Engine->getIoErrors())
+    std::fprintf(stderr, "warning: %s (row skipped)\n", Err.render().c_str());
   std::fprintf(stderr, "runtime: %.6f s, %llu dispatches\n", TotalSeconds,
                static_cast<unsigned long long>(Engine->getNumDispatches()));
 
@@ -210,7 +115,7 @@ int main(int argc, char **argv) {
   } else if (Profile) {
     obs::ProfileContext Ctx;
     Ctx.Program = ProgramPath;
-    Ctx.Backend = backendName(Options.TheBackend);
+    Ctx.Backend = tools::backendName(Options.TheBackend);
     Ctx.Threads = Options.NumThreads > 0 ? Options.NumThreads : 1;
     Ctx.TotalSeconds = TotalSeconds;
     std::ofstream Out(ProfilePath);
