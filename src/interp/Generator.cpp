@@ -231,6 +231,8 @@ public:
       Meta.Relation = Info.Relation;
       Meta.Version = Info.Version;
       Meta.Recursive = Info.Recursive;
+      Meta.Sips = Info.Sips;
+      Meta.AtomOrder = Info.AtomOrder;
       std::size_t Id = State.Prof.registerRule(Log.getLabel(), Meta);
       RelationWrapper *DeltaRel =
           Info.Target ? wrapper(*Info.Target) : nullptr;

@@ -37,6 +37,11 @@ struct RuleMeta {
   /// Semi-naive version index ([vN] in the label); -1 for non-recursive.
   int Version = -1;
   bool Recursive = false;
+  /// The SIPS strategy that planned the rule body ("" when unknown).
+  std::string Sips;
+  /// Chosen join order: element i is the source-order body-atom index
+  /// scanned at depth i. Empty for non-rule timers.
+  std::vector<int> AtomOrder;
 };
 
 /// One timed execution of a rule. For a recursive rule the samples line up

@@ -38,6 +38,11 @@ static json::Value ruleToJson(const RuleProfile &Rule) {
   O.emplace_back("stratum", Rule.Meta.Stratum);
   O.emplace_back("version", Rule.Meta.Version);
   O.emplace_back("recursive", Rule.Meta.Recursive);
+  O.emplace_back("sips", Rule.Meta.Sips);
+  json::Array AtomOrder;
+  for (int Idx : Rule.Meta.AtomOrder)
+    AtomOrder.emplace_back(Idx);
+  O.emplace_back("atom_order", std::move(AtomOrder));
   O.emplace_back("seconds", Rule.Seconds);
   O.emplace_back("invocations", Rule.Invocations);
   O.emplace_back("dispatches", Rule.Dispatches);

@@ -11,6 +11,18 @@
 using namespace stird;
 using namespace stird::ram;
 
+namespace {
+
+/// Applies the relation map (when given) to one reference.
+const Relation *remap(const Relation &Rel, const RelationMap *Map) {
+  if (Map)
+    if (auto It = Map->find(&Rel); It != Map->end())
+      return It->second;
+  return &Rel;
+}
+
+} // namespace
+
 std::vector<ExprPtr>
 stird::ram::clonePattern(const std::vector<ExprPtr> &Pattern) {
   std::vector<ExprPtr> Result;
@@ -44,110 +56,140 @@ ExprPtr stird::ram::clone(const Expression &Expr) {
   unreachable("unknown expression kind");
 }
 
-CondPtr stird::ram::clone(const Condition &Cond) {
+CondPtr stird::ram::clone(const Condition &Cond, const RelationMap *Map) {
   switch (Cond.getKind()) {
   case Condition::Kind::True:
     return std::make_unique<True>();
   case Condition::Kind::Conjunction: {
     const auto &C = static_cast<const Conjunction &>(Cond);
-    return std::make_unique<Conjunction>(clone(C.getLhs()),
-                                         clone(C.getRhs()));
+    return std::make_unique<Conjunction>(clone(C.getLhs(), Map),
+                                         clone(C.getRhs(), Map));
   }
   case Condition::Kind::Negation:
     return std::make_unique<Negation>(
-        clone(static_cast<const Negation &>(Cond).getInner()));
+        clone(static_cast<const Negation &>(Cond).getInner(), Map));
   case Condition::Kind::Constraint: {
     const auto &C = static_cast<const Constraint &>(Cond);
     return std::make_unique<Constraint>(C.getOp(), clone(C.getLhs()),
                                         clone(C.getRhs()));
   }
   case Condition::Kind::EmptinessCheck:
-    return std::make_unique<EmptinessCheck>(
-        &static_cast<const EmptinessCheck &>(Cond).getRelation());
+    return std::make_unique<EmptinessCheck>(remap(
+        static_cast<const EmptinessCheck &>(Cond).getRelation(), Map));
   case Condition::Kind::ExistenceCheck: {
     const auto &C = static_cast<const ExistenceCheck &>(Cond);
-    return std::make_unique<ExistenceCheck>(&C.getRelation(),
+    return std::make_unique<ExistenceCheck>(remap(C.getRelation(), Map),
                                             clonePattern(C.getPattern()));
   }
   }
   unreachable("unknown condition kind");
 }
 
-OpPtr stird::ram::clone(const Operation &Op) {
+OpPtr stird::ram::clone(const Operation &Op, const RelationMap *Map) {
   switch (Op.getKind()) {
   case Operation::Kind::Scan: {
     const auto &S = static_cast<const Scan &>(Op);
-    return std::make_unique<Scan>(&S.getRelation(), S.getTupleId(),
-                                  clone(S.getNested()));
+    return std::make_unique<Scan>(remap(S.getRelation(), Map),
+                                  S.getTupleId(),
+                                  clone(S.getNested(), Map));
   }
   case Operation::Kind::IndexScan: {
     const auto &S = static_cast<const IndexScan &>(Op);
-    return std::make_unique<IndexScan>(&S.getRelation(), S.getTupleId(),
+    return std::make_unique<IndexScan>(remap(S.getRelation(), Map),
+                                       S.getTupleId(),
                                        clonePattern(S.getPattern()),
-                                       clone(S.getNested()));
+                                       clone(S.getNested(), Map));
   }
   case Operation::Kind::Filter: {
     const auto &F = static_cast<const Filter &>(Op);
-    return std::make_unique<Filter>(clone(F.getCondition()),
-                                    clone(F.getNested()));
+    return std::make_unique<Filter>(clone(F.getCondition(), Map),
+                                    clone(F.getNested(), Map));
   }
   case Operation::Kind::Project: {
     const auto &P = static_cast<const Project &>(Op);
-    return std::make_unique<Project>(&P.getRelation(),
+    return std::make_unique<Project>(remap(P.getRelation(), Map),
                                      clonePattern(P.getValues()));
   }
   case Operation::Kind::Aggregate: {
     const auto &A = static_cast<const Aggregate &>(Op);
     return std::make_unique<Aggregate>(
-        A.getFunc(), &A.getRelation(), A.getTupleId(),
+        A.getFunc(), remap(A.getRelation(), Map), A.getTupleId(),
         clonePattern(A.getPattern()),
         A.getTargetExpr() ? clone(*A.getTargetExpr()) : nullptr,
-        A.getCondition() ? clone(*A.getCondition()) : nullptr,
-        clone(A.getNested()));
+        A.getCondition() ? clone(*A.getCondition(), Map) : nullptr,
+        clone(A.getNested(), Map));
   }
   }
   unreachable("unknown operation kind");
 }
 
-StmtPtr stird::ram::clone(const Statement &Stmt) {
+StmtPtr stird::ram::clone(const Statement &Stmt, const RelationMap *Map) {
   switch (Stmt.getKind()) {
   case Statement::Kind::Sequence: {
     std::vector<StmtPtr> Children;
     for (const auto &Child :
          static_cast<const Sequence &>(Stmt).getStatements())
-      Children.push_back(clone(*Child));
+      Children.push_back(clone(*Child, Map));
     return std::make_unique<Sequence>(std::move(Children));
   }
   case Statement::Kind::Loop:
     return std::make_unique<Loop>(
-        clone(static_cast<const Loop &>(Stmt).getBody()));
+        clone(static_cast<const Loop &>(Stmt).getBody(), Map));
   case Statement::Kind::Exit:
     return std::make_unique<Exit>(
-        clone(static_cast<const Exit &>(Stmt).getCondition()));
+        clone(static_cast<const Exit &>(Stmt).getCondition(), Map));
   case Statement::Kind::Query:
     return std::make_unique<Query>(
-        clone(static_cast<const Query &>(Stmt).getRoot()));
+        clone(static_cast<const Query &>(Stmt).getRoot(), Map));
   case Statement::Kind::Clear:
     return std::make_unique<Clear>(
-        &static_cast<const Clear &>(Stmt).getRelation());
+        remap(static_cast<const Clear &>(Stmt).getRelation(), Map));
   case Statement::Kind::Swap: {
     const auto &S = static_cast<const Swap &>(Stmt);
-    return std::make_unique<Swap>(&S.getFirst(), &S.getSecond());
+    return std::make_unique<Swap>(remap(S.getFirst(), Map),
+                                  remap(S.getSecond(), Map));
   }
   case Statement::Kind::MergeInto: {
     const auto &M = static_cast<const MergeInto &>(Stmt);
-    return std::make_unique<MergeInto>(&M.getSource(), &M.getDestination());
+    return std::make_unique<MergeInto>(remap(M.getSource(), Map),
+                                       remap(M.getDestination(), Map));
   }
   case Statement::Kind::Io: {
     const auto &IoStmt = static_cast<const Io &>(Stmt);
     return std::make_unique<Io>(IoStmt.getDirection(),
-                                &IoStmt.getRelation());
+                                remap(IoStmt.getRelation(), Map));
   }
   case Statement::Kind::LogTimer: {
     const auto &Log = static_cast<const LogTimer &>(Stmt);
+    // RuleInfo is plain data (label, stratum, the planner's Sips/AtomOrder
+    // annotations, ...) — the struct copy carries everything.
     return std::make_unique<LogTimer>(Log.getLabel(), Log.getInfo(),
-                                      clone(Log.getBody()));
+                                      clone(Log.getBody(), Map));
   }
   }
   unreachable("unknown statement kind");
+}
+
+std::unique_ptr<Program> stird::ram::cloneProgram(const Program &Prog) {
+  auto Result = std::make_unique<Program>();
+  RelationMap Map;
+  for (const auto &Rel : Prog.getRelations()) {
+    Relation *Copy = Result->addRelation(
+        Rel->getName(), Rel->getColumnTypes(), Rel->getStructure());
+    Copy->setOrders(Rel->getOrders());
+    if (Rel->isInput())
+      Copy->markInput(Rel->getInputPath());
+    if (Rel->isOutput())
+      Copy->markOutput(Rel->getOutputPath());
+    if (Rel->isPrintSize())
+      Copy->markPrintSize();
+    Map[Rel.get()] = Copy;
+  }
+  if (Prog.hasMain())
+    Result->setMain(clone(Prog.getMain(), &Map));
+  if (Prog.hasUpdate())
+    Result->setUpdate(clone(Prog.getUpdate(), &Map));
+  for (const auto &[Rel, Aux] : Prog.getUpdateAuxMap())
+    Result->setUpdateAux(Rel, Aux);
+  return Result;
 }

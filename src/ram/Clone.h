@@ -5,9 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Deep-clone helpers for RAM nodes. Relations are referenced, not owned,
-/// so clones share the original Relation objects. The rewriting optimizer
-/// passes (ram/Transforms.h) are built on these.
+/// Deep-clone helpers for RAM nodes. Relations are referenced, not owned:
+/// by default clones share the original Relation objects, which is what
+/// the rewriting optimizer passes (ram/Transforms.h) want. Passing a
+/// RelationMap redirects every relation reference during the clone, the
+/// building block of cloneProgram() — a fully independent copy of a whole
+/// program, own relations included.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,15 +19,28 @@
 
 #include "ram/Ram.h"
 
+#include <memory>
+#include <unordered_map>
+
 namespace stird::ram {
 
+/// Original relation -> replacement, applied to every relation reference
+/// met during a clone. Relations absent from the map stay shared.
+using RelationMap = std::unordered_map<const Relation *, const Relation *>;
+
 ExprPtr clone(const Expression &Expr);
-CondPtr clone(const Condition &Cond);
-OpPtr clone(const Operation &Op);
-StmtPtr clone(const Statement &Stmt);
+CondPtr clone(const Condition &Cond, const RelationMap *Map = nullptr);
+OpPtr clone(const Operation &Op, const RelationMap *Map = nullptr);
+StmtPtr clone(const Statement &Stmt, const RelationMap *Map = nullptr);
 
 /// Clones a pattern/value vector (entries may not be null).
 std::vector<ExprPtr> clonePattern(const std::vector<ExprPtr> &Pattern);
+
+/// Deep-copies a whole program: fresh Relation objects (name, column
+/// types, structure, orders, IO markings), main/update statements rewired
+/// onto them, and the update-aux name table. The clone shares nothing with
+/// the original; printing both yields identical text.
+std::unique_ptr<Program> cloneProgram(const Program &Prog);
 
 } // namespace stird::ram
 

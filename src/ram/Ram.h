@@ -615,6 +615,13 @@ public:
     int Version = -1;
     bool Recursive = false;
     const ram::Relation *Target = nullptr;
+    /// The SIPS strategy that planned this rule's body ("" for timers not
+    /// produced by rule translation).
+    std::string Sips;
+    /// The chosen join order: element i is the source-order index of the
+    /// body atom scanned at depth i. Identity when no reordering applied;
+    /// empty for non-rule timers.
+    std::vector<int> AtomOrder;
   };
 
   LogTimer(std::string Label, StmtPtr Body)

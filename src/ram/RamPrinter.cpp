@@ -325,7 +325,20 @@ public:
     }
     case Statement::Kind::LogTimer: {
       const auto &Log = static_cast<const LogTimer &>(Stmt);
-      indent() << "TIMER \"" << Log.getLabel() << "\"\n";
+      indent() << "TIMER \"" << Log.getLabel() << "\"";
+      // A reordered body is part of the plan, so it belongs in the dump;
+      // identity orders stay silent to keep source-order output unchanged.
+      const auto &Order = Log.getInfo().AtomOrder;
+      bool Identity = true;
+      for (std::size_t I = 0; I < Order.size(); ++I)
+        Identity = Identity && Order[I] == static_cast<int>(I);
+      if (!Identity) {
+        Out << " sips=" << Log.getInfo().Sips << " order=[";
+        for (std::size_t I = 0; I < Order.size(); ++I)
+          Out << (I ? "," : "") << Order[I];
+        Out << "]";
+      }
+      Out << "\n";
       ++Depth;
       printStmt(Log.getBody());
       --Depth;

@@ -87,7 +87,7 @@ std::unique_ptr<EngineSession>
 EngineSession::fromSource(const std::string &Source,
                           const SessionOptions &Options,
                           std::vector<std::string> *Errors) {
-  core::CompileOptions Compile;
+  core::CompileOptions Compile = Options.Compile;
   Compile.EmitUpdateProgram = true;
   std::shared_ptr<core::Program> Prog =
       core::Program::fromSource(Source, Errors, Compile);
@@ -100,7 +100,7 @@ std::unique_ptr<EngineSession>
 EngineSession::fromFile(const std::string &Path,
                         const SessionOptions &Options,
                         std::vector<std::string> *Errors) {
-  core::CompileOptions Compile;
+  core::CompileOptions Compile = Options.Compile;
   Compile.EmitUpdateProgram = true;
   std::shared_ptr<core::Program> Prog =
       core::Program::fromFile(Path, Errors, Compile);

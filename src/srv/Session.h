@@ -73,6 +73,12 @@ struct BatchResult {
 struct SessionOptions {
   /// Per-side engine configuration (backend, threads, stats, ...).
   interp::EngineOptions Engine;
+  /// Compile-time choices (--sips/--feedback join planning, ...) for the
+  /// fromSource/fromFile convenience constructors. EmitUpdateProgram is
+  /// forced on regardless: sessions always want the incremental path, and
+  /// both the one-shot and update programs are planned under the same
+  /// strategy so resident re-derivation matches a cold run's plans.
+  core::CompileOptions Compile;
   /// Execute the program's .input/.output directives during the bootstrap
   /// run. Off by default: a serving session starts from an empty database
   /// and receives facts through loadFacts.

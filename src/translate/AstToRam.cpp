@@ -9,6 +9,7 @@
 #include "util/MiscUtil.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -682,6 +683,9 @@ private:
       // semi-naive versions and naive loop bodies).
       Info.Recursive = GuardRel != nullptr;
       Info.Target = Target;
+      Info.Sips = sipsStrategyName(Options.Sips);
+      Info.AtomOrder.assign(State.atomOrder().begin(),
+                            State.atomOrder().end());
       Stmt = std::make_unique<ram::LogTimer>(
           std::move(Label), std::move(Info), std::move(Stmt));
     }
@@ -707,7 +711,12 @@ private:
           Pending.push_back(Lit.get());
       }
       computeOuterVars();
+      planAtomOrder();
     }
+
+    /// The emitted atom order: element i is the source-order index of the
+    /// atom scanned at depth i (identity under SipsStrategy::Source).
+    const std::vector<std::size_t> &atomOrder() const { return Order; }
 
     ram::OpPtr build() {
       ram::OpPtr Root = buildLevel(0);
@@ -736,9 +745,19 @@ private:
     }
 
   private:
+    /// The RAM relation the atom at emission position \p AtomIdx reads.
+    /// Resolved once, against the source order, before any reordering: the
+    /// semi-naive version semantics (which occurrence reads the delta) are
+    /// defined over body positions, not over the plan.
+    const ram::Relation *atomRelation(std::size_t AtomIdx) const {
+      return AtomRels[AtomIdx];
+    }
+
     /// The RAM relation an atom reads: its delta version when this atom is
-    /// the rule version's delta occurrence, else the full relation.
-    const ram::Relation *atomRelation(std::size_t AtomIdx) {
+    /// the rule version's delta occurrence, else the full relation. \p
+    /// AtomIdx indexes the source body order (only valid before
+    /// planAtomOrder permutes Atoms).
+    const ram::Relation *resolveAtomRelation(std::size_t AtomIdx) {
       const ast::Atom *A = Atoms[AtomIdx];
       const ram::Relation *Full = T.RelOf.count(A->getName())
                                       ? T.RelOf.at(A->getName())
@@ -764,6 +783,81 @@ private:
           return It->second;
       }
       return Full;
+    }
+
+    /// Resolves every atom's relation (delta vs. full, by source position)
+    /// and then permutes Atoms under the configured SIPS strategy. Must run
+    /// before any emission: build() and buildAtom() index the permuted
+    /// vectors.
+    void planAtomOrder() {
+      AtomRels.resize(Atoms.size());
+      Order.resize(Atoms.size());
+      for (std::size_t I = 0; I < Atoms.size(); ++I) {
+        AtomRels[I] = resolveAtomRelation(I);
+        Order[I] = I;
+      }
+      if (T.Options.Sips == SipsStrategy::Source || Atoms.size() < 2)
+        return;
+      // An undeclared relation keeps the source order; buildAtom reports
+      // the error with the original positions intact.
+      for (const ram::Relation *Rel : AtomRels)
+        if (!Rel)
+          return;
+
+      std::vector<SipsAtom> Desc(Atoms.size());
+      for (std::size_t I = 0; I < Atoms.size(); ++I) {
+        SipsAtom &D = Desc[I];
+        D.SourceIndex = I;
+        D.IsDelta = AtomRels[I] != T.RelOf.at(Atoms[I]->getName());
+        if (T.Options.Sips == SipsStrategy::Profile)
+          D.EstimatedSize =
+              T.estimateSize(*AtomRels[I], D.IsDelta, Atoms[I]->getName());
+        for (const auto &Arg : Atoms[I]->getArgs()) {
+          SipsColumn Col;
+          if (Arg->getKind() == ast::Argument::Kind::Variable) {
+            Col.Binds = static_cast<const ast::Variable &>(*Arg).getName();
+            Col.Vars.push_back(Col.Binds);
+          } else if (Arg->getKind() != ast::Argument::Kind::UnnamedVariable) {
+            collectVars(*Arg, Col.Vars);
+            Col.Ground = Col.Vars.empty();
+          }
+          D.Columns.push_back(std::move(Col));
+        }
+      }
+
+      // Equality-derivable variables (`x = 3`, `y = x + 1`) count as bound
+      // for planning, matching the scheduler's binding equalities.
+      std::vector<SipsEquality> Equalities;
+      for (const ast::Literal *Lit : Pending) {
+        if (Lit->getKind() != ast::Literal::Kind::Constraint)
+          continue;
+        const auto &Con = static_cast<const ast::Constraint &>(*Lit);
+        if (Con.getOp() != ast::ConstraintOp::Eq ||
+            asAggregator(Con.getLhs()) || asAggregator(Con.getRhs()))
+          continue;
+        auto AddDerivation = [&](const ast::Argument &VarSide,
+                                 const ast::Argument &ExprSide) {
+          if (VarSide.getKind() != ast::Argument::Kind::Variable)
+            return;
+          std::vector<std::string> Needed;
+          collectVars(ExprSide, Needed);
+          Equalities.emplace_back(
+              static_cast<const ast::Variable &>(VarSide).getName(),
+              std::move(Needed));
+        };
+        AddDerivation(Con.getLhs(), Con.getRhs());
+        AddDerivation(Con.getRhs(), Con.getLhs());
+      }
+
+      Order = orderAtoms(T.Options.Sips, Desc, Equalities);
+      std::vector<const ast::Atom *> NewAtoms(Atoms.size());
+      std::vector<const ram::Relation *> NewRels(Atoms.size());
+      for (std::size_t I = 0; I < Order.size(); ++I) {
+        NewAtoms[I] = Atoms[Order[I]];
+        NewRels[I] = AtomRels[Order[I]];
+      }
+      Atoms = std::move(NewAtoms);
+      AtomRels = std::move(NewRels);
     }
 
     void computeOuterVars() {
@@ -1268,6 +1362,11 @@ private:
     const RuleVariant &Variant;
 
     std::vector<const ast::Atom *> Atoms;
+    /// Relation read by each atom, aligned with Atoms (both permuted
+    /// together by planAtomOrder).
+    std::vector<const ram::Relation *> AtomRels;
+    /// Emission position → source-order atom index.
+    std::vector<std::size_t> Order;
     std::vector<const ast::Literal *> Pending;
     std::unordered_map<std::string, std::pair<std::uint32_t, std::uint32_t>>
         VarBindings;
@@ -1281,6 +1380,23 @@ private:
     std::vector<DeferredCheck> DeferredColumnChecks;
     std::uint32_t NextTupleId = 0;
   };
+
+  /// Estimated cardinality of \p Rel for the profile SIPS strategy, from
+  /// the feedback document. A delta occurrence missing from the feedback
+  /// (e.g. a one-shot profile feeding an update-program build whose aux
+  /// relations have different names) is guessed as the square root of its
+  /// full relation \p FullName — deltas are a fraction of the fixpoint.
+  double estimateSize(const ram::Relation &Rel, bool IsDelta,
+                      const std::string &FullName) const {
+    if (!Options.Feedback)
+      return -1.0;
+    if (std::optional<double> S = Options.Feedback->relationSize(Rel.getName()))
+      return *S;
+    if (IsDelta)
+      if (std::optional<double> Full = Options.Feedback->relationSize(FullName))
+        return std::sqrt(std::max(*Full, 1.0));
+    return -1.0;
+  }
 
   const ast::Program &AstProg;
   const ast::SemanticInfo &Info;

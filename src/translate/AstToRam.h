@@ -19,6 +19,7 @@
 #include "ast/Ast.h"
 #include "ast/SemanticAnalysis.h"
 #include "ram/Ram.h"
+#include "translate/Sips.h"
 #include "util/SymbolTable.h"
 
 #include <memory>
@@ -50,6 +51,15 @@ struct TranslationOptions {
   /// extra aux relations would perturb dumps and index-selection goldens
   /// of the one-shot pipeline.
   bool EmitUpdateProgram = false;
+  /// Join-ordering strategy applied to every rule body (including update
+  /// rules, so the resident-session path plans identically to the one-shot
+  /// path). Defaults to source order: plans and RAM goldens only change
+  /// when a caller opts in.
+  SipsStrategy Sips = SipsStrategy::Source;
+  /// Relation cardinalities for SipsStrategy::Profile. Not owned; may be
+  /// null, in which case the profile strategy falls back to its built-in
+  /// default size for every relation (degrading to roughly max-bound).
+  const ProfileFeedback *Feedback = nullptr;
 };
 
 /// Result of translation.

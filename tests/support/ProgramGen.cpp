@@ -1,0 +1,199 @@
+//===- tests/support/ProgramGen.cpp - Random Datalog programs ------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProgramGen.h"
+
+namespace stird::testgen {
+namespace {
+
+/// The variable pool. Small on purpose: picking argument variables
+/// uniformly from six names makes repeated variables within one atom (a
+/// self-join constraint the planner must preserve) common rather than rare.
+constexpr const char *VarPool[] = {"a", "b", "c", "d", "e", "f"};
+constexpr std::size_t NumVars = sizeof(VarPool) / sizeof(VarPool[0]);
+
+/// Constants live in [0, MaxConst]; facts draw from the same domain, so
+/// the whole universe has MaxConst + 1 values and every fixpoint is tiny.
+constexpr std::size_t MaxConst = 6;
+
+struct RelInfo {
+  std::string Name;
+  std::size_t Arity;
+  /// Stratum: 0 for base relations, 1 + layer for derived ones. A rule for
+  /// a relation in stratum S may negate only relations in strata < S.
+  std::size_t Stratum;
+};
+
+std::string constant(Rng &R) { return std::to_string(R.below(MaxConst + 1)); }
+
+/// One positive or negated body atom over \p Rel. Positive atoms draw
+/// arguments from the whole pool (binding them); negated atoms must stay
+/// grounded, so they only reuse \p Bound variables or constants.
+std::string atomText(Rng &R, const RelInfo &Rel,
+                     const std::vector<std::string> *Bound,
+                     std::vector<std::string> *Binds) {
+  std::string Text = Rel.Name + "(";
+  for (std::size_t I = 0; I < Rel.Arity; ++I) {
+    if (I > 0)
+      Text += ", ";
+    if (Bound) { // negated: grounded arguments only
+      if (!Bound->empty() && R.chance(70))
+        Text += (*Bound)[R.below(Bound->size())];
+      else
+        Text += constant(R);
+      continue;
+    }
+    const std::size_t Roll = R.below(100);
+    if (Roll < 65) {
+      const std::string &Var = VarPool[R.below(NumVars)];
+      Text += Var;
+      Binds->push_back(Var);
+    } else if (Roll < 85) {
+      Text += constant(R);
+    } else {
+      Text += "_";
+    }
+  }
+  return Text + ")";
+}
+
+void dedup(std::vector<std::string> &Names) {
+  std::vector<std::string> Unique;
+  for (const std::string &Name : Names) {
+    bool Seen = false;
+    for (const std::string &Other : Unique)
+      Seen = Seen || Other == Name;
+    if (!Seen)
+      Unique.push_back(Name);
+  }
+  Names = std::move(Unique);
+}
+
+/// Emits one rule for \p Head. \p Positives are the relations its body may
+/// read (base + earlier layers + Head itself); \p Negatables are the
+/// strictly-earlier relations a negation may target.
+std::string ruleText(Rng &R, const RelInfo &Head,
+                     const std::vector<const RelInfo *> &Positives,
+                     const std::vector<const RelInfo *> &Negatables) {
+  std::vector<std::string> Body;
+  std::vector<std::string> Bound;
+
+  const std::size_t NumAtoms = R.range(1, 3);
+  for (std::size_t I = 0; I < NumAtoms; ++I) {
+    const RelInfo &Rel = *Positives[R.below(Positives.size())];
+    Body.push_back(atomText(R, Rel, nullptr, &Bound));
+  }
+  dedup(Bound);
+
+  // An equality-defined variable: `g = 4` grounds g without any atom
+  // binding it, exercising the planner's equality closure.
+  if (R.chance(25)) {
+    Bound.push_back("g");
+    Body.push_back("g = " + constant(R));
+  }
+
+  // A comparison constraint over what is already bound.
+  if (!Bound.empty() && R.chance(30)) {
+    static constexpr const char *Ops[] = {"<", "<=", ">", ">=", "!="};
+    const std::string &Lhs = Bound[R.below(Bound.size())];
+    const std::string Rhs =
+        R.chance(50) ? Bound[R.below(Bound.size())] : constant(R);
+    Body.push_back(Lhs + " " + Ops[R.below(5)] + " " + Rhs);
+  }
+
+  // Stratified negation over a strictly earlier relation.
+  if (!Negatables.empty() && R.chance(30)) {
+    const RelInfo &Rel = *Negatables[R.below(Negatables.size())];
+    Body.push_back("!" + atomText(R, Rel, &Bound, nullptr));
+  }
+
+  std::string Text = Head.Name + "(";
+  for (std::size_t I = 0; I < Head.Arity; ++I) {
+    if (I > 0)
+      Text += ", ";
+    if (!Bound.empty() && R.chance(80))
+      Text += Bound[R.below(Bound.size())];
+    else
+      Text += constant(R);
+  }
+  Text += ") :- ";
+  for (std::size_t I = 0; I < Body.size(); ++I) {
+    if (I > 0)
+      Text += ", ";
+    Text += Body[I];
+  }
+  return Text + ".";
+}
+
+} // namespace
+
+GeneratedProgram generateProgram(std::uint64_t Seed) {
+  Rng R(Seed * 0x2545f4914f6cdd1dULL + 1);
+  GeneratedProgram Prog;
+  Prog.Seed = Seed;
+  std::string &Src = Prog.Source;
+  std::vector<RelInfo> Rels;
+
+  // Base relations and their facts (body-less clauses, so the program is
+  // self-contained: no fact files, no programmatic inserts).
+  const std::size_t NumBase = R.range(1, 3);
+  for (std::size_t I = 0; I < NumBase; ++I)
+    Rels.push_back({"b" + std::to_string(I), R.range(1, 3), 0});
+
+  const std::size_t NumLayers = R.range(1, 3);
+  for (std::size_t L = 0; L < NumLayers; ++L) {
+    const std::size_t NumDerived = R.range(1, 2);
+    for (std::size_t I = 0; I < NumDerived; ++I)
+      Rels.push_back(
+          {"d" + std::to_string(Rels.size() - NumBase), R.range(1, 3), L + 1});
+  }
+
+  for (const RelInfo &Rel : Rels) {
+    Src += ".decl " + Rel.Name + "(";
+    for (std::size_t I = 0; I < Rel.Arity; ++I)
+      Src += (I > 0 ? ", c" : "c") + std::to_string(I) + ":number";
+    Src += ")\n";
+    Prog.Relations.push_back(Rel.Name);
+  }
+  Src += "\n";
+
+  for (const RelInfo &Rel : Rels) {
+    if (Rel.Stratum != 0)
+      continue;
+    const std::size_t NumFacts = R.range(2, 10);
+    for (std::size_t I = 0; I < NumFacts; ++I) {
+      Src += Rel.Name + "(";
+      for (std::size_t Col = 0; Col < Rel.Arity; ++Col)
+        Src += (Col > 0 ? ", " : "") + constant(R);
+      Src += ").\n";
+    }
+  }
+  Src += "\n";
+
+  for (const RelInfo &Rel : Rels) {
+    if (Rel.Stratum == 0)
+      continue;
+    // Bodies may read base relations, anything from earlier layers, and
+    // the relation itself (recursion — once for linear, twice or more for
+    // nonlinear, as the draw falls). Negation sees only earlier strata.
+    std::vector<const RelInfo *> Positives, Negatables;
+    for (const RelInfo &Other : Rels) {
+      if (Other.Stratum < Rel.Stratum) {
+        Positives.push_back(&Other);
+        Negatables.push_back(&Other);
+      } else if (&Other == &Rel) {
+        Positives.push_back(&Other);
+      }
+    }
+    const std::size_t NumRules = R.range(1, 3);
+    for (std::size_t I = 0; I < NumRules; ++I)
+      Src += ruleText(R, Rel, Positives, Negatables) + "\n";
+  }
+
+  return Prog;
+}
+
+} // namespace stird::testgen

@@ -1,0 +1,233 @@
+//===- tests/support/fuzz_differential_main.cpp - SIPS fuzz driver -------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// stird_fuzz: the open-ended version of DifferentialSipsTest. Walks seeds
+/// forward from a starting point (--seed, or the wall clock when omitted)
+/// for a time budget (--seconds), checking that every --sips strategy at
+/// -j1 and -j4 reproduces the unreordered sequential run. On a mismatch it
+/// writes three artifacts into --out and exits nonzero:
+///
+///   failing_seed.txt   the seed (and the generator's full source)
+///   failing.dl         the generated program verbatim
+///   minimized.dl       the same failure, greedily shrunk line by line
+///
+///   stird_fuzz [--seconds N] [--seed N] [--out DIR]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Program.h"
+#include "interp/Engine.h"
+#include "obs/Profile.h"
+#include "support/ProgramGen.h"
+#include "translate/Sips.h"
+#include "util/Args.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace stird;
+
+namespace {
+
+using Contents =
+    std::vector<std::pair<std::string, std::vector<DynTuple>>>;
+
+/// Declared relation names, straight from the .decl lines — works on
+/// minimization candidates too, where the generator's metadata is stale.
+std::vector<std::string> declaredRelations(const std::string &Source) {
+  std::vector<std::string> Names;
+  std::istringstream In(Source);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    const std::size_t At = Line.find(".decl ");
+    if (At == std::string::npos)
+      continue;
+    std::size_t Start = At + 6;
+    while (Start < Line.size() && Line[Start] == ' ')
+      ++Start;
+    std::size_t End = Start;
+    while (End < Line.size() && Line[End] != '(' && Line[End] != ' ')
+      ++End;
+    if (End > Start)
+      Names.push_back(Line.substr(Start, End - Start));
+  }
+  return Names;
+}
+
+/// Runs \p Source under one configuration. Returns false on compile
+/// failure (relations left empty) — callers treat that as "not the bug
+/// we are chasing", never as a mismatch.
+bool run(const std::string &Source, translate::SipsStrategy Sips,
+         const translate::ProfileFeedback *Feedback, std::size_t Threads,
+         Contents &Out, std::string *ProfileJson = nullptr) {
+  core::CompileOptions Compile;
+  Compile.Sips = Sips;
+  Compile.Feedback = Feedback;
+  std::vector<std::string> Errors;
+  auto Prog = core::Program::fromSource(Source, &Errors, Compile);
+  if (!Prog)
+    return false;
+  interp::EngineOptions Options;
+  Options.NumThreads = Threads;
+  Options.EchoPrintSize = false;
+  auto Engine = Prog->makeEngine(Options);
+  Engine->run();
+  Out.clear();
+  for (const std::string &Name : declaredRelations(Source)) {
+    std::vector<DynTuple> Tuples = Engine->getTuples(Name);
+    std::sort(Tuples.begin(), Tuples.end());
+    Out.emplace_back(Name, std::move(Tuples));
+  }
+  if (ProfileJson) {
+    obs::ProfileContext Ctx;
+    Ctx.Program = "fuzz";
+    Ctx.Backend = "sti";
+    *ProfileJson = obs::buildProfile(*Engine, Ctx).dump();
+  }
+  return true;
+}
+
+/// True when some strategy/thread combination disagrees with the
+/// sequential source-order run. \p Witness names the first bad combination.
+bool mismatches(const std::string &Source, std::string &Witness) {
+  Contents Reference;
+  std::string ProfileJson;
+  if (!run(Source, translate::SipsStrategy::Source, nullptr, 1, Reference,
+           &ProfileJson))
+    return false;
+  std::string Error;
+  std::unique_ptr<translate::ProfileFeedback> Feedback =
+      translate::ProfileFeedback::fromJson(ProfileJson, &Error);
+
+  const translate::SipsStrategy Strategies[] = {
+      translate::SipsStrategy::Source, translate::SipsStrategy::MaxBound,
+      translate::SipsStrategy::Profile};
+  for (translate::SipsStrategy Strategy : Strategies) {
+    const translate::ProfileFeedback *Fb =
+        Strategy == translate::SipsStrategy::Profile ? Feedback.get()
+                                                     : nullptr;
+    for (std::size_t Threads : {std::size_t(1), std::size_t(4)}) {
+      Contents Out;
+      if (!run(Source, Strategy, Fb, Threads, Out))
+        continue;
+      if (Out != Reference) {
+        Witness = std::string("--sips=") +
+                  translate::sipsStrategyName(Strategy) + " -j" +
+                  std::to_string(Threads);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Greedy line-wise shrink: drop each fact/rule line in turn, keeping the
+/// removal whenever the mismatch survives. Declarations stay (removing a
+/// referenced .decl only trades the mismatch for a compile error).
+std::string minimize(const std::string &Source) {
+  std::vector<std::string> Lines;
+  std::istringstream In(Source);
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+
+  auto Render = [&](std::size_t Skip) {
+    std::string Text;
+    for (std::size_t I = 0; I < Lines.size(); ++I)
+      if (I != Skip)
+        Text += Lines[I] + "\n";
+    return Text;
+  };
+
+  bool Shrunk = true;
+  while (Shrunk) {
+    Shrunk = false;
+    for (std::size_t I = 0; I < Lines.size(); ++I) {
+      if (Lines[I].empty() || Lines[I].find(".decl") != std::string::npos)
+        continue;
+      std::string Witness;
+      if (mismatches(Render(I), Witness)) {
+        Lines.erase(Lines.begin() + I);
+        Shrunk = true;
+        break;
+      }
+    }
+  }
+  return Render(Lines.size());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Seconds = 60;
+  std::uint64_t Seed = 0;
+  bool SeedGiven = false;
+  std::string OutDir = ".";
+
+  util::Args Args("stird_fuzz", "[options]");
+  Args.option({"--seconds"}, "n", "time budget (default 60)",
+              [&](const std::string &Value) -> std::string {
+                char *End = nullptr;
+                Seconds = std::strtod(Value.c_str(), &End);
+                if (End == Value.c_str() || *End != '\0' || Seconds <= 0)
+                  return "invalid --seconds '" + Value + "'";
+                return "";
+              });
+  Args.option({"--seed"}, "n", "starting seed (default: wall clock)",
+              [&](const std::string &Value) -> std::string {
+                char *End = nullptr;
+                Seed = std::strtoull(Value.c_str(), &End, 10);
+                if (End == Value.c_str() || *End != '\0')
+                  return "invalid --seed '" + Value + "'";
+                SeedGiven = true;
+                return "";
+              });
+  Args.option({"--out"}, "dir", "artifact directory for failures (default .)",
+              [&](const std::string &Value) {
+                OutDir = Value;
+                return std::string();
+              });
+  Args.parseOrExit(Argc, Argv);
+
+  if (!SeedGiven)
+    Seed = static_cast<std::uint64_t>(std::time(nullptr));
+  std::fprintf(stderr, "stird_fuzz: starting at seed %llu for %.0f s\n",
+               static_cast<unsigned long long>(Seed), Seconds);
+
+  const std::clock_t Deadline =
+      std::clock() + static_cast<std::clock_t>(Seconds * CLOCKS_PER_SEC);
+  std::size_t Checked = 0;
+  for (std::uint64_t S = Seed; std::clock() < Deadline; ++S, ++Checked) {
+    const testgen::GeneratedProgram P = testgen::generateProgram(S);
+    std::string Witness;
+    if (!mismatches(P.Source, Witness))
+      continue;
+
+    std::fprintf(stderr, "stird_fuzz: seed %llu FAILS under %s\n",
+                 static_cast<unsigned long long>(S), Witness.c_str());
+    std::ofstream(OutDir + "/failing_seed.txt")
+        << S << "\n" << Witness << "\n";
+    std::ofstream(OutDir + "/failing.dl") << P.Source;
+    std::ofstream(OutDir + "/minimized.dl") << minimize(P.Source);
+    std::fprintf(stderr,
+                 "stird_fuzz: artifacts written to %s "
+                 "(failing_seed.txt, failing.dl, minimized.dl)\n",
+                 OutDir.c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr, "stird_fuzz: %zu seeds checked, no mismatches\n",
+               Checked);
+  return 0;
+}

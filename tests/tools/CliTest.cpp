@@ -175,4 +175,72 @@ TEST(CliTest, AblationFlagsAccepted) {
             "1\t2\n1\t3\n1\t4\n2\t3\n2\t4\n3\t4\n");
 }
 
+TEST(CliTest, SipsStrategiesProduceIdenticalOutput) {
+  const std::string Expected = "1\t2\n1\t3\n1\t4\n2\t3\n2\t4\n3\t4\n";
+  for (const char *Sips : {"source", "max-bound"}) {
+    std::string Dir = makeFixture(std::string("sips_") + Sips);
+    CommandResult Result = runTool(
+        Dir + "/tc.dl -F " + Dir + " -D " + Dir + " --sips=" + Sips, Dir);
+    EXPECT_EQ(Result.ExitCode, 0) << "--sips=" << Sips << ": "
+                                  << Result.Output;
+    EXPECT_EQ(readFile(Dir + "/path.csv"), Expected) << "--sips=" << Sips;
+  }
+}
+
+TEST(CliTest, SipsRejectsUnknownStrategy) {
+  std::string Dir = makeFixture("sips_bad");
+  CommandResult Result =
+      runTool(Dir + "/tc.dl -F " + Dir + " --sips=random", Dir);
+  EXPECT_NE(Result.ExitCode, 0);
+  EXPECT_NE(Result.Output.find("unknown sips strategy"), std::string::npos)
+      << Result.Output;
+}
+
+TEST(CliTest, FeedbackRoundTripsThroughProfile) {
+  // A profiled run's JSON feeds the next run's planner (--feedback
+  // implies --sips=profile); the results must be identical.
+  std::string Dir = makeFixture("feedback");
+  CommandResult First =
+      runTool(Dir + "/tc.dl -F " + Dir + " -D " + Dir + " --profile=" +
+                  Dir + "/profile.json",
+              Dir);
+  EXPECT_EQ(First.ExitCode, 0) << First.Output;
+  const std::string Baseline = readFile(Dir + "/path.csv");
+
+  CommandResult Second =
+      runTool(Dir + "/tc.dl -F " + Dir + " -D " + Dir + " --feedback=" +
+                  Dir + "/profile.json",
+              Dir);
+  EXPECT_EQ(Second.ExitCode, 0) << Second.Output;
+  EXPECT_EQ(readFile(Dir + "/path.csv"), Baseline);
+  // No fallback warning: the document is fresh and covers the program.
+  EXPECT_EQ(Second.Output.find("falling back"), std::string::npos)
+      << Second.Output;
+}
+
+TEST(CliTest, MalformedFeedbackWarnsAndFallsBack) {
+  // Malformed or stale --feedback documents must degrade to max-bound
+  // with a warning — never abort the run.
+  std::string Dir = makeFixture("feedback_bad");
+  std::ofstream(Dir + "/broken.json") << "{this is not json";
+  std::ofstream(Dir + "/stale.json")
+      << R"({"schema": "stird-profile-v1", "relations": [)"
+      << R"({"name": "someone_elses_relation", "peak_size": 9}]})";
+  const std::string Expected = "1\t2\n1\t3\n1\t4\n2\t3\n2\t4\n3\t4\n";
+
+  for (const char *Doc : {"broken.json", "stale.json"}) {
+    CommandResult Result =
+        runTool(Dir + "/tc.dl -F " + Dir + " -D " + Dir + " --feedback=" +
+                    Dir + "/" + Doc,
+                Dir);
+    EXPECT_EQ(Result.ExitCode, 0)
+        << Doc << " aborted the run: " << Result.Output;
+    EXPECT_NE(Result.Output.find("warning:"), std::string::npos) << Doc;
+    EXPECT_NE(Result.Output.find("falling back to --sips=max-bound"),
+              std::string::npos)
+        << Doc << ": " << Result.Output;
+    EXPECT_EQ(readFile(Dir + "/path.csv"), Expected) << Doc;
+  }
+}
+
 } // namespace

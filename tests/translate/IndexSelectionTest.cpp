@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <random>
 
@@ -134,6 +135,98 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, IndexSelectionRandomTest,
     ::testing::Combine(::testing::Values(2, 3, 4, 6, 8),
                        ::testing::Range(0, 10)));
+
+//===----------------------------------------------------------------------===//
+// Brute-force minimality
+//===----------------------------------------------------------------------===//
+
+/// True when \p Block (signature bitmasks) is totally ordered by set
+/// inclusion — the condition for one lexicographic order to serve it.
+bool isChain(const std::vector<std::uint32_t> &Block) {
+  for (std::size_t I = 0; I < Block.size(); ++I)
+    for (std::size_t J = I + 1; J < Block.size(); ++J)
+      if ((Block[I] & Block[J]) != Block[I] &&
+          (Block[I] & Block[J]) != Block[J])
+        return false;
+  return true;
+}
+
+/// Exhaustive minimum chain partition: assigns each signature to every
+/// existing chain it extends or to a fresh chain, and keeps the smallest
+/// chain count seen. Exponential, which is exactly why the sweep stays at
+/// <= 7 unique signatures.
+void bruteForceSearch(const std::vector<std::uint32_t> &Sigs,
+                      std::size_t Next,
+                      std::vector<std::vector<std::uint32_t>> &Blocks,
+                      std::size_t &Best) {
+  if (Blocks.size() >= Best)
+    return; // cannot beat the incumbent any more
+  if (Next == Sigs.size()) {
+    Best = Blocks.size();
+    return;
+  }
+  // Index loop: recursion push_backs into Blocks, so references into the
+  // vector do not survive the call.
+  for (std::size_t B = 0; B < Blocks.size(); ++B) {
+    Blocks[B].push_back(Sigs[Next]);
+    if (isChain(Blocks[B]))
+      bruteForceSearch(Sigs, Next + 1, Blocks, Best);
+    Blocks[B].pop_back();
+  }
+  Blocks.push_back({Sigs[Next]});
+  bruteForceSearch(Sigs, Next + 1, Blocks, Best);
+  Blocks.pop_back();
+}
+
+std::size_t bruteForceMinChains(std::vector<std::uint32_t> Sigs) {
+  std::sort(Sigs.begin(), Sigs.end());
+  Sigs.erase(std::unique(Sigs.begin(), Sigs.end()), Sigs.end());
+  std::vector<std::vector<std::uint32_t>> Blocks;
+  std::size_t Best = Sigs.size();
+  bruteForceSearch(Sigs, 0, Blocks, Best);
+  return Best;
+}
+
+/// Exhaustive over arity 3: every nonempty subset of the 7 nonzero
+/// signatures. The matching-based cover must hit the brute-force optimum
+/// on each of the 127 instances.
+TEST(IndexSelectionMinimalityTest, ExhaustiveOverThreeColumns) {
+  for (std::uint32_t Subset = 1; Subset < (1U << 7); ++Subset) {
+    std::vector<std::uint32_t> Sigs;
+    for (std::uint32_t Sig = 1; Sig <= 7; ++Sig)
+      if (Subset & (1U << (Sig - 1)))
+        Sigs.push_back(Sig);
+    auto Info = computeIndexes(Sigs, 3);
+    expectValidCover(Info, Sigs, 3);
+    EXPECT_EQ(Info.Orders.size(), bruteForceMinChains(Sigs))
+        << "subset mask " << Subset;
+  }
+}
+
+/// Random sets of up to 6 signatures over wider relations: the cover must
+/// be valid and exactly as small as the brute-force optimum.
+class IndexSelectionMinimalityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IndexSelectionMinimalityTest, MatchesBruteForceOptimum) {
+  auto [Arity, Seed] = GetParam();
+  std::mt19937 Rng(static_cast<unsigned>(Seed * 977 + Arity));
+  std::uniform_int_distribution<std::uint32_t> Dist(1, (1U << Arity) - 1);
+  std::uniform_int_distribution<int> Count(1, 6);
+  const int NumSigs = Count(Rng);
+  std::vector<std::uint32_t> Sigs;
+  for (int I = 0; I < NumSigs; ++I)
+    Sigs.push_back(Dist(Rng));
+
+  auto Info = computeIndexes(Sigs, static_cast<std::size_t>(Arity));
+  expectValidCover(Info, Sigs, static_cast<std::size_t>(Arity));
+  EXPECT_EQ(Info.Orders.size(), bruteForceMinChains(Sigs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IndexSelectionMinimalityTest,
+    ::testing::Combine(::testing::Values(3, 4, 5, 6, 8),
+                       ::testing::Range(0, 40)));
 
 TEST(IndexSelectionProgramTest, SwappedRelationsShareLayout) {
   // Build a recursive program; delta/new must end up with identical

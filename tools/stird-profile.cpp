@@ -39,8 +39,29 @@ struct RuleRow {
   std::uint64_t Invocations = 0;
   std::uint64_t Dispatches = 0;
   std::uint64_t DeltaTuples = 0;
+  std::string Sips;
+  std::vector<int> AtomOrder;
   const Value *Iterations = nullptr;
 };
+
+/// "[2,0,1]" — the body-atom evaluation order the planner chose, as
+/// indices into the source clause.
+std::string renderOrder(const std::vector<int> &Order) {
+  std::string Text = "[";
+  for (std::size_t I = 0; I < Order.size(); ++I) {
+    if (I > 0)
+      Text += ",";
+    Text += std::to_string(Order[I]);
+  }
+  return Text + "]";
+}
+
+bool isIdentityOrder(const std::vector<int> &Order) {
+  for (std::size_t I = 0; I < Order.size(); ++I)
+    if (Order[I] != static_cast<int>(I))
+      return false;
+  return true;
+}
 
 double numberOr(const Value *V, double Default) {
   return V && V->isNumber() ? V->asNumber() : Default;
@@ -126,6 +147,11 @@ int main(int argc, char **argv) {
           numberOr(Rule.find("dispatches"), 0));
       Row.DeltaTuples = static_cast<std::uint64_t>(
           numberOr(Rule.find("delta_tuples"), 0));
+      Row.Sips = stringOr(Rule.find("sips"), "");
+      if (const Value *Order = Rule.find("atom_order");
+          Order && Order->isArray())
+        for (const Value &Idx : Order->asArray())
+          Row.AtomOrder.push_back(static_cast<int>(numberOr(&Idx, 0)));
       Row.Iterations = Rule.find("iterations");
       Rules.push_back(std::move(Row));
     }
@@ -154,6 +180,26 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(Row.Invocations),
                 static_cast<unsigned long long>(Row.Dispatches),
                 static_cast<unsigned long long>(Row.DeltaTuples),
+                Row.Label.c_str());
+  }
+
+  // Plan choices: which strategy planned each rule and where it deviated
+  // from source order. Profiles written before the planner existed carry
+  // no "sips" key and skip the section entirely.
+  bool PrintedPlanHeader = false;
+  for (const RuleRow &Row : Rules) {
+    if (Row.Sips.empty() ||
+        (Row.Sips == "source" && isIdentityOrder(Row.AtomOrder)))
+      continue;
+    if (!PrintedPlanHeader) {
+      std::printf("\nJoin plans (body-atom order by source position):\n");
+      std::printf("%10s %16s  %s\n", "sips", "order", "rule");
+      PrintedPlanHeader = true;
+    }
+    std::printf("%10s %16s  %s\n", Row.Sips.c_str(),
+                Row.AtomOrder.empty()
+                    ? "-"
+                    : renderOrder(Row.AtomOrder).c_str(),
                 Row.Label.c_str());
   }
 

@@ -17,6 +17,11 @@
 ///   --no-super            disable super-instructions (Section 4.4)
 ///   --no-reorder          disable static tuple reordering (Section 4.2)
 ///   --fuse-conditions     enable fused-condition super-instructions (5.2)
+///   --sips <strategy>     rule-body join order: source | max-bound |
+///                         profile (default source)
+///   --feedback <file>     stird-profile-v1 JSON seeding --sips=profile
+///                         (implies it); malformed or stale documents warn
+///                         and fall back to max-bound
 ///   --dump-ram            print the RAM program and exit
 ///   --profile             print the per-rule profile after the run
 ///   --profile=<file>      write the JSON profile document instead
@@ -42,6 +47,8 @@ using namespace stird;
 int main(int argc, char **argv) {
   std::string ProgramPath;
   interp::EngineOptions Options;
+  core::CompileOptions Compile;
+  bool SipsExplicit = false;
   bool DumpRam = false;
   bool DumpTree = false;
   bool Profile = false;
@@ -52,6 +59,7 @@ int main(int argc, char **argv) {
   util::Args Args("stird", "[options]");
   Args.positional("program.dl", tools::pathSink(ProgramPath));
   tools::addEngineOptions(Args, Options);
+  tools::addCompileOptions(Args, Compile, SipsExplicit);
   Args.flag({"--dump-ram"}, "print the RAM program and exit",
             [&] { DumpRam = true; });
   Args.flag({"--dump-tree"}, "print the interpreter tree and exit",
@@ -74,8 +82,9 @@ int main(int argc, char **argv) {
               "write the synthesized C++ instead of running",
               tools::pathSink(SynthesizePath));
   Args.parseOrExit(argc, argv);
+  tools::resolveCompileOptions(Compile, SipsExplicit);
 
-  auto Prog = core::Program::fromFile(ProgramPath);
+  auto Prog = core::Program::fromFile(ProgramPath, nullptr, Compile);
   if (!Prog)
     return 1;
 
