@@ -1,0 +1,99 @@
+//===- bench/micro_sched.cpp - Scheduler scaling on skewed work ----------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the morsel work-stealing scheduler against an emulation of the
+/// old barrier pool on the adversarial skewed-TC workload (one hub vertex
+/// owning ~90% of the edges). The barrier pool's static 1:1 assignment is
+/// reproduced exactly by forcing one morsel per thread (a huge
+/// --morsel-size makes morselParts() return NumThreads): whichever thread
+/// draws the hub's partition then serializes the iteration while the rest
+/// idle at the join barrier. Work-stealing cuts the same scan into ~256-
+/// tuple morsels any idle thread can steal.
+///
+/// Emits one JSON document (array of per-configuration records) on stdout
+/// so CI and plotting scripts can consume the sweep directly:
+///
+///   [{"workload": "skewed-tc", "mode": "stealing", "threads": 4,
+///     "seconds": ..., "tuples": ..., "speedup_vs_barrier": ...}, ...]
+///
+/// Results are hardware-honest: on a single-core container both modes
+/// degenerate to sequential draining and the ratio sits near 1; the
+/// stealing advantage appears with real cores to steal from.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace stird;
+using namespace stird::bench;
+
+namespace {
+
+struct Record {
+  const char *Mode;
+  std::size_t Threads;
+  double Seconds;
+  std::size_t Tuples;
+};
+
+/// One morsel per thread reproduces the retired barrier pool's static
+/// partition assignment (no entry is left for anyone to steal).
+constexpr std::size_t BarrierMorselSize = ~std::size_t(0) / 2;
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // --quick: single repetition, for smoke runs in CI.
+  const bool Quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  Harness H("stird_bench_cache", Quick ? 1 : 3);
+  const Workload W = skewedTc();
+
+  std::vector<Record> Records;
+  for (std::size_t Threads : {std::size_t(1), std::size_t(2),
+                              std::size_t(4), std::size_t(8)}) {
+    for (const char *Mode : {"barrier", "stealing"}) {
+      interp::EngineOptions Options;
+      Options.NumThreads = Threads;
+      Options.EchoPrintSize = false;
+      if (std::strcmp(Mode, "barrier") == 0)
+        Options.MorselSize = BarrierMorselSize;
+      const InterpMeasurement M = H.runInterp(W, Options);
+      Records.push_back({Mode, Threads, M.Seconds, M.TotalTuples});
+      std::fprintf(stderr, "%-9s -j%zu  %.6f s  %zu tuples\n", Mode,
+                   Threads, M.Seconds, M.TotalTuples);
+    }
+  }
+
+  // The determinism contract makes tuple counts a cross-config checksum.
+  bool TuplesAgree = true;
+  for (const Record &R : Records)
+    TuplesAgree = TuplesAgree && R.Tuples == Records.front().Tuples;
+  if (!TuplesAgree)
+    std::fprintf(stderr, "ERROR: tuple counts diverged across configs\n");
+
+  std::printf("[");
+  for (std::size_t I = 0; I < Records.size(); ++I) {
+    const Record &R = Records[I];
+    double Barrier = 0;
+    for (const Record &B : Records)
+      if (std::strcmp(B.Mode, "barrier") == 0 && B.Threads == R.Threads)
+        Barrier = B.Seconds;
+    std::printf("%s\n  {\"workload\": \"%s\", \"mode\": \"%s\", "
+                "\"threads\": %zu, \"seconds\": %.6f, \"tuples\": %zu, "
+                "\"speedup_vs_barrier\": %.3f}",
+                I == 0 ? "" : ",", W.Name.c_str(), R.Mode, R.Threads,
+                R.Seconds, R.Tuples,
+                R.Seconds > 0 ? Barrier / R.Seconds : 0.0);
+  }
+  std::printf("\n]\n");
+  return TuplesAgree ? 0 : 1;
+}

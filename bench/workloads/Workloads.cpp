@@ -293,3 +293,33 @@ Workload stird::bench::gamessLike() {
 Workload stird::bench::vpcXLarge() {
   return makeVpc("vpc-xlarge", 150, 5200, 14);
 }
+
+Workload stird::bench::skewedTc() {
+  // Transitive closure over a hub-and-chain graph. The chain 1 -> 2 ->
+  // ... -> C -> 0 feeds the hub; the hub fans out to H leaf spokes, so
+  // H of the H + C edges (~90%) leave one vertex. Every path row ending
+  // in the hub joins against all H spokes while every other row joins
+  // against at most one edge — the per-morsel work imbalance that a
+  // static 1:1 partition assignment cannot absorb and stealing can.
+  constexpr RamDomain ChainLen = 120;
+  constexpr RamDomain HubSpokes = 1080; // 90% of the edges
+  Workload W;
+  W.Suite = "sched";
+  W.Name = "skewed-tc";
+  W.Source = R"(
+  .decl edge(a:number, b:number)
+  .input edge
+  .decl path(a:number, b:number)
+  path(x, y) :- edge(x, y).
+  path(x, z) :- path(x, y), edge(y, z).
+  .printsize path
+)";
+  std::vector<DynTuple> Edges;
+  for (RamDomain I = 1; I < ChainLen; ++I)
+    Edges.push_back({I, I + 1});
+  Edges.push_back({ChainLen, 0});
+  for (RamDomain K = 1; K <= HubSpokes; ++K)
+    Edges.push_back({0, ChainLen + K});
+  W.Facts = {{"edge", Edges}};
+  return W;
+}

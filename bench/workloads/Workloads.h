@@ -59,6 +59,14 @@ std::vector<Workload> tinySuites();
 /// runtime is dominated by a handful of arithmetic-filter outlier rules.
 Workload gamessLike();
 
+/// The scheduler's adversarial workload: transitive closure over a graph
+/// where one hub vertex owns ~90% of the edges, so a handful of morsels
+/// carry almost all join work. A static 1:1 partition assignment idles
+/// every thread but the hub's; work-stealing redistributes the hub morsels.
+/// Used by micro_sched (stealing vs barrier emulation) and available to
+/// differential suites.
+Workload skewedTc();
+
 /// A VPC instance big enough that the synthesizer beats the interpreter
 /// even including compilation — the Table 1 "<1 ratio" phenomenon. Used
 /// only by the Table 1 harness (it takes tens of seconds per engine).

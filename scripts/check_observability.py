@@ -17,8 +17,8 @@ PROFILE_TOP_KEYS = [
     "dispatches", "strata", "relations",
 ]
 RULE_KEYS = [
-    "label", "relation", "stratum", "version", "recursive", "seconds",
-    "invocations", "dispatches", "delta_tuples", "iterations",
+    "label", "relation", "stratum", "version", "par_group", "recursive",
+    "seconds", "invocations", "dispatches", "delta_tuples", "iterations",
 ]
 ITERATION_KEYS = ["seconds", "dispatches", "delta_tuples"]
 RELATION_KEYS = [

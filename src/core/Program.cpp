@@ -8,6 +8,7 @@
 
 #include "ast/Parser.h"
 #include "ast/SemanticAnalysis.h"
+#include "interp/Scheduler.h"
 #include "ram/RamPrinter.h"
 #include "ram/Transforms.h"
 
@@ -126,9 +127,20 @@ std::unique_ptr<Program> Program::fromFile(const std::string &Path,
 
 std::string Program::dumpRam() const { return ram::print(*Ram); }
 
+std::shared_ptr<interp::Scheduler>
+Program::schedulerFor(std::size_t NumThreads) {
+  std::lock_guard<std::mutex> Lock(SchedM);
+  std::shared_ptr<interp::Scheduler> &Sched = Schedulers[NumThreads];
+  if (!Sched)
+    Sched = std::make_shared<interp::Scheduler>(NumThreads);
+  return Sched;
+}
+
 std::unique_ptr<interp::Engine>
 Program::makeEngine(interp::EngineOptions Options) {
   if (Options.NumThreads == 0)
     Options.NumThreads = NumThreads;
+  if (Options.NumThreads > 1 && !Options.Sched)
+    Options.Sched = schedulerFor(Options.NumThreads);
   return std::make_unique<interp::Engine>(*Ram, Indexes, Symbols, Options);
 }

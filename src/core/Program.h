@@ -34,7 +34,9 @@
 #include "translate/IndexSelection.h"
 #include "util/SymbolTable.h"
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -92,8 +94,15 @@ public:
   /// Creates an execution engine over this program. The program must
   /// outlive the engine. When Options.NumThreads is 0 (unset), the
   /// program's own default thread count (setNumThreads) is substituted.
+  /// Unless the options carry their own scheduler, parallel engines share
+  /// the program's per-thread-count scheduler (one warm worker pool for
+  /// the whole program — every run, serving session and update batch).
   std::unique_ptr<interp::Engine>
   makeEngine(interp::EngineOptions Options = {});
+
+  /// The program's shared work-stealing scheduler for \p NumThreads,
+  /// created on first use. Thread-safe.
+  std::shared_ptr<interp::Scheduler> schedulerFor(std::size_t NumThreads);
 
   /// Default evaluation thread count applied to engines whose options
   /// leave NumThreads unset. Values <= 1 mean sequential evaluation.
@@ -108,6 +117,10 @@ private:
   translate::IndexSelectionResult Indexes;
   SymbolTable Symbols;
   std::size_t NumThreads = 1;
+  /// Shared schedulers keyed by thread count (engines at different -jN
+  /// coexist, e.g. a differential test). Guarded by SchedM.
+  std::mutex SchedM;
+  std::map<std::size_t, std::shared_ptr<interp::Scheduler>> Schedulers;
 };
 
 } // namespace stird::core

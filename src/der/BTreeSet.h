@@ -289,9 +289,11 @@ public:
   }
 
   /// Splits the set into at most \p MaxParts disjoint, order-contiguous
-  /// iterator ranges whose concatenation is the full scan. Split points are
-  /// keys of the top two tree levels, so fewer ranges than requested may
-  /// come back; an empty set yields none.
+  /// iterator ranges whose concatenation is the full scan. Split points
+  /// are stored keys collected from as many top tree levels as \p
+  /// MaxParts needs (morsel-sized partitioning may want far more ranges
+  /// than the top two levels hold), so fewer ranges than requested can
+  /// still come back on small trees; an empty set yields none.
   std::vector<std::pair<iterator, iterator>>
   partition(std::size_t MaxParts) const {
     std::vector<std::pair<iterator, iterator>> Parts;
@@ -301,9 +303,8 @@ public:
       Parts.emplace_back(begin(), end());
       return Parts;
     }
-    std::vector<TupleType> Seps;
-    collectSeparators(Root, /*Depth=*/1, Seps);
-    splitBySeparators(Parts, Seps, begin(), end(), MaxParts);
+    splitBySeparators(Parts, separatorsFor(MaxParts), begin(), end(),
+                      MaxParts);
     return Parts;
   }
 
@@ -323,8 +324,7 @@ public:
       Parts.emplace_back(First, Last);
       return Parts;
     }
-    std::vector<TupleType> Seps;
-    collectSeparators(Root, /*Depth=*/1, Seps);
+    std::vector<TupleType> Seps = separatorsFor(MaxParts);
     // Only separators in (Low, High] produce bounds inside [First, Last).
     std::vector<TupleType> Inside;
     for (const TupleType &S : Seps)
@@ -335,6 +335,22 @@ public:
   }
 
 private:
+  /// Sorted separator keys for a \p MaxParts-way split: starts with the
+  /// top two levels and deepens one level at a time until the keys
+  /// suffice or the whole tree has been collected.
+  std::vector<TupleType> separatorsFor(std::size_t MaxParts) const {
+    std::vector<TupleType> Seps;
+    collectSeparators(Root, /*Depth=*/1, Seps);
+    for (int Depth = 2; Seps.size() + 1 < MaxParts; ++Depth) {
+      const std::size_t Before = Seps.size();
+      Seps.clear();
+      collectSeparators(Root, Depth, Seps);
+      if (Seps.size() == Before)
+        break;
+    }
+    return Seps;
+  }
+
   /// In-order collection of the keys of the top \p Depth + 1 levels; being
   /// stored keys they are exact lowerBound targets, and in-order collection
   /// keeps them sorted.

@@ -20,6 +20,7 @@
 #include "interp/Context.h"
 #include "interp/EvalUtil.h"
 #include "interp/Parallel.h"
+#include "interp/Scheduler.h"
 #include "obs/Stats.h"
 #include "obs/Trace.h"
 #include "util/MiscUtil.h"
@@ -36,14 +37,21 @@ public:
       : State(State), Dispatches(&State.NumDispatches),
         StatsArr(State.CollectStats ? State.Stats.data() : nullptr) {}
 
-  /// Worker-side instance for one partition of a parallel scan: dispatches
-  /// count into a local counter (summed at the barrier), inserts are
-  /// buffered instead of applied, and relation counters go into a private
-  /// block (merged at the barrier).
+  /// Worker-side instance for one morsel of a parallel scan or one rule
+  /// job of a ParallelSequence: dispatches count into a local counter
+  /// (summed at the job barrier), inserts are buffered instead of applied
+  /// when \p Buffer is set, relation counters go into a private block
+  /// (merged at the barrier), and trace events go into a private buffer
+  /// tagged with the executing scheduler slot. Worker instances never
+  /// re-enter the scheduler: nested parallel nodes degrade to their
+  /// sequential form.
   DynamicExecutor(EngineState &State, std::uint64_t *Dispatches,
-                  TupleBuffer *Buffer, obs::RelationStats *Stats)
+                  TupleBuffer *Buffer, obs::RelationStats *Stats,
+                  std::vector<obs::TraceEvent> *TraceBuf,
+                  std::uint64_t TraceTid)
       : State(State), Dispatches(Dispatches), Buffer(Buffer),
-        StatsArr(Stats) {}
+        StatsArr(Stats), TraceBuf(TraceBuf), TraceTid(TraceTid),
+        IsMain(false) {}
 
   void run(const Node &Root) override {
     Context Empty(0);
@@ -182,8 +190,8 @@ private:
       obs::RelationStats *RS = statsFor(S->Rel);
       if (RS)
         ++RS->Scans;
-      auto Streams =
-          S->Rel->partitionScan(S->IndexPos, State.NumThreads, S->Decode);
+      auto Streams = S->Rel->partitionScan(
+          S->IndexPos, State.morselParts(S->Rel->size()), S->Decode);
       return runPartitions(*S->Rel, S->TupleId, *S->Nested, S->NumTupleIds,
                            Streams, RS, /*IsIndex=*/false, S->Decode);
     }
@@ -195,15 +203,15 @@ private:
         RS->Reorders += S->NeedsEncode ? 1 : 0;
       }
       std::vector<RamDomain> Key(S->Rel->getArity(), 0);
-      if (State.Trace && S->NeedsEncode)
+      if (IsMain && State.Trace && S->NeedsEncode)
         State.Trace->begin("index reorder " + S->Rel->getName());
       buildKey(S->Pattern, S->NeedsEncode, S->Rel->getOrder(S->IndexPos),
                Key, Ctx);
-      if (State.Trace && S->NeedsEncode)
+      if (IsMain && State.Trace && S->NeedsEncode)
         State.Trace->end();
-      auto Streams =
-          S->Rel->partitionRange(S->IndexPos, Key.data(), S->PrefixLen,
-                                 S->Mask, S->Decode, State.NumThreads);
+      auto Streams = S->Rel->partitionRange(
+          S->IndexPos, Key.data(), S->PrefixLen, S->Mask, S->Decode,
+          State.morselParts(S->Rel->size()));
       return runPartitions(*S->Rel, S->TupleId, *S->Nested, S->NumTupleIds,
                            Streams, RS, /*IsIndex=*/true, S->Decode);
     }
@@ -278,6 +286,9 @@ private:
           return 0;
       return 1;
     }
+    case NodeType::ParallelSequence:
+      return runRuleGroup(*static_cast<const ParallelSequenceNode *>(N),
+                          Ctx);
     case NodeType::Loop: {
       const auto *L = static_cast<const LoopNode *>(N);
       while (execute(L->Body.get(), Ctx)) {
@@ -331,8 +342,12 @@ private:
       return 1;
     case NodeType::LogTimer: {
       const auto *Log = static_cast<const LogTimerNode *>(N);
-      if (State.Trace)
+      // Main thread uses the shared span stack; rule jobs record into
+      // their private trace buffer under the executing scheduler slot.
+      if (IsMain && State.Trace)
         State.Trace->begin(Log->Label);
+      const std::uint64_t Start =
+          !IsMain && TraceBuf ? State.Trace->now() : 0;
       const std::uint64_t SizeBefore =
           Log->DeltaRel ? Log->DeltaRel->size() : 0;
       Timer T;
@@ -342,8 +357,14 @@ private:
           Log->DeltaRel ? Log->DeltaRel->size() - SizeBefore : 0;
       State.Prof.record(Log->ProfileId, T.seconds(), *Dispatches - Before,
                         Delta);
-      if (State.Trace)
+      if (IsMain && State.Trace) {
         State.Trace->end();
+      } else if (TraceBuf) {
+        TraceBuf->push_back({Log->Label, 'B', Start, TraceTid,
+                             std::string()});
+        TraceBuf->push_back({std::string(), 'E', State.Trace->now(),
+                             TraceTid, std::string()});
+      }
       return Result;
     }
 
@@ -369,12 +390,14 @@ private:
     RS->Reorders += Decode ? Total : 0;
   }
 
-  /// Executes the partition streams of a parallel scan: on this thread
-  /// when there is at most one partition (or no pool), else on the worker
-  /// pool — one sibling executor, context and insert buffer per partition,
-  /// merged back deterministically at the barrier. \p RS (nullable) is the
-  /// scanned relation's counter slot; the caller has already counted the
-  /// scan initiation.
+  /// Executes the morsel streams of a parallel scan: on this thread when
+  /// there is at most one morsel (or no scheduler, or this is already a
+  /// worker instance), else as one scheduler job per morsel — one sibling
+  /// executor, context and insert buffer per morsel, merged back in
+  /// ascending morsel index at the barrier so the result is bit-identical
+  /// to the sequential scan no matter which thread ran (or stole) which
+  /// morsel. \p RS (nullable) is the scanned relation's counter slot; the
+  /// caller has already counted the scan initiation.
   RamDomain runPartitions(RelationWrapper &Rel, std::uint32_t TupleId,
                           const Node &Nested, std::size_t NumTupleIds,
                           std::vector<std::unique_ptr<TupleStream>> &Streams,
@@ -383,7 +406,7 @@ private:
     if (Streams.empty())
       return 1;
     const std::size_t Arity = Rel.getArity();
-    if (Streams.size() == 1 || !State.Pool) {
+    if (Streams.size() == 1 || !State.Sched || !IsMain) {
       std::uint64_t Total = 0;
       for (auto &Stream : Streams) {
         BufferedTupleSource Source(std::move(Stream), Arity,
@@ -401,7 +424,7 @@ private:
     std::vector<TupleBuffer> Buffers(Streams.size());
     std::vector<std::uint64_t> Counts(Streams.size(), 0);
     std::vector<std::uint64_t> TupleCounts(Streams.size(), 0);
-    // Private counter block per partition, merged below at the barrier.
+    // Private counter block per morsel, merged below at the barrier.
     std::vector<obs::StatsBlock> WorkerStats;
     if (StatsArr)
       WorkerStats.assign(Streams.size(),
@@ -411,10 +434,11 @@ private:
         TR ? Streams.size() : 0);
     const std::string SpanName =
         (IsIndex ? "index scan " : "scan ") + Rel.getName();
-    State.Pool->run(Streams.size(), [&](std::size_t I) {
+    State.Sched->run(Streams.size(), [&](std::size_t I, std::size_t Slot) {
       const std::uint64_t Start = TR ? TR->now() : 0;
       DynamicExecutor Worker(State, &Counts[I], &Buffers[I],
-                             StatsArr ? WorkerStats[I].data() : nullptr);
+                             StatsArr ? WorkerStats[I].data() : nullptr,
+                             TR ? &TraceBufs[I] : nullptr, Slot);
       Context Ctx(NumTupleIds);
       BufferedTupleSource Source(std::move(Streams[I]), Arity,
                                  State.StreamBufferCapacity);
@@ -426,12 +450,11 @@ private:
       }
       TupleCounts[I] = Count;
       if (TR) {
-        const std::uint64_t Tid = I + 1;
         TraceBufs[I].push_back(
-            {SpanName, 'B', Start, Tid,
+            {SpanName, 'B', Start, Slot,
              "{\"tuples\":" + std::to_string(Count) + "}"});
         TraceBufs[I].push_back(
-            {std::string(), 'E', TR->now(), Tid, std::string()});
+            {std::string(), 'E', TR->now(), Slot, std::string()});
       }
     });
     if (State.Trace)
@@ -454,6 +477,45 @@ private:
     return 1;
   }
 
+  /// Executes the children of a ParallelSequence — a group of pairwise
+  /// independent rules — as concurrent scheduler jobs. The generator
+  /// guarantees no member writes a relation another member reads or
+  /// writes, so jobs insert directly (no TupleBuffer) and the result set
+  /// is the same as running the children in order. Dispatch counts,
+  /// relation counters and trace events go into per-job privates merged
+  /// at the barrier, keeping every observable total thread-invariant.
+  RamDomain runRuleGroup(const ParallelSequenceNode &Seq, Context &Ctx) {
+    if (!State.Sched || !IsMain) {
+      for (const auto &Child : Seq.Children)
+        if (!execute(Child.get(), Ctx))
+          return 0;
+      return 1;
+    }
+    const std::size_t N = Seq.Children.size();
+    std::vector<std::uint64_t> Counts(N, 0);
+    std::vector<obs::StatsBlock> JobStats;
+    if (StatsArr)
+      JobStats.assign(N, obs::StatsBlock(State.Stats.size()));
+    const obs::TraceRecorder *TR = State.Trace;
+    std::vector<std::vector<obs::TraceEvent>> TraceBufs(TR ? N : 0);
+    State.Sched->run(N, [&](std::size_t I, std::size_t Slot) {
+      DynamicExecutor Job(State, &Counts[I], /*Buffer=*/nullptr,
+                          StatsArr ? JobStats[I].data() : nullptr,
+                          TR ? &TraceBufs[I] : nullptr, Slot);
+      Context JobCtx(0);
+      Job.execute(Seq.Children[I].get(), JobCtx);
+    });
+    if (StatsArr)
+      for (const obs::StatsBlock &JS : JobStats)
+        obs::mergeStats(State.Stats, JS);
+    if (TR)
+      for (auto &Buf : TraceBufs)
+        State.Trace->append(std::move(Buf));
+    for (std::size_t I = 0; I < N; ++I)
+      *Dispatches += Counts[I];
+    return 1;
+  }
+
   obs::RelationStats *statsFor(const RelationWrapper *Rel) const {
     return StatsArr ? StatsArr + Rel->getStatsId() : nullptr;
   }
@@ -466,8 +528,16 @@ private:
   /// relations, and the main thread flushes at the barrier.
   TupleBuffer *Buffer = nullptr;
   /// StatsId-indexed counter array: the engine block on the main executor,
-  /// a partition-private block on workers, null when stats are off.
+  /// a job-private block on workers, null when stats are off.
   obs::RelationStats *StatsArr = nullptr;
+  /// Worker instances append their trace events here (tagged TraceTid, the
+  /// executing scheduler slot); the job barrier moves them into the shared
+  /// recorder. Null on the main executor and when tracing is off.
+  std::vector<obs::TraceEvent> *TraceBuf = nullptr;
+  std::uint64_t TraceTid = 0;
+  /// False on worker instances: nested parallel nodes run sequentially
+  /// and the shared trace span stack is off limits.
+  bool IsMain = true;
 };
 
 } // namespace

@@ -9,6 +9,7 @@
 #include "interp/Generator.h"
 #include "interp/NodePrinter.h"
 #include "interp/Parallel.h"
+#include "interp/Scheduler.h"
 #include "obs/Trace.h"
 #include "util/Csv.h"
 #include "util/MiscUtil.h"
@@ -77,8 +78,16 @@ Engine::Engine(const ram::Program &Prog,
   State.EchoPrintSize = Options.EchoPrintSize;
   State.SuppressIo = Options.SuppressIo;
   State.NumThreads = Options.NumThreads > 0 ? Options.NumThreads : 1;
-  if (State.NumThreads > 1)
-    State.Pool = std::make_unique<ThreadPool>(State.NumThreads);
+  if (Options.MorselSize > 0)
+    State.MorselSize = Options.MorselSize;
+  if (State.NumThreads > 1) {
+    // Adopt the program-shared scheduler when its pool matches -jN, else
+    // own a private one (engines constructed directly, tests).
+    if (Options.Sched && Options.Sched->numThreads() == State.NumThreads)
+      State.Sched = Options.Sched;
+    else
+      State.Sched = std::make_shared<Scheduler>(State.NumThreads);
+  }
   if (Options.TheBackend == Backend::Legacy)
     State.StreamBufferCapacity = 1;
 

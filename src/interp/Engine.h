@@ -44,6 +44,8 @@ class TraceRecorder;
 
 namespace stird::interp {
 
+class Scheduler;
+
 /// Which executor runs the interpreter tree.
 enum class Backend {
   StaticLambda,
@@ -69,11 +71,24 @@ struct EngineOptions {
   /// Echo .printsize results on stdout (they are always recorded in
   /// EngineState::PrintSizes); benchmarks switch this off.
   bool EchoPrintSize = true;
-  /// Evaluation threads: eligible outermost scans are partitioned across
-  /// this many workers (thread-local contexts, per-worker insert buffers
-  /// merged at a barrier). 0 means "unset" — core::Program substitutes its
-  /// own default; the engine then treats it as 1 (sequential).
+  /// Evaluation threads: eligible outermost scans are cut into morsels
+  /// executed by a work-stealing scheduler (task-local contexts, per-morsel
+  /// insert buffers merged at a barrier), and independent rules of a
+  /// stratum run as concurrent jobs. 0 means "unset" — core::Program
+  /// substitutes its own default; the engine then treats it as 1
+  /// (sequential).
   std::size_t NumThreads = 0;
+  /// Target tuples per morsel for partitioned scans (--morsel-size).
+  /// 0 means the engine default (256). Smaller morsels rebalance skew
+  /// better at higher cut/merge overhead; results are identical at any
+  /// value (see TupleBuffer::flushAll).
+  std::size_t MorselSize = 0;
+  /// The scheduler to run on. Null (the default) makes the engine create
+  /// its own when NumThreads > 1; core::Program injects a per-thread-count
+  /// shared instance here so every engine of a program — including
+  /// resident serving sessions and their update batches — reuses one warm
+  /// pool. Ignored unless its thread count matches NumThreads.
+  std::shared_ptr<Scheduler> Sched;
   /// Per-relation observability counters (inserts, scans, index hits,
   /// reorders, peaks). Hot-path cost is one non-atomic increment; the
   /// micro_obs benchmark guards the overhead.
@@ -87,11 +102,9 @@ struct EngineOptions {
   bool SuppressIo = false;
 };
 
-class ThreadPool;
-
 /// Mutable state shared between the engine facade and its executor.
 struct EngineState {
-  // Both out-of-line: ThreadPool is incomplete here.
+  // Both out-of-line: Scheduler is incomplete here.
   explicit EngineState(SymbolTable &Symbols);
   ~EngineState();
 
@@ -122,12 +135,27 @@ struct EngineState {
   /// Results of .printsize directives, in execution order.
   std::vector<std::pair<std::string, std::size_t>> PrintSizes;
   /// Effective evaluation thread count (>= 1) and, when it exceeds 1, the
-  /// persistent worker pool the parallel scan cases run partitions on.
+  /// work-stealing scheduler the parallel cases submit morsel and rule
+  /// jobs to (possibly shared with other engines of the same program).
   std::size_t NumThreads = 1;
-  std::unique_ptr<ThreadPool> Pool;
+  std::shared_ptr<Scheduler> Sched;
+  /// Target tuples per morsel for partitioned scans.
+  std::size_t MorselSize = 256;
+  /// How many morsels to cut a scan of \p Size tuples into: enough that
+  /// every thread holds work and stragglers can be stolen around (at
+  /// least NumThreads, about Size / MorselSize), but bounded (64 ×
+  /// NumThreads) so cut/merge bookkeeping stays negligible.
+  std::size_t morselParts(std::size_t Size) const {
+    if (NumThreads <= 1)
+      return 1;
+    const std::size_t M = MorselSize > 0 ? MorselSize : 1;
+    const std::size_t Wanted = (Size + M - 1) / M;
+    const std::size_t Cap = NumThreads * 64;
+    return std::max(NumThreads, std::min(Wanted, Cap));
+  }
   /// Observability: the engine's counter block, indexed by each relation's
-  /// StatsId. The main executor writes it directly; partition workers write
-  /// private blocks merged at the flushAll barrier.
+  /// StatsId. The main executor writes it directly; morsel and rule jobs
+  /// write private blocks merged at their job barrier.
   obs::StatsBlock Stats;
   /// Relations in StatsId order (for reporting).
   std::vector<const RelationWrapper *> StatsRelations;

@@ -180,9 +180,26 @@ public:
     switch (Stmt.getKind()) {
     case K::Sequence: {
       const auto &Seq = static_cast<const ram::Sequence &>(Stmt);
+      const auto &Stmts = Seq.getStatements();
       std::vector<NodePtr> Children;
-      for (const auto &Child : Seq.getStatements())
-        Children.push_back(genStmt(*Child));
+      for (std::size_t I = 0; I < Stmts.size();) {
+        const std::size_t GroupEnd =
+            Options.NumThreads > 1 ? extendRuleGroup(Stmts, I) : I + 1;
+        if (GroupEnd > I + 1) {
+          // A run of pairwise independent rules: execute the members as
+          // concurrent jobs on the scheduler.
+          std::vector<NodePtr> Members;
+          CurrentParGroup = NextParGroup++;
+          for (std::size_t J = I; J < GroupEnd; ++J)
+            Members.push_back(genStmt(*Stmts[J]));
+          CurrentParGroup = -1;
+          Children.push_back(std::make_unique<ParallelSequenceNode>(
+              &Stmt, std::move(Members)));
+        } else {
+          Children.push_back(genStmt(*Stmts[I]));
+        }
+        I = GroupEnd;
+      }
       return std::make_unique<SequenceNode>(&Stmt, std::move(Children));
     }
     case K::Loop: {
@@ -233,6 +250,7 @@ public:
       Meta.Recursive = Info.Recursive;
       Meta.Sips = Info.Sips;
       Meta.AtomOrder = Info.AtomOrder;
+      Meta.ParGroup = CurrentParGroup;
       std::size_t Id = State.Prof.registerRule(Log.getLabel(), Meta);
       RelationWrapper *DeltaRel =
           Info.Target ? wrapper(*Info.Target) : nullptr;
@@ -737,6 +755,87 @@ private:
     }
   }
 
+  //===--------------------------------------------------------------------===
+  // Rule grouping (independent rules as concurrent jobs)
+  //===--------------------------------------------------------------------===
+
+  /// The rule body underneath a sequence statement, when the statement is
+  /// a bare Query or a LogTimer wrapping one — the only two shapes rule
+  /// grouping considers. Null for everything else (Clear, Swap, Merge,
+  /// Io, Loop, nested Sequence), which terminates a group.
+  static const ram::Operation *queryRootOf(const ram::Statement &Stmt) {
+    using K = ram::Statement::Kind;
+    if (Stmt.getKind() == K::Query)
+      return &static_cast<const ram::Query &>(Stmt).getRoot();
+    if (Stmt.getKind() == K::LogTimer) {
+      const ram::Statement &Body =
+          static_cast<const ram::LogTimer &>(Stmt).getBody();
+      if (Body.getKind() == K::Query)
+        return &static_cast<const ram::Query &>(Body).getRoot();
+    }
+    return nullptr;
+  }
+
+  /// True when rules \p A and \p B may run concurrently: neither writes a
+  /// relation the other reads *or* writes. Write-write overlap is excluded
+  /// too (unlike the per-scan check in shouldParallelize) so group members
+  /// can insert directly into their targets with no merge step. Pointer
+  /// identity on the ram::Relation objects, matching shouldParallelize.
+  static bool independentRules(const QueryFootprint &A,
+                               const QueryFootprint &B) {
+    auto Touches = [](const QueryFootprint &F, const ram::Relation *Rel) {
+      for (const ram::Relation *R : F.Reads)
+        if (R == Rel)
+          return true;
+      for (const ram::Relation *W : F.Writes)
+        if (W == Rel)
+          return true;
+      return false;
+    };
+    for (const ram::Relation *W : A.Writes)
+      if (Touches(B, W))
+        return false;
+    for (const ram::Relation *W : B.Writes)
+      for (const ram::Relation *R : A.Reads)
+        if (W == R)
+          return false;
+    return true;
+  }
+
+  /// Greedily extends a contiguous run of pairwise independent rules
+  /// starting at \p Begin; returns the exclusive end. Runs of length one
+  /// mean "no group here" and the statement generates normally. Grouping
+  /// stays contiguous: reordering across a non-rule statement (Swap,
+  /// Clear, ...) could move a rule past a relation mutation it observes.
+  std::size_t extendRuleGroup(const std::vector<ram::StmtPtr> &Stmts,
+                              std::size_t Begin) {
+    const ram::Operation *FirstRoot = queryRootOf(*Stmts[Begin]);
+    if (!FirstRoot)
+      return Begin + 1;
+    std::vector<QueryFootprint> Group;
+    Group.emplace_back();
+    collectOp(*FirstRoot, Group.back());
+    std::size_t End = Begin + 1;
+    while (End < Stmts.size()) {
+      const ram::Operation *Root = queryRootOf(*Stmts[End]);
+      if (!Root)
+        break;
+      QueryFootprint F;
+      collectOp(*Root, F);
+      bool Compatible = true;
+      for (const QueryFootprint &Member : Group)
+        if (!independentRules(F, Member)) {
+          Compatible = false;
+          break;
+        }
+      if (!Compatible)
+        break;
+      Group.push_back(std::move(F));
+      ++End;
+    }
+    return End;
+  }
+
   /// A query's outermost scan may be partitioned when no relation it
   /// writes is also read anywhere in the same query. That is the whole
   /// analysis now:
@@ -790,6 +889,10 @@ private:
   /// holds the query's NumTupleIds for the parallel node. Consumed by the
   /// first Scan / IndexScan so nested scans stay sequential.
   std::optional<std::size_t> ParallelRootIds;
+  /// Id of the ParallelSequence group currently being generated (stamped
+  /// into RuleMeta::ParGroup by the LogTimer case); -1 outside a group.
+  int CurrentParGroup = -1;
+  int NextParGroup = 0;
 };
 
 } // namespace

@@ -53,6 +53,8 @@ const char *stird::interp::nodeTypeName(NodeType Type) {
     return "GenericAggregate";
   case NodeType::Sequence:
     return "Sequence";
+  case NodeType::ParallelSequence:
+    return "ParallelSequence";
   case NodeType::Loop:
     return "Loop";
   case NodeType::Exit:

@@ -1,4 +1,4 @@
-//===- interp/Parallel.cpp - Worker pool and insert buffers ---------------===//
+//===- interp/Parallel.cpp - Parallel-section insert buffers --------------===//
 //
 // Part of the stird project.
 //
@@ -10,79 +10,8 @@
 #include "obs/Stats.h"
 
 #include <cassert>
-#include <cstring>
 
 namespace stird::interp {
-
-ThreadPool::ThreadPool(std::size_t NumThreads) {
-  const std::size_t NumWorkers = NumThreads > 0 ? NumThreads - 1 : 0;
-  Workers.reserve(NumWorkers);
-  for (std::size_t I = 0; I < NumWorkers; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> Lock(M);
-    Stop = true;
-  }
-  WakeCV.notify_all();
-  for (std::thread &W : Workers)
-    W.join();
-}
-
-void ThreadPool::run(std::size_t NumTasks,
-                     const std::function<void(std::size_t)> &Fn) {
-  if (NumTasks == 0)
-    return;
-  {
-    std::lock_guard<std::mutex> Lock(M);
-    Job = &Fn;
-    Total = NumTasks;
-    Next = 0;
-    Finished = 0;
-    ++Generation;
-  }
-  WakeCV.notify_all();
-  drainTasks();
-  std::unique_lock<std::mutex> Lock(M);
-  DoneCV.wait(Lock, [this] { return Finished == Total; });
-  Job = nullptr;
-}
-
-void ThreadPool::drainTasks() {
-  for (;;) {
-    std::size_t Task;
-    const std::function<void(std::size_t)> *Fn;
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      if (!Job || Next >= Total)
-        return;
-      Task = Next++;
-      Fn = Job;
-    }
-    (*Fn)(Task);
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      if (++Finished == Total)
-        DoneCV.notify_all();
-    }
-  }
-}
-
-void ThreadPool::workerLoop() {
-  std::uint64_t SeenGeneration = 0;
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> Lock(M);
-      WakeCV.wait(Lock, [&] { return Stop || Generation != SeenGeneration; });
-      if (Stop)
-        return;
-      SeenGeneration = Generation;
-    }
-    drainTasks();
-  }
-}
 
 void TupleBuffer::add(RelationWrapper &Rel, const RamDomain *Tuple) {
   for (PerRelation &B : Buffers) {
@@ -117,8 +46,8 @@ void TupleBuffer::flush(obs::RelationStats *Stats) {
 
 void TupleBuffer::flushAll(std::vector<TupleBuffer> &Buffers,
                            obs::RelationStats *Stats) {
-  // Ascending partition index, never completion order: partition I's
-  // tuples always merge before partition I+1's.
+  // Ascending morsel index, never completion order: morsel I's tuples
+  // always merge before morsel I+1's.
   for (TupleBuffer &B : Buffers)
     B.flush(Stats);
 }

@@ -1,15 +1,15 @@
-//===- interp/Parallel.h - Worker pool and insert buffers -------*- C++ -*-===//
+//===- interp/Parallel.h - Parallel-section insert buffers ------*- C++ -*-===//
 //
 // Part of the stird project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The threading runtime of the parallel semi-naive evaluator: a small
-/// persistent worker pool that executes the partitions of a ParallelScan,
-/// and the per-worker tuple buffers whose contents the main thread merges
-/// into the target relations at the end-of-scan barrier (i.e. before the
-/// fixpoint loop's SWAP ever observes them).
+/// The tuple buffers of the parallel semi-naive evaluator. The threading
+/// runtime itself lives in Scheduler.h (the morsel work-stealing job
+/// system); this file keeps the per-morsel insert buffers whose contents
+/// the submitting thread merges into the target relations at the job
+/// barrier (i.e. before the fixpoint loop's SWAP ever observes them).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,83 +18,46 @@
 
 #include "util/RamTypes.h"
 
-#include <condition_variable>
+#include <cstddef>
+#include <vector>
 
 namespace stird::obs {
 struct RelationStats;
 } // namespace stird::obs
-#include <cstddef>
-#include <cstdint>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 namespace stird::interp {
 
 class RelationWrapper;
 
-/// A persistent pool of NumThreads - 1 worker threads plus the calling
-/// thread. run() executes Fn over task indices claimed dynamically by all
-/// participants and returns only after the last task finished — the merge
-/// barrier of the parallel scan.
-class ThreadPool {
-public:
-  explicit ThreadPool(std::size_t NumThreads);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool &) = delete;
-  ThreadPool &operator=(const ThreadPool &) = delete;
-
-  std::size_t numThreads() const { return Workers.size() + 1; }
-
-  /// Runs Fn(I) for every I in [0, NumTasks). The caller participates, so
-  /// the pool makes progress even with zero workers.
-  void run(std::size_t NumTasks, const std::function<void(std::size_t)> &Fn);
-
-private:
-  void workerLoop();
-  /// Claims and runs tasks of the current job until none remain.
-  void drainTasks();
-
-  std::mutex M;
-  std::condition_variable WakeCV;
-  std::condition_variable DoneCV;
-  std::vector<std::thread> Workers;
-  const std::function<void(std::size_t)> *Job = nullptr;
-  std::size_t Total = 0;
-  std::size_t Next = 0;
-  std::size_t Finished = 0;
-  std::uint64_t Generation = 0;
-  bool Stop = false;
-};
-
-/// One worker's pending inserts, grouped by target relation. Workers fill
-/// their buffer race-free during the parallel section; the main thread
-/// flushes all buffers into the (deduplicating) relations at the barrier,
-/// which is observably identical to direct insertion because parallelized
-/// queries never read the relations they write. Equivalence relations
-/// take the same path: buffered pairs are merged into the union-find at
-/// the barrier.
+/// One morsel's pending inserts, grouped by target relation. Morsel tasks
+/// fill their buffer race-free during the parallel section; the submitting
+/// thread flushes all buffers into the (deduplicating) relations at the
+/// barrier, which is observably identical to direct insertion because
+/// parallelized queries never read the relations they write. Equivalence
+/// relations take the same path: buffered pairs are merged into the
+/// union-find at the barrier.
 class TupleBuffer {
 public:
   /// Appends a source-order tuple destined for \p Rel.
   void add(RelationWrapper &Rel, const RamDomain *Tuple);
 
   /// Inserts every buffered tuple into its relation and empties the
-  /// buffer. Main thread only. Within one buffer, tuples flush in the
-  /// order the worker produced them. When \p Stats is non-null (the
-  /// engine's StatsId-indexed counter block), inserts that grow a relation
-  /// bump its InsertsNew counter — set semantics make that growth
-  /// independent of the flush order, so the counts match -j1 exactly.
+  /// buffer. Barrier-side (single-threaded) only. Within one buffer,
+  /// tuples flush in the order the morsel produced them. When \p Stats is
+  /// non-null (the engine's StatsId-indexed counter block), inserts that
+  /// grow a relation bump its InsertsNew counter — set semantics make that
+  /// growth independent of the flush order, so the counts match -j1
+  /// exactly.
   void flush(obs::RelationStats *Stats = nullptr);
 
-  /// Flushes \p Buffers in ascending worker-partition index — a fixed,
-  /// thread-interleaving-independent order, so the merged relation
-  /// contents (and thus tuple iteration and output-file order) are
-  /// identical across repeated runs at any -jN. The relations themselves
-  /// are sets, but a fixed merge order also pins down any insertion-order
-  /// dependent internals (e.g. union-find representatives).
+  /// Flushes \p Buffers in ascending morsel index — the morsels partition
+  /// the scan order, so this merge order equals the sequential scan's
+  /// insert order regardless of which thread ran (or stole) which morsel.
+  /// Relation contents (and thus tuple iteration and output-file order)
+  /// are therefore identical across repeated runs at any -jN and any
+  /// morsel size. The relations themselves are sets, but a fixed merge
+  /// order also pins down any insertion-order dependent internals (e.g.
+  /// union-find representatives).
   static void flushAll(std::vector<TupleBuffer> &Buffers,
                        obs::RelationStats *Stats = nullptr);
 

@@ -42,6 +42,10 @@ struct RuleMeta {
   /// Chosen join order: element i is the source-order body-atom index
   /// scanned at depth i. Empty for non-rule timers.
   std::vector<int> AtomOrder;
+  /// Parallel-rule group id: rules sharing an id were found pairwise
+  /// independent and run as concurrent jobs on the scheduler; -1 for
+  /// ungrouped (sequential) rules and non-rule timers.
+  int ParGroup = -1;
 };
 
 /// One timed execution of a rule. For a recursive rule the samples line up

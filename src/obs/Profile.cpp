@@ -37,6 +37,7 @@ static json::Value ruleToJson(const RuleProfile &Rule) {
   O.emplace_back("relation", Rule.Meta.Relation);
   O.emplace_back("stratum", Rule.Meta.Stratum);
   O.emplace_back("version", Rule.Meta.Version);
+  O.emplace_back("par_group", Rule.Meta.ParGroup);
   O.emplace_back("recursive", Rule.Meta.Recursive);
   O.emplace_back("sips", Rule.Meta.Sips);
   json::Array AtomOrder;

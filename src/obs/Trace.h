@@ -7,10 +7,13 @@
 /// \file
 /// Records execution spans in the Chrome about:tracing / Perfetto
 /// trace-event format. The main thread records directly into the shared
-/// event list; partition workers fill private per-partition buffers that
-/// the main thread appends at the flushAll barrier, so recording never
-/// races. Track (tid) convention: tid 0 is the main thread, tid I+1 is
-/// partition worker I.
+/// event list; morsel and rule jobs fill private per-job buffers that the
+/// main thread appends at the job barrier, so recording never races.
+/// Track (tid) convention: tid is the scheduler slot that executed the
+/// job — 0 for the main (submitting) thread, I+1 for scheduler worker I.
+/// Under work-stealing the same morsel index can land on different tracks
+/// from run to run; the *set* of spans and their tuple counts stay
+/// deterministic, only the track assignment varies.
 ///
 //===----------------------------------------------------------------------===//
 

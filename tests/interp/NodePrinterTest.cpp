@@ -139,6 +139,9 @@ TEST(NodePrinterTest, ParallelNodeKindsPrint) {
   EXPECT_NE(Tree.find("ParallelIndexScan"), std::string::npos);
   // Parallel scans still print their relation and tuple id.
   EXPECT_NE(Tree.find("ParallelScan rel="), std::string::npos);
+  // Pairwise-independent rules in a stratum are grouped under a
+  // ParallelSequence and run as concurrent scheduler jobs.
+  EXPECT_NE(Tree.find("ParallelSequence"), std::string::npos);
 }
 
 TEST(NodePrinterTest, EveryOpcodeHasAName) {

@@ -8,10 +8,13 @@
 /// Structural tests of the Chrome trace-event sink: the emitted document
 /// must parse as JSON, carry per-track thread-name metadata, keep begin/end
 /// phases balanced on every track, and stamp non-decreasing timestamps —
-/// the invariants chrome://tracing and Perfetto rely on. Workers record
-/// into private buffers appended at the partition barrier, so a -j4 run
-/// must yield one track per worker without racing (the suite carries the
-/// `sanitize` label for ThreadSanitizer builds).
+/// the invariants chrome://tracing and Perfetto rely on. Morsel jobs record
+/// into private buffers appended at the job barrier, so a -j4 run must
+/// trace without racing (the suite carries the `sanitize` label for
+/// ThreadSanitizer builds). Tracks are scheduler slots: under work-stealing
+/// any slot 0..N may execute a morsel — including only slot 0, when the
+/// submitting thread drains the whole queue before a worker wakes — so the
+/// tests bound the track set rather than demand one track per worker.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -138,23 +141,24 @@ TEST(TraceTest, SequentialRunUsesOneTrack) {
             std::string::npos);
 }
 
-TEST(TraceTest, ParallelRunHasOneTrackPerWorker) {
+TEST(TraceTest, ParallelRunTracksAreSchedulerSlots) {
   for (Backend TheBackend :
        {Backend::DynamicAdapter, Backend::StaticLambda}) {
     const std::string Text = traceOf(TheBackend, 4);
     ASSERT_FALSE(Text.empty());
     std::set<std::uint64_t> Tids = checkTrace(Text);
     EXPECT_TRUE(Tids.count(0)) << "no main track";
-    // A 64-edge chain partitions across the pool: worker tracks 1..4
-    // carry the per-partition scan spans.
-    EXPECT_GE(Tids.size(), 3u) << "no worker tracks in a -j4 trace";
+    // Morsel spans land on the slot that executed (or stole) the morsel:
+    // any of slots 0..4 at -j4, never beyond. On a loaded machine the
+    // submitting thread may drain every morsel itself, so a single track
+    // is legal — which tracks appear is the one trace property that is
+    // not thread-count-invariant.
     for (std::uint64_t Tid : Tids)
       EXPECT_LE(Tid, 4u);
-    // Worker spans carry the partition's tuple count; barrier spans mark
+    // Morsel spans carry the morsel's tuple count; barrier spans mark
     // where buffered inserts and counters merge.
     EXPECT_NE(Text.find("\"tuples\":"), std::string::npos);
     EXPECT_NE(Text.find("\"merge "), std::string::npos);
-    EXPECT_NE(Text.find("\"worker 0\""), std::string::npos);
   }
 }
 

@@ -157,6 +157,8 @@ GeneratedProgram generateProgram(std::uint64_t Seed) {
       Src += (I > 0 ? ", c" : "c") + std::to_string(I) + ":number";
     Src += ")\n";
     Prog.Relations.push_back(Rel.Name);
+    if (Rel.Stratum == 0)
+      Prog.BaseRelations.emplace_back(Rel.Name, Rel.Arity);
   }
   Src += "\n";
 
@@ -193,6 +195,30 @@ GeneratedProgram generateProgram(std::uint64_t Seed) {
       Src += ruleText(R, Rel, Positives, Negatables) + "\n";
   }
 
+  return Prog;
+}
+
+GeneratedProgram generateSkewedProgram(std::uint64_t Seed) {
+  GeneratedProgram Prog = generateProgram(Seed);
+  // A fresh RNG stream (different multiplier) keeps the base program's
+  // text byte-identical to generateProgram(Seed) for the same seed.
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + 0xda3e39cb94b95bdbULL);
+  std::string &Src = Prog.Source;
+  Src += "\n";
+  for (const auto &[Name, Arity] : Prog.BaseRelations) {
+    const std::size_t NumFacts = R.range(40, 60);
+    for (std::size_t I = 0; I < NumFacts; ++I) {
+      // ~90% of the rows share the hub value in column 0, so every join
+      // keyed on that column concentrates in a handful of morsels.
+      Src += Name + "(";
+      for (std::size_t Col = 0; Col < Arity; ++Col) {
+        if (Col > 0)
+          Src += ", ";
+        Src += Col == 0 && !R.chance(10) ? "0" : constant(R);
+      }
+      Src += ").\n";
+    }
+  }
   return Prog;
 }
 

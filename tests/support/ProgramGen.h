@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace stird::testgen {
@@ -66,12 +67,24 @@ struct GeneratedProgram {
   /// Every declared relation, in declaration order; the harness compares
   /// the full contents of each across configurations.
   std::vector<std::string> Relations;
+  /// The base (stratum-0) relations with their arities, in declaration
+  /// order: generateSkewedProgram appends its hub facts to these.
+  std::vector<std::pair<std::string, std::size_t>> BaseRelations;
 };
 
 /// Generates the program for \p Seed. Total work per program is bounded
 /// (small relation counts, arities <= 3, constants in [0, 6]), so a run
 /// under any strategy and thread count finishes in milliseconds.
 GeneratedProgram generateProgram(std::uint64_t Seed);
+
+/// generateProgram(Seed) plus a skew-heavy fact block: every base relation
+/// gains 40-60 extra facts whose first column is the hub value 0 for ~90%
+/// of rows. Join work then concentrates in the morsels that scan the hub,
+/// making work-stealing (not static partitioning) carry the load — the
+/// adversarial schedule for cross-thread determinism sweeps. The base
+/// program's text is byte-identical to generateProgram(Seed); the extra
+/// facts come from an independent RNG stream.
+GeneratedProgram generateSkewedProgram(std::uint64_t Seed);
 
 } // namespace stird::testgen
 

@@ -76,6 +76,20 @@ threadsSink(std::size_t &Target) {
   };
 }
 
+/// A sink accepting a positive tuple count for --morsel-size.
+inline std::function<std::string(const std::string &)>
+morselSink(std::size_t &Target) {
+  return [&Target](const std::string &Value) -> std::string {
+    char *End = nullptr;
+    const long N = std::strtol(Value.c_str(), &End, 10);
+    if (End == Value.c_str() || *End != '\0' || N < 1)
+      return "invalid morsel size '" + Value +
+             "' (expected a positive integer)";
+    Target = static_cast<std::size_t>(N);
+    return "";
+  };
+}
+
 /// A sink resolving a backend name.
 inline std::function<std::string(const std::string &)>
 backendSink(interp::Backend &Target) {
@@ -106,6 +120,9 @@ inline void addEngineOptions(util::Args &Args, interp::EngineOptions &Options,
   Args.option({"-j", "--jobs"}, "n",
               "evaluation threads (0 or 'auto': every hardware thread)",
               threadsSink(Options.NumThreads));
+  Args.option({"--morsel-size"}, "n",
+              "tuples per work-stealing morsel (default 256)",
+              morselSink(Options.MorselSize));
   Args.option({"--backend"}, "name", "sti | sti-plain | dynamic | legacy",
               backendSink(Options.TheBackend));
   Args.flag({"--no-super"}, "disable super-instructions (Section 4.4)",

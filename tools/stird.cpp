@@ -13,6 +13,8 @@
 ///   -D, --output <dir>    output directory (default .)
 ///   -j, --jobs <n>        evaluation threads (default 1; 0 or "auto"
 ///                         uses every hardware thread)
+///   --morsel-size <n>     tuples per work-stealing morsel (default 256;
+///                         results are identical at any setting)
 ///   --backend <name>      sti | sti-plain | dynamic | legacy
 ///   --no-super            disable super-instructions (Section 4.4)
 ///   --no-reorder          disable static tuple reordering (Section 4.2)
