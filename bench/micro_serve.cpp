@@ -23,12 +23,23 @@
 
 #include "core/Program.h"
 #include "interp/Engine.h"
+#include "srv/Server.h"
 #include "srv/Session.h"
+#include "srv/Wire.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <arpa/inet.h>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 using namespace stird;
@@ -138,6 +149,124 @@ void BM_ColdReevaluation(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * NumBatches);
 }
 
+//===----------------------------------------------------------------------===//
+// Wire-level request handling: the query-result cache
+//===----------------------------------------------------------------------===//
+
+constexpr const char *PointQuery =
+    R"({"cmd":"query","relation":"path","pattern":[1,null]})";
+
+/// The uncached wire path: every iteration plans, scans, renders and
+/// serializes the reply — what each repeat query cost before the cache.
+void BM_WirePointQueryCold(benchmark::State &State) {
+  auto Session = residentSession();
+  obs::LatencyAggregator Latency;
+  for (auto _ : State) {
+    RequestOutcome Outcome = handleRequest(*Session, Latency, PointQuery);
+    benchmark::DoNotOptimize(Outcome.Reply.dump());
+  }
+}
+
+/// The cached wire path: same request through a tenant registry, so every
+/// iteration after the first hits the per-tenant query cache.
+void BM_WirePointQueryCached(benchmark::State &State) {
+  auto Session = residentSession();
+  TenantRegistry Tenants;
+  Tenants.add("default", *Session);
+  // Warm the entry once; the measured loop is all hits.
+  handleRequest(Tenants, PointQuery);
+  for (auto _ : State) {
+    RequestOutcome Outcome = handleRequest(Tenants, PointQuery);
+    benchmark::DoNotOptimize(Outcome.Reply.dump());
+  }
+  const QueryCache::Counters C = Tenants.defaultTenant()->Cache.counters();
+  if (C.Hits < static_cast<std::uint64_t>(State.iterations()))
+    std::abort(); // the measured loop must not have missed
+  State.counters["hit_rate"] =
+      static_cast<double>(C.Hits) / (C.Hits + C.Misses);
+}
+
+//===----------------------------------------------------------------------===//
+// Many-connection serving: p99 point-query latency between batches
+//===----------------------------------------------------------------------===//
+
+int connectTo(int Port) {
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    std::abort();
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
+    std::abort();
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+/// Holds State.range(0) concurrent connections against one epoll server
+/// and round-robins point queries across them, publishing a fact batch
+/// every QueriesPerBatch queries (which also invalidates the result
+/// cache). Reports p50/p99 per-query round-trip latency as counters; the
+/// serving-layer gate is p99 < 1ms at 1024 connections.
+void BM_ServerManyConnections(benchmark::State &State) {
+  const std::size_t NumConns = static_cast<std::size_t>(State.range(0));
+  constexpr std::size_t QueriesPerBatch = 512;
+
+  auto Session = residentSession();
+  srv::ServerOptions Options;
+  srv::Server Server(*Session, Options);
+  std::string Error;
+  if (!Server.start(&Error))
+    std::abort();
+  std::thread Serving([&] { Server.serve(); });
+
+  std::vector<int> Conns;
+  Conns.reserve(NumConns);
+  for (std::size_t I = 0; I < NumConns; ++I)
+    Conns.push_back(connectTo(Server.boundPort()));
+
+  std::vector<double> LatencyMicros;
+  std::size_t Queries = 0;
+  RamDomain NextNode = ChainLength;
+  for (auto _ : State) {
+    const int Fd = Conns[Queries % NumConns];
+    const auto Start = std::chrono::steady_clock::now();
+    if (!writeFrame(Fd, PointQuery))
+      std::abort();
+    std::string Reply;
+    if (!readFrame(Fd, Reply))
+      std::abort();
+    const auto End = std::chrono::steady_clock::now();
+    LatencyMicros.push_back(
+        std::chrono::duration<double, std::micro>(End - Start).count());
+    if (++Queries % QueriesPerBatch == 0) {
+      // A publish between query windows: the next queries run cold.
+      Session->loadFacts(
+          {{"edge", {{NextNode, NextNode + 1}}}});
+      ++NextNode;
+    }
+  }
+
+  for (int Fd : Conns)
+    ::close(Fd);
+  Server.stop();
+  Serving.join();
+
+  if (!LatencyMicros.empty()) {
+    std::sort(LatencyMicros.begin(), LatencyMicros.end());
+    auto Percentile = [&](double P) {
+      const std::size_t Index = static_cast<std::size_t>(
+          P * static_cast<double>(LatencyMicros.size() - 1));
+      return LatencyMicros[Index];
+    };
+    State.counters["p50_us"] = Percentile(0.50);
+    State.counters["p99_us"] = Percentile(0.99);
+    State.counters["connections"] = static_cast<double>(NumConns);
+  }
+}
+
 } // namespace
 
 BENCHMARK(BM_SnapshotPin);
@@ -155,5 +284,11 @@ BENCHMARK(BM_ColdReevaluation)
     ->Arg(160)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WirePointQueryCold)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WirePointQueryCached)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServerManyConnections)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

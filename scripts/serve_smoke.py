@@ -1,16 +1,26 @@
 #!/usr/bin/env python3
-"""CI smoke test for the serving layer.
+"""CI smoke test for the serving layer (stird-wire-v2).
 
-Starts stird-serve on examples/tc.dl over a Unix socket, drives one full
-load / query / stats / shutdown conversation through stird-client, and
-checks the replies — not just exit codes: the loaded edges must produce
-exactly the transitive-closure paths, the stats must report the protocol
-version and the loaded sizes, and shutdown must terminate the server.
+Starts stird-serve on examples/tc.dl over a Unix socket and checks the
+protocol end to end — not just exit codes:
 
-Usage: scripts/serve_smoke.py <stird-serve> <stird-client>
+ 1. a pipelined conversation through stird-client --pipeline (every
+    request written before any reply is read; the client verifies the
+    echoed ids come back in request order): the loaded edges must
+    produce exactly the transitive-closure paths, a repeated query must
+    be served from the result cache, and the stats must report the v2
+    protocol, the tenant, the cache counters and the server counters;
+ 2. a small load generator speaking the framing directly over several
+    concurrent connections, recording per-request round-trip latency
+    and writing a JSON artifact (p50/p99/max) for CI to upload;
+ 3. a clean shutdown that terminates the server.
+
+Usage: scripts/serve_smoke.py <stird-serve> <stird-client> [latency.json]
 """
 
 import json
+import socket
+import struct
 import subprocess
 import sys
 import tempfile
@@ -18,6 +28,9 @@ import time
 from pathlib import Path
 
 EDGES = [[1, 2], [2, 3], [3, 4], [4, 5]]
+LOADGEN_CONNECTIONS = 8
+LOADGEN_QUERIES = 400
+POINT_QUERY = {"cmd": "query", "relation": "path", "pattern": [1, None]}
 
 
 def expected_paths(edges):
@@ -36,10 +49,80 @@ def fail(message):
     sys.exit(1)
 
 
+def send_frame(sock, obj):
+    data = json.dumps(obj).encode()
+    sock.sendall(struct.pack(">I", len(data)) + data)
+
+
+def recv_frame(sock):
+    buf = b""
+    while len(buf) < 4:
+        chunk = sock.recv(4 - len(buf))
+        if not chunk:
+            fail("connection closed mid-frame")
+        buf += chunk
+    (length,) = struct.unpack(">I", buf)
+    body = b""
+    while len(body) < length:
+        chunk = sock.recv(length - len(body))
+        if not chunk:
+            fail("connection closed mid-frame")
+        body += chunk
+    return json.loads(body)
+
+
+def load_generator(socket_path, artifact):
+    """Round-robins point queries over concurrent connections, measuring
+    per-request round-trip latency; writes p50/p99 to the artifact."""
+    conns = []
+    for _ in range(LOADGEN_CONNECTIONS):
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.connect(socket_path)
+        conns.append(s)
+
+    latencies_us = []
+    cached = 0
+    for i in range(LOADGEN_QUERIES):
+        s = conns[i % len(conns)]
+        start = time.perf_counter()
+        send_frame(s, POINT_QUERY)
+        reply = recv_frame(s)
+        latencies_us.append((time.perf_counter() - start) * 1e6)
+        if not reply.get("ok"):
+            fail(f"load-gen reply not ok: {reply}")
+        if reply.get("cached"):
+            cached += 1
+    for s in conns:
+        s.close()
+
+    latencies_us.sort()
+
+    def percentile(p):
+        return latencies_us[int(p * (len(latencies_us) - 1))]
+
+    summary = {
+        "connections": LOADGEN_CONNECTIONS,
+        "queries": LOADGEN_QUERIES,
+        "p50_us": round(percentile(0.50), 1),
+        "p99_us": round(percentile(0.99), 1),
+        "max_us": round(latencies_us[-1], 1),
+        "cached_fraction": round(cached / LOADGEN_QUERIES, 4),
+    }
+    if artifact:
+        Path(artifact).parent.mkdir(parents=True, exist_ok=True)
+        Path(artifact).write_text(json.dumps(summary, indent=2) + "\n")
+    # Everything after the first miss per publish window should hit.
+    if cached < LOADGEN_QUERIES // 2:
+        fail(f"load-gen cache hit rate too low: {summary}")
+    return summary
+
+
 def main():
-    if len(sys.argv) != 3:
-        fail(f"usage: {sys.argv[0]} <stird-serve> <stird-client>")
+    if len(sys.argv) not in (3, 4):
+        fail(f"usage: {sys.argv[0]} <stird-serve> <stird-client> "
+             "[latency.json]")
     serve, client = sys.argv[1], sys.argv[2]
+    artifact = sys.argv[3] if len(sys.argv) == 4 else None
     repo = Path(__file__).resolve().parent.parent
     program = repo / "examples" / "tc.dl"
 
@@ -66,11 +149,12 @@ def main():
                 {"cmd": "load", "facts": {"edge": EDGES}},
                 {"cmd": "query", "relation": "path", "pattern": [1, None]},
                 {"cmd": "query", "relation": "path"},
+                # Identical to the first query: must hit the result cache.
+                {"cmd": "query", "relation": "path", "pattern": [1, None]},
                 {"cmd": "stats"},
-                {"cmd": "shutdown"},
             ]
             result = subprocess.run(
-                [client, "--socket", socket_path]
+                [client, "--socket", socket_path, "--pipeline"]
                 + [json.dumps(r) for r in requests],
                 capture_output=True,
                 text=True,
@@ -88,13 +172,15 @@ def main():
             ]
             if len(replies) != len(requests):
                 fail(f"expected {len(requests)} replies, got {len(replies)}")
-            for reply in replies:
+            for i, reply in enumerate(replies):
                 if not reply.get("ok"):
                     fail(f"reply not ok: {reply}")
                 if "micros" not in reply:
                     fail(f"reply lacks micros: {reply}")
+                if reply.get("id") != i:
+                    fail(f"reply {i} echoed id {reply.get('id')}")
 
-            load, from1, full, stats, _shutdown = replies
+            load, from1, full, repeat, stats = replies
             if load["inserted"] != len(EDGES) or load["duplicates"] != 0:
                 fail(f"unexpected load counts: {load}")
             if not load["incremental"]:
@@ -109,14 +195,39 @@ def main():
             if from1["plan"]["prefix_len"] < 1:
                 fail(f"bound query used no index prefix: {from1['plan']}")
 
-            if stats["protocol"] != "stird-wire-v1":
+            if from1["cached"]:
+                fail("first query must be a cache miss")
+            if not repeat["cached"]:
+                fail("repeated query must be served from the cache")
+            if repeat["tuples"] != from1["tuples"]:
+                fail("cached reply diverged from the cold reply")
+
+            if stats["protocol"] != "stird-wire-v2":
                 fail(f"unexpected protocol: {stats['protocol']}")
+            if stats["tenant"] != "default" or stats["tenants"] != ["default"]:
+                fail(f"unexpected tenant routing: {stats}")
+            if stats["cache"]["hits"] < 1 or stats["cache"]["misses"] < 1:
+                fail(f"unexpected cache counters: {stats['cache']}")
+            if stats["server"]["connections_accepted"] < 1:
+                fail(f"unexpected server counters: {stats['server']}")
             sizes = {r["name"]: r["size"] for r in stats["relations"]}
             if sizes != {"edge": len(EDGES), "path": len(want)}:
                 fail(f"unexpected relation sizes: {sizes}")
             latency = stats["latency"]
-            if latency["load"]["count"] != 1 or latency["query"]["count"] != 2:
+            if latency["load"]["count"] != 1 or latency["query"]["count"] != 3:
                 fail(f"unexpected latency counts: {latency}")
+
+            summary = load_generator(socket_path, artifact)
+
+            shutdown = subprocess.run(
+                [client, "--socket", socket_path,
+                 json.dumps({"cmd": "shutdown"})],
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            if shutdown.returncode != 0:
+                fail(f"shutdown failed: {shutdown.stderr}")
 
             if server.wait(timeout=30) != 0:
                 fail(f"server exited nonzero: {server.stderr.read()}")
@@ -127,7 +238,9 @@ def main():
 
     print("serve_smoke: OK "
           f"({len(EDGES)} edges -> {len(expected_paths(EDGES))} paths, "
-          "load/query/stats/shutdown round-tripped)")
+          "pipelined load/query/stats round-tripped, "
+          f"load-gen p99 {summary['p99_us']}us over "
+          f"{LOADGEN_CONNECTIONS} connections, clean shutdown)")
 
 
 if __name__ == "__main__":

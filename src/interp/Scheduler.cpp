@@ -210,13 +210,61 @@ void Scheduler::runEntry(std::uint64_t Entry) {
   // submitter may observe the final count and destroy the Job (its stack
   // frame) the moment the add lands.
   const std::size_t Total = J->NumTasks;
+  const bool Detached = J->Detached;
   (*Fn)(Task, currentSlot());
   if (J->Executed.fetch_add(1, std::memory_order_acq_rel) + 1 == Total) {
+    if (Detached) {
+      // Nobody waits on a detached job: recycle the slot (no remaining
+      // deque entry can reference it — all Total entries executed) and
+      // free the heap-owned job here.
+      JobSlots[J->SlotIndex].store(nullptr, std::memory_order_release);
+      delete J;
+      return;
+    }
     // Empty critical section: a submitter between its predicate check and
     // wait() holds DoneM, so this lock/unlock cannot slip into that gap.
     { std::lock_guard<std::mutex> Lock(DoneM); }
     DoneCV.notify_all();
   }
+}
+
+void Scheduler::submit(std::function<void()> Fn) {
+  if (Workers.empty()) {
+    Fn();
+    return;
+  }
+  auto J = std::make_unique<Job>();
+  J->Owned = [Body = std::move(Fn)](std::size_t, std::size_t) { Body(); };
+  J->Fn = &J->Owned;
+  J->NumTasks = 1;
+  J->Detached = true;
+
+  std::size_t Slot = MaxJobs;
+  for (std::size_t I = 0; I < MaxJobs; ++I) {
+    Job *Expected = nullptr;
+    if (JobSlots[I].compare_exchange_strong(Expected, J.get(),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+      Slot = I;
+      break;
+    }
+  }
+  if (Slot == MaxJobs) {
+    // Full job table: degrade to inline execution, like run() does.
+    J->Owned(0, currentSlot());
+    return;
+  }
+  J->SlotIndex = Slot;
+
+  const std::uint64_t Entry = static_cast<std::uint64_t>(Slot) << 48;
+  if (Tls.Owner == this) {
+    Deques[Tls.Index]->push(Entry);
+  } else {
+    std::lock_guard<std::mutex> Lock(InjM);
+    Injected.push_back(Entry);
+  }
+  J.release(); // owned by the executing thread from here on
+  WakeCV.notify_one();
 }
 
 bool Scheduler::grabInjected(std::uint64_t &Entry) {

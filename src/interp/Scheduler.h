@@ -130,6 +130,15 @@ public:
   /// by Task, not Slot.
   void run(std::size_t NumTasks, const TaskFn &Fn);
 
+  /// Fire-and-forget: enqueues \p Fn as a one-task detached job and
+  /// returns immediately; completion is not awaited and the job owns its
+  /// own state (freed by whichever thread executes the task last). The
+  /// serving front end dispatches request handlers this way so its event
+  /// loop never blocks on evaluation. With no workers (a -j1 pool) or a
+  /// full job table, Fn runs inline on the calling thread instead — the
+  /// call is then blocking, but never lost.
+  void submit(std::function<void()> Fn);
+
 private:
   /// In-flight jobs are slots in a fixed table so deque entries can name
   /// them in 16 bits. 64 concurrent jobs is far beyond any real nesting
@@ -137,13 +146,21 @@ private:
   static constexpr std::size_t MaxJobs = 64;
   static constexpr std::uint64_t TaskMask = (std::uint64_t(1) << 48) - 1;
 
-  /// One in-flight job, owned by its submitter's stack frame. The slot
-  /// table entry is cleared only after the last task's completion count,
-  /// at which point no deque entry referencing the slot can remain.
+  /// One in-flight job, owned by its submitter's stack frame — except
+  /// detached jobs (submit()), which live on the heap, point Fn at their
+  /// own Owned closure, and are deleted by the thread that executes their
+  /// last task. The slot table entry is cleared only after the last task's
+  /// completion count, at which point no deque entry referencing the slot
+  /// can remain.
   struct Job {
     const TaskFn *Fn = nullptr;
     std::size_t NumTasks = 0;
     std::atomic<std::size_t> Executed{0};
+    /// Detached jobs carry their closure (Fn == &Owned) and slot index so
+    /// the completing thread can recycle the slot and free the job.
+    TaskFn Owned;
+    std::size_t SlotIndex = 0;
+    bool Detached = false;
   };
 
   void workerLoop(std::size_t Index);

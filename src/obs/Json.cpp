@@ -89,6 +89,8 @@ void writeValue(std::string &Out, const Value &V, int Indent, int Depth) {
     Out += '"';
     Out += escape(V.asString());
     Out += '"';
+  } else if (V.isRaw()) {
+    Out += V.asRaw(); // already serialized; spliced verbatim
   } else if (V.isArray()) {
     const Array &A = V.asArray();
     if (A.empty()) {

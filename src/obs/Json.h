@@ -16,6 +16,7 @@
 #define STIRD_OBS_JSON_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -30,6 +31,13 @@ class Value;
 /// lookup is fine and keeps emission deterministic).
 using Object = std::vector<std::pair<std::string, Value>>;
 using Array = std::vector<Value>;
+
+/// A preserialized JSON fragment, spliced verbatim by the writer. The text
+/// must already be valid JSON; sharing the buffer lets hot paths (the
+/// query-result cache) reuse one serialization across many replies.
+struct Raw {
+  std::shared_ptr<const std::string> Text;
+};
 
 /// A JSON document node.
 class Value {
@@ -46,6 +54,7 @@ public:
   Value(std::string S) : Data(std::move(S)) {}
   Value(Object O) : Data(std::move(O)) {}
   Value(Array A) : Data(std::move(A)) {}
+  Value(Raw R) : Data(std::move(R)) {}
 
   bool isNull() const { return std::holds_alternative<std::nullptr_t>(Data); }
   bool isBool() const { return std::holds_alternative<bool>(Data); }
@@ -53,6 +62,7 @@ public:
   bool isString() const { return std::holds_alternative<std::string>(Data); }
   bool isObject() const { return std::holds_alternative<Object>(Data); }
   bool isArray() const { return std::holds_alternative<Array>(Data); }
+  bool isRaw() const { return std::holds_alternative<Raw>(Data); }
 
   bool asBool() const { return std::get<bool>(Data); }
   double asNumber() const { return std::get<double>(Data); }
@@ -67,6 +77,7 @@ public:
   Object &asObject() { return std::get<Object>(Data); }
   const Array &asArray() const { return std::get<Array>(Data); }
   Array &asArray() { return std::get<Array>(Data); }
+  const std::string &asRaw() const { return *std::get<Raw>(Data).Text; }
 
   /// Object member lookup; null when absent or not an object.
   const Value *find(const std::string &Key) const {
@@ -88,7 +99,8 @@ public:
   std::string dump(int Indent = 0) const;
 
 private:
-  std::variant<std::nullptr_t, bool, double, std::string, Object, Array> Data;
+  std::variant<std::nullptr_t, bool, double, std::string, Object, Array, Raw>
+      Data;
 };
 
 /// Escapes \p S as the contents of a JSON string literal (no quotes).

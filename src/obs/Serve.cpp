@@ -42,6 +42,25 @@ json::Value LatencyAggregator::toJson() const {
   return json::Value(std::move(O));
 }
 
+json::Value ServeCounters::toJson() const {
+  json::Object O;
+  O.emplace_back("connections_accepted",
+                 ConnectionsAccepted.load(std::memory_order_relaxed));
+  O.emplace_back("connections_closed",
+                 ConnectionsClosed.load(std::memory_order_relaxed));
+  O.emplace_back("connections_rejected",
+                 ConnectionsRejected.load(std::memory_order_relaxed));
+  O.emplace_back("frames_in", FramesIn.load(std::memory_order_relaxed));
+  O.emplace_back("frames_out", FramesOut.load(std::memory_order_relaxed));
+  O.emplace_back("requests_dispatched",
+                 RequestsDispatched.load(std::memory_order_relaxed));
+  O.emplace_back("requests_overloaded",
+                 RequestsOverloaded.load(std::memory_order_relaxed));
+  O.emplace_back("protocol_errors",
+                 ProtocolErrors.load(std::memory_order_relaxed));
+  return json::Value(std::move(O));
+}
+
 json::Value obs::relationStatsJson(const RelationStats &Stats) {
   // Key names match the stird-profile-v1 relation records.
   json::Object O;

@@ -19,6 +19,7 @@
 #include "obs/Json.h"
 #include "obs/Stats.h"
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -63,6 +64,28 @@ private:
 /// Renders one relation's counters as a JSON object (same key names as the
 /// profile sink's relation records).
 json::Value relationStatsJson(const RelationStats &Stats);
+
+/// Event-loop counters of the serving front end, updated with relaxed
+/// atomics from the accept/read/write path and the dispatch jobs. Reported
+/// by the `stats` command's "server" object; every counter is monotonic.
+struct ServeCounters {
+  std::atomic<std::uint64_t> ConnectionsAccepted{0};
+  std::atomic<std::uint64_t> ConnectionsClosed{0};
+  /// Connections refused at accept time (MaxConnections admission).
+  std::atomic<std::uint64_t> ConnectionsRejected{0};
+  std::atomic<std::uint64_t> FramesIn{0};
+  std::atomic<std::uint64_t> FramesOut{0};
+  /// Requests dispatched to the scheduler pool.
+  std::atomic<std::uint64_t> RequestsDispatched{0};
+  /// Requests answered with an "overloaded" error (MaxInFlightTotal
+  /// admission) instead of being dispatched.
+  std::atomic<std::uint64_t> RequestsOverloaded{0};
+  /// Framing violations (oversized lengths, garbage) that poisoned a
+  /// connection.
+  std::atomic<std::uint64_t> ProtocolErrors{0};
+
+  json::Value toJson() const;
+};
 
 } // namespace stird::obs
 

@@ -82,3 +82,77 @@ std::vector<DynTuple> srv::runQuery(const interp::RelationWrapper &Rel,
   std::sort(Result.begin(), Result.end());
   return Result;
 }
+
+//===----------------------------------------------------------------------===//
+// QueryCache
+//===----------------------------------------------------------------------===//
+
+std::string QueryCache::key(const std::string &Relation, const Pattern &P) {
+  // Relation name, then one fixed-width cell per column: a bound cell's
+  // ordinal bytes, or a wildcard marker no ordinal encoding can collide
+  // with (the marker byte is distinct from the bound tag).
+  std::string Key;
+  Key.reserve(Relation.size() + 1 + P.size() * 5);
+  Key += Relation;
+  Key += '\0';
+  for (const std::optional<RamDomain> &Cell : P) {
+    if (!Cell) {
+      Key += '\1';
+      continue;
+    }
+    Key += '\2';
+    const auto V = static_cast<std::uint32_t>(*Cell);
+    Key += static_cast<char>(V >> 24);
+    Key += static_cast<char>(V >> 16);
+    Key += static_cast<char>(V >> 8);
+    Key += static_cast<char>(V);
+  }
+  return Key;
+}
+
+std::shared_ptr<const QueryCache::CachedResult>
+QueryCache::lookup(const std::string &Key, std::uint64_t E) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (E != Epoch) {
+    // A publish happened since the cache was last touched: every entry is
+    // stale. (An *older* epoch can reach here too — a reader still pinning
+    // the previous side after a publish; its result must not come from the
+    // new side's cache either way.)
+    if (E > Epoch) {
+      if (!Map.empty())
+        ++Invalidations;
+      Map.clear();
+      Epoch = E;
+    }
+    ++Misses;
+    return nullptr;
+  }
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Misses;
+    return nullptr;
+  }
+  ++Hits;
+  return It->second;
+}
+
+void QueryCache::insert(const std::string &Key, std::uint64_t E,
+                        std::shared_ptr<const CachedResult> Result) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (E < Epoch)
+    return; // computed against an already superseded snapshot
+  if (E > Epoch) {
+    if (!Map.empty())
+      ++Invalidations;
+    Map.clear();
+    Epoch = E;
+  }
+  if (Map.size() >= MaxEntries)
+    Map.clear(); // wholesale flush; see the class comment
+  Map[Key] = std::move(Result);
+}
+
+QueryCache::Counters QueryCache::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return {Hits, Misses, Invalidations, Map.size()};
+}

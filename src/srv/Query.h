@@ -19,10 +19,15 @@
 #define STIRD_SRV_QUERY_H
 
 #include "interp/Relation.h"
+#include "obs/Json.h"
 #include "util/RamTypes.h"
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace stird::srv {
@@ -53,6 +58,65 @@ QueryPlan planQuery(const interp::RelationWrapper &Rel, const Pattern &P);
 std::vector<DynTuple> runQuery(const interp::RelationWrapper &Rel,
                                const Pattern &P,
                                QueryPlan *PlanOut = nullptr);
+
+/// A query-result cache over one resident session, keyed on the
+/// (relation, partial-tuple pattern) pair and tagged with the batch epoch
+/// the result was computed at. Repeated point queries between update
+/// batches hit the cache and skip planning, the index scan, decode, sort
+/// and rendering entirely; a snapshot publish (new epoch) invalidates the
+/// whole cache the first time it is consulted afterwards, so a cached
+/// entry can never be served against a snapshot it does not match.
+///
+/// Thread-safe: many concurrent lookups/inserts from scheduler jobs. The
+/// entries are shared immutable results, so a hit costs one hash probe
+/// plus a shared_ptr copy under a short critical section.
+class QueryCache {
+public:
+  explicit QueryCache(std::size_t MaxEntries = 1 << 14)
+      : MaxEntries(MaxEntries) {}
+
+  /// One cached result: the serialized "tuples" array (symbols resolved,
+  /// rendered and dumped exactly once, on the miss that filled the entry)
+  /// plus the plan that produced it. Immutable once published; replies
+  /// splice the shared text verbatim via an obs::json::Raw node, so a hit
+  /// skips row rendering *and* re-serialization.
+  struct CachedResult {
+    std::shared_ptr<const std::string> Tuples;
+    std::uint64_t Count = 0;
+    QueryPlan Plan;
+  };
+
+  /// Canonical cache key for \p Relation and the resolved pattern \p P.
+  static std::string key(const std::string &Relation, const Pattern &P);
+
+  /// Returns the entry for \p Key computed at \p Epoch, or null. A lookup
+  /// at a newer epoch than the cache's drops every stale entry first
+  /// (invalidation-at-publish, applied lazily on the read side).
+  std::shared_ptr<const CachedResult> lookup(const std::string &Key,
+                                             std::uint64_t Epoch);
+
+  /// Publishes \p Result for \p Key at \p Epoch. Entries from older
+  /// epochs are dropped; when the cache is full the table is flushed
+  /// wholesale (entries are cheap to recompute and a publish flushes them
+  /// all anyway).
+  void insert(const std::string &Key, std::uint64_t Epoch,
+              std::shared_ptr<const CachedResult> Result);
+
+  struct Counters {
+    std::uint64_t Hits = 0;
+    std::uint64_t Misses = 0;
+    std::uint64_t Invalidations = 0;
+    std::uint64_t Entries = 0;
+  };
+  Counters counters() const;
+
+private:
+  const std::size_t MaxEntries;
+  mutable std::mutex Mutex;
+  std::uint64_t Epoch = 0;
+  std::unordered_map<std::string, std::shared_ptr<const CachedResult>> Map;
+  std::uint64_t Hits = 0, Misses = 0, Invalidations = 0;
+};
 
 } // namespace stird::srv
 

@@ -1,4 +1,4 @@
-//===- srv/Server.cpp - stird-serve socket server -----------------------------===//
+//===- srv/Server.cpp - stird-serve epoll event-loop server -------------------===//
 //
 // Part of the stird project.
 //
@@ -6,28 +6,130 @@
 
 #include "srv/Server.h"
 
-#include "srv/Wire.h"
-
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
+#include <fcntl.h>
+#include <map>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace stird;
 using namespace stird::srv;
 
+namespace {
+
+/// Closes its fd unless released — every early-return path in start()
+/// frees whatever was already created (the old code leaked the socket when
+/// a later step failed).
+struct ScopedFd {
+  int Fd = -1;
+  explicit ScopedFd(int Fd = -1) : Fd(Fd) {}
+  ~ScopedFd() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  ScopedFd(const ScopedFd &) = delete;
+  ScopedFd &operator=(const ScopedFd &) = delete;
+  int release() {
+    int F = Fd;
+    Fd = -1;
+    return F;
+  }
+};
+
+bool setNonBlocking(int Fd) {
+  const int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+/// How long a graceful shutdown keeps trying to flush replies to clients
+/// that stopped reading.
+constexpr std::chrono::seconds DrainGrace{2};
+
+} // namespace
+
+/// One live connection. Ownership is split and explicit:
+///  - the event-loop thread owns the socket, the framing decoder, the
+///    write buffer, the request queue and the dispatch window — no lock;
+///  - pool jobs only touch the reply hand-off (Done, ShutdownRequested,
+///    Closed) under M;
+///  - InDirty is guarded by the server's DirtyM.
+/// Jobs hold a shared_ptr, so a connection torn down mid-request stays
+/// valid until its last job delivered (into the void: Closed drops it).
+///
+/// Requests of one connection execute strictly in arrival order (at most
+/// one pool job per connection; the rest wait in Pending). Pipelining
+/// still overlaps wire I/O with execution, but a client that pipelines
+/// load-then-query reads its own write — the contract the v1
+/// thread-per-connection server gave. Cross-connection requests execute
+/// concurrently.
+struct Server::Connection {
+  int Fd = -1;
+  bool IsTcp = false;
+  FrameDecoder Decoder;
+
+  // Event-loop-owned state.
+  std::string Out;
+  std::size_t OutPos = 0;
+  bool WantWrite = false;
+  bool ReadParked = false;
+  bool PeerEof = false;
+  bool Broken = false;
+  std::uint64_t NextSeq = 0;
+  std::uint64_t NextRelease = 0;
+  std::size_t InFlight = 0;
+  std::deque<std::pair<std::uint64_t, std::string>> Pending;
+  bool JobActive = false;
+  std::uint64_t ActiveSeq = 0;
+
+  // Cross-thread reply hand-off.
+  std::mutex M;
+  std::map<std::uint64_t, std::string> Done;
+  bool ShutdownRequested = false;
+  bool Closed = false;
+
+  bool InDirty = false; // guarded by Server::DirtyM
+};
+
 Server::Server(EngineSession &Session, ServerOptions Options)
-    : Session(Session), Options(std::move(Options)) {}
+    : Tenants(OwnedTenants), Options(std::move(Options)) {
+  OwnedTenants.add("default", Session);
+}
+
+Server::Server(TenantRegistry &Tenants, ServerOptions Options)
+    : Tenants(Tenants), Options(std::move(Options)) {
+  if (!Tenants.defaultTenant())
+    fatal("Server requires a registry with at least one tenant");
+}
 
 Server::~Server() {
   stop();
-  std::lock_guard<std::mutex> Lock(WorkersMutex);
-  for (std::thread &Worker : Workers)
-    if (Worker.joinable())
-      Worker.join();
+  // A destructor racing live jobs would free the wake fd under them;
+  // serve() already drained, but cover the serve-never-ran paths too.
+  while (PendingJobs.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+  for (auto &[Fd, Conn] : Conns) {
+    std::lock_guard<std::mutex> Lock(Conn->M);
+    Conn->Closed = true;
+    ::close(Fd);
+  }
+  Conns.clear();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (EpollFd >= 0)
+    ::close(EpollFd);
+  if (WakeFd >= 0)
+    ::close(WakeFd);
   if (!Options.UnixPath.empty())
     ::unlink(Options.UnixPath.c_str());
 }
@@ -39,103 +141,441 @@ static bool fail(std::string *Error, const std::string &Message) {
 }
 
 bool Server::start(std::string *Error) {
-  int Fd = -1;
+  Tenants.Server = &Counters;
+
+  ScopedFd Fd;
   if (!Options.UnixPath.empty()) {
     if (Options.UnixPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
       if (Error)
         *Error = "socket path too long: " + Options.UnixPath;
       return false;
     }
-    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (Fd < 0)
+    Fd.Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (Fd.Fd < 0)
       return fail(Error, "socket");
     sockaddr_un Addr{};
     Addr.sun_family = AF_UNIX;
     std::strncpy(Addr.sun_path, Options.UnixPath.c_str(),
                  sizeof(Addr.sun_path) - 1);
     ::unlink(Options.UnixPath.c_str());
-    if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-      ::close(Fd);
+    if (::bind(Fd.Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
       return fail(Error, "bind " + Options.UnixPath);
-    }
   } else {
-    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (Fd < 0)
+    Fd.Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (Fd.Fd < 0)
       return fail(Error, "socket");
     int One = 1;
-    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    ::setsockopt(Fd.Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
     sockaddr_in Addr{};
     Addr.sin_family = AF_INET;
     Addr.sin_port = htons(static_cast<std::uint16_t>(Options.Port));
     if (::inet_pton(AF_INET, Options.Host.c_str(), &Addr.sin_addr) != 1) {
-      ::close(Fd);
       if (Error)
         *Error = "invalid listen address '" + Options.Host + "'";
       return false;
     }
-    if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-      ::close(Fd);
+    if (::bind(Fd.Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
       return fail(Error, "bind " + Options.Host + ":" +
                              std::to_string(Options.Port));
-    }
     sockaddr_in Bound{};
     socklen_t BoundLen = sizeof(Bound);
-    if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound),
+    if (::getsockname(Fd.Fd, reinterpret_cast<sockaddr *>(&Bound),
                       &BoundLen) == 0)
       BoundPort = ntohs(Bound.sin_port);
   }
-  if (::listen(Fd, 16) < 0) {
-    ::close(Fd);
+  if (!setNonBlocking(Fd.Fd))
+    return fail(Error, "fcntl O_NONBLOCK");
+  const int Backlog = Options.Backlog > 0 ? Options.Backlog : SOMAXCONN;
+  if (::listen(Fd.Fd, Backlog) < 0)
     return fail(Error, "listen");
-  }
-  ListenFd.store(Fd);
+
+  ScopedFd Ep(::epoll_create1(EPOLL_CLOEXEC));
+  if (Ep.Fd < 0)
+    return fail(Error, "epoll_create1");
+  ScopedFd Wk(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (Wk.Fd < 0)
+    return fail(Error, "eventfd");
+
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.fd = Fd.Fd;
+  if (::epoll_ctl(Ep.Fd, EPOLL_CTL_ADD, Fd.Fd, &Ev) < 0)
+    return fail(Error, "epoll_ctl listen");
+  Ev.data.fd = Wk.Fd;
+  if (::epoll_ctl(Ep.Fd, EPOLL_CTL_ADD, Wk.Fd, &Ev) < 0)
+    return fail(Error, "epoll_ctl wake");
+
+  // The request-execution pool: the default tenant program's shared
+  // scheduler, sized so at least one worker exists (submit() would
+  // otherwise run requests inline on the event loop).
+  std::size_t Threads = Options.PoolThreads;
+  if (Threads == 0)
+    Threads = std::max<std::size_t>(
+        2, Tenants.defaultTenant()->Session->program().getNumThreads());
+  Pool = Tenants.defaultTenant()->Session->scheduler(Threads);
+
+  ListenFd = Fd.release();
+  EpollFd = Ep.release();
+  WakeFd = Wk.release();
+  Accepting = true;
   return true;
 }
 
-void Server::serve() {
-  while (!Stopping.load(std::memory_order_acquire)) {
-    int Fd = ::accept(ListenFd.load(), nullptr, nullptr);
-    if (Fd < 0) {
-      if (errno == EINTR)
-        continue;
-      break; // listening socket closed by stop()
-    }
-    std::lock_guard<std::mutex> Lock(WorkersMutex);
-    Workers.emplace_back([this, Fd] { handleConnection(Fd); });
-  }
-  // Collect finished and in-flight connections before returning so the
-  // session outlives every request.
-  std::lock_guard<std::mutex> Lock(WorkersMutex);
-  for (std::thread &Worker : Workers)
-    if (Worker.joinable())
-      Worker.join();
-  Workers.clear();
+void Server::wake() {
+  const std::uint64_t One = 1;
+  [[maybe_unused]] ssize_t N = ::write(WakeFd, &One, sizeof(One));
 }
 
 void Server::stop() {
   if (Stopping.exchange(true))
     return;
-  const int Fd = ListenFd.exchange(-1);
-  if (Fd >= 0) {
-    // shutdown() unblocks a concurrent accept(); close releases the fd.
-    ::shutdown(Fd, SHUT_RDWR);
-    ::close(Fd);
+  if (WakeFd >= 0)
+    wake();
+}
+
+void Server::updateEpoll(Connection &C) {
+  epoll_event Ev{};
+  Ev.events = (C.ReadParked || C.PeerEof || C.Broken ? 0u : EPOLLIN) |
+              (C.WantWrite ? EPOLLOUT : 0u);
+  Ev.data.fd = C.Fd;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+}
+
+void Server::acceptReady() {
+  for (;;) {
+    const int Fd =
+        ::accept4(ListenFd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0) {
+      // EINTR and ECONNABORTED are transient per-connection conditions;
+      // the old loop treated any failure as fatal and tore the server
+      // down on the first signal. EMFILE/ENFILE (fd exhaustion) backs off
+      // until closes free descriptors.
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue;
+      break; // EAGAIN, fd exhaustion, or listen socket gone
+    }
+    if (Conns.size() >= Options.MaxConnections) {
+      Counters.ConnectionsRejected.fetch_add(1, std::memory_order_relaxed);
+      ::close(Fd);
+      continue;
+    }
+    auto Conn = std::make_shared<Connection>();
+    Conn->Fd = Fd;
+    Conn->IsTcp = Options.UnixPath.empty();
+    if (Conn->IsTcp) {
+      int One = 1;
+      ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    }
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.fd = Fd;
+    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) < 0) {
+      ::close(Fd);
+      continue;
+    }
+    Counters.ConnectionsAccepted.fetch_add(1, std::memory_order_relaxed);
+    Conns.emplace(Fd, std::move(Conn));
   }
 }
 
-void Server::handleConnection(int Fd) {
-  std::string Payload;
-  for (;;) {
-    std::string Error;
-    if (!readFrame(Fd, Payload, &Error))
-      break; // EOF or framing failure: drop the connection
-    RequestOutcome Outcome = handleRequest(Session, Latency, Payload);
-    if (!writeFrame(Fd, Outcome.Reply.dump(), &Error))
+void Server::dispatch(const std::shared_ptr<Connection> &Conn,
+                      std::uint64_t Seq, std::string Payload) {
+  Counters.RequestsDispatched.fetch_add(1, std::memory_order_relaxed);
+  PendingJobs.fetch_add(1, std::memory_order_acq_rel);
+  Pool->submit([this, Conn, Seq, Payload = std::move(Payload)] {
+    RequestOutcome Outcome = handleRequest(Tenants, Payload);
+    std::string Frame = encodeFrame(Outcome.Reply.dump());
+    {
+      std::lock_guard<std::mutex> Lock(Conn->M);
+      if (!Conn->Closed) {
+        Conn->Done.emplace(Seq, std::move(Frame));
+        if (Outcome.Shutdown)
+          Conn->ShutdownRequested = true;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> Lock(DirtyM);
+      if (!Conn->InDirty) {
+        Conn->InDirty = true;
+        Dirty.push_back(Conn);
+      }
+    }
+    InFlightTotal.fetch_sub(1, std::memory_order_relaxed);
+    wake();
+    // Last action: serve()/~Server wait on this before freeing the
+    // structures the lines above touch.
+    PendingJobs.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+/// Enqueues a reply produced on the event loop itself (admission errors,
+/// framing errors) through the same ordered hand-off the jobs use.
+static void enqueueLocalImpl(std::mutex &M,
+                             std::map<std::uint64_t, std::string> &Done,
+                             std::uint64_t Seq, std::string Frame) {
+  std::lock_guard<std::mutex> Lock(M);
+  Done.emplace(Seq, std::move(Frame));
+}
+
+void Server::parseAndDispatch(const std::shared_ptr<Connection> &Conn) {
+  Connection &C = *Conn;
+  while (!C.Broken && C.InFlight < Options.MaxInFlightPerConnection) {
+    std::string Payload, FrameError;
+    const FrameDecoder::Result R = C.Decoder.next(Payload, &FrameError);
+    if (R == FrameDecoder::Result::NeedMore)
       break;
-    if (Outcome.Shutdown) {
-      stop();
+    const std::uint64_t Seq = C.NextSeq++;
+    C.InFlight += 1;
+    if (R == FrameDecoder::Result::Error) {
+      // Framing violations (oversized or negative lengths, mid-stream
+      // garbage) answer with a protocol error frame, then poison the
+      // connection: earlier pipelined requests still flush first.
+      Counters.ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      obs::json::Value Reply = errorReply("protocol error: " + FrameError);
+      Reply.set("micros", std::uint64_t(0));
+      enqueueLocalImpl(C.M, C.Done, Seq, encodeFrame(Reply.dump()));
+      C.Broken = true;
       break;
     }
+    Counters.FramesIn.fetch_add(1, std::memory_order_relaxed);
+    if (InFlightTotal.load(std::memory_order_relaxed) >=
+        Options.MaxInFlightTotal) {
+      // Admission control: beyond the global in-flight budget the server
+      // answers immediately instead of queueing without bound.
+      Counters.RequestsOverloaded.fetch_add(1, std::memory_order_relaxed);
+      obs::json::Value Reply = errorReply("server overloaded");
+      Reply.set("overloaded", true);
+      Reply.set("micros", std::uint64_t(0));
+      enqueueLocalImpl(C.M, C.Done, Seq, encodeFrame(Reply.dump()));
+      continue;
+    }
+    InFlightTotal.fetch_add(1, std::memory_order_relaxed);
+    C.Pending.emplace_back(Seq, std::move(Payload));
   }
-  ::close(Fd);
+  C.ReadParked = !C.Broken && C.InFlight >= Options.MaxInFlightPerConnection;
+}
+
+void Server::collectReplies(const std::shared_ptr<Connection> &Conn) {
+  Connection &C = *Conn;
+  bool Shutdown = false;
+  {
+    std::lock_guard<std::mutex> Lock(C.M);
+    for (auto It = C.Done.find(C.NextRelease); It != C.Done.end();
+         It = C.Done.find(C.NextRelease)) {
+      C.Out += It->second;
+      C.Done.erase(It);
+      ++C.NextRelease;
+      if (C.InFlight > 0)
+        --C.InFlight;
+      Counters.FramesOut.fetch_add(1, std::memory_order_relaxed);
+    }
+    Shutdown = C.ShutdownRequested;
+    C.ShutdownRequested = false;
+  }
+  if (Shutdown && !Draining) {
+    // Graceful: stop accepting, let in-flight work finish and flush.
+    Draining = true;
+    if (Accepting) {
+      ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, ListenFd, nullptr);
+      Accepting = false;
+    }
+  }
+}
+
+void Server::flushWrites(const std::shared_ptr<Connection> &Conn) {
+  Connection &C = *Conn;
+  while (C.OutPos < C.Out.size()) {
+    const ssize_t N = ::write(C.Fd, C.Out.data() + C.OutPos,
+                              C.Out.size() - C.OutPos);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break;
+      C.Broken = true; // EPIPE/ECONNRESET: peer is gone
+      C.Out.clear();
+      C.OutPos = 0;
+      break;
+    }
+    C.OutPos += static_cast<std::size_t>(N);
+  }
+  if (C.OutPos == C.Out.size()) {
+    C.Out.clear();
+    C.OutPos = 0;
+  } else if (C.OutPos > (std::size_t(1) << 16) &&
+             C.OutPos * 2 > C.Out.size()) {
+    C.Out.erase(0, C.OutPos);
+    C.OutPos = 0;
+  }
+  C.WantWrite = !C.Out.empty();
+}
+
+void Server::closeConnection(const std::shared_ptr<Connection> &Conn) {
+  Connection &C = *Conn;
+  if (C.Fd < 0)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(C.M);
+    C.Closed = true;
+    C.Done.clear();
+  }
+  // Queued-but-undispatched requests die with the connection; the active
+  // job (if any) settles its own InFlightTotal share when it finishes.
+  InFlightTotal.fetch_sub(C.Pending.size(), std::memory_order_relaxed);
+  C.Pending.clear();
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, C.Fd, nullptr);
+  ::close(C.Fd);
+  Conns.erase(C.Fd);
+  C.Fd = -1;
+  Counters.ConnectionsClosed.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Services one connection on the event-loop thread: releases completed
+/// replies in order, resumes parked reads when the window reopened,
+/// flushes, and closes once nothing can follow.
+void Server::writeReady(const std::shared_ptr<Connection> &Conn) {
+  Connection &C = *Conn;
+  if (C.Fd < 0)
+    return;
+  for (;;) {
+    collectReplies(Conn);
+    if (C.Fd < 0)
+      return;
+    // Releases are contiguous in seq order, so the active job is done
+    // exactly when the release cursor moved past it.
+    if (C.JobActive && C.NextRelease > C.ActiveSeq)
+      C.JobActive = false;
+    if (!C.JobActive && !C.Pending.empty()) {
+      auto [Seq, Payload] = std::move(C.Pending.front());
+      C.Pending.pop_front();
+      C.JobActive = true;
+      C.ActiveSeq = Seq;
+      dispatch(Conn, Seq, std::move(Payload));
+      continue; // a fast job may already have delivered
+    }
+    if (C.ReadParked && !C.Broken && !C.PeerEof &&
+        C.InFlight < Options.MaxInFlightPerConnection) {
+      C.ReadParked = false;
+      parseAndDispatch(Conn); // buffered frames first, then the socket
+      continue;               // may have produced local replies
+    }
+    break;
+  }
+  flushWrites(Conn);
+  const bool Drained = C.Out.empty() && C.InFlight == 0;
+  if ((C.Broken || C.PeerEof) && Drained) {
+    closeConnection(Conn);
+    return;
+  }
+  updateEpoll(C);
+}
+
+void Server::readReady(const std::shared_ptr<Connection> &Conn) {
+  Connection &C = *Conn;
+  char Buf[64 << 10];
+  while (!C.Broken && !C.ReadParked) {
+    const ssize_t N = ::read(C.Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      C.Decoder.feed(Buf, static_cast<std::size_t>(N));
+      parseAndDispatch(Conn);
+      continue;
+    }
+    if (N == 0) {
+      C.PeerEof = true; // half-close: keep flushing replies
+      break;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    C.Broken = true;
+    break;
+  }
+  writeReady(Conn); // release/flush/park bookkeeping shared with writes
+}
+
+bool Server::drained() {
+  if (InFlightTotal.load(std::memory_order_relaxed) != 0 ||
+      PendingJobs.load(std::memory_order_acquire) != 0)
+    return false;
+  for (const auto &[Fd, Conn] : Conns) {
+    std::lock_guard<std::mutex> Lock(Conn->M);
+    if (!Conn->Out.empty() || !Conn->Done.empty())
+      return false;
+  }
+  return true;
+}
+
+void Server::eventLoop() {
+  std::chrono::steady_clock::time_point DrainDeadline{};
+  bool DeadlineSet = false;
+  epoll_event Events[128];
+  for (;;) {
+    if (Stopping.load(std::memory_order_acquire))
+      break;
+    if (Draining) {
+      if (!DeadlineSet) {
+        DrainDeadline = std::chrono::steady_clock::now() + DrainGrace;
+        DeadlineSet = true;
+      }
+      if (drained() || std::chrono::steady_clock::now() >= DrainDeadline)
+        break;
+    }
+    const int Timeout = Draining ? 20 : 500;
+    const int N = ::epoll_wait(EpollFd, Events, 128, Timeout);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    for (int I = 0; I < N; ++I) {
+      const int Fd = Events[I].data.fd;
+      if (Fd == WakeFd) {
+        std::uint64_t Tick;
+        while (::read(WakeFd, &Tick, sizeof(Tick)) > 0) {
+        }
+        continue;
+      }
+      if (Fd == ListenFd) {
+        acceptReady();
+        continue;
+      }
+      auto It = Conns.find(Fd);
+      if (It == Conns.end())
+        continue;
+      std::shared_ptr<Connection> Conn = It->second;
+      if (Events[I].events & (EPOLLERR | EPOLLHUP))
+        Conn->PeerEof = true;
+      if (Events[I].events & EPOLLIN)
+        readReady(Conn);
+      else
+        writeReady(Conn);
+    }
+    // Replies completed by pool jobs since the last pass.
+    std::vector<std::shared_ptr<Connection>> Ready;
+    {
+      std::lock_guard<std::mutex> Lock(DirtyM);
+      Ready.swap(Dirty);
+      for (const auto &Conn : Ready)
+        Conn->InDirty = false;
+    }
+    for (const auto &Conn : Ready)
+      if (Conn->Fd >= 0)
+        writeReady(Conn);
+  }
+}
+
+void Server::serve() {
+  eventLoop();
+  // Tear down every connection, then wait for stragglers in the pool —
+  // after this no job can touch the server (the shared Connection state
+  // outlives them via shared_ptr, and Closed drops their replies).
+  std::vector<std::shared_ptr<Connection>> Remaining;
+  Remaining.reserve(Conns.size());
+  for (auto &[Fd, Conn] : Conns)
+    Remaining.push_back(Conn);
+  for (const auto &Conn : Remaining)
+    closeConnection(Conn);
+  while (PendingJobs.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
 }

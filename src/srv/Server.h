@@ -1,29 +1,46 @@
-//===- srv/Server.h - stird-serve socket server -----------------*- C++ -*-===//
+//===- srv/Server.h - stird-serve epoll event-loop server -------*- C++ -*-===//
 //
 // Part of the stird project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The daemon side of the serving layer: accepts stird-wire-v1 connections
-/// on a Unix or TCP socket and executes requests against one shared
-/// EngineSession. One thread per connection — concurrent queries read
-/// through snapshots and never block each other; loads are serialized by
-/// the session. A `shutdown` request stops the accept loop and drains the
-/// connection threads.
+/// The daemon side of the serving layer: an epoll-based event loop accepts
+/// stird-wire-v2 connections on a Unix or TCP socket and executes requests
+/// against the hosted EngineSession tenants. One thread owns every socket
+/// (nonblocking accept/read/write with per-connection framing state
+/// machines); request handling runs as detached jobs on the interpreter's
+/// work-stealing Scheduler, so thousands of mostly idle connections cost
+/// one fd each rather than one thread each, and evaluation work and wire
+/// work share a single warm pool.
+///
+/// Backpressure is explicit at two levels: a connection may have at most
+/// MaxInFlightPerConnection requests dispatched (further frames stay in
+/// its read buffer and EPOLLIN is parked until replies drain), and the
+/// server admits at most MaxInFlightTotal dispatched requests across all
+/// tenants (excess requests are answered immediately with an "overloaded"
+/// error instead of being queued without bound). Replies are written in
+/// request order per connection, so v1 clients work unchanged and v2
+/// clients can pipeline.
+///
+/// A `shutdown` request (or stop()) stops the accept loop, drains the
+/// in-flight jobs, flushes what can be flushed, and returns from serve().
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef STIRD_SRV_SERVER_H
 #define STIRD_SRV_SERVER_H
 
+#include "interp/Scheduler.h"
 #include "obs/Serve.h"
 #include "srv/Session.h"
+#include "srv/Wire.h"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace stird::srv {
@@ -36,18 +53,44 @@ struct ServerOptions {
   std::string Host = "127.0.0.1";
   /// TCP port; 0 lets the kernel pick one (see boundPort()).
   int Port = 0;
+  /// listen(2) backlog; <= 0 means SOMAXCONN. The old hard-coded 16 made
+  /// connection bursts fail with ECONNREFUSED long before the event loop
+  /// was the bottleneck.
+  int Backlog = 0;
+  /// Accept-level admission: connections beyond this are closed
+  /// immediately (counted in ServeCounters::ConnectionsRejected).
+  std::size_t MaxConnections = 8192;
+  /// Pipelining window: dispatched-but-unanswered requests allowed per
+  /// connection before its reads are parked.
+  std::size_t MaxInFlightPerConnection = 32;
+  /// Admission control across every connection and tenant: requests
+  /// beyond this answer {"ok":false,"error":"server overloaded"} without
+  /// touching a session.
+  std::size_t MaxInFlightTotal = 1024;
+  /// Threads of the request-execution pool (the default tenant program's
+  /// shared Scheduler). 0 picks max(2, session default) so the event loop
+  /// never executes requests inline.
+  std::size_t PoolThreads = 0;
 };
 
 class Server {
 public:
+  /// Single-tenant convenience: hosts \p Session as the default tenant
+  /// "default" in an internally owned registry.
   Server(EngineSession &Session, ServerOptions Options);
+
+  /// Multi-tenant: serves every session in \p Tenants (which must outlive
+  /// the server and already hold at least one tenant).
+  Server(TenantRegistry &Tenants, ServerOptions Options);
+
   ~Server();
 
-  /// Binds and listens. False with \p Error on failure.
+  /// Binds and listens (nonblocking). False with \p Error on failure; no
+  /// fd survives a failed start.
   bool start(std::string *Error = nullptr);
 
-  /// Accepts and serves connections until a shutdown request (or stop())
-  /// arrives; returns after all connection threads finished.
+  /// Runs the event loop until a shutdown request (or stop()) arrives;
+  /// returns after in-flight request jobs drained.
   void serve();
 
   /// Unblocks serve() from another thread (tests, signal handlers).
@@ -56,24 +99,77 @@ public:
   /// The actual TCP port after start() — useful with Port = 0.
   int boundPort() const { return BoundPort; }
 
-  /// Request-latency totals, as reported by the `stats` command.
-  const obs::LatencyAggregator &latency() const { return Latency; }
+  /// Request-latency totals of the default tenant, as reported by the
+  /// `stats` command.
+  const obs::LatencyAggregator &latency() const {
+    return Tenants.defaultTenant()->Latency;
+  }
+
+  /// Event-loop counters (accepts, frames, admission rejections, ...).
+  const obs::ServeCounters &counters() const { return Counters; }
+
+  const TenantRegistry &tenants() const { return Tenants; }
 
 private:
-  void handleConnection(int Fd);
+  struct Connection;
 
-  EngineSession &Session;
+  void eventLoop();
+  void acceptReady();
+  void readReady(const std::shared_ptr<Connection> &Conn);
+  void writeReady(const std::shared_ptr<Connection> &Conn);
+  /// Parses buffered frames and dispatches them, up to the pipelining
+  /// window; parks reads when the window fills.
+  void parseAndDispatch(const std::shared_ptr<Connection> &Conn);
+  void dispatch(const std::shared_ptr<Connection> &Conn,
+                std::uint64_t Seq, std::string Payload);
+  /// Called on the event-loop thread once replies completed out-of-band:
+  /// releases them in request order into the write buffer.
+  void collectReplies(const std::shared_ptr<Connection> &Conn);
+  /// Writes as much of the connection's buffer as the socket accepts and
+  /// (un)arms EPOLLOUT accordingly.
+  void flushWrites(const std::shared_ptr<Connection> &Conn);
+  void closeConnection(const std::shared_ptr<Connection> &Conn);
+  void updateEpoll(Connection &C);
+  void wake();
+  bool drained();
+
+  /// Owned registry backing the single-tenant constructor; unused (empty)
+  /// when an external registry was supplied.
+  TenantRegistry OwnedTenants;
+  TenantRegistry &Tenants;
   ServerOptions Options;
-  obs::LatencyAggregator Latency;
+  obs::ServeCounters Counters;
 
-  /// Atomic: a connection thread's shutdown request closes it while the
-  /// accept loop reads it.
-  std::atomic<int> ListenFd{-1};
+  std::shared_ptr<interp::Scheduler> Pool;
+
+  int ListenFd = -1;
+  int EpollFd = -1;
+  int WakeFd = -1;
   int BoundPort = 0;
-  std::atomic<bool> Stopping{false};
+  bool Accepting = false;
 
-  std::mutex WorkersMutex;
-  std::vector<std::thread> Workers;
+  /// Hard stop (stop()): exit as soon as jobs drained. Draining: graceful
+  /// shutdown request — stop accepting, finish and flush what's in
+  /// flight, then exit.
+  std::atomic<bool> Stopping{false};
+  bool Draining = false;
+
+  /// Requests dispatched to the pool and not yet released to a write
+  /// buffer (admission control).
+  std::atomic<std::size_t> InFlightTotal{0};
+  /// Jobs handed to the pool and not yet finished executing; serve() and
+  /// the destructor wait for zero before tearing connections down.
+  std::atomic<std::size_t> PendingJobs{0};
+
+  /// Live connections, owned by the event loop. Jobs hold shared_ptrs so
+  /// a connection that dies mid-request stays valid until its last job
+  /// finished.
+  std::unordered_map<int, std::shared_ptr<Connection>> Conns;
+
+  /// Connections with freshly completed replies, filled by pool jobs and
+  /// drained by the event loop after a WakeFd tick.
+  std::mutex DirtyM;
+  std::vector<std::shared_ptr<Connection>> Dirty;
 };
 
 } // namespace stird::srv

@@ -302,6 +302,11 @@ std::vector<std::string> EngineSession::relationNames() const {
   return Names;
 }
 
+std::shared_ptr<interp::Scheduler>
+EngineSession::scheduler(std::size_t NumThreads) {
+  return Prog->schedulerFor(NumThreads);
+}
+
 const std::vector<ColumnTypeKind> *
 EngineSession::relationTypes(const std::string &Relation) const {
   // Only declared relations are served; the translator's auxiliary

@@ -186,6 +186,12 @@ public:
   SymbolTable &symbols() { return Prog->getSymbolTable(); }
   const SymbolTable &symbols() const { return Prog->getSymbolTable(); }
 
+  /// The underlying program's shared work-stealing scheduler for
+  /// \p NumThreads (see core::Program::schedulerFor). Serving front ends
+  /// dispatch request jobs here, so wire work and engine evaluation share
+  /// one warm pool instead of spawning per-connection threads.
+  std::shared_ptr<interp::Scheduler> scheduler(std::size_t NumThreads);
+
 private:
   using Side = detail::SessionSide;
 

@@ -7,8 +7,10 @@
 #include "srv/Wire.h"
 
 #include "util/Csv.h"
+#include "util/MiscUtil.h"
 #include "util/Timer.h"
 
+#include <cassert>
 #include <cerrno>
 #include <cstdint>
 #include <cstring>
@@ -49,6 +51,11 @@ static int readExact(int Fd, char *Buffer, std::size_t Len, bool &SawData) {
   return 1;
 }
 
+static std::string oversizedMessage(std::uint32_t Len, std::size_t Max) {
+  return "frame of " + std::to_string(Len) + " bytes exceeds " +
+         std::to_string(Max);
+}
+
 bool srv::readFrame(int Fd, std::string &Payload, std::string *Error) {
   unsigned char Prefix[4];
   bool SawData = false;
@@ -62,26 +69,31 @@ bool srv::readFrame(int Fd, std::string &Payload, std::string *Error) {
                             (std::uint32_t(Prefix[2]) << 8) |
                             std::uint32_t(Prefix[3]);
   if (Len > MaxFrameBytes)
-    return setError(Error,
-                    "frame of " + std::to_string(Len) + " bytes exceeds " +
-                        std::to_string(MaxFrameBytes));
+    return setError(Error, oversizedMessage(Len, MaxFrameBytes));
   Payload.resize(Len);
   if (Len > 0 && readExact(Fd, Payload.data(), Len, SawData) != 1)
     return setError(Error, "truncated frame payload");
   return true;
 }
 
+std::string srv::encodeFrame(const std::string &Payload) {
+  assert(Payload.size() <= MaxFrameBytes && "frame payload too large");
+  const std::uint32_t Len = static_cast<std::uint32_t>(Payload.size());
+  std::string Frame;
+  Frame.reserve(4 + Payload.size());
+  Frame.push_back(static_cast<char>(Len >> 24));
+  Frame.push_back(static_cast<char>(Len >> 16));
+  Frame.push_back(static_cast<char>(Len >> 8));
+  Frame.push_back(static_cast<char>(Len));
+  Frame += Payload;
+  return Frame;
+}
+
 bool srv::writeFrame(int Fd, const std::string &Payload,
                      std::string *Error) {
   if (Payload.size() > MaxFrameBytes)
     return setError(Error, "frame payload exceeds MaxFrameBytes");
-  const std::uint32_t Len = static_cast<std::uint32_t>(Payload.size());
-  unsigned char Prefix[4] = {static_cast<unsigned char>(Len >> 24),
-                             static_cast<unsigned char>(Len >> 16),
-                             static_cast<unsigned char>(Len >> 8),
-                             static_cast<unsigned char>(Len)};
-  std::string Frame(reinterpret_cast<char *>(Prefix), 4);
-  Frame += Payload;
+  const std::string Frame = encodeFrame(Payload);
   std::size_t Done = 0;
   while (Done < Frame.size()) {
     ssize_t N = ::write(Fd, Frame.data() + Done, Frame.size() - Done);
@@ -96,16 +108,118 @@ bool srv::writeFrame(int Fd, const std::string &Payload,
   return true;
 }
 
+void FrameDecoder::feed(const char *Data, std::size_t Len) {
+  if (Poisoned)
+    return; // the stream is unrecoverable; don't buffer garbage
+  // Compact the consumed prefix before it dominates the buffer.
+  if (Pos > 4096 && Pos * 2 > Buffer.size()) {
+    Buffer.erase(0, Pos);
+    Pos = 0;
+  }
+  Buffer.append(Data, Len);
+}
+
+FrameDecoder::Result FrameDecoder::next(std::string &Payload,
+                                        std::string *Error) {
+  if (Poisoned) {
+    setError(Error, PoisonError);
+    return Result::Error;
+  }
+  if (buffered() < 4)
+    return Result::NeedMore;
+  const unsigned char *P =
+      reinterpret_cast<const unsigned char *>(Buffer.data()) + Pos;
+  const std::uint32_t Len = (std::uint32_t(P[0]) << 24) |
+                            (std::uint32_t(P[1]) << 16) |
+                            (std::uint32_t(P[2]) << 8) | std::uint32_t(P[3]);
+  // The guard fires on the 4 prefix bytes alone — an absurd (or, read as
+  // signed, negative) length never causes a payload-sized allocation.
+  if (Len > Max) {
+    Poisoned = true;
+    PoisonError = oversizedMessage(Len, Max);
+    Buffer.clear();
+    Pos = 0;
+    setError(Error, PoisonError);
+    return Result::Error;
+  }
+  if (buffered() < 4 + static_cast<std::size_t>(Len))
+    return Result::NeedMore;
+  Payload.assign(Buffer, Pos + 4, Len);
+  Pos += 4 + static_cast<std::size_t>(Len);
+  if (Pos == Buffer.size()) {
+    Buffer.clear();
+    Pos = 0;
+  }
+  return Result::Frame;
+}
+
+//===----------------------------------------------------------------------===//
+// Tenants
+//===----------------------------------------------------------------------===//
+
+Tenant &TenantRegistry::add(const std::string &Name,
+                            EngineSession &Session) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &T : List)
+    if (T->Name == Name)
+      fatal("duplicate tenant '" + Name + "'");
+  List.push_back(std::make_unique<Tenant>(Name, Session));
+  return *List.back();
+}
+
+Tenant *TenantRegistry::find(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &T : List)
+    if (T->Name == Name)
+      return T.get();
+  return nullptr;
+}
+
+Tenant *TenantRegistry::defaultTenant() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return List.empty() ? nullptr : List.front().get();
+}
+
+std::vector<Tenant *> TenantRegistry::tenants() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<Tenant *> Out;
+  Out.reserve(List.size());
+  for (const auto &T : List)
+    Out.push_back(T.get());
+  return Out;
+}
+
+std::size_t TenantRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return List.size();
+}
+
 //===----------------------------------------------------------------------===//
 // Request handling
 //===----------------------------------------------------------------------===//
 
-static Value errorReply(const std::string &Message) {
+Value srv::errorReply(const std::string &Message) {
   Object O;
   O.emplace_back("ok", false);
   O.emplace_back("error", Message);
   return Value(std::move(O));
 }
+
+namespace {
+
+/// Everything one dispatch needs: the routed session, where to record
+/// latency, and — in registry mode — the cache and the registry itself
+/// (for the stats command's tenant and server sections). Cache and
+/// Registry are null in the single-session v1 entry point.
+struct RequestContext {
+  EngineSession &Session;
+  obs::LatencyAggregator &Latency;
+  QueryCache *Cache = nullptr;
+  const TenantRegistry *Registry = nullptr;
+  const Tenant *T = nullptr;
+};
+
+} // namespace
 
 /// Renders one JSON cell (string or number) as the raw column text the
 /// typed parser consumes. Returns false for any other JSON type.
@@ -166,7 +280,31 @@ static Value handleLoad(EngineSession &Session, const Value &Request) {
   return Value(std::move(O));
 }
 
-static Value handleQuery(EngineSession &Session, const Value &Request) {
+/// Assembles a query reply around an already-serialized tuples fragment.
+/// \p Cached is tri-state: absent (v1 single-session mode) or the
+/// hit/miss flag.
+static Value queryReply(std::shared_ptr<const std::string> Tuples,
+                        std::uint64_t Count, const QueryPlan &Plan,
+                        std::uint64_t Epoch, std::optional<bool> Cached) {
+  Object O;
+  O.emplace_back("ok", true);
+  O.emplace_back("tuples", obs::json::Raw{std::move(Tuples)});
+  O.emplace_back("count", Count);
+  O.emplace_back("epoch", Epoch);
+  Object PlanObj;
+  PlanObj.emplace_back("index", static_cast<std::uint64_t>(Plan.IndexPos));
+  PlanObj.emplace_back("prefix_len",
+                       static_cast<std::uint64_t>(Plan.PrefixLen));
+  PlanObj.emplace_back("residual_columns",
+                       static_cast<std::uint64_t>(Plan.ResidualColumns));
+  O.emplace_back("plan", std::move(PlanObj));
+  if (Cached)
+    O.emplace_back("cached", *Cached);
+  return Value(std::move(O));
+}
+
+static Value handleQuery(EngineSession &Session, QueryCache *Cache,
+                         const Value &Request) {
   const Value *Relation = Request.find("relation");
   if (!Relation || !Relation->isString())
     return errorReply("query requires a \"relation\" string");
@@ -217,12 +355,22 @@ static Value handleQuery(EngineSession &Session, const Value &Request) {
   }
 
   Snapshot Snap = Session.snapshot();
+  std::string CacheKey;
+  if (Cache) {
+    CacheKey = QueryCache::key(Name, P);
+    if (std::shared_ptr<const QueryCache::CachedResult> Hit =
+            Cache->lookup(CacheKey, Snap.epoch()))
+      // The rows were rendered against the shared append-only symbol
+      // table, so the shared fragment is still exact at this epoch; the
+      // hit costs one refcount bump plus a verbatim splice.
+      return queryReply(Hit->Tuples, Hit->Count, Hit->Plan, Snap.epoch(),
+                        true);
+  }
+
   QueryPlan Plan;
   std::vector<DynTuple> Tuples = Snap.query(Name, P, &Plan);
-
-  Object O;
-  O.emplace_back("ok", true);
   Array Rows;
+  Rows.reserve(Tuples.size());
   for (const DynTuple &Tuple : Tuples) {
     Array Row;
     for (std::size_t I = 0; I < Tuple.size(); ++I)
@@ -230,21 +378,25 @@ static Value handleQuery(EngineSession &Session, const Value &Request) {
           printColumn(Tuple[I], (*Types)[I], Session.symbols()));
     Rows.emplace_back(std::move(Row));
   }
-  O.emplace_back("tuples", std::move(Rows));
-  O.emplace_back("count", static_cast<std::uint64_t>(Tuples.size()));
-  O.emplace_back("epoch", Snap.epoch());
-  Object PlanObj;
-  PlanObj.emplace_back("index", static_cast<std::uint64_t>(Plan.IndexPos));
-  PlanObj.emplace_back("prefix_len",
-                       static_cast<std::uint64_t>(Plan.PrefixLen));
-  PlanObj.emplace_back("residual_columns",
-                       static_cast<std::uint64_t>(Plan.ResidualColumns));
-  O.emplace_back("plan", std::move(PlanObj));
-  return Value(std::move(O));
+  const auto Count = static_cast<std::uint64_t>(Tuples.size());
+  // Serialize the rows exactly once; the reply and every future cache hit
+  // share the same text.
+  auto TuplesText =
+      std::make_shared<const std::string>(Value(std::move(Rows)).dump());
+
+  if (Cache) {
+    auto Entry = std::make_shared<QueryCache::CachedResult>();
+    Entry->Tuples = TuplesText;
+    Entry->Count = Count;
+    Entry->Plan = Plan;
+    Cache->insert(CacheKey, Snap.epoch(), std::move(Entry));
+  }
+  return queryReply(std::move(TuplesText), Count, Plan, Snap.epoch(),
+                    Cache ? std::optional<bool>(false) : std::nullopt);
 }
 
-static Value handleStats(EngineSession &Session,
-                         obs::LatencyAggregator &Latency) {
+static Value handleStats(const RequestContext &Ctx) {
+  EngineSession &Session = Ctx.Session;
   Snapshot Snap = Session.snapshot();
   Object O;
   O.emplace_back("ok", true);
@@ -275,18 +427,37 @@ static Value handleStats(EngineSession &Session,
     Relations.emplace_back(std::move(R));
   }
   O.emplace_back("relations", std::move(Relations));
-  O.emplace_back("latency", Latency.toJson());
+  O.emplace_back("latency", Ctx.Latency.toJson());
+
+  if (Ctx.T) {
+    O.emplace_back("tenant", Ctx.T->Name);
+    O.emplace_back("requests",
+                   Ctx.T->Requests.load(std::memory_order_relaxed));
+    const QueryCache::Counters C = Ctx.T->Cache.counters();
+    Object CacheObj;
+    CacheObj.emplace_back("hits", C.Hits);
+    CacheObj.emplace_back("misses", C.Misses);
+    CacheObj.emplace_back("invalidations", C.Invalidations);
+    CacheObj.emplace_back("entries", C.Entries);
+    O.emplace_back("cache", std::move(CacheObj));
+  }
+  if (Ctx.Registry) {
+    Array Names;
+    for (const Tenant *T : Ctx.Registry->tenants())
+      Names.emplace_back(T->Name);
+    O.emplace_back("tenants", std::move(Names));
+    if (Ctx.Registry->Server)
+      O.emplace_back("server", Ctx.Registry->Server->toJson());
+  }
   return Value(std::move(O));
 }
 
-RequestOutcome srv::handleRequest(EngineSession &Session,
-                                  obs::LatencyAggregator &Latency,
-                                  const std::string &Payload) {
-  Timer T;
+/// Dispatches one parsed (or unparsable) request body. Micros stamping,
+/// id echo and latency recording happen in the callers.
+static RequestOutcome dispatchCore(const RequestContext &Ctx,
+                                   const std::optional<Value> &Request,
+                                   const std::string &ParseError) {
   RequestOutcome Outcome;
-
-  std::string ParseError;
-  std::optional<Value> Request = obs::json::parse(Payload, &ParseError);
   if (!Request || !Request->isObject()) {
     Outcome.Reply = errorReply(
         Request ? "request must be a JSON object"
@@ -297,11 +468,11 @@ RequestOutcome srv::handleRequest(EngineSession &Session,
   } else {
     Outcome.Command = Cmd->asString();
     if (Outcome.Command == "load")
-      Outcome.Reply = handleLoad(Session, *Request);
+      Outcome.Reply = handleLoad(Ctx.Session, *Request);
     else if (Outcome.Command == "query")
-      Outcome.Reply = handleQuery(Session, *Request);
+      Outcome.Reply = handleQuery(Ctx.Session, Ctx.Cache, *Request);
     else if (Outcome.Command == "stats")
-      Outcome.Reply = handleStats(Session, Latency);
+      Outcome.Reply = handleStats(Ctx);
     else if (Outcome.Command == "shutdown") {
       Object O;
       O.emplace_back("ok", true);
@@ -312,9 +483,94 @@ RequestOutcome srv::handleRequest(EngineSession &Session,
           errorReply("unknown command '" + Outcome.Command + "'");
     }
   }
+  return Outcome;
+}
 
+/// Extracts the optional request id. Returns false (with an error reply in
+/// \p Outcome) when an id is present but not a string or number.
+static bool extractId(const std::optional<Value> &Request, const Value *&Id,
+                      RequestOutcome &Outcome) {
+  Id = nullptr;
+  if (!Request || !Request->isObject())
+    return true;
+  Id = Request->find("id");
+  if (Id && !Id->isString() && !Id->isNumber()) {
+    Outcome.Reply = errorReply("\"id\" must be a string or number");
+    Id = nullptr;
+    return false;
+  }
+  return true;
+}
+
+/// Shared tail: stamp micros, record latency, echo the id.
+static RequestOutcome finishRequest(RequestOutcome Outcome, const Timer &T,
+                                    obs::LatencyAggregator &Latency,
+                                    const Value *Id) {
   const std::uint64_t Micros = T.microseconds();
   Latency.record(Outcome.Command, Micros);
   Outcome.Reply.set("micros", Micros);
+  if (Id)
+    Outcome.Reply.set("id", *Id);
   return Outcome;
+}
+
+RequestOutcome srv::handleRequest(const TenantRegistry &Tenants,
+                                  const std::string &Payload) {
+  Timer T;
+  Tenant *Default = Tenants.defaultTenant();
+  if (!Default)
+    fatal("handleRequest on a registry with no tenants");
+  std::string ParseError;
+  std::optional<Value> Request = obs::json::parse(Payload, &ParseError);
+
+  const Value *Id = nullptr;
+  RequestOutcome Outcome;
+  if (!extractId(Request, Id, Outcome))
+    return finishRequest(std::move(Outcome), T, Default->Latency, nullptr);
+
+  // Route on "tenant"; absent (every v1 request) means the default.
+  Tenant *Routed = Default;
+  if (Request && Request->isObject()) {
+    if (const Value *Name = Request->find("tenant")) {
+      if (!Name->isString()) {
+        Outcome.Reply = errorReply("\"tenant\" must be a string");
+        return finishRequest(std::move(Outcome), T, Routed->Latency, Id);
+      }
+      Routed = Tenants.find(Name->asString());
+      if (!Routed) {
+        Outcome.Reply =
+            errorReply("unknown tenant '" + Name->asString() + "'");
+        return finishRequest(std::move(Outcome), T, Default->Latency, Id);
+      }
+    }
+  }
+
+  Routed->Requests.fetch_add(1, std::memory_order_relaxed);
+  RequestContext Ctx{*Routed->Session, Routed->Latency, &Routed->Cache,
+                     &Tenants, Routed};
+  return finishRequest(dispatchCore(Ctx, Request, ParseError), T,
+                       Routed->Latency, Id);
+}
+
+RequestOutcome srv::handleRequest(EngineSession &Session,
+                                  obs::LatencyAggregator &Latency,
+                                  const std::string &Payload) {
+  Timer T;
+  std::string ParseError;
+  std::optional<Value> Request = obs::json::parse(Payload, &ParseError);
+
+  const Value *Id = nullptr;
+  RequestOutcome Outcome;
+  if (!extractId(Request, Id, Outcome))
+    return finishRequest(std::move(Outcome), T, Latency, nullptr);
+
+  if (Request && Request->isObject() && Request->find("tenant")) {
+    Outcome.Reply =
+        errorReply("tenant routing is not available on this endpoint");
+    return finishRequest(std::move(Outcome), T, Latency, Id);
+  }
+
+  RequestContext Ctx{Session, Latency};
+  return finishRequest(dispatchCore(Ctx, Request, ParseError), T, Latency,
+                       Id);
 }

@@ -5,16 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The stird-wire-v1 protocol spoken between stird-serve and its clients:
+/// The stird-wire-v2 protocol spoken between stird-serve and its clients:
 /// each message is one JSON document framed by a 4-byte big-endian length
 /// prefix, over a Unix or TCP stream socket. Requests carry a "cmd" member
-/// (load / query / stats / shutdown); every reply carries "ok" plus either
-/// the command's payload or an "error" string, and "micros" with the
-/// server-side handling time. docs/wire-protocol.md is the normative
-/// schema description.
+/// (load / query / stats / shutdown), an optional "id" echoed verbatim in
+/// the reply (so pipelined clients can match replies to requests), and an
+/// optional "tenant" selecting one of several hosted sessions. Every reply
+/// carries "ok" plus either the command's payload or an "error" string,
+/// and "micros" with the server-side handling time. v1 requests (no id, no
+/// tenant) remain valid and are answered in the v1 shape.
+/// docs/wire-protocol.md is the normative schema description.
 ///
-/// The request handler is a pure function of (session, payload) so tests
-/// drive the full protocol without sockets.
+/// The request handler is a pure function of (tenants, payload) so tests
+/// drive the full protocol without sockets. The blocking readFrame /
+/// writeFrame helpers serve simple clients; the event-loop server uses the
+/// incremental FrameDecoder state machine instead, which resumes across
+/// short reads and rejects oversized length prefixes before allocating.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,25 +32,115 @@
 #include "srv/Session.h"
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace stird::srv {
 
 /// Protocol identifier reported by `stats` replies.
-inline constexpr const char *WireProtocolVersion = "stird-wire-v1";
+inline constexpr const char *WireProtocolVersion = "stird-wire-v2";
+/// The previous protocol generation; v1 requests are still accepted.
+inline constexpr const char *WireProtocolV1 = "stird-wire-v1";
 
 /// Upper bound on one frame's payload; oversized frames poison the
 /// connection (the reader cannot resynchronize) and are reported as errors.
 inline constexpr std::size_t MaxFrameBytes = std::size_t(64) << 20;
 
-/// Reads one length-prefixed frame from \p Fd into \p Payload. Returns
-/// false on clean EOF before any prefix byte; fails (false with \p Error
-/// set) on truncated frames, oversized lengths, or IO errors.
+/// Reads one length-prefixed frame from \p Fd into \p Payload, resuming
+/// across short reads and EINTR. Returns false on clean EOF before any
+/// prefix byte; fails (false with \p Error set) on truncated frames,
+/// oversized lengths, or IO errors.
 bool readFrame(int Fd, std::string &Payload, std::string *Error = nullptr);
 
-/// Writes one length-prefixed frame. False with \p Error on failure.
+/// Writes one length-prefixed frame, resuming across short writes and
+/// EINTR. False with \p Error on failure.
 bool writeFrame(int Fd, const std::string &Payload,
                 std::string *Error = nullptr);
+
+/// Renders \p Payload as one wire frame (4-byte big-endian length prefix
+/// plus the payload bytes). The payload must not exceed MaxFrameBytes.
+std::string encodeFrame(const std::string &Payload);
+
+/// Incremental framing state machine for nonblocking readers: feed()
+/// whatever bytes arrived, then drain complete frames with next(). A
+/// length prefix above the limit is rejected as soon as its 4 bytes are
+/// seen — before any payload allocation — and poisons the decoder (every
+/// later next() reports the same error; the caller must drop the
+/// connection, since the stream cannot be resynchronized).
+class FrameDecoder {
+public:
+  explicit FrameDecoder(std::size_t MaxBytes = MaxFrameBytes)
+      : Max(MaxBytes) {}
+
+  enum class Result {
+    Frame,    ///< \p Payload holds one complete frame.
+    NeedMore, ///< No complete frame buffered; feed() more bytes.
+    Error     ///< Framing violation; the connection is poisoned.
+  };
+
+  void feed(const char *Data, std::size_t Len);
+
+  Result next(std::string &Payload, std::string *Error = nullptr);
+
+  /// Bytes fed but not yet returned as frames.
+  std::size_t buffered() const { return Buffer.size() - Pos; }
+
+  /// True once a framing violation was detected.
+  bool poisoned() const { return Poisoned; }
+
+private:
+  const std::size_t Max;
+  std::string Buffer;
+  std::size_t Pos = 0;
+  bool Poisoned = false;
+  std::string PoisonError;
+};
+
+/// One hosted session: the resident engine plus the serving-side state
+/// that belongs to it — request latency, the query-result cache, and a
+/// request counter. Owned by a TenantRegistry.
+struct Tenant {
+  Tenant(std::string Name, EngineSession &Session)
+      : Name(std::move(Name)), Session(&Session) {}
+
+  const std::string Name;
+  EngineSession *Session;
+  obs::LatencyAggregator Latency;
+  QueryCache Cache;
+  std::atomic<std::uint64_t> Requests{0};
+};
+
+/// The set of sessions one server front end hosts, keyed by tenant name.
+/// The first tenant added is the default — requests without a "tenant"
+/// member (every v1 request) are routed to it. Registration happens
+/// before serving starts; lookups are concurrent.
+class TenantRegistry {
+public:
+  /// Registers \p Session under \p Name. The session must outlive the
+  /// registry. Fatal on duplicate names.
+  Tenant &add(const std::string &Name, EngineSession &Session);
+
+  /// The tenant named \p Name, or null.
+  Tenant *find(const std::string &Name) const;
+
+  /// The first tenant added (never null once one was registered).
+  Tenant *defaultTenant() const;
+
+  /// Every tenant, in registration order.
+  std::vector<Tenant *> tenants() const;
+
+  std::size_t size() const;
+
+  /// Event-loop counters reported by `stats`, when a server front end is
+  /// attached. Not owned.
+  const obs::ServeCounters *Server = nullptr;
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<std::unique_ptr<Tenant>> List;
+};
 
 /// Result of handling one request frame.
 struct RequestOutcome {
@@ -56,14 +152,26 @@ struct RequestOutcome {
   std::string Command = "?";
 };
 
-/// Executes one stird-wire-v1 request against \p Session: parses
-/// \p Payload, dispatches on "cmd", stamps the reply with "micros" and
-/// records the latency under the command name in \p Latency. Malformed or
-/// unknown requests yield {"ok":false,"error":...} replies — the
-/// connection stays usable.
+/// Executes one stird-wire request against the hosted tenants: parses
+/// \p Payload, routes on "tenant" (default tenant when absent), dispatches
+/// on "cmd", echoes "id" when present, stamps the reply with "micros" and
+/// records the latency under the command name in the tenant's aggregator.
+/// Malformed or unknown requests yield {"ok":false,"error":...} replies —
+/// the connection stays usable.
+RequestOutcome handleRequest(const TenantRegistry &Tenants,
+                             const std::string &Payload);
+
+/// Single-session convenience (the v1 entry point, kept for callers and
+/// tests that host exactly one session without a registry): dispatches
+/// against \p Session with latencies recorded in \p Latency and no
+/// query-result cache. "tenant" members are rejected here.
 RequestOutcome handleRequest(EngineSession &Session,
                              obs::LatencyAggregator &Latency,
                              const std::string &Payload);
+
+/// Builds the standard error reply document (used by the server for
+/// admission-control and framing errors that never reach dispatch).
+obs::json::Value errorReply(const std::string &Message);
 
 } // namespace stird::srv
 

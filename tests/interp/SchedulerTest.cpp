@@ -277,6 +277,57 @@ TEST(SchedulerTest, ManySmallJobsReuseTheWarmPool) {
   }
 }
 
+TEST(SchedulerTest, DetachedSubmitsAllExecute) {
+  // The serving-dispatch path: fire-and-forget jobs with no join barrier.
+  // Every submitted closure must run exactly once, from any submitter
+  // thread, interleaved with fork-join run() calls on the same pool.
+  Scheduler S(4);
+  constexpr std::size_t NumJobs = 500;
+  std::atomic<std::size_t> Ran{0};
+  std::vector<std::atomic<int>> PerJob(NumJobs);
+  for (auto &C : PerJob)
+    C.store(0, std::memory_order_relaxed);
+  for (std::size_t I = 0; I < NumJobs; ++I)
+    S.submit([&, I] {
+      PerJob[I].fetch_add(1, std::memory_order_relaxed);
+      Ran.fetch_add(1, std::memory_order_acq_rel);
+    });
+  // A barrier job on the same pool must not starve behind the detached
+  // backlog, and vice versa.
+  S.run(16, [](std::size_t, std::size_t) {});
+  while (Ran.load(std::memory_order_acquire) < NumJobs)
+    std::this_thread::yield();
+  for (std::size_t I = 0; I < NumJobs; ++I)
+    EXPECT_EQ(PerJob[I].load(), 1) << "detached job " << I;
+}
+
+TEST(SchedulerTest, DetachedSubmitFromWorkerAndExternalThreads) {
+  // submit() from inside a task (a worker thread) takes the own-deque
+  // path; from outside it goes through the injection queue. Both must
+  // execute exactly once.
+  Scheduler S(3);
+  constexpr std::size_t Outer = 24;
+  std::atomic<std::size_t> Ran{0};
+  S.run(Outer, [&](std::size_t, std::size_t) {
+    S.submit([&] { Ran.fetch_add(1, std::memory_order_acq_rel); });
+  });
+  std::thread External([&] {
+    for (int I = 0; I < 10; ++I)
+      S.submit([&] { Ran.fetch_add(1, std::memory_order_acq_rel); });
+  });
+  External.join();
+  while (Ran.load(std::memory_order_acquire) < Outer + 10)
+    std::this_thread::yield();
+  EXPECT_EQ(Ran.load(), Outer + 10);
+}
+
+TEST(SchedulerTest, SingleThreadedSubmitRunsInline) {
+  Scheduler S(1);
+  bool Ran = false;
+  S.submit([&] { Ran = true; });
+  EXPECT_TRUE(Ran) << "no workers: submit must execute inline";
+}
+
 TEST(SchedulerTest, TasksSeeSubmitterSideEffects) {
   // The fork-join barrier: writes made before run() are visible to every
   // task, and every task's writes are visible after run() returns.

@@ -1,0 +1,282 @@
+//===- tests/srv/ServerTest.cpp - Epoll server integration tests --------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event-loop server end to end, over real TCP sockets: pipelined v2
+/// conversations, reply ordering, many concurrent connections against one
+/// session (the serving layer's TSan subject), framing-violation replies,
+/// and the admission-control paths (connection cap, in-flight budget).
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "srv/Server.h"
+#include "srv/Session.h"
+#include "srv/Wire.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <cstring>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace stird;
+using namespace stird::srv;
+using obs::json::Value;
+
+namespace {
+
+constexpr const char *TcSource = R"(
+  .decl edge(a:number, b:number)
+  .decl path(a:number, b:number)
+  path(x, y) :- edge(x, y).
+  path(x, z) :- path(x, y), edge(y, z).
+)";
+
+/// A blocking client connection to a Server on 127.0.0.1.
+struct Client {
+  int Fd = -1;
+  explicit Client(int Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(Fd, 0);
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+    ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    EXPECT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                        sizeof(Addr)),
+              0)
+        << std::strerror(errno);
+  }
+  ~Client() { close(); }
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  void close() {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+  }
+
+  bool send(const std::string &Payload) { return writeFrame(Fd, Payload); }
+
+  /// Reads one reply frame and parses it; ADD_FAILUREs on transport or
+  /// JSON errors and returns a null Value.
+  Value recv() {
+    std::string Reply, Error;
+    if (!readFrame(Fd, Reply, &Error)) {
+      ADD_FAILURE() << "readFrame: "
+                    << (Error.empty() ? "connection closed" : Error);
+      return Value();
+    }
+    std::optional<Value> Doc = obs::json::parse(Reply);
+    if (!Doc) {
+      ADD_FAILURE() << "malformed reply: " << Reply;
+      return Value();
+    }
+    return std::move(*Doc);
+  }
+
+  Value roundTrip(const std::string &Payload) {
+    EXPECT_TRUE(send(Payload));
+    return recv();
+  }
+};
+
+bool okOf(const Value &Reply) {
+  const Value *Ok = Reply.find("ok");
+  return Ok && Ok->isBool() && Ok->asBool();
+}
+
+/// A Server over a fresh session, serving on a background thread.
+class ServerTest : public ::testing::Test {
+protected:
+  void boot(ServerOptions Options = {}) {
+    Session = EngineSession::fromSource(TcSource);
+    ASSERT_NE(Session, nullptr);
+    Srv = std::make_unique<Server>(*Session, Options);
+    std::string Error;
+    ASSERT_TRUE(Srv->start(&Error)) << Error;
+    Thread = std::thread([this] { Srv->serve(); });
+  }
+
+  void TearDown() override {
+    if (Srv)
+      Srv->stop();
+    if (Thread.joinable())
+      Thread.join();
+  }
+
+  std::unique_ptr<EngineSession> Session;
+  std::unique_ptr<Server> Srv;
+  std::thread Thread;
+};
+
+TEST_F(ServerTest, PipelinedRequestsReplyInOrderWithIds) {
+  boot();
+  Client C(Srv->boundPort());
+  ASSERT_TRUE(C.send(R"({"cmd":"load","facts":{"edge":[[1,2],[2,3]]},"id":0})"));
+  // Burst of pipelined queries before reading anything back.
+  for (int I = 1; I <= 8; ++I)
+    ASSERT_TRUE(C.send(
+        R"({"cmd":"query","relation":"path","pattern":[1,null],"id":)" +
+        std::to_string(I) + "}"));
+
+  const Value Load = C.recv();
+  ASSERT_TRUE(okOf(Load));
+  EXPECT_EQ(Load.find("id")->asNumber(), 0);
+  for (int I = 1; I <= 8; ++I) {
+    const Value R = C.recv();
+    ASSERT_TRUE(okOf(R));
+    EXPECT_EQ(R.find("id")->asNumber(), I) << "reply order must be "
+                                              "request order";
+    EXPECT_EQ(R.find("count")->asNumber(), 2);
+    // The load precedes every query in the pipeline, so each sees epoch 1.
+    EXPECT_EQ(R.find("epoch")->asNumber(), 1);
+  }
+}
+
+TEST_F(ServerTest, RepeatQueriesAreServedFromTheCache) {
+  boot();
+  Client C(Srv->boundPort());
+  ASSERT_TRUE(okOf(C.roundTrip(
+      R"({"cmd":"load","facts":{"edge":[[1,2],[2,3]]}})")));
+  const std::string Q =
+      R"({"cmd":"query","relation":"path","pattern":[1,null]})";
+  const Value Cold = C.roundTrip(Q);
+  ASSERT_TRUE(okOf(Cold));
+  EXPECT_FALSE(Cold.find("cached")->asBool());
+  const Value Warm = C.roundTrip(Q);
+  ASSERT_TRUE(okOf(Warm));
+  EXPECT_TRUE(Warm.find("cached")->asBool());
+
+  // A publish must invalidate: the same query recomputes at epoch 2.
+  ASSERT_TRUE(okOf(C.roundTrip(
+      R"({"cmd":"load","facts":{"edge":[[3,4]]}})")));
+  const Value Fresh = C.roundTrip(Q);
+  ASSERT_TRUE(okOf(Fresh));
+  EXPECT_FALSE(Fresh.find("cached")->asBool());
+  EXPECT_EQ(Fresh.find("count")->asNumber(), 3);
+}
+
+TEST_F(ServerTest, FramingViolationAnswersThenCloses) {
+  boot();
+  Client C(Srv->boundPort());
+  // A valid request pipelined before the poisoned frame still answers.
+  ASSERT_TRUE(C.send(R"({"cmd":"stats","id":1})"));
+  const unsigned char Huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(::write(C.Fd, Huge, 4), 4);
+
+  const Value Stats = C.recv();
+  EXPECT_TRUE(okOf(Stats));
+  const Value ProtoError = C.recv();
+  EXPECT_FALSE(okOf(ProtoError));
+  EXPECT_NE(ProtoError.find("error")->asString().find("protocol error"),
+            std::string::npos);
+  // ...and then the server closes the connection.
+  std::string Rest, Error = "sentinel";
+  EXPECT_FALSE(readFrame(C.Fd, Rest, &Error));
+  EXPECT_EQ(Error, "") << "expected clean EOF after a protocol error";
+}
+
+TEST_F(ServerTest, ConnectionCapClosesExtraConnections) {
+  ServerOptions Options;
+  Options.MaxConnections = 1;
+  boot(Options);
+  Client First(Srv->boundPort());
+  ASSERT_TRUE(okOf(First.roundTrip(R"({"cmd":"stats"})")));
+
+  Client Second(Srv->boundPort());
+  // The kernel completes the connect; the server closes it at accept.
+  std::string Reply, Error = "sentinel";
+  EXPECT_FALSE(readFrame(Second.Fd, Reply, &Error));
+  EXPECT_EQ(Error, "");
+  // The admitted connection keeps working.
+  EXPECT_TRUE(okOf(First.roundTrip(R"({"cmd":"stats"})")));
+  EXPECT_GE(Srv->counters().ConnectionsRejected.load(), 1u);
+}
+
+TEST_F(ServerTest, ZeroInFlightBudgetAnswersOverloaded) {
+  ServerOptions Options;
+  Options.MaxInFlightTotal = 0; // admission always refuses
+  boot(Options);
+  Client C(Srv->boundPort());
+  const Value R = C.roundTrip(R"({"cmd":"stats","id":3})");
+  EXPECT_FALSE(okOf(R));
+  EXPECT_NE(R.find("error")->asString().find("overloaded"),
+            std::string::npos);
+  EXPECT_TRUE(R.find("overloaded")->asBool());
+  EXPECT_GE(Srv->counters().RequestsOverloaded.load(), 1u);
+}
+
+TEST_F(ServerTest, ShutdownRequestDrainsAndStopsServe) {
+  boot();
+  {
+    Client C(Srv->boundPort());
+    ASSERT_TRUE(okOf(C.roundTrip(R"({"cmd":"shutdown"})")));
+  }
+  Thread.join(); // serve() must return on its own
+  Thread = std::thread([] {});
+}
+
+/// The serving layer's TSan stress: many connections pipelining loads and
+/// queries against one session concurrently with each other. Every reply
+/// must be well-formed, in order, and consistent with some published
+/// epoch.
+TEST_F(ServerTest, ManyConcurrentConnectionsStress) {
+  boot();
+  constexpr int NumClients = 32;
+  constexpr int RequestsPerClient = 12;
+
+  std::vector<std::thread> Clients;
+  std::atomic<int> OkReplies{0};
+  for (int T = 0; T < NumClients; ++T)
+    Clients.emplace_back([this, T, &OkReplies] {
+      Client C(Srv->boundPort());
+      if (C.Fd < 0)
+        return;
+      // Every client loads a private edge (disjoint node ranges, so no
+      // cross-client paths), then pipelines queries behind the load.
+      const int Base = 100 + 2 * T;
+      ASSERT_TRUE(C.send("{\"cmd\":\"load\",\"facts\":{\"edge\":[[" +
+                         std::to_string(Base) + "," +
+                         std::to_string(Base + 1) + "]]},\"id\":0}"));
+      for (int I = 1; I < RequestsPerClient; ++I)
+        ASSERT_TRUE(C.send(
+            R"({"cmd":"query","relation":"path","pattern":[)" +
+            std::to_string(Base) + R"(,null],"id":)" + std::to_string(I) +
+            "}"));
+      for (int I = 0; I < RequestsPerClient; ++I) {
+        const Value R = C.recv();
+        ASSERT_TRUE(okOf(R)) << R.dump();
+        ASSERT_NE(R.find("id"), nullptr);
+        EXPECT_EQ(R.find("id")->asNumber(), I);
+        if (I > 0) {
+          // Per-connection FIFO execution: the pipelined load published
+          // before any of this client's queries ran, so its edge must be
+          // visible — read-your-writes within a connection.
+          EXPECT_EQ(R.find("count")->asNumber(), 1) << R.dump();
+        }
+        OkReplies.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+
+  EXPECT_EQ(OkReplies.load(), NumClients * RequestsPerClient);
+  EXPECT_GE(Srv->counters().ConnectionsAccepted.load(),
+            static_cast<std::uint64_t>(NumClients));
+  EXPECT_EQ(Srv->counters().ProtocolErrors.load(), 0u);
+  // All clients loaded distinct edges into one session.
+  EXPECT_EQ(Session->epoch(), static_cast<std::uint64_t>(NumClients));
+}
+
+} // namespace

@@ -594,6 +594,141 @@ TEST(SessionTest, ConcurrentReadersObserveConsistentEpochs) {
   EXPECT_EQ(Session->query("path", Pattern(2)).size(), PathsAt(NumBatches));
 }
 
+//===----------------------------------------------------------------------===//
+// Query-result cache vs snapshot swaps
+//===----------------------------------------------------------------------===//
+
+/// One cache-aware query, the way the wire layer issues them: pin a
+/// snapshot, consult the cache at its epoch, fill on miss.
+std::size_t cachedCount(EngineSession &Session, QueryCache &Cache,
+                        const std::string &Relation, const Pattern &P,
+                        bool *WasHit = nullptr) {
+  Snapshot Snap = Session.snapshot();
+  const std::string Key = QueryCache::key(Relation, P);
+  if (std::shared_ptr<const QueryCache::CachedResult> Hit =
+          Cache.lookup(Key, Snap.epoch())) {
+    if (WasHit)
+      *WasHit = true;
+    return Hit->Count;
+  }
+  if (WasHit)
+    *WasHit = false;
+  auto Result = std::make_shared<QueryCache::CachedResult>();
+  Result->Count = Snap.query(Relation, P).size();
+  Cache.insert(Key, Snap.epoch(), Result);
+  return Result->Count;
+}
+
+/// The invalidation-equivalence contract: across every snapshot swap, a
+/// cache-mediated query must agree with a direct query against a fresh
+/// snapshot — hits and misses alike.
+TEST(SessionCacheTest, CachedQueriesStayEquivalentAcrossSwaps) {
+  auto Session = EngineSession::fromSource(TcSource);
+  ASSERT_NE(Session, nullptr);
+  QueryCache Cache;
+  Pattern From1(2);
+  From1[0] = 1;
+
+  for (RamDomain I = 1; I <= 6; ++I) {
+    Session->loadFacts(edgeBatch({{I, I + 1}}));
+    bool Hit = true;
+    const std::size_t Cold =
+        cachedCount(*Session, Cache, "path", From1, &Hit);
+    EXPECT_FALSE(Hit) << "epoch " << I << ": stale entry served after swap";
+    const std::size_t Warm =
+        cachedCount(*Session, Cache, "path", From1, &Hit);
+    EXPECT_TRUE(Hit) << "epoch " << I;
+    const std::size_t Direct = Session->query("path", From1).size();
+    EXPECT_EQ(Cold, Direct);
+    EXPECT_EQ(Warm, Direct);
+    EXPECT_EQ(Direct, static_cast<std::size_t>(I))
+        << "chain 1..N has N paths from node 1";
+  }
+
+  const QueryCache::Counters C = Cache.counters();
+  EXPECT_EQ(C.Hits, 6u);
+  EXPECT_EQ(C.Misses, 6u);
+  // Swaps 2..6 each dropped one populated entry; the first miss found an
+  // empty cache.
+  EXPECT_EQ(C.Invalidations, 5u);
+}
+
+TEST(SessionCacheTest, KeysDistinguishRelationsAndPatterns) {
+  Pattern A(2), B(2), C(2);
+  A[0] = 1;
+  B[1] = 1;
+  C[0] = 256; // same bytes as ordinal 1 under a naive 1-byte encoding
+  EXPECT_NE(QueryCache::key("path", A), QueryCache::key("edge", A));
+  EXPECT_NE(QueryCache::key("path", A), QueryCache::key("path", B));
+  EXPECT_NE(QueryCache::key("path", A), QueryCache::key("path", C));
+  EXPECT_NE(QueryCache::key("path", A), QueryCache::key("path", Pattern(2)));
+  EXPECT_EQ(QueryCache::key("path", A), QueryCache::key("path", A));
+}
+
+TEST(SessionCacheTest, StaleEpochInsertsAreDropped) {
+  auto Session = EngineSession::fromSource(TcSource);
+  ASSERT_NE(Session, nullptr);
+  Session->loadFacts(edgeBatch({{1, 2}}));
+  QueryCache Cache;
+  const Pattern Any(2);
+  const std::string Key = QueryCache::key("path", Any);
+
+  // A reader computed a result at epoch 1, but a publish to epoch 2 beat
+  // its insert: the stale result must not land.
+  EXPECT_EQ(Cache.lookup(Key, 2), nullptr);
+  auto Stale = std::make_shared<QueryCache::CachedResult>();
+  Stale->Count = 1;
+  Cache.insert(Key, 1, Stale);
+  EXPECT_EQ(Cache.lookup(Key, 2), nullptr)
+      << "insert from a superseded snapshot must be discarded";
+  EXPECT_EQ(Cache.counters().Entries, 0u);
+}
+
+/// The cache's TSan subject: concurrent cache-mediated readers against a
+/// publishing writer. Every count a reader observes — cached or not —
+/// must be one of the writer's published states.
+TEST(SessionCacheTest, ConcurrentCachedReadersSeeOnlyPublishedStates) {
+  auto Session = EngineSession::fromSource(TcSource);
+  ASSERT_NE(Session, nullptr);
+  QueryCache Cache;
+  constexpr std::size_t NumBatches = 16;
+  auto PathsAt = [](std::uint64_t Epoch) {
+    return static_cast<std::size_t>(Epoch * (Epoch + 1) / 2);
+  };
+
+  std::atomic<bool> Done{false};
+  std::atomic<std::size_t> Observations{0};
+  std::vector<std::thread> Readers;
+  for (int R = 0; R < 3; ++R)
+    Readers.emplace_back([&] {
+      const Pattern Any(2);
+      const std::string Key = QueryCache::key("path", Any);
+      while (!Done.load(std::memory_order_acquire)) {
+        Snapshot Snap = Session->snapshot();
+        std::size_t Count;
+        if (auto Hit = Cache.lookup(Key, Snap.epoch())) {
+          Count = Hit->Count;
+        } else {
+          auto Result = std::make_shared<QueryCache::CachedResult>();
+          Result->Count = Snap.query("path", Any).size();
+          Cache.insert(Key, Snap.epoch(), Result);
+          Count = Result->Count;
+        }
+        EXPECT_EQ(Count, PathsAt(Snap.epoch()));
+        Observations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  for (RamDomain I = 0; I < RamDomain(NumBatches); ++I)
+    Session->loadFacts(edgeBatch({{I, I + 1}}));
+  while (Observations.load(std::memory_order_relaxed) < 8)
+    std::this_thread::yield();
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Readers)
+    T.join();
+  EXPECT_GE(Observations.load(), 8u);
+}
+
 TEST(SessionTest, RelationMetadataListsDeclaredRelationsOnly) {
   auto Session = EngineSession::fromSource(TcSource);
   ASSERT_NE(Session, nullptr);

@@ -23,6 +23,7 @@
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
+#include <vector>
 
 using namespace stird;
 using namespace stird::srv;
@@ -115,6 +116,88 @@ TEST(WireFramingTest, OversizedFrameIsRejected) {
   std::string Read, Error;
   EXPECT_FALSE(readFrame(S.Fds[1], Read, &Error));
   EXPECT_NE(Error.find("exceeds"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// FrameDecoder
+//===----------------------------------------------------------------------===//
+
+TEST(FrameDecoderTest, ReassemblesFramesFedByteByByte) {
+  FrameDecoder Decoder(MaxFrameBytes);
+  const std::string Wire =
+      encodeFrame("first") + encodeFrame("") + encodeFrame("third");
+  std::vector<std::string> Frames;
+  for (char Byte : Wire) {
+    Decoder.feed(&Byte, 1);
+    std::string Payload;
+    while (Decoder.next(Payload) == FrameDecoder::Result::Frame)
+      Frames.push_back(Payload);
+  }
+  ASSERT_EQ(Frames, (std::vector<std::string>{"first", "", "third"}));
+  EXPECT_EQ(Decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, DrainsMultipleFramesFromOneFeed) {
+  FrameDecoder Decoder(MaxFrameBytes);
+  const std::string Wire = encodeFrame("a") + encodeFrame("bb");
+  Decoder.feed(Wire.data(), Wire.size());
+  std::string Payload;
+  ASSERT_EQ(Decoder.next(Payload), FrameDecoder::Result::Frame);
+  EXPECT_EQ(Payload, "a");
+  ASSERT_EQ(Decoder.next(Payload), FrameDecoder::Result::Frame);
+  EXPECT_EQ(Payload, "bb");
+  EXPECT_EQ(Decoder.next(Payload), FrameDecoder::Result::NeedMore);
+}
+
+TEST(FrameDecoderTest, TruncatedFrameStaysNeedMore) {
+  FrameDecoder Decoder(MaxFrameBytes);
+  const std::string Wire = encodeFrame("0123456789");
+  Decoder.feed(Wire.data(), Wire.size() - 3);
+  std::string Payload;
+  EXPECT_EQ(Decoder.next(Payload), FrameDecoder::Result::NeedMore);
+  Decoder.feed(Wire.data() + Wire.size() - 3, 3);
+  ASSERT_EQ(Decoder.next(Payload), FrameDecoder::Result::Frame);
+  EXPECT_EQ(Payload, "0123456789");
+}
+
+TEST(FrameDecoderTest, OversizedLengthPoisonsWithoutAllocating) {
+  // 0xFFFFFFFF would be a 4 GiB allocation if the guard ran after the
+  // resize; the decoder must reject on the prefix alone and stay poisoned.
+  FrameDecoder Decoder(MaxFrameBytes);
+  const unsigned char Header[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  Decoder.feed(reinterpret_cast<const char *>(Header), 4);
+  std::string Payload, Error;
+  EXPECT_EQ(Decoder.next(Payload, &Error), FrameDecoder::Result::Error);
+  EXPECT_NE(Error.find("exceeds"), std::string::npos);
+  EXPECT_TRUE(Decoder.poisoned());
+  // Further bytes are discarded, further next() calls keep erroring.
+  const std::string More = encodeFrame("valid");
+  Decoder.feed(More.data(), More.size());
+  EXPECT_EQ(Decoder.buffered(), 0u);
+  EXPECT_EQ(Decoder.next(Payload), FrameDecoder::Result::Error);
+}
+
+TEST(FrameDecoderTest, NegativeAsSignedLengthIsRejected) {
+  FrameDecoder Decoder(MaxFrameBytes);
+  const unsigned char Header[4] = {0x80, 0x00, 0x00, 0x01}; // -2^31+1 signed
+  Decoder.feed(reinterpret_cast<const char *>(Header), 4);
+  std::string Payload, Error;
+  EXPECT_EQ(Decoder.next(Payload, &Error), FrameDecoder::Result::Error);
+  EXPECT_TRUE(Decoder.poisoned());
+}
+
+TEST(FrameDecoderTest, HonorsACustomLimit) {
+  FrameDecoder Decoder(/*MaxBytes=*/8);
+  const std::string Small = encodeFrame("12345678");
+  Decoder.feed(Small.data(), Small.size());
+  std::string Payload;
+  ASSERT_EQ(Decoder.next(Payload), FrameDecoder::Result::Frame);
+  EXPECT_EQ(Payload, "12345678");
+
+  FrameDecoder Strict(/*MaxBytes=*/8);
+  const std::string Big = encodeFrame("123456789");
+  Strict.feed(Big.data(), Big.size());
+  EXPECT_EQ(Strict.next(Payload), FrameDecoder::Result::Error);
 }
 
 //===----------------------------------------------------------------------===//
@@ -211,8 +294,11 @@ TEST_F(WireRequestTest, QueryBindsPatternsAndReportsThePlan) {
       reply(R"({"cmd":"query","relation":"path","pattern":[1,null]})");
   ASSERT_TRUE(okOf(R)) << errorOf(R);
   EXPECT_EQ(R.find("count")->asNumber(), 3);
-  const auto &Tuples = R.find("tuples")->asArray();
-  for (const Value &Row : Tuples)
+  // Rendered tuples travel as a preserialized fragment; reparse its dump
+  // the way a wire client would.
+  std::optional<Value> Tuples = obs::json::parse(R.find("tuples")->dump());
+  ASSERT_TRUE(Tuples && Tuples->isArray());
+  for (const Value &Row : Tuples->asArray())
     EXPECT_EQ(Row.asArray()[0].asString(), "1");
   const Value *Plan = R.find("plan");
   ASSERT_NE(Plan, nullptr);
@@ -286,6 +372,143 @@ TEST_F(WireRequestTest, ShutdownFlagsTheConnection) {
   Shutdown = true;
   reply(R"({"cmd":"stats"})", &Shutdown);
   EXPECT_FALSE(Shutdown);
+}
+
+TEST_F(WireRequestTest, RequestIdsEchoVerbatim) {
+  const Value Num = reply(R"({"cmd":"stats","id":42})");
+  ASSERT_NE(Num.find("id"), nullptr);
+  EXPECT_EQ(Num.find("id")->asNumber(), 42);
+
+  const Value Str = reply(R"({"cmd":"stats","id":"req-7"})");
+  ASSERT_NE(Str.find("id"), nullptr);
+  EXPECT_EQ(Str.find("id")->asString(), "req-7");
+
+  // Ids ride along on error replies too — a pipelining client must be
+  // able to correlate failures.
+  const Value Bad = reply(R"({"cmd":"frobnicate","id":9})");
+  EXPECT_FALSE(okOf(Bad));
+  ASSERT_NE(Bad.find("id"), nullptr);
+  EXPECT_EQ(Bad.find("id")->asNumber(), 9);
+
+  // Non-scalar ids are a protocol error (and clearly have no id echo).
+  const Value Obj = reply(R"({"cmd":"stats","id":{}})");
+  EXPECT_FALSE(okOf(Obj));
+  EXPECT_NE(errorOf(Obj).find("\"id\""), std::string::npos);
+
+  // Requests without an id get no id member at all.
+  EXPECT_EQ(reply(R"({"cmd":"stats"})").find("id"), nullptr);
+}
+
+TEST_F(WireRequestTest, V1EndpointRejectsTenantRouting) {
+  const Value R = reply(R"({"cmd":"stats","tenant":"other"})");
+  EXPECT_FALSE(okOf(R));
+  EXPECT_NE(errorOf(R).find("tenant"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-tenant routing and the query cache
+//===----------------------------------------------------------------------===//
+
+class WireTenantTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    A = EngineSession::fromSource(TcSource);
+    B = EngineSession::fromSource(TcSource);
+    ASSERT_NE(A, nullptr);
+    ASSERT_NE(B, nullptr);
+    Tenants.add("default", *A);
+    Tenants.add("other", *B);
+  }
+
+  Value reply(const std::string &Payload) {
+    return handleRequest(Tenants, Payload).Reply;
+  }
+
+  static bool okOf(const Value &Reply) {
+    const Value *Ok = Reply.find("ok");
+    return Ok && Ok->isBool() && Ok->asBool();
+  }
+
+  std::unique_ptr<EngineSession> A, B;
+  TenantRegistry Tenants;
+};
+
+TEST_F(WireTenantTest, RequestsRouteByTenantName) {
+  reply(R"({"cmd":"load","facts":{"edge":[[1,2]]}})");
+  reply(R"({"cmd":"load","tenant":"other","facts":{"edge":[[1,2],[2,3]]}})");
+  EXPECT_EQ(A->epoch(), 1u);
+  EXPECT_EQ(B->epoch(), 1u);
+
+  const Value Qa = reply(R"({"cmd":"query","relation":"path"})");
+  const Value Qb =
+      reply(R"({"cmd":"query","tenant":"other","relation":"path"})");
+  ASSERT_TRUE(okOf(Qa));
+  ASSERT_TRUE(okOf(Qb));
+  EXPECT_EQ(Qa.find("count")->asNumber(), 1);
+  EXPECT_EQ(Qb.find("count")->asNumber(), 3);
+
+  const Value Unknown = reply(R"({"cmd":"stats","tenant":"nosuch"})");
+  EXPECT_FALSE(okOf(Unknown));
+  EXPECT_NE(Unknown.find("error")->asString().find("unknown tenant"),
+            std::string::npos);
+}
+
+TEST_F(WireTenantTest, StatsReportTenantsAndPerTenantCaches) {
+  reply(R"({"cmd":"load","facts":{"edge":[[1,2]]}})");
+  reply(R"({"cmd":"query","relation":"path","pattern":[1,null]})");
+  reply(R"({"cmd":"query","relation":"path","pattern":[1,null]})");
+
+  const Value R = reply(R"({"cmd":"stats"})");
+  ASSERT_TRUE(okOf(R));
+  EXPECT_EQ(R.find("tenant")->asString(), "default");
+  const auto &Names = R.find("tenants")->asArray();
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0].asString(), "default");
+  EXPECT_EQ(Names[1].asString(), "other");
+  const Value *Cache = R.find("cache");
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_EQ(Cache->find("hits")->asNumber(), 1);
+  EXPECT_EQ(Cache->find("misses")->asNumber(), 1);
+
+  // The other tenant's cache saw none of it.
+  const Value Rb = reply(R"({"cmd":"stats","tenant":"other"})");
+  EXPECT_EQ(Rb.find("cache")->find("hits")->asNumber(), 0);
+  EXPECT_EQ(Rb.find("cache")->find("misses")->asNumber(), 0);
+}
+
+TEST_F(WireTenantTest, RepeatedQueriesHitTheCacheWithIdenticalReplies) {
+  reply(R"({"cmd":"load","facts":{"edge":[[1,2],[2,3]]}})");
+  const std::string Q =
+      R"({"cmd":"query","relation":"path","pattern":[1,null]})";
+  Value Cold = reply(Q);
+  Value Warm = reply(Q);
+  ASSERT_TRUE(okOf(Cold));
+  ASSERT_TRUE(okOf(Warm));
+  EXPECT_FALSE(Cold.find("cached")->asBool());
+  EXPECT_TRUE(Warm.find("cached")->asBool());
+  // Identical payloads modulo the cache flag and timing.
+  for (const char *Member : {"tuples", "count", "epoch", "plan"}) {
+    ASSERT_NE(Cold.find(Member), nullptr) << Member;
+    ASSERT_NE(Warm.find(Member), nullptr) << Member;
+    EXPECT_EQ(Cold.find(Member)->dump(), Warm.find(Member)->dump())
+        << Member;
+  }
+}
+
+TEST_F(WireTenantTest, SnapshotPublishInvalidatesTheCache) {
+  reply(R"({"cmd":"load","facts":{"edge":[[1,2]]}})");
+  const std::string Q =
+      R"({"cmd":"query","relation":"path","pattern":[1,null]})";
+  reply(Q); // populate
+  EXPECT_TRUE(reply(Q).find("cached")->asBool());
+
+  // New batch -> new epoch -> the stale entry must not serve.
+  reply(R"({"cmd":"load","facts":{"edge":[[2,3]]}})");
+  const Value Fresh = reply(Q);
+  EXPECT_FALSE(Fresh.find("cached")->asBool());
+  EXPECT_EQ(Fresh.find("count")->asNumber(), 2)
+      << "invalidated cache must re-run against the new snapshot";
+  EXPECT_TRUE(reply(Q).find("cached")->asBool());
 }
 
 } // namespace

@@ -5,12 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// stird-client: a thin stird-wire-v1 client. Each positional argument is
+/// stird-client: a thin stird-wire-v2 client. Each positional argument is
 /// one JSON request (sent in order); with none, requests are read from
 /// stdin, one per line. Every reply prints on its own stdout line, so
 /// scripts (e.g. the CI serve-smoke job) can drive a server and assert on
-/// the replies. Exits nonzero on connection failures, protocol errors, or
-/// any {"ok":false} reply.
+/// the replies. --pipeline writes every request before reading any reply
+/// (tagging requests without one with a numeric "id") and checks the
+/// echoed ids come back in request order. Exits nonzero on connection
+/// failures, protocol errors, or any {"ok":false} reply.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -76,6 +78,9 @@ static int connectTcp(const std::string &Host, int Port) {
   return Fd;
 }
 
+static int printReply(const std::string &Reply,
+                      obs::json::Value *DocOut = nullptr);
+
 /// Sends one request and prints the reply line. Returns 0 on an ok reply,
 /// 1 on {"ok":false}, 2 on transport failure.
 static int roundTrip(int Fd, const std::string &Request) {
@@ -91,6 +96,11 @@ static int roundTrip(int Fd, const std::string &Request) {
                                : Error.c_str());
     return 2;
   }
+  return printReply(Reply);
+}
+
+/// Prints one reply and classifies it: 0 ok, 1 {"ok":false}, 2 malformed.
+static int printReply(const std::string &Reply, obs::json::Value *DocOut) {
   std::printf("%s\n", Reply.c_str());
   std::optional<obs::json::Value> Doc = obs::json::parse(Reply);
   if (!Doc) {
@@ -98,16 +108,77 @@ static int roundTrip(int Fd, const std::string &Request) {
     return 2;
   }
   const obs::json::Value *Ok = Doc->find("ok");
-  return (Ok && Ok->isBool() && Ok->asBool()) ? 0 : 1;
+  const int Status = (Ok && Ok->isBool() && Ok->asBool()) ? 0 : 1;
+  if (DocOut)
+    *DocOut = std::move(*Doc);
+  return Status;
+}
+
+/// Writes every request before reading any reply, exercising stird-wire-v2
+/// pipelining. Requests without an "id" get their 0-based index; the
+/// echoed ids must come back in request order.
+static int pipelineAll(int Fd, const std::vector<std::string> &Requests) {
+  std::vector<double> ExpectedIds;
+  std::string Error;
+  for (std::size_t I = 0; I < Requests.size(); ++I) {
+    std::optional<obs::json::Value> Doc = obs::json::parse(Requests[I]);
+    if (!Doc || !Doc->isObject()) {
+      std::fprintf(stderr, "stird-client: request %zu is not a JSON object\n",
+                   I);
+      return 2;
+    }
+    double Id = static_cast<double>(I);
+    if (const obs::json::Value *Existing = Doc->find("id")) {
+      if (!Existing->isNumber()) {
+        std::fprintf(stderr,
+                     "stird-client: --pipeline needs numeric ids "
+                     "(request %zu)\n",
+                     I);
+        return 2;
+      }
+      Id = Existing->asNumber();
+    } else {
+      Doc->set("id", Id);
+    }
+    ExpectedIds.push_back(Id);
+    if (!srv::writeFrame(Fd, Doc->dump(), &Error)) {
+      std::fprintf(stderr, "stird-client: %s\n", Error.c_str());
+      return 2;
+    }
+  }
+  int Status = 0;
+  for (std::size_t I = 0; I < Requests.size(); ++I) {
+    std::string Reply;
+    if (!srv::readFrame(Fd, Reply, &Error)) {
+      std::fprintf(stderr, "stird-client: %s\n",
+                   Error.empty() ? "server closed the connection"
+                                 : Error.c_str());
+      return 2;
+    }
+    obs::json::Value Doc;
+    const int R = printReply(Reply, &Doc);
+    Status = std::max(Status, R);
+    if (R == 2)
+      return 2;
+    const obs::json::Value *Id = Doc.find("id");
+    if (!Id || !Id->isNumber() || Id->asNumber() != ExpectedIds[I]) {
+      std::fprintf(stderr,
+                   "stird-client: reply %zu did not echo id %g in order\n",
+                   I, ExpectedIds[I]);
+      return 2;
+    }
+  }
+  return Status;
 }
 
 int main(int Argc, char **Argv) {
   std::string UnixPath, Host = "127.0.0.1", PortText;
   int Port = 0;
+  bool Pipeline = false;
   std::vector<std::string> Requests;
 
   util::Args Args("stird-client",
-                  "send stird-wire-v1 requests (args, or stdin lines)");
+                  "send stird-wire-v2 requests (args, or stdin lines)");
   Args.option({"--socket"}, "path", "connect to a Unix socket",
               tools::pathSink(UnixPath));
   Args.option({"--host"}, "addr", "TCP address (default 127.0.0.1)",
@@ -123,6 +194,9 @@ int main(int Argc, char **Argv) {
                 PortText = Value;
                 return "";
               });
+  Args.flag({"--pipeline"},
+            "send every request before reading any reply (auto-ids)",
+            [&Pipeline] { Pipeline = true; });
   Args.positional("request...",
                   [&Requests](const std::string &Value) {
                     Requests.push_back(Value);
@@ -142,20 +216,19 @@ int main(int Argc, char **Argv) {
   if (Fd < 0)
     return 2;
 
+  if (Requests.empty()) {
+    std::string Line;
+    while (std::getline(std::cin, Line))
+      if (!Line.empty())
+        Requests.push_back(Line);
+  }
+
   int Status = 0;
-  if (!Requests.empty()) {
+  if (Pipeline) {
+    Status = pipelineAll(Fd, Requests);
+  } else {
     for (const std::string &Request : Requests) {
       const int R = roundTrip(Fd, Request);
-      Status = std::max(Status, R);
-      if (R == 2)
-        break;
-    }
-  } else {
-    std::string Line;
-    while (std::getline(std::cin, Line)) {
-      if (Line.empty())
-        continue;
-      const int R = roundTrip(Fd, Line);
       Status = std::max(Status, R);
       if (R == 2)
         break;

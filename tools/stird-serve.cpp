@@ -5,9 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// stird-serve: compiles a Datalog program once, keeps its de-specialized
-/// relations resident, and serves stird-wire-v1 requests (load / query /
-/// stats / shutdown) over a Unix or TCP socket. See docs/wire-protocol.md.
+/// stird-serve: compiles one or more Datalog programs once, keeps their
+/// de-specialized relations resident, and serves stird-wire-v2 requests
+/// (load / query / stats / shutdown) over a Unix or TCP socket through an
+/// epoll event loop. The positional program becomes the "default" tenant;
+/// --tenant name=path hosts additional sessions behind the same endpoint,
+/// addressed by the request's "tenant" member. See docs/wire-protocol.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,19 +21,31 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace stird;
+
+static std::string parseCount(const std::string &Value, std::size_t &Out) {
+  char *End = nullptr;
+  const long long N = std::strtoll(Value.c_str(), &End, 10);
+  if (End == Value.c_str() || *End != '\0' || N <= 0)
+    return "expected a positive count, got '" + Value + "'";
+  Out = static_cast<std::size_t>(N);
+  return "";
+}
 
 int main(int Argc, char **Argv) {
   std::string ProgramPath;
   srv::SessionOptions Session;
   srv::ServerOptions Server;
   std::string PortText;
+  std::vector<std::pair<std::string, std::string>> TenantSpecs;
 
   util::Args Args("stird-serve",
-                  "serve a resident Datalog program over a socket");
+                  "serve resident Datalog programs over a socket");
   Args.positional("program.dl", tools::pathSink(ProgramPath));
   Args.option({"--socket"}, "path", "listen on a Unix socket at this path",
               tools::pathSink(Server.UnixPath));
@@ -47,6 +62,46 @@ int main(int Argc, char **Argv) {
                 PortText = Value;
                 return "";
               });
+  Args.option({"--tenant"}, "name=program.dl",
+              "host an additional session, addressed by request \"tenant\"",
+              [&TenantSpecs](const std::string &Value) -> std::string {
+                const std::size_t Eq = Value.find('=');
+                if (Eq == 0 || Eq == std::string::npos ||
+                    Eq + 1 == Value.size())
+                  return "expected name=program.dl, got '" + Value + "'";
+                TenantSpecs.emplace_back(Value.substr(0, Eq),
+                                         Value.substr(Eq + 1));
+                return "";
+              });
+  Args.option({"--backlog"}, "n", "listen(2) backlog (default SOMAXCONN)",
+              [&Server](const std::string &Value) -> std::string {
+                std::size_t N = 0;
+                const std::string E = parseCount(Value, N);
+                if (E.empty())
+                  Server.Backlog = static_cast<int>(N);
+                return E;
+              });
+  Args.option({"--max-connections"}, "n",
+              "close connections beyond this many (default 8192)",
+              [&Server](const std::string &Value) {
+                return parseCount(Value, Server.MaxConnections);
+              });
+  Args.option({"--max-inflight"}, "n",
+              "total in-flight request budget before admission control "
+              "answers \"overloaded\" (default 1024)",
+              [&Server](const std::string &Value) {
+                return parseCount(Value, Server.MaxInFlightTotal);
+              });
+  Args.option({"--max-inflight-per-connection"}, "n",
+              "pipelining window per connection (default 32)",
+              [&Server](const std::string &Value) {
+                return parseCount(Value, Server.MaxInFlightPerConnection);
+              });
+  Args.option({"--pool-threads"}, "n",
+              "request-execution pool size (default: session threads)",
+              [&Server](const std::string &Value) {
+                return parseCount(Value, Server.PoolThreads);
+              });
   Args.flag({"--run-io"},
             "execute the program's .input/.output directives at bootstrap",
             [&Session] { Session.RunIo = true; });
@@ -62,29 +117,54 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  std::vector<std::string> Errors;
-  std::unique_ptr<srv::EngineSession> Sess =
-      srv::EngineSession::fromFile(ProgramPath, Session, &Errors);
-  if (!Sess) {
-    for (const std::string &Message : Errors)
-      std::fprintf(stderr, "error: %s\n", Message.c_str());
+  auto boot = [&Session](const std::string &Path)
+      -> std::unique_ptr<srv::EngineSession> {
+    std::vector<std::string> Errors;
+    std::unique_ptr<srv::EngineSession> Sess =
+        srv::EngineSession::fromFile(Path, Session, &Errors);
+    if (!Sess)
+      for (const std::string &Message : Errors)
+        std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
+                     Message.c_str());
+    return Sess;
+  };
+
+  std::vector<std::unique_ptr<srv::EngineSession>> Sessions;
+  srv::TenantRegistry Tenants;
+  std::unique_ptr<srv::EngineSession> Default = boot(ProgramPath);
+  if (!Default)
     return 1;
+  Tenants.add("default", *Default);
+  Sessions.push_back(std::move(Default));
+  for (const auto &[Name, Path] : TenantSpecs) {
+    if (Tenants.find(Name)) {
+      std::fprintf(stderr, "stird-serve: duplicate tenant '%s'\n",
+                   Name.c_str());
+      return 1;
+    }
+    std::unique_ptr<srv::EngineSession> Sess = boot(Path);
+    if (!Sess)
+      return 1;
+    Tenants.add(Name, *Sess);
+    Sessions.push_back(std::move(Sess));
   }
 
-  srv::Server Srv(*Sess, Server);
+  srv::Server Srv(Tenants, Server);
   std::string Error;
   if (!Srv.start(&Error)) {
     std::fprintf(stderr, "stird-serve: %s\n", Error.c_str());
     return 1;
   }
+  const srv::EngineSession &Sess = *Tenants.defaultTenant()->Session;
   if (!Server.UnixPath.empty())
-    std::fprintf(stderr, "stird-serve: listening on %s (%s)\n",
-                 Server.UnixPath.c_str(),
-                 Sess->isIncremental() ? "incremental" : "re-evaluating");
+    std::fprintf(stderr, "stird-serve: listening on %s (%zu tenants, %s)\n",
+                 Server.UnixPath.c_str(), Tenants.size(),
+                 Sess.isIncremental() ? "incremental" : "re-evaluating");
   else
-    std::fprintf(stderr, "stird-serve: listening on %s:%d (%s)\n",
-                 Server.Host.c_str(), Srv.boundPort(),
-                 Sess->isIncremental() ? "incremental" : "re-evaluating");
+    std::fprintf(stderr,
+                 "stird-serve: listening on %s:%d (%zu tenants, %s)\n",
+                 Server.Host.c_str(), Srv.boundPort(), Tenants.size(),
+                 Sess.isIncremental() ? "incremental" : "re-evaluating");
   std::fflush(stderr);
 
   Srv.serve();
