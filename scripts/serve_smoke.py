@@ -13,7 +13,11 @@ protocol end to end — not just exit codes:
  2. a small load generator speaking the framing directly over several
     concurrent connections, recording per-request round-trip latency
     and writing a JSON artifact (p50/p99/max) for CI to upload;
- 3. a clean shutdown that terminates the server.
+ 3. a scrape of the --metrics-port Prometheus endpoint, validated with
+    check_observability.py --metrics and cross-checked against the
+    conversation (request counts, cache hits); the exposition is written
+    next to the latency artifact for CI to upload;
+ 4. a clean shutdown that terminates the server.
 
 Usage: scripts/serve_smoke.py <stird-serve> <stird-client> [latency.json]
 """
@@ -25,7 +29,12 @@ import subprocess
 import sys
 import tempfile
 import time
+import urllib.error
+import urllib.request
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import check_observability
 
 EDGES = [[1, 2], [2, 3], [3, 4], [4, 5]]
 LOADGEN_CONNECTIONS = 8
@@ -117,6 +126,49 @@ def load_generator(socket_path, artifact):
     return summary
 
 
+def free_tcp_port():
+    """A TCP port that was free a moment ago (fine for a CI smoke run)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def scrape_metrics(port, expected_requests, artifact, tmp):
+    """Fetches /metrics, validates the exposition and cross-checks it
+    against the conversation that just happened."""
+    url = f"http://127.0.0.1:{port}/metrics"
+    with urllib.request.urlopen(url, timeout=30) as response:
+        if response.status != 200:
+            fail(f"metrics endpoint answered {response.status}")
+        content_type = response.headers.get("Content-Type", "")
+        if not content_type.startswith("text/plain; version=0.0.4"):
+            fail(f"unexpected metrics content type: {content_type}")
+        text = response.read().decode()
+
+    scrape_path = Path(tmp) / "metrics.txt"
+    scrape_path.write_text(text)
+    totals = check_observability.check_metrics(str(scrape_path))
+
+    if totals.get("stird_requests_dispatched_total") != expected_requests:
+        fail(f"expected {expected_requests} dispatched requests, endpoint "
+             f"reports {totals.get('stird_requests_dispatched_total')}")
+    if totals.get("stird_cache_hits_total", 0) < 1:
+        fail("endpoint reports no cache hits after the repeat queries")
+    if "stird_request_latency_micros_bucket" not in text:
+        fail("no latency histogram in the scrape")
+    if artifact:
+        Path(artifact).parent.mkdir(parents=True, exist_ok=True)
+        (Path(artifact).parent / "metrics.txt").write_text(text)
+
+    # Anything but GET /metrics is a 404, not a hang or a crash.
+    try:
+        urllib.request.urlopen(f"http://127.0.0.1:{port}/other", timeout=30)
+        fail("unknown metrics target did not answer 404")
+    except urllib.error.HTTPError as error:
+        if error.code != 404:
+            fail(f"unknown metrics target answered {error.code}")
+
+
 def main():
     if len(sys.argv) not in (3, 4):
         fail(f"usage: {sys.argv[0]} <stird-serve> <stird-client> "
@@ -128,8 +180,10 @@ def main():
 
     with tempfile.TemporaryDirectory() as tmp:
         socket_path = str(Path(tmp) / "stird.sock")
+        metrics_port = free_tcp_port()
         server = subprocess.Popen(
-            [serve, str(program), "--socket", socket_path],
+            [serve, str(program), "--socket", socket_path,
+             "--metrics-port", str(metrics_port)],
             stderr=subprocess.PIPE,
             text=True,
         )
@@ -219,6 +273,9 @@ def main():
 
             summary = load_generator(socket_path, artifact)
 
+            scrape_metrics(metrics_port,
+                           len(requests) + LOADGEN_QUERIES, artifact, tmp)
+
             shutdown = subprocess.run(
                 [client, "--socket", socket_path,
                  json.dumps({"cmd": "shutdown"})],
@@ -240,7 +297,8 @@ def main():
           f"({len(EDGES)} edges -> {len(expected_paths(EDGES))} paths, "
           "pipelined load/query/stats round-tripped, "
           f"load-gen p99 {summary['p99_us']}us over "
-          f"{LOADGEN_CONNECTIONS} connections, clean shutdown)")
+          f"{LOADGEN_CONNECTIONS} connections, "
+          "metrics scrape validated, clean shutdown)")
 
 
 if __name__ == "__main__":

@@ -27,7 +27,25 @@ thread_local WorkerTls Tls;
 /// only affects load balance, never results.
 thread_local std::uint64_t StealSeed = 0x9e3779b97f4a7c15ULL;
 
+/// How the entry currently executing on this thread was obtained; Inline
+/// outside any task body.
+thread_local EntrySource CurrentSource = EntrySource::Inline;
+
 } // namespace
+
+const char *entrySourceName(EntrySource Source) {
+  switch (Source) {
+  case EntrySource::Inline:
+    return "inline";
+  case EntrySource::Own:
+    return "own";
+  case EntrySource::Injected:
+    return "injected";
+  case EntrySource::Stolen:
+    return "stolen";
+  }
+  return "?";
+}
 
 //===----------------------------------------------------------------------===//
 // WorkStealingDeque
@@ -133,8 +151,25 @@ std::size_t Scheduler::currentSlot() const {
   return Tls.Owner == this ? Tls.Index + 1 : 0;
 }
 
+EntrySource Scheduler::currentEntrySource() { return CurrentSource; }
+
+SchedulerTelemetry Scheduler::telemetry() const {
+  SchedulerTelemetry T;
+  T.Jobs = CtrJobs.load(std::memory_order_relaxed);
+  T.Submitted = CtrSubmitted.load(std::memory_order_relaxed);
+  T.ExecutedOwn = CtrOwn.load(std::memory_order_relaxed);
+  T.ExecutedInjected = CtrInjected.load(std::memory_order_relaxed);
+  T.ExecutedStolen = CtrStolen.load(std::memory_order_relaxed);
+  T.ExecutedInline = CtrInline.load(std::memory_order_relaxed);
+  T.Tasks = T.ExecutedOwn + T.ExecutedInjected + T.ExecutedStolen +
+            T.ExecutedInline;
+  T.QueueDepth = CtrQueueDepth.load(std::memory_order_relaxed);
+  return T;
+}
+
 void Scheduler::runInline(std::size_t NumTasks, const TaskFn &Fn) {
   const std::size_t Slot = currentSlot();
+  CtrInline.fetch_add(NumTasks, std::memory_order_relaxed);
   for (std::size_t I = 0; I < NumTasks; ++I)
     Fn(I, Slot);
 }
@@ -171,6 +206,8 @@ void Scheduler::run(std::size_t NumTasks, const TaskFn &Fn) {
 
   // Publish the task entries. A worker pushes onto its own deque (the
   // pool steals from it); an external thread uses the injection queue.
+  CtrJobs.fetch_add(1, std::memory_order_relaxed);
+  CtrQueueDepth.fetch_add(NumTasks, std::memory_order_relaxed);
   const std::uint64_t Tag = static_cast<std::uint64_t>(Slot) << 48;
   if (Tls.Owner == this) {
     WorkStealingDeque &Own = *Deques[Tls.Index];
@@ -200,18 +237,36 @@ void Scheduler::run(std::size_t NumTasks, const TaskFn &Fn) {
   JobSlots[Slot].store(nullptr, std::memory_order_release);
 }
 
-void Scheduler::runEntry(std::uint64_t Entry) {
+void Scheduler::runEntry(std::uint64_t Entry, EntrySource Source) {
   const std::size_t Slot = static_cast<std::size_t>(Entry >> 48);
   const std::size_t Task = static_cast<std::size_t>(Entry & TaskMask);
   Job *J = JobSlots[Slot].load(std::memory_order_acquire);
   assert(J && "deque entry outlived its job slot");
+  CtrQueueDepth.fetch_sub(1, std::memory_order_relaxed);
+  switch (Source) {
+  case EntrySource::Own:
+    CtrOwn.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case EntrySource::Injected:
+    CtrInjected.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case EntrySource::Stolen:
+    CtrStolen.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case EntrySource::Inline:
+    CtrInline.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
   const TaskFn *Fn = J->Fn;
   // Read everything needed for completion *before* the fetch_add: the
   // submitter may observe the final count and destroy the Job (its stack
   // frame) the moment the add lands.
   const std::size_t Total = J->NumTasks;
   const bool Detached = J->Detached;
+  const EntrySource Outer = CurrentSource;
+  CurrentSource = Source;
   (*Fn)(Task, currentSlot());
+  CurrentSource = Outer;
   if (J->Executed.fetch_add(1, std::memory_order_acq_rel) + 1 == Total) {
     if (Detached) {
       // Nobody waits on a detached job: recycle the slot (no remaining
@@ -229,7 +284,9 @@ void Scheduler::runEntry(std::uint64_t Entry) {
 }
 
 void Scheduler::submit(std::function<void()> Fn) {
+  CtrSubmitted.fetch_add(1, std::memory_order_relaxed);
   if (Workers.empty()) {
+    CtrInline.fetch_add(1, std::memory_order_relaxed);
     Fn();
     return;
   }
@@ -251,11 +308,13 @@ void Scheduler::submit(std::function<void()> Fn) {
   }
   if (Slot == MaxJobs) {
     // Full job table: degrade to inline execution, like run() does.
+    CtrInline.fetch_add(1, std::memory_order_relaxed);
     J->Owned(0, currentSlot());
     return;
   }
   J->SlotIndex = Slot;
 
+  CtrQueueDepth.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t Entry = static_cast<std::uint64_t>(Slot) << 48;
   if (Tls.Owner == this) {
     Deques[Tls.Index]->push(Entry);
@@ -305,15 +364,15 @@ bool Scheduler::trySteal(std::uint64_t &Entry) {
 bool Scheduler::tryRunOne() {
   std::uint64_t Entry;
   if (Tls.Owner == this && Deques[Tls.Index]->pop(Entry)) {
-    runEntry(Entry);
+    runEntry(Entry, EntrySource::Own);
     return true;
   }
   if (grabInjected(Entry)) {
-    runEntry(Entry);
+    runEntry(Entry, EntrySource::Injected);
     return true;
   }
   if (trySteal(Entry)) {
-    runEntry(Entry);
+    runEntry(Entry, EntrySource::Stolen);
     return true;
   }
   return false;

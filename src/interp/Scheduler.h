@@ -94,6 +94,30 @@ private:
   std::vector<std::unique_ptr<Ring>> Retired;
 };
 
+/// How the executing thread came to hold a task entry. Inline means the
+/// entry never went through a deque (no workers, single task, or a full
+/// job table); Own is a worker popping its own deque; Injected is an
+/// external submission grabbed from the injection queue; Stolen is a
+/// Chase–Lev steal from a sibling's deque.
+enum class EntrySource : unsigned { Inline, Own, Injected, Stolen };
+
+/// The string forms "inline"/"own"/"injected"/"stolen".
+const char *entrySourceName(EntrySource Source);
+
+/// A coherent-enough snapshot of the scheduler's counters, for the stats
+/// command and the Prometheus renderer. All counters are monotonic except
+/// QueueDepth, a gauge of published-but-not-yet-started entries.
+struct SchedulerTelemetry {
+  std::uint64_t Jobs = 0;      ///< run() jobs that went through the pool
+  std::uint64_t Submitted = 0; ///< detached submit() jobs dispatched
+  std::uint64_t Tasks = 0;     ///< task entries executed, any source
+  std::uint64_t ExecutedOwn = 0;
+  std::uint64_t ExecutedInjected = 0;
+  std::uint64_t ExecutedStolen = 0; ///< == successful steals
+  std::uint64_t ExecutedInline = 0;
+  std::uint64_t QueueDepth = 0;
+};
+
 /// The morsel scheduler: NumThreads - 1 worker threads plus whatever
 /// thread calls run(). One Scheduler serves a whole Program — every engine
 /// made from the program at the same -jN shares it, so resident serving
@@ -139,6 +163,19 @@ public:
   /// call is then blocking, but never lost.
   void submit(std::function<void()> Fn);
 
+  /// Counter snapshot (relaxed loads; see SchedulerTelemetry).
+  SchedulerTelemetry telemetry() const;
+
+  /// The slot executing on the calling thread: worker index + 1, or 0 for
+  /// external threads. Stable across the scheduler's lifetime — the same
+  /// convention as run()'s Slot argument and trace tracks.
+  std::size_t executingSlot() const { return currentSlot(); }
+
+  /// How the task entry currently executing on this thread reached it.
+  /// Meaningful only inside a task body (request handlers use it for
+  /// steal attribution in traces); Inline otherwise.
+  static EntrySource currentEntrySource();
+
 private:
   /// In-flight jobs are slots in a fixed table so deque entries can name
   /// them in 16 bits. 64 concurrent jobs is far beyond any real nesting
@@ -168,8 +205,9 @@ private:
   /// queue, or a steal). Returns false when nothing was available.
   bool tryRunOne();
   /// Decodes and executes one deque entry, bumping its job's completion
-  /// count and waking the submitter on the last task.
-  void runEntry(std::uint64_t Entry);
+  /// count and waking the submitter on the last task. \p Source records
+  /// how this thread obtained the entry.
+  void runEntry(std::uint64_t Entry, EntrySource Source);
   bool grabInjected(std::uint64_t &Entry);
   bool trySteal(std::uint64_t &Entry);
   /// The calling thread's slot: worker index + 1, or 0 for externals.
@@ -198,6 +236,18 @@ private:
   std::mutex DoneM;
   std::condition_variable DoneCV;
   std::atomic<bool> Stop{false};
+
+  /// Telemetry counters (relaxed; monitoring only, never control flow).
+  /// CtrQueueDepth counts published-but-not-started entries: bumped when
+  /// entries land in a deque or the injection queue, dropped when
+  /// runEntry() picks one up. Inline executions never touch it.
+  std::atomic<std::uint64_t> CtrJobs{0};
+  std::atomic<std::uint64_t> CtrSubmitted{0};
+  std::atomic<std::uint64_t> CtrOwn{0};
+  std::atomic<std::uint64_t> CtrInjected{0};
+  std::atomic<std::uint64_t> CtrStolen{0};
+  std::atomic<std::uint64_t> CtrInline{0};
+  std::atomic<std::uint64_t> CtrQueueDepth{0};
 };
 
 } // namespace stird::interp

@@ -1,0 +1,92 @@
+//===- obs/Histogram.cpp - Log-bucketed latency histograms ----------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Histogram.h"
+
+namespace stird::obs {
+
+std::uint64_t Histogram::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q <= 0.0)
+    return Min;
+  if (Q > 1.0)
+    Q = 1.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(Q * Count), with rank at least 1.
+  std::uint64_t Rank =
+      static_cast<std::uint64_t>(Q * static_cast<double>(Count));
+  if (static_cast<double>(Rank) < Q * static_cast<double>(Count))
+    ++Rank;
+  if (Rank == 0)
+    Rank = 1;
+  std::uint64_t Cumulative = 0;
+  for (std::size_t I = 0; I < NumBuckets; ++I) {
+    Cumulative += Counts[I];
+    if (Cumulative >= Rank) {
+      // The exact extremes tighten the outermost buckets: the lowest
+      // bucket cannot report below Min, and no bucket reports above Max.
+      std::uint64_t High = upperBound(I);
+      if (High > Max)
+        High = Max;
+      if (High < Min)
+        High = Min;
+      return High;
+    }
+  }
+  return Max;
+}
+
+json::Value Histogram::toJson() const {
+  json::Object O;
+  O.emplace_back("count", json::Value(static_cast<double>(Count)));
+  O.emplace_back("total_micros", json::Value(static_cast<double>(Sum)));
+  O.emplace_back("min_micros", json::Value(static_cast<double>(min())));
+  O.emplace_back("max_micros", json::Value(static_cast<double>(Max)));
+  O.emplace_back("mean_micros", json::Value(mean()));
+  O.emplace_back("p50_micros",
+                 json::Value(static_cast<double>(quantile(0.50))));
+  O.emplace_back("p90_micros",
+                 json::Value(static_cast<double>(quantile(0.90))));
+  O.emplace_back("p99_micros",
+                 json::Value(static_cast<double>(quantile(0.99))));
+  O.emplace_back("p999_micros",
+                 json::Value(static_cast<double>(quantile(0.999))));
+  return json::Value(std::move(O));
+}
+
+void AtomicHistogram::mergeInto(Histogram &Out) const {
+  if (Count.load(std::memory_order_relaxed) == 0)
+    return;
+  // Reconstruct a plain histogram from the atomic counters, then merge.
+  // The bucket array drives Count (so quantile ranks always match the
+  // cumulative bucket sums); Sum/Min/Max are read independently, so under
+  // concurrent writers the snapshot may be off by the in-flight records,
+  // which monitoring tolerates.
+  Histogram Snapshot;
+  std::uint64_t BucketTotal = 0;
+  for (std::size_t I = 0; I < NumBuckets; ++I) {
+    const std::uint64_t C = Counts[I].load(std::memory_order_relaxed);
+    if (C == 0)
+      continue;
+    BucketTotal += C;
+    Snapshot.Counts[I] = C;
+  }
+  Snapshot.Count = BucketTotal;
+  Snapshot.Sum = Sum.load(std::memory_order_relaxed);
+  Snapshot.Min = Min.load(std::memory_order_relaxed);
+  Snapshot.Max = Max.load(std::memory_order_relaxed);
+  Out.merge(Snapshot);
+}
+
+unsigned threadShardTag() {
+  static std::atomic<unsigned> NextTag{0};
+  thread_local unsigned Tag =
+      NextTag.fetch_add(1, std::memory_order_relaxed);
+  return Tag;
+}
+
+} // namespace stird::obs

@@ -1,0 +1,211 @@
+//===- obs/Histogram.h - Log-bucketed latency histograms --------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HdrHistogram-style log-linear histograms for serving telemetry: values
+/// land in power-of-two buckets split into SubBucketCount linear
+/// sub-buckets, so any recorded value is off by at most 1/SubBucketCount
+/// (~3.1%) of itself and the whole range [0, 2^32) microseconds fits in a
+/// few KB of counters. Three layers share the bucket geometry:
+///
+///  - Histogram: plain counters, single-writer. The merge target and the
+///    form every reader consumes (quantiles, JSON, Prometheus buckets).
+///  - AtomicHistogram: relaxed-atomic counters; record() never takes a
+///    lock, so any number of threads may record concurrently.
+///  - ShardedHistogram: NumShards AtomicHistograms indexed by a sticky
+///    per-thread tag, so concurrent recorders do not even contend on
+///    cache lines. Merged on read — the RelationStats idiom (per-worker
+///    blocks, merge at the observation point) applied to latencies.
+///
+/// Quantiles are exact with respect to the bucket resolution: quantile(q)
+/// returns the inclusive upper bound of the bucket holding the rank-q
+/// value, so the true value is within one bucket (<= 1/32 relative error)
+/// of the report, and a merged histogram reports exactly what a single
+/// histogram fed the union of the samples would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_OBS_HISTOGRAM_H
+#define STIRD_OBS_HISTOGRAM_H
+
+#include "obs/Json.h"
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace stird::obs {
+
+/// Shared bucket geometry. Values are clamped to MaxValue (2^32 - 1; in
+/// microseconds that is ~71 minutes, far beyond any request latency).
+struct HistogramBuckets {
+  /// log2 of the linear sub-buckets per power-of-two range.
+  static constexpr unsigned SubBucketBits = 5;
+  static constexpr std::uint64_t SubBucketCount = std::uint64_t(1)
+                                                  << SubBucketBits;
+  static constexpr std::uint64_t MaxValue =
+      (std::uint64_t(1) << 32) - 1;
+  /// Highest exponent of a clamped value (bit 31) gives the last shift.
+  static constexpr std::size_t NumBuckets =
+      (31 - SubBucketBits + 2) * SubBucketCount;
+
+  /// The bucket index of \p Value (clamped). Index order is value order.
+  static std::size_t index(std::uint64_t Value) {
+    if (Value > MaxValue)
+      Value = MaxValue;
+    if (Value < SubBucketCount)
+      return static_cast<std::size_t>(Value);
+    const unsigned Exp = 63 - static_cast<unsigned>(__builtin_clzll(Value));
+    const unsigned Shift = Exp - SubBucketBits;
+    const std::uint64_t Sub = (Value >> Shift) - SubBucketCount;
+    return static_cast<std::size_t>((Shift + 1) * SubBucketCount + Sub);
+  }
+
+  /// Smallest value landing in bucket \p I.
+  static std::uint64_t lowerBound(std::size_t I) {
+    if (I < SubBucketCount)
+      return I;
+    const std::uint64_t Shift = I / SubBucketCount - 1;
+    const std::uint64_t Sub = I % SubBucketCount;
+    return (Sub + SubBucketCount) << Shift;
+  }
+
+  /// Largest value landing in bucket \p I (inclusive).
+  static std::uint64_t upperBound(std::size_t I) {
+    if (I < SubBucketCount)
+      return I;
+    const std::uint64_t Shift = I / SubBucketCount - 1;
+    return lowerBound(I) + (std::uint64_t(1) << Shift) - 1;
+  }
+};
+
+/// Plain (non-atomic) log-bucketed histogram: the single-writer and
+/// merged-read form. Count/Sum/Min/Max are exact (not bucketized), so the
+/// LatencySummary-compatible JSON fields stay exact after the swap.
+class Histogram : public HistogramBuckets {
+public:
+  void record(std::uint64_t Value) {
+    ++Counts[index(Value)];
+    ++Count;
+    Sum += Value;
+    if (Value < Min)
+      Min = Value;
+    if (Value > Max)
+      Max = Value;
+  }
+
+  void merge(const Histogram &Other) {
+    for (std::size_t I = 0; I < NumBuckets; ++I)
+      Counts[I] += Other.Counts[I];
+    Count += Other.Count;
+    Sum += Other.Sum;
+    if (Other.Count != 0) {
+      if (Other.Min < Min)
+        Min = Other.Min;
+      if (Other.Max > Max)
+        Max = Other.Max;
+    }
+  }
+
+  std::uint64_t count() const { return Count; }
+  std::uint64_t sum() const { return Sum; }
+  std::uint64_t min() const { return Count == 0 ? 0 : Min; }
+  std::uint64_t max() const { return Max; }
+  double mean() const {
+    return Count == 0 ? 0.0
+                      : static_cast<double>(Sum) / static_cast<double>(Count);
+  }
+  std::uint64_t bucketCount(std::size_t I) const { return Counts[I]; }
+
+  /// The inclusive upper bound of the bucket holding the value of rank
+  /// ceil(q * count) (nearest-rank); 0 on an empty histogram. Exact Min
+  /// and Max tighten the extreme quantiles.
+  std::uint64_t quantile(double Q) const;
+
+  /// {"count","total_micros","min_micros","max_micros","mean_micros"} —
+  /// the exact LatencySummary schema — plus "p50_micros", "p90_micros",
+  /// "p99_micros" and "p999_micros".
+  json::Value toJson() const;
+
+private:
+  friend class AtomicHistogram;
+
+  std::uint64_t Count = 0;
+  std::uint64_t Sum = 0;
+  std::uint64_t Min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t Max = 0;
+  std::array<std::uint64_t, NumBuckets> Counts{};
+};
+
+/// Lock-free recordable histogram: every member is a relaxed atomic, so
+/// record() is a handful of uncontended-path fetch_adds (wait-free on the
+/// bucket counters; Min/Max are bounded CAS loops that settle permanently
+/// once the extremes are seen). Readers take a coherent-enough snapshot by
+/// merging into a plain Histogram; a snapshot concurrent with writers may
+/// split one in-flight record between Count and its bucket, which is the
+/// usual (and harmless) monitoring race.
+class AtomicHistogram : public HistogramBuckets {
+public:
+  AtomicHistogram() : Min(std::numeric_limits<std::uint64_t>::max()) {}
+
+  void record(std::uint64_t Value) {
+    Counts[index(Value)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+    std::uint64_t Seen = Min.load(std::memory_order_relaxed);
+    while (Value < Seen &&
+           !Min.compare_exchange_weak(Seen, Value,
+                                      std::memory_order_relaxed)) {
+    }
+    Seen = Max.load(std::memory_order_relaxed);
+    while (Value > Seen &&
+           !Max.compare_exchange_weak(Seen, Value,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Adds this histogram's contents into \p Out.
+  void mergeInto(Histogram &Out) const;
+
+private:
+  std::atomic<std::uint64_t> Count{0};
+  std::atomic<std::uint64_t> Sum{0};
+  std::atomic<std::uint64_t> Min;
+  std::atomic<std::uint64_t> Max{0};
+  std::array<std::atomic<std::uint64_t>, NumBuckets> Counts{};
+};
+
+/// A sticky small integer identifying the calling thread, assigned on
+/// first use. Sharding by (tag mod NumShards) keeps each worker on its own
+/// shard's cache lines.
+unsigned threadShardTag();
+
+/// Per-thread-sharded histogram: record() touches only the caller's shard,
+/// merged() folds every shard into one plain Histogram.
+class ShardedHistogram {
+public:
+  static constexpr std::size_t NumShards = 8;
+
+  void record(std::uint64_t Value) {
+    Shards[threadShardTag() & (NumShards - 1)].record(Value);
+  }
+
+  Histogram merged() const {
+    Histogram Out;
+    for (const AtomicHistogram &Shard : Shards)
+      Shard.mergeInto(Out);
+    return Out;
+  }
+
+private:
+  std::array<AtomicHistogram, NumShards> Shards;
+};
+
+} // namespace stird::obs
+
+#endif // STIRD_OBS_HISTOGRAM_H

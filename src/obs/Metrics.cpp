@@ -1,0 +1,120 @@
+//===- obs/Metrics.cpp - Prometheus text exposition writer ----------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace stird::obs::prom {
+
+std::string escapeLabelValue(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+void appendLabels(std::string &Out, const Labels &L) {
+  if (L.empty())
+    return;
+  Out += '{';
+  bool First = true;
+  for (const auto &[Name, Value] : L) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += Name;
+    Out += "=\"";
+    Out += escapeLabelValue(Value);
+    Out += '"';
+  }
+  Out += '}';
+}
+
+void appendNumber(std::string &Out, double Value) {
+  char Buf[64];
+  // %.17g round-trips doubles; integral values render without a point.
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+  Out += Buf;
+}
+
+void appendNumber(std::string &Out, std::uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, Value);
+  Out += Buf;
+}
+
+} // namespace
+
+void Writer::header(const std::string &Name, const std::string &Help,
+                    const std::string &Type) {
+  Out += "# HELP ";
+  Out += Name;
+  Out += ' ';
+  Out += Help;
+  Out += "\n# TYPE ";
+  Out += Name;
+  Out += ' ';
+  Out += Type;
+  Out += '\n';
+}
+
+void Writer::sample(const std::string &Name, const Labels &L,
+                    double Value) {
+  Out += Name;
+  appendLabels(Out, L);
+  Out += ' ';
+  appendNumber(Out, Value);
+  Out += '\n';
+}
+
+void Writer::sample(const std::string &Name, const Labels &L,
+                    std::uint64_t Value) {
+  Out += Name;
+  appendLabels(Out, L);
+  Out += ' ';
+  appendNumber(Out, Value);
+  Out += '\n';
+}
+
+void Writer::histogram(const std::string &Name, const Labels &L,
+                       const Histogram &H) {
+  const std::string BucketName = Name + "_bucket";
+  std::uint64_t Cumulative = 0;
+  for (std::size_t I = 0; I < Histogram::NumBuckets; ++I) {
+    const std::uint64_t C = H.bucketCount(I);
+    if (C == 0)
+      continue;
+    Cumulative += C;
+    Labels WithLe = L;
+    WithLe.emplace_back("le", std::to_string(Histogram::upperBound(I)));
+    sample(BucketName, WithLe, Cumulative);
+  }
+  Labels Inf = L;
+  Inf.emplace_back("le", "+Inf");
+  sample(BucketName, Inf, H.count());
+  sample(Name + "_sum", L, H.sum());
+  sample(Name + "_count", L, H.count());
+}
+
+} // namespace stird::obs::prom

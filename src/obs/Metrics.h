@@ -1,0 +1,67 @@
+//===- obs/Metrics.h - Prometheus text exposition writer --------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A writer for the Prometheus text exposition format (version 0.0.4):
+/// `# HELP` / `# TYPE` headers, label escaping, and histogram emission as
+/// cumulative `_bucket{le="..."}` samples plus `_sum` and `_count`. The
+/// serving layer renders one document per scrape of `--metrics-port` (and
+/// per `metrics` wire command); docs/metrics.md lists every metric stird
+/// exposes through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_OBS_METRICS_H
+#define STIRD_OBS_METRICS_H
+
+#include "obs/Histogram.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stird::obs::prom {
+
+/// One metric label, rendered as name="escaped value".
+using Label = std::pair<std::string, std::string>;
+using Labels = std::vector<Label>;
+
+/// Escapes \p S as a Prometheus label value: backslash, double quote and
+/// newline get backslash escapes (the format's only three).
+std::string escapeLabelValue(const std::string &S);
+
+/// Accumulates one exposition document. Usage per metric family: header()
+/// once, then any number of sample()/histogram() calls for that family.
+class Writer {
+public:
+  /// Emits the `# HELP` and `# TYPE` lines. \p Type is "counter",
+  /// "gauge" or "histogram".
+  void header(const std::string &Name, const std::string &Help,
+              const std::string &Type);
+
+  /// Emits `name{labels} value`.
+  void sample(const std::string &Name, const Labels &L, double Value);
+  void sample(const std::string &Name, const Labels &L,
+              std::uint64_t Value);
+
+  /// Emits \p H as cumulative buckets: one `name_bucket{...,le="U"}` line
+  /// per non-empty histogram bucket (U = the bucket's inclusive upper
+  /// bound) plus the mandatory `le="+Inf"` line, then `name_sum` and
+  /// `name_count`. Only occupied buckets are listed — cumulative counts
+  /// make the skipped empty ones implicit.
+  void histogram(const std::string &Name, const Labels &L,
+                 const Histogram &H);
+
+  const std::string &text() const { return Out; }
+
+private:
+  std::string Out;
+};
+
+} // namespace stird::obs::prom
+
+#endif // STIRD_OBS_METRICS_H

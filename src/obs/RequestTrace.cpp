@@ -1,0 +1,180 @@
+//===- obs/RequestTrace.cpp - Per-request lifecycle tracing ---------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/RequestTrace.h"
+
+#include <chrono>
+
+namespace stird::obs {
+
+std::uint64_t traceClockMicros() {
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+const char *requestStageName(RequestStage Stage) {
+  switch (Stage) {
+  case RequestStage::Decode:
+    return "decode";
+  case RequestStage::Pending:
+    return "pending";
+  case RequestStage::Queue:
+    return "queue";
+  case RequestStage::Parse:
+    return "parse";
+  case RequestStage::Plan:
+    return "plan";
+  case RequestStage::Cache:
+    return "cache";
+  case RequestStage::Eval:
+    return "eval";
+  case RequestStage::Serialize:
+    return "serialize";
+  case RequestStage::Write:
+    return "write";
+  }
+  return "?";
+}
+
+std::uint64_t RequestTrace::totalMicros() const {
+  std::uint64_t First = 0, Last = 0;
+  bool Any = false;
+  for (const Span &S : Spans) {
+    if (!S.Used)
+      continue;
+    if (!Any || S.Begin < First)
+      First = S.Begin;
+    if (!Any || S.End > Last)
+      Last = S.End;
+    Any = true;
+  }
+  return Any && Last >= First ? Last - First : 0;
+}
+
+json::Value RequestTrace::toJson() const {
+  json::Object O;
+  O.emplace_back("seq", Seq);
+  O.emplace_back("command", Command);
+  if (!Tenant.empty())
+    O.emplace_back("tenant", Tenant);
+  if (!Relation.empty())
+    O.emplace_back("relation", Relation);
+  if (!PatternKey.empty())
+    O.emplace_back("pattern", PatternKey);
+  O.emplace_back("ok", Ok);
+  if (Command == "query")
+    O.emplace_back("cached", Cached);
+  if (HasPlan) {
+    json::Object Plan;
+    Plan.emplace_back("index", PlanIndex);
+    Plan.emplace_back("prefix_len", PlanPrefixLen);
+    Plan.emplace_back("residual_columns", PlanResidual);
+    O.emplace_back("plan", json::Value(std::move(Plan)));
+  }
+  O.emplace_back("slot", ExecSlot);
+  if (!Source.empty())
+    O.emplace_back("source", Source);
+  O.emplace_back("sampled", Sampled);
+  O.emplace_back("total_micros", totalMicros());
+  json::Object SpansObj;
+  for (unsigned I = 0; I < NumRequestStages; ++I) {
+    const Span &S = Spans[I];
+    if (!S.Used)
+      continue;
+    SpansObj.emplace_back(requestStageName(RequestStage(I)),
+                          S.End >= S.Begin ? S.End - S.Begin : 0);
+  }
+  O.emplace_back("spans", json::Value(std::move(SpansObj)));
+  return json::Value(std::move(O));
+}
+
+std::vector<TraceEvent> RequestTrace::chromeEvents(std::uint64_t Tid) const {
+  std::vector<TraceEvent> Out;
+  const std::string Prefix = "request." ;
+  for (unsigned I = 0; I < NumRequestStages; ++I) {
+    const Span &S = Spans[I];
+    if (!S.Used || S.End < S.Begin)
+      continue;
+    std::string Args = "{\"seq\":" + std::to_string(Seq);
+    if (!Command.empty())
+      Args += ",\"command\":\"" + json::escape(Command) + "\"";
+    Args += "}";
+    Out.push_back({Prefix + requestStageName(RequestStage(I)), 'B', S.Begin,
+                   Tid, std::move(Args)});
+    Out.push_back({std::string(), 'E', S.End, Tid, std::string()});
+  }
+  return Out;
+}
+
+std::unique_ptr<RequestTrace> RequestTraceSink::begin(std::uint64_t Seq) {
+  if (!enabled())
+    return nullptr;
+  Started.fetch_add(1, std::memory_order_relaxed);
+  bool Sampled = false;
+  if (Opts.SampleEvery != 0) {
+    const std::uint64_t N =
+        SampleCounter.fetch_add(1, std::memory_order_relaxed);
+    Sampled = (N % Opts.SampleEvery) == 0;
+  }
+  if (Sampled)
+    SampledN.fetch_add(1, std::memory_order_relaxed);
+  if (!Sampled && !Opts.SlowArmed)
+    return nullptr;
+  return std::make_unique<RequestTrace>(Seq, Sampled);
+}
+
+bool RequestTraceSink::finish(std::unique_ptr<RequestTrace> Trace) {
+  if (!Trace)
+    return false;
+  const std::uint64_t Total = Trace->totalMicros();
+  const bool IsSlow = Opts.SlowArmed && Total >= Opts.SlowMicros;
+  if (IsSlow)
+    Slow.fetch_add(1, std::memory_order_relaxed);
+  if (!Trace->sampled() && !IsSlow)
+    return false;
+  Retained.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Recent.push_back(Trace->toJson());
+  while (Recent.size() > Opts.Capacity)
+    Recent.pop_front();
+  if (Chrome.size() < Opts.MaxChromeEvents) {
+    std::vector<TraceEvent> Events = Trace->chromeEvents(Trace->ExecSlot);
+    Chrome.insert(Chrome.end(), std::make_move_iterator(Events.begin()),
+                  std::make_move_iterator(Events.end()));
+  }
+  return IsSlow;
+}
+
+json::Value RequestTraceSink::statsJson() const {
+  json::Object O;
+  O.emplace_back("started", Started.load(std::memory_order_relaxed));
+  O.emplace_back("sampled", SampledN.load(std::memory_order_relaxed));
+  O.emplace_back("retained", Retained.load(std::memory_order_relaxed));
+  O.emplace_back("slow", Slow.load(std::memory_order_relaxed));
+  O.emplace_back("sample_every", Opts.SampleEvery);
+  O.emplace_back("slow_micros", Opts.SlowMicros);
+  json::Array RecentArr;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const json::Value &V : Recent)
+      RecentArr.push_back(V);
+  }
+  O.emplace_back("recent", json::Value(std::move(RecentArr)));
+  return json::Value(std::move(O));
+}
+
+std::vector<TraceEvent> RequestTraceSink::drainChrome() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<TraceEvent> Out;
+  Out.swap(Chrome);
+  return Out;
+}
+
+} // namespace stird::obs

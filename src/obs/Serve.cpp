@@ -22,23 +22,74 @@ json::Value LatencySummary::toJson() const {
   return json::Value(std::move(O));
 }
 
+LatencyAggregator::~LatencyAggregator() {
+  const std::size_t N = NumEntries.load(std::memory_order_acquire);
+  for (std::size_t I = 0; I < N; ++I)
+    delete Entries[I].load(std::memory_order_acquire);
+}
+
+LatencyAggregator::Entry &
+LatencyAggregator::entryFor(const std::string &Command) {
+  // Entries are append-only and their names immutable once published, so
+  // the steady-state lookup is a lock-free scan of a (tiny) prefix.
+  std::size_t N = NumEntries.load(std::memory_order_acquire);
+  for (std::size_t I = 0; I < N; ++I) {
+    Entry *E = Entries[I].load(std::memory_order_acquire);
+    if (E->Name == Command)
+      return *E;
+  }
+  std::lock_guard<std::mutex> Lock(GrowMutex);
+  N = NumEntries.load(std::memory_order_acquire);
+  for (std::size_t I = 0; I < N; ++I) {
+    Entry *E = Entries[I].load(std::memory_order_acquire);
+    if (E->Name == Command)
+      return *E;
+  }
+  if (N == MaxCommands) {
+    // Table full: everything else folds into the last slot, registered
+    // as "(other)" the first time this happens.
+    Entry *Last = Entries[MaxCommands - 1].load(std::memory_order_acquire);
+    return *Last;
+  }
+  Entry *E = new Entry();
+  E->Name = (N == MaxCommands - 1 && Command != "(other)")
+                ? std::string("(other)")
+                : Command;
+  Entries[N].store(E, std::memory_order_release);
+  NumEntries.store(N + 1, std::memory_order_release);
+  return *E;
+}
+
 void LatencyAggregator::record(const std::string &Command,
                                std::uint64_t Micros) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  for (auto &[Name, Summary] : Summaries)
-    if (Name == Command) {
-      Summary.record(Micros);
-      return;
-    }
-  Summaries.emplace_back(Command, LatencySummary{});
-  Summaries.back().second.record(Micros);
+  entryFor(Command).Hist.record(Micros);
+}
+
+std::vector<std::pair<std::string, Histogram>>
+LatencyAggregator::snapshot() const {
+  std::vector<std::pair<std::string, Histogram>> Out;
+  const std::size_t N = NumEntries.load(std::memory_order_acquire);
+  for (std::size_t I = 0; I < N; ++I) {
+    const Entry *E = Entries[I].load(std::memory_order_acquire);
+    Out.emplace_back(E->Name, E->Hist.merged());
+  }
+  return Out;
+}
+
+Histogram LatencyAggregator::merged(const std::string &Command) const {
+  const std::size_t N = NumEntries.load(std::memory_order_acquire);
+  for (std::size_t I = 0; I < N; ++I) {
+    const Entry *E = Entries[I].load(std::memory_order_acquire);
+    if (E->Name == Command)
+      return E->Hist.merged();
+  }
+  return Histogram();
 }
 
 json::Value LatencyAggregator::toJson() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
   json::Object O;
-  for (const auto &[Name, Summary] : Summaries)
-    O.emplace_back(Name, Summary.toJson());
+  for (auto &[Name, Hist] : snapshot())
+    O.emplace_back(Name, Hist.toJson());
   return json::Value(std::move(O));
 }
 
@@ -58,6 +109,8 @@ json::Value ServeCounters::toJson() const {
                  RequestsOverloaded.load(std::memory_order_relaxed));
   O.emplace_back("protocol_errors",
                  ProtocolErrors.load(std::memory_order_relaxed));
+  O.emplace_back("metrics_scrapes",
+                 MetricsScrapes.load(std::memory_order_relaxed));
   return json::Value(std::move(O));
 }
 

@@ -16,11 +16,14 @@
 #ifndef STIRD_OBS_SERVE_H
 #define STIRD_OBS_SERVE_H
 
+#include "obs/Histogram.h"
 #include "obs/Json.h"
 #include "obs/Stats.h"
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -28,7 +31,9 @@
 
 namespace stird::obs {
 
-/// Latency accumulator for one request kind.
+/// Latency accumulator for one request kind. Retained as the
+/// single-threaded convenience form (tests, ad hoc tooling); the serving
+/// aggregator itself records into sharded histograms.
 struct LatencySummary {
   std::uint64_t Count = 0;
   std::uint64_t TotalMicros = 0;
@@ -43,22 +48,57 @@ struct LatencySummary {
   }
 
   /// {"count":N,"total_micros":T,"min_micros":m,"max_micros":M,
-  ///  "mean_micros":T/N}.
+  ///  "mean_micros":T/N} — the mean is a double, never truncated.
   json::Value toJson() const;
 };
 
-/// Thread-safe per-command latency aggregation: the daemon records every
-/// request under its command name; `stats` reports the totals.
+/// Per-command latency aggregation: the daemon records every request under
+/// its command name; `stats` reports the totals. The record path is
+/// lock-free: each command owns a ShardedHistogram (per-thread shards,
+/// relaxed atomics), and the command table itself is an append-only array
+/// of atomically published entries, so lookups never lock. The only mutex
+/// guards first-seen command registration — at most one acquisition per
+/// distinct command name over the process lifetime, never on the steady
+/// state hot path.
 class LatencyAggregator {
 public:
+  /// Distinct command names tracked individually; the protocol has four,
+  /// so 16 leaves generous headroom. Excess names fold into "(other)".
+  static constexpr std::size_t MaxCommands = 16;
+
+  LatencyAggregator() = default;
+  ~LatencyAggregator();
+  LatencyAggregator(const LatencyAggregator &) = delete;
+  LatencyAggregator &operator=(const LatencyAggregator &) = delete;
+
   void record(const std::string &Command, std::uint64_t Micros);
 
-  /// One member per command seen, in first-seen order.
+  /// One member per command seen, in first-seen order; each member is the
+  /// merged histogram's JSON (LatencySummary-compatible keys plus
+  /// p50/p90/p99/p999_micros).
   json::Value toJson() const;
 
+  /// Merged per-command snapshot, first-seen order. Feeds the Prometheus
+  /// renderer and bench-side agreement checks.
+  std::vector<std::pair<std::string, Histogram>> snapshot() const;
+
+  /// Merged histogram for one command; empty when the command was never
+  /// recorded.
+  Histogram merged(const std::string &Command) const;
+
 private:
-  mutable std::mutex Mutex;
-  std::vector<std::pair<std::string, LatencySummary>> Summaries;
+  struct Entry {
+    std::string Name;
+    ShardedHistogram Hist;
+  };
+
+  /// Finds or registers the entry for \p Command. Lock-free when the
+  /// command is already registered.
+  Entry &entryFor(const std::string &Command);
+
+  std::array<std::atomic<Entry *>, MaxCommands> Entries{};
+  std::atomic<std::size_t> NumEntries{0};
+  std::mutex GrowMutex;
 };
 
 /// Renders one relation's counters as a JSON object (same key names as the
@@ -83,6 +123,8 @@ struct ServeCounters {
   /// Framing violations (oversized lengths, garbage) that poisoned a
   /// connection.
   std::atomic<std::uint64_t> ProtocolErrors{0};
+  /// Successful scrapes of the --metrics-port HTTP endpoint.
+  std::atomic<std::uint64_t> MetricsScrapes{0};
 
   json::Value toJson() const;
 };

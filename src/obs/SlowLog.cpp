@@ -1,0 +1,52 @@
+//===- obs/SlowLog.cpp - Structured JSONL slow-query log ------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/SlowLog.h"
+
+#include <cstdio>
+
+namespace stird::obs {
+
+bool SlowQueryLog::open(Options O) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Opts = std::move(O);
+  Out.open(Opts.Path, std::ios::out | std::ios::app);
+  Enabled = Out.is_open();
+  if (Enabled) {
+    Out.seekp(0, std::ios::end);
+    const auto Pos = Out.tellp();
+    BytesWritten = Pos > 0 ? static_cast<std::uint64_t>(Pos) : 0;
+  }
+  return Enabled;
+}
+
+void SlowQueryLog::rotateLocked() {
+  Out.close();
+  std::rename(Opts.Path.c_str(), (Opts.Path + ".1").c_str());
+  Out.open(Opts.Path, std::ios::out | std::ios::trunc);
+  Enabled = Out.is_open();
+  BytesWritten = 0;
+}
+
+void SlowQueryLog::record(const json::Value &Entry) {
+  if (!Enabled)
+    return;
+  const std::string Line = Entry.dump() + "\n";
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Enabled)
+    return;
+  if (Opts.MaxBytes != 0 && BytesWritten != 0 &&
+      BytesWritten + Line.size() > Opts.MaxBytes)
+    rotateLocked();
+  if (!Enabled)
+    return;
+  Out << Line;
+  Out.flush();
+  BytesWritten += Line.size();
+  Written.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace stird::obs

@@ -1,0 +1,75 @@
+//===- obs/SlowLog.h - Structured JSONL slow-query log ----------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's slow-query log: one compact JSON document per line
+/// (JSONL) for every request whose total handling time reaches the
+/// configured threshold. Each record is a finished RequestTrace's JSON —
+/// tenant, relation, canonical pattern, chosen plan and per-span timings —
+/// so a slow entry is directly diffable against sampled traces from the
+/// `trace` stats member. Armed with `--slow-query-log=FILE
+/// --slow-query-micros=N`; optional size-based rotation renames FILE to
+/// FILE.1 and starts over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_OBS_SLOWLOG_H
+#define STIRD_OBS_SLOWLOG_H
+
+#include "obs/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace stird::obs {
+
+/// Append-only JSONL writer for slow requests. Writes happen off the hot
+/// path (only for requests already past the threshold), under a mutex —
+/// slow requests are rare by definition, so contention here is not a
+/// concern the way the latency record path is.
+class SlowQueryLog {
+public:
+  struct Options {
+    std::string Path;
+    /// Requests at or above this total handling time are logged.
+    std::uint64_t ThresholdMicros = 10000;
+    /// When > 0, rotate (Path -> Path + ".1") once the file exceeds this
+    /// many bytes; at most one rotated generation is kept.
+    std::uint64_t MaxBytes = 0;
+  };
+
+  SlowQueryLog() = default;
+
+  /// Opens (appends to) the log file. Returns false when the file cannot
+  /// be opened; the log stays disabled then.
+  bool open(Options O);
+
+  bool enabled() const { return Enabled; }
+  std::uint64_t thresholdMicros() const { return Opts.ThresholdMicros; }
+  std::uint64_t written() const {
+    return Written.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one record as a single line. No-op when disabled.
+  void record(const json::Value &Entry);
+
+private:
+  void rotateLocked();
+
+  Options Opts;
+  bool Enabled = false;
+  std::mutex Mutex;
+  std::ofstream Out;
+  std::uint64_t BytesWritten = 0;
+  std::atomic<std::uint64_t> Written{0};
+};
+
+} // namespace stird::obs
+
+#endif // STIRD_OBS_SLOWLOG_H

@@ -1,0 +1,33 @@
+//===- srv/Metrics.h - Prometheus rendering of serving state ----*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the serving front end's full observable state — ServeCounters,
+/// per-tenant per-command latency histograms, query-cache counters,
+/// tenant epochs and relation sizes, scheduler queue depth and steal
+/// counts, and trace-sink counters — as one Prometheus text exposition
+/// document. Served by the `--metrics-port` HTTP endpoint and the
+/// `metrics` wire command; docs/metrics.md is the metric reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_SRV_METRICS_H
+#define STIRD_SRV_METRICS_H
+
+#include <string>
+
+namespace stird::srv {
+
+class TenantRegistry;
+
+/// One exposition document over \p Tenants and its attached
+/// ServeTelemetry (server-level families are omitted when no telemetry is
+/// attached). Every metric is prefixed `stird_`.
+std::string renderPrometheus(const TenantRegistry &Tenants);
+
+} // namespace stird::srv
+
+#endif // STIRD_SRV_METRICS_H

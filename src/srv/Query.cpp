@@ -50,6 +50,11 @@ std::vector<DynTuple> srv::runQuery(const interp::RelationWrapper &Rel,
   const QueryPlan Plan = planQuery(Rel, P);
   if (PlanOut)
     *PlanOut = Plan;
+  return runQuery(Rel, P, Plan);
+}
+
+std::vector<DynTuple> srv::runQuery(const interp::RelationWrapper &Rel,
+                                    const Pattern &P, const QueryPlan &Plan) {
   const std::size_t Arity = Rel.getArity();
 
   // Build the encoded range key. For the equivalence relation the "key" is

@@ -59,6 +59,11 @@ std::vector<DynTuple> runQuery(const interp::RelationWrapper &Rel,
                                const Pattern &P,
                                QueryPlan *PlanOut = nullptr);
 
+/// Executes \p P through the already-chosen \p Plan (from planQuery). Lets
+/// callers time planning and scanning as separate stages.
+std::vector<DynTuple> runQuery(const interp::RelationWrapper &Rel,
+                               const Pattern &P, const QueryPlan &Plan);
+
 /// A query-result cache over one resident session, keyed on the
 /// (relation, partial-tuple pattern) pair and tagged with the batch epoch
 /// the result was computed at. Repeated point queries between update

@@ -6,6 +6,9 @@
 
 #include "srv/Server.h"
 
+#include "obs/Trace.h"
+#include "srv/Metrics.h"
+
 #include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
@@ -13,6 +16,7 @@
 #include <cstring>
 #include <deque>
 #include <fcntl.h>
+#include <fstream>
 #include <map>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -78,6 +82,21 @@ struct Server::Connection {
   bool IsTcp = false;
   FrameDecoder Decoder;
 
+  /// One parsed-but-not-yet-dispatched request, with the lifecycle trace
+  /// it drew (if any) riding along.
+  struct PendingReq {
+    std::uint64_t Seq = 0;
+    std::string Payload;
+    std::unique_ptr<obs::RequestTrace> Trace;
+  };
+
+  /// One completed reply handed back from a pool job (or enqueued locally
+  /// for admission/framing errors).
+  struct Reply {
+    std::string Frame;
+    std::unique_ptr<obs::RequestTrace> Trace;
+  };
+
   // Event-loop-owned state.
   std::string Out;
   std::size_t OutPos = 0;
@@ -88,17 +107,38 @@ struct Server::Connection {
   std::uint64_t NextSeq = 0;
   std::uint64_t NextRelease = 0;
   std::size_t InFlight = 0;
-  std::deque<std::pair<std::uint64_t, std::string>> Pending;
+  std::deque<PendingReq> Pending;
   bool JobActive = false;
   std::uint64_t ActiveSeq = 0;
+  /// Traces of replies released into Out but not yet flushed to the
+  /// socket; finalized when the write buffer drains (or at close).
+  std::vector<std::unique_ptr<obs::RequestTrace>> Flushing;
 
   // Cross-thread reply hand-off.
   std::mutex M;
-  std::map<std::uint64_t, std::string> Done;
+  std::map<std::uint64_t, Reply> Done;
   bool ShutdownRequested = false;
   bool Closed = false;
 
   bool InDirty = false; // guarded by Server::DirtyM
+
+  /// Enqueues a reply produced on the event loop itself (admission
+  /// errors, framing errors) through the same ordered hand-off the jobs
+  /// use. Local replies never carry a trace.
+  void enqueueLocal(std::uint64_t Seq, std::string Frame) {
+    std::lock_guard<std::mutex> Lock(M);
+    Done.emplace(Seq, Reply{std::move(Frame), nullptr});
+  }
+};
+
+/// One connection of the metrics HTTP endpoint: reads a request head,
+/// writes one response, closes. Event-loop owned, no locking.
+struct Server::MetricsConn {
+  int Fd = -1;
+  std::string In;
+  std::string Out;
+  std::size_t OutPos = 0;
+  bool Responding = false;
 };
 
 Server::Server(EngineSession &Session, ServerOptions Options)
@@ -124,6 +164,11 @@ Server::~Server() {
     ::close(Fd);
   }
   Conns.clear();
+  for (auto &[Fd, Conn] : MetricsConns)
+    ::close(Fd);
+  MetricsConns.clear();
+  if (MetricsFd >= 0)
+    ::close(MetricsFd);
   if (ListenFd >= 0)
     ::close(ListenFd);
   if (EpollFd >= 0)
@@ -141,7 +186,26 @@ static bool fail(std::string *Error, const std::string &Message) {
 }
 
 bool Server::start(std::string *Error) {
-  Tenants.Server = &Counters;
+  Tenants.Telemetry = &Telemetry;
+  {
+    obs::RequestTraceSink::Options TraceOpts;
+    TraceOpts.SampleEvery = Options.TraceSampleEvery;
+    TraceOpts.SlowArmed = !Options.SlowQueryLogPath.empty();
+    TraceOpts.SlowMicros = Options.SlowQueryMicros;
+    Telemetry.Traces.configure(TraceOpts);
+  }
+  if (!Options.SlowQueryLogPath.empty()) {
+    obs::SlowQueryLog::Options LogOpts;
+    LogOpts.Path = Options.SlowQueryLogPath;
+    LogOpts.ThresholdMicros = Options.SlowQueryMicros;
+    LogOpts.MaxBytes = Options.SlowQueryLogMaxBytes;
+    if (!Telemetry.SlowLog.open(std::move(LogOpts))) {
+      if (Error)
+        *Error =
+            "cannot open slow-query log " + Options.SlowQueryLogPath;
+      return false;
+    }
+  }
 
   ScopedFd Fd;
   if (!Options.UnixPath.empty()) {
@@ -205,6 +269,46 @@ bool Server::start(std::string *Error) {
   if (::epoll_ctl(Ep.Fd, EPOLL_CTL_ADD, Wk.Fd, &Ev) < 0)
     return fail(Error, "epoll_ctl wake");
 
+  // The metrics HTTP endpoint: its own TCP listener on the same epoll
+  // loop. Created before the fds are released so a failure tears
+  // everything down through the scoped fds.
+  ScopedFd Mt;
+  int MetricsBound = 0;
+  if (Options.MetricsPort >= 0) {
+    Mt.Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (Mt.Fd < 0)
+      return fail(Error, "metrics socket");
+    int One = 1;
+    ::setsockopt(Mt.Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<std::uint16_t>(Options.MetricsPort));
+    const std::string &Host =
+        Options.UnixPath.empty() ? Options.Host : std::string("127.0.0.1");
+    if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+      if (Error)
+        *Error = "invalid metrics listen address '" + Host + "'";
+      return false;
+    }
+    if (::bind(Mt.Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0)
+      return fail(Error, "bind metrics port " +
+                             std::to_string(Options.MetricsPort));
+    sockaddr_in Bound{};
+    socklen_t BoundLen = sizeof(Bound);
+    if (::getsockname(Mt.Fd, reinterpret_cast<sockaddr *>(&Bound),
+                      &BoundLen) == 0)
+      MetricsBound = ntohs(Bound.sin_port);
+    if (!setNonBlocking(Mt.Fd))
+      return fail(Error, "fcntl O_NONBLOCK metrics");
+    if (::listen(Mt.Fd, 16) < 0)
+      return fail(Error, "listen metrics");
+    Ev.events = EPOLLIN;
+    Ev.data.fd = Mt.Fd;
+    if (::epoll_ctl(Ep.Fd, EPOLL_CTL_ADD, Mt.Fd, &Ev) < 0)
+      return fail(Error, "epoll_ctl metrics");
+  }
+
   // The request-execution pool: the default tenant program's shared
   // scheduler, sized so at least one worker exists (submit() would
   // otherwise run requests inline on the event loop).
@@ -213,10 +317,13 @@ bool Server::start(std::string *Error) {
     Threads = std::max<std::size_t>(
         2, Tenants.defaultTenant()->Session->program().getNumThreads());
   Pool = Tenants.defaultTenant()->Session->scheduler(Threads);
+  Telemetry.Pool = Pool.get();
 
   ListenFd = Fd.release();
   EpollFd = Ep.release();
   WakeFd = Wk.release();
+  MetricsFd = Mt.release();
+  MetricsBoundPort = MetricsBound;
   Accepting = true;
   return true;
 }
@@ -255,7 +362,8 @@ void Server::acceptReady() {
       break; // EAGAIN, fd exhaustion, or listen socket gone
     }
     if (Conns.size() >= Options.MaxConnections) {
-      Counters.ConnectionsRejected.fetch_add(1, std::memory_order_relaxed);
+      Telemetry.Counters.ConnectionsRejected.fetch_add(
+          1, std::memory_order_relaxed);
       ::close(Fd);
       continue;
     }
@@ -273,26 +381,53 @@ void Server::acceptReady() {
       ::close(Fd);
       continue;
     }
-    Counters.ConnectionsAccepted.fetch_add(1, std::memory_order_relaxed);
+    Telemetry.Counters.ConnectionsAccepted.fetch_add(
+        1, std::memory_order_relaxed);
     Conns.emplace(Fd, std::move(Conn));
   }
 }
 
 void Server::dispatch(const std::shared_ptr<Connection> &Conn,
-                      std::uint64_t Seq, std::string Payload) {
-  Counters.RequestsDispatched.fetch_add(1, std::memory_order_relaxed);
+                      std::uint64_t Seq, std::string Payload,
+                      std::unique_ptr<obs::RequestTrace> Trace) {
+  Telemetry.Counters.RequestsDispatched.fetch_add(1,
+                                                  std::memory_order_relaxed);
   PendingJobs.fetch_add(1, std::memory_order_acq_rel);
-  Pool->submit([this, Conn, Seq, Payload = std::move(Payload)] {
-    RequestOutcome Outcome = handleRequest(Tenants, Payload);
-    std::string Frame = encodeFrame(Outcome.Reply.dump());
+  // submit() takes a std::function, which requires a copyable callable,
+  // so the trace crosses into the job as a raw pointer; submit()
+  // guarantees the closure runs exactly once (inline if need be).
+  obs::RequestTrace *TraceRaw = Trace.release();
+  Pool->submit([this, Conn, Seq, Payload = std::move(Payload), TraceRaw] {
+    std::unique_ptr<obs::RequestTrace> Trace(TraceRaw);
+    if (Trace) {
+      // The queue-wait span closes on the executing thread, which also
+      // knows which slot it is and how it obtained the job.
+      Trace->endStage(obs::RequestStage::Queue);
+      Trace->ExecSlot = Pool->executingSlot();
+      Trace->Source =
+          interp::entrySourceName(interp::Scheduler::currentEntrySource());
+    }
+    RequestOutcome Outcome = handleRequest(Tenants, Payload, Trace.get());
+    std::string Frame;
+    {
+      obs::StageScope Scope(Trace.get(), obs::RequestStage::Serialize);
+      Frame = encodeFrame(Outcome.Reply.dump());
+    }
+    bool Delivered = false;
     {
       std::lock_guard<std::mutex> Lock(Conn->M);
       if (!Conn->Closed) {
-        Conn->Done.emplace(Seq, std::move(Frame));
+        Conn->Done.emplace(
+            Seq, Connection::Reply{std::move(Frame), std::move(Trace)});
+        Delivered = true;
         if (Outcome.Shutdown)
           Conn->ShutdownRequested = true;
       }
     }
+    if (!Delivered && Trace)
+      // The connection died mid-request; the reply goes nowhere, but the
+      // trace still finishes so started/finished stay balanced.
+      Telemetry.Traces.finish(std::move(Trace));
     {
       std::lock_guard<std::mutex> Lock(DirtyM);
       if (!Conn->InDirty) {
@@ -308,19 +443,12 @@ void Server::dispatch(const std::shared_ptr<Connection> &Conn,
   });
 }
 
-/// Enqueues a reply produced on the event loop itself (admission errors,
-/// framing errors) through the same ordered hand-off the jobs use.
-static void enqueueLocalImpl(std::mutex &M,
-                             std::map<std::uint64_t, std::string> &Done,
-                             std::uint64_t Seq, std::string Frame) {
-  std::lock_guard<std::mutex> Lock(M);
-  Done.emplace(Seq, std::move(Frame));
-}
-
 void Server::parseAndDispatch(const std::shared_ptr<Connection> &Conn) {
   Connection &C = *Conn;
+  const bool Tracing = Telemetry.Traces.enabled();
   while (!C.Broken && C.InFlight < Options.MaxInFlightPerConnection) {
     std::string Payload, FrameError;
+    const std::uint64_t DecodeBegin = Tracing ? Telemetry.Traces.now() : 0;
     const FrameDecoder::Result R = C.Decoder.next(Payload, &FrameError);
     if (R == FrameDecoder::Result::NeedMore)
       break;
@@ -330,27 +458,39 @@ void Server::parseAndDispatch(const std::shared_ptr<Connection> &Conn) {
       // Framing violations (oversized or negative lengths, mid-stream
       // garbage) answer with a protocol error frame, then poison the
       // connection: earlier pipelined requests still flush first.
-      Counters.ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      Telemetry.Counters.ProtocolErrors.fetch_add(1,
+                                                  std::memory_order_relaxed);
       obs::json::Value Reply = errorReply("protocol error: " + FrameError);
       Reply.set("micros", std::uint64_t(0));
-      enqueueLocalImpl(C.M, C.Done, Seq, encodeFrame(Reply.dump()));
+      C.enqueueLocal(Seq, encodeFrame(Reply.dump()));
       C.Broken = true;
       break;
     }
-    Counters.FramesIn.fetch_add(1, std::memory_order_relaxed);
+    Telemetry.Counters.FramesIn.fetch_add(1, std::memory_order_relaxed);
     if (InFlightTotal.load(std::memory_order_relaxed) >=
         Options.MaxInFlightTotal) {
       // Admission control: beyond the global in-flight budget the server
       // answers immediately instead of queueing without bound.
-      Counters.RequestsOverloaded.fetch_add(1, std::memory_order_relaxed);
+      Telemetry.Counters.RequestsOverloaded.fetch_add(
+          1, std::memory_order_relaxed);
       obs::json::Value Reply = errorReply("server overloaded");
       Reply.set("overloaded", true);
       Reply.set("micros", std::uint64_t(0));
-      enqueueLocalImpl(C.M, C.Done, Seq, encodeFrame(Reply.dump()));
+      C.enqueueLocal(Seq, encodeFrame(Reply.dump()));
       continue;
     }
     InFlightTotal.fetch_add(1, std::memory_order_relaxed);
-    C.Pending.emplace_back(Seq, std::move(Payload));
+    // Only admitted requests draw a trace, so 1-in-N sampling counts the
+    // requests that actually reach the pool.
+    std::unique_ptr<obs::RequestTrace> Trace =
+        Telemetry.Traces.begin(NextTraceSeq++);
+    if (Trace) {
+      Trace->beginStage(obs::RequestStage::Decode, DecodeBegin);
+      Trace->endStage(obs::RequestStage::Decode);
+      Trace->beginStage(obs::RequestStage::Pending);
+    }
+    C.Pending.push_back(
+        Connection::PendingReq{Seq, std::move(Payload), std::move(Trace)});
   }
   C.ReadParked = !C.Broken && C.InFlight >= Options.MaxInFlightPerConnection;
 }
@@ -362,12 +502,18 @@ void Server::collectReplies(const std::shared_ptr<Connection> &Conn) {
     std::lock_guard<std::mutex> Lock(C.M);
     for (auto It = C.Done.find(C.NextRelease); It != C.Done.end();
          It = C.Done.find(C.NextRelease)) {
-      C.Out += It->second;
+      C.Out += It->second.Frame;
+      if (It->second.Trace) {
+        // The reply entered the write buffer; its write span runs until
+        // the buffer drains (finishFlushedTraces).
+        It->second.Trace->beginStage(obs::RequestStage::Write);
+        C.Flushing.push_back(std::move(It->second.Trace));
+      }
       C.Done.erase(It);
       ++C.NextRelease;
       if (C.InFlight > 0)
         --C.InFlight;
-      Counters.FramesOut.fetch_add(1, std::memory_order_relaxed);
+      Telemetry.Counters.FramesOut.fetch_add(1, std::memory_order_relaxed);
     }
     Shutdown = C.ShutdownRequested;
     C.ShutdownRequested = false;
@@ -410,6 +556,24 @@ void Server::flushWrites(const std::shared_ptr<Connection> &Conn) {
   C.WantWrite = !C.Out.empty();
 }
 
+void Server::finishFlushedTraces(Connection &C) {
+  for (std::unique_ptr<obs::RequestTrace> &T : C.Flushing) {
+    T->endStage(obs::RequestStage::Write);
+    // finish() consumes the trace, so a slow-log record is rendered
+    // first; only already-slow requests pay for the rendering.
+    obs::json::Value Record;
+    const bool WantLog =
+        Telemetry.SlowLog.enabled() &&
+        T->totalMicros() >= Telemetry.SlowLog.thresholdMicros();
+    if (WantLog)
+      Record = T->toJson();
+    const bool Slow = Telemetry.Traces.finish(std::move(T));
+    if (Slow && WantLog)
+      Telemetry.SlowLog.record(Record);
+  }
+  C.Flushing.clear();
+}
+
 void Server::closeConnection(const std::shared_ptr<Connection> &Conn) {
   Connection &C = *Conn;
   if (C.Fd < 0)
@@ -417,17 +581,27 @@ void Server::closeConnection(const std::shared_ptr<Connection> &Conn) {
   {
     std::lock_guard<std::mutex> Lock(C.M);
     C.Closed = true;
+    // Replies that never released still finish their traces, so
+    // started/finished stay balanced across connection death.
+    for (auto &[Seq, R] : C.Done)
+      if (R.Trace)
+        Telemetry.Traces.finish(std::move(R.Trace));
     C.Done.clear();
   }
+  for (Connection::PendingReq &Req : C.Pending)
+    if (Req.Trace)
+      Telemetry.Traces.finish(std::move(Req.Trace));
   // Queued-but-undispatched requests die with the connection; the active
   // job (if any) settles its own InFlightTotal share when it finishes.
   InFlightTotal.fetch_sub(C.Pending.size(), std::memory_order_relaxed);
   C.Pending.clear();
+  finishFlushedTraces(C); // whatever was mid-flush ends now
   ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, C.Fd, nullptr);
   ::close(C.Fd);
   Conns.erase(C.Fd);
   C.Fd = -1;
-  Counters.ConnectionsClosed.fetch_add(1, std::memory_order_relaxed);
+  Telemetry.Counters.ConnectionsClosed.fetch_add(1,
+                                                 std::memory_order_relaxed);
 }
 
 /// Services one connection on the event-loop thread: releases completed
@@ -446,11 +620,15 @@ void Server::writeReady(const std::shared_ptr<Connection> &Conn) {
     if (C.JobActive && C.NextRelease > C.ActiveSeq)
       C.JobActive = false;
     if (!C.JobActive && !C.Pending.empty()) {
-      auto [Seq, Payload] = std::move(C.Pending.front());
+      Connection::PendingReq Req = std::move(C.Pending.front());
       C.Pending.pop_front();
       C.JobActive = true;
-      C.ActiveSeq = Seq;
-      dispatch(Conn, Seq, std::move(Payload));
+      C.ActiveSeq = Req.Seq;
+      if (Req.Trace) {
+        Req.Trace->endStage(obs::RequestStage::Pending);
+        Req.Trace->beginStage(obs::RequestStage::Queue);
+      }
+      dispatch(Conn, Req.Seq, std::move(Req.Payload), std::move(Req.Trace));
       continue; // a fast job may already have delivered
     }
     if (C.ReadParked && !C.Broken && !C.PeerEof &&
@@ -462,6 +640,8 @@ void Server::writeReady(const std::shared_ptr<Connection> &Conn) {
     break;
   }
   flushWrites(Conn);
+  if (C.Out.empty() && !C.Flushing.empty())
+    finishFlushedTraces(C);
   const bool Drained = C.Out.empty() && C.InFlight == 0;
   if ((C.Broken || C.PeerEof) && Drained) {
     closeConnection(Conn);
@@ -492,6 +672,137 @@ void Server::readReady(const std::shared_ptr<Connection> &Conn) {
     break;
   }
   writeReady(Conn); // release/flush/park bookkeeping shared with writes
+}
+
+void Server::acceptMetricsReady() {
+  for (;;) {
+    const int Fd = ::accept4(MetricsFd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue;
+      break;
+    }
+    // Scrapers, not clients: a handful of concurrent scrapes is already
+    // pathological, so the cap is tiny and excess connections just close.
+    if (MetricsConns.size() >= 32) {
+      ::close(Fd);
+      continue;
+    }
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.fd = Fd;
+    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) < 0) {
+      ::close(Fd);
+      continue;
+    }
+    auto MC = std::make_unique<MetricsConn>();
+    MC->Fd = Fd;
+    MetricsConns.emplace(Fd, std::move(MC));
+  }
+}
+
+/// Builds the one HTTP response the metrics endpoint speaks: the
+/// Prometheus exposition for GET /metrics, 404 for anything else.
+static std::string metricsHttpResponse(const std::string &Head,
+                                       const TenantRegistry &Tenants,
+                                       obs::ServeCounters &Counters) {
+  std::string Method, Target;
+  const std::size_t Sp1 = Head.find(' ');
+  if (Sp1 != std::string::npos) {
+    Method = Head.substr(0, Sp1);
+    const std::size_t Sp2 = Head.find(' ', Sp1 + 1);
+    if (Sp2 != std::string::npos)
+      Target = Head.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  }
+  const std::size_t Query = Target.find('?');
+  if (Query != std::string::npos)
+    Target.resize(Query);
+
+  std::string Status, ContentType, Body;
+  if (Method == "GET" && Target == "/metrics") {
+    Status = "200 OK";
+    ContentType = "text/plain; version=0.0.4; charset=utf-8";
+    Body = renderPrometheus(Tenants);
+    // Counted after rendering so a scrape never observes itself.
+    Counters.MetricsScrapes.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    Status = "404 Not Found";
+    ContentType = "text/plain; charset=utf-8";
+    Body = "not found; try GET /metrics\n";
+  }
+  std::string R;
+  R.reserve(Body.size() + 128);
+  R += "HTTP/1.1 " + Status + "\r\n";
+  R += "Content-Type: " + ContentType + "\r\n";
+  R += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  R += "Connection: close\r\n\r\n";
+  R += Body;
+  return R;
+}
+
+void Server::metricsConnReady(int Fd) {
+  auto It = MetricsConns.find(Fd);
+  if (It == MetricsConns.end())
+    return;
+  MetricsConn &MC = *It->second;
+  if (!MC.Responding) {
+    char Buf[4096];
+    for (;;) {
+      const ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+      if (N > 0) {
+        MC.In.append(Buf, static_cast<std::size_t>(N));
+        if (MC.In.size() > (std::size_t(16) << 10)) {
+          closeMetricsConn(Fd); // request head absurdly large
+          return;
+        }
+        continue;
+      }
+      if (N == 0) {
+        if (MC.In.find("\r\n\r\n") == std::string::npos) {
+          closeMetricsConn(Fd); // EOF before a complete head
+          return;
+        }
+        break;
+      }
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break;
+      closeMetricsConn(Fd);
+      return;
+    }
+    if (MC.In.find("\r\n\r\n") == std::string::npos)
+      return; // head still incomplete; wait for more bytes
+    MC.Out = metricsHttpResponse(MC.In, Tenants, Telemetry.Counters);
+    MC.Responding = true;
+    epoll_event Ev{};
+    Ev.events = EPOLLOUT;
+    Ev.data.fd = Fd;
+    ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, Fd, &Ev);
+  }
+  while (MC.OutPos < MC.Out.size()) {
+    const ssize_t N = ::write(Fd, MC.Out.data() + MC.OutPos,
+                              MC.Out.size() - MC.OutPos);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return;
+      break; // peer gone
+    }
+    MC.OutPos += static_cast<std::size_t>(N);
+  }
+  closeMetricsConn(Fd); // one response per connection
+}
+
+void Server::closeMetricsConn(int Fd) {
+  auto It = MetricsConns.find(Fd);
+  if (It == MetricsConns.end())
+    return;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+  ::close(Fd);
+  MetricsConns.erase(It);
 }
 
 bool Server::drained() {
@@ -540,6 +851,14 @@ void Server::eventLoop() {
         acceptReady();
         continue;
       }
+      if (MetricsFd >= 0 && Fd == MetricsFd) {
+        acceptMetricsReady();
+        continue;
+      }
+      if (MetricsConns.count(Fd)) {
+        metricsConnReady(Fd);
+        continue;
+      }
       auto It = Conns.find(Fd);
       if (It == Conns.end())
         continue;
@@ -578,4 +897,14 @@ void Server::serve() {
     closeConnection(Conn);
   while (PendingJobs.load(std::memory_order_acquire) != 0)
     std::this_thread::yield();
+  if (!Options.TraceOutPath.empty()) {
+    // Retained request traces become one Chrome trace-event document,
+    // sharing the format (and viewers) with the evaluator's --trace-out.
+    obs::TraceRecorder Recorder;
+    Recorder.append(Telemetry.Traces.drainChrome());
+    std::ofstream OutFile(Options.TraceOutPath,
+                          std::ios::binary | std::ios::trunc);
+    if (OutFile)
+      OutFile << Recorder.toJson();
+  }
 }

@@ -71,6 +71,24 @@ struct ServerOptions {
   /// shared Scheduler). 0 picks max(2, session default) so the event loop
   /// never executes requests inline.
   std::size_t PoolThreads = 0;
+
+  /// TCP port for the Prometheus metrics HTTP endpoint (`GET /metrics`),
+  /// bound on Host; 0 lets the kernel pick (see metricsPort()), negative
+  /// disables the endpoint.
+  int MetricsPort = -1;
+  /// Trace every Nth request through the lifecycle-span recorder; 0
+  /// disables sampling (slow requests still trace while a slow-query
+  /// threshold is armed).
+  std::uint64_t TraceSampleEvery = 0;
+  /// When non-empty, retained request traces are written as one Chrome
+  /// trace-event JSON document here when serve() returns.
+  std::string TraceOutPath;
+  /// When non-empty, requests at or above SlowQueryMicros append one JSONL
+  /// record here.
+  std::string SlowQueryLogPath;
+  std::uint64_t SlowQueryMicros = 10000;
+  /// Slow-query log rotation threshold in bytes; 0 disables rotation.
+  std::uint64_t SlowQueryLogMaxBytes = 0;
 };
 
 class Server {
@@ -99,6 +117,10 @@ public:
   /// The actual TCP port after start() — useful with Port = 0.
   int boundPort() const { return BoundPort; }
 
+  /// The metrics endpoint's actual TCP port after start(); 0 when the
+  /// endpoint is disabled.
+  int metricsPort() const { return MetricsBoundPort; }
+
   /// Request-latency totals of the default tenant, as reported by the
   /// `stats` command.
   const obs::LatencyAggregator &latency() const {
@@ -106,22 +128,35 @@ public:
   }
 
   /// Event-loop counters (accepts, frames, admission rejections, ...).
-  const obs::ServeCounters &counters() const { return Counters; }
+  const obs::ServeCounters &counters() const { return Telemetry.Counters; }
+
+  /// The full serving telemetry (counters, trace sink, slow log).
+  const ServeTelemetry &telemetry() const { return Telemetry; }
 
   const TenantRegistry &tenants() const { return Tenants; }
 
 private:
   struct Connection;
+  struct MetricsConn;
 
   void eventLoop();
   void acceptReady();
+  void acceptMetricsReady();
+  /// Advances one metrics-endpoint connection (HTTP parse or write).
+  void metricsConnReady(int Fd);
+  void closeMetricsConn(int Fd);
+  /// Finalizes released traces once their bytes reached the socket:
+  /// closes the write span, hands them to the trace sink, and feeds the
+  /// slow-query log.
+  void finishFlushedTraces(Connection &C);
   void readReady(const std::shared_ptr<Connection> &Conn);
   void writeReady(const std::shared_ptr<Connection> &Conn);
   /// Parses buffered frames and dispatches them, up to the pipelining
   /// window; parks reads when the window fills.
   void parseAndDispatch(const std::shared_ptr<Connection> &Conn);
   void dispatch(const std::shared_ptr<Connection> &Conn,
-                std::uint64_t Seq, std::string Payload);
+                std::uint64_t Seq, std::string Payload,
+                std::unique_ptr<obs::RequestTrace> Trace);
   /// Called on the event-loop thread once replies completed out-of-band:
   /// releases them in request order into the write buffer.
   void collectReplies(const std::shared_ptr<Connection> &Conn);
@@ -138,7 +173,9 @@ private:
   TenantRegistry OwnedTenants;
   TenantRegistry &Tenants;
   ServerOptions Options;
-  obs::ServeCounters Counters;
+  /// Counters, trace sink and slow-query log, attached to the registry so
+  /// the stats/metrics commands can report them.
+  ServeTelemetry Telemetry;
 
   std::shared_ptr<interp::Scheduler> Pool;
 
@@ -147,6 +184,15 @@ private:
   int WakeFd = -1;
   int BoundPort = 0;
   bool Accepting = false;
+
+  /// The metrics HTTP endpoint (disabled when MetricsFd < 0). Its
+  /// connections live outside Conns — they speak HTTP, not stird-wire.
+  int MetricsFd = -1;
+  int MetricsBoundPort = 0;
+  std::unordered_map<int, std::unique_ptr<MetricsConn>> MetricsConns;
+
+  /// Server-wide request sequence for trace identity (event-loop owned).
+  std::uint64_t NextTraceSeq = 0;
 
   /// Hard stop (stop()): exit as soon as jobs drained. Draining: graceful
   /// shutdown request — stop accepting, finish and flush what's in

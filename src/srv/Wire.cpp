@@ -6,6 +6,8 @@
 
 #include "srv/Wire.h"
 
+#include "interp/Scheduler.h"
+#include "srv/Metrics.h"
 #include "util/Csv.h"
 #include "util/MiscUtil.h"
 #include "util/Timer.h"
@@ -217,6 +219,8 @@ struct RequestContext {
   QueryCache *Cache = nullptr;
   const TenantRegistry *Registry = nullptr;
   const Tenant *T = nullptr;
+  /// Lifecycle trace of this request, when it drew one. Null otherwise.
+  obs::RequestTrace *Trace = nullptr;
 };
 
 } // namespace
@@ -303,8 +307,10 @@ static Value queryReply(std::shared_ptr<const std::string> Tuples,
   return Value(std::move(O));
 }
 
-static Value handleQuery(EngineSession &Session, QueryCache *Cache,
-                         const Value &Request) {
+static Value handleQuery(const RequestContext &Ctx, const Value &Request) {
+  EngineSession &Session = Ctx.Session;
+  QueryCache *Cache = Ctx.Cache;
+  obs::RequestTrace *Trace = Ctx.Trace;
   const Value *Relation = Request.find("relation");
   if (!Relation || !Relation->isString())
     return errorReply("query requires a \"relation\" string");
@@ -312,9 +318,14 @@ static Value handleQuery(EngineSession &Session, QueryCache *Cache,
   const std::vector<ColumnTypeKind> *Types = Session.relationTypes(Name);
   if (!Types)
     return errorReply("unknown relation '" + Name + "'");
+  if (Trace)
+    Trace->Relation = Name;
 
   Pattern P(Types->size());
-  if (const Value *PatternVal = Request.find("pattern")) {
+  const Value *PatternVal = Request.find("pattern");
+  if (Trace && PatternVal && PatternVal->isArray())
+    Trace->PatternKey = PatternVal->dump();
+  if (PatternVal) {
     if (!PatternVal->isArray())
       return errorReply("\"pattern\" must be an array");
     const Array &Cells = PatternVal->asArray();
@@ -357,18 +368,44 @@ static Value handleQuery(EngineSession &Session, QueryCache *Cache,
   Snapshot Snap = Session.snapshot();
   std::string CacheKey;
   if (Cache) {
+    obs::StageScope Scope(Trace, obs::RequestStage::Cache);
     CacheKey = QueryCache::key(Name, P);
     if (std::shared_ptr<const QueryCache::CachedResult> Hit =
-            Cache->lookup(CacheKey, Snap.epoch()))
+            Cache->lookup(CacheKey, Snap.epoch())) {
       // The rows were rendered against the shared append-only symbol
       // table, so the shared fragment is still exact at this epoch; the
       // hit costs one refcount bump plus a verbatim splice.
+      if (Trace) {
+        Trace->Cached = true;
+        Trace->HasPlan = true;
+        Trace->PlanIndex = Hit->Plan.IndexPos;
+        Trace->PlanPrefixLen = Hit->Plan.PrefixLen;
+        Trace->PlanResidual = Hit->Plan.ResidualColumns;
+      }
       return queryReply(Hit->Tuples, Hit->Count, Hit->Plan, Snap.epoch(),
                         true);
+    }
   }
 
+  const interp::RelationWrapper *Rel = Snap.relation(Name);
+  if (!Rel)
+    return errorReply("unknown relation '" + Name + "'");
   QueryPlan Plan;
-  std::vector<DynTuple> Tuples = Snap.query(Name, P, &Plan);
+  {
+    obs::StageScope Scope(Trace, obs::RequestStage::Plan);
+    Plan = planQuery(*Rel, P);
+  }
+  if (Trace) {
+    Trace->HasPlan = true;
+    Trace->PlanIndex = Plan.IndexPos;
+    Trace->PlanPrefixLen = Plan.PrefixLen;
+    Trace->PlanResidual = Plan.ResidualColumns;
+  }
+  std::vector<DynTuple> Tuples;
+  {
+    obs::StageScope Scope(Trace, obs::RequestStage::Eval);
+    Tuples = runQuery(*Rel, P, Plan);
+  }
   Array Rows;
   Rows.reserve(Tuples.size());
   for (const DynTuple &Tuple : Tuples) {
@@ -446,9 +483,38 @@ static Value handleStats(const RequestContext &Ctx) {
     for (const Tenant *T : Ctx.Registry->tenants())
       Names.emplace_back(T->Name);
     O.emplace_back("tenants", std::move(Names));
-    if (Ctx.Registry->Server)
-      O.emplace_back("server", Ctx.Registry->Server->toJson());
+    if (const ServeTelemetry *Tel = Ctx.Registry->Telemetry) {
+      O.emplace_back("server", Tel->Counters.toJson());
+      O.emplace_back("trace", Tel->Traces.statsJson());
+      if (Tel->Pool) {
+        const interp::SchedulerTelemetry ST = Tel->Pool->telemetry();
+        Object Sched;
+        Sched.emplace_back("threads", static_cast<std::uint64_t>(
+                                          Tel->Pool->numThreads()));
+        Sched.emplace_back("queue_depth", ST.QueueDepth);
+        Sched.emplace_back("jobs", ST.Jobs);
+        Sched.emplace_back("submitted", ST.Submitted);
+        Sched.emplace_back("tasks", ST.Tasks);
+        Sched.emplace_back("tasks_own", ST.ExecutedOwn);
+        Sched.emplace_back("tasks_injected", ST.ExecutedInjected);
+        Sched.emplace_back("tasks_stolen", ST.ExecutedStolen);
+        Sched.emplace_back("tasks_inline", ST.ExecutedInline);
+        O.emplace_back("scheduler", std::move(Sched));
+      }
+    }
   }
+  return Value(std::move(O));
+}
+
+/// The registry-only `metrics` command: the same Prometheus document the
+/// --metrics-port endpoint serves, delivered in-band for clients without
+/// HTTP access.
+static Value handleMetrics(const RequestContext &Ctx) {
+  if (!Ctx.Registry)
+    return errorReply("metrics is not available on this endpoint");
+  Object O;
+  O.emplace_back("ok", true);
+  O.emplace_back("metrics", renderPrometheus(*Ctx.Registry));
   return Value(std::move(O));
 }
 
@@ -467,12 +533,17 @@ static RequestOutcome dispatchCore(const RequestContext &Ctx,
     Outcome.Reply = errorReply("request requires a \"cmd\" string");
   } else {
     Outcome.Command = Cmd->asString();
-    if (Outcome.Command == "load")
+    if (Ctx.Trace)
+      Ctx.Trace->Command = Outcome.Command;
+    if (Outcome.Command == "load") {
+      obs::StageScope Scope(Ctx.Trace, obs::RequestStage::Eval);
       Outcome.Reply = handleLoad(Ctx.Session, *Request);
-    else if (Outcome.Command == "query")
-      Outcome.Reply = handleQuery(Ctx.Session, Ctx.Cache, *Request);
+    } else if (Outcome.Command == "query")
+      Outcome.Reply = handleQuery(Ctx, *Request);
     else if (Outcome.Command == "stats")
       Outcome.Reply = handleStats(Ctx);
+    else if (Outcome.Command == "metrics")
+      Outcome.Reply = handleMetrics(Ctx);
     else if (Outcome.Command == "shutdown") {
       Object O;
       O.emplace_back("ok", true);
@@ -502,31 +573,45 @@ static bool extractId(const std::optional<Value> &Request, const Value *&Id,
   return true;
 }
 
-/// Shared tail: stamp micros, record latency, echo the id.
+/// Shared tail: stamp micros, record latency, echo the id, mark the trace.
 static RequestOutcome finishRequest(RequestOutcome Outcome, const Timer &T,
                                     obs::LatencyAggregator &Latency,
-                                    const Value *Id) {
+                                    const Value *Id,
+                                    obs::RequestTrace *Trace = nullptr) {
   const std::uint64_t Micros = T.microseconds();
   Latency.record(Outcome.Command, Micros);
+  Outcome.Micros = Micros;
   Outcome.Reply.set("micros", Micros);
   if (Id)
     Outcome.Reply.set("id", *Id);
+  if (Trace) {
+    if (const Value *Ok = Outcome.Reply.find("ok"))
+      Trace->Ok = Ok->isBool() && Ok->asBool();
+    if (Trace->Command.empty())
+      Trace->Command = Outcome.Command;
+  }
   return Outcome;
 }
 
 RequestOutcome srv::handleRequest(const TenantRegistry &Tenants,
-                                  const std::string &Payload) {
+                                  const std::string &Payload,
+                                  obs::RequestTrace *Trace) {
   Timer T;
   Tenant *Default = Tenants.defaultTenant();
   if (!Default)
     fatal("handleRequest on a registry with no tenants");
   std::string ParseError;
-  std::optional<Value> Request = obs::json::parse(Payload, &ParseError);
+  std::optional<Value> Request;
+  {
+    obs::StageScope Scope(Trace, obs::RequestStage::Parse);
+    Request = obs::json::parse(Payload, &ParseError);
+  }
 
   const Value *Id = nullptr;
   RequestOutcome Outcome;
   if (!extractId(Request, Id, Outcome))
-    return finishRequest(std::move(Outcome), T, Default->Latency, nullptr);
+    return finishRequest(std::move(Outcome), T, Default->Latency, nullptr,
+                         Trace);
 
   // Route on "tenant"; absent (every v1 request) means the default.
   Tenant *Routed = Default;
@@ -534,43 +619,53 @@ RequestOutcome srv::handleRequest(const TenantRegistry &Tenants,
     if (const Value *Name = Request->find("tenant")) {
       if (!Name->isString()) {
         Outcome.Reply = errorReply("\"tenant\" must be a string");
-        return finishRequest(std::move(Outcome), T, Routed->Latency, Id);
+        return finishRequest(std::move(Outcome), T, Routed->Latency, Id,
+                             Trace);
       }
       Routed = Tenants.find(Name->asString());
       if (!Routed) {
         Outcome.Reply =
             errorReply("unknown tenant '" + Name->asString() + "'");
-        return finishRequest(std::move(Outcome), T, Default->Latency, Id);
+        return finishRequest(std::move(Outcome), T, Default->Latency, Id,
+                             Trace);
       }
     }
   }
+  if (Trace)
+    Trace->Tenant = Routed->Name;
 
   Routed->Requests.fetch_add(1, std::memory_order_relaxed);
   RequestContext Ctx{*Routed->Session, Routed->Latency, &Routed->Cache,
-                     &Tenants, Routed};
+                     &Tenants,         Routed,          Trace};
   return finishRequest(dispatchCore(Ctx, Request, ParseError), T,
-                       Routed->Latency, Id);
+                       Routed->Latency, Id, Trace);
 }
 
 RequestOutcome srv::handleRequest(EngineSession &Session,
                                   obs::LatencyAggregator &Latency,
-                                  const std::string &Payload) {
+                                  const std::string &Payload,
+                                  obs::RequestTrace *Trace) {
   Timer T;
   std::string ParseError;
-  std::optional<Value> Request = obs::json::parse(Payload, &ParseError);
+  std::optional<Value> Request;
+  {
+    obs::StageScope Scope(Trace, obs::RequestStage::Parse);
+    Request = obs::json::parse(Payload, &ParseError);
+  }
 
   const Value *Id = nullptr;
   RequestOutcome Outcome;
   if (!extractId(Request, Id, Outcome))
-    return finishRequest(std::move(Outcome), T, Latency, nullptr);
+    return finishRequest(std::move(Outcome), T, Latency, nullptr, Trace);
 
   if (Request && Request->isObject() && Request->find("tenant")) {
     Outcome.Reply =
         errorReply("tenant routing is not available on this endpoint");
-    return finishRequest(std::move(Outcome), T, Latency, Id);
+    return finishRequest(std::move(Outcome), T, Latency, Id, Trace);
   }
 
   RequestContext Ctx{Session, Latency};
+  Ctx.Trace = Trace;
   return finishRequest(dispatchCore(Ctx, Request, ParseError), T, Latency,
-                       Id);
+                       Id, Trace);
 }

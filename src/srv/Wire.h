@@ -28,7 +28,9 @@
 #define STIRD_SRV_WIRE_H
 
 #include "obs/Json.h"
+#include "obs/RequestTrace.h"
 #include "obs/Serve.h"
+#include "obs/SlowLog.h"
 #include "srv/Session.h"
 
 #include <cstddef>
@@ -36,6 +38,10 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+namespace stird::interp {
+class Scheduler;
+} // namespace stird::interp
 
 namespace stird::srv {
 
@@ -112,6 +118,22 @@ struct Tenant {
   std::atomic<std::uint64_t> Requests{0};
 };
 
+/// The serving front end's shared observability state, owned by the
+/// server and attached to its TenantRegistry so the stats/metrics
+/// commands can report it. Everything here is either atomic or
+/// internally synchronized.
+struct ServeTelemetry {
+  /// Event-loop counters (accept/read/write path).
+  obs::ServeCounters Counters;
+  /// Request-trace sampling and retention.
+  obs::RequestTraceSink Traces;
+  /// The JSONL slow-query log (disabled unless opened).
+  obs::SlowQueryLog SlowLog;
+  /// The worker pool dispatch runs on, for queue-depth/steal telemetry.
+  /// Not owned; may be null.
+  const interp::Scheduler *Pool = nullptr;
+};
+
 /// The set of sessions one server front end hosts, keyed by tenant name.
 /// The first tenant added is the default — requests without a "tenant"
 /// member (every v1 request) are routed to it. Registration happens
@@ -133,9 +155,10 @@ public:
 
   std::size_t size() const;
 
-  /// Event-loop counters reported by `stats`, when a server front end is
-  /// attached. Not owned.
-  const obs::ServeCounters *Server = nullptr;
+  /// The attached server front end's observability state, reported by
+  /// `stats` ("server" and "trace" members) and rendered by the `metrics`
+  /// command. Null when no server front end is attached. Not owned.
+  const ServeTelemetry *Telemetry = nullptr;
 
 private:
   mutable std::mutex Mutex;
@@ -150,6 +173,8 @@ struct RequestOutcome {
   bool Shutdown = false;
   /// The dispatched command name ("?" for malformed requests).
   std::string Command = "?";
+  /// Server-side handling time, the same value stamped as "micros".
+  std::uint64_t Micros = 0;
 };
 
 /// Executes one stird-wire request against the hosted tenants: parses
@@ -157,17 +182,22 @@ struct RequestOutcome {
 /// on "cmd", echoes "id" when present, stamps the reply with "micros" and
 /// records the latency under the command name in the tenant's aggregator.
 /// Malformed or unknown requests yield {"ok":false,"error":...} replies —
-/// the connection stays usable.
+/// the connection stays usable. When \p Trace is given, the parse / plan /
+/// cache / eval stages are stamped into it along with the request's
+/// execution metadata (tenant, relation, pattern, plan, cached).
 RequestOutcome handleRequest(const TenantRegistry &Tenants,
-                             const std::string &Payload);
+                             const std::string &Payload,
+                             obs::RequestTrace *Trace = nullptr);
 
 /// Single-session convenience (the v1 entry point, kept for callers and
 /// tests that host exactly one session without a registry): dispatches
 /// against \p Session with latencies recorded in \p Latency and no
-/// query-result cache. "tenant" members are rejected here.
+/// query-result cache. "tenant" members are rejected here, and so is the
+/// registry-only "metrics" command.
 RequestOutcome handleRequest(EngineSession &Session,
                              obs::LatencyAggregator &Latency,
-                             const std::string &Payload);
+                             const std::string &Payload,
+                             obs::RequestTrace *Trace = nullptr);
 
 /// Builds the standard error reply document (used by the server for
 /// admission-control and framing errors that never reach dispatch).

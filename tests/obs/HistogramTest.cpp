@@ -1,0 +1,309 @@
+//===- tests/obs/HistogramTest.cpp - Log-bucketed histogram tests --------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving histograms: bucket geometry invariants, quantiles against a
+/// sorted-vector oracle on random workloads, merge laws (a merged
+/// histogram must be indistinguishable from one fed the union of the
+/// samples), concurrent lock-free recording, the per-command aggregator,
+/// and the LatencySummary mean staying a double.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Histogram.h"
+#include "obs/Serve.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+using namespace stird;
+using obs::AtomicHistogram;
+using obs::Histogram;
+using obs::HistogramBuckets;
+using obs::LatencyAggregator;
+using obs::ShardedHistogram;
+
+namespace {
+
+TEST(HistogramBucketsTest, EveryValueLandsInsideItsBucket) {
+  std::mt19937_64 Rng(7);
+  std::vector<std::uint64_t> Values = {0, 1, 31, 32, 33, 63, 64, 1000,
+                                       HistogramBuckets::MaxValue};
+  for (int I = 0; I < 10000; ++I)
+    Values.push_back(Rng() % HistogramBuckets::MaxValue);
+  for (std::uint64_t V : Values) {
+    const std::size_t I = HistogramBuckets::index(V);
+    ASSERT_LT(I, HistogramBuckets::NumBuckets);
+    EXPECT_LE(HistogramBuckets::lowerBound(I), V) << "value " << V;
+    EXPECT_GE(HistogramBuckets::upperBound(I), V) << "value " << V;
+  }
+}
+
+TEST(HistogramBucketsTest, BucketsTileTheRangeWithoutGaps) {
+  // Consecutive buckets must be adjacent: no value can fall between the
+  // upper bound of one bucket and the lower bound of the next.
+  for (std::size_t I = 0; I + 1 < HistogramBuckets::NumBuckets; ++I)
+    ASSERT_EQ(HistogramBuckets::upperBound(I) + 1,
+              HistogramBuckets::lowerBound(I + 1))
+        << "gap after bucket " << I;
+  EXPECT_EQ(HistogramBuckets::lowerBound(0), 0u);
+  EXPECT_GE(HistogramBuckets::upperBound(HistogramBuckets::NumBuckets - 1),
+            HistogramBuckets::MaxValue);
+}
+
+TEST(HistogramBucketsTest, IndexIsMonotoneInTheValue) {
+  std::mt19937_64 Rng(11);
+  for (int I = 0; I < 5000; ++I) {
+    const std::uint64_t A = Rng() % HistogramBuckets::MaxValue;
+    const std::uint64_t B = Rng() % HistogramBuckets::MaxValue;
+    if (A <= B)
+      EXPECT_LE(HistogramBuckets::index(A), HistogramBuckets::index(B));
+    else
+      EXPECT_GE(HistogramBuckets::index(A), HistogramBuckets::index(B));
+  }
+}
+
+TEST(HistogramBucketsTest, RelativeErrorIsBoundedBySubBucketWidth) {
+  // A bucket's width relative to its lower bound never exceeds
+  // 1/SubBucketCount, the histogram's advertised resolution.
+  for (std::size_t I = HistogramBuckets::SubBucketCount;
+       I < HistogramBuckets::NumBuckets; ++I) {
+    const double Lower =
+        static_cast<double>(HistogramBuckets::lowerBound(I));
+    const double Width = static_cast<double>(
+        HistogramBuckets::upperBound(I) - HistogramBuckets::lowerBound(I));
+    EXPECT_LE(Width / Lower,
+              1.0 / static_cast<double>(HistogramBuckets::SubBucketCount))
+        << "bucket " << I;
+  }
+}
+
+/// Nearest-rank quantile on a sorted vector — the oracle the histogram is
+/// checked against.
+std::uint64_t oracleQuantile(std::vector<std::uint64_t> Sorted, double Q) {
+  std::sort(Sorted.begin(), Sorted.end());
+  std::size_t Rank = static_cast<std::size_t>(
+      std::ceil(Q * static_cast<double>(Sorted.size())));
+  if (Rank == 0)
+    Rank = 1;
+  return Sorted[Rank - 1];
+}
+
+void expectQuantileWithinBucket(const Histogram &H,
+                                const std::vector<std::uint64_t> &Values,
+                                double Q) {
+  const std::uint64_t Oracle = oracleQuantile(Values, Q);
+  const std::uint64_t Got = H.quantile(Q);
+  // The histogram reports the inclusive upper bound of the oracle's
+  // bucket (tightened by the exact max), so the report is never below the
+  // true value and never beyond its bucket.
+  EXPECT_GE(Got, Oracle) << "q=" << Q;
+  EXPECT_LE(Got, HistogramBuckets::upperBound(
+                     HistogramBuckets::index(Oracle)))
+      << "q=" << Q;
+}
+
+TEST(HistogramTest, QuantilesMatchSortedOracleOnRandomWorkloads) {
+  const double Quantiles[] = {0.5, 0.9, 0.99, 0.999, 1.0};
+  std::mt19937_64 Rng(23);
+  for (int Workload = 0; Workload < 8; ++Workload) {
+    Histogram H;
+    std::vector<std::uint64_t> Values;
+    const int N = 100 + static_cast<int>(Rng() % 5000);
+    for (int I = 0; I < N; ++I) {
+      // Mix uniform with a long lognormal-ish tail, the shape of real
+      // latency distributions.
+      std::uint64_t V = Rng() % 1000;
+      if (Rng() % 10 == 0)
+        V = 1000 + Rng() % 1000000;
+      Values.push_back(V);
+      H.record(V);
+    }
+    ASSERT_EQ(H.count(), Values.size());
+    for (double Q : Quantiles)
+      expectQuantileWithinBucket(H, Values, Q);
+  }
+}
+
+TEST(HistogramTest, ExactExtremesTightenTheTailQuantiles) {
+  Histogram H;
+  H.record(100);
+  H.record(1000000);
+  // With two samples, p999 is the max sample; the exact max must be
+  // reported, not its bucket's (larger) upper bound.
+  EXPECT_EQ(H.quantile(0.999), 1000000u);
+  EXPECT_EQ(H.quantile(0.0), 100u);
+  EXPECT_EQ(H.min(), 100u);
+  EXPECT_EQ(H.max(), 1000000u);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZeros) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.quantile(0.5), 0u);
+  EXPECT_EQ(H.mean(), 0.0);
+}
+
+void expectSameHistogram(const Histogram &A, const Histogram &B) {
+  ASSERT_EQ(A.count(), B.count());
+  ASSERT_EQ(A.sum(), B.sum());
+  ASSERT_EQ(A.min(), B.min());
+  ASSERT_EQ(A.max(), B.max());
+  for (std::size_t I = 0; I < HistogramBuckets::NumBuckets; ++I)
+    ASSERT_EQ(A.bucketCount(I), B.bucketCount(I)) << "bucket " << I;
+}
+
+TEST(HistogramTest, MergeIsAssociativeCommutativeAndUnionEquivalent) {
+  std::mt19937_64 Rng(42);
+  Histogram Parts[3];
+  Histogram Union;
+  for (int P = 0; P < 3; ++P)
+    for (int I = 0; I < 500; ++I) {
+      const std::uint64_t V = Rng() % 100000;
+      Parts[P].record(V);
+      Union.record(V);
+    }
+
+  Histogram LeftFold; // (A + B) + C
+  LeftFold.merge(Parts[0]);
+  LeftFold.merge(Parts[1]);
+  LeftFold.merge(Parts[2]);
+  Histogram RightFold; // C + (B + A)
+  Histogram BA;
+  BA.merge(Parts[1]);
+  BA.merge(Parts[0]);
+  RightFold.merge(Parts[2]);
+  RightFold.merge(BA);
+
+  expectSameHistogram(LeftFold, Union);
+  expectSameHistogram(RightFold, Union);
+  EXPECT_EQ(LeftFold.quantile(0.99), Union.quantile(0.99));
+}
+
+TEST(HistogramTest, JsonCarriesSummaryAndQuantileKeys) {
+  Histogram H;
+  for (std::uint64_t V : {10u, 20u, 30u})
+    H.record(V);
+  const obs::json::Value J = H.toJson();
+  EXPECT_EQ(J.find("count")->asNumber(), 3);
+  EXPECT_EQ(J.find("total_micros")->asNumber(), 60);
+  EXPECT_EQ(J.find("min_micros")->asNumber(), 10);
+  EXPECT_EQ(J.find("max_micros")->asNumber(), 30);
+  EXPECT_DOUBLE_EQ(J.find("mean_micros")->asNumber(), 20.0);
+  EXPECT_NE(J.find("p50_micros"), nullptr);
+  EXPECT_NE(J.find("p90_micros"), nullptr);
+  EXPECT_NE(J.find("p99_micros"), nullptr);
+  EXPECT_NE(J.find("p999_micros"), nullptr);
+}
+
+TEST(AtomicHistogramTest, ConcurrentRecordsLoseNothing) {
+  AtomicHistogram H;
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 20000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&H, T] {
+      std::mt19937_64 Rng(100 + T);
+      for (int I = 0; I < PerThread; ++I)
+        H.record(Rng() % 50000);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Histogram Merged;
+  H.mergeInto(Merged);
+  EXPECT_EQ(Merged.count(),
+            static_cast<std::uint64_t>(NumThreads) * PerThread);
+  std::uint64_t BucketTotal = 0;
+  for (std::size_t I = 0; I < HistogramBuckets::NumBuckets; ++I)
+    BucketTotal += Merged.bucketCount(I);
+  EXPECT_EQ(BucketTotal, Merged.count());
+  EXPECT_LT(Merged.max(), 50000u);
+}
+
+TEST(ShardedHistogramTest, MergedViewEqualsSingleWriterResult) {
+  ShardedHistogram Sharded;
+  Histogram Reference;
+  constexpr int NumThreads = 6;
+  constexpr int PerThread = 5000;
+  std::vector<std::vector<std::uint64_t>> PerThreadValues(NumThreads);
+  for (int T = 0; T < NumThreads; ++T) {
+    std::mt19937_64 Rng(7 * T + 1);
+    for (int I = 0; I < PerThread; ++I)
+      PerThreadValues[T].push_back(Rng() % 200000);
+  }
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Sharded, &Values = PerThreadValues[T]] {
+      for (std::uint64_t V : Values)
+        Sharded.record(V);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (const auto &Values : PerThreadValues)
+    for (std::uint64_t V : Values)
+      Reference.record(V);
+  expectSameHistogram(Sharded.merged(), Reference);
+}
+
+TEST(LatencyAggregatorTest, ConcurrentCommandsAggregateExactly) {
+  LatencyAggregator Agg;
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Agg, T] {
+      const std::string Command = (T % 2 == 0) ? "query" : "load";
+      for (int I = 0; I < PerThread; ++I)
+        Agg.record(Command, static_cast<std::uint64_t>(I % 1000));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  const Histogram Query = Agg.merged("query");
+  const Histogram Load = Agg.merged("load");
+  EXPECT_EQ(Query.count(),
+            static_cast<std::uint64_t>(NumThreads / 2) * PerThread);
+  EXPECT_EQ(Load.count(),
+            static_cast<std::uint64_t>(NumThreads / 2) * PerThread);
+  EXPECT_EQ(Query.max(), 999u);
+  EXPECT_EQ(Agg.merged("never-seen").count(), 0u);
+}
+
+TEST(LatencyAggregatorTest, OverflowCommandsFoldIntoOther) {
+  LatencyAggregator Agg;
+  // Far more distinct names than table slots: the excess must fold into
+  // the shared "(other)" entry instead of being dropped.
+  for (int I = 0; I < 40; ++I)
+    Agg.record("cmd" + std::to_string(I), 5);
+  const auto Snapshot = Agg.snapshot();
+  ASSERT_EQ(Snapshot.size(), LatencyAggregator::MaxCommands);
+  EXPECT_EQ(Snapshot.back().first, "(other)");
+  std::uint64_t Total = 0;
+  for (const auto &[Name, Hist] : Snapshot)
+    Total += Hist.count();
+  EXPECT_EQ(Total, 40u);
+}
+
+TEST(LatencySummaryTest, MeanStaysADoubleUnderTruncatingInputs) {
+  obs::LatencySummary S;
+  S.record(3);
+  S.record(3);
+  S.record(4);
+  const obs::json::Value J = S.toJson();
+  // 10/3 truncated would read 3; the schema promises the exact double.
+  EXPECT_DOUBLE_EQ(J.find("mean_micros")->asNumber(), 10.0 / 3.0);
+  EXPECT_EQ(J.find("count")->asNumber(), 3);
+  EXPECT_EQ(J.find("total_micros")->asNumber(), 10);
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- tests/obs/MetricsTest.cpp - Prometheus exposition tests -----------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Prometheus text-exposition writer: golden documents, label
+/// escaping, and a format validator (every sample sits in one contiguous
+/// group under its family's HELP/TYPE header; histogram buckets are
+/// cumulative with ascending thresholds and a closing +Inf) that the
+/// server-level metrics tests reuse via validatePrometheusText().
+///
+//===----------------------------------------------------------------------===//
+
+#include "MetricsTestSupport.h"
+#include "obs/Histogram.h"
+#include "obs/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace stird;
+using obs::Histogram;
+using obs::prom::Labels;
+using obs::prom::Writer;
+
+namespace {
+
+TEST(PromEscapeTest, EscapesTheThreeSpecialCharacters) {
+  EXPECT_EQ(obs::prom::escapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::prom::escapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::prom::escapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::prom::escapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::prom::escapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(PromWriterTest, GoldenCounterAndGauge) {
+  Writer W;
+  W.header("stird_requests_total", "Requests handled.", "counter");
+  W.sample("stird_requests_total", {}, std::uint64_t(42));
+  W.sample("stird_requests_total", {{"tenant", "a"}, {"command", "query"}},
+           std::uint64_t(7));
+  W.header("stird_queue_depth", "Queued entries.", "gauge");
+  W.sample("stird_queue_depth", {}, std::uint64_t(3));
+  EXPECT_EQ(W.text(),
+            "# HELP stird_requests_total Requests handled.\n"
+            "# TYPE stird_requests_total counter\n"
+            "stird_requests_total 42\n"
+            "stird_requests_total{tenant=\"a\",command=\"query\"} 7\n"
+            "# HELP stird_queue_depth Queued entries.\n"
+            "# TYPE stird_queue_depth gauge\n"
+            "stird_queue_depth 3\n");
+  EXPECT_EQ(obs::prom::validatePrometheusText(W.text()), "");
+}
+
+TEST(PromWriterTest, LabelValuesAreEscapedInPlace) {
+  Writer W;
+  W.header("stird_test", "Escaping.", "gauge");
+  W.sample("stird_test", {{"pattern", "[1,\"a\\b\"]"}}, std::uint64_t(1));
+  EXPECT_NE(W.text().find("pattern=\"[1,\\\"a\\\\b\\\"]\""),
+            std::string::npos)
+      << W.text();
+  EXPECT_EQ(obs::prom::validatePrometheusText(W.text()), "");
+}
+
+TEST(PromWriterTest, HistogramRendersCumulativeBuckets) {
+  Histogram H;
+  for (std::uint64_t V : {3u, 3u, 40u, 500u})
+    H.record(V);
+  Writer W;
+  W.header("stird_lat", "Latency.", "histogram");
+  W.histogram("stird_lat", {{"command", "query"}}, H);
+  const std::string &Text = W.text();
+  // Bucket thresholds are the geometry's inclusive upper bounds; the
+  // values 3, 40 and 500 sit in buckets with those exact bounds.
+  EXPECT_NE(Text.find("stird_lat_bucket{command=\"query\",le=\"3\"} 2\n"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("le=\"+Inf\"} 4\n"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("stird_lat_sum{command=\"query\"} 546\n"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("stird_lat_count{command=\"query\"} 4\n"),
+            std::string::npos)
+      << Text;
+  EXPECT_EQ(obs::prom::validatePrometheusText(Text), "");
+}
+
+TEST(PromWriterTest, EmptyHistogramStillClosesWithInf) {
+  Histogram H;
+  Writer W;
+  W.header("stird_lat", "Latency.", "histogram");
+  W.histogram("stird_lat", {}, H);
+  EXPECT_NE(W.text().find("stird_lat_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos)
+      << W.text();
+  EXPECT_EQ(obs::prom::validatePrometheusText(W.text()), "");
+}
+
+TEST(PromValidatorTest, CatchesFormatViolations) {
+  using obs::prom::validatePrometheusText;
+  // Sample before any header.
+  EXPECT_NE(validatePrometheusText("orphan 1\n"), "");
+  // Sample outside its family group.
+  EXPECT_NE(validatePrometheusText("# HELP a A.\n# TYPE a counter\n"
+                                   "# HELP b B.\n# TYPE b counter\n"
+                                   "a 1\n"),
+            "");
+  // Negative counter.
+  EXPECT_NE(validatePrometheusText("# HELP a A.\n# TYPE a counter\n"
+                                   "a -1\n"),
+            "");
+  // Non-cumulative buckets.
+  EXPECT_NE(validatePrometheusText(
+                "# HELP h H.\n# TYPE h histogram\n"
+                "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"
+                "h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n"),
+            "");
+  // Histogram never closed with +Inf.
+  EXPECT_NE(validatePrometheusText("# HELP h H.\n# TYPE h histogram\n"
+                                   "h_bucket{le=\"1\"} 5\n"),
+            "");
+  // A well-formed document passes.
+  EXPECT_EQ(validatePrometheusText(
+                "# HELP h H.\n# TYPE h histogram\n"
+                "h_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 5\n"
+                "h_sum 9\nh_count 5\n"),
+            "");
+}
+
+} // namespace

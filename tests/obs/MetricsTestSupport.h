@@ -1,0 +1,131 @@
+//===- tests/obs/MetricsTestSupport.h - Exposition validator ----*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Prometheus text-exposition validator shared by the obs-level writer
+/// tests and the srv-level endpoint tests: checks HELP/TYPE grouping,
+/// sample syntax, non-negative counters, and cumulative ascending
+/// histogram buckets closed by +Inf. Returns "" when the document is
+/// well-formed, else a one-line diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_TESTS_OBS_METRICSTESTSUPPORT_H
+#define STIRD_TESTS_OBS_METRICSTESTSUPPORT_H
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace stird::obs::prom {
+
+inline std::string validatePrometheusText(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Line;
+  std::map<std::string, std::string> TypeOf; // family -> declared type
+  std::string CurrentFamily;
+  // Per histogram series (family + labels sans le): last le threshold and
+  // cumulative count.
+  std::map<std::string, std::pair<double, double>> HistState;
+  std::size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    const std::string Where = " (line " + std::to_string(LineNo) + ")";
+    if (Line.empty())
+      continue;
+    if (Line.rfind("# HELP ", 0) == 0)
+      continue;
+    if (Line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream Fields(Line.substr(7));
+      std::string Family, Type;
+      Fields >> Family >> Type;
+      if (Family.empty() || Type.empty())
+        return "malformed TYPE line" + Where;
+      if (Type != "counter" && Type != "gauge" && Type != "histogram")
+        return "unknown type '" + Type + "'" + Where;
+      if (TypeOf.count(Family))
+        return "family '" + Family + "' declared twice" + Where;
+      TypeOf[Family] = Type;
+      CurrentFamily = Family;
+      continue;
+    }
+    if (Line[0] == '#')
+      return "unexpected comment" + Where;
+
+    // A sample: name{labels} value | name value.
+    const std::size_t Brace = Line.find('{');
+    const std::size_t Space = Line.find(' ');
+    if (Space == std::string::npos)
+      return "sample without a value" + Where;
+    const std::string Name = Line.substr(
+        0, Brace == std::string::npos ? Space : std::min(Brace, Space));
+    if (Name.empty())
+      return "empty metric name" + Where;
+    // _bucket/_sum/_count samples belong to their histogram family.
+    std::string Family = Name;
+    for (const char *Suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string S(Suffix);
+      if (Family.size() > S.size() &&
+          Family.compare(Family.size() - S.size(), S.size(), S) == 0) {
+        const std::string Base = Family.substr(0, Family.size() - S.size());
+        if (TypeOf.count(Base) && TypeOf[Base] == "histogram") {
+          Family = Base;
+          break;
+        }
+      }
+    }
+    if (!TypeOf.count(Family))
+      return "sample '" + Name + "' has no TYPE header" + Where;
+    if (Family != CurrentFamily)
+      return "sample '" + Name + "' is outside its family group" + Where;
+
+    const std::string ValueText = Line.substr(Line.rfind(' ') + 1);
+    char *End = nullptr;
+    const double Value = std::strtod(ValueText.c_str(), &End);
+    if (End == ValueText.c_str() || *End != '\0')
+      return "unparseable value '" + ValueText + "'" + Where;
+    if ((TypeOf[Family] == "counter" || TypeOf[Family] == "histogram") &&
+        Value < 0)
+      return "negative counter sample" + Where;
+
+    // Histogram bucket discipline: per series, le thresholds ascend and
+    // cumulative counts are monotone, closing with +Inf.
+    if (TypeOf[Family] == "histogram" && Name == Family + "_bucket") {
+      if (Brace == std::string::npos)
+        return "bucket sample without labels" + Where;
+      const std::size_t LePos = Line.find("le=\"");
+      if (LePos == std::string::npos)
+        return "bucket sample without le" + Where;
+      const std::size_t LeEnd = Line.find('"', LePos + 4);
+      const std::string LeText = Line.substr(LePos + 4, LeEnd - LePos - 4);
+      // Key the series by everything up to the le label.
+      const std::string SeriesKey = Name + Line.substr(Brace, LePos - Brace);
+      const double Le = LeText == "+Inf"
+                            ? std::numeric_limits<double>::infinity()
+                            : std::strtod(LeText.c_str(), nullptr);
+      auto It = HistState.find(SeriesKey);
+      if (It != HistState.end()) {
+        if (Le <= It->second.first)
+          return "bucket thresholds not ascending" + Where;
+        if (Value < It->second.second)
+          return "bucket counts not cumulative" + Where;
+      }
+      HistState[SeriesKey] = {Le, Value};
+    }
+  }
+  for (const auto &[SeriesKey, State] : HistState)
+    if (State.first != std::numeric_limits<double>::infinity())
+      return "histogram series '" + SeriesKey + "' never closed with +Inf";
+  return "";
+}
+
+} // namespace stird::obs::prom
+
+#endif // STIRD_TESTS_OBS_METRICSTESTSUPPORT_H

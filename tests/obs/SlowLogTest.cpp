@@ -1,0 +1,167 @@
+//===- tests/obs/SlowLogTest.cpp - Slow-query log tests ------------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSONL slow-query log: append-only records parse back line by line,
+/// size-based rotation keeps exactly one prior generation, a disabled log
+/// swallows records, and concurrent recorders interleave whole lines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/SlowLog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace stird;
+using obs::SlowQueryLog;
+
+namespace {
+
+/// A unique temp path removed (with its .1 sibling) on destruction.
+struct TempLog {
+  std::string Path;
+  TempLog() {
+    Path = ::testing::TempDir() + "stird-slowlog-" +
+           std::to_string(::getpid()) + "-" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".jsonl";
+    std::remove(Path.c_str());
+    std::remove((Path + ".1").c_str());
+  }
+  ~TempLog() {
+    std::remove(Path.c_str());
+    std::remove((Path + ".1").c_str());
+  }
+};
+
+std::vector<std::string> readLines(const std::string &Path) {
+  std::ifstream In(Path);
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  return Lines;
+}
+
+obs::json::Value record(std::uint64_t Micros, const std::string &Cmd) {
+  obs::json::Object O;
+  O.emplace_back("command", Cmd);
+  O.emplace_back("total_micros", Micros);
+  return obs::json::Value(std::move(O));
+}
+
+TEST(SlowLogTest, RecordsAppendAsParseableJsonLines) {
+  TempLog Tmp;
+  SlowQueryLog Log;
+  SlowQueryLog::Options O;
+  O.Path = Tmp.Path;
+  O.ThresholdMicros = 100;
+  ASSERT_TRUE(Log.open(O));
+  EXPECT_TRUE(Log.enabled());
+  EXPECT_EQ(Log.thresholdMicros(), 100u);
+  Log.record(record(150, "query"));
+  Log.record(record(2500, "load"));
+  EXPECT_EQ(Log.written(), 2u);
+
+  const std::vector<std::string> Lines = readLines(Tmp.Path);
+  ASSERT_EQ(Lines.size(), 2u);
+  for (const std::string &Line : Lines) {
+    std::optional<obs::json::Value> Doc = obs::json::parse(Line);
+    ASSERT_TRUE(Doc.has_value()) << Line;
+    EXPECT_NE(Doc->find("command"), nullptr);
+    EXPECT_NE(Doc->find("total_micros"), nullptr);
+  }
+  EXPECT_EQ(*readLines(Tmp.Path)[1].c_str(), '{');
+}
+
+TEST(SlowLogTest, ReopeningAppendsToTheExistingFile) {
+  TempLog Tmp;
+  SlowQueryLog::Options O;
+  O.Path = Tmp.Path;
+  {
+    SlowQueryLog Log;
+    ASSERT_TRUE(Log.open(O));
+    Log.record(record(1, "a"));
+  }
+  {
+    SlowQueryLog Log;
+    ASSERT_TRUE(Log.open(O));
+    Log.record(record(2, "b"));
+  }
+  EXPECT_EQ(readLines(Tmp.Path).size(), 2u);
+}
+
+TEST(SlowLogTest, RotationKeepsOnePriorGeneration) {
+  TempLog Tmp;
+  SlowQueryLog Log;
+  SlowQueryLog::Options O;
+  O.Path = Tmp.Path;
+  O.MaxBytes = 256; // a few records per generation
+  ASSERT_TRUE(Log.open(O));
+  for (int I = 0; I < 50; ++I)
+    Log.record(record(static_cast<std::uint64_t>(1000 + I), "query"));
+  EXPECT_EQ(Log.written(), 50u);
+
+  const std::vector<std::string> Current = readLines(Tmp.Path);
+  const std::vector<std::string> Rotated = readLines(Tmp.Path + ".1");
+  ASSERT_FALSE(Rotated.empty()) << "rotation never happened";
+  // Rotation drops older generations, so only the most recent records
+  // survive across the two files — and every surviving line still parses.
+  EXPECT_LT(Current.size() + Rotated.size(), 50u);
+  for (const std::string &Line : Current)
+    EXPECT_TRUE(obs::json::parse(Line).has_value()) << Line;
+  for (const std::string &Line : Rotated)
+    EXPECT_TRUE(obs::json::parse(Line).has_value()) << Line;
+}
+
+TEST(SlowLogTest, DisabledLogSwallowsRecords) {
+  SlowQueryLog Log;
+  EXPECT_FALSE(Log.enabled());
+  Log.record(record(1, "query")); // must not crash or write anywhere
+  EXPECT_EQ(Log.written(), 0u);
+}
+
+TEST(SlowLogTest, OpenFailsOnAnUnwritablePath) {
+  SlowQueryLog Log;
+  SlowQueryLog::Options O;
+  O.Path = "/nonexistent-dir-for-stird-tests/slow.jsonl";
+  EXPECT_FALSE(Log.open(O));
+  EXPECT_FALSE(Log.enabled());
+}
+
+TEST(SlowLogTest, ConcurrentRecordersInterleaveWholeLines) {
+  TempLog Tmp;
+  SlowQueryLog Log;
+  SlowQueryLog::Options O;
+  O.Path = Tmp.Path;
+  ASSERT_TRUE(Log.open(O));
+  constexpr int NumThreads = 4, PerThread = 200;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Log, T] {
+      for (int I = 0; I < PerThread; ++I)
+        Log.record(record(static_cast<std::uint64_t>(T * 1000 + I),
+                          "cmd" + std::to_string(T)));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Log.written(),
+            static_cast<std::uint64_t>(NumThreads) * PerThread);
+  const std::vector<std::string> Lines = readLines(Tmp.Path);
+  ASSERT_EQ(Lines.size(), static_cast<std::size_t>(NumThreads) * PerThread);
+  for (const std::string &Line : Lines)
+    ASSERT_TRUE(obs::json::parse(Line).has_value()) << Line;
+}
+
+} // namespace

@@ -17,12 +17,18 @@
 #include "srv/Session.h"
 #include "srv/Wire.h"
 
+#include "../obs/MetricsTestSupport.h"
+
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <netinet/in.h>
+#include <sstream>
 #include <string>
 #include <sys/socket.h>
 #include <thread>
@@ -277,6 +283,178 @@ TEST_F(ServerTest, ManyConcurrentConnectionsStress) {
   EXPECT_EQ(Srv->counters().ProtocolErrors.load(), 0u);
   // All clients loaded distinct edges into one session.
   EXPECT_EQ(Session->epoch(), static_cast<std::uint64_t>(NumClients));
+}
+
+//===----------------------------------------------------------------------===//
+// Serving observability: the /metrics endpoint, per-request traces, the
+// slow-query log.
+//===----------------------------------------------------------------------===//
+
+/// One blocking HTTP exchange against the metrics listener; returns the
+/// whole response (the server closes after one response).
+std::string httpGet(int Port, const std::string &Target) {
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  EXPECT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0)
+      << std::strerror(errno);
+  const std::string Request =
+      "GET " + Target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::write(Fd, Request.data(), Request.size()),
+            static_cast<ssize_t>(Request.size()));
+  std::string Response;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Response.append(Buf, static_cast<std::size_t>(N));
+  ::close(Fd);
+  return Response;
+}
+
+/// The body of an HTTP response (everything past the blank line).
+std::string bodyOf(const std::string &Response) {
+  const std::size_t Pos = Response.find("\r\n\r\n");
+  return Pos == std::string::npos ? std::string() : Response.substr(Pos + 4);
+}
+
+/// Sums every sample of \p Name (any label set) in an exposition body.
+double sumOfSamples(const std::string &Body, const std::string &Name) {
+  std::istringstream In(Body);
+  std::string Line;
+  double Sum = 0;
+  while (std::getline(In, Line)) {
+    if (Line.rfind(Name, 0) != 0)
+      continue;
+    const char Next = Line.size() > Name.size() ? Line[Name.size()] : '\0';
+    if (Next != '{' && Next != ' ')
+      continue; // a longer name sharing the prefix
+    Sum += std::strtod(Line.substr(Line.rfind(' ') + 1).c_str(), nullptr);
+  }
+  return Sum;
+}
+
+TEST_F(ServerTest, MetricsEndpointServesPrometheus) {
+  ServerOptions Options;
+  Options.MetricsPort = 0; // kernel-assigned
+  boot(Options);
+  ASSERT_GT(Srv->metricsPort(), 0);
+
+  Client C(Srv->boundPort());
+  ASSERT_TRUE(okOf(C.roundTrip(
+      R"({"cmd":"load","facts":{"edge":[[1,2],[2,3]]}})")));
+  const std::string Q =
+      R"({"cmd":"query","relation":"path","pattern":[1,null]})";
+  ASSERT_TRUE(okOf(C.roundTrip(Q)));
+  ASSERT_TRUE(okOf(C.roundTrip(Q))); // cache hit
+
+  const std::string Response = httpGet(Srv->metricsPort(), "/metrics");
+  EXPECT_EQ(Response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << Response;
+  EXPECT_NE(Response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string Body = bodyOf(Response);
+  EXPECT_EQ(obs::prom::validatePrometheusText(Body), "") << Body;
+
+  // The scrape reflects the conversation that just happened.
+  EXPECT_EQ(sumOfSamples(Body, "stird_requests_dispatched_total"), 3.0);
+  EXPECT_EQ(sumOfSamples(Body, "stird_cache_hits_total"), 1.0);
+  EXPECT_NE(Body.find("stird_request_latency_micros_bucket"),
+            std::string::npos);
+  // Every dispatched request landed in exactly one latency series.
+  EXPECT_EQ(sumOfSamples(Body, "stird_request_latency_micros_count"), 3.0);
+  EXPECT_NE(Body.find("stird_relation_size{tenant=\"default\","),
+            std::string::npos);
+
+  // Unknown targets answer 404; the scrape counter only counts scrapes.
+  EXPECT_EQ(httpGet(Srv->metricsPort(), "/other").rfind("HTTP/1.1 404", 0),
+            0u);
+  const std::string Second = bodyOf(httpGet(Srv->metricsPort(), "/metrics"));
+  EXPECT_EQ(sumOfSamples(Second, "stird_metrics_scrapes_total"), 1.0);
+}
+
+TEST_F(ServerTest, SampledTracesCarryQueueWaitSpans) {
+  ServerOptions Options;
+  Options.TraceSampleEvery = 1; // trace everything
+  boot(Options);
+  Client C(Srv->boundPort());
+  ASSERT_TRUE(okOf(C.roundTrip(
+      R"({"cmd":"load","facts":{"edge":[[1,2],[2,3]]}})")));
+  ASSERT_TRUE(okOf(C.roundTrip(
+      R"({"cmd":"query","relation":"path","pattern":[1,null]})")));
+
+  const Value Stats = C.roundTrip(R"({"cmd":"stats"})");
+  ASSERT_TRUE(okOf(Stats));
+  const Value *Trace = Stats.find("trace");
+  ASSERT_NE(Trace, nullptr) << Stats.dump();
+  EXPECT_GE(Trace->find("sampled")->asUint(), 2u);
+  const Value *Recent = Trace->find("recent");
+  ASSERT_NE(Recent, nullptr);
+  ASSERT_FALSE(Recent->asArray().empty());
+
+  // The finished query trace must account for its whole lifecycle — in
+  // particular the queue wait between admission and worker pickup.
+  bool SawQuery = false;
+  for (const Value &T : Recent->asArray()) {
+    if (T.find("command")->asString() != "query")
+      continue;
+    SawQuery = true;
+    const Value *Spans = T.find("spans");
+    ASSERT_NE(Spans, nullptr) << T.dump();
+    for (const char *Stage :
+         {"decode", "pending", "queue", "eval", "serialize", "write"})
+      EXPECT_NE(Spans->find(Stage), nullptr)
+          << "missing span '" << Stage << "' in " << T.dump();
+    EXPECT_NE(T.find("slot"), nullptr);
+    EXPECT_NE(T.find("source"), nullptr);
+  }
+  EXPECT_TRUE(SawQuery) << Stats.dump();
+}
+
+TEST_F(ServerTest, SlowQueryLogRecordsEveryRequestAtThresholdZero) {
+  const std::string LogPath = ::testing::TempDir() + "stird-server-slow-" +
+                              std::to_string(::getpid()) + ".jsonl";
+  std::remove(LogPath.c_str());
+  ServerOptions Options;
+  Options.SlowQueryLogPath = LogPath;
+  Options.SlowQueryMicros = 0; // every request is "slow"
+  boot(Options);
+  Client C(Srv->boundPort());
+  ASSERT_TRUE(okOf(C.roundTrip(
+      R"({"cmd":"load","facts":{"edge":[[1,2]]}})")));
+  ASSERT_TRUE(okOf(C.roundTrip(
+      R"({"cmd":"query","relation":"path","pattern":[1,null]})")));
+
+  // Records land after the reply's write buffer drains; give the event
+  // loop a moment to run that final step.
+  for (int I = 0; I < 200 && Srv->telemetry().SlowLog.written() < 2; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(Srv->telemetry().SlowLog.written(), 2u);
+
+  std::ifstream In(LogPath);
+  std::string Line;
+  std::size_t Parsed = 0;
+  bool SawQuery = false;
+  while (std::getline(In, Line)) {
+    std::optional<Value> Doc = obs::json::parse(Line);
+    ASSERT_TRUE(Doc.has_value()) << Line;
+    ++Parsed;
+    ASSERT_NE(Doc->find("command"), nullptr);
+    ASSERT_NE(Doc->find("total_micros"), nullptr);
+    ASSERT_NE(Doc->find("spans"), nullptr);
+    if (Doc->find("command")->asString() == "query") {
+      SawQuery = true;
+      // A slow-log entry is diffable against sampled traces: it carries
+      // the request's relation and canonical pattern.
+      EXPECT_NE(Doc->find("relation"), nullptr) << Line;
+      EXPECT_NE(Doc->find("pattern"), nullptr) << Line;
+    }
+  }
+  EXPECT_GE(Parsed, 2u);
+  EXPECT_TRUE(SawQuery);
+  std::remove(LogPath.c_str());
 }
 
 } // namespace

@@ -17,6 +17,8 @@
 #include "srv/Session.h"
 #include "srv/Wire.h"
 
+#include "../obs/MetricsTestSupport.h"
+
 #include <gtest/gtest.h>
 
 #include <string>
@@ -493,6 +495,53 @@ TEST_F(WireTenantTest, RepeatedQueriesHitTheCacheWithIdenticalReplies) {
     EXPECT_EQ(Cold.find(Member)->dump(), Warm.find(Member)->dump())
         << Member;
   }
+}
+
+TEST_F(WireRequestTest, V1EndpointRejectsTheMetricsCommand) {
+  const Value R = reply(R"({"cmd":"metrics"})");
+  EXPECT_FALSE(okOf(R));
+  EXPECT_NE(errorOf(R).find("metrics"), std::string::npos);
+}
+
+TEST_F(WireTenantTest, MetricsCommandDeliversTheExpositionInBand) {
+  reply(R"({"cmd":"load","facts":{"edge":[[1,2]]}})");
+  reply(R"({"cmd":"query","relation":"path","pattern":[1,null]})");
+
+  const Value R = reply(R"({"cmd":"metrics","id":9})");
+  ASSERT_TRUE(okOf(R)) << R.dump();
+  EXPECT_EQ(R.find("id")->asNumber(), 9);
+  const Value *Text = R.find("metrics");
+  ASSERT_NE(Text, nullptr);
+  ASSERT_TRUE(Text->isString());
+  // The in-band document is the same exposition the HTTP endpoint serves:
+  // well-formed 0.0.4 text with the tenant and latency families.
+  EXPECT_EQ(obs::prom::validatePrometheusText(Text->asString()), "")
+      << Text->asString();
+  EXPECT_NE(Text->asString().find("stird_tenant_epoch{tenant=\"default\"}"),
+            std::string::npos);
+  EXPECT_NE(Text->asString().find("stird_request_latency_micros_bucket"),
+            std::string::npos);
+}
+
+TEST_F(WireTenantTest, StatsCarryTelemetryMembersWhenAttached) {
+  // Without an attached front end there is no "server"/"trace" member.
+  EXPECT_EQ(reply(R"({"cmd":"stats"})").find("server"), nullptr);
+  EXPECT_EQ(reply(R"({"cmd":"stats"})").find("trace"), nullptr);
+
+  ServeTelemetry Telemetry;
+  Tenants.Telemetry = &Telemetry;
+  const Value R = reply(R"({"cmd":"stats"})");
+  ASSERT_TRUE(okOf(R));
+  const Value *Server = R.find("server");
+  ASSERT_NE(Server, nullptr);
+  EXPECT_NE(Server->find("requests_dispatched"), nullptr);
+  EXPECT_NE(Server->find("metrics_scrapes"), nullptr);
+  const Value *Trace = R.find("trace");
+  ASSERT_NE(Trace, nullptr);
+  for (const char *Member :
+       {"started", "sampled", "retained", "slow", "sample_every", "recent"})
+    EXPECT_NE(Trace->find(Member), nullptr) << Member;
+  Tenants.Telemetry = nullptr;
 }
 
 TEST_F(WireTenantTest, SnapshotPublishInvalidatesTheCache) {

@@ -171,10 +171,83 @@ static int pipelineAll(int Fd, const std::vector<std::string> &Requests) {
   return Status;
 }
 
+/// One compact --watch line from a stats reply: request, cache and
+/// scheduler counters plus the per-command p99s, fit for a terminal.
+static void printWatchLine(const obs::json::Value &Doc) {
+  auto Num = [](const obs::json::Value *V) -> double {
+    return V && V->isNumber() ? V->asNumber() : 0.0;
+  };
+  std::string Line;
+  char Buf[128];
+  const obs::json::Value *Server = Doc.find("server");
+  const obs::json::Value *Cache = Doc.find("cache");
+  const obs::json::Value *Sched = Doc.find("scheduler");
+  if (Server) {
+    std::snprintf(Buf, sizeof(Buf), "req=%.0f over=%.0f",
+                  Num(Server->find("requests_dispatched")),
+                  Num(Server->find("requests_overloaded")));
+    Line += Buf;
+  }
+  if (Cache) {
+    std::snprintf(Buf, sizeof(Buf), " cache=%.0f/%.0f",
+                  Num(Cache->find("hits")), Num(Cache->find("misses")));
+    Line += Buf;
+  }
+  if (Sched) {
+    std::snprintf(Buf, sizeof(Buf), " queue=%.0f stolen=%.0f",
+                  Num(Sched->find("queue_depth")),
+                  Num(Sched->find("tasks_stolen")));
+    Line += Buf;
+  }
+  if (const obs::json::Value *Latency = Doc.find("latency"))
+    if (Latency->isObject())
+      for (const auto &[Command, Summary] : Latency->asObject()) {
+        std::snprintf(Buf, sizeof(Buf), " %s:n=%.0f,p99=%.0fus",
+                      Command.c_str(), Num(Summary.find("count")),
+                      Num(Summary.find("p99_micros")));
+        Line += Buf;
+      }
+  if (const obs::json::Value *Trace = Doc.find("trace")) {
+    std::snprintf(Buf, sizeof(Buf), " traces=%.0f slow=%.0f",
+                  Num(Trace->find("retained")), Num(Trace->find("slow")));
+    Line += Buf;
+  }
+  std::printf("%s\n", Line.empty() ? "(no stats members)" : Line.c_str());
+  std::fflush(stdout);
+}
+
+/// --watch loop: one stats request per interval on a persistent
+/// connection, one compact line per reply, until the transport fails.
+static int watchStats(int Fd, unsigned IntervalSeconds) {
+  const std::string Request = "{\"cmd\":\"stats\"}";
+  for (;;) {
+    std::string Error;
+    if (!srv::writeFrame(Fd, Request, &Error)) {
+      std::fprintf(stderr, "stird-client: %s\n", Error.c_str());
+      return 2;
+    }
+    std::string Reply;
+    if (!srv::readFrame(Fd, Reply, &Error)) {
+      std::fprintf(stderr, "stird-client: %s\n",
+                   Error.empty() ? "server closed the connection"
+                                 : Error.c_str());
+      return 2;
+    }
+    std::optional<obs::json::Value> Doc = obs::json::parse(Reply);
+    if (!Doc) {
+      std::fprintf(stderr, "stird-client: malformed reply\n");
+      return 2;
+    }
+    printWatchLine(*Doc);
+    ::sleep(IntervalSeconds);
+  }
+}
+
 int main(int Argc, char **Argv) {
   std::string UnixPath, Host = "127.0.0.1", PortText;
   int Port = 0;
   bool Pipeline = false;
+  unsigned WatchSeconds = 0;
   std::vector<std::string> Requests;
 
   util::Args Args("stird-client",
@@ -197,6 +270,18 @@ int main(int Argc, char **Argv) {
   Args.flag({"--pipeline"},
             "send every request before reading any reply (auto-ids)",
             [&Pipeline] { Pipeline = true; });
+  Args.option({"--watch"}, "seconds",
+              "poll stats at this interval and print one compact "
+              "live-counters line per poll",
+              [&WatchSeconds](const std::string &Value) -> std::string {
+                char *End = nullptr;
+                const long N = std::strtol(Value.c_str(), &End, 10);
+                if (End == Value.c_str() || *End != '\0' || N <= 0)
+                  return "expected a positive interval, got '" + Value +
+                         "'";
+                WatchSeconds = static_cast<unsigned>(N);
+                return "";
+              });
   Args.positional("request...",
                   [&Requests](const std::string &Value) {
                     Requests.push_back(Value);
@@ -215,6 +300,12 @@ int main(int Argc, char **Argv) {
       UnixPath.empty() ? connectTcp(Host, Port) : connectUnix(UnixPath);
   if (Fd < 0)
     return 2;
+
+  if (WatchSeconds > 0) {
+    const int Status = watchStats(Fd, WatchSeconds);
+    ::close(Fd);
+    return Status;
+  }
 
   if (Requests.empty()) {
     std::string Line;

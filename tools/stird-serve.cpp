@@ -102,6 +102,57 @@ int main(int Argc, char **Argv) {
               [&Server](const std::string &Value) {
                 return parseCount(Value, Server.PoolThreads);
               });
+  Args.option({"--metrics-port"}, "n",
+              "serve Prometheus text metrics over HTTP on this TCP port "
+              "(0 lets the kernel pick)",
+              [&](const std::string &Value) -> std::string {
+                char *End = nullptr;
+                const long N = std::strtol(Value.c_str(), &End, 10);
+                if (End == Value.c_str() || *End != '\0' || N < 0 ||
+                    N > 65535)
+                  return "invalid port '" + Value + "'";
+                Server.MetricsPort = static_cast<int>(N);
+                return "";
+              });
+  Args.option({"--trace-sample"}, "n",
+              "record a lifecycle trace for every nth request "
+              "(see the stats \"trace\" member; 0 disables)",
+              [&Server](const std::string &Value) {
+                std::size_t N = 0;
+                const std::string E = parseCount(Value, N);
+                if (E.empty())
+                  Server.TraceSampleEvery = N;
+                return E;
+              });
+  Args.option({"--trace-out"}, "file",
+              "write retained request traces as Chrome trace-event JSON "
+              "at shutdown",
+              tools::pathSink(Server.TraceOutPath));
+  Args.option({"--slow-query-log"}, "file",
+              "append a JSONL record for every request at or above "
+              "--slow-query-micros",
+              tools::pathSink(Server.SlowQueryLogPath));
+  Args.option({"--slow-query-micros"}, "n",
+              "slow-query threshold in microseconds (default 10000; 0 "
+              "logs every request)",
+              [&Server](const std::string &Value) -> std::string {
+                char *End = nullptr;
+                const long long N = std::strtoll(Value.c_str(), &End, 10);
+                if (End == Value.c_str() || *End != '\0' || N < 0)
+                  return "expected a non-negative count, got '" + Value +
+                         "'";
+                Server.SlowQueryMicros = static_cast<std::uint64_t>(N);
+                return "";
+              });
+  Args.option({"--slow-query-log-max-bytes"}, "n",
+              "rotate the slow-query log past this size (default: never)",
+              [&Server](const std::string &Value) {
+                std::size_t N = 0;
+                const std::string E = parseCount(Value, N);
+                if (E.empty())
+                  Server.SlowQueryLogMaxBytes = N;
+                return E;
+              });
   Args.flag({"--run-io"},
             "execute the program's .input/.output directives at bootstrap",
             [&Session] { Session.RunIo = true; });
@@ -165,6 +216,11 @@ int main(int Argc, char **Argv) {
                  "stird-serve: listening on %s:%d (%zu tenants, %s)\n",
                  Server.Host.c_str(), Srv.boundPort(), Tenants.size(),
                  Sess.isIncremental() ? "incremental" : "re-evaluating");
+  if (Srv.metricsPort() != 0)
+    std::fprintf(stderr, "stird-serve: metrics on http://%s:%d/metrics\n",
+                 Server.UnixPath.empty() ? Server.Host.c_str()
+                                         : "127.0.0.1",
+                 Srv.metricsPort());
   std::fflush(stderr);
 
   Srv.serve();
