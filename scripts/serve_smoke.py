@@ -8,8 +8,10 @@ protocol end to end — not just exit codes:
     request written before any reply is read; the client verifies the
     echoed ids come back in request order): the loaded edges must
     produce exactly the transitive-closure paths, a repeated query must
-    be served from the result cache, and the stats must report the v2
-    protocol, the tenant, the cache counters and the server counters;
+    be served from the result cache, a retract plus a mixed
+    insert/retract load must be incrementally maintained and re-queried
+    exactly, and the stats must report the v2 protocol, the tenant, the
+    cache counters, the server counters and maintenance health;
  2. a small load generator speaking the framing directly over several
     concurrent connections, recording per-request round-trip latency
     and writing a JSON artifact (p50/p99/max) for CI to upload;
@@ -154,6 +156,14 @@ def scrape_metrics(port, expected_requests, artifact, tmp):
              f"reports {totals.get('stird_requests_dispatched_total')}")
     if totals.get("stird_cache_hits_total", 0) < 1:
         fail("endpoint reports no cache hits after the repeat queries")
+    if totals.get("stird_maintenance_enabled", 0) != 1:
+        fail("endpoint reports maintenance disabled for tc.dl")
+    if totals.get("stird_maintenance_batches_total") != 3:
+        fail("endpoint does not report three maintained batches")
+    if totals.get("stird_maintenance_deleted_total") != 1:
+        fail("endpoint does not report the retracted tuple")
+    if totals.get("stird_maintenance_fallbacks_total", 0) != 0:
+        fail("endpoint reports maintenance fallbacks on an eligible run")
     if "stird_request_latency_micros_bucket" not in text:
         fail("no latency histogram in the scrape")
     if artifact:
@@ -206,6 +216,15 @@ def main():
                 # Identical to the first query: must hit the result cache.
                 {"cmd": "query", "relation": "path", "pattern": [1, None]},
                 {"cmd": "stats"},
+                # Retraction round trip: delete one edge, the closure
+                # shrinks; a mixed load restores it while retracting an
+                # absent tuple (a counted no-op); the closure is back.
+                {"cmd": "retract", "facts": {"edge": [[2, 3]]}},
+                {"cmd": "query", "relation": "path"},
+                {"cmd": "load", "facts": {"edge": [[2, 3]]},
+                 "retract": {"edge": [[9, 9]]}},
+                {"cmd": "query", "relation": "path"},
+                {"cmd": "stats"},
             ]
             result = subprocess.run(
                 [client, "--socket", socket_path, "--pipeline"]
@@ -234,7 +253,8 @@ def main():
                 if reply.get("id") != i:
                     fail(f"reply {i} echoed id {reply.get('id')}")
 
-            load, from1, full, repeat, stats = replies
+            (load, from1, full, repeat, stats,
+             retract, shrunk, mixed, restored, stats2) = replies
             if load["inserted"] != len(EDGES) or load["duplicates"] != 0:
                 fail(f"unexpected load counts: {load}")
             if not load["incremental"]:
@@ -271,6 +291,35 @@ def main():
             if latency["load"]["count"] != 1 or latency["query"]["count"] != 3:
                 fail(f"unexpected latency counts: {latency}")
 
+            # Retraction leg: the closure must shrink to exactly the
+            # closure of the remaining edges, then come back.
+            if retract["deleted"] != 1 or retract["missing"] != 0:
+                fail(f"unexpected retract counts: {retract}")
+            if not retract["maintained"] or not retract["incremental"]:
+                fail(f"retract was not incrementally maintained: {retract}")
+            want_shrunk = expected_paths([e for e in EDGES if e != [2, 3]])
+            if sorted(shrunk["tuples"]) != want_shrunk:
+                fail(f"post-retract query mismatch: {shrunk['tuples']}")
+            if mixed["inserted"] != 1 or mixed["deleted"] != 0 \
+                    or mixed["missing"] != 1:
+                fail(f"unexpected mixed-load counts: {mixed}")
+            if sorted(restored["tuples"]) != want:
+                fail(f"re-insert did not restore the closure: "
+                     f"{restored['tuples']}")
+
+            maint = stats2["maintenance"]
+            if not maint["enabled"]:
+                fail(f"tc.dl should be maintenance-eligible: {maint}")
+            if maint["batches"] != 3 or maint["deleted"] != 1:
+                fail(f"unexpected maintenance telemetry: {maint}")
+            if maint["rebuild_fallbacks"] != 0 or maint["fallbacks"]:
+                fail(f"unexpected maintenance fallbacks: {maint}")
+            if stats2["epoch"] != 3:
+                fail(f"expected epoch 3 after three publishes: {stats2}")
+            sizes2 = {r["name"]: r["size"] for r in stats2["relations"]}
+            if sizes2 != {"edge": len(EDGES), "path": len(want)}:
+                fail(f"unexpected relation sizes after retract leg: {sizes2}")
+
             summary = load_generator(socket_path, artifact)
 
             scrape_metrics(metrics_port,
@@ -296,6 +345,7 @@ def main():
     print("serve_smoke: OK "
           f"({len(EDGES)} edges -> {len(expected_paths(EDGES))} paths, "
           "pipelined load/query/stats round-tripped, "
+          "retract and mixed load incrementally maintained, "
           f"load-gen p99 {summary['p99_us']}us over "
           f"{LOADGEN_CONNECTIONS} connections, "
           "metrics scrape validated, clean shutdown)")

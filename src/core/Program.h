@@ -48,6 +48,10 @@ struct CompileOptions {
   /// apply monotonic fact batches without recomputing from scratch (see
   /// translate::TranslationOptions::EmitUpdateProgram for eligibility).
   bool EmitUpdateProgram = false;
+  /// Also emit the incremental maintenance program for mixed
+  /// insert/retract batches (counting + DRed per stratum, scoped Reeval
+  /// fallbacks — see translate::TranslationOptions::EmitMaintenance).
+  bool EmitMaintenance = false;
   /// Join-ordering strategy for rule bodies (--sips). Source keeps the
   /// textual order, so nothing changes unless a caller opts in.
   translate::SipsStrategy Sips = translate::SipsStrategy::Source;

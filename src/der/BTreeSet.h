@@ -229,6 +229,48 @@ public:
     return false;
   }
 
+  /// Removes \p Key; returns false if it was not present.
+  ///
+  /// Rebalancing is lazy ("min-fill 0"): nodes may drain down to a single
+  /// key, and only a node that becomes completely empty is fixed up, by
+  /// borrowing a key through the parent from a sibling with two or more
+  /// keys, or by merging with a one-key sibling (which may cascade the
+  /// underflow upwards and eventually collapse the root). The tree a
+  /// sequence of erases leaves behind can therefore be sparser than one
+  /// built by insertion only, but no node is ever empty, which is the one
+  /// invariant iteration, partition() and the parent back-pointers need.
+  bool erase(const TupleType &Key) {
+    Node *N = Root;
+    std::size_t I = 0;
+    while (N) {
+      I = lowerPos(N, Key);
+      if (I < N->NumKeys && Cmp.equal(N->Keys[I], Key))
+        break;
+      if (N->IsLeaf)
+        return false;
+      N = N->Children[I];
+    }
+    if (!N)
+      return false;
+    if (!N->IsLeaf) {
+      // Replace the internal key with its successor (the leftmost key of
+      // the right subtree), then erase that key from its leaf instead.
+      Node *L = N->Children[I + 1];
+      while (!L->IsLeaf)
+        L = L->Children[0];
+      N->Keys[I] = L->Keys[0];
+      N = L;
+      I = 0;
+    }
+    for (std::size_t J = I + 1; J < N->NumKeys; ++J)
+      N->Keys[J - 1] = N->Keys[J];
+    --N->NumKeys;
+    --NumTuples;
+    if (N->NumKeys == 0)
+      fixEmpty(N);
+    return true;
+  }
+
   /// First tuple not less than \p Key.
   iterator lowerBound(const TupleType &Key) const {
     iterator Result = end();
@@ -453,6 +495,104 @@ private:
 
     Right->Parent = Parent;
     Right->PosInParent = static_cast<std::uint16_t>(Index + 1);
+  }
+
+  /// Restores the no-empty-node invariant after \p N lost its last key.
+  /// A non-leaf \p N still owns exactly one child, Children[0].
+  void fixEmpty(Node *N) {
+    for (;;) {
+      if (N == Root) {
+        if (N->IsLeaf) {
+          delete N;
+          Root = nullptr;
+        } else {
+          Root = N->Children[0];
+          Root->Parent = nullptr;
+          Root->PosInParent = 0;
+          delete N;
+        }
+        return;
+      }
+      Node *P = N->Parent;
+      const std::size_t Pos = N->PosInParent;
+
+      // Borrow through the parent from a sibling that can spare a key.
+      if (Pos > 0 && P->Children[Pos - 1]->NumKeys >= 2) {
+        Node *L = P->Children[Pos - 1];
+        N->Keys[0] = P->Keys[Pos - 1];
+        if (!N->IsLeaf) {
+          N->Children[1] = N->Children[0];
+          N->Children[1]->PosInParent = 1;
+          Node *C = L->Children[L->NumKeys];
+          N->Children[0] = C;
+          C->Parent = N;
+          C->PosInParent = 0;
+        }
+        N->NumKeys = 1;
+        P->Keys[Pos - 1] = L->Keys[L->NumKeys - 1];
+        --L->NumKeys;
+        return;
+      }
+      if (Pos < P->NumKeys && P->Children[Pos + 1]->NumKeys >= 2) {
+        Node *R = P->Children[Pos + 1];
+        N->Keys[0] = P->Keys[Pos];
+        if (!N->IsLeaf) {
+          Node *C = R->Children[0];
+          N->Children[1] = C;
+          C->Parent = N;
+          C->PosInParent = 1;
+          for (std::size_t J = 0; J < R->NumKeys; ++J) {
+            R->Children[J] = R->Children[J + 1];
+            R->Children[J]->PosInParent = static_cast<std::uint16_t>(J);
+          }
+        }
+        N->NumKeys = 1;
+        P->Keys[Pos] = R->Keys[0];
+        for (std::size_t J = 1; J < R->NumKeys; ++J)
+          R->Keys[J - 1] = R->Keys[J];
+        --R->NumKeys;
+        return;
+      }
+
+      // Both neighbours are at one key: merge with one of them, absorbing
+      // the separator. The result has at most two keys, well under MaxKeys.
+      std::size_t SepIdx;
+      Node *Left, *Right;
+      if (Pos > 0) {
+        SepIdx = Pos - 1;
+        Left = P->Children[Pos - 1];
+        Right = N;
+      } else {
+        SepIdx = Pos;
+        Left = N;
+        Right = P->Children[Pos + 1];
+      }
+      const std::size_t L0 = Left->NumKeys;
+      Left->Keys[L0] = P->Keys[SepIdx];
+      for (std::size_t J = 0; J < Right->NumKeys; ++J)
+        Left->Keys[L0 + 1 + J] = Right->Keys[J];
+      if (!Left->IsLeaf) {
+        for (std::size_t J = 0; J <= Right->NumKeys; ++J) {
+          Node *C = Right->Children[J];
+          Left->Children[L0 + 1 + J] = C;
+          C->Parent = Left;
+          C->PosInParent = static_cast<std::uint16_t>(L0 + 1 + J);
+        }
+      }
+      Left->NumKeys = static_cast<std::uint16_t>(L0 + 1 + Right->NumKeys);
+      delete Right;
+
+      for (std::size_t J = SepIdx + 1; J < P->NumKeys; ++J)
+        P->Keys[J - 1] = P->Keys[J];
+      for (std::size_t J = SepIdx + 2; J <= P->NumKeys; ++J) {
+        P->Children[J - 1] = P->Children[J];
+        P->Children[J - 1]->PosInParent = static_cast<std::uint16_t>(J - 1);
+      }
+      --P->NumKeys;
+      if (P->NumKeys > 0)
+        return;
+      N = P;
+    }
   }
 
   void destroy(Node *N) {

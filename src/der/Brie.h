@@ -217,6 +217,49 @@ public:
     return true;
   }
 
+  /// Removes \p Key; returns false if it was not present. Empty chunks and
+  /// empty child subtrees are pruned on the way back up, preserving the
+  /// "children and chunks are never empty" invariant that iteration and
+  /// partition() rely on.
+  bool erase(const TupleType &Key) {
+    Node *Path[Arity];
+    Node *N = &Root;
+    for (std::size_t L = 0; L + 1 < Arity; ++L) {
+      Path[L] = N;
+      auto It = std::lower_bound(
+          N->Children.begin(), N->Children.end(), Key[L],
+          [](const auto &Entry, RamDomain V) { return Entry.first < V; });
+      if (It == N->Children.end() || It->first != Key[L])
+        return false;
+      N = It->second;
+    }
+    auto It = std::lower_bound(
+        N->Chunks.begin(), N->Chunks.end(), chunkBase(Key[Arity - 1]),
+        [](const auto &Entry, RamDomain Base) { return Entry.first < Base; });
+    const std::uint64_t Bit = chunkBit(Key[Arity - 1]);
+    if (It == N->Chunks.end() || It->first != chunkBase(Key[Arity - 1]) ||
+        !(It->second & Bit))
+      return false;
+    It->second &= ~Bit;
+    if (It->second == 0)
+      N->Chunks.erase(It);
+    --NumTuples;
+    // Prune now-empty subtrees bottom-up (the root itself may stay empty).
+    for (std::size_t L = Arity - 1; L-- > 0;) {
+      if (!N->Children.empty() || !N->Chunks.empty())
+        break;
+      Node *P = Path[L];
+      auto ChildIt = std::lower_bound(
+          P->Children.begin(), P->Children.end(), Key[L],
+          [](const auto &Entry, RamDomain V) { return Entry.first < V; });
+      assert(ChildIt != P->Children.end() && ChildIt->second == N);
+      delete N;
+      P->Children.erase(ChildIt);
+      N = P;
+    }
+    return true;
+  }
+
   /// Membership test for the full tuple.
   bool contains(const TupleType &Key) const {
     const Node *N = &Root;
@@ -278,8 +321,8 @@ public:
   /// iterator ranges whose concatenation is the full scan. Split points are
   /// the root's children (bitmap chunks for Arity == 1), so fewer ranges
   /// than requested may come back; an empty set yields none. Safe because
-  /// child subtrees and chunks are never empty once created (there is no
-  /// per-tuple deletion), so every boundary iterator is dereferenceable.
+  /// child subtrees and chunks are never left empty (erase() prunes them
+  /// eagerly), so every boundary iterator is dereferenceable.
   std::vector<std::pair<iterator, iterator>>
   partition(std::size_t MaxParts) const {
     std::vector<std::pair<iterator, iterator>> Parts;

@@ -1,0 +1,174 @@
+//===- inc/CountedRelation.h - Support-count collector ----------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counting side of the incremental maintenance subsystem: a relation
+/// wrapper that keeps a multiplicity per tuple instead of a set.
+///
+/// Two roles, both declared with ram::StructureKind::Counts:
+///
+///  * cnt_R — the support store: for every tuple of a counting-maintained
+///    relation R, the number of distinct derivations that currently
+///    produce it (FlowLog-style derivation counting). A tuple is in R iff
+///    its support is positive.
+///
+///  * cadd_R / cdec_R — per-batch delta collectors: the signed rule
+///    versions of the maintenance program project every (re)derivation
+///    into these, one insert per derivation, and a FoldCounts statement
+///    nets them into cnt_R afterwards.
+///
+/// Collectors are only ever written through Project (virtual insert) and
+/// read back by FoldCounts, so the wrapper does not participate in the
+/// specialized instruction portfolio; the de-specialized virtual path is
+/// the single access path. Parallel rule bodies are safe because worker
+/// TupleBuffers append privately (preserving multiplicity) and are flushed
+/// sequentially at the statement barrier.
+///
+/// Backed by std::map for deterministic iteration order: the ins_/del_
+/// deltas FoldCounts emits, and hence everything downstream, are then
+/// independent of thread count and hash seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_INC_COUNTEDRELATION_H
+#define STIRD_INC_COUNTEDRELATION_H
+
+#include "interp/Relation.h"
+
+#include <cstdint>
+#include <map>
+
+namespace stird::inc {
+
+class CountedRelation final : public interp::RelationWrapper {
+public:
+  using CountMap = std::map<DynTuple, std::uint64_t>;
+
+  CountedRelation(const ram::Relation &Decl,
+                  std::vector<interp::Order> Orders)
+      : RelationWrapper(interp::RelKind::Counts, Decl, std::move(Orders)) {}
+
+  /// Bumps the tuple's multiplicity; returns true when the tuple is new
+  /// (multiplicity went 0 -> 1), matching the set wrappers' "grew" notion.
+  bool insert(const RamDomain *Tuple) override {
+    DynTuple Key(Tuple, Tuple + getArity());
+    return ++Counts[std::move(Key)] == 1;
+  }
+
+  /// Drops the tuple's multiplicity by one; removes it when it hits zero.
+  /// Returns true when the tuple was present at all.
+  bool erase(const RamDomain *Tuple) override {
+    auto It = Counts.find(DynTuple(Tuple, Tuple + getArity()));
+    if (It == Counts.end())
+      return false;
+    if (--It->second == 0)
+      Counts.erase(It);
+    return true;
+  }
+
+  bool contains(const RamDomain *Tuple) const override {
+    return Counts.count(DynTuple(Tuple, Tuple + getArity())) != 0;
+  }
+
+  bool containsRange(std::size_t, const RamDomain *, std::size_t PrefixLen,
+                     std::uint32_t) const override {
+    if (PrefixLen == 0)
+      return !Counts.empty();
+    fatal("count collector '" + getName() + "' does not support searches");
+  }
+
+  /// Number of distinct tuples (not the sum of multiplicities).
+  std::size_t size() const override { return Counts.size(); }
+
+  void clear() override { Counts.clear(); }
+
+  void swap(RelationWrapper &Other) override {
+    assert(Other.getKind() == interp::RelKind::Counts &&
+           "swap layout mismatch");
+    Counts.swap(static_cast<CountedRelation &>(Other).Counts);
+  }
+
+  void insertAll(const RelationWrapper &Src) override {
+    Src.forEach([&](const RamDomain *Tuple) { insert(Tuple); });
+  }
+
+  /// Distinct tuples in lexicographic order (multiplicities invisible).
+  std::unique_ptr<interp::TupleStream> scan(std::size_t,
+                                            bool) const override {
+    return std::make_unique<Stream>(*this);
+  }
+
+  std::unique_ptr<interp::TupleStream>
+  range(std::size_t, const RamDomain *, std::size_t, std::uint32_t,
+        bool) const override {
+    fatal("count collector '" + getName() + "' does not support searches");
+  }
+
+  /// Count-aware enumeration, in deterministic (lexicographic) order.
+  template <typename Fn> void forEachCount(Fn &&Callback) const {
+    for (const auto &[Tuple, Count] : Counts)
+      Callback(Tuple, Count);
+  }
+
+  /// Multiplicity of \p Key, 0 if absent.
+  std::uint64_t countOf(const DynTuple &Key) const {
+    auto It = Counts.find(Key);
+    return It == Counts.end() ? 0 : It->second;
+  }
+
+  /// Adds \p Delta (may be negative) to \p Key's multiplicity; the result
+  /// must stay non-negative. Returns the new multiplicity.
+  std::uint64_t adjust(const DynTuple &Key, std::int64_t Delta) {
+    auto It = Counts.lower_bound(Key);
+    if (It == Counts.end() || It->first != Key) {
+      if (Delta <= 0) {
+        assert(Delta == 0 && "support count underflow");
+        return 0;
+      }
+      Counts.emplace_hint(It, Key, static_cast<std::uint64_t>(Delta));
+      return static_cast<std::uint64_t>(Delta);
+    }
+    const std::int64_t Next =
+        static_cast<std::int64_t>(It->second) + Delta;
+    assert(Next >= 0 && "support count underflow");
+    if (Next <= 0) {
+      Counts.erase(It);
+      return 0;
+    }
+    It->second = static_cast<std::uint64_t>(Next);
+    return It->second;
+  }
+
+private:
+  class Stream final : public interp::TupleStream {
+  public:
+    explicit Stream(const CountedRelation &Rel)
+        : Cur(Rel.Counts.begin()), End(Rel.Counts.end()),
+          Arity(Rel.getArity()) {}
+
+    std::size_t refill(RamDomain *Buffer, std::size_t Capacity) override {
+      std::size_t N = 0;
+      while (N < Capacity && Cur != End) {
+        std::memcpy(Buffer + N * Arity, Cur->first.data(),
+                    Arity * sizeof(RamDomain));
+        ++Cur;
+        ++N;
+      }
+      return N;
+    }
+
+  private:
+    CountMap::const_iterator Cur;
+    CountMap::const_iterator End;
+    std::size_t Arity;
+  };
+
+  CountMap Counts;
+};
+
+} // namespace stird::inc
+
+#endif // STIRD_INC_COUNTEDRELATION_H

@@ -1,0 +1,167 @@
+//===- inc/Maintainer.cpp - Incremental maintenance driver --------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "inc/Maintainer.h"
+
+#include "util/MiscUtil.h"
+
+#include <cassert>
+#include <set>
+
+using namespace stird;
+using namespace stird::inc;
+
+Maintainer::Maintainer(const ram::Program &Prog, interp::Engine &Eng)
+    : Prog(Prog), Eng(Eng) {
+  for (const auto &MS : Prog.getMaintStrata())
+    Derived.insert(MS.Relations.begin(), MS.Relations.end());
+}
+
+interp::RelationWrapper &Maintainer::rel(const std::string &Name) const {
+  interp::RelationWrapper *R = Eng.getRelation(Name);
+  if (!R)
+    fatal("maintenance relation '" + Name + "' missing from engine");
+  return *R;
+}
+
+void Maintainer::bootstrap() {
+  assert(!Bootstrapped && "support counts would double");
+  if (const ram::Statement *Init = Prog.getCountInit())
+    Eng.runStatement(*Init);
+  Bootstrapped = true;
+}
+
+std::string Maintainer::rejectReason(const MixedBatch &Batch) const {
+  if (!eligible())
+    return ineligibleReason().empty() ? "program has no maintenance plan"
+                                      : ineligibleReason();
+  for (const RelationOps &Ops : Batch) {
+    // Declared relations all carry a MaintAux entry; anything else (aux
+    // relations included) is not a valid batch target.
+    const ram::Program::MaintAux *Aux = Prog.getMaintAux(Ops.Relation);
+    if (!Aux)
+      return "unknown relation '" + Ops.Relation + "'";
+    if (Derived.count(Ops.Relation))
+      return "relation '" + Ops.Relation +
+             "' is derived by rules; only EDB relations accept batches";
+    const ram::Relation *Decl = Prog.findRelation(Ops.Relation);
+    if (Decl->getStructure() == ram::StructureKind::Eqrel &&
+        !Ops.Retracts.empty())
+      return "cannot retract from equivalence relation '" + Ops.Relation +
+             "' (classes cannot be split)";
+    for (const DynTuple &Tuple : Ops.Inserts)
+      if (Tuple.size() != Decl->getArity())
+        return "arity mismatch for relation '" + Ops.Relation + "'";
+    for (const DynTuple &Tuple : Ops.Retracts)
+      if (Tuple.size() != Decl->getArity())
+        return "arity mismatch for relation '" + Ops.Relation + "'";
+  }
+  return "";
+}
+
+MaintenanceReport Maintainer::apply(const MixedBatch &Batch) {
+  assert(Bootstrapped && "apply() before bootstrap()");
+  MaintenanceReport Report;
+  Report.Maintained = true;
+
+  // Stage the net EDB change of the batch into the ins/del deltas:
+  // retractions first, then insertions (an insert cancels a staged
+  // deletion), duplicates and misses filtered against the live relation.
+  for (const RelationOps &Ops : Batch) {
+    const ram::Program::MaintAux &Aux = *Prog.getMaintAux(Ops.Relation);
+    interp::RelationWrapper &Full = rel(Ops.Relation);
+    interp::RelationWrapper &Ins = rel(Aux.Ins);
+    interp::RelationWrapper &Del = rel(Aux.Del);
+    for (const DynTuple &Tuple : Ops.Retracts) {
+      if (!Full.contains(Tuple.data()) || !Del.insert(Tuple.data()))
+        ++Report.Missing;
+      else
+        ++Report.Deleted;
+    }
+    for (const DynTuple &Tuple : Ops.Inserts) {
+      if (Del.contains(Tuple.data())) {
+        Del.erase(Tuple.data());
+        --Report.Deleted;
+        ++Report.Duplicates;
+      } else if (Full.contains(Tuple.data())) {
+        ++Report.Duplicates;
+      } else if (Ins.insert(Tuple.data())) {
+        ++Report.Inserted;
+      } else {
+        ++Report.Duplicates;
+      }
+    }
+  }
+
+  // EDB prologue, then every stratum bottom-up, exactly once: when a
+  // stratum runs, all lower relations are final and the lower deltas
+  // describe the net change.
+  if (const ram::Statement *Pro = Prog.getMaintPrologue())
+    Eng.runStatement(*Pro);
+  for (const ram::Program::MaintStratum &MS : Prog.getMaintStrata()) {
+    if (MS.Strategy == ram::Program::MaintStrategy::Reeval) {
+      reevalStratum(MS);
+      ++Report.ReevalStrata;
+    } else {
+      Eng.runStatement(*MS.Stmt);
+    }
+    // Harvest before the epilogue clears the aux relations. The deltas of
+    // lower strata stay live for upper strata to consume; reading sizes
+    // does not perturb them.
+    StratumReport SR;
+    SR.Strategy = MS.Strategy;
+    SR.FallbackReason = MS.FallbackReason;
+    for (const std::string &Name : MS.Relations) {
+      const ram::Program::MaintAux &Aux = *Prog.getMaintAux(Name);
+      SR.Inserted += rel(Aux.Ins).size();
+      SR.Deleted += rel(Aux.Del).size();
+      // SubtractInto left delta_del_R = rederive_R minus the survivors, so
+      // the difference of the two sizes is exactly the rederived count.
+      if (!Aux.Rederive.empty())
+        SR.Rederived += rel(Aux.Rederive).size() - rel(Aux.Del).size();
+    }
+    Report.Strata.push_back(std::move(SR));
+  }
+  if (const ram::Statement *Epi = Prog.getMaintEpilogue())
+    Eng.runStatement(*Epi);
+  return Report;
+}
+
+void Maintainer::reevalStratum(const ram::Program::MaintStratum &MS) {
+  // Scoped fallback: snapshot the stratum's relations, clear them, re-run
+  // exactly this stratum's slice of the main program (its trailing
+  // statements leave the semi-naive scratch relations empty again), then
+  // diff old vs new into the ins/del deltas so downstream strata and the
+  // serving telemetry see a precise net change.
+  std::vector<std::set<DynTuple>> Old(MS.Relations.size());
+  for (std::size_t I = 0; I < MS.Relations.size(); ++I) {
+    interp::RelationWrapper &R = rel(MS.Relations[I]);
+    R.forEach([&](const RamDomain *Tuple) {
+      Old[I].emplace(Tuple, Tuple + R.getArity());
+    });
+    R.clear();
+  }
+
+  const auto &Children =
+      static_cast<const ram::Sequence &>(Prog.getMain()).getStatements();
+  assert(MS.MainEnd <= Children.size() && "stale main span");
+  for (std::size_t I = MS.MainBegin; I < MS.MainEnd; ++I)
+    Eng.runStatement(*Children[I]);
+
+  for (std::size_t I = 0; I < MS.Relations.size(); ++I) {
+    const ram::Program::MaintAux &Aux = *Prog.getMaintAux(MS.Relations[I]);
+    interp::RelationWrapper &R = rel(MS.Relations[I]);
+    interp::RelationWrapper &Ins = rel(Aux.Ins);
+    interp::RelationWrapper &Del = rel(Aux.Del);
+    R.forEach([&](const RamDomain *Tuple) {
+      if (!Old[I].count(DynTuple(Tuple, Tuple + R.getArity())))
+        Ins.insert(Tuple);
+    });
+    for (const DynTuple &Tuple : Old[I])
+      if (!R.contains(Tuple.data()))
+        Del.insert(Tuple.data());
+  }
+}

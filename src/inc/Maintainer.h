@@ -1,0 +1,119 @@
+//===- inc/Maintainer.h - Incremental maintenance driver --------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime driver of the incremental maintenance subsystem: stages one
+/// mixed insert/retract batch into the per-relation net deltas
+/// (delta_ins_E / delta_del_E), then runs the translator's maintenance
+/// plan stratum by stratum — the counting and DRed statements through the
+/// engine's de-specialized statement executor, the Reeval fallbacks as a
+/// scoped snapshot/clear/re-run/diff of that stratum's main statements —
+/// and reports what happened per stratum.
+///
+/// The driver is deliberately engine-agnostic about tuple ownership: it
+/// only touches relations through the virtual RelationWrapper interface,
+/// so it works identically over the dynamic and static backends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_INC_MAINTAINER_H
+#define STIRD_INC_MAINTAINER_H
+
+#include "interp/Engine.h"
+#include "ram/Ram.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace stird::inc {
+
+/// One relation's portion of a mixed batch. Within a batch, retractions
+/// are applied before insertions: a tuple both retracted and inserted ends
+/// up present (and counts as a duplicate, not a change).
+struct RelationOps {
+  std::string Relation;
+  std::vector<DynTuple> Inserts;
+  std::vector<DynTuple> Retracts;
+};
+
+/// One mixed batch of EDB changes.
+using MixedBatch = std::vector<RelationOps>;
+
+/// What one maintained stratum did for a batch.
+struct StratumReport {
+  ram::Program::MaintStrategy Strategy;
+  /// Why the stratum is a Reeval fallback ("" for counting/DRed).
+  std::string FallbackReason;
+  /// Net derived-tuple changes this stratum emitted downstream.
+  std::uint64_t Inserted = 0;
+  std::uint64_t Deleted = 0;
+  /// DRed only: over-deleted tuples that survived rederivation.
+  std::uint64_t Rederived = 0;
+};
+
+/// Outcome of one maintained batch.
+struct MaintenanceReport {
+  /// True when the maintenance plan ran (vs the caller falling back to a
+  /// full rebuild or rejecting the batch).
+  bool Maintained = false;
+  /// EDB accounting (net semantics, see RelationOps).
+  std::uint64_t Inserted = 0;   ///< genuinely new EDB tuples
+  std::uint64_t Duplicates = 0; ///< inserts of already-present tuples
+  std::uint64_t Deleted = 0;    ///< genuinely removed EDB tuples
+  std::uint64_t Missing = 0;    ///< retracts of absent tuples
+  /// Per-stratum breakdown, bottom-up, maintained strata only.
+  std::vector<StratumReport> Strata;
+  /// Number of Reeval-fallback strata that ran.
+  std::uint64_t ReevalStrata = 0;
+};
+
+/// Drives the maintenance plan of one engine. The engine and program must
+/// outlive the maintainer; one maintainer per resident engine instance.
+class Maintainer {
+public:
+  Maintainer(const ram::Program &Prog, interp::Engine &Eng);
+
+  /// Whether the program carries a maintenance plan at all. When false,
+  /// reason() says why the translator refused.
+  bool eligible() const { return Prog.hasMaintenance(); }
+  const std::string &ineligibleReason() const {
+    return Prog.getMaintIneligibleReason();
+  }
+
+  /// Seeds the counting strata's support stores from the bootstrapped
+  /// relation contents. Must run exactly once, after the engine's initial
+  /// run() (or a rebuild), before the first apply().
+  void bootstrap();
+
+  /// Returns "" when apply() can process \p Batch, else the reason it
+  /// cannot (derived-relation target, eqrel retraction, program
+  /// ineligible). Unknown relations and arity mismatches are also
+  /// reported here so servers can reject instead of crashing.
+  std::string rejectReason(const MixedBatch &Batch) const;
+
+  /// Stages \p Batch and runs the maintenance plan. The caller must have
+  /// checked rejectReason() first.
+  MaintenanceReport apply(const MixedBatch &Batch);
+
+private:
+  interp::RelationWrapper &rel(const std::string &Name) const;
+  /// Scoped re-evaluation of one Reeval stratum: snapshot, clear, re-run
+  /// its main statements, diff into the ins/del deltas.
+  void reevalStratum(const ram::Program::MaintStratum &MS);
+
+  const ram::Program &Prog;
+  interp::Engine &Eng;
+  /// Relations defined by some maintained stratum (everything else
+  /// declared is EDB).
+  std::unordered_set<std::string> Derived;
+  bool Bootstrapped = false;
+};
+
+} // namespace stird::inc
+
+#endif // STIRD_INC_MAINTAINER_H

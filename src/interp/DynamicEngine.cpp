@@ -17,6 +17,7 @@
 
 #include "interp/Engine.h"
 
+#include "inc/CountedRelation.h"
 #include "interp/Context.h"
 #include "interp/EvalUtil.h"
 #include "interp/Parallel.h"
@@ -335,6 +336,72 @@ private:
       } else {
         M->Destination->insertAll(*M->Rel);
       }
+      return 1;
+    }
+    case NodeType::EraseRel: {
+      // Maintenance statements only ever run on this executor (see
+      // Engine::runStatement); batch deltas are small, so the virtual
+      // adapter path is the right cost model.
+      const auto *E = static_cast<const EraseNode *>(N);
+      if (obs::RelationStats *RS = statsFor(E->Rel)) {
+        ++RS->Scans;
+        RS->ScanTuples += E->Rel->size();
+      }
+      if (obs::RelationStats *RS = statsFor(E->Destination))
+        RS->notePeak(E->Destination->size());
+      E->Rel->forEach(
+          [&](const RamDomain *Tuple) { E->Destination->erase(Tuple); });
+      return 1;
+    }
+    case NodeType::Subtract: {
+      const auto *S = static_cast<const SubtractNode *>(N);
+      if (obs::RelationStats *RS = statsFor(S->Rel)) {
+        ++RS->Scans;
+        RS->ScanTuples += S->Rel->size();
+      }
+      obs::RelationStats *FilterRS = statsFor(S->Filter);
+      obs::RelationStats *DstRS = statsFor(S->Destination);
+      S->Rel->forEach([&](const RamDomain *Tuple) {
+        if (FilterRS)
+          ++FilterRS->Contains;
+        if (S->Filter->contains(Tuple))
+          return;
+        bool Grew = S->Destination->insert(Tuple);
+        if (DstRS) {
+          ++DstRS->Inserts;
+          DstRS->InsertsNew += Grew ? 1 : 0;
+        }
+      });
+      return 1;
+    }
+    case NodeType::FoldCounts: {
+      const auto *F = static_cast<const FoldCountsNode *>(N);
+      auto &Add = static_cast<inc::CountedRelation &>(*F->Rel);
+      auto &Dec = static_cast<inc::CountedRelation &>(*F->Dec);
+      auto &Support = static_cast<inc::CountedRelation &>(*F->Support);
+      // Net the per-batch derivation counts into the support store; only
+      // support transitions to/from zero change membership of the target.
+      auto Apply = [&](const DynTuple &Key, std::int64_t Net) {
+        if (Net == 0)
+          return;
+        const std::uint64_t Old = Support.countOf(Key);
+        const std::uint64_t New = Support.adjust(Key, Net);
+        if (Old == 0 && New > 0) {
+          F->Target->insert(Key.data());
+          F->InsOut->insert(Key.data());
+        } else if (Old > 0 && New == 0) {
+          F->Target->erase(Key.data());
+          F->DelOut->insert(Key.data());
+        }
+      };
+      Add.forEachCount([&](const DynTuple &Key, std::uint64_t Count) {
+        Apply(Key, static_cast<std::int64_t>(Count) -
+                       static_cast<std::int64_t>(Dec.countOf(Key)));
+      });
+      Dec.forEachCount([&](const DynTuple &Key, std::uint64_t Count) {
+        if (Add.countOf(Key) == 0)
+          Apply(Key, -static_cast<std::int64_t>(Count));
+      });
       return 1;
     }
     case NodeType::Io:

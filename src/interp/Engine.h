@@ -206,6 +206,18 @@ public:
   /// across batches.
   void runUpdate();
 
+  /// Executes one RAM statement of the engine's program over the resident
+  /// relations. Used by the maintenance driver (inc::Maintainer) to run
+  /// per-stratum update statements, the count-initialization statement,
+  /// and recorded Main sub-ranges for re-evaluated strata. The statement
+  /// must belong to (or be reachable from) the engine's ram::Program so
+  /// its relation references resolve. Trees are generated on first use and
+  /// cached per statement; execution always goes through the de-specialized
+  /// dynamic-adapter executor, which is the only one carrying the
+  /// maintenance opcodes (Erase / Subtract / FoldCounts) and every generic
+  /// operation.
+  void runStatement(const ram::Statement &Stmt);
+
   const ram::Program &getProgram() const { return Prog; }
   const translate::IndexSelectionResult &getIndexes() const {
     return Indexes;
@@ -247,6 +259,7 @@ public:
 
 private:
   ExecutorBase &ensureExecutor();
+  ExecutorBase &ensureMaintExecutor();
 
   const ram::Program &Prog;
   const translate::IndexSelectionResult &Indexes;
@@ -254,7 +267,14 @@ private:
   EngineState State;
   NodePtr Root;
   NodePtr UpdateRoot;
+  /// Per-statement tree cache for runStatement (maintenance strata run
+  /// once per batch; regenerating their trees each time would dwarf small
+  /// batches).
+  std::unordered_map<const ram::Statement *, NodePtr> StmtTrees;
   std::unique_ptr<ExecutorBase> Executor;
+  /// Dynamic-adapter executor for runStatement, distinct from Executor
+  /// when the configured backend is static.
+  std::unique_ptr<ExecutorBase> MaintExecutor;
   std::unique_ptr<obs::TraceRecorder> TraceRec;
 };
 

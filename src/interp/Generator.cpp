@@ -235,6 +235,24 @@ public:
       return std::make_unique<MergeNode>(&Stmt, wrapper(M.getSource()),
                                          wrapper(M.getDestination()));
     }
+    case K::Erase: {
+      const auto &E = static_cast<const ram::Erase &>(Stmt);
+      return std::make_unique<EraseNode>(&Stmt, wrapper(E.getSource()),
+                                         wrapper(E.getDestination()));
+    }
+    case K::SubtractInto: {
+      const auto &S = static_cast<const ram::SubtractInto &>(Stmt);
+      return std::make_unique<SubtractNode>(&Stmt, wrapper(S.getSource()),
+                                            wrapper(S.getFilter()),
+                                            wrapper(S.getDestination()));
+    }
+    case K::FoldCounts: {
+      const auto &F = static_cast<const ram::FoldCounts &>(Stmt);
+      return std::make_unique<FoldCountsNode>(
+          &Stmt, wrapper(F.getAdd()), wrapper(F.getDec()),
+          wrapper(F.getSupport()), wrapper(F.getTarget()),
+          wrapper(F.getInsOut()), wrapper(F.getDelOut()));
+    }
     case K::Io: {
       const auto &IoStmt = static_cast<const ram::Io &>(Stmt);
       return std::make_unique<IoNode>(&Stmt, wrapper(IoStmt.getRelation()),
@@ -367,7 +385,10 @@ private:
   //===--------------------------------------------------------------------===
 
   NodeType opType(SpecOp Op, RelationWrapper *Rel) {
-    if (!Options.Specialize || Rel->getKind() == RelKind::Legacy)
+    // Legacy and counted relations have no specialized instructions; they
+    // are always driven through the virtual adapter.
+    if (!Options.Specialize || Rel->getKind() == RelKind::Legacy ||
+        Rel->getKind() == RelKind::Counts)
       return genericType(Op);
     return specializedType(Op, Rel->getKind(), Rel->getArity());
   }

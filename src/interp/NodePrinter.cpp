@@ -67,6 +67,12 @@ const char *stird::interp::nodeTypeName(NodeType Type) {
     return "SwapRel";
   case NodeType::Merge:
     return "Merge";
+  case NodeType::EraseRel:
+    return "EraseRel";
+  case NodeType::Subtract:
+    return "Subtract";
+  case NodeType::FoldCounts:
+    return "FoldCounts";
   case NodeType::Io:
     return "Io";
   case NodeType::LogTimer:
@@ -155,6 +161,17 @@ private:
     }
     if (const auto *Rel = dynamic_cast<const RelationalNode *>(&N))
       Out << " rel=" << Rel->Rel->getName();
+    if (const auto *E = dynamic_cast<const EraseNode *>(&N))
+      Out << " from=" << E->Destination->getName();
+    if (const auto *S = dynamic_cast<const SubtractNode *>(&N))
+      Out << " without=" << S->Filter->getName()
+          << " into=" << S->Destination->getName();
+    if (const auto *F = dynamic_cast<const FoldCountsNode *>(&N))
+      Out << " dec=" << F->Dec->getName()
+          << " support=" << F->Support->getName()
+          << " target=" << F->Target->getName()
+          << " ins=" << F->InsOut->getName()
+          << " del=" << F->DelOut->getName();
     if (const auto *Scan = dynamic_cast<const ScanNode *>(&N))
       Out << " index=" << Scan->IndexPos << " t" << Scan->TupleId
           << (Scan->Decode ? " decode" : "");

@@ -6,6 +6,7 @@
 
 #include "interp/Relation.h"
 
+#include "inc/CountedRelation.h"
 #include "interp/ForEach.h"
 
 #include <algorithm>
@@ -252,6 +253,16 @@ bool LegacyRelation::insert(const RamDomain *Tuple) {
   return Grew;
 }
 
+bool LegacyRelation::erase(const RamDomain *Tuple) {
+  WideTuple Wide{};
+  std::memcpy(Wide.data(), Tuple, getArity() * sizeof(RamDomain));
+  bool Removed = Trees[0].erase(Wide);
+  if (Removed)
+    for (std::size_t I = 1; I < Trees.size(); ++I)
+      Trees[I].erase(Wide);
+  return Removed;
+}
+
 bool LegacyRelation::contains(const RamDomain *Tuple) const {
   WideTuple Wide{};
   std::memcpy(Wide.data(), Tuple, getArity() * sizeof(RamDomain));
@@ -340,6 +351,8 @@ RelKind kindOf(ram::StructureKind Structure) {
     return RelKind::Brie;
   case ram::StructureKind::Eqrel:
     return RelKind::Eqrel;
+  case ram::StructureKind::Counts:
+    return RelKind::Counts;
   }
   unreachable("unknown structure kind");
 }
@@ -351,6 +364,11 @@ stird::interp::createRelation(const ram::Relation &Decl,
                               std::vector<Order> Orders, bool Legacy) {
   if (Orders.empty())
     Orders.push_back(Order::identity(Decl.getArity()));
+  // Count collectors are arity-generic (no specialized portfolio entry):
+  // the maintenance programs only project into and fold over them, so the
+  // virtual adapter path is the only access path, under every backend.
+  if (Decl.getStructure() == ram::StructureKind::Counts)
+    return std::make_unique<inc::CountedRelation>(Decl, std::move(Orders));
   if (Legacy)
     return std::make_unique<LegacyRelation>(Decl, std::move(Orders));
 

@@ -47,7 +47,7 @@ namespace stird::interp {
 
 /// Which concrete family a wrapper belongs to; the static engine encodes
 /// this (together with the arity) into its opcodes.
-enum class RelKind : std::uint8_t { Btree, Brie, Eqrel, Legacy };
+enum class RelKind : std::uint8_t { Btree, Brie, Eqrel, Legacy, Counts };
 
 /// Number of tuples buffered per virtual refill of a de-specialized
 /// iterator (Section 3: one virtual call amortized over 128 reads).
@@ -90,6 +90,14 @@ public:
 
   /// Inserts a source-order tuple into every index; returns true if new.
   virtual bool insert(const RamDomain *Tuple) = 0;
+  /// Removes a source-order tuple from every index; returns true if it was
+  /// present. Only structures that support per-tuple deletion override
+  /// this; the default is fatal (the translator routes strata over
+  /// non-erasable structures to re-evaluation instead).
+  virtual bool erase(const RamDomain *Tuple) {
+    (void)Tuple;
+    fatal("relation '" + getName() + "' does not support erase");
+  }
   /// Full-tuple membership (via index 0).
   virtual bool contains(const RamDomain *Tuple) const = 0;
   /// True if some tuple matches the bound columns. \p EncodedKey is in the
@@ -265,6 +273,11 @@ public:
     Ord.encode(Source, Encoded.data());
     return Set.insert(Encoded);
   }
+  bool erase(const RamDomain *Source) {
+    TupleType Encoded;
+    Ord.encode(Source, Encoded.data());
+    return Set.erase(Encoded);
+  }
   bool containsSource(const RamDomain *Source) const {
     TupleType Encoded;
     Ord.encode(Source, Encoded.data());
@@ -320,6 +333,11 @@ public:
     TupleType Encoded;
     Ord.encode(Source, Encoded.data());
     return Set.insert(Encoded);
+  }
+  bool erase(const RamDomain *Source) {
+    TupleType Encoded;
+    Ord.encode(Source, Encoded.data());
+    return Set.erase(Encoded);
   }
   bool containsSource(const RamDomain *Source) const {
     TupleType Encoded;
@@ -401,6 +419,14 @@ public:
       for (std::size_t I = 1; I < Indexes.size(); ++I)
         Indexes[I].insert(Tuple);
     return Grew;
+  }
+
+  bool erase(const RamDomain *Tuple) override {
+    bool Removed = Indexes[0].erase(Tuple);
+    if (Removed)
+      for (std::size_t I = 1; I < Indexes.size(); ++I)
+        Indexes[I].erase(Tuple);
+    return Removed;
   }
 
   bool contains(const RamDomain *Tuple) const override {
@@ -569,6 +595,7 @@ public:
   LegacyRelation(const ram::Relation &Decl, std::vector<Order> Orders);
 
   bool insert(const RamDomain *Tuple) override;
+  bool erase(const RamDomain *Tuple) override;
   bool contains(const RamDomain *Tuple) const override;
   bool containsRange(std::size_t IndexPos, const RamDomain *EncodedKey,
                      std::size_t PrefixLen,

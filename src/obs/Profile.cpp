@@ -27,6 +27,8 @@ static const char *kindName(interp::RelKind Kind) {
     return "eqrel";
   case interp::RelKind::Legacy:
     return "legacy";
+  case interp::RelKind::Counts:
+    return "counts";
   }
   return "unknown";
 }

@@ -154,6 +154,24 @@ StmtPtr stird::ram::clone(const Statement &Stmt, const RelationMap *Map) {
     return std::make_unique<MergeInto>(remap(M.getSource(), Map),
                                        remap(M.getDestination(), Map));
   }
+  case Statement::Kind::Erase: {
+    const auto &E = static_cast<const Erase &>(Stmt);
+    return std::make_unique<Erase>(remap(E.getSource(), Map),
+                                   remap(E.getDestination(), Map));
+  }
+  case Statement::Kind::SubtractInto: {
+    const auto &S = static_cast<const SubtractInto &>(Stmt);
+    return std::make_unique<SubtractInto>(remap(S.getSource(), Map),
+                                          remap(S.getFilter(), Map),
+                                          remap(S.getDestination(), Map));
+  }
+  case Statement::Kind::FoldCounts: {
+    const auto &F = static_cast<const FoldCounts &>(Stmt);
+    return std::make_unique<FoldCounts>(
+        remap(F.getAdd(), Map), remap(F.getDec(), Map),
+        remap(F.getSupport(), Map), remap(F.getTarget(), Map),
+        remap(F.getInsOut(), Map), remap(F.getDelOut(), Map));
+  }
   case Statement::Kind::Io: {
     const auto &IoStmt = static_cast<const Io &>(Stmt);
     return std::make_unique<Io>(IoStmt.getDirection(),
@@ -191,5 +209,28 @@ std::unique_ptr<Program> stird::ram::cloneProgram(const Program &Prog) {
     Result->setUpdate(clone(Prog.getUpdate(), &Map));
   for (const auto &[Rel, Aux] : Prog.getUpdateAuxMap())
     Result->setUpdateAux(Rel, Aux);
+  if (Prog.hasMaintenance()) {
+    std::vector<Program::MaintStratum> Strata;
+    for (const auto &S : Prog.getMaintStrata()) {
+      Program::MaintStratum Copy;
+      Copy.Strategy = S.Strategy;
+      Copy.FallbackReason = S.FallbackReason;
+      Copy.Relations = S.Relations;
+      Copy.Stmt = S.Stmt ? clone(*S.Stmt, &Map) : nullptr;
+      Copy.MainBegin = S.MainBegin;
+      Copy.MainEnd = S.MainEnd;
+      Strata.push_back(std::move(Copy));
+    }
+    Result->setMaintStrata(std::move(Strata));
+    if (const Statement *Prologue = Prog.getMaintPrologue())
+      Result->setMaintPrologue(clone(*Prologue, &Map));
+    if (const Statement *CountInit = Prog.getCountInit())
+      Result->setCountInit(clone(*CountInit, &Map));
+    if (const Statement *Epilogue = Prog.getMaintEpilogue())
+      Result->setMaintEpilogue(clone(*Epilogue, &Map));
+  }
+  Result->setMaintIneligibleReason(Prog.getMaintIneligibleReason());
+  for (const auto &[Rel, Aux] : Prog.getMaintAuxMap())
+    Result->setMaintAux(Rel, Aux);
   return Result;
 }

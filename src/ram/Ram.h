@@ -28,8 +28,10 @@
 
 namespace stird::ram {
 
-/// Data structure backing a RAM relation.
-enum class StructureKind { Btree, Brie, Eqrel };
+/// Data structure backing a RAM relation. Counts is the incremental
+/// maintenance subsystem's tuple -> multiplicity store (support counts and
+/// per-batch count collectors); it never backs a declared relation.
+enum class StructureKind { Btree, Brie, Eqrel, Counts };
 
 /// A relation declared in a RAM program. Orders (indexes) are attached by
 /// index selection after translation.
@@ -489,6 +491,9 @@ public:
     Clear,
     Swap,
     MergeInto,
+    Erase,
+    SubtractInto,
+    FoldCounts,
     Io,
     LogTimer,
   };
@@ -581,6 +586,70 @@ public:
 private:
   const Relation *Source;
   const Relation *Destination;
+};
+
+/// ERASE src FROM dst — removes every tuple of src from dst. The deletion
+/// statement of the incremental maintenance programs (DRed over-deletion
+/// application and EDB retraction).
+class Erase : public Statement {
+public:
+  Erase(const Relation *Source, const Relation *Destination)
+      : Statement(Kind::Erase), Source(Source), Destination(Destination) {}
+  const Relation &getSource() const { return *Source; }
+  const Relation &getDestination() const { return *Destination; }
+
+private:
+  const Relation *Source;
+  const Relation *Destination;
+};
+
+/// SUBTRACT src WITHOUT filter INTO dst — inserts every tuple of src that
+/// is not in filter into dst. Computes DRed's net deletions: over-deleted
+/// tuples (rederive_R) minus the rederived survivors (R) flow into
+/// delta_del_R for downstream strata.
+class SubtractInto : public Statement {
+public:
+  SubtractInto(const Relation *Source, const Relation *Filter,
+               const Relation *Destination)
+      : Statement(Kind::SubtractInto), Source(Source), Filter(Filter),
+        Destination(Destination) {}
+  const Relation &getSource() const { return *Source; }
+  const Relation &getFilter() const { return *Filter; }
+  const Relation &getDestination() const { return *Destination; }
+
+private:
+  const Relation *Source;
+  const Relation *Filter;
+  const Relation *Destination;
+};
+
+/// FOLD COUNTS — nets the per-batch count collectors (cadd minus cdec)
+/// into the support store and applies the resulting transitions to the
+/// maintained relation: a tuple whose support drops to zero is erased from
+/// Target and recorded in DelOut; one whose support rises from zero is
+/// inserted into Target and recorded in InsOut. The counting strata's
+/// single mutation point.
+class FoldCounts : public Statement {
+public:
+  FoldCounts(const Relation *Add, const Relation *Dec,
+             const Relation *Support, const Relation *Target,
+             const Relation *InsOut, const Relation *DelOut)
+      : Statement(Kind::FoldCounts), Add(Add), Dec(Dec), Support(Support),
+        Target(Target), InsOut(InsOut), DelOut(DelOut) {}
+  const Relation &getAdd() const { return *Add; }
+  const Relation &getDec() const { return *Dec; }
+  const Relation &getSupport() const { return *Support; }
+  const Relation &getTarget() const { return *Target; }
+  const Relation &getInsOut() const { return *InsOut; }
+  const Relation &getDelOut() const { return *DelOut; }
+
+private:
+  const Relation *Add;
+  const Relation *Dec;
+  const Relation *Support;
+  const Relation *Target;
+  const Relation *InsOut;
+  const Relation *DelOut;
 };
 
 /// Loads or stores a relation according to its IO attributes.
@@ -714,11 +783,107 @@ public:
     return UpdateAuxOf;
   }
 
+  //===--------------------------------------------------------------------===//
+  // Incremental maintenance (mixed insert/retract batches)
+  //===--------------------------------------------------------------------===//
+
+  /// How one stratum is maintained under deletions.
+  enum class MaintStrategy {
+    /// Non-recursive stratum: exact derivation counting. Signed delta rule
+    /// versions project into count collectors; FoldCounts applies the
+    /// support transitions.
+    Counting,
+    /// Recursive stratum (or one whose negated literals carry wildcards):
+    /// over-delete via delta-deletion rules, rederive from survivors.
+    DRed,
+    /// Scoped per-stratum re-evaluation fallback (eqrel or aggregates):
+    /// the serving layer clears the stratum and re-runs its main
+    /// statements, diffing old vs new into the ins/del deltas.
+    Reeval,
+  };
+
+  /// One stratum's maintenance plan, in bottom-up stratum order.
+  struct MaintStratum {
+    MaintStrategy Strategy = MaintStrategy::Counting;
+    /// Why the stratum fell back to Reeval ("" otherwise).
+    std::string FallbackReason;
+    /// Declared relations the stratum defines.
+    std::vector<std::string> Relations;
+    /// The maintenance statement processing the batch's deletions and
+    /// insertions through this stratum; null for Reeval strata.
+    StmtPtr Stmt;
+    /// For Reeval: the child range [MainBegin, MainEnd) of the main
+    /// Sequence holding this stratum's evaluation statements.
+    std::size_t MainBegin = 0, MainEnd = 0;
+  };
+
+  /// Names of the per-relation maintenance aux relations: net insertions
+  /// and net deletions of the running batch (every declared relation), the
+  /// DRed over-deletion set (DRed strata only, else empty), and the
+  /// counting support store plus its per-batch collectors (counting strata
+  /// only, else empty).
+  struct MaintAux {
+    std::string Ins;
+    std::string Del;
+    std::string Rederive;
+    std::string Support, CntAdd, CntDec;
+  };
+
+  bool hasMaintenance() const { return !MaintStrata.empty(); }
+  const std::vector<MaintStratum> &getMaintStrata() const {
+    return MaintStrata;
+  }
+  void setMaintStrata(std::vector<MaintStratum> Strata) {
+    MaintStrata = std::move(Strata);
+  }
+
+  /// Why no maintenance program was emitted ("" when one was, or when
+  /// update emission was off entirely).
+  const std::string &getMaintIneligibleReason() const {
+    return MaintIneligibleReason;
+  }
+  void setMaintIneligibleReason(std::string Reason) {
+    MaintIneligibleReason = std::move(Reason);
+  }
+
+  void setMaintAux(const std::string &Rel, MaintAux Aux) {
+    MaintAuxOf[Rel] = std::move(Aux);
+  }
+  const MaintAux *getMaintAux(const std::string &Rel) const {
+    auto It = MaintAuxOf.find(Rel);
+    return It == MaintAuxOf.end() ? nullptr : &It->second;
+  }
+  const std::unordered_map<std::string, MaintAux> &getMaintAuxMap() const {
+    return MaintAuxOf;
+  }
+
+  /// Bootstraps the counting strata's support stores from the main run's
+  /// fixpoint (one derivation count per rule match); run once after the
+  /// initial evaluation. Null when no stratum uses Counting.
+  void setCountInit(StmtPtr Stmt) { CountInit = std::move(Stmt); }
+  const Statement *getCountInit() const { return CountInit.get(); }
+
+  /// Applies the staged EDB nets: erases delta_del_E from every input
+  /// relation and merges delta_ins_E in, before the strata run bottom-up.
+  void setMaintPrologue(StmtPtr Stmt) { MaintPrologue = std::move(Stmt); }
+  const Statement *getMaintPrologue() const { return MaintPrologue.get(); }
+
+  /// Clears every maintenance aux relation (ins/del deltas and
+  /// collectors); run after the serving layer has harvested telemetry.
+  void setMaintEpilogue(StmtPtr Stmt) { MaintEpilogue = std::move(Stmt); }
+  const Statement *getMaintEpilogue() const { return MaintEpilogue.get(); }
+
 private:
   std::vector<std::unique_ptr<Relation>> Relations;
   StmtPtr Main;
   StmtPtr Update;
   std::unordered_map<std::string, UpdateAux> UpdateAuxOf;
+  std::vector<MaintStratum> MaintStrata;
+  std::string MaintIneligibleReason;
+  std::unordered_map<std::string, MaintAux> MaintAuxOf;
+  StmtPtr CountInit;
+  StmtPtr MaintPrologue;
+  StmtPtr MaintEpilogue;
 };
 
 /// Bitmask of the bound (non-Undef) columns of a primitive-search pattern.

@@ -313,6 +313,28 @@ public:
                << M.getDestination().getName() << "\n";
       return;
     }
+    case Statement::Kind::Erase: {
+      const auto &E = static_cast<const Erase &>(Stmt);
+      indent() << "ERASE " << E.getSource().getName() << " FROM "
+               << E.getDestination().getName() << "\n";
+      return;
+    }
+    case Statement::Kind::SubtractInto: {
+      const auto &S = static_cast<const SubtractInto &>(Stmt);
+      indent() << "SUBTRACT " << S.getSource().getName() << " WITHOUT "
+               << S.getFilter().getName() << " INTO "
+               << S.getDestination().getName() << "\n";
+      return;
+    }
+    case Statement::Kind::FoldCounts: {
+      const auto &F = static_cast<const FoldCounts &>(Stmt);
+      indent() << "FOLD COUNTS " << F.getAdd().getName() << " - "
+               << F.getDec().getName() << " INTO " << F.getSupport().getName()
+               << " MAINTAINING " << F.getTarget().getName() << " (ins -> "
+               << F.getInsOut().getName() << ", del -> "
+               << F.getDelOut().getName() << ")\n";
+      return;
+    }
     case Statement::Kind::Io: {
       const auto &IoStmt = static_cast<const Io &>(Stmt);
       const char *Verb = IoStmt.getDirection() == Io::Direction::Load
@@ -406,5 +428,28 @@ std::string stird::ram::print(const Program &Prog) {
     Out << print(Prog.getMain());
   if (Prog.hasUpdate())
     Out << "UPDATE\n" << print(Prog.getUpdate());
+  if (Prog.hasMaintenance()) {
+    Out << "MAINTENANCE\n";
+    if (const Statement *Prologue = Prog.getMaintPrologue())
+      Out << "PROLOGUE\n" << print(*Prologue);
+    for (std::size_t I = 0; I < Prog.getMaintStrata().size(); ++I) {
+      const auto &S = Prog.getMaintStrata()[I];
+      const char *Name = S.Strategy == Program::MaintStrategy::Counting
+                             ? "counting"
+                             : (S.Strategy == Program::MaintStrategy::DRed
+                                    ? "dred"
+                                    : "reeval");
+      Out << "STRATUM " << I << " " << Name;
+      if (!S.FallbackReason.empty())
+        Out << " (" << S.FallbackReason << ")";
+      Out << "\n";
+      if (S.Stmt)
+        Out << print(*S.Stmt);
+    }
+    if (const Statement *CountInit = Prog.getCountInit())
+      Out << "COUNT INIT\n" << print(*CountInit);
+    if (const Statement *Epilogue = Prog.getMaintEpilogue())
+      Out << "EPILOGUE\n" << print(*Epilogue);
+  }
   return Out.str();
 }

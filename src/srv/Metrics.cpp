@@ -142,6 +142,45 @@ std::string srv::renderPrometheus(const TenantRegistry &Tenants) {
     W.sample("stird_cache_entries", {{"tenant", T->Name}},
              T->Cache.counters().Entries);
 
+  // Incremental maintenance: one telemetry snapshot per tenant, rendered
+  // family by family.
+  std::vector<MaintTelemetry> Maint;
+  Maint.reserve(All.size());
+  for (const Tenant *T : All)
+    Maint.push_back(T->Session->maintTelemetry());
+  W.header("stird_maintenance_enabled",
+           "Whether mixed batches run the maintenance plan (1) or fall "
+           "back to re-evaluation (0).",
+           "gauge");
+  for (std::size_t I = 0; I < All.size(); ++I)
+    W.sample("stird_maintenance_enabled", {{"tenant", All[I]->Name}},
+             std::uint64_t(Maint[I].Enabled ? 1 : 0));
+  W.header("stird_maintenance_batches_total",
+           "Mixed batches applied through the maintenance plan.",
+           "counter");
+  for (std::size_t I = 0; I < All.size(); ++I)
+    W.sample("stird_maintenance_batches_total", {{"tenant", All[I]->Name}},
+             Maint[I].Batches);
+  W.header("stird_maintenance_deleted_total",
+           "EDB tuples retracted by maintained batches.", "counter");
+  for (std::size_t I = 0; I < All.size(); ++I)
+    W.sample("stird_maintenance_deleted_total", {{"tenant", All[I]->Name}},
+             Maint[I].Deleted);
+  W.header("stird_maintenance_rederived_total",
+           "Over-deleted tuples DRed re-derived by alternative support.",
+           "counter");
+  for (std::size_t I = 0; I < All.size(); ++I)
+    W.sample("stird_maintenance_rederived_total",
+             {{"tenant", All[I]->Name}}, Maint[I].Rederived);
+  W.header("stird_maintenance_fallbacks_total",
+           "Re-evaluation fallbacks (scoped Reeval strata and whole-batch "
+           "rebuilds), by reason.",
+           "counter");
+  for (std::size_t I = 0; I < All.size(); ++I)
+    for (const auto &[Reason, Count] : Maint[I].FallbackReasons)
+      W.sample("stird_maintenance_fallbacks_total",
+               {{"tenant", All[I]->Name}, {"reason", Reason}}, Count);
+
   W.header("stird_relation_size",
            "Tuples resident per declared relation.", "gauge");
   for (const Tenant *T : All) {

@@ -10,6 +10,9 @@
 #include "util/Timer.h"
 
 #include <cassert>
+#include <cstdio>
+#include <map>
+#include <set>
 #include <thread>
 
 using namespace stird;
@@ -20,6 +23,9 @@ using namespace stird::srv;
 /// observed at zero after unpublishing it.
 struct stird::srv::detail::SessionSide {
   std::unique_ptr<interp::Engine> Eng;
+  /// This side's maintenance driver, present when the program carries a
+  /// maintenance plan. Recreated (and re-bootstrapped) with the engine.
+  std::unique_ptr<inc::Maintainer> Maint;
   /// Batches of the session log applied to this side.
   std::size_t Applied = 0;
   /// Epoch readers observe through snapshots of this side.
@@ -89,6 +95,7 @@ EngineSession::fromSource(const std::string &Source,
                           std::vector<std::string> *Errors) {
   core::CompileOptions Compile = Options.Compile;
   Compile.EmitUpdateProgram = true;
+  Compile.EmitMaintenance = true;
   std::shared_ptr<core::Program> Prog =
       core::Program::fromSource(Source, Errors, Compile);
   if (!Prog)
@@ -102,6 +109,7 @@ EngineSession::fromFile(const std::string &Path,
                         std::vector<std::string> *Errors) {
   core::CompileOptions Compile = Options.Compile;
   Compile.EmitUpdateProgram = true;
+  Compile.EmitMaintenance = true;
   std::shared_ptr<core::Program> Prog =
       core::Program::fromFile(Path, Errors, Compile);
   if (!Prog)
@@ -119,7 +127,16 @@ EngineSession::create(std::shared_ptr<core::Program> Program,
 EngineSession::EngineSession(std::shared_ptr<core::Program> Program,
                              const SessionOptions &Opts)
     : Prog(std::move(Program)), Options(Opts),
-      Incremental(Prog->getRam().hasUpdate()) {
+      Incremental(Prog->getRam().hasUpdate()),
+      Maintained(Prog->getRam().hasMaintenance()) {
+  for (const auto &Clause : Prog->getAst().Clauses)
+    DerivedRels.insert(Clause->getHead().getName());
+  Telemetry.Enabled = Maintained;
+  if (!Maintained) {
+    const std::string &Reason = Prog->getRam().getMaintIneligibleReason();
+    Telemetry.IneligibleReason =
+        Reason.empty() ? "maintenance program not emitted" : Reason;
+  }
   // A serving engine never echoes .printsize to stdout, and only touches
   // the filesystem when the caller asked for the program's own IO.
   Options.Engine.SuppressIo = !Options.RunIo;
@@ -128,6 +145,11 @@ EngineSession::EngineSession(std::shared_ptr<core::Program> Program,
     Sides[I] = std::make_unique<Side>();
     Sides[I]->Eng = Prog->makeEngine(Options.Engine);
     Sides[I]->Eng->run(); // bootstrap: initial facts + IO when enabled
+    if (Maintained) {
+      Sides[I]->Maint =
+          std::make_unique<inc::Maintainer>(Prog->getRam(), *Sides[I]->Eng);
+      Sides[I]->Maint->bootstrap();
+    }
   }
   Active.store(Sides[0].get());
   PassiveIdx = 1;
@@ -142,19 +164,28 @@ void EngineSession::waitQuiesce(Side &S) {
     std::this_thread::yield();
 }
 
+/// Whether any relation of the batch stages a retraction.
+static bool hasRetracts(const inc::MixedBatch &Batch) {
+  for (const inc::RelationOps &Ops : Batch)
+    if (!Ops.Retracts.empty())
+      return true;
+  return false;
+}
+
 std::pair<std::size_t, std::size_t>
-EngineSession::applyBatch(Side &S, const FactBatch &Batch) {
+EngineSession::applyInserts(Side &S, const inc::MixedBatch &Batch) {
   std::size_t Inserted = 0, Duplicates = 0;
-  for (const auto &[Name, Tuples] : Batch) {
-    interp::RelationWrapper *Full = S.Eng->getRelation(Name);
+  for (const inc::RelationOps &Ops : Batch) {
+    interp::RelationWrapper *Full = S.Eng->getRelation(Ops.Relation);
     if (!Full)
-      fatal("unknown relation '" + Name + "'");
-    const ram::Program::UpdateAux *Aux = Prog->getRam().getUpdateAux(Name);
+      fatal("unknown relation '" + Ops.Relation + "'");
+    const ram::Program::UpdateAux *Aux =
+        Prog->getRam().getUpdateAux(Ops.Relation);
     interp::RelationWrapper *Delta =
         Incremental ? S.Eng->getRelation(Aux->Delta) : nullptr;
-    for (const DynTuple &Tuple : Tuples) {
+    for (const DynTuple &Tuple : Ops.Inserts) {
       if (Tuple.size() != Full->getArity())
-        fatal("arity mismatch for relation '" + Name + "'");
+        fatal("arity mismatch for relation '" + Ops.Relation + "'");
       if (Full->insert(Tuple.data())) {
         ++Inserted;
         if (Delta)
@@ -166,63 +197,208 @@ EngineSession::applyBatch(Side &S, const FactBatch &Batch) {
   }
   if (Incremental)
     S.Eng->runUpdate();
-  ++S.Applied;
   return {Inserted, Duplicates};
 }
 
 void EngineSession::rebuild(Side &S) {
-  // Full re-evaluation fallback for programs without an update statement
-  // (negation, aggregates, ...): fresh relations, the whole batch log as
-  // EDB, one one-shot run. Restores the exact one-shot semantics at the
-  // cost of recomputation.
+  // Full re-evaluation fallback for batches the in-place paths cannot
+  // handle: reduce the whole log to the net EDB it leaves behind
+  // (sequential replay, retract-before-insert within each batch — the
+  // same order the Maintainer stages), seed a fresh engine with it and
+  // run once. Restores the exact one-shot semantics at the cost of
+  // recomputation.
+  std::map<std::string, std::set<DynTuple>> Net;
+  for (const inc::MixedBatch &Batch : Log)
+    for (const inc::RelationOps &Ops : Batch) {
+      std::set<DynTuple> &Rel = Net[Ops.Relation];
+      for (const DynTuple &Tuple : Ops.Retracts)
+        Rel.erase(Tuple);
+      for (const DynTuple &Tuple : Ops.Inserts)
+        Rel.insert(Tuple);
+    }
   S.Eng = Prog->makeEngine(Options.Engine);
-  for (const FactBatch &Batch : Log)
-    for (const auto &[Name, Tuples] : Batch)
-      S.Eng->insertTuples(Name, Tuples);
+  for (const auto &[Name, Tuples] : Net)
+    S.Eng->insertTuples(Name,
+                        std::vector<DynTuple>(Tuples.begin(), Tuples.end()));
   S.Eng->run();
+  if (Maintained) {
+    S.Maint = std::make_unique<inc::Maintainer>(Prog->getRam(), *S.Eng);
+    S.Maint->bootstrap();
+  }
   S.Applied = Log.size();
+}
+
+void EngineSession::applyOne(Side &S, const inc::MixedBatch &Batch,
+                             BatchResult *Result) {
+  if (Maintained) {
+    // Every batch — pure inserts included — goes through the maintenance
+    // plan; bypassing it would let the support counts drift.
+    inc::MaintenanceReport Report = S.Maint->apply(Batch);
+    ++S.Applied;
+    if (!Result)
+      return;
+    Result->Incremental = true;
+    Result->Maintained = true;
+    Result->Inserted = Report.Inserted;
+    Result->Duplicates = Report.Duplicates;
+    Result->Deleted = Report.Deleted;
+    Result->Missing = Report.Missing;
+    {
+      std::lock_guard<std::mutex> Lock(TelemetryMutex);
+      ++Telemetry.Batches;
+      Telemetry.Inserted += Report.Inserted;
+      Telemetry.Deleted += Report.Deleted;
+      Telemetry.ReevalStrata += Report.ReevalStrata;
+      for (const inc::StratumReport &SR : Report.Strata)
+        Telemetry.Rederived += SR.Rederived;
+    }
+    for (const inc::StratumReport &SR : Report.Strata)
+      if (!SR.FallbackReason.empty())
+        recordFallback(SR.FallbackReason);
+    Result->Maint = std::move(Report);
+    return;
+  }
+  if (!hasRetracts(Batch) && Incremental) {
+    auto [Inserted, Duplicates] = applyInserts(S, Batch);
+    ++S.Applied;
+    if (Result) {
+      Result->Incremental = true;
+      Result->Inserted = Inserted;
+      Result->Duplicates = Duplicates;
+    }
+    return;
+  }
+  // Count EDB novelty against the caught-up side before rebuilding wipes
+  // it, staging exactly like the Maintainer does (retract-before-insert,
+  // an insert cancels a staged deletion) so both paths report alike.
+  if (Result) {
+    for (const inc::RelationOps &Ops : Batch) {
+      const interp::RelationWrapper *Full = S.Eng->getRelation(Ops.Relation);
+      if (!Full)
+        fatal("unknown relation '" + Ops.Relation + "'");
+      std::set<DynTuple> Del, Ins;
+      for (const DynTuple &Tuple : Ops.Retracts) {
+        if (Full->contains(Tuple.data()) && Del.insert(Tuple).second)
+          ++Result->Deleted;
+        else
+          ++Result->Missing;
+      }
+      for (const DynTuple &Tuple : Ops.Inserts) {
+        if (Del.erase(Tuple)) {
+          --Result->Deleted;
+          ++Result->Duplicates;
+        } else if (Full->contains(Tuple.data())) {
+          ++Result->Duplicates;
+        } else if (Ins.insert(Tuple).second) {
+          ++Result->Inserted;
+        } else {
+          ++Result->Duplicates;
+        }
+      }
+    }
+    std::lock_guard<std::mutex> Lock(TelemetryMutex);
+    ++Telemetry.Rebuilds;
+  }
+  rebuild(S);
+  if (Result) {
+    std::string Reason = Telemetry.IneligibleReason;
+    recordFallback(hasRetracts(Batch)
+                       ? "retraction without maintenance plan: " + Reason
+                       : Reason);
+  }
 }
 
 void EngineSession::catchUp(Side &S) {
   if (S.Applied == Log.size())
     return;
-  if (!Incremental) {
-    rebuild(S);
-    return;
+  if (!Maintained) {
+    // Without a maintenance plan a lagging side rebuilds once instead of
+    // replaying batch by batch — unless the whole backlog is pure inserts
+    // on an update-eligible program.
+    bool AnyRetracts = false;
+    for (std::size_t I = S.Applied; I < Log.size(); ++I)
+      AnyRetracts = AnyRetracts || hasRetracts(Log[I]);
+    if (!Incremental || AnyRetracts) {
+      rebuild(S);
+      return;
+    }
   }
   while (S.Applied < Log.size())
-    applyBatch(S, Log[S.Applied]);
+    applyOne(S, Log[S.Applied], nullptr);
 }
 
 BatchResult EngineSession::loadFacts(const FactBatch &Batch) {
+  inc::MixedBatch Mixed;
+  Mixed.reserve(Batch.size());
+  for (const auto &[Name, Tuples] : Batch)
+    Mixed.push_back({Name, Tuples, {}});
+  BatchResult Result = applyMixed(Mixed);
+  // The legacy API reported malformed batches fatally; preserve that for
+  // callers that never see BatchResult::Error.
+  if (!Result.Error.empty())
+    fatal(Result.Error);
+  return Result;
+}
+
+std::string
+EngineSession::validateMixed(const inc::MixedBatch &Batch) const {
+  if (Maintained)
+    return Sides[0]->Maint->rejectReason(Batch);
+  for (const inc::RelationOps &Ops : Batch) {
+    const ram::Relation *Decl = Prog->getRam().findRelation(Ops.Relation);
+    if (!Decl || !Prog->getAst().findRelation(Ops.Relation))
+      return "unknown relation '" + Ops.Relation + "'";
+    for (const DynTuple &Tuple : Ops.Inserts)
+      if (Tuple.size() != Decl->getArity())
+        return "arity mismatch for relation '" + Ops.Relation + "'";
+    for (const DynTuple &Tuple : Ops.Retracts)
+      if (Tuple.size() != Decl->getArity())
+        return "arity mismatch for relation '" + Ops.Relation + "'";
+    if (Ops.Retracts.empty())
+      continue;
+    if (DerivedRels.count(Ops.Relation))
+      return "relation '" + Ops.Relation +
+             "' is derived by rules; only EDB relations accept retractions";
+    if (Decl->getStructure() == ram::StructureKind::Eqrel)
+      return "cannot retract from equivalence relation '" + Ops.Relation +
+             "' (classes cannot be split)";
+  }
+  return "";
+}
+
+void EngineSession::recordFallback(const std::string &Reason,
+                                   std::uint64_t Count) {
+  {
+    std::lock_guard<std::mutex> Lock(TelemetryMutex);
+    FallbackCounts[Reason] += Count;
+  }
+  if (!FallbackWarned.exchange(true))
+    std::fprintf(stderr,
+                 "stird: incremental maintenance fell back to "
+                 "re-evaluation (%s); counted in "
+                 "stird_maintenance_fallbacks_total, further fallbacks "
+                 "are silent\n",
+                 Reason.c_str());
+}
+
+BatchResult EngineSession::applyMixed(const inc::MixedBatch &Batch) {
   Timer T;
   std::lock_guard<std::mutex> Lock(WriterMutex);
+
+  BatchResult Result;
+  Result.Error = validateMixed(Batch);
+  if (!Result.Error.empty()) {
+    // Rejected before anything was staged: nothing applied, nothing
+    // logged, the epoch stands.
+    Result.Epoch = Log.size();
+    return Result;
+  }
+
   Side &W = *Sides[PassiveIdx];
   waitQuiesce(W);
   catchUp(W);
-
-  BatchResult Result;
-  Result.Incremental = Incremental;
   Log.push_back(Batch);
-  if (Incremental) {
-    std::tie(Result.Inserted, Result.Duplicates) = applyBatch(W, Batch);
-  } else {
-    // Count EDB novelty against the caught-up side, then rebuild.
-    for (const auto &[Name, Tuples] : Batch) {
-      const interp::RelationWrapper *Full = W.Eng->getRelation(Name);
-      if (!Full)
-        fatal("unknown relation '" + Name + "'");
-      for (const DynTuple &Tuple : Tuples) {
-        if (Tuple.size() != Full->getArity())
-          fatal("arity mismatch for relation '" + Name + "'");
-        if (Full->contains(Tuple.data()))
-          ++Result.Duplicates;
-        else
-          ++Result.Inserted;
-      }
-    }
-    rebuild(W);
-  }
+  applyOne(W, Batch, &Result);
   W.Epoch = Log.size();
   Result.Epoch = W.Epoch;
 
@@ -232,6 +408,37 @@ BatchResult EngineSession::loadFacts(const FactBatch &Batch) {
   PassiveIdx = 1 - PassiveIdx;
   Result.Seconds = T.seconds();
   return Result;
+}
+
+/// Parses one textual row block against declared column types, appending
+/// malformed-row reports to \p Errors. Shared by the two textual entry
+/// points.
+static void parseRows(const std::vector<std::vector<std::string>> &Rows,
+                      const std::vector<ColumnTypeKind> &Types,
+                      SymbolTable &Symbols, const std::string &Source,
+                      std::vector<DynTuple> &Out,
+                      std::vector<FactError> &Errors) {
+  for (std::size_t Row = 0; Row < Rows.size(); ++Row) {
+    if (Rows[Row].size() != Types.size()) {
+      Errors.push_back({Source, Row + 1, 0,
+                        "row has " + std::to_string(Rows[Row].size()) +
+                            " columns, expected " +
+                            std::to_string(Types.size())});
+      continue;
+    }
+    DynTuple Tuple(Types.size());
+    bool Ok = true;
+    for (std::size_t Col = 0; Col < Rows[Row].size() && Ok; ++Col) {
+      std::string Message;
+      if (!tryParseColumn(Rows[Row][Col], Types[Col], Symbols, Tuple[Col],
+                          &Message)) {
+        Errors.push_back({Source, Row + 1, Col + 1, Message});
+        Ok = false;
+      }
+    }
+    if (Ok)
+      Out.push_back(std::move(Tuple));
+  }
 }
 
 BatchResult EngineSession::loadFacts(const TextBatch &Batch,
@@ -245,30 +452,40 @@ BatchResult EngineSession::loadFacts(const TextBatch &Batch,
       continue;
     }
     std::vector<DynTuple> Tuples;
-    for (std::size_t Row = 0; Row < Rows.size(); ++Row) {
-      if (Rows[Row].size() != Types->size()) {
-        Errors.push_back({Source, Row + 1, 0,
-                          "row has " + std::to_string(Rows[Row].size()) +
-                              " columns, expected " +
-                              std::to_string(Types->size())});
-        continue;
-      }
-      DynTuple Tuple(Types->size());
-      bool Ok = true;
-      for (std::size_t Col = 0; Col < Rows[Row].size() && Ok; ++Col) {
-        std::string Message;
-        if (!tryParseColumn(Rows[Row][Col], (*Types)[Col], symbols(),
-                            Tuple[Col], &Message)) {
-          Errors.push_back({Source, Row + 1, Col + 1, Message});
-          Ok = false;
-        }
-      }
-      if (Ok)
-        Tuples.push_back(std::move(Tuple));
-    }
+    parseRows(Rows, *Types, symbols(), Source, Tuples, Errors);
     Resolved.emplace_back(Name, std::move(Tuples));
   }
   return loadFacts(Resolved);
+}
+
+BatchResult EngineSession::applyMixed(const MixedTextBatch &Batch,
+                                      std::vector<FactError> &Errors) {
+  inc::MixedBatch Resolved;
+  for (const TextRelationOps &Ops : Batch) {
+    const std::vector<ColumnTypeKind> *Types = relationTypes(Ops.Relation);
+    if (!Types) {
+      Errors.push_back({"<load:" + Ops.Relation + ">", 0, 0,
+                        "unknown relation '" + Ops.Relation + "'"});
+      continue;
+    }
+    inc::RelationOps R;
+    R.Relation = Ops.Relation;
+    parseRows(Ops.Inserts, *Types, symbols(), "<load:" + Ops.Relation + ">",
+              R.Inserts, Errors);
+    parseRows(Ops.Retracts, *Types, symbols(),
+              "<retract:" + Ops.Relation + ">", R.Retracts, Errors);
+    Resolved.push_back(std::move(R));
+  }
+  return applyMixed(Resolved);
+}
+
+bool EngineSession::isMaintained() const { return Maintained; }
+
+MaintTelemetry EngineSession::maintTelemetry() const {
+  std::lock_guard<std::mutex> Lock(TelemetryMutex);
+  MaintTelemetry Out = Telemetry;
+  Out.FallbackReasons.assign(FallbackCounts.begin(), FallbackCounts.end());
+  return Out;
 }
 
 Snapshot EngineSession::snapshot() const {
@@ -289,7 +506,11 @@ std::vector<DynTuple> EngineSession::query(const std::string &Relation,
   return snapshot().query(Relation, P);
 }
 
-bool EngineSession::isIncremental() const { return Incremental; }
+bool EngineSession::isIncremental() const {
+  // Maintained sessions apply every batch in place too — "incremental"
+  // means "no full re-evaluation per batch", whichever program provides it.
+  return Maintained || Incremental;
+}
 
 std::uint64_t EngineSession::epoch() const {
   return Active.load(std::memory_order_acquire)->Epoch;

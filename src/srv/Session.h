@@ -9,13 +9,17 @@
 /// de-specialized relations in memory across fact batches, so repeated
 /// loads and queries skip the one-shot pipeline's per-run setup entirely.
 ///
-/// Incrementality is monotonic-additions only: a batch may insert new EDB
-/// tuples, never retract. Programs the translator finds eligible (no
-/// negation, aggregates, `$`, or eqrel — see TranslationOptions::
-/// EmitUpdateProgram) re-derive consequences with a delta-seeded semi-naive
-/// update that reuses the existing LOOP/EXIT/SWAP machinery; anything else
-/// falls back to a full re-evaluation on a fresh engine (still behind the
-/// same API, reported via BatchResult::Incremental).
+/// Batches are mixed: they may insert new EDB tuples and retract present
+/// ones. When the translator emitted a maintenance program (see
+/// TranslationOptions::EmitMaintenance — forced on by fromSource/fromFile)
+/// every batch routes through the inc::Maintainer: counting for
+/// non-recursive strata, DRed for recursive ones, with scoped per-stratum
+/// re-evaluation fallbacks that are counted and reported, never silent.
+/// When the program carries no maintenance plan, pure-insert batches keep
+/// the delta-seeded semi-naive update path (EmitUpdateProgram) and
+/// retracting batches fall back to a net-replay full re-evaluation on a
+/// fresh engine (still behind the same API, reported via
+/// BatchResult::Maintained / Incremental and the fallback telemetry).
 ///
 /// Concurrency follows the left-right pattern: the session keeps two
 /// engine instances ("sides") over one shared symbol table. Readers pin
@@ -31,14 +35,18 @@
 #define STIRD_SRV_SESSION_H
 
 #include "core/Program.h"
+#include "inc/Maintainer.h"
 #include "srv/Query.h"
 #include "util/Csv.h"
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace stird::srv {
@@ -55,29 +63,72 @@ using FactBatch = std::vector<std::pair<std::string, std::vector<DynTuple>>>;
 using TextBatch =
     std::vector<std::pair<std::string, std::vector<std::vector<std::string>>>>;
 
-/// Outcome of one loadFacts call.
+/// One relation's textual portion of a mixed batch (wire form of
+/// inc::RelationOps): raw insert and retract rows, parsed against the
+/// relation's declared column types.
+struct TextRelationOps {
+  std::string Relation;
+  std::vector<std::vector<std::string>> Inserts;
+  std::vector<std::vector<std::string>> Retracts;
+};
+using MixedTextBatch = std::vector<TextRelationOps>;
+
+/// Outcome of one loadFacts/applyMixed call.
 struct BatchResult {
   /// Tuples that were genuinely new (grew a relation).
   std::size_t Inserted = 0;
   /// Tuples already present (deduplicated away).
   std::size_t Duplicates = 0;
-  /// True when the delta-seeded update program ran; false when the batch
-  /// was applied by full re-evaluation (ineligible program).
+  /// Tuples genuinely removed by retraction.
+  std::size_t Deleted = 0;
+  /// Retractions of tuples that were not present.
+  std::size_t Missing = 0;
+  /// True when the batch was applied in place (maintenance program or
+  /// delta-seeded update); false when it forced a full re-evaluation.
   bool Incremental = false;
+  /// True when the incremental maintenance plan processed the batch (see
+  /// BatchResult::Maint for the per-stratum breakdown).
+  bool Maintained = false;
   /// Batch sequence number after this load (1-based).
   std::uint64_t Epoch = 0;
   /// Wall-clock seconds spent applying the batch to the published side.
   double Seconds = 0;
+  /// Non-empty when the batch was rejected before application (unknown
+  /// relation, arity mismatch, derived-relation target or eqrel retraction
+  /// under maintenance, ...). A rejected batch mutates and logs nothing.
+  std::string Error;
+  /// Per-stratum maintenance detail of the publishing apply (only
+  /// meaningful when Maintained).
+  inc::MaintenanceReport Maint;
+};
+
+/// Cumulative maintenance counters of one session, for the stats command
+/// and the Prometheus exporter.
+struct MaintTelemetry {
+  /// Whether batches run the maintenance program at all.
+  bool Enabled = false;
+  /// Why they cannot when Enabled is false.
+  std::string IneligibleReason;
+  std::uint64_t Batches = 0;      ///< maintained batches applied
+  std::uint64_t Inserted = 0;     ///< net EDB tuples inserted
+  std::uint64_t Deleted = 0;      ///< net EDB tuples retracted
+  std::uint64_t Rederived = 0;    ///< DRed over-deletes that survived
+  std::uint64_t ReevalStrata = 0; ///< scoped Reeval strata executed
+  std::uint64_t Rebuilds = 0;     ///< whole-batch full re-evaluations
+  /// Fallback executions by reason: every scoped Reeval stratum run and
+  /// every whole-batch rebuild, keyed by why it happened.
+  std::vector<std::pair<std::string, std::uint64_t>> FallbackReasons;
 };
 
 struct SessionOptions {
   /// Per-side engine configuration (backend, threads, stats, ...).
   interp::EngineOptions Engine;
   /// Compile-time choices (--sips/--feedback join planning, ...) for the
-  /// fromSource/fromFile convenience constructors. EmitUpdateProgram is
-  /// forced on regardless: sessions always want the incremental path, and
-  /// both the one-shot and update programs are planned under the same
-  /// strategy so resident re-derivation matches a cold run's plans.
+  /// fromSource/fromFile convenience constructors. EmitUpdateProgram and
+  /// EmitMaintenance are forced on regardless: sessions always want the
+  /// incremental paths, and the one-shot, update and maintenance programs
+  /// are planned under the same strategy so resident re-derivation matches
+  /// a cold run's plans.
   core::CompileOptions Compile;
   /// Execute the program's .input/.output directives during the bootstrap
   /// run. Off by default: a serving session starts from an empty database
@@ -163,6 +214,27 @@ public:
   BatchResult loadFacts(const TextBatch &Batch,
                         std::vector<FactError> &Errors);
 
+  /// Applies one mixed insert/retract batch. When the program carries a
+  /// maintenance plan, every batch — even a pure-insert one — routes
+  /// through it so the support counts stay exact; otherwise retracting
+  /// batches fall back to a net-replay full re-evaluation and pure-insert
+  /// batches keep the legacy update path. A rejected batch sets
+  /// BatchResult::Error and applies (and logs) nothing.
+  BatchResult applyMixed(const inc::MixedBatch &Batch);
+
+  /// Textual variant of applyMixed (error reporting as for
+  /// loadFacts(TextBatch); retract rows report as "<retract:relation>").
+  BatchResult applyMixed(const MixedTextBatch &Batch,
+                         std::vector<FactError> &Errors);
+
+  /// Whether batches run the incremental maintenance program (mixed
+  /// insert/retract batches stay in place, no rebuild).
+  bool isMaintained() const;
+
+  /// Cumulative maintenance counters (batches, deletions, rederivations,
+  /// per-reason fallbacks) since the session booted.
+  MaintTelemetry maintTelemetry() const;
+
   /// Pins the current active side for consistent reads.
   Snapshot snapshot() const;
 
@@ -170,7 +242,8 @@ public:
   std::vector<DynTuple> query(const std::string &Relation,
                               const Pattern &P) const;
 
-  /// Whether batches run the incremental update program (vs re-evaluate).
+  /// Whether batches apply in place (maintenance or update program)
+  /// instead of re-evaluating from scratch.
   bool isIncremental() const;
 
   /// Batches applied so far.
@@ -200,17 +273,32 @@ private:
 
   /// Brings \p S fully up to date with the batch log.
   void catchUp(Side &S);
-  /// Applies one batch incrementally; returns insert/duplicate counts.
-  std::pair<std::size_t, std::size_t> applyBatch(Side &S,
-                                                 const FactBatch &Batch);
-  /// Full re-evaluation fallback: fresh engine, replay the whole log.
+  /// Applies one logged batch to a side. \p Result is non-null only for
+  /// the publishing apply (telemetry and counters are recorded once, not
+  /// per side).
+  void applyOne(Side &S, const inc::MixedBatch &Batch, BatchResult *Result);
+  /// Legacy pure-insert path: delta-seeded update program.
+  std::pair<std::size_t, std::size_t> applyInserts(Side &S,
+                                                   const inc::MixedBatch &Batch);
+  /// Full re-evaluation fallback: fresh engine, net-replay the whole log.
   void rebuild(Side &S);
+  /// Validates a batch before it is logged; "" when acceptable.
+  std::string validateMixed(const inc::MixedBatch &Batch) const;
+  /// Records one fallback execution (scoped Reeval stratum or rebuild)
+  /// and emits the once-per-session warning line.
+  void recordFallback(const std::string &Reason, std::uint64_t Count = 1);
   /// Spins until no snapshot pins \p S any more.
   void waitQuiesce(Side &S);
 
   std::shared_ptr<core::Program> Prog;
   SessionOptions Options;
   bool Incremental;
+  /// True when the program carries a maintenance plan (mixed batches stay
+  /// incremental).
+  bool Maintained;
+  /// Relations defined by rules — retraction targets to reject on the
+  /// non-maintained fallback path.
+  std::unordered_set<std::string> DerivedRels;
 
   std::unique_ptr<Side> Sides[2];
   /// The side snapshots pin. Readers load-acquire; the writer
@@ -220,8 +308,15 @@ private:
   /// Writer state, all under WriterMutex: the full batch log (replayed by
   /// the rebuild fallback and by lagging sides) and which side is passive.
   std::mutex WriterMutex;
-  std::vector<FactBatch> Log;
+  std::vector<inc::MixedBatch> Log;
   std::size_t PassiveIdx = 1;
+
+  /// Maintenance telemetry, recorded only by publishing applies. Guarded
+  /// by TelemetryMutex so stats/metrics readers never take WriterMutex.
+  mutable std::mutex TelemetryMutex;
+  MaintTelemetry Telemetry;
+  std::map<std::string, std::uint64_t> FallbackCounts;
+  std::atomic<bool> FallbackWarned{false};
 };
 
 } // namespace stird::srv

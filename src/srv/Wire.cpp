@@ -243,38 +243,52 @@ static bool cellText(const Value &Cell, std::string &Out) {
   return false;
 }
 
-static Value handleLoad(EngineSession &Session, const Value &Request) {
-  const Value *Facts = Request.find("facts");
-  if (!Facts || !Facts->isObject())
-    return errorReply("load requires a \"facts\" object");
-  TextBatch Batch;
-  for (const auto &[Relation, Rows] : Facts->asObject()) {
+/// Parses one facts-style object ({"rel": [[cell, ...], ...], ...}) into
+/// textual rows per relation. Returns "" on success, else the error text.
+static std::string
+parseFactsObject(const Value &Facts, const char *What,
+                 std::vector<std::pair<std::string,
+                                       std::vector<std::vector<std::string>>>>
+                     &Out) {
+  for (const auto &[Relation, Rows] : Facts.asObject()) {
     if (!Rows.isArray())
-      return errorReply("facts for '" + Relation + "' must be an array");
+      return std::string(What) + " for '" + Relation + "' must be an array";
     std::vector<std::vector<std::string>> Text;
     for (const Value &Row : Rows.asArray()) {
       if (!Row.isArray())
-        return errorReply("tuple for '" + Relation + "' must be an array");
+        return "tuple for '" + Relation + "' must be an array";
       std::vector<std::string> Cells;
       for (const Value &Cell : Row.asArray()) {
         std::string Raw;
         if (!cellText(Cell, Raw))
-          return errorReply("cells must be strings or numbers");
+          return "cells must be strings or numbers";
         Cells.push_back(std::move(Raw));
       }
       Text.push_back(std::move(Cells));
     }
-    Batch.emplace_back(Relation, std::move(Text));
+    Out.emplace_back(Relation, std::move(Text));
   }
+  return "";
+}
 
+/// Shared tail of load/retract: apply the mixed batch, render the reply.
+static Value mixedBatchReply(EngineSession &Session,
+                             const MixedTextBatch &Batch) {
   std::vector<FactError> Errors;
-  BatchResult Result = Session.loadFacts(Batch, Errors);
+  BatchResult Result = Session.applyMixed(Batch, Errors);
+  if (!Result.Error.empty())
+    return errorReply(Result.Error);
   Object O;
   O.emplace_back("ok", true);
   O.emplace_back("inserted", static_cast<std::uint64_t>(Result.Inserted));
   O.emplace_back("duplicates",
                  static_cast<std::uint64_t>(Result.Duplicates));
+  O.emplace_back("deleted", static_cast<std::uint64_t>(Result.Deleted));
+  O.emplace_back("missing", static_cast<std::uint64_t>(Result.Missing));
   O.emplace_back("incremental", Result.Incremental);
+  O.emplace_back("maintained", Result.Maintained);
+  if (Result.Maintained)
+    O.emplace_back("reeval_strata", Result.Maint.ReevalStrata);
   O.emplace_back("epoch", Result.Epoch);
   O.emplace_back("seconds", Result.Seconds);
   Array Warnings;
@@ -282,6 +296,53 @@ static Value handleLoad(EngineSession &Session, const Value &Request) {
     Warnings.emplace_back(Err.render());
   O.emplace_back("warnings", std::move(Warnings));
   return Value(std::move(O));
+}
+
+/// load: {"facts": {...}} inserts, plus an optional {"retract": {...}}
+/// block for mixed batches. retract: {"facts": {...}} retractions only.
+static Value handleLoad(EngineSession &Session, const Value &Request,
+                        bool RetractCmd) {
+  const Value *Facts = Request.find("facts");
+  if (!Facts || !Facts->isObject())
+    return errorReply(std::string(RetractCmd ? "retract" : "load") +
+                      " requires a \"facts\" object");
+  std::vector<std::pair<std::string, std::vector<std::vector<std::string>>>>
+      Primary, Retracts;
+  std::string Err =
+      parseFactsObject(*Facts, RetractCmd ? "retractions" : "facts",
+                       Primary);
+  if (Err.empty()) {
+    if (const Value *R = Request.find("retract"); R && !RetractCmd) {
+      if (!R->isObject())
+        Err = "\"retract\" must be an object";
+      else
+        Err = parseFactsObject(*R, "retractions", Retracts);
+    } else if (Request.find("retract") && RetractCmd) {
+      Err = "retract takes its tuples via \"facts\"";
+    }
+  }
+  if (!Err.empty())
+    return errorReply(Err);
+
+  MixedTextBatch Batch;
+  // Merge the blocks per relation so retract-then-insert ordering holds
+  // even when both mention the same relation.
+  auto opsFor = [&Batch](const std::string &Relation) -> TextRelationOps & {
+    for (TextRelationOps &Ops : Batch)
+      if (Ops.Relation == Relation)
+        return Ops;
+    Batch.push_back({Relation, {}, {}});
+    return Batch.back();
+  };
+  for (auto &[Relation, Rows] : Retracts)
+    opsFor(Relation).Retracts = std::move(Rows);
+  for (auto &[Relation, Rows] : Primary) {
+    if (RetractCmd)
+      opsFor(Relation).Retracts = std::move(Rows);
+    else
+      opsFor(Relation).Inserts = std::move(Rows);
+  }
+  return mixedBatchReply(Session, Batch);
 }
 
 /// Assembles a query reply around an already-serialized tuples fragment.
@@ -464,6 +525,27 @@ static Value handleStats(const RequestContext &Ctx) {
     Relations.emplace_back(std::move(R));
   }
   O.emplace_back("relations", std::move(Relations));
+
+  // Incremental-maintenance health: whether mixed batches stay in place,
+  // and every fallback that ever ran, by reason — fallbacks are counted
+  // and visible, never silent.
+  const MaintTelemetry Maint = Session.maintTelemetry();
+  Object MaintObj;
+  MaintObj.emplace_back("enabled", Maint.Enabled);
+  if (!Maint.Enabled)
+    MaintObj.emplace_back("reason", Maint.IneligibleReason);
+  MaintObj.emplace_back("batches", Maint.Batches);
+  MaintObj.emplace_back("inserted", Maint.Inserted);
+  MaintObj.emplace_back("deleted", Maint.Deleted);
+  MaintObj.emplace_back("rederived", Maint.Rederived);
+  MaintObj.emplace_back("reeval_strata", Maint.ReevalStrata);
+  MaintObj.emplace_back("rebuild_fallbacks", Maint.Rebuilds);
+  Object Fallbacks;
+  for (const auto &[Reason, Count] : Maint.FallbackReasons)
+    Fallbacks.emplace_back(Reason, Count);
+  MaintObj.emplace_back("fallbacks", std::move(Fallbacks));
+  O.emplace_back("maintenance", std::move(MaintObj));
+
   O.emplace_back("latency", Ctx.Latency.toJson());
 
   if (Ctx.T) {
@@ -535,9 +617,10 @@ static RequestOutcome dispatchCore(const RequestContext &Ctx,
     Outcome.Command = Cmd->asString();
     if (Ctx.Trace)
       Ctx.Trace->Command = Outcome.Command;
-    if (Outcome.Command == "load") {
+    if (Outcome.Command == "load" || Outcome.Command == "retract") {
       obs::StageScope Scope(Ctx.Trace, obs::RequestStage::Eval);
-      Outcome.Reply = handleLoad(Ctx.Session, *Request);
+      Outcome.Reply = handleLoad(Ctx.Session, *Request,
+                                 Outcome.Command == "retract");
     } else if (Outcome.Command == "query")
       Outcome.Reply = handleQuery(Ctx, *Request);
     else if (Outcome.Command == "stats")

@@ -241,8 +241,14 @@ public:
         Main.push_back(std::make_unique<ram::Io>(
             ram::Io::Direction::Load, RelOf.at(Decl->getName())));
 
-    for (std::size_t SI = 0; SI < Info.Strata.size(); ++SI)
+    for (std::size_t SI = 0; SI < Info.Strata.size(); ++SI) {
+      // Record each stratum's child span of the main Sequence: the scoped
+      // re-evaluation fallback of the maintenance subsystem re-runs
+      // exactly these statements.
+      const std::size_t Begin = Main.size();
       emitStratum(Info.Strata[SI], static_cast<int>(SI), Main);
+      StratumSpans.emplace_back(Begin, Main.size());
+    }
 
     for (const auto &Decl : AstProg.Relations) {
       if (Decl->isOutput())
@@ -256,6 +262,8 @@ public:
 
     if (Options.EmitUpdateProgram)
       emitUpdateProgram();
+    if (Options.EmitMaintenance)
+      emitMaintenance();
   }
 
 private:
@@ -508,6 +516,11 @@ private:
         Names.Added = UAdded.at(Name)->getName();
       Prog->setUpdateAux(Name, std::move(Names));
     }
+    // Make the update program's aux relations visible to the maintenance
+    // emission: its DRed strata reuse the same delta_/new_ scratch pair,
+    // and re-creating them here would collide on relation names.
+    MainDeltaRel.insert(UDelta.begin(), UDelta.end());
+    MainNewRel.insert(UNew.begin(), UNew.end());
 
     std::vector<ram::StmtPtr> Upd;
     for (std::size_t SI = 0; SI < Info.Strata.size(); ++SI) {
@@ -618,6 +631,869 @@ private:
     Prog->setUpdate(std::make_unique<ram::Sequence>(std::move(Upd)));
   }
 
+  //===--------------------------------------------------------------------===
+  // Incremental maintenance emission (mixed insert/retract batches)
+  //===--------------------------------------------------------------------===
+  //
+  // The maintenance program processes one batch of net EDB insertions and
+  // deletions (staged by the serving layer into delta_ins_E / delta_del_E)
+  // through the strata in bottom-up order, exactly once per stratum: when a
+  // stratum runs, every lower relation is already at its NEW (final) value
+  // and the lower ins/del deltas describe the net change. Each stratum's
+  // statement consumes those deltas and produces its own delta_ins_R /
+  // delta_del_R before any downstream stratum runs.
+  //
+  // Strategy per stratum:
+  //  * Counting (non-recursive): exact derivation counting. For a rule with
+  //    n non-constraint literals, version i reads literal i's change
+  //    (delta_ins with sign +, delta_del with sign -; a negated literal
+  //    triggers with the signs flipped), literals before i at NEW (the
+  //    plain relation) and literals after i at OLD. OLD is reconstructed
+  //    per trailing literal as two disjoint subversions:
+  //    (B AND NOT delta_ins_B) OR delta_del_B for positive atoms, and
+  //    ((NOT B) OR delta_ins_B) AND NOT delta_del_B for negations. The
+  //    versions project into the cadd_R/cdec_R multiplicity collectors;
+  //    FOLD COUNTS nets them into the cnt_R support store and applies the
+  //    0<->positive transitions to R, recording them in delta_ins_R /
+  //    delta_del_R. Wildcards in positive atoms are renamed to fresh
+  //    variables so each ground body instantiation counts once and the
+  //    trailing NOT-in-ins guards test the scanned tuple, not a pattern.
+  //  * DRed (recursive strata, and non-recursive ones whose negated
+  //    literals carry wildcards, which make the count-trigger rewrite
+  //    multiplicity-unsound): over-delete candidates into rederive_R with
+  //    a semi-naive loop seeded from the lower deletion deltas (non-delta
+  //    lower atoms over-approximated as NEW UNION delta_del, negations as
+  //    (NOT N) OR delta_ins_N; a head-membership atom keeps candidates
+  //    inside the old fixpoint), erase them, rederive survivors from the
+  //    remaining tuples (candidate-restricted, so brand-new tuples are
+  //    left to the insertion phase and correctly reach delta_ins_R), emit
+  //    the net deletions with SUBTRACT, then run the insertion semi-naive
+  //    loop seeded from the lower insertion deltas.
+  //  * Reeval (eqrel, aggregates, eqrel body dependencies, or rules too
+  //    wide for delta versions): no statement. The maintenance driver
+  //    snapshots the stratum's relations, clears them, re-runs the
+  //    recorded [MainBegin, MainEnd) span of the main Sequence and diffs
+  //    old against new into delta_ins_R / delta_del_R. Scoped, counted and
+  //    reported - never a silent whole-program restart.
+  //
+  // Programs using `$` get no maintenance at all (re-derivation would mint
+  // fresh ids); the reason is recorded on the program.
+
+  static std::string insName(const std::string &Rel) {
+    return "delta_ins_" + Rel;
+  }
+  static std::string delName(const std::string &Rel) {
+    return "delta_del_" + Rel;
+  }
+
+  /// Type of an argument node: synthesized (cloned) nodes resolve through
+  /// the overlay, everything else through the semantic analysis.
+  ast::TypeKind typeOfArg(const ast::Argument *Arg) const {
+    auto It = TypeOverlay.find(Arg);
+    return It == TypeOverlay.end() ? Info.typeOf(Arg) : It->second;
+  }
+
+  /// Registers \p Clone (and its operands, in lockstep) under the type the
+  /// analysis derived for \p Orig. SemanticInfo keys types by node
+  /// address, so cloned argument trees would otherwise degrade to the
+  /// Number fallback and mistranslate symbol comparisons and typed
+  /// intrinsics.
+  void registerTypes(const ast::Argument &Orig, const ast::Argument &Clone) {
+    TypeOverlay[&Clone] = typeOfArg(&Orig);
+    if (Orig.getKind() == ast::Argument::Kind::Functor) {
+      const auto &FO = static_cast<const ast::Functor &>(Orig);
+      const auto &FC = static_cast<const ast::Functor &>(Clone);
+      for (std::size_t I = 0; I < FO.getArgs().size(); ++I)
+        registerTypes(*FO.getArgs()[I], *FC.getArgs()[I]);
+    }
+  }
+
+  std::unique_ptr<ast::Argument> cloneArgMaint(const ast::Argument &Orig,
+                                               bool RenameWildcards,
+                                               int &Fresh) {
+    if (RenameWildcards &&
+        Orig.getKind() == ast::Argument::Kind::UnnamedVariable)
+      return std::make_unique<ast::Variable>(
+          "@maint_wc" + std::to_string(Fresh++), Orig.getLoc());
+    std::unique_ptr<ast::Argument> Clone = Orig.clone();
+    registerTypes(Orig, *Clone);
+    return Clone;
+  }
+
+  std::unique_ptr<ast::Atom> cloneAtomMaint(const ast::Atom &Orig,
+                                            std::string NewName,
+                                            bool RenameWildcards,
+                                            int &Fresh) {
+    std::vector<std::unique_ptr<ast::Argument>> Args;
+    for (const auto &Arg : Orig.getArgs())
+      Args.push_back(cloneArgMaint(*Arg, RenameWildcards, Fresh));
+    return std::make_unique<ast::Atom>(std::move(NewName), std::move(Args),
+                                       Orig.getLoc());
+  }
+
+  /// How one non-constraint body literal is synthesized in a maintenance
+  /// rule version.
+  enum class LitMode {
+    Keep,         ///< As-is (the current state of its relation).
+    ScratchDelta, ///< Positive atom over the semi-naive scratch delta_B.
+    InsScan,      ///< Positive atom over delta_ins_B (negations: the
+                  ///< literal is replaced by the positive scan).
+    DelScan,      ///< Positive atom over delta_del_B.
+    OldKeep,      ///< Counting trailing atom at OLD: B plus a NOT-in-
+                  ///< delta_ins_B guard over the same arguments.
+    OldDel,       ///< Counting trailing atom at OLD: delta_del_B scan.
+    NegOldKeep,   ///< Counting trailing negation at OLD: NOT B plus a
+                  ///< NOT-in-delta_del_B guard.
+    NegOldIns,    ///< Counting trailing negation at OLD: positive
+                  ///< delta_ins_B scan plus a NOT-in-delta_del_B guard.
+  };
+
+  /// Builds one synthesized maintenance rule version of \p C. \p Modes is
+  /// aligned with the non-constraint body literals in source order;
+  /// constraints are copied through. \p PrependRel / \p AppendRel, when
+  /// non-empty, add a positive atom over the head's arguments at the front
+  /// or back of the body (the DRed candidate and head-membership filters).
+  /// \p PivotLit, when >= 0, names the literal position whose delta scan
+  /// seeds this version: its synthesized atom is hoisted to the front of
+  /// the body so the join is driven by the (usually tiny, often empty)
+  /// delta instead of a full scan of the leading Keep literals — the
+  /// difference between per-batch cost proportional to the change and
+  /// proportional to the database. The hoist is pure reordering of a
+  /// commutative conjunction: the satisfying assignments (and hence
+  /// counting multiplicities) are unchanged.
+  /// The clause is kept alive for the translator's lifetime so the type
+  /// overlay's node addresses stay unique.
+  const ast::Clause *synthesizeMaintClause(const ast::Clause &C,
+                                           const std::vector<LitMode> &Modes,
+                                           bool RenameWildcards,
+                                           const std::string &PrependRel,
+                                           const std::string &AppendRel,
+                                           int PivotLit = -1) {
+    int Fresh = 0;
+    std::vector<std::unique_ptr<ast::Literal>> Body;
+    std::vector<std::unique_ptr<ast::Literal>> Guards;
+    int PivotBodyIdx = -1;
+    if (!PrependRel.empty())
+      Body.push_back(cloneAtomMaint(C.getHead(), PrependRel, false, Fresh));
+    std::size_t LitIdx = 0;
+    for (const auto &Lit : C.getBody()) {
+      if (Lit->getKind() == ast::Literal::Kind::Constraint) {
+        const auto &Con = static_cast<const ast::Constraint &>(*Lit);
+        std::unique_ptr<ast::Argument> Lhs = Con.getLhs().clone();
+        registerTypes(Con.getLhs(), *Lhs);
+        std::unique_ptr<ast::Argument> Rhs = Con.getRhs().clone();
+        registerTypes(Con.getRhs(), *Rhs);
+        Body.push_back(std::make_unique<ast::Constraint>(
+            Con.getOp(), std::move(Lhs), std::move(Rhs), Con.getLoc()));
+        continue;
+      }
+      const int ThisLit = static_cast<int>(LitIdx);
+      const std::size_t BodyBefore = Body.size();
+      const LitMode Mode = Modes[LitIdx++];
+      if (ThisLit == PivotLit)
+        PivotBodyIdx = static_cast<int>(BodyBefore);
+      if (Lit->getKind() == ast::Literal::Kind::Atom) {
+        const auto &A = static_cast<const ast::Atom &>(*Lit);
+        switch (Mode) {
+        case LitMode::Keep:
+          Body.push_back(
+              cloneAtomMaint(A, A.getName(), RenameWildcards, Fresh));
+          break;
+        case LitMode::ScratchDelta:
+          Body.push_back(cloneAtomMaint(A, "delta_" + A.getName(),
+                                        RenameWildcards, Fresh));
+          break;
+        case LitMode::InsScan:
+          Body.push_back(
+              cloneAtomMaint(A, insName(A.getName()), RenameWildcards,
+                             Fresh));
+          break;
+        case LitMode::DelScan:
+        case LitMode::OldDel:
+          Body.push_back(
+              cloneAtomMaint(A, delName(A.getName()), RenameWildcards,
+                             Fresh));
+          break;
+        case LitMode::OldKeep: {
+          // The guard must test the exact scanned tuple, so its arguments
+          // are cloned from the (wildcard-renamed) atom, not the original.
+          std::unique_ptr<ast::Atom> Atom =
+              cloneAtomMaint(A, A.getName(), RenameWildcards, Fresh);
+          Guards.push_back(std::make_unique<ast::Negation>(
+              cloneAtomMaint(*Atom, insName(A.getName()), false, Fresh),
+              A.getLoc()));
+          Body.push_back(std::move(Atom));
+          break;
+        }
+        case LitMode::NegOldKeep:
+        case LitMode::NegOldIns:
+          unreachable("negation mode on a positive atom");
+        }
+      } else {
+        const auto &A = static_cast<const ast::Negation &>(*Lit).getAtom();
+        switch (Mode) {
+        case LitMode::Keep:
+          Body.push_back(std::make_unique<ast::Negation>(
+              cloneAtomMaint(A, A.getName(), false, Fresh), Lit->getLoc()));
+          break;
+        case LitMode::InsScan:
+          Body.push_back(cloneAtomMaint(A, insName(A.getName()), false,
+                                        Fresh));
+          break;
+        case LitMode::DelScan:
+          Body.push_back(cloneAtomMaint(A, delName(A.getName()), false,
+                                        Fresh));
+          break;
+        case LitMode::NegOldKeep:
+          Body.push_back(std::make_unique<ast::Negation>(
+              cloneAtomMaint(A, A.getName(), false, Fresh), Lit->getLoc()));
+          Guards.push_back(std::make_unique<ast::Negation>(
+              cloneAtomMaint(A, delName(A.getName()), false, Fresh),
+              Lit->getLoc()));
+          break;
+        case LitMode::NegOldIns:
+          Body.push_back(
+              cloneAtomMaint(A, insName(A.getName()), false, Fresh));
+          Guards.push_back(std::make_unique<ast::Negation>(
+              cloneAtomMaint(A, delName(A.getName()), false, Fresh),
+              Lit->getLoc()));
+          break;
+        case LitMode::ScratchDelta:
+        case LitMode::OldKeep:
+        case LitMode::OldDel:
+          unreachable("atom mode on a negation");
+        }
+      }
+    }
+    if (PivotBodyIdx >= 0) {
+      // Hoist the delta pivot in front of every source-order literal (but
+      // after the PrependRel seed, which is itself the driving scan).
+      const auto Front =
+          Body.begin() + (PrependRel.empty() ? 0 : 1);
+      if (Body.begin() + PivotBodyIdx > Front)
+        std::rotate(Front, Body.begin() + PivotBodyIdx,
+                    Body.begin() + PivotBodyIdx + 1);
+    }
+    for (auto &G : Guards)
+      Body.push_back(std::move(G));
+    if (!AppendRel.empty())
+      Body.push_back(cloneAtomMaint(C.getHead(), AppendRel, false, Fresh));
+    std::unique_ptr<ast::Atom> Head =
+        cloneAtomMaint(C.getHead(), C.getHead().getName(), false, Fresh);
+    SynthClauses.push_back(std::make_unique<ast::Clause>(
+        std::move(Head), std::move(Body), C.getLoc()));
+    return SynthClauses.back().get();
+  }
+
+  /// The non-constraint body literals of a clause, in source order.
+  static std::vector<const ast::Literal *>
+  maintLiterals(const ast::Clause &C) {
+    std::vector<const ast::Literal *> Lits;
+    for (const auto &Lit : C.getBody())
+      if (Lit->getKind() != ast::Literal::Kind::Constraint)
+        Lits.push_back(Lit.get());
+    return Lits;
+  }
+
+  /// Walks every argument tree of \p C (head, atoms, negations, constraint
+  /// sides, aggregate internals).
+  static void forEachClauseArg(
+      const ast::Clause &C,
+      const std::function<void(const ast::Argument &)> &Fn) {
+    std::function<void(const ast::Argument &)> Walk;
+    std::function<void(const ast::Literal &)> WalkLit;
+    Walk = [&](const ast::Argument &Arg) {
+      Fn(Arg);
+      if (Arg.getKind() == ast::Argument::Kind::Functor) {
+        for (const auto &Operand :
+             static_cast<const ast::Functor &>(Arg).getArgs())
+          Walk(*Operand);
+      } else if (Arg.getKind() == ast::Argument::Kind::Aggregator) {
+        const auto &Agg = static_cast<const ast::Aggregator &>(Arg);
+        if (Agg.getTarget())
+          Walk(*Agg.getTarget());
+        for (const auto &Lit : Agg.getBody())
+          WalkLit(*Lit);
+      }
+    };
+    WalkLit = [&](const ast::Literal &Lit) {
+      switch (Lit.getKind()) {
+      case ast::Literal::Kind::Atom:
+        for (const auto &Arg : static_cast<const ast::Atom &>(Lit).getArgs())
+          Walk(*Arg);
+        break;
+      case ast::Literal::Kind::Negation:
+        for (const auto &Arg :
+             static_cast<const ast::Negation &>(Lit).getAtom().getArgs())
+          Walk(*Arg);
+        break;
+      case ast::Literal::Kind::Constraint: {
+        const auto &Con = static_cast<const ast::Constraint &>(Lit);
+        Walk(Con.getLhs());
+        Walk(Con.getRhs());
+        break;
+      }
+      }
+    };
+    for (const auto &Arg : C.getHead().getArgs())
+      Walk(*Arg);
+    for (const auto &Lit : C.getBody())
+      WalkLit(*Lit);
+  }
+
+  void emitMaintenance() {
+    using MaintStrategy = ram::Program::MaintStrategy;
+    using MaintStratum = ram::Program::MaintStratum;
+
+    if (Options.ForceNaiveEvaluation) {
+      Prog->setMaintIneligibleReason("naive evaluation forced");
+      return;
+    }
+    for (const auto &C : AstProg.Clauses) {
+      bool UsesCounter = false;
+      forEachClauseArg(*C, [&](const ast::Argument &Arg) {
+        UsesCounter |= Arg.getKind() == ast::Argument::Kind::Counter;
+      });
+      if (UsesCounter) {
+        Prog->setMaintIneligibleReason(
+            "program uses the '$' counter (re-derivation would mint fresh "
+            "ids)");
+        return;
+      }
+    }
+    for (const auto &Decl : AstProg.Relations) {
+      if (Decl->isInput() && !clausesOf(Decl->getName()).empty()) {
+        Prog->setMaintIneligibleReason(
+            "relation '" + Decl->getName() +
+            "' is both .input and derived by rules");
+        return;
+      }
+    }
+
+    // Per-stratum strategy classification.
+    struct Plan {
+      MaintStrategy Strategy = MaintStrategy::Counting;
+      std::string Reason;
+      bool Edb = false;
+    };
+    std::unordered_set<std::string> Eqrels;
+    for (const auto &Decl : AstProg.Relations)
+      if (Decl->getStructure() == ast::StructureKind::Eqrel)
+        Eqrels.insert(Decl->getName());
+    std::vector<Plan> Plans(Info.Strata.size());
+    for (std::size_t SI = 0; SI < Info.Strata.size(); ++SI) {
+      const ast::Stratum &Stratum = Info.Strata[SI];
+      Plan &P = Plans[SI];
+      bool HasClauses = false, HasEqrel = false, HasAgg = false;
+      bool WildcardNeg = false, TooWide = false, EqrelDep = false;
+      for (const auto *Decl : Stratum.Relations) {
+        if (Decl->getStructure() == ast::StructureKind::Eqrel)
+          HasEqrel = true;
+        for (const auto *C : clausesOf(Decl->getName())) {
+          HasClauses = true;
+          forEachClauseArg(*C, [&](const ast::Argument &Arg) {
+            HasAgg |= Arg.getKind() == ast::Argument::Kind::Aggregator;
+          });
+          std::size_t NumLits = 0;
+          for (const auto &Lit : C->getBody()) {
+            if (Lit->getKind() == ast::Literal::Kind::Constraint)
+              continue;
+            ++NumLits;
+            const ast::Atom &A =
+                Lit->getKind() == ast::Literal::Kind::Negation
+                    ? static_cast<const ast::Negation &>(*Lit).getAtom()
+                    : static_cast<const ast::Atom &>(*Lit);
+            if (Eqrels.count(A.getName()))
+              EqrelDep = true;
+            if (Lit->getKind() == ast::Literal::Kind::Negation)
+              for (const auto &Arg : A.getArgs())
+                WildcardNeg |=
+                    Arg->getKind() == ast::Argument::Kind::UnnamedVariable;
+          }
+          // The OLD reconstruction and DRed availability splits emit up to
+          // 2^(literals - 1) subversions per delta position; cap the width.
+          TooWide |= NumLits > 6;
+        }
+      }
+      if (!HasClauses) {
+        P.Edb = true;
+        continue;
+      }
+      if (HasEqrel) {
+        P.Strategy = MaintStrategy::Reeval;
+        P.Reason = "eqrel closure cannot be maintained from deltas";
+      } else if (HasAgg) {
+        P.Strategy = MaintStrategy::Reeval;
+        P.Reason = "aggregates are non-monotonic under deletions";
+      } else if (EqrelDep) {
+        P.Strategy = MaintStrategy::Reeval;
+        P.Reason = "body depends on an equivalence relation";
+      } else if (TooWide) {
+        P.Strategy = MaintStrategy::Reeval;
+        P.Reason = "rule body too wide for delta versions";
+      } else if (Stratum.Recursive || Stratum.Relations.size() > 1 ||
+                 WildcardNeg) {
+        P.Strategy = MaintStrategy::DRed;
+      } else {
+        P.Strategy = MaintStrategy::Counting;
+      }
+    }
+
+    // Aux relations: net ins/del deltas for every declared relation (the
+    // EDB staging area and the inter-stratum interface), the DRed
+    // over-deletion sets and scratch pairs, and the counting support
+    // stores with their per-batch collectors.
+    std::unordered_map<std::string, ram::Relation *> Ins, Del, Rederive;
+    std::unordered_map<std::string, ram::Relation *> Cnt, CAdd, CDec;
+    for (const auto &Decl : AstProg.Relations) {
+      const std::string &Name = Decl->getName();
+      ram::Relation *Full = RelOf.at(Name);
+      const ram::StructureKind AuxStructure =
+          Full->getStructure() == ram::StructureKind::Eqrel
+              ? ram::StructureKind::Btree
+              : Full->getStructure();
+      Ins[Name] = Prog->addRelation(insName(Name), Full->getColumnTypes(),
+                                    AuxStructure);
+      Del[Name] = Prog->addRelation(delName(Name), Full->getColumnTypes(),
+                                    AuxStructure);
+      RelOf[insName(Name)] = Ins.at(Name);
+      RelOf[delName(Name)] = Del.at(Name);
+    }
+    auto EnsureScratch =
+        [&](const std::string &Name, const char *Prefix,
+            std::unordered_map<std::string, ram::Relation *> &Cache)
+        -> ram::Relation * {
+      auto It = Cache.find(Name);
+      if (It == Cache.end()) {
+        ram::Relation *Full = RelOf.at(Name);
+        const ram::StructureKind AuxStructure =
+            Full->getStructure() == ram::StructureKind::Eqrel
+                ? ram::StructureKind::Btree
+                : Full->getStructure();
+        It = Cache
+                 .emplace(Name,
+                          Prog->addRelation(Prefix + Name,
+                                            Full->getColumnTypes(),
+                                            AuxStructure))
+                 .first;
+      }
+      RelOf[Prefix + Name] = It->second;
+      return It->second;
+    };
+    for (std::size_t SI = 0; SI < Info.Strata.size(); ++SI) {
+      const Plan &P = Plans[SI];
+      if (P.Edb)
+        continue;
+      for (const auto *Decl : Info.Strata[SI].Relations) {
+        const std::string &Name = Decl->getName();
+        ram::Relation *Full = RelOf.at(Name);
+        if (P.Strategy == MaintStrategy::DRed) {
+          Rederive[Name] = EnsureScratch(Name, "rederive_", Rederive);
+          EnsureScratch(Name, "delta_", MainDeltaRel);
+          EnsureScratch(Name, "new_", MainNewRel);
+        } else if (P.Strategy == MaintStrategy::Counting) {
+          Cnt[Name] = Prog->addRelation("cnt_" + Name,
+                                        Full->getColumnTypes(),
+                                        ram::StructureKind::Counts);
+          CAdd[Name] = Prog->addRelation("cadd_" + Name,
+                                         Full->getColumnTypes(),
+                                         ram::StructureKind::Counts);
+          CDec[Name] = Prog->addRelation("cdec_" + Name,
+                                         Full->getColumnTypes(),
+                                         ram::StructureKind::Counts);
+        }
+      }
+    }
+    for (const auto &Decl : AstProg.Relations) {
+      const std::string &Name = Decl->getName();
+      ram::Program::MaintAux Names;
+      Names.Ins = Ins.at(Name)->getName();
+      Names.Del = Del.at(Name)->getName();
+      if (Rederive.count(Name))
+        Names.Rederive = Rederive.at(Name)->getName();
+      if (Cnt.count(Name)) {
+        Names.Support = Cnt.at(Name)->getName();
+        Names.CntAdd = CAdd.at(Name)->getName();
+        Names.CntDec = CDec.at(Name)->getName();
+      }
+      Prog->setMaintAux(Name, std::move(Names));
+    }
+
+    // Prologue: apply the staged EDB nets to the clause-less relations.
+    std::vector<ram::StmtPtr> Pro;
+    for (const auto &Decl : AstProg.Relations) {
+      const std::string &Name = Decl->getName();
+      if (!clausesOf(Name).empty())
+        continue;
+      Pro.push_back(std::make_unique<ram::Erase>(Del.at(Name),
+                                                 RelOf.at(Name)));
+      Pro.push_back(std::make_unique<ram::MergeInto>(Ins.at(Name),
+                                                     RelOf.at(Name)));
+    }
+    Prog->setMaintPrologue(
+        std::make_unique<ram::Sequence>(std::move(Pro)));
+
+    // Per-stratum statements.
+    std::vector<MaintStratum> Strata;
+    std::vector<ram::StmtPtr> InitRules;
+    for (std::size_t SI = 0; SI < Info.Strata.size(); ++SI) {
+      const Plan &P = Plans[SI];
+      if (P.Edb)
+        continue;
+      MaintStratum MS;
+      MS.Strategy = P.Strategy;
+      MS.FallbackReason = P.Reason;
+      for (const auto *Decl : Info.Strata[SI].Relations)
+        MS.Relations.push_back(Decl->getName());
+      switch (P.Strategy) {
+      case MaintStrategy::Counting:
+        MS.Stmt = emitCountingStratum(Info.Strata[SI],
+                                      static_cast<int>(SI), Cnt, CAdd,
+                                      CDec, Ins, Del, InitRules);
+        break;
+      case MaintStrategy::DRed:
+        MS.Stmt = emitDRedStratum(Info.Strata[SI], static_cast<int>(SI),
+                                  Rederive, Ins, Del);
+        break;
+      case MaintStrategy::Reeval:
+        MS.MainBegin = StratumSpans[SI].first;
+        MS.MainEnd = StratumSpans[SI].second;
+        break;
+      }
+      Strata.push_back(std::move(MS));
+    }
+    if (!InitRules.empty())
+      Prog->setCountInit(
+          std::make_unique<ram::Sequence>(std::move(InitRules)));
+
+    // Epilogue: clear every staging/interface aux so the next batch starts
+    // clean (run after the serving layer has harvested telemetry).
+    std::vector<ram::StmtPtr> Epi;
+    for (const auto &Decl : AstProg.Relations) {
+      const std::string &Name = Decl->getName();
+      Epi.push_back(std::make_unique<ram::Clear>(Ins.at(Name)));
+      Epi.push_back(std::make_unique<ram::Clear>(Del.at(Name)));
+      if (Rederive.count(Name))
+        Epi.push_back(std::make_unique<ram::Clear>(Rederive.at(Name)));
+    }
+    Prog->setMaintEpilogue(
+        std::make_unique<ram::Sequence>(std::move(Epi)));
+
+    Prog->setMaintStrata(std::move(Strata));
+  }
+
+  /// Emits the counting-stratum statement (signed delta versions into the
+  /// cadd/cdec collectors, FOLD COUNTS, collector clears) and appends the
+  /// stratum's count-bootstrap rules to \p InitRules.
+  ram::StmtPtr emitCountingStratum(
+      const ast::Stratum &Stratum, int StratumId,
+      std::unordered_map<std::string, ram::Relation *> &Cnt,
+      std::unordered_map<std::string, ram::Relation *> &CAdd,
+      std::unordered_map<std::string, ram::Relation *> &CDec,
+      std::unordered_map<std::string, ram::Relation *> &Ins,
+      std::unordered_map<std::string, ram::Relation *> &Del,
+      std::vector<ram::StmtPtr> &InitRules) {
+    std::vector<ram::StmtPtr> Out;
+    for (const auto *Decl : Stratum.Relations) {
+      const std::string &Name = Decl->getName();
+      for (const auto *C : clausesOf(Name)) {
+        const std::vector<const ast::Literal *> Lits = maintLiterals(*C);
+        // Bootstrap version: every literal at the current state, into the
+        // support store (multiplicities accumulate per derivation).
+        {
+          std::vector<LitMode> Modes(Lits.size(), LitMode::Keep);
+          RuleVariant V;
+          V.LabelSuffix = " [cnt-init]";
+          emitRule(*synthesizeMaintClause(*C, Modes, /*RenameWildcards=*/true,
+                                          "", ""),
+                   Cnt.at(Name), {}, -1, nullptr, {}, StratumId, InitRules,
+                   V);
+        }
+        // Signed delta versions: telescoping over the literal positions.
+        for (std::size_t D = 0; D < Lits.size(); ++D) {
+          const std::size_t Trailing = Lits.size() - D - 1;
+          const bool DNeg =
+              Lits[D]->getKind() == ast::Literal::Kind::Negation;
+          for (std::uint32_t Mask = 0; Mask < (1u << Trailing); ++Mask) {
+            for (int Sign = 0; Sign < 2; ++Sign) {
+              std::vector<LitMode> Modes(Lits.size(), LitMode::Keep);
+              // A negated literal flips truth when its relation moves the
+              // other way: delta_del makes NOT B newly true.
+              Modes[D] = Sign == 0
+                             ? (DNeg ? LitMode::DelScan : LitMode::InsScan)
+                             : (DNeg ? LitMode::InsScan : LitMode::DelScan);
+              for (std::size_t T = 0; T < Trailing; ++T) {
+                const std::size_t Pos = D + 1 + T;
+                const bool Alt = (Mask >> T) & 1;
+                const bool Neg =
+                    Lits[Pos]->getKind() == ast::Literal::Kind::Negation;
+                Modes[Pos] = Neg ? (Alt ? LitMode::NegOldIns
+                                        : LitMode::NegOldKeep)
+                                 : (Alt ? LitMode::OldDel
+                                        : LitMode::OldKeep);
+              }
+              RuleVariant V;
+              V.LabelSuffix = Sign == 0 ? " [cadd]" : " [cdec]";
+              V.ForceMaxBound = true;
+              emitRule(*synthesizeMaintClause(*C, Modes, true, "", "",
+                                              static_cast<int>(D)),
+                       Sign == 0 ? CAdd.at(Name) : CDec.at(Name), {}, -1,
+                       nullptr, {}, StratumId, Out, V);
+            }
+          }
+        }
+      }
+    }
+    for (const auto *Decl : Stratum.Relations) {
+      const std::string &Name = Decl->getName();
+      Out.push_back(std::make_unique<ram::FoldCounts>(
+          CAdd.at(Name), CDec.at(Name), Cnt.at(Name), RelOf.at(Name),
+          Ins.at(Name), Del.at(Name)));
+      Out.push_back(std::make_unique<ram::Clear>(CAdd.at(Name)));
+      Out.push_back(std::make_unique<ram::Clear>(CDec.at(Name)));
+    }
+    return std::make_unique<ram::Sequence>(std::move(Out));
+  }
+
+  /// Emits the DRed stratum statement: over-delete, erase, rederive,
+  /// subtract, insert.
+  ram::StmtPtr
+  emitDRedStratum(const ast::Stratum &Stratum, int StratumId,
+                  std::unordered_map<std::string, ram::Relation *> &Rederive,
+                  std::unordered_map<std::string, ram::Relation *> &Ins,
+                  std::unordered_map<std::string, ram::Relation *> &Del) {
+    std::unordered_set<std::string> Scc;
+    for (const auto *Decl : Stratum.Relations)
+      Scc.insert(Decl->getName());
+
+    std::vector<ram::StmtPtr> Out;
+    auto ClearScratch = [&] {
+      for (const auto *Decl : Stratum.Relations) {
+        Out.push_back(std::make_unique<ram::Clear>(
+            MainDeltaRel.at(Decl->getName())));
+        Out.push_back(std::make_unique<ram::Clear>(
+            MainNewRel.at(Decl->getName())));
+      }
+    };
+    auto ExitCond = [&]() -> ram::CondPtr {
+      ram::CondPtr Cond;
+      for (const auto *Decl : Stratum.Relations) {
+        ram::CondPtr Part = std::make_unique<ram::EmptinessCheck>(
+            MainNewRel.at(Decl->getName()));
+        Cond = Cond ? std::make_unique<ram::Conjunction>(std::move(Cond),
+                                                         std::move(Part))
+                    : std::move(Part);
+      }
+      return Cond;
+    };
+    // Publishes each member's frontier: new_R is merged into the phase's
+    // accumulators, swapped into delta_R and cleared.
+    auto Advance = [&](std::vector<ram::StmtPtr> &Dst,
+                       const std::unordered_map<std::string,
+                                                ram::Relation *> *Acc1,
+                       const std::unordered_map<std::string,
+                                                ram::Relation *> *Acc2) {
+      for (const auto *Decl : Stratum.Relations) {
+        const std::string &Name = Decl->getName();
+        ram::Relation *NewR = MainNewRel.at(Name);
+        if (Acc1)
+          Dst.push_back(
+              std::make_unique<ram::MergeInto>(NewR, Acc1->at(Name)));
+        if (Acc2)
+          Dst.push_back(
+              std::make_unique<ram::MergeInto>(NewR, Acc2->at(Name)));
+        Dst.push_back(std::make_unique<ram::Swap>(MainDeltaRel.at(Name),
+                                                  NewR));
+        Dst.push_back(std::make_unique<ram::Clear>(NewR));
+      }
+    };
+    // Emits one phase: seed versions, frontier publication, then the
+    // semi-naive loop over the SCC delta versions.
+    auto Phase =
+        [&](const std::function<void(std::vector<ram::StmtPtr> &, bool)>
+                &EmitVersions,
+            const std::unordered_map<std::string, ram::Relation *> *Acc1,
+            const std::unordered_map<std::string, ram::Relation *> *Acc2) {
+          ClearScratch();
+          EmitVersions(Out, /*LoopBody=*/false);
+          Advance(Out, Acc1, Acc2);
+          std::vector<ram::StmtPtr> Body;
+          EmitVersions(Body, /*LoopBody=*/true);
+          Body.push_back(std::make_unique<ram::Exit>(ExitCond()));
+          Advance(Body, Acc1, Acc2);
+          Out.push_back(std::make_unique<ram::Loop>(
+              std::make_unique<ram::Sequence>(std::move(Body))));
+        };
+
+    // Phase A: over-delete candidates into rederive_R. Non-delta lower
+    // atoms are over-approximated at NEW UNION delta_del (mask splits),
+    // negations at (NOT N) OR delta_ins_N; SCC atoms read the still-
+    // unerased (OLD) relations; a head-membership atom keeps candidates
+    // inside the old fixpoint.
+    Phase(
+        [&](std::vector<ram::StmtPtr> &Dst, bool LoopBody) {
+          for (const auto *Decl : Stratum.Relations) {
+            const std::string &Name = Decl->getName();
+            for (const auto *C : clausesOf(Name)) {
+              const std::vector<const ast::Literal *> Lits =
+                  maintLiterals(*C);
+              std::vector<std::size_t> Lower;
+              for (std::size_t I = 0; I < Lits.size(); ++I) {
+                const bool SccAtom =
+                    Lits[I]->getKind() == ast::Literal::Kind::Atom &&
+                    Scc.count(
+                        static_cast<const ast::Atom &>(*Lits[I]).getName());
+                if (!SccAtom)
+                  Lower.push_back(I);
+              }
+              for (std::size_t D = 0; D < Lits.size(); ++D) {
+                const bool DIsScc =
+                    Lits[D]->getKind() == ast::Literal::Kind::Atom &&
+                    Scc.count(
+                        static_cast<const ast::Atom &>(*Lits[D]).getName());
+                if (DIsScc != LoopBody)
+                  continue;
+                std::vector<std::size_t> Maskable;
+                for (std::size_t I : Lower)
+                  if (I != D)
+                    Maskable.push_back(I);
+                for (std::uint32_t Mask = 0;
+                     Mask < (1u << Maskable.size()); ++Mask) {
+                  std::vector<LitMode> Modes(Lits.size(), LitMode::Keep);
+                  Modes[D] =
+                      LoopBody
+                          ? LitMode::ScratchDelta
+                          : (Lits[D]->getKind() ==
+                                     ast::Literal::Kind::Negation
+                                 ? LitMode::InsScan
+                                 : LitMode::DelScan);
+                  for (std::size_t B = 0; B < Maskable.size(); ++B) {
+                    if (!((Mask >> B) & 1))
+                      continue;
+                    const std::size_t Pos = Maskable[B];
+                    Modes[Pos] = Lits[Pos]->getKind() ==
+                                         ast::Literal::Kind::Negation
+                                     ? LitMode::InsScan
+                                     : LitMode::DelScan;
+                  }
+                  RuleVariant V;
+                  V.LabelSuffix = " [odel]";
+                  V.ForceMaxBound = true;
+                  emitRule(*synthesizeMaintClause(*C, Modes, false, "",
+                                                  Name,
+                                                  static_cast<int>(D)),
+                           MainNewRel.at(Name), {}, -1, Rederive.at(Name),
+                           {}, StratumId, Dst, V);
+                }
+              }
+            }
+          }
+        },
+        &Rederive, nullptr);
+
+    // Phase B: apply the over-deletions.
+    for (const auto *Decl : Stratum.Relations)
+      Out.push_back(std::make_unique<ram::Erase>(
+          Rederive.at(Decl->getName()), RelOf.at(Decl->getName())));
+
+    // Phase C: rederive candidates from the survivors (and the final
+    // lower state). The candidate restriction keeps brand-new tuples out:
+    // they belong to the insertion phase, which records them in
+    // delta_ins_R for downstream strata.
+    Phase(
+        [&](std::vector<ram::StmtPtr> &Dst, bool LoopBody) {
+          for (const auto *Decl : Stratum.Relations) {
+            const std::string &Name = Decl->getName();
+            for (const auto *C : clausesOf(Name)) {
+              const std::vector<const ast::Literal *> Lits =
+                  maintLiterals(*C);
+              if (!LoopBody) {
+                std::vector<LitMode> Modes(Lits.size(), LitMode::Keep);
+                RuleVariant V;
+                V.LabelSuffix = " [rdrv]";
+                // The rederive candidate atom sits at position 0; MaxBound
+                // chains the body off its bindings so unconnected literals
+                // are not free-scanned once per candidate.
+                V.ForceMaxBound = true;
+                emitRule(*synthesizeMaintClause(
+                             *C, Modes, false,
+                             Rederive.at(Name)->getName(), ""),
+                         MainNewRel.at(Name), {}, -1, RelOf.at(Name), {},
+                         StratumId, Dst, V);
+                continue;
+              }
+              for (std::size_t D = 0; D < Lits.size(); ++D) {
+                const bool DIsScc =
+                    Lits[D]->getKind() == ast::Literal::Kind::Atom &&
+                    Scc.count(
+                        static_cast<const ast::Atom &>(*Lits[D]).getName());
+                if (!DIsScc)
+                  continue;
+                std::vector<LitMode> Modes(Lits.size(), LitMode::Keep);
+                Modes[D] = LitMode::ScratchDelta;
+                RuleVariant V;
+                V.LabelSuffix = " [rdrv]";
+                V.ForceMaxBound = true;
+                emitRule(*synthesizeMaintClause(
+                             *C, Modes, false, "",
+                             Rederive.at(Name)->getName(),
+                             static_cast<int>(D)),
+                         MainNewRel.at(Name), {}, -1, RelOf.at(Name), {},
+                         StratumId, Dst, V);
+              }
+            }
+          }
+        },
+        &RelOf, nullptr);
+
+    // Phase D: net deletions for downstream strata.
+    for (const auto *Decl : Stratum.Relations)
+      Out.push_back(std::make_unique<ram::SubtractInto>(
+          Rederive.at(Decl->getName()), RelOf.at(Decl->getName()),
+          Del.at(Decl->getName())));
+
+    // Phase E: insertion semi-naive loop seeded from the lower insertion
+    // deltas (a lower deletion seeds through a negated literal). Frontiers
+    // accumulate into delta_ins_R as well as R.
+    Phase(
+        [&](std::vector<ram::StmtPtr> &Dst, bool LoopBody) {
+          for (const auto *Decl : Stratum.Relations) {
+            const std::string &Name = Decl->getName();
+            for (const auto *C : clausesOf(Name)) {
+              const std::vector<const ast::Literal *> Lits =
+                  maintLiterals(*C);
+              for (std::size_t D = 0; D < Lits.size(); ++D) {
+                const bool DIsScc =
+                    Lits[D]->getKind() == ast::Literal::Kind::Atom &&
+                    Scc.count(
+                        static_cast<const ast::Atom &>(*Lits[D]).getName());
+                if (DIsScc != LoopBody)
+                  continue;
+                std::vector<LitMode> Modes(Lits.size(), LitMode::Keep);
+                Modes[D] =
+                    LoopBody ? LitMode::ScratchDelta
+                             : (Lits[D]->getKind() ==
+                                        ast::Literal::Kind::Negation
+                                    ? LitMode::DelScan
+                                    : LitMode::InsScan);
+                RuleVariant V;
+                V.LabelSuffix = " [ins]";
+                V.ForceMaxBound = true;
+                emitRule(*synthesizeMaintClause(*C, Modes, false, "", "",
+                                                static_cast<int>(D)),
+                         MainNewRel.at(Name), {}, -1, RelOf.at(Name), {},
+                         StratumId, Dst, V);
+              }
+            }
+          }
+        },
+        &RelOf, &Ins);
+
+    // Leave the scratch pair empty for the next batch.
+    ClearScratch();
+    return std::make_unique<ram::Sequence>(std::move(Out));
+  }
+
   std::vector<const ast::Clause *>
   clausesOf(const std::string &Name) const {
     auto It = Info.ClausesOf.find(Name);
@@ -638,14 +1514,21 @@ private:
     int AbsDeltaIdx;
     const std::unordered_map<std::string, ram::Relation *> *AbsDeltaMap;
     const char *LabelSuffix;
+    /// Plans the body with MaxBound SIPS regardless of the session
+    /// strategy. Maintenance delta rules set this: their pivot atom sits
+    /// at source position 0 (synthesizeMaintClause hoists it) and the
+    /// greedy bound-columns order chains the remaining atoms off the
+    /// pivot's bindings instead of free-scanning an unconnected leading
+    /// literal per delta tuple.
+    bool ForceMaxBound;
     // Explicitly defaulted arguments instead of member initializers: the
     // latter cannot feed a default argument of the enclosing class.
     RuleVariant(int AbsDeltaIdx = -1,
                 const std::unordered_map<std::string, ram::Relation *>
                     *AbsDeltaMap = nullptr,
-                const char *LabelSuffix = "")
+                const char *LabelSuffix = "", bool ForceMaxBound = false)
         : AbsDeltaIdx(AbsDeltaIdx), AbsDeltaMap(AbsDeltaMap),
-          LabelSuffix(LabelSuffix) {}
+          LabelSuffix(LabelSuffix), ForceMaxBound(ForceMaxBound) {}
   };
 
   /// Translates one rule version.
@@ -796,7 +1679,9 @@ private:
         AtomRels[I] = resolveAtomRelation(I);
         Order[I] = I;
       }
-      if (T.Options.Sips == SipsStrategy::Source || Atoms.size() < 2)
+      const SipsStrategy Strat =
+          Variant.ForceMaxBound ? SipsStrategy::MaxBound : T.Options.Sips;
+      if (Strat == SipsStrategy::Source || Atoms.size() < 2)
         return;
       // An undeclared relation keeps the source order; buildAtom reports
       // the error with the original positions intact.
@@ -808,8 +1693,9 @@ private:
       for (std::size_t I = 0; I < Atoms.size(); ++I) {
         SipsAtom &D = Desc[I];
         D.SourceIndex = I;
-        D.IsDelta = AtomRels[I] != T.RelOf.at(Atoms[I]->getName());
-        if (T.Options.Sips == SipsStrategy::Profile)
+        const auto MainIt = T.RelOf.find(Atoms[I]->getName());
+        D.IsDelta = MainIt != T.RelOf.end() && AtomRels[I] != MainIt->second;
+        if (Strat == SipsStrategy::Profile)
           D.EstimatedSize =
               T.estimateSize(*AtomRels[I], D.IsDelta, Atoms[I]->getName());
         for (const auto &Arg : Atoms[I]->getArgs()) {
@@ -849,7 +1735,7 @@ private:
         AddDerivation(Con.getRhs(), Con.getLhs());
       }
 
-      Order = orderAtoms(T.Options.Sips, Desc, Equalities);
+      Order = orderAtoms(Strat, Desc, Equalities);
       std::vector<const ast::Atom *> NewAtoms(Atoms.size());
       std::vector<const ram::Relation *> NewRels(Atoms.size());
       for (std::size_t I = 0; I < Order.size(); ++I) {
@@ -936,7 +1822,7 @@ private:
         for (const auto &Operand : F.getArgs())
           Args.push_back(translateExpr(*Operand));
         return std::make_unique<ram::Intrinsic>(
-            resolveIntrinsic(F.getOp(), T.Info.typeOf(&Arg)),
+            resolveIntrinsic(F.getOp(), T.typeOfArg(&Arg)),
             std::move(Args));
       }
       case ast::Argument::Kind::UnnamedVariable:
@@ -1060,7 +1946,7 @@ private:
           return buildLevel(AtomIdx);
       }
 
-      TypeKind Type = T.Info.typeOf(&Con.getLhs());
+      TypeKind Type = T.typeOfArg(&Con.getLhs());
       ram::CondPtr Cond = std::make_unique<ram::Constraint>(
           resolveCmp(Con.getOp(), Type), translateExpr(Con.getLhs()),
           translateExpr(Con.getRhs()));
@@ -1137,7 +2023,7 @@ private:
       for (const ast::Literal *Lit : InnerRest) {
         if (Lit->getKind() == ast::Literal::Kind::Constraint) {
           const auto &Inner = static_cast<const ast::Constraint &>(*Lit);
-          TypeKind Type = T.Info.typeOf(&Inner.getLhs());
+          TypeKind Type = T.typeOfArg(&Inner.getLhs());
           InnerConds.push_back(std::make_unique<ram::Constraint>(
               resolveCmp(Inner.getOp(), Type),
               translateExpr(Inner.getLhs()),
@@ -1176,10 +2062,10 @@ private:
                         : std::move(Part);
 
       ram::ExprPtr TargetExpr;
-      TypeKind ResultType = T.Info.typeOf(&Con.getLhs());
+      TypeKind ResultType = T.typeOfArg(&Con.getLhs());
       if (Agg.getOp() != ast::AggregateOp::Count) {
         TargetExpr = translateExpr(*Agg.getTarget());
-        ResultType = T.Info.typeOf(Agg.getTarget());
+        ResultType = T.typeOfArg(Agg.getTarget());
       }
 
       // The locals die with the fold; tuple id Tid then holds the result.
@@ -1408,6 +2294,16 @@ private:
   /// The delta_/new_ aux relations the main program's semi-naive strata
   /// created, for reuse by the update program.
   std::unordered_map<std::string, ram::Relation *> MainDeltaRel, MainNewRel;
+  /// Half-open [begin, end) child ranges of the main Sequence, one per
+  /// stratum — the re-run spans for Reeval maintenance strata.
+  std::vector<std::pair<std::size_t, std::size_t>> StratumSpans;
+  /// Types for synthesized maintenance arguments: SemanticInfo keys
+  /// ExprTypes by node address, so cloned trees must carry their own
+  /// entries (see registerTypes).
+  std::unordered_map<const ast::Argument *, ast::TypeKind> TypeOverlay;
+  /// Owns every synthesized maintenance clause for the translator's
+  /// lifetime, so TypeOverlay's pointer keys stay unique and valid.
+  std::vector<std::unique_ptr<ast::Clause>> SynthClauses;
 };
 
 } // namespace

@@ -51,6 +51,18 @@ struct TranslationOptions {
   /// extra aux relations would perturb dumps and index-selection goldens
   /// of the one-shot pipeline.
   bool EmitUpdateProgram = false;
+  /// Additionally emit the incremental maintenance program for mixed
+  /// insert/retract batches (src/inc): per-stratum update statements
+  /// selected between exact derivation counting (non-recursive strata)
+  /// and DRed over-delete/rederive (recursive strata), plus the EDB
+  /// prologue, the count-bootstrap statement and the aux-clearing
+  /// epilogue (see ram::Program::getMaintStrata). Strata using eqrel or
+  /// aggregates fall back to a scoped per-stratum re-evaluation recorded
+  /// in the plan; programs using `$` get no maintenance at all and the
+  /// reason is recorded via ram::Program::setMaintIneligibleReason. Off by
+  /// default for the same reason as EmitUpdateProgram: the aux relations
+  /// would perturb dumps and index-selection goldens.
+  bool EmitMaintenance = false;
   /// Join-ordering strategy applied to every rule body (including update
   /// rules, so the resident-session path plans identically to the one-shot
   /// path). Defaults to source order: plans and RAM goldens only change

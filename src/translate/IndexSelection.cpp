@@ -93,7 +93,12 @@ public:
     case Statement::Kind::Clear:
     case Statement::Kind::Swap:
     case Statement::Kind::MergeInto:
+    case Statement::Kind::Erase:
+    case Statement::Kind::SubtractInto:
+    case Statement::Kind::FoldCounts:
     case Statement::Kind::Io:
+      // Bulk statements enumerate via full scans and full-tuple
+      // membership only; no primitive searches to serve.
       return;
     }
   }
@@ -251,6 +256,15 @@ IndexSelectionResult stird::translate::selectIndexes(ram::Program &Prog) {
   // searches (delta scans, guards) must be index-served too.
   if (Prog.hasUpdate())
     Collector.visitStmt(Prog.getUpdate());
+  // Same for the maintenance programs: their signed delta versions search
+  // the ins_/del_/rederive_ aux relations with bound patterns.
+  for (const auto &S : Prog.getMaintStrata())
+    if (S.Stmt)
+      Collector.visitStmt(*S.Stmt);
+  if (const Statement *CountInit = Prog.getCountInit())
+    Collector.visitStmt(*CountInit);
+  if (const Statement *Prologue = Prog.getMaintPrologue())
+    Collector.visitStmt(*Prologue);
 
   // Union-find over relations connected by Swap statements: swapped
   // relations must agree on their physical index layout.
@@ -290,6 +304,9 @@ IndexSelectionResult stird::translate::selectIndexes(ram::Program &Prog) {
     FindSwaps(Prog.getMain());
   if (Prog.hasUpdate())
     FindSwaps(Prog.getUpdate());
+  for (const auto &S : Prog.getMaintStrata())
+    if (S.Stmt)
+      FindSwaps(*S.Stmt);
 
   // Merge search sets per swap group.
   std::map<const Relation *, std::set<std::uint32_t>> GroupSearches;

@@ -1,0 +1,237 @@
+//===- tests/inc/MaintPlanTest.cpp - Maintenance plan classification ----------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the translator's maintenance plan: per-stratum strategy
+/// classification (counting / DRed / scoped Reeval), aux-relation naming,
+/// whole-program ineligibility reporting, and the guarantee that
+/// negation-only programs never fall back to re-evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "inc/Maintainer.h"
+
+#include "core/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace stird;
+
+namespace {
+
+core::CompileOptions withMaint() {
+  core::CompileOptions Options;
+  Options.EmitMaintenance = true;
+  return Options;
+}
+
+using Strategy = ram::Program::MaintStrategy;
+
+/// Strategy of the stratum defining \p Rel, or nullopt.
+const ram::Program::MaintStratum *stratumOf(const ram::Program &Ram,
+                                            const std::string &Rel) {
+  for (const auto &MS : Ram.getMaintStrata())
+    for (const std::string &Name : MS.Relations)
+      if (Name == Rel)
+        return &MS;
+  return nullptr;
+}
+
+TEST(MaintPlan, DefaultCompileHasNoMaintenance) {
+  auto Prog = core::Program::fromSource(
+      ".decl a(x:number)\n.decl b(x:number)\nb(x) :- a(x).");
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_FALSE(Prog->getRam().hasMaintenance());
+  EXPECT_EQ(Prog->getRam().getMaintAux("a"), nullptr);
+}
+
+TEST(MaintPlan, NonRecursiveStratumCounts) {
+  auto Prog = core::Program::fromSource(
+      ".decl a(x:number, y:number)\n.decl r(x:number)\n"
+      "r(x) :- a(x, _).",
+      nullptr, withMaint());
+  ASSERT_NE(Prog, nullptr);
+  const ram::Program::MaintStratum *MS = stratumOf(Prog->getRam(), "r");
+  ASSERT_NE(MS, nullptr);
+  EXPECT_EQ(MS->Strategy, Strategy::Counting);
+  EXPECT_NE(MS->Stmt, nullptr);
+  const ram::Program::MaintAux *Aux = Prog->getRam().getMaintAux("r");
+  ASSERT_NE(Aux, nullptr);
+  EXPECT_EQ(Aux->Ins, "delta_ins_r");
+  EXPECT_EQ(Aux->Del, "delta_del_r");
+  EXPECT_EQ(Aux->Support, "cnt_r");
+  EXPECT_EQ(Aux->CntAdd, "cadd_r");
+  EXPECT_EQ(Aux->CntDec, "cdec_r");
+  EXPECT_TRUE(Aux->Rederive.empty());
+  // EDB relations still carry their staging deltas, but no support store.
+  const ram::Program::MaintAux *EdbAux = Prog->getRam().getMaintAux("a");
+  ASSERT_NE(EdbAux, nullptr);
+  EXPECT_EQ(EdbAux->Ins, "delta_ins_a");
+  EXPECT_TRUE(EdbAux->Support.empty());
+  // A count-bootstrap statement exists for the counting stratum.
+  EXPECT_NE(Prog->getRam().getCountInit(), nullptr);
+}
+
+TEST(MaintPlan, RecursiveStratumUsesDRed) {
+  auto Prog = core::Program::fromSource(
+      ".decl edge(a:number, b:number)\n.decl path(a:number, b:number)\n"
+      "path(x, y) :- edge(x, y).\n"
+      "path(x, z) :- path(x, y), edge(y, z).\n",
+      nullptr, withMaint());
+  ASSERT_NE(Prog, nullptr);
+  const ram::Program::MaintStratum *MS = stratumOf(Prog->getRam(), "path");
+  ASSERT_NE(MS, nullptr);
+  EXPECT_EQ(MS->Strategy, Strategy::DRed);
+  const ram::Program::MaintAux *Aux = Prog->getRam().getMaintAux("path");
+  ASSERT_NE(Aux, nullptr);
+  EXPECT_EQ(Aux->Rederive, "rederive_path");
+  EXPECT_TRUE(Aux->Support.empty());
+}
+
+TEST(MaintPlan, NegationOnlyProgramNeverFallsBack) {
+  // The acceptance bar: stratified negation alone must be maintained
+  // precisely — no Reeval stratum, no whole-program ineligibility.
+  auto Prog = core::Program::fromSource(
+      ".decl a(x:number)\n.decl b(x:number)\n.decl c(x:number)\n"
+      ".decl d(x:number)\n"
+      "c(x) :- a(x), !b(x).\n"
+      "d(x) :- c(x), !a(x).\n",
+      nullptr, withMaint());
+  ASSERT_NE(Prog, nullptr);
+  ASSERT_TRUE(Prog->getRam().hasMaintenance());
+  EXPECT_TRUE(Prog->getRam().getMaintIneligibleReason().empty());
+  for (const auto &MS : Prog->getRam().getMaintStrata())
+    EXPECT_NE(MS.Strategy, Strategy::Reeval)
+        << "negation-only stratum fell back: " << MS.FallbackReason;
+}
+
+TEST(MaintPlan, AggregateStratumFallsBackScoped) {
+  auto Prog = core::Program::fromSource(
+      ".decl item(k:number, v:number)\n.decl total(s:number)\n"
+      ".decl big(s:number)\n"
+      "total(s) :- s = sum v : { item(_, v) }.\n"
+      "big(s) :- total(s), s > 10.\n",
+      nullptr, withMaint());
+  ASSERT_NE(Prog, nullptr);
+  ASSERT_TRUE(Prog->getRam().hasMaintenance());
+  const ram::Program::MaintStratum *Total =
+      stratumOf(Prog->getRam(), "total");
+  ASSERT_NE(Total, nullptr);
+  EXPECT_EQ(Total->Strategy, Strategy::Reeval);
+  EXPECT_FALSE(Total->FallbackReason.empty());
+  EXPECT_LT(Total->MainBegin, Total->MainEnd);
+  // The stratum above the aggregate still counts exactly.
+  const ram::Program::MaintStratum *Big = stratumOf(Prog->getRam(), "big");
+  ASSERT_NE(Big, nullptr);
+  EXPECT_EQ(Big->Strategy, Strategy::Counting);
+}
+
+TEST(MaintPlan, EqrelDependencyFallsBackScoped) {
+  auto Prog = core::Program::fromSource(
+      ".decl link(a:number, b:number)\n"
+      ".decl same(a:number, b:number) eqrel\n"
+      ".decl rep(a:number)\n"
+      "same(x, y) :- link(x, y).\n"
+      "rep(x) :- same(x, _).\n",
+      nullptr, withMaint());
+  ASSERT_NE(Prog, nullptr);
+  const ram::Program::MaintStratum *Same = stratumOf(Prog->getRam(), "same");
+  ASSERT_NE(Same, nullptr);
+  EXPECT_EQ(Same->Strategy, Strategy::Reeval);
+  // rep reads the eqrel: conservative Reeval too (union-find deltas are
+  // not enumerable as tuple deltas).
+  const ram::Program::MaintStratum *Rep = stratumOf(Prog->getRam(), "rep");
+  ASSERT_NE(Rep, nullptr);
+  EXPECT_EQ(Rep->Strategy, Strategy::Reeval);
+}
+
+TEST(MaintPlan, CounterDisablesMaintenanceWithReason) {
+  auto Prog = core::Program::fromSource(
+      ".decl a(x:number, y:number)\n.decl b(x:number)\n"
+      "a($, x) :- b(x).",
+      nullptr, withMaint());
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_FALSE(Prog->getRam().hasMaintenance());
+  EXPECT_NE(Prog->getRam().getMaintIneligibleReason().find("counter"),
+            std::string::npos);
+}
+
+TEST(MaintPlan, InputDerivedRelationDisablesMaintenance) {
+  auto Prog = core::Program::fromSource(
+      ".decl a(x:number)\n.decl b(x:number)\n.input b\n"
+      "b(x) :- a(x).",
+      nullptr, withMaint());
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_FALSE(Prog->getRam().hasMaintenance());
+  EXPECT_FALSE(Prog->getRam().getMaintIneligibleReason().empty());
+}
+
+TEST(MaintPlan, WildcardUnderNegationSelectsDRed) {
+  auto Prog = core::Program::fromSource(
+      ".decl a(x:number)\n.decl b(x:number, y:number)\n.decl c(x:number)\n"
+      "c(x) :- a(x), !b(x, _).",
+      nullptr, withMaint());
+  ASSERT_NE(Prog, nullptr);
+  const ram::Program::MaintStratum *MS = stratumOf(Prog->getRam(), "c");
+  ASSERT_NE(MS, nullptr);
+  EXPECT_EQ(MS->Strategy, Strategy::DRed);
+}
+
+TEST(MaintPlan, MaintainerRejectsBadBatches) {
+  auto Prog = core::Program::fromSource(
+      ".decl link(a:number, b:number)\n"
+      ".decl same(a:number, b:number) eqrel\n"
+      ".decl derived(x:number)\n"
+      "same(x, y) :- link(x, y).\n"
+      "derived(x) :- link(x, _).\n",
+      nullptr, withMaint());
+  ASSERT_NE(Prog, nullptr);
+  interp::EngineOptions Opts;
+  Opts.SuppressIo = true;
+  auto Eng = Prog->makeEngine(Opts);
+  Eng->run();
+  inc::Maintainer Maint(Prog->getRam(), *Eng);
+
+  inc::MixedBatch DerivedTarget{{"derived", {{1}}, {}}};
+  EXPECT_NE(Maint.rejectReason(DerivedTarget), "");
+  inc::MixedBatch EqrelRetract{{"same", {}, {{1, 2}}}};
+  EXPECT_NE(Maint.rejectReason(EqrelRetract), "");
+  inc::MixedBatch Unknown{{"nosuch", {{1}}, {}}};
+  EXPECT_NE(Maint.rejectReason(Unknown), "");
+  inc::MixedBatch ArityMismatch{{"link", {{1}}, {}}};
+  EXPECT_NE(Maint.rejectReason(ArityMismatch), "");
+  inc::MixedBatch Fine{{"link", {{1, 2}}, {{3, 4}}}};
+  EXPECT_EQ(Maint.rejectReason(Fine), "");
+}
+
+TEST(MaintPlan, ReportCountsNetEdbChanges) {
+  auto Prog = core::Program::fromSource(
+      ".decl a(x:number)\n.decl b(x:number)\nb(x) :- a(x).", nullptr,
+      withMaint());
+  ASSERT_NE(Prog, nullptr);
+  interp::EngineOptions Opts;
+  Opts.SuppressIo = true;
+  auto Eng = Prog->makeEngine(Opts);
+  Eng->insertTuples("a", {{1}, {2}});
+  Eng->run();
+  inc::Maintainer Maint(Prog->getRam(), *Eng);
+  Maint.bootstrap();
+
+  // Insert {2 (dup), 3 (new)}, retract {1 (hit), 9 (miss)}.
+  inc::MixedBatch Batch{{"a", {{2}, {3}}, {{1}, {9}}}};
+  ASSERT_EQ(Maint.rejectReason(Batch), "");
+  inc::MaintenanceReport Report = Maint.apply(Batch);
+  EXPECT_TRUE(Report.Maintained);
+  EXPECT_EQ(Report.Inserted, 1u);
+  EXPECT_EQ(Report.Duplicates, 1u);
+  EXPECT_EQ(Report.Deleted, 1u);
+  EXPECT_EQ(Report.Missing, 1u);
+  EXPECT_EQ(Report.ReevalStrata, 0u);
+  EXPECT_EQ(Eng->getTuples("b"),
+            (std::vector<DynTuple>{{2}, {3}}));
+}
+
+} // namespace

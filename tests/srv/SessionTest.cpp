@@ -44,9 +44,15 @@ struct Subject {
   std::string Source;
   std::vector<std::string> Outputs;
   std::function<FactBatch(core::Program &)> MakeInputs;
-  /// Whether the translator should find the program update-eligible. The
-  /// suite asserts this so fallback coverage cannot silently vanish.
+  /// Whether the session should apply batches in place (maintenance or
+  /// update program). All current subjects are maintained; the flag stays
+  /// so future counter-style subjects can assert the rebuild path.
   bool ExpectIncremental = true;
+  /// Whether the maintenance plan should contain scoped Reeval strata
+  /// (aggregates, eqrel). Asserted both ways, so precise maintenance of
+  /// negation-only programs cannot silently regress into fallbacks — and
+  /// fallback coverage cannot silently vanish either.
+  bool ExpectReevalFallback = false;
 };
 
 Subject quickstartSubject() {
@@ -179,8 +185,9 @@ Subject internSubject() {
   return S;
 }
 
-/// Negation and an aggregate: ineligible for the incremental update, so
-/// every batch exercises the re-evaluation fallback.
+/// Negation and an aggregate: the negation strata are maintained
+/// precisely; the aggregate strata ride the scoped per-stratum Reeval
+/// fallback (counted, never a whole-program rebuild).
 Subject dataflowSubject() {
   Subject S;
   S.Name = "dataflow_fallback";
@@ -203,7 +210,7 @@ Subject dataflowSubject() {
     fanin(b, v, n) :- use(b, v), n = count : { live_use(b, v, _) }.
   )";
   S.Outputs = {"reach", "live_use", "undefined_use", "fanin"};
-  S.ExpectIncremental = false;
+  S.ExpectReevalFallback = true;
   S.MakeInputs = [](core::Program &) {
     std::vector<DynTuple> Defs, Uses, Succs;
     constexpr RamDomain NumBlocks = 40, NumVars = 6;
@@ -223,8 +230,9 @@ Subject dataflowSubject() {
   return S;
 }
 
-/// Program facts plus negation: the fallback must re-derive the seeded
-/// fact ("while" is unsafe) on every rebuild.
+/// Program facts plus recursive negation: maintained precisely (the
+/// acceptance bar — negation alone must never fall back), and the seeded
+/// fact ("while" is unsafe) must survive every batch.
 Subject securitySubject() {
   Subject S;
   S.Name = "security_fallback";
@@ -239,7 +247,6 @@ Subject securitySubject() {
     Violation(x) :- Vulnerable(x), Unsafe(x).
   )";
   S.Outputs = {"Unsafe", "Violation"};
-  S.ExpectIncremental = false;
   S.MakeInputs = [](core::Program &Prog) {
     SymbolTable &Symbols = Prog.getSymbolTable();
     auto Block = [&](int I) {
@@ -264,8 +271,9 @@ Subject securitySubject() {
   return S;
 }
 
-/// Equivalence relations are ineligible (delta-seeding does not commute
-/// with union-find closure), so this rides the fallback too.
+/// Equivalence relations cannot be maintained from tuple deltas (union
+/// find does not commute with deletion), so their strata ride the scoped
+/// Reeval fallback.
 Subject eqrelSubject() {
   Subject S;
   S.Name = "eqrel_fallback";
@@ -277,7 +285,7 @@ Subject eqrelSubject() {
     rep(a, b) :- same(a, b), a <= b.
   )";
   S.Outputs = {"same", "rep"};
-  S.ExpectIncremental = false;
+  S.ExpectReevalFallback = true;
   S.MakeInputs = [](core::Program &) {
     std::vector<DynTuple> Links;
     for (RamDomain Base : {0, 100, 200})
@@ -398,8 +406,16 @@ NamedContents runSession(const Subject &S, std::size_t NumBatches,
   for (const FactBatch &Batch : Batches) {
     const BatchResult R = Session->loadFacts(Batch);
     EXPECT_EQ(R.Incremental, S.ExpectIncremental) << S.Name;
+    EXPECT_TRUE(R.Error.empty()) << S.Name << ": " << R.Error;
   }
   EXPECT_EQ(Session->epoch(), NumBatches);
+
+  const MaintTelemetry Tel = Session->maintTelemetry();
+  EXPECT_EQ(Tel.Enabled, S.ExpectIncremental) << S.Name;
+  EXPECT_EQ(Tel.ReevalStrata > 0, S.ExpectReevalFallback)
+      << S.Name << " scoped-fallback expectation flipped";
+  EXPECT_EQ(Tel.Rebuilds, 0u)
+      << S.Name << " fell back to a whole-program rebuild";
 
   Snapshot Snap = Session->snapshot();
   NamedContents Result;
@@ -592,6 +608,72 @@ TEST(SessionTest, ConcurrentReadersObserveConsistentEpochs) {
 
   EXPECT_GE(Observations.load(), 8u);
   EXPECT_EQ(Session->query("path", Pattern(2)).size(), PathsAt(NumBatches));
+}
+
+/// The retraction TSan subject: readers snapshot and query while the
+/// writer grows a chain edge by edge and then retracts it from the front,
+/// every shrink maintained in place (DRed over-delete/rederive), never a
+/// rebuild. Each snapshot must be one of the published states: the edge
+/// and path counts are a function of the epoch alone.
+TEST(SessionTest, ConcurrentReadersObserveConsistentRetractions) {
+  auto Session = EngineSession::fromSource(TcSource);
+  ASSERT_NE(Session, nullptr);
+  ASSERT_TRUE(Session->isMaintained());
+  constexpr std::uint64_t NumEdges = 12;
+  // Epochs 1..N publish a chain of E edges; epochs N+1..2N retract edges
+  // from the front, leaving a suffix chain of 2N - E edges.
+  auto EdgesAt = [](std::uint64_t Epoch) {
+    return static_cast<std::size_t>(Epoch <= NumEdges ? Epoch
+                                                      : 2 * NumEdges - Epoch);
+  };
+  auto PathsAt = [&](std::uint64_t Epoch) {
+    const std::size_t E = EdgesAt(Epoch);
+    return E * (E + 1) / 2;
+  };
+
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Readers;
+  std::atomic<std::size_t> Observations{0};
+  for (int R = 0; R < 3; ++R)
+    Readers.emplace_back([&] {
+      while (!Done.load(std::memory_order_acquire)) {
+        Snapshot Snap = Session->snapshot();
+        const std::uint64_t Epoch = Snap.epoch();
+        EXPECT_EQ(Snap.tuples("edge").size(), EdgesAt(Epoch));
+        EXPECT_EQ(Snap.tuples("path").size(), PathsAt(Epoch));
+        Observations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  auto edgeOp = [](RamDomain From, bool Retract) {
+    inc::RelationOps Ops;
+    Ops.Relation = "edge";
+    DynTuple Edge(2);
+    Edge[0] = From;
+    Edge[1] = From + 1;
+    (Retract ? Ops.Retracts : Ops.Inserts).push_back(std::move(Edge));
+    return inc::MixedBatch{std::move(Ops)};
+  };
+  for (RamDomain I = 0; I < RamDomain(NumEdges); ++I) {
+    const BatchResult R = Session->applyMixed(edgeOp(I, /*Retract=*/false));
+    ASSERT_TRUE(R.Error.empty()) << R.Error;
+    EXPECT_EQ(R.Inserted, 1u);
+  }
+  for (RamDomain I = 0; I < RamDomain(NumEdges); ++I) {
+    const BatchResult R = Session->applyMixed(edgeOp(I, /*Retract=*/true));
+    ASSERT_TRUE(R.Error.empty()) << R.Error;
+    EXPECT_EQ(R.Deleted, 1u);
+    EXPECT_TRUE(R.Maintained);
+  }
+  while (Observations.load(std::memory_order_relaxed) < 8)
+    std::this_thread::yield();
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Readers)
+    T.join();
+
+  EXPECT_GE(Observations.load(), 8u);
+  EXPECT_EQ(Session->query("path", Pattern(2)).size(), 0u);
+  EXPECT_EQ(Session->maintTelemetry().Rebuilds, 0u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -271,6 +271,54 @@ TEST_F(WireRequestTest, LoadDerivesAndReportsCounts) {
   EXPECT_EQ(Q.find("count")->asNumber(), 3);
 }
 
+TEST_F(WireRequestTest, RetractCommandRemovesFactsAndDerivations) {
+  reply(R"({"cmd":"load","facts":{"edge":[[1,2],[2,3],[3,4]]}})");
+  const Value R =
+      reply(R"({"cmd":"retract","facts":{"edge":[[3,4],[9,9]]}})");
+  ASSERT_TRUE(okOf(R)) << errorOf(R);
+  EXPECT_EQ(R.find("deleted")->asNumber(), 1);
+  EXPECT_EQ(R.find("missing")->asNumber(), 1);
+  EXPECT_EQ(R.find("inserted")->asNumber(), 0);
+  EXPECT_TRUE(R.find("maintained")->asBool());
+  EXPECT_TRUE(R.find("incremental")->asBool());
+  EXPECT_EQ(R.find("epoch")->asNumber(), 2);
+
+  // The derived closure shrinks with the retracted edge.
+  const Value Q = reply(R"({"cmd":"query","relation":"path"})");
+  ASSERT_TRUE(okOf(Q));
+  EXPECT_EQ(Q.find("count")->asNumber(), 3);
+}
+
+TEST_F(WireRequestTest, LoadAcceptsAMixedRetractBlock) {
+  reply(R"({"cmd":"load","facts":{"edge":[[1,2],[2,3]]}})");
+  const Value R = reply(
+      R"({"cmd":"load","facts":{"edge":[[3,4]]},"retract":{"edge":[[1,2]]}})");
+  ASSERT_TRUE(okOf(R)) << errorOf(R);
+  EXPECT_EQ(R.find("inserted")->asNumber(), 1);
+  EXPECT_EQ(R.find("deleted")->asNumber(), 1);
+  const Value Q = reply(R"({"cmd":"query","relation":"path"})");
+  EXPECT_EQ(Q.find("count")->asNumber(), 3); // 2->3, 3->4, 2->4
+}
+
+TEST_F(WireRequestTest, RetractValidatesItsTargets) {
+  reply(R"({"cmd":"load","facts":{"edge":[[1,2]]}})");
+  EXPECT_NE(errorOf(reply(R"({"cmd":"retract","facts":{"path":[[1,2]]}})"))
+                .find("derived"),
+            std::string::npos);
+  EXPECT_NE(errorOf(reply(R"({"cmd":"retract"})")).find("\"facts\""),
+            std::string::npos);
+  // A rejected batch does not advance the epoch.
+  const Value S = reply(R"({"cmd":"stats"})");
+  EXPECT_EQ(S.find("epoch")->asNumber(), 1);
+  // Unknown relations surface as warnings, exactly like load does.
+  const Value W = reply(R"({"cmd":"retract","facts":{"nosuch":[[1]]}})");
+  ASSERT_TRUE(okOf(W));
+  ASSERT_EQ(W.find("warnings")->asArray().size(), 1u);
+  EXPECT_NE(W.find("warnings")->asArray()[0].asString().find(
+                "unknown relation"),
+            std::string::npos);
+}
+
 TEST_F(WireRequestTest, LoadReportsMalformedRowsAsWarnings) {
   const Value R = reply(
       R"({"cmd":"load","facts":{"edge":[["1","2"],["x","3"]]}})");
@@ -363,6 +411,13 @@ TEST_F(WireRequestTest, StatsReportsProtocolRelationsAndLatency) {
   ASSERT_NE(LatencyVal, nullptr);
   EXPECT_EQ(LatencyVal->find("load")->find("count")->asNumber(), 1);
   EXPECT_EQ(LatencyVal->find("query")->find("count")->asNumber(), 1);
+
+  const Value *Maint = R.find("maintenance");
+  ASSERT_NE(Maint, nullptr);
+  EXPECT_TRUE(Maint->find("enabled")->asBool());
+  EXPECT_EQ(Maint->find("batches")->asNumber(), 1);
+  EXPECT_EQ(Maint->find("rebuild_fallbacks")->asNumber(), 0);
+  ASSERT_NE(Maint->find("fallbacks"), nullptr);
 }
 
 TEST_F(WireRequestTest, ShutdownFlagsTheConnection) {

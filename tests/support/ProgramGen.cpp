@@ -6,6 +6,9 @@
 
 #include "ProgramGen.h"
 
+#include <iterator>
+#include <set>
+
 namespace stird::testgen {
 namespace {
 
@@ -161,19 +164,27 @@ GeneratedProgram generateProgram(std::uint64_t Seed) {
       Prog.BaseRelations.emplace_back(Rel.Name, Rel.Arity);
   }
   Src += "\n";
+  const std::size_t DeclEnd = Src.size();
 
   for (const RelInfo &Rel : Rels) {
     if (Rel.Stratum != 0)
       continue;
     const std::size_t NumFacts = R.range(2, 10);
     for (std::size_t I = 0; I < NumFacts; ++I) {
+      GeneratedFact Fact;
+      Fact.Relation = Rel.Name;
       Src += Rel.Name + "(";
-      for (std::size_t Col = 0; Col < Rel.Arity; ++Col)
-        Src += (Col > 0 ? ", " : "") + constant(R);
+      for (std::size_t Col = 0; Col < Rel.Arity; ++Col) {
+        const int V = static_cast<int>(R.below(MaxConst + 1));
+        Fact.Values.push_back(V);
+        Src += (Col > 0 ? ", " : "") + std::to_string(V);
+      }
       Src += ").\n";
+      Prog.Facts.push_back(std::move(Fact));
     }
   }
   Src += "\n";
+  const std::size_t FactEnd = Src.size();
 
   for (const RelInfo &Rel : Rels) {
     if (Rel.Stratum == 0)
@@ -195,6 +206,7 @@ GeneratedProgram generateProgram(std::uint64_t Seed) {
       Src += ruleText(R, Rel, Positives, Negatables) + "\n";
   }
 
+  Prog.RulesOnly = Src.substr(0, DeclEnd) + Src.substr(FactEnd);
   return Prog;
 }
 
@@ -210,16 +222,59 @@ GeneratedProgram generateSkewedProgram(std::uint64_t Seed) {
     for (std::size_t I = 0; I < NumFacts; ++I) {
       // ~90% of the rows share the hub value in column 0, so every join
       // keyed on that column concentrates in a handful of morsels.
+      GeneratedFact Fact;
+      Fact.Relation = Name;
       Src += Name + "(";
       for (std::size_t Col = 0; Col < Arity; ++Col) {
         if (Col > 0)
           Src += ", ";
-        Src += Col == 0 && !R.chance(10) ? "0" : constant(R);
+        const int V = Col == 0 && !R.chance(10)
+                          ? 0
+                          : static_cast<int>(R.below(MaxConst + 1));
+        Fact.Values.push_back(V);
+        Src += std::to_string(V);
       }
       Src += ").\n";
+      Prog.Facts.push_back(std::move(Fact));
     }
   }
   return Prog;
+}
+
+std::vector<GeneratedOp> generateMixedStream(const GeneratedProgram &Prog,
+                                             std::uint64_t Seed,
+                                             std::size_t NumOps) {
+  // An independent stream (own multiplier), so the program text for the
+  // same seed is unaffected by whether a stream was drawn.
+  Rng R(Seed * 0x6c8e9cf570932bd5ULL + 0x9e3779b97f4a7c15ULL);
+  std::vector<std::set<std::vector<int>>> Live(Prog.BaseRelations.size());
+  for (const GeneratedFact &Fact : Prog.Facts)
+    for (std::size_t I = 0; I < Prog.BaseRelations.size(); ++I)
+      if (Prog.BaseRelations[I].first == Fact.Relation)
+        Live[I].insert(Fact.Values);
+
+  std::vector<GeneratedOp> Ops;
+  for (std::size_t I = 0; I < NumOps; ++I) {
+    const std::size_t Rel = R.below(Prog.BaseRelations.size());
+    const auto &[Name, Arity] = Prog.BaseRelations[Rel];
+    const bool Retract = !Live[Rel].empty() && R.chance(40);
+    std::vector<int> Values;
+    if (Retract && R.chance(85)) {
+      // Retract a live tuple (85% of retractions hit something).
+      auto It = Live[Rel].begin();
+      std::advance(It, R.below(Live[Rel].size()));
+      Values = *It;
+    } else {
+      for (std::size_t Col = 0; Col < Arity; ++Col)
+        Values.push_back(static_cast<int>(R.below(MaxConst + 1)));
+    }
+    if (Retract)
+      Live[Rel].erase(Values);
+    else
+      Live[Rel].insert(Values);
+    Ops.push_back({Name, std::move(Values), Retract});
+  }
+  return Ops;
 }
 
 } // namespace stird::testgen

@@ -59,17 +59,39 @@ private:
   std::uint64_t State;
 };
 
+/// One base-relation fact, as values rather than text: the incremental
+/// harness seeds engines programmatically and needs the tuples, not the
+/// clause lines.
+struct GeneratedFact {
+  std::string Relation;
+  std::vector<int> Values;
+};
+
+/// One operation of a mixed update stream over the base relations.
+struct GeneratedOp {
+  std::string Relation;
+  std::vector<int> Values;
+  bool Retract = false;
+};
+
 /// A generated program plus the metadata the differential harness needs.
 struct GeneratedProgram {
   std::uint64_t Seed = 0;
   /// Complete source text: declarations, facts, rules.
   std::string Source;
+  /// The same program without its fact block: the incremental harness
+  /// compiles this and feeds the facts programmatically, so retractions
+  /// of initial facts are expressible (a fresh oracle run of Source would
+  /// silently re-derive facts baked into the text).
+  std::string RulesOnly;
   /// Every declared relation, in declaration order; the harness compares
   /// the full contents of each across configurations.
   std::vector<std::string> Relations;
   /// The base (stratum-0) relations with their arities, in declaration
   /// order: generateSkewedProgram appends its hub facts to these.
   std::vector<std::pair<std::string, std::size_t>> BaseRelations;
+  /// The fact block of Source, as values (same order as the text).
+  std::vector<GeneratedFact> Facts;
 };
 
 /// Generates the program for \p Seed. Total work per program is bounded
@@ -85,6 +107,16 @@ GeneratedProgram generateProgram(std::uint64_t Seed);
 /// program's text is byte-identical to generateProgram(Seed); the extra
 /// facts come from an independent RNG stream.
 GeneratedProgram generateSkewedProgram(std::uint64_t Seed);
+
+/// Generates a mixed insert/retract stream of \p NumOps operations over
+/// \p Prog's base relations. Deterministic in \p Seed. Roughly 40% of the
+/// draws are retractions, biased (85%) towards tuples actually live at
+/// that point of the stream — initial facts included — so deletions do
+/// real derivation work; the rest miss or duplicate on purpose. Values
+/// stay inside the generator's constant domain.
+std::vector<GeneratedOp> generateMixedStream(const GeneratedProgram &Prog,
+                                             std::uint64_t Seed,
+                                             std::size_t NumOps);
 
 } // namespace stird::testgen
 

@@ -5,10 +5,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// stird_fuzz: the open-ended version of DifferentialSipsTest. Walks seeds
-/// forward from a starting point (--seed, or the wall clock when omitted)
-/// for a time budget (--seconds), checking that every --sips strategy at
-/// -j1 and -j4 reproduces the unreordered sequential run. On a mismatch it
+/// stird_fuzz: the open-ended version of DifferentialSipsTest and the
+/// maintenance differential suite. Walks seeds forward from a starting
+/// point (--seed, or the wall clock when omitted) for a time budget
+/// (--seconds), checking that (a) every --sips strategy at -j1 and -j4
+/// reproduces the unreordered sequential run, and (b) replaying a seeded
+/// mixed insert/retract stream through the maintenance plan matches a
+/// one-shot evaluation of the net EDB at every batch prefix, at -j1 and
+/// -j4. Generated programs use only negation/recursion/constraints, so
+/// maintenance ineligibility itself is reported as a failure (the plan
+/// must never silently fall back for such programs). On a mismatch it
 /// writes three artifacts into --out and exits nonzero:
 ///
 ///   failing_seed.txt   the seed (and the generator's full source)
@@ -20,6 +26,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Program.h"
+#include "inc/Maintainer.h"
 #include "interp/Engine.h"
 #include "obs/Profile.h"
 #include "support/ProgramGen.h"
@@ -31,7 +38,9 @@
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -132,6 +141,110 @@ bool mismatches(const std::string &Source, std::string &Witness) {
   return false;
 }
 
+static DynTuple toTuple(const std::vector<int> &Values) {
+  DynTuple Tuple(Values.size());
+  for (std::size_t I = 0; I < Values.size(); ++I)
+    Tuple[I] = static_cast<RamDomain>(Values[I]);
+  return Tuple;
+}
+
+/// True when replaying a mixed insert/retract stream through the
+/// maintenance plan diverges from a one-shot evaluation of the net EDB at
+/// some batch prefix (or the plan rejects a program it must handle).
+/// Mirrors tests/inc/MaintenanceDifferentialTest over generated programs.
+bool mismatchesIncremental(const testgen::GeneratedProgram &P,
+                           std::string &Witness) {
+  core::CompileOptions Compile;
+  Compile.EmitMaintenance = true;
+  auto Prog = core::Program::fromSource(P.RulesOnly, nullptr, Compile);
+  if (!Prog)
+    return false; // not the bug we are chasing
+  if (!Prog->getRam().hasMaintenance()) {
+    // Generated programs never use aggregates, eqrel or counters: the
+    // plan has no excuse to fall back to whole-program re-evaluation.
+    Witness = "maintenance-ineligible (" +
+              Prog->getRam().getMaintIneligibleReason() + ")";
+    return true;
+  }
+
+  const std::size_t NumOps = 60, PerBatch = 12;
+  const std::vector<testgen::GeneratedOp> Ops =
+      testgen::generateMixedStream(P, P.Seed, NumOps);
+  const std::vector<std::string> Relations = declaredRelations(P.RulesOnly);
+
+  for (std::size_t Threads : {std::size_t(1), std::size_t(4)}) {
+    interp::EngineOptions Opts;
+    Opts.SuppressIo = true;
+    Opts.NumThreads = Threads;
+    Opts.EchoPrintSize = false;
+    auto Eng = Prog->makeEngine(Opts);
+    // Net EDB per base relation, tracked alongside the maintained engine;
+    // seeded with the program's initial facts.
+    std::map<std::string, std::set<DynTuple>> State;
+    for (const testgen::GeneratedFact &Fact : P.Facts)
+      State[Fact.Relation].insert(toTuple(Fact.Values));
+    for (const auto &[Name, Tuples] : State)
+      Eng->insertTuples(Name, {Tuples.begin(), Tuples.end()});
+    Eng->run();
+    inc::Maintainer Maint(Prog->getRam(), *Eng);
+    Maint.bootstrap();
+
+    for (std::size_t Begin = 0; Begin < NumOps; Begin += PerBatch) {
+      const std::size_t End = std::min(NumOps, Begin + PerBatch);
+      // Reduce the slice to its net effect (last op per tuple wins), the
+      // semantics both the Maintainer's retract-then-insert order and the
+      // sequentially tracked State agree on.
+      std::map<std::string, std::map<DynTuple, bool>> Net;
+      for (std::size_t I = Begin; I < End; ++I)
+        Net[Ops[I].Relation][toTuple(Ops[I].Values)] = Ops[I].Retract;
+      inc::MixedBatch Batch;
+      for (const auto &[Name, Tuples] : Net) {
+        inc::RelationOps RO;
+        RO.Relation = Name;
+        for (const auto &[Tuple, Retract] : Tuples)
+          (Retract ? RO.Retracts : RO.Inserts).push_back(Tuple);
+        Batch.push_back(std::move(RO));
+      }
+      const std::string Reject = Maint.rejectReason(Batch);
+      if (!Reject.empty()) {
+        Witness = "maintenance rejected a base-relation batch (" + Reject +
+                  ") -j" + std::to_string(Threads);
+        return true;
+      }
+      Maint.apply(Batch);
+      for (const auto &[Name, Tuples] : Net)
+        for (const auto &[Tuple, Retract] : Tuples) {
+          if (Retract)
+            State[Name].erase(Tuple);
+          else
+            State[Name].insert(Tuple);
+        }
+
+      // One-shot oracle over the net EDB.
+      interp::EngineOptions OracleOpts;
+      OracleOpts.SuppressIo = true;
+      OracleOpts.EchoPrintSize = false;
+      auto Oracle = Prog->makeEngine(OracleOpts);
+      for (const auto &[Name, Tuples] : State)
+        Oracle->insertTuples(Name, {Tuples.begin(), Tuples.end()});
+      Oracle->run();
+      for (const std::string &Rel : Relations) {
+        std::vector<DynTuple> Got = Eng->getTuples(Rel);
+        std::vector<DynTuple> Want = Oracle->getTuples(Rel);
+        std::sort(Got.begin(), Got.end());
+        std::sort(Want.begin(), Want.end());
+        if (Got != Want) {
+          Witness = "incremental relation=" + Rel + " -j" +
+                    std::to_string(Threads) + " prefix=[0," +
+                    std::to_string(End) + ")";
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
 /// Greedy line-wise shrink: drop each fact/rule line in turn, keeping the
 /// removal whenever the mismatch survives. Declarations stay (removing a
 /// referenced .decl only trades the mismatch for a compile error).
@@ -211,7 +324,8 @@ int main(int Argc, char **Argv) {
   for (std::uint64_t S = Seed; std::clock() < Deadline; ++S, ++Checked) {
     const testgen::GeneratedProgram P = testgen::generateProgram(S);
     std::string Witness;
-    if (!mismatches(P.Source, Witness))
+    const bool SipsBug = mismatches(P.Source, Witness);
+    if (!SipsBug && !mismatchesIncremental(P, Witness))
       continue;
 
     std::fprintf(stderr, "stird_fuzz: seed %llu FAILS under %s\n",
@@ -219,7 +333,11 @@ int main(int Argc, char **Argv) {
     std::ofstream(OutDir + "/failing_seed.txt")
         << S << "\n" << Witness << "\n";
     std::ofstream(OutDir + "/failing.dl") << P.Source;
-    std::ofstream(OutDir + "/minimized.dl") << minimize(P.Source);
+    // Line-wise shrinking only preserves SIPS mismatches; incremental
+    // failures depend on the seed-derived stream, which a reduced source
+    // no longer reproduces, so the full program is the artifact.
+    std::ofstream(OutDir + "/minimized.dl")
+        << (SipsBug ? minimize(P.Source) : P.Source);
     std::fprintf(stderr,
                  "stird_fuzz: artifacts written to %s "
                  "(failing_seed.txt, failing.dl, minimized.dl)\n",

@@ -11,7 +11,10 @@
 /// scripts (e.g. the CI serve-smoke job) can drive a server and assert on
 /// the replies. --pipeline writes every request before reading any reply
 /// (tagging requests without one with a numeric "id") and checks the
-/// echoed ids come back in request order. Exits nonzero on connection
+/// echoed ids come back in request order. With --retract, arguments (or
+/// stdin lines) are fact literals "rel(v, ...)" sent as one retract
+/// request; --batch FILE sends one mixed load built from "+rel(v, ...)"
+/// insert and "-rel(v, ...)" retract lines. Exits nonzero on connection
 /// failures, protocol errors, or any {"ok":false} reply.
 ///
 //===----------------------------------------------------------------------===//
@@ -26,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <netinet/in.h>
 #include <string>
@@ -243,11 +247,146 @@ static int watchStats(int Fd, unsigned IntervalSeconds) {
   }
 }
 
+static std::string trimmed(const std::string &S) {
+  const char *WS = " \t\r\n";
+  const std::size_t B = S.find_first_not_of(WS);
+  if (B == std::string::npos)
+    return std::string();
+  return S.substr(B, S.find_last_not_of(WS) - B + 1);
+}
+
+/// Parses one fact literal "rel(v1, v2, ...)". Values are bare tokens or
+/// double-quoted strings (quotes stripped, commas inside kept); every
+/// value travels as a JSON string and the server resolves it against the
+/// relation's declared column types. Returns a diagnostic or "".
+static std::string parseFactLiteral(const std::string &Text,
+                                    std::string &Name,
+                                    std::vector<std::string> &Args) {
+  const std::string Fact = trimmed(Text);
+  const std::size_t Open = Fact.find('(');
+  if (Open == std::string::npos || Fact.back() != ')')
+    return "expected rel(v, ...), got '" + Fact + "'";
+  Name = trimmed(Fact.substr(0, Open));
+  if (Name.empty())
+    return "missing relation name in '" + Fact + "'";
+  const std::string Body = Fact.substr(Open + 1, Fact.size() - Open - 2);
+  std::string Current;
+  bool InQuote = false, SawQuote = false;
+  for (char C : Body) {
+    if (C == '"') {
+      InQuote = !InQuote;
+      SawQuote = true;
+      continue;
+    }
+    if (C == ',' && !InQuote) {
+      Args.push_back(trimmed(Current));
+      Current.clear();
+      continue;
+    }
+    Current += C;
+  }
+  if (InQuote)
+    return "unterminated string in '" + Fact + "'";
+  Current = trimmed(Current);
+  if (!Current.empty() || !Args.empty() || SawQuote)
+    Args.push_back(Current);
+  return "";
+}
+
+/// Appends \p Args as one row under \p Name in a facts object, creating
+/// the relation's row array on first use (insertion order preserved).
+static void appendRow(obs::json::Object &Facts, const std::string &Name,
+                      const std::vector<std::string> &Args) {
+  obs::json::Array Row;
+  for (const std::string &Arg : Args)
+    Row.emplace_back(Arg);
+  for (auto &[Key, Rows] : Facts)
+    if (Key == Name) {
+      Rows.asArray().push_back(obs::json::Value(std::move(Row)));
+      return;
+    }
+  Facts.emplace_back(Name,
+                     obs::json::Value(obs::json::Array{std::move(Row)}));
+}
+
+/// Builds the {"cmd":"retract"} request for --retract from fact
+/// literals. Returns 0 and fills \p Request, or prints and returns 1.
+static int buildRetractRequest(const std::vector<std::string> &Literals,
+                               std::string &Request) {
+  if (Literals.empty()) {
+    std::fprintf(stderr, "stird-client: --retract needs fact literals\n");
+    return 1;
+  }
+  obs::json::Object Facts;
+  for (const std::string &Literal : Literals) {
+    std::string Name;
+    std::vector<std::string> Args;
+    const std::string Error = parseFactLiteral(Literal, Name, Args);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "stird-client: %s\n", Error.c_str());
+      return 1;
+    }
+    appendRow(Facts, Name, Args);
+  }
+  obs::json::Value Doc{obs::json::Object{}};
+  Doc.set("cmd", "retract");
+  Doc.set("facts", obs::json::Value(std::move(Facts)));
+  Request = Doc.dump();
+  return 0;
+}
+
+/// Builds the mixed {"cmd":"load"} request for --batch. Each nonblank,
+/// non-# line of \p Path is "+rel(v, ...)" (insert) or "-rel(v, ...)"
+/// (retract); the server retracts before inserting within the batch.
+/// Returns 0 and fills \p Request, or prints a diagnostic and returns 1.
+static int buildBatchRequest(const std::string &Path, std::string &Request) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "stird-client: cannot open batch file '%s'\n",
+                 Path.c_str());
+    return 1;
+  }
+  obs::json::Object Inserts, Retracts;
+  std::string Line;
+  std::size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    Line = trimmed(Line);
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    if (Line[0] != '+' && Line[0] != '-') {
+      std::fprintf(stderr,
+                   "stird-client: %s:%zu: expected +rel(v, ...) or "
+                   "-rel(v, ...), got '%s'\n",
+                   Path.c_str(), LineNo, Line.c_str());
+      return 1;
+    }
+    std::string Name;
+    std::vector<std::string> Args;
+    const std::string Error =
+        parseFactLiteral(Line.substr(1), Name, Args);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "stird-client: %s:%zu: %s\n", Path.c_str(),
+                   LineNo, Error.c_str());
+      return 1;
+    }
+    appendRow(Line[0] == '+' ? Inserts : Retracts, Name, Args);
+  }
+  obs::json::Value Doc{obs::json::Object{}};
+  Doc.set("cmd", "load");
+  Doc.set("facts", obs::json::Value(std::move(Inserts)));
+  if (!Retracts.empty())
+    Doc.set("retract", obs::json::Value(std::move(Retracts)));
+  Request = Doc.dump();
+  return 0;
+}
+
 int main(int Argc, char **Argv) {
   std::string UnixPath, Host = "127.0.0.1", PortText;
   int Port = 0;
-  bool Pipeline = false;
+  bool Pipeline = false, RetractFacts = false;
   unsigned WatchSeconds = 0;
+  std::string BatchPath;
   std::vector<std::string> Requests;
 
   util::Args Args("stird-client",
@@ -270,6 +409,14 @@ int main(int Argc, char **Argv) {
   Args.flag({"--pipeline"},
             "send every request before reading any reply (auto-ids)",
             [&Pipeline] { Pipeline = true; });
+  Args.flag({"--retract"},
+            "treat arguments (or stdin lines) as fact literals "
+            "rel(v, ...) and send them as one retract request",
+            [&RetractFacts] { RetractFacts = true; });
+  Args.option({"--batch"}, "file",
+              "send one mixed load from FILE: +rel(v, ...) inserts, "
+              "-rel(v, ...) retracts, # comments",
+              tools::pathSink(BatchPath));
   Args.option({"--watch"}, "seconds",
               "poll stats at this interval and print one compact "
               "live-counters line per poll",
@@ -307,11 +454,28 @@ int main(int Argc, char **Argv) {
     return Status;
   }
 
-  if (Requests.empty()) {
+  if (Requests.empty() && BatchPath.empty()) {
     std::string Line;
     while (std::getline(std::cin, Line))
       if (!Line.empty())
         Requests.push_back(Line);
+  }
+
+  if (RetractFacts) {
+    std::string Request;
+    if (buildRetractRequest(Requests, Request) != 0) {
+      ::close(Fd);
+      return 1;
+    }
+    Requests.assign(1, Request);
+  }
+  if (!BatchPath.empty()) {
+    std::string Request;
+    if (buildBatchRequest(BatchPath, Request) != 0) {
+      ::close(Fd);
+      return 1;
+    }
+    Requests.insert(Requests.begin(), Request);
   }
 
   int Status = 0;
