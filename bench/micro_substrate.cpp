@@ -1,0 +1,198 @@
+//===- bench/micro_substrate.cpp - Substrate portfolio on dense keys ----------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the substrate portfolio (B-tree, Brie, ART) head to head on the
+/// workload the feedback-driven selector targets: dense integer keys probed
+/// point-lookup-heavily. Dense keys keep the radix tree shallow (path
+/// compression swallows the shared high bytes, the fanout nodes sit at the
+/// bottom), so an ART probe is a handful of direct-indexed byte steps
+/// against the B-tree's per-node binary searches.
+///
+/// Phases per substrate: bulk insert of N dense tuples, M point lookups
+/// (~50% hits), and a bounded range-scan sweep — the selector must *not*
+/// move range-heavy relations, so the scan numbers document what the
+/// B-tree keeps winning (or at least not losing).
+///
+/// Emits one JSON document on stdout: per-phase records plus a final gate
+/// record {"gate": 1.3, "speedup": ..., "pass": ...} over the point-lookup
+/// phase, ART vs B-tree. CI uploads the document as the bench-gate
+/// artifact; the process exits nonzero when the gate fails so the substrate
+/// job surfaces a regression.
+///
+//===----------------------------------------------------------------------===//
+
+#include "der/Art.h"
+#include "der/BTreeSet.h"
+#include "der/Brie.h"
+#include "util/Timer.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+using namespace stird;
+
+namespace {
+
+constexpr std::size_t Arity = 2;
+using TupleT = Tuple<Arity>;
+
+struct PhaseTimes {
+  double InsertSeconds = 0;
+  double LookupSeconds = 0;
+  double ScanSeconds = 0;
+  std::uint64_t Checksum = 0; // cross-substrate agreement check
+};
+
+/// Dense-integer-key tuples: col0 walks [0, N) in a fixed pseudo-random
+/// order (dense value space, non-sequential arrival — the honest case;
+/// sorted arrival would gift the B-tree its append fast path).
+std::vector<TupleT> denseTuples(std::size_t N) {
+  std::vector<TupleT> Tuples;
+  Tuples.reserve(N);
+  std::uint64_t X = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t I = 0; I < N; ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    const RamDomain Key = static_cast<RamDomain>(
+        (I * 0x9E3779B1u) % N); // a permutation walk of [0, N)
+    Tuples.push_back({Key, static_cast<RamDomain>(X & 0xffff)});
+  }
+  return Tuples;
+}
+
+/// Probe keys: ~50% present (dense hits), ~50% just outside the key range.
+std::vector<TupleT> probeKeys(const std::vector<TupleT> &Tuples,
+                              std::size_t M) {
+  std::vector<TupleT> Keys;
+  Keys.reserve(M);
+  std::uint64_t X = 0xdeadbeefcafef00dULL;
+  const std::size_t N = Tuples.size();
+  for (std::size_t I = 0; I < M; ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    if (X & 1) {
+      Keys.push_back(Tuples[X % N]); // hit
+    } else {
+      TupleT Miss = Tuples[X % N];
+      Miss[1] ^= 0x10000; // outside the stored col1 range
+      Keys.push_back(Miss);
+    }
+  }
+  return Keys;
+}
+
+template <typename SetT>
+PhaseTimes runPhases(const std::vector<TupleT> &Tuples,
+                     const std::vector<TupleT> &Probes,
+                     std::size_t ScanSweeps) {
+  PhaseTimes Out;
+  SetT Set;
+
+  Timer T;
+  for (const TupleT &Tuple : Tuples)
+    Set.insert(Tuple);
+  Out.InsertSeconds = T.seconds();
+
+  T = Timer();
+  std::uint64_t Hits = 0;
+  for (const TupleT &Key : Probes)
+    Hits += Set.contains(Key);
+  Out.LookupSeconds = T.seconds();
+  Out.Checksum = Hits;
+
+  // Bounded range scans: every 16th col0 prefix per sweep. The Brie's
+  // range primitive is a rooted prefix iterator, the ordered sets bound a
+  // [lowerBound, upperBound) window — same tuples either way.
+  T = Timer();
+  std::uint64_t Scanned = 0;
+  const RamDomain N = static_cast<RamDomain>(Tuples.size());
+  for (std::size_t Sweep = 0; Sweep < ScanSweeps; ++Sweep)
+    for (RamDomain Key = 0; Key < N; Key += 16) {
+      if constexpr (requires { Set.prefixBegin(TupleT{}, std::size_t{1}); }) {
+        for (auto It = Set.prefixBegin({Key, 0}, 1); It != Set.end(); ++It)
+          ++Scanned;
+      } else {
+        constexpr RamDomain Lo = std::numeric_limits<RamDomain>::min();
+        constexpr RamDomain Hi = std::numeric_limits<RamDomain>::max();
+        auto End = Set.upperBound({Key, Hi});
+        for (auto It = Set.lowerBound({Key, Lo}); It != End; ++It)
+          ++Scanned;
+      }
+    }
+  Out.ScanSeconds = T.seconds();
+  Out.Checksum = Out.Checksum * 1000003 + Scanned + Set.size();
+  return Out;
+}
+
+void printRecord(const char *Substrate, const PhaseTimes &T, bool First) {
+  std::printf("%s\n  {\"workload\": \"dense-integer-keys\", "
+              "\"substrate\": \"%s\", \"insert_seconds\": %.6f, "
+              "\"lookup_seconds\": %.6f, \"scan_seconds\": %.6f}",
+              First ? "" : ",", Substrate, T.InsertSeconds, T.LookupSeconds,
+              T.ScanSeconds);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // --quick: smaller workload and a single repetition, for CI smoke runs.
+  const bool Quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const std::size_t N = Quick ? 200000 : 1000000;
+  const std::size_t M = Quick ? 1000000 : 4000000;
+  const std::size_t Reps = Quick ? 1 : 3;
+
+  const std::vector<TupleT> Tuples = denseTuples(N);
+  const std::vector<TupleT> Probes = probeKeys(Tuples, M);
+
+  // Best-of-Reps per gated substrate, interleaved so frequency scaling and
+  // cache warmup hit both alike. The Brie lane is context only (no gate)
+  // and runs once, in --quick mode only: a million distinct col0 values is
+  // its worst-case insert shape — sorted-vector children at the root make
+  // the full-size load quadratic (minutes for a measurement nobody gates
+  // on).
+  PhaseTimes Btree, Brie_, Art;
+  for (std::size_t Rep = 0; Rep < Reps; ++Rep) {
+    const PhaseTimes B = runPhases<BTreeSet<Arity>>(Tuples, Probes, 1);
+    if (Rep == 0 && Quick)
+      Brie_ = runPhases<Brie<Arity>>(Tuples, Probes, 1);
+    const PhaseTimes A = runPhases<ArtSet<Arity>>(Tuples, Probes, 1);
+    if (Rep == 0 || B.LookupSeconds < Btree.LookupSeconds)
+      Btree = B;
+    if (Rep == 0 || A.LookupSeconds < Art.LookupSeconds)
+      Art = A;
+    std::fprintf(stderr, "rep %zu  lookups: btree %.4fs  art %.4fs\n", Rep,
+                 B.LookupSeconds, A.LookupSeconds);
+  }
+
+  const bool Agree = Btree.Checksum == Art.Checksum &&
+                     (!Quick || Brie_.Checksum == Btree.Checksum);
+  if (!Agree)
+    std::fprintf(stderr, "ERROR: substrate checksums diverged\n");
+
+  const double Speedup =
+      Art.LookupSeconds > 0 ? Btree.LookupSeconds / Art.LookupSeconds : 0.0;
+  constexpr double Gate = 1.3;
+  const bool Pass = Agree && Speedup >= Gate;
+
+  std::printf("[");
+  printRecord("btree", Btree, true);
+  if (Quick)
+    printRecord("brie", Brie_, false);
+  printRecord("art", Art, false);
+  std::printf(",\n  {\"workload\": \"dense-integer-keys\", "
+              "\"phase\": \"point-lookup\", \"gate\": %.2f, "
+              "\"speedup_art_vs_btree\": %.3f, \"pass\": %s}\n]\n",
+              Gate, Speedup, Pass ? "true" : "false");
+  std::fprintf(stderr, "art vs btree point lookups: %.3fx (gate %.2fx) %s\n",
+               Speedup, Gate, Pass ? "PASS" : "FAIL");
+  return Pass ? 0 : 1;
+}

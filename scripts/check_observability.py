@@ -19,7 +19,7 @@ import json
 import math
 import sys
 
-PROFILE_SCHEMA = "stird-profile-v1"
+PROFILE_SCHEMA = "stird-profile-v2"
 
 PROFILE_TOP_KEYS = [
     "schema", "program", "backend", "threads", "total_seconds",
@@ -34,7 +34,9 @@ RELATION_KEYS = [
     "name", "arity", "kind", "indexes", "final_size", "peak_size",
     "inserts", "inserts_new", "contains", "scans", "scan_tuples",
     "index_scans", "index_scan_hits", "index_scan_tuples", "reorders",
+    "point_lookups", "range_scans", "col0_min", "col0_max",
 ]
+RELATION_KINDS = ["btree", "brie", "art", "eqrel", "legacy"]
 
 
 def fail(message):
@@ -95,6 +97,24 @@ def check_profile(path):
         if rel["index_scan_hits"] > rel["index_scans"]:
             fail(f"relation {rel['name']!r}: more index-scan hits than "
                  "initiations")
+        if rel["kind"] not in RELATION_KINDS:
+            fail(f"relation {rel['name']!r}: unknown kind {rel['kind']!r}")
+        # v2 access-pattern counters: classified once per search
+        # initiation, so they can never outnumber the searches.
+        if rel["point_lookups"] + rel["range_scans"] > \
+                rel["index_scans"] + rel["contains"]:
+            fail(f"relation {rel['name']!r}: point_lookups + range_scans "
+                 "exceed index_scans + contains")
+        if rel["col0_max"] < rel["col0_min"] and rel["final_size"] > 0:
+            fail(f"relation {rel['name']!r}: non-empty but col0_max "
+                 f"{rel['col0_max']} < col0_min {rel['col0_min']}")
+
+    names = {rel["name"] for rel in doc["relations"]}
+    for name, decision in doc.get("substrate_decisions", {}).items():
+        if name not in names:
+            fail(f"substrate decision for unknown relation {name!r}")
+        if not isinstance(decision, str) or not decision:
+            fail(f"substrate decision for {name!r} is not a string")
     print(f"check_observability: profile OK "
           f"({rules} rules, {len(doc['relations'])} relations)")
     return doc

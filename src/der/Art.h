@@ -1,0 +1,895 @@
+//===- der/Art.h - Adaptive radix tree tuple set ----------------*- C++ -*-===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An Adaptive Radix Tree (ART) set over fixed-arity integer tuples — the
+/// fourth member of the de-specialized DER portfolio next to BTreeSet,
+/// Brie and EquivalenceRelation. The design follows Leis et al., "The
+/// Adaptive Radix Tree: ARTful Indexing for Main-Memory Databases"
+/// (ICDE 2013): four node widths (4/16/48/256 children) with lazy
+/// expansion (single tuples live in leaves, inner nodes appear only at
+/// actual branch points) and path compression (runs of single-child nodes
+/// collapse into a per-node byte prefix, stored pessimistically in full).
+///
+/// Keys are the tuple's cells serialized to a fixed-length byte string in
+/// *order-preserving* form: every cell's sign bit is flipped and its bytes
+/// are emitted big-endian, so unsigned byte-wise radix order over the key
+/// string equals signed lexicographic order over the tuple — the exact
+/// order of BTreeSet's TupleCompare. In-order traversal of the radix tree
+/// therefore enumerates tuples in index `Order`, which is what lets the
+/// ArtIndex adapter serve the same scan/range/partition contract as
+/// BTreeIndex with no extra sorting.
+///
+/// Because all keys have the same length, no key is a prefix of another;
+/// leaves carry the decoded tuple (the key bytes are recomputed on demand)
+/// and every root-to-leaf path consumes exactly Arity * 4 bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STIRD_DER_ART_H
+#define STIRD_DER_ART_H
+
+#include "util/RamTypes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace stird {
+
+/// An ordered set of Tuple<Arity> backed by an adaptive radix tree.
+template <std::size_t Arity> class ArtSet {
+public:
+  using TupleType = Tuple<Arity>;
+
+  /// Key length in bytes: every cell contributes four big-endian bytes.
+  static constexpr std::size_t KeyLen = Arity * sizeof(RamDomain);
+
+private:
+  /// Inner node widths. Leaves are tagged pointers, not Kind-carrying
+  /// nodes, so a leaf costs exactly one tuple plus one allocation.
+  enum class Kind : std::uint8_t { N4, N16, N48, N256 };
+
+  /// Common inner-node header. The compressed prefix is stored
+  /// pessimistically (the full run of bytes, not a truncated hybrid), so a
+  /// prefix never needs to be recovered from a descendant leaf.
+  struct Inner {
+    Kind K;
+    std::uint8_t PrefixLen = 0;
+    std::uint16_t Count = 0;
+    std::uint8_t Prefix[KeyLen] = {};
+
+    explicit Inner(Kind K) : K(K) {}
+  };
+
+  struct Node4 : Inner {
+    // Keys sorted ascending; Children[i] corresponds to Keys[i].
+    std::uint8_t Keys[4] = {};
+    void *Children[4] = {};
+    Node4() : Inner(Kind::N4) {}
+  };
+
+  struct Node16 : Inner {
+    std::uint8_t Keys[16] = {};
+    void *Children[16] = {};
+    Node16() : Inner(Kind::N16) {}
+  };
+
+  struct Node48 : Inner {
+    /// Byte -> child slot, EmptySlot when absent. Slots are allocated
+    /// first-free, so Children[] is unordered; ordered traversal walks the
+    /// 256 ChildIndex entries.
+    static constexpr std::uint8_t EmptySlot = 0xFF;
+    std::uint8_t ChildIndex[256];
+    void *Children[48] = {};
+    Node48() : Inner(Kind::N48) {
+      std::memset(ChildIndex, EmptySlot, sizeof(ChildIndex));
+    }
+  };
+
+  struct Node256 : Inner {
+    void *Children[256] = {};
+    Node256() : Inner(Kind::N256) {}
+  };
+
+  struct Leaf {
+    TupleType Data;
+  };
+
+  //===------------------------- Tagged pointers -------------------------===//
+
+  static bool isLeaf(const void *P) {
+    return (reinterpret_cast<std::uintptr_t>(P) & 1) != 0;
+  }
+  static void *tagLeaf(Leaf *L) {
+    return reinterpret_cast<void *>(reinterpret_cast<std::uintptr_t>(L) | 1);
+  }
+  static Leaf *asLeaf(void *P) {
+    return reinterpret_cast<Leaf *>(reinterpret_cast<std::uintptr_t>(P) & ~std::uintptr_t(1));
+  }
+  static const Leaf *asLeaf(const void *P) {
+    return reinterpret_cast<const Leaf *>(reinterpret_cast<std::uintptr_t>(P) &
+                                          ~std::uintptr_t(1));
+  }
+  static Inner *asInner(void *P) { return static_cast<Inner *>(P); }
+  static const Inner *asInner(const void *P) {
+    return static_cast<const Inner *>(P);
+  }
+
+  //===---------------------- Order-preserving keys ----------------------===//
+
+  /// Byte \p Pos of the order-preserving serialization of \p T: the sign
+  /// bit of each cell is flipped (mapping signed order onto unsigned) and
+  /// bytes are taken big-endian, so memcmp order on the serialization
+  /// equals signed lexicographic order on the tuple.
+  static std::uint8_t keyByte(const TupleType &T, std::size_t Pos) {
+    const std::uint32_t Cell =
+        static_cast<std::uint32_t>(T[Pos >> 2]) ^ 0x80000000u;
+    return static_cast<std::uint8_t>(Cell >> (8 * (3 - (Pos & 3))));
+  }
+
+  static bool tupleLess(const TupleType &A, const TupleType &B) {
+    for (std::size_t I = 0; I < Arity; ++I) {
+      if (A[I] < B[I])
+        return true;
+      if (B[I] < A[I])
+        return false;
+    }
+    return false;
+  }
+
+  static bool tupleEqual(const TupleType &A, const TupleType &B) {
+    return std::memcmp(A.data(), B.data(), sizeof(TupleType)) == 0;
+  }
+
+  //===------------------------ Child navigation -------------------------===//
+  // Ordered-position protocol shared by lookup and iteration: a "pos" is
+  // the array index for Node4/16 (whose Keys are kept sorted) and the key
+  // byte itself for Node48/256. firstChildAfter(N, From) returns the
+  // smallest pos whose key byte is >= From, or -1.
+
+  static int firstChildAfter(const Inner *N, int From) {
+    switch (N->K) {
+    case Kind::N4: {
+      const auto *Node = static_cast<const Node4 *>(N);
+      for (int I = 0; I < Node->Count; ++I)
+        if (Node->Keys[I] >= From)
+          return I;
+      return -1;
+    }
+    case Kind::N16: {
+      const auto *Node = static_cast<const Node16 *>(N);
+      for (int I = 0; I < Node->Count; ++I)
+        if (Node->Keys[I] >= From)
+          return I;
+      return -1;
+    }
+    case Kind::N48: {
+      const auto *Node = static_cast<const Node48 *>(N);
+      for (int B = From; B < 256; ++B)
+        if (Node->ChildIndex[B] != Node48::EmptySlot)
+          return B;
+      return -1;
+    }
+    case Kind::N256: {
+      const auto *Node = static_cast<const Node256 *>(N);
+      for (int B = From; B < 256; ++B)
+        if (Node->Children[B])
+          return B;
+      return -1;
+    }
+    }
+    return -1;
+  }
+
+  /// The ordered position after \p Pos, or -1 when \p Pos was the last.
+  static int nextChild(const Inner *N, int Pos) {
+    switch (N->K) {
+    case Kind::N4:
+    case Kind::N16:
+      return Pos + 1 < N->Count ? Pos + 1 : -1;
+    case Kind::N48:
+    case Kind::N256:
+      return Pos >= 255 ? -1 : firstChildAfter(N, Pos + 1);
+    }
+    return -1;
+  }
+
+  static void *childAt(const Inner *N, int Pos) {
+    switch (N->K) {
+    case Kind::N4:
+      return static_cast<const Node4 *>(N)->Children[Pos];
+    case Kind::N16:
+      return static_cast<const Node16 *>(N)->Children[Pos];
+    case Kind::N48: {
+      const auto *Node = static_cast<const Node48 *>(N);
+      return Node->Children[Node->ChildIndex[Pos]];
+    }
+    case Kind::N256:
+      return static_cast<const Node256 *>(N)->Children[Pos];
+    }
+    return nullptr;
+  }
+
+  /// The key byte of ordered position \p Pos.
+  static std::uint8_t keyOf(const Inner *N, int Pos) {
+    switch (N->K) {
+    case Kind::N4:
+      return static_cast<const Node4 *>(N)->Keys[Pos];
+    case Kind::N16:
+      return static_cast<const Node16 *>(N)->Keys[Pos];
+    case Kind::N48:
+    case Kind::N256:
+      return static_cast<std::uint8_t>(Pos);
+    }
+    return 0;
+  }
+
+  /// Address of the child slot for key byte \p Byte, or null when absent.
+  static void **findChild(Inner *N, std::uint8_t Byte) {
+    switch (N->K) {
+    case Kind::N4: {
+      auto *Node = static_cast<Node4 *>(N);
+      for (int I = 0; I < Node->Count; ++I)
+        if (Node->Keys[I] == Byte)
+          return &Node->Children[I];
+      return nullptr;
+    }
+    case Kind::N16: {
+      auto *Node = static_cast<Node16 *>(N);
+      for (int I = 0; I < Node->Count; ++I)
+        if (Node->Keys[I] == Byte)
+          return &Node->Children[I];
+      return nullptr;
+    }
+    case Kind::N48: {
+      auto *Node = static_cast<Node48 *>(N);
+      if (Node->ChildIndex[Byte] == Node48::EmptySlot)
+        return nullptr;
+      return &Node->Children[Node->ChildIndex[Byte]];
+    }
+    case Kind::N256: {
+      auto *Node = static_cast<Node256 *>(N);
+      return Node->Children[Byte] ? &Node->Children[Byte] : nullptr;
+    }
+    }
+    return nullptr;
+  }
+
+public:
+  //===----------------------------- Iterator ----------------------------===//
+
+  /// Forward iterator enumerating tuples in key (= TupleCompare) order.
+  /// Holds the root-to-leaf path as a fixed stack: each inner node on the
+  /// path consumes at least one key byte, so the path never exceeds KeyLen
+  /// entries. End iterators carry a null leaf; equality compares only the
+  /// current leaf, which lets an upperBound iterator terminate a range
+  /// started at lowerBound.
+  class iterator {
+  public:
+    iterator() = default;
+
+    const TupleType &operator*() const {
+      assert(Cur && "dereferencing end iterator");
+      return asLeaf(Cur)->Data;
+    }
+    const TupleType *operator->() const { return &operator*(); }
+
+    iterator &operator++() {
+      assert(Cur && "incrementing end iterator");
+      seekNext();
+      return *this;
+    }
+
+    bool operator==(const iterator &Other) const { return Cur == Other.Cur; }
+    bool operator!=(const iterator &Other) const { return Cur != Other.Cur; }
+
+  private:
+    friend class ArtSet;
+
+    struct Frame {
+      const Inner *Node;
+      int Pos;
+    };
+
+    /// Advances to the next leaf in order, or to end() when exhausted:
+    /// steps the deepest frame to its next child, descending leftmost into
+    /// whatever subtree that child roots; pops when a frame is exhausted.
+    void seekNext() {
+      while (Depth > 0) {
+        Frame &Top = Stack[Depth - 1];
+        const int Pos = nextChild(Top.Node, Top.Pos);
+        if (Pos < 0) {
+          --Depth;
+          continue;
+        }
+        Top.Pos = Pos;
+        descendLeftmost(childAt(Top.Node, Pos));
+        return;
+      }
+      Cur = nullptr;
+    }
+
+    /// Pushes the path to the smallest leaf of \p N's subtree.
+    void descendLeftmost(const void *N) {
+      while (!isLeaf(N)) {
+        const Inner *In = asInner(N);
+        const int Pos = firstChildAfter(In, 0);
+        assert(Pos >= 0 && "inner node without children");
+        push(In, Pos);
+        N = childAt(In, Pos);
+      }
+      Cur = N;
+    }
+
+    void push(const Inner *N, int Pos) {
+      assert(Depth < KeyLen && "ART path deeper than the key length");
+      Stack[Depth++] = Frame{N, Pos};
+    }
+
+    /// The current leaf (tagged), null at end().
+    const void *Cur = nullptr;
+    Frame Stack[KeyLen];
+    std::size_t Depth = 0;
+  };
+
+  //===--------------------------- Construction --------------------------===//
+
+  ArtSet() = default;
+  ~ArtSet() { clear(); }
+
+  ArtSet(const ArtSet &) = delete;
+  ArtSet &operator=(const ArtSet &) = delete;
+
+  ArtSet(ArtSet &&Other) noexcept
+      : Root(std::exchange(Other.Root, nullptr)),
+        NumTuples(std::exchange(Other.NumTuples, 0)) {}
+  ArtSet &operator=(ArtSet &&Other) noexcept {
+    if (this != &Other) {
+      clear();
+      Root = std::exchange(Other.Root, nullptr);
+      NumTuples = std::exchange(Other.NumTuples, 0);
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return NumTuples; }
+  bool empty() const { return NumTuples == 0; }
+
+  void clear() {
+    if (Root)
+      destroy(Root);
+    Root = nullptr;
+    NumTuples = 0;
+  }
+
+  void swapData(ArtSet &Other) {
+    std::swap(Root, Other.Root);
+    std::swap(NumTuples, Other.NumTuples);
+  }
+
+  //===---------------------------- Mutation -----------------------------===//
+
+  /// Inserts \p T; returns true when the set grew.
+  bool insert(const TupleType &T) {
+    if (!Root) {
+      Root = tagLeaf(new Leaf{T});
+      NumTuples = 1;
+      return true;
+    }
+    void **Ref = &Root;
+    std::size_t Depth = 0;
+    for (;;) {
+      if (isLeaf(*Ref)) {
+        Leaf *Existing = asLeaf(*Ref);
+        if (tupleEqual(Existing->Data, T))
+          return false;
+        // Lazy expansion in reverse: the two keys diverge somewhere at or
+        // after Depth; materialize the branch point with their common
+        // bytes as its compressed prefix.
+        std::size_t Common = 0;
+        while (keyByte(Existing->Data, Depth + Common) ==
+               keyByte(T, Depth + Common))
+          ++Common;
+        auto *Branch = new Node4();
+        Branch->PrefixLen = static_cast<std::uint8_t>(Common);
+        for (std::size_t I = 0; I < Common; ++I)
+          Branch->Prefix[I] = keyByte(T, Depth + I);
+        addChildN4(Branch, keyByte(Existing->Data, Depth + Common), *Ref);
+        addChildN4(Branch, keyByte(T, Depth + Common),
+                   tagLeaf(new Leaf{T}));
+        *Ref = Branch;
+        ++NumTuples;
+        return true;
+      }
+      Inner *N = asInner(*Ref);
+      // Path-compression split: the key leaves the compressed run early.
+      const std::size_t Mismatch = prefixMismatch(N, T, Depth);
+      if (Mismatch < N->PrefixLen) {
+        auto *Branch = new Node4();
+        Branch->PrefixLen = static_cast<std::uint8_t>(Mismatch);
+        std::memcpy(Branch->Prefix, N->Prefix, Mismatch);
+        const std::uint8_t OldByte = N->Prefix[Mismatch];
+        // Trim the old node's prefix past the split byte.
+        const std::size_t Rest = N->PrefixLen - Mismatch - 1;
+        std::memmove(N->Prefix, N->Prefix + Mismatch + 1, Rest);
+        N->PrefixLen = static_cast<std::uint8_t>(Rest);
+        addChildN4(Branch, OldByte, N);
+        addChildN4(Branch, keyByte(T, Depth + Mismatch),
+                   tagLeaf(new Leaf{T}));
+        *Ref = Branch;
+        ++NumTuples;
+        return true;
+      }
+      Depth += N->PrefixLen;
+      const std::uint8_t Byte = keyByte(T, Depth);
+      if (void **Child = findChild(N, Byte)) {
+        Ref = Child;
+        ++Depth;
+        continue;
+      }
+      addChild(Ref, Byte, tagLeaf(new Leaf{T}));
+      ++NumTuples;
+      return true;
+    }
+  }
+
+  /// Removes \p T; returns true when it was present. Underfull nodes
+  /// shrink back down the width ladder, and a Node4 left with one child
+  /// merges into that child (re-compressing the path).
+  bool erase(const TupleType &T) {
+    if (!Root)
+      return false;
+    if (isLeaf(Root)) {
+      if (!tupleEqual(asLeaf(Root)->Data, T))
+        return false;
+      delete asLeaf(Root);
+      Root = nullptr;
+      NumTuples = 0;
+      return true;
+    }
+    void **Ref = &Root;
+    std::size_t Depth = 0;
+    for (;;) {
+      Inner *N = asInner(*Ref);
+      if (prefixMismatch(N, T, Depth) < N->PrefixLen)
+        return false;
+      Depth += N->PrefixLen;
+      const std::uint8_t Byte = keyByte(T, Depth);
+      void **Child = findChild(N, Byte);
+      if (!Child)
+        return false;
+      if (isLeaf(*Child)) {
+        if (!tupleEqual(asLeaf(*Child)->Data, T))
+          return false;
+        delete asLeaf(*Child);
+        removeChild(Ref, N, Byte);
+        --NumTuples;
+        return true;
+      }
+      Ref = Child;
+      ++Depth;
+    }
+  }
+
+  bool contains(const TupleType &T) const {
+    const void *N = Root;
+    std::size_t Depth = 0;
+    while (N) {
+      if (isLeaf(N))
+        return tupleEqual(asLeaf(N)->Data, T);
+      const Inner *In = asInner(N);
+      if (prefixMismatch(In, T, Depth) < In->PrefixLen)
+        return false;
+      Depth += In->PrefixLen;
+      void **Child = findChild(const_cast<Inner *>(In), keyByte(T, Depth));
+      if (!Child)
+        return false;
+      N = *Child;
+      ++Depth;
+    }
+    return false;
+  }
+
+  //===---------------------------- Iteration ----------------------------===//
+
+  iterator begin() const {
+    iterator It;
+    if (Root)
+      It.descendLeftmost(Root);
+    return It;
+  }
+  iterator end() const { return iterator(); }
+
+  /// First tuple >= \p Key in TupleCompare order.
+  iterator lowerBound(const TupleType &Key) const {
+    return bound(Key, /*Strict=*/false);
+  }
+
+  /// First tuple > \p Key in TupleCompare order.
+  iterator upperBound(const TupleType &Key) const {
+    return bound(Key, /*Strict=*/true);
+  }
+
+  //===--------------------------- Partitioning --------------------------===//
+
+  /// Splits the full scan into up to \p MaxParts disjoint iterator ranges
+  /// whose concatenation equals [begin(), end()). Subtrees are expanded
+  /// breadth-first, in key order, until there are enough to form MaxParts
+  /// consecutive groups (every subtree covers a contiguous key range, so
+  /// grouping preserves the order); each group's start iterator is rebuilt
+  /// with an exact lowerBound on the group's smallest tuple.
+  std::vector<std::pair<iterator, iterator>>
+  partition(std::size_t MaxParts) const {
+    std::vector<std::pair<iterator, iterator>> Parts;
+    if (!Root)
+      return Parts;
+    if (MaxParts <= 1 || isLeaf(Root)) {
+      Parts.emplace_back(begin(), end());
+      return Parts;
+    }
+    std::vector<const void *> Subtrees{Root};
+    bool Expanded = true;
+    while (Subtrees.size() < MaxParts && Expanded) {
+      Expanded = false;
+      std::vector<const void *> Next;
+      Next.reserve(Subtrees.size() * 4);
+      for (const void *S : Subtrees) {
+        if (isLeaf(S)) {
+          Next.push_back(S);
+          continue;
+        }
+        const Inner *In = asInner(S);
+        for (int Pos = firstChildAfter(In, 0); Pos >= 0;
+             Pos = nextChild(In, Pos))
+          Next.push_back(childAt(In, Pos));
+        Expanded = true;
+      }
+      Subtrees = std::move(Next);
+    }
+    const std::size_t NumParts = std::min(MaxParts, Subtrees.size());
+    std::vector<iterator> Starts;
+    Starts.reserve(NumParts);
+    for (std::size_t P = 0; P < NumParts; ++P) {
+      const std::size_t First = P * Subtrees.size() / NumParts;
+      Starts.push_back(P == 0 ? begin()
+                              : lowerBound(leftmostTuple(Subtrees[First])));
+    }
+    for (std::size_t P = 0; P < NumParts; ++P)
+      Parts.emplace_back(Starts[P],
+                         P + 1 < NumParts ? Starts[P + 1] : end());
+    return Parts;
+  }
+
+  //===-------------------------- Introspection --------------------------===//
+
+  /// Inner-node census by kind {N4, N16, N48, N256}, by full traversal.
+  /// Test/debug aid: the node-transition property tests assert lazy
+  /// expansion and erase-time shrinking through this.
+  std::array<std::size_t, 4> nodeCounts() const {
+    std::array<std::size_t, 4> Counts{};
+    countNodes(Root, Counts);
+    return Counts;
+  }
+
+private:
+  static void countNodes(const void *N, std::array<std::size_t, 4> &Counts) {
+    if (!N || isLeaf(N))
+      return;
+    const Inner *In = asInner(N);
+    ++Counts[static_cast<std::size_t>(In->K)];
+    for (int Pos = firstChildAfter(In, 0); Pos >= 0; Pos = nextChild(In, Pos))
+      countNodes(childAt(In, Pos), Counts);
+  }
+
+  /// The smallest tuple stored in the subtree rooted at \p N.
+  static const TupleType &leftmostTuple(const void *N) {
+    while (!isLeaf(N)) {
+      const Inner *In = asInner(N);
+      N = childAt(In, firstChildAfter(In, 0));
+    }
+    return asLeaf(N)->Data;
+  }
+
+  /// First position in [0, PrefixLen) where the node's compressed prefix
+  /// differs from the key bytes at \p Depth; PrefixLen when they agree.
+  static std::size_t prefixMismatch(const Inner *N, const TupleType &T,
+                                    std::size_t Depth) {
+    std::size_t I = 0;
+    for (; I < N->PrefixLen; ++I)
+      if (N->Prefix[I] != keyByte(T, Depth + I))
+        break;
+    return I;
+  }
+
+  /// Shared lowerBound/upperBound descent. Walks toward \p Key, pushing
+  /// path frames; whenever the tree diverges from the key the result is
+  /// either the leftmost leaf of the "greater" subtree or the successor of
+  /// the "smaller" path (obtained by seekNext on the recorded frames).
+  iterator bound(const TupleType &Key, bool Strict) const {
+    iterator It;
+    if (!Root)
+      return It;
+    const void *N = Root;
+    std::size_t Depth = 0;
+    for (;;) {
+      if (isLeaf(N)) {
+        const TupleType &L = asLeaf(N)->Data;
+        const bool After = Strict ? tupleLess(Key, L) : !tupleLess(L, Key);
+        if (After) {
+          It.Cur = N;
+          return It;
+        }
+        It.seekNext();
+        return It;
+      }
+      const Inner *In = asInner(N);
+      // Compare the compressed prefix against the key bytes: a higher
+      // prefix makes the whole subtree greater (take its leftmost leaf), a
+      // lower one makes it smaller (advance past it).
+      for (std::size_t I = 0; I < In->PrefixLen; ++I) {
+        const std::uint8_t KeyB = keyByte(Key, Depth + I);
+        if (In->Prefix[I] > KeyB) {
+          It.descendLeftmost(N);
+          return It;
+        }
+        if (In->Prefix[I] < KeyB) {
+          It.seekNext();
+          return It;
+        }
+      }
+      Depth += In->PrefixLen;
+      const std::uint8_t Byte = keyByte(Key, Depth);
+      const int Pos = firstChildAfter(In, Byte);
+      if (Pos < 0) {
+        It.seekNext();
+        return It;
+      }
+      It.push(In, Pos);
+      if (keyOf(In, Pos) > Byte) {
+        It.descendLeftmost(childAt(In, Pos));
+        return It;
+      }
+      N = childAt(In, Pos);
+      ++Depth;
+    }
+  }
+
+  //===------------------------ Node maintenance -------------------------===//
+
+  /// Adds a child to a Node4 known to have room, keeping Keys sorted.
+  static void addChildN4(Node4 *N, std::uint8_t Byte, void *Child) {
+    assert(N->Count < 4 && "Node4 overflow");
+    int I = N->Count;
+    for (; I > 0 && N->Keys[I - 1] > Byte; --I) {
+      N->Keys[I] = N->Keys[I - 1];
+      N->Children[I] = N->Children[I - 1];
+    }
+    N->Keys[I] = Byte;
+    N->Children[I] = Child;
+    ++N->Count;
+  }
+
+  /// Adds a child to *Ref's node, growing it to the next width when full
+  /// (4 -> 16 -> 48 -> 256, the adaptive part of ART).
+  static void addChild(void **Ref, std::uint8_t Byte, void *Child) {
+    Inner *N = asInner(*Ref);
+    switch (N->K) {
+    case Kind::N4: {
+      auto *Node = static_cast<Node4 *>(N);
+      if (Node->Count < 4) {
+        addChildN4(Node, Byte, Child);
+        return;
+      }
+      auto *Grown = new Node16();
+      copyHeader(*Grown, *Node);
+      std::memcpy(Grown->Keys, Node->Keys, 4);
+      std::memcpy(Grown->Children, Node->Children, 4 * sizeof(void *));
+      Grown->Count = 4;
+      delete Node;
+      *Ref = Grown;
+      addChild(Ref, Byte, Child);
+      return;
+    }
+    case Kind::N16: {
+      auto *Node = static_cast<Node16 *>(N);
+      if (Node->Count < 16) {
+        int I = Node->Count;
+        for (; I > 0 && Node->Keys[I - 1] > Byte; --I) {
+          Node->Keys[I] = Node->Keys[I - 1];
+          Node->Children[I] = Node->Children[I - 1];
+        }
+        Node->Keys[I] = Byte;
+        Node->Children[I] = Child;
+        ++Node->Count;
+        return;
+      }
+      auto *Grown = new Node48();
+      copyHeader(*Grown, *Node);
+      for (int I = 0; I < 16; ++I) {
+        Grown->ChildIndex[Node->Keys[I]] = static_cast<std::uint8_t>(I);
+        Grown->Children[I] = Node->Children[I];
+      }
+      Grown->Count = 16;
+      delete Node;
+      *Ref = Grown;
+      addChild(Ref, Byte, Child);
+      return;
+    }
+    case Kind::N48: {
+      auto *Node = static_cast<Node48 *>(N);
+      if (Node->Count < 48) {
+        std::uint8_t Slot = 0;
+        while (Node->Children[Slot])
+          ++Slot;
+        Node->ChildIndex[Byte] = Slot;
+        Node->Children[Slot] = Child;
+        ++Node->Count;
+        return;
+      }
+      auto *Grown = new Node256();
+      copyHeader(*Grown, *Node);
+      for (int B = 0; B < 256; ++B)
+        if (Node->ChildIndex[B] != Node48::EmptySlot)
+          Grown->Children[B] = Node->Children[Node->ChildIndex[B]];
+      Grown->Count = 48;
+      delete Node;
+      *Ref = Grown;
+      addChild(Ref, Byte, Child);
+      return;
+    }
+    case Kind::N256: {
+      auto *Node = static_cast<Node256 *>(N);
+      assert(!Node->Children[Byte] && "duplicate child byte");
+      Node->Children[Byte] = Child;
+      ++Node->Count;
+      return;
+    }
+    }
+  }
+
+  static void copyHeader(Inner &To, const Inner &From) {
+    To.PrefixLen = From.PrefixLen;
+    std::memcpy(To.Prefix, From.Prefix, From.PrefixLen);
+  }
+
+  /// Removes the child for \p Byte from *Ref's node, shrinking down the
+  /// width ladder when underfull and merging a single-child Node4 into its
+  /// child (restoring path compression after erases).
+  static void removeChild(void **Ref, Inner *N, std::uint8_t Byte) {
+    switch (N->K) {
+    case Kind::N4: {
+      auto *Node = static_cast<Node4 *>(N);
+      int I = 0;
+      while (Node->Keys[I] != Byte)
+        ++I;
+      for (; I + 1 < Node->Count; ++I) {
+        Node->Keys[I] = Node->Keys[I + 1];
+        Node->Children[I] = Node->Children[I + 1];
+      }
+      --Node->Count;
+      if (Node->Count == 1) {
+        // Merge with the lone child: the child inherits this node's
+        // prefix plus its own linking byte.
+        void *Child = Node->Children[0];
+        if (!isLeaf(Child)) {
+          Inner *C = asInner(Child);
+          std::uint8_t Merged[KeyLen];
+          std::memcpy(Merged, Node->Prefix, Node->PrefixLen);
+          Merged[Node->PrefixLen] = Node->Keys[0];
+          std::memcpy(Merged + Node->PrefixLen + 1, C->Prefix, C->PrefixLen);
+          C->PrefixLen = static_cast<std::uint8_t>(Node->PrefixLen + 1 +
+                                                   C->PrefixLen);
+          std::memcpy(C->Prefix, Merged, C->PrefixLen);
+        }
+        delete Node;
+        *Ref = Child;
+      }
+      return;
+    }
+    case Kind::N16: {
+      auto *Node = static_cast<Node16 *>(N);
+      int I = 0;
+      while (Node->Keys[I] != Byte)
+        ++I;
+      for (; I + 1 < Node->Count; ++I) {
+        Node->Keys[I] = Node->Keys[I + 1];
+        Node->Children[I] = Node->Children[I + 1];
+      }
+      --Node->Count;
+      if (Node->Count <= 3) {
+        auto *Shrunk = new Node4();
+        copyHeader(*Shrunk, *Node);
+        for (int J = 0; J < Node->Count; ++J) {
+          Shrunk->Keys[J] = Node->Keys[J];
+          Shrunk->Children[J] = Node->Children[J];
+        }
+        Shrunk->Count = Node->Count;
+        delete Node;
+        *Ref = Shrunk;
+      }
+      return;
+    }
+    case Kind::N48: {
+      auto *Node = static_cast<Node48 *>(N);
+      Node->Children[Node->ChildIndex[Byte]] = nullptr;
+      Node->ChildIndex[Byte] = Node48::EmptySlot;
+      --Node->Count;
+      if (Node->Count <= 12) {
+        auto *Shrunk = new Node16();
+        copyHeader(*Shrunk, *Node);
+        int J = 0;
+        for (int B = 0; B < 256; ++B)
+          if (Node->ChildIndex[B] != Node48::EmptySlot) {
+            Shrunk->Keys[J] = static_cast<std::uint8_t>(B);
+            Shrunk->Children[J] = Node->Children[Node->ChildIndex[B]];
+            ++J;
+          }
+        Shrunk->Count = static_cast<std::uint16_t>(J);
+        delete Node;
+        *Ref = Shrunk;
+      }
+      return;
+    }
+    case Kind::N256: {
+      auto *Node = static_cast<Node256 *>(N);
+      Node->Children[Byte] = nullptr;
+      --Node->Count;
+      if (Node->Count <= 37) {
+        auto *Shrunk = new Node48();
+        copyHeader(*Shrunk, *Node);
+        std::uint8_t Slot = 0;
+        for (int B = 0; B < 256; ++B)
+          if (Node->Children[B]) {
+            Shrunk->ChildIndex[B] = Slot;
+            Shrunk->Children[Slot] = Node->Children[B];
+            ++Slot;
+          }
+        Shrunk->Count = Slot;
+        delete Node;
+        *Ref = Shrunk;
+      }
+      return;
+    }
+    }
+  }
+
+  static void destroy(void *N) {
+    if (isLeaf(N)) {
+      delete asLeaf(N);
+      return;
+    }
+    Inner *In = asInner(N);
+    for (int Pos = firstChildAfter(In, 0); Pos >= 0;
+         Pos = nextChild(In, Pos))
+      destroy(childAt(In, Pos));
+    switch (In->K) {
+    case Kind::N4:
+      delete static_cast<Node4 *>(In);
+      return;
+    case Kind::N16:
+      delete static_cast<Node16 *>(In);
+      return;
+    case Kind::N48:
+      delete static_cast<Node48 *>(In);
+      return;
+    case Kind::N256:
+      delete static_cast<Node256 *>(In);
+      return;
+    }
+  }
+
+  void *Root = nullptr;
+  std::size_t NumTuples = 0;
+};
+
+} // namespace stird
+
+#endif // STIRD_DER_ART_H

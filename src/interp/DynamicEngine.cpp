@@ -128,6 +128,7 @@ private:
       if (obs::RelationStats *RS = statsFor(E->Rel)) {
         ++RS->Contains;
         RS->Reorders += E->NeedsEncode ? 1 : 0;
+        obs::noteSearchPattern(RS, E->Mask, E->Rel->getArity());
       }
       std::vector<RamDomain> Key(E->Rel->getArity(), 0);
       buildKey(E->Pattern, E->NeedsEncode, E->Rel->getOrder(E->IndexPos),
@@ -165,6 +166,7 @@ private:
       if (RS) {
         ++RS->IndexScans;
         RS->Reorders += S->NeedsEncode ? 1 : 0;
+        obs::noteSearchPattern(RS, S->Mask, S->Rel->getArity());
       }
       std::vector<RamDomain> Key(S->Rel->getArity(), 0);
       buildKey(S->Pattern, S->NeedsEncode, S->Rel->getOrder(S->IndexPos),
@@ -202,6 +204,7 @@ private:
       if (RS) {
         ++RS->IndexScans;
         RS->Reorders += S->NeedsEncode ? 1 : 0;
+        obs::noteSearchPattern(RS, S->Mask, S->Rel->getArity());
       }
       std::vector<RamDomain> Key(S->Rel->getArity(), 0);
       if (IsMain && State.Trace && S->NeedsEncode)
@@ -247,6 +250,7 @@ private:
       if (RS) {
         ++RS->IndexScans;
         RS->Reorders += A->NeedsEncode ? 1 : 0;
+        obs::noteSearchPattern(RS, A->Mask, A->Rel->getArity());
       }
       std::vector<RamDomain> Key(A->Rel->getArity(), 0);
       buildKey(A->Pattern, A->NeedsEncode, A->Rel->getOrder(A->IndexPos),

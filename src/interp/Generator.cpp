@@ -405,7 +405,8 @@ private:
       const Order &Ord = Rel->getOrder(0);
       bool Decode = false;
       if (Rel->getKind() == RelKind::Btree ||
-          Rel->getKind() == RelKind::Brie) {
+          Rel->getKind() == RelKind::Brie ||
+          Rel->getKind() == RelKind::Art) {
         if (Options.StaticReordering) {
           if (!Ord.isIdentity())
             RewriteOrders[S.getTupleId()] = &Ord;
@@ -431,7 +432,8 @@ private:
       SuperInstruction Pattern = buildPatternSuper(Plan, S.getPattern());
       bool Decode = false;
       if (Rel->getKind() == RelKind::Btree ||
-          Rel->getKind() == RelKind::Brie) {
+          Rel->getKind() == RelKind::Brie ||
+          Rel->getKind() == RelKind::Art) {
         if (Options.StaticReordering) {
           if (!Plan.Ord->isIdentity())
             RewriteOrders[S.getTupleId()] = Plan.Ord;
@@ -471,7 +473,8 @@ private:
       SuperInstruction Pattern = buildPatternSuper(Plan, A.getPattern());
       bool Decode = false;
       if (Rel->getKind() == RelKind::Btree ||
-          Rel->getKind() == RelKind::Brie) {
+          Rel->getKind() == RelKind::Brie ||
+          Rel->getKind() == RelKind::Art) {
         if (Options.StaticReordering) {
           if (!Plan.Ord->isIdentity())
             RewriteOrders[A.getTupleId()] = Plan.Ord;

@@ -17,21 +17,7 @@ namespace stird::obs {
 
 using interp::RuleProfile;
 
-static const char *kindName(interp::RelKind Kind) {
-  switch (Kind) {
-  case interp::RelKind::Btree:
-    return "btree";
-  case interp::RelKind::Brie:
-    return "brie";
-  case interp::RelKind::Eqrel:
-    return "eqrel";
-  case interp::RelKind::Legacy:
-    return "legacy";
-  case interp::RelKind::Counts:
-    return "counts";
-  }
-  return "unknown";
-}
+using interp::relKindName;
 
 static json::Value ruleToJson(const RuleProfile &Rule) {
   json::Object O;
@@ -106,7 +92,7 @@ json::Value buildProfile(const interp::Engine &E, const ProfileContext &Ctx) {
     json::Object O;
     O.emplace_back("name", Rel->getName());
     O.emplace_back("arity", static_cast<std::uint64_t>(Rel->getArity()));
-    O.emplace_back("kind", kindName(Rel->getKind()));
+    O.emplace_back("kind", relKindName(Rel->getKind()));
     O.emplace_back("indexes",
                    static_cast<std::uint64_t>(Rel->getNumIndexes()));
     O.emplace_back("final_size", static_cast<std::uint64_t>(Rel->size()));
@@ -120,9 +106,34 @@ json::Value buildProfile(const interp::Engine &E, const ProfileContext &Ctx) {
     O.emplace_back("index_scan_hits", RS.IndexScanHits);
     O.emplace_back("index_scan_tuples", RS.IndexScanTuples);
     O.emplace_back("reorders", RS.Reorders);
+    O.emplace_back("point_lookups", RS.PointLookups);
+    O.emplace_back("range_scans", RS.RangeScans);
+    // Key-density signal for the substrate selector: the observed range of
+    // the first source column. Computed cold, once, at profile-build time.
+    std::int64_t Col0Min = 0, Col0Max = -1;
+    if (Rel->size() > 0 && Rel->getArity() > 0) {
+      bool First = true;
+      Rel->forEach([&](const RamDomain *Tuple) {
+        if (First) {
+          Col0Min = Col0Max = Tuple[0];
+          First = false;
+          return;
+        }
+        Col0Min = std::min<std::int64_t>(Col0Min, Tuple[0]);
+        Col0Max = std::max<std::int64_t>(Col0Max, Tuple[0]);
+      });
+    }
+    O.emplace_back("col0_min", Col0Min);
+    O.emplace_back("col0_max", Col0Max);
     Relations.emplace_back(std::move(O));
   }
   Doc.emplace_back("relations", std::move(Relations));
+  if (!Ctx.SubstrateDecisions.empty()) {
+    json::Object Decisions;
+    for (const auto &[Name, Decision] : Ctx.SubstrateDecisions)
+      Decisions.emplace_back(Name, Decision);
+    Doc.emplace_back("substrate_decisions", std::move(Decisions));
+  }
   return json::Value(std::move(Doc));
 }
 

@@ -115,7 +115,7 @@ json::Value ServeCounters::toJson() const {
 }
 
 json::Value obs::relationStatsJson(const RelationStats &Stats) {
-  // Key names match the stird-profile-v1 relation records.
+  // Key names match the stird-profile-v2 relation records.
   json::Object O;
   O.emplace_back("peak_size", Stats.PeakSize);
   O.emplace_back("inserts", Stats.Inserts);
@@ -127,5 +127,7 @@ json::Value obs::relationStatsJson(const RelationStats &Stats) {
   O.emplace_back("index_scan_hits", Stats.IndexScanHits);
   O.emplace_back("index_scan_tuples", Stats.IndexScanTuples);
   O.emplace_back("reorders", Stats.Reorders);
+  O.emplace_back("point_lookups", Stats.PointLookups);
+  O.emplace_back("range_scans", Stats.RangeScans);
   return json::Value(std::move(O));
 }

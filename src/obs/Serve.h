@@ -8,7 +8,7 @@
 /// Observability for resident serving sessions: per-command request-latency
 /// aggregation and the JSON rendering of RelationStats counters, shared by
 /// the stird-serve daemon's `stats` command and by tests. Documents follow
-/// the versioned-schema convention of the other sinks (stird-profile-v1,
+/// the versioned-schema convention of the other sinks (stird-profile-v2,
 /// Chrome trace): see docs/wire-protocol.md for the schema.
 ///
 //===----------------------------------------------------------------------===//

@@ -47,6 +47,15 @@ struct RelationStats {
   std::uint64_t IndexScanTuples = 0;
   /// Runtime tuple/key reorder invocations (encode + decode).
   std::uint64_t Reorders = 0;
+  /// Fully-bound probes: index searches and existence checks whose key
+  /// binds every column (PrefixLen == arity). A subset of IndexScans +
+  /// Contains; the substrate selector reads this as "hash-like" traffic.
+  std::uint64_t PointLookups = 0;
+  /// Bounded range searches: a proper non-empty prefix is bound
+  /// (0 < PrefixLen < arity). Unbounded (mask-free) searches count in
+  /// Scans/IndexScans only, so PointLookups + RangeScans <= IndexScans +
+  /// Contains always holds.
+  std::uint64_t RangeScans = 0;
   /// High-water cardinality observed at clear/swap/report points. Not
   /// merged additively: peaks combine by max.
   std::uint64_t PeakSize = 0;
@@ -63,9 +72,30 @@ struct RelationStats {
     IndexScanHits += Other.IndexScanHits;
     IndexScanTuples += Other.IndexScanTuples;
     Reorders += Other.Reorders;
+    PointLookups += Other.PointLookups;
+    RangeScans += Other.RangeScans;
     PeakSize = std::max(PeakSize, Other.PeakSize);
   }
 };
+
+/// Classifies one key-bounded search initiation (index scan, existence
+/// check or aggregate) for the substrate selector. \p Mask is the bound
+/// source-column mask: a fully bound key is a point lookup, a partially
+/// bound one a bounded range scan, and unbounded searches (Mask == 0) stay
+/// in the plain Scans/IndexScans counters only. Called once per initiation
+/// on the main thread, so the counts are thread-count-invariant.
+inline void noteSearchPattern(RelationStats *RS, std::uint32_t Mask,
+                              std::size_t Arity) {
+  if (!RS || Mask == 0)
+    return;
+  std::size_t Bound = 0;
+  for (std::uint32_t M = Mask; M; M &= M - 1)
+    ++Bound;
+  if (Bound >= Arity)
+    ++RS->PointLookups;
+  else
+    ++RS->RangeScans;
+}
 
 /// One counter block: RelationStats indexed by the dense per-engine stats
 /// id of each relation (RelationWrapper::getStatsId()).

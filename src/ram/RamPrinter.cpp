@@ -422,6 +422,23 @@ std::string stird::ram::print(const Program &Prog) {
         Out << "]";
       }
     }
+    switch (Rel->getStructure()) {
+    case StructureKind::Btree:
+      Out << " structure btree";
+      break;
+    case StructureKind::Brie:
+      Out << " structure brie";
+      break;
+    case StructureKind::Art:
+      Out << " structure art";
+      break;
+    case StructureKind::Eqrel:
+      Out << " structure eqrel";
+      break;
+    case StructureKind::Counts:
+      Out << " structure counts";
+      break;
+    }
     Out << "\n";
   }
   if (Prog.hasMain())

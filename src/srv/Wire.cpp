@@ -514,6 +514,7 @@ static Value handleStats(const RequestContext &Ctx) {
     Object R;
     R.emplace_back("name", Name);
     R.emplace_back("arity", static_cast<std::uint64_t>(Rel->getArity()));
+    R.emplace_back("kind", std::string(interp::relKindName(Rel->getKind())));
     R.emplace_back("size", static_cast<std::uint64_t>(Rel->size()));
     const std::size_t Id = Rel->getStatsId();
     if (Id < Stats.size() && Id < StatsRels.size() &&
@@ -525,6 +526,16 @@ static Value handleStats(const RequestContext &Ctx) {
     Relations.emplace_back(std::move(R));
   }
   O.emplace_back("relations", std::move(Relations));
+
+  // Compile-time substrate decisions (forced or feedback-driven), so an
+  // operator can see why a relation serves from a non-declared structure.
+  const auto &Substrates = Session.program().getSubstrateDecisions();
+  if (!Substrates.empty()) {
+    Object Decisions;
+    for (const auto &[RelName, Decision] : Substrates)
+      Decisions.emplace_back(RelName, Decision);
+    O.emplace_back("substrate_decisions", std::move(Decisions));
+  }
 
   // Incremental-maintenance health: whether mixed batches stay in place,
   // and every fallback that ever ran, by reason — fallbacks are counted

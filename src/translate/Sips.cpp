@@ -54,11 +54,18 @@ ProfileFeedback::fromJson(const std::string &Text, std::string *Error) {
       *Error = "invalid JSON: " + ParseError;
     return nullptr;
   }
+  // Backward-compatible reader: v1 documents still seed the join planner,
+  // they just lack the v2 access-pattern counters (so substrate selection
+  // stays off).
   const obs::json::Value *Schema = Doc->find("schema");
-  if (!Schema || !Schema->isString() ||
-      Schema->asString() != obs::ProfileSchemaVersion) {
+  const bool SchemaOk =
+      Schema && Schema->isString() &&
+      (Schema->asString() == "stird-profile-v1" ||
+       Schema->asString() == obs::ProfileSchemaVersion);
+  if (!SchemaOk) {
     if (Error)
-      *Error = std::string("not a ") + obs::ProfileSchemaVersion +
+      *Error = std::string("not a stird-profile-v1 or ") +
+               obs::ProfileSchemaVersion +
                " document (missing or unexpected \"schema\")";
     return nullptr;
   }
@@ -81,6 +88,25 @@ ProfileFeedback::fromJson(const std::string &Text, std::string *Error) {
     if (Final && Final->isNumber())
       Size = std::max(Size, Final->asNumber());
     Feedback->Sizes[Name->asString()] = Size;
+    // v2 access-pattern counters (tolerated as absent: a v1 document, or a
+    // hand-trimmed v2 one, simply provides no substrate signal).
+    const obs::json::Value *Points = Rel.find("point_lookups");
+    const obs::json::Value *Ranges = Rel.find("range_scans");
+    if (Points && Points->isNumber() && Ranges && Ranges->isNumber()) {
+      RelationAccess A;
+      A.PointLookups = Points->asNumber();
+      A.RangeScans = Ranges->asNumber();
+      if (const obs::json::Value *Min = Rel.find("col0_min");
+          Min && Min->isNumber())
+        A.Col0Min = Min->asInt();
+      if (const obs::json::Value *Max = Rel.find("col0_max");
+          Max && Max->isNumber())
+        A.Col0Max = Max->asInt();
+      if (const obs::json::Value *Kind = Rel.find("kind");
+          Kind && Kind->isString())
+        A.Kind = Kind->asString();
+      Feedback->Access[Name->asString()] = std::move(A);
+    }
   }
   if (Feedback->Sizes.empty()) {
     if (Error)
@@ -107,6 +133,14 @@ std::optional<double>
 ProfileFeedback::relationSize(const std::string &Relation) const {
   auto It = Sizes.find(Relation);
   if (It == Sizes.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<ProfileFeedback::RelationAccess>
+ProfileFeedback::relationAccess(const std::string &Relation) const {
+  auto It = Access.find(Relation);
+  if (It == Access.end())
     return std::nullopt;
   return It->second;
 }

@@ -1,0 +1,295 @@
+//===- tests/core/SubstrateSelectionTest.cpp - Substrate selection ------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profile-driven per-relation substrate selection and the --substrate
+/// forcing path: golden decisions over synthetic stird-profile-v2
+/// documents (point-lookup-heavy dense keys select ART, range-scan-heavy
+/// and sparse-keyed relations keep the B-tree), decision surfacing in
+/// --dump-ram and getSubstrateDecisions(), and every degradation path —
+/// malformed, stale and v1 feedback, unknown relations/kinds, eqrel and
+/// over-arity targets — warning without ever failing the compile.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Program.h"
+#include "translate/Sips.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace stird;
+
+namespace {
+
+constexpr const char *TcSource = R"(
+.decl edge(a:number, b:number)
+.decl path(a:number, b:number)
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+)";
+
+/// A v2 profile document with one relation record per call argument set.
+std::string v2Profile(double EdgePoints, double EdgeRanges,
+                      double PathPoints, double PathRanges,
+                      long PathCol0Min = 0, long PathCol0Max = 999,
+                      double PathSize = 1000) {
+  return std::string("{\"schema\": \"stird-profile-v2\", \"relations\": [") +
+         "{\"name\": \"edge\", \"final_size\": 500, \"peak_size\": 500, " +
+         "\"col0_min\": 0, \"col0_max\": 499, " +
+         "\"point_lookups\": " + std::to_string(EdgePoints) +
+         ", \"range_scans\": " + std::to_string(EdgeRanges) + "}," +
+         "{\"name\": \"path\", \"final_size\": " + std::to_string(PathSize) +
+         ", \"peak_size\": " + std::to_string(PathSize) +
+         ", \"col0_min\": " + std::to_string(PathCol0Min) +
+         ", \"col0_max\": " + std::to_string(PathCol0Max) +
+         ", \"point_lookups\": " + std::to_string(PathPoints) +
+         ", \"range_scans\": " + std::to_string(PathRanges) + "}]}";
+}
+
+std::unique_ptr<core::Program>
+compileWithFeedback(const std::string &ProfileJson,
+                    core::CompileOptions Options = {}) {
+  std::string Error;
+  auto Feedback = translate::ProfileFeedback::fromJson(ProfileJson, &Error);
+  EXPECT_NE(Feedback, nullptr) << Error;
+  Options.Feedback = Feedback.get();
+  std::vector<std::string> Errors;
+  auto Prog = core::Program::fromSource(TcSource, &Errors, Options);
+  EXPECT_NE(Prog, nullptr) << (Errors.empty() ? "" : Errors[0]);
+  return Prog;
+}
+
+//===----------------------------------------------------------------------===//
+// Golden selections
+//===----------------------------------------------------------------------===//
+
+TEST(SubstrateSelection, PointLookupHeavyDenseKeysSelectArt) {
+  // path: 10000 point lookups vs 10 range scans, 1000 tuples over a
+  // [0, 999] col0 span — the ART profile.
+  auto Prog = compileWithFeedback(v2Profile(0, 5000, 10000, 10));
+  ASSERT_NE(Prog, nullptr);
+  const auto &Decisions = Prog->getSubstrateDecisions();
+  ASSERT_EQ(Decisions.count("path"), 1u);
+  EXPECT_NE(Decisions.at("path").find("art"), std::string::npos);
+  EXPECT_NE(Decisions.at("path").find("feedback"), std::string::npos);
+  // Range-scan-heavy edge keeps the B-tree.
+  EXPECT_EQ(Decisions.count("edge"), 0u);
+  // The decision reaches the RAM program (and so --dump-ram), aux
+  // relations included.
+  const std::string Ram = Prog->dumpRam();
+  EXPECT_NE(Ram.find("RELATION path arity 2 orders [0 1] structure art"),
+            std::string::npos)
+      << Ram;
+  EXPECT_NE(Ram.find("delta_path arity 2 orders [0 1] structure art"),
+            std::string::npos)
+      << Ram;
+  EXPECT_NE(Ram.find("RELATION edge arity 2 orders [0 1] structure btree"),
+            std::string::npos)
+      << Ram;
+}
+
+TEST(SubstrateSelection, RangeScanHeavySelectsBtree) {
+  auto Prog = compileWithFeedback(v2Profile(0, 5000, 100, 10000));
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+  EXPECT_NE(Prog->dumpRam().find(
+                "RELATION path arity 2 orders [0 1] structure btree"),
+            std::string::npos);
+}
+
+TEST(SubstrateSelection, SparseKeysStayOnBtree) {
+  // Point-lookup-heavy but only 1000 tuples across a [0, 10^8] span: the
+  // density gate keeps the B-tree.
+  auto Prog =
+      compileWithFeedback(v2Profile(0, 5000, 10000, 10, 0, 100000000));
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+}
+
+TEST(SubstrateSelection, FewLookupsStayOnBtree) {
+  // The ratio alone is not enough: a relation probed ten times total is
+  // not worth re-substrating.
+  auto Prog = compileWithFeedback(v2Profile(0, 5000, 10, 0));
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+}
+
+TEST(SubstrateSelection, EmptyObservedRelationStaysOnBtree) {
+  // col0_max < col0_min encodes "finished empty": no density signal, no
+  // switch.
+  auto Prog = compileWithFeedback(v2Profile(0, 5000, 10000, 10, 0, -1));
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+}
+
+TEST(SubstrateSelection, OptOutDisablesFeedbackSelection) {
+  core::CompileOptions Options;
+  Options.SubstrateFromFeedback = false;
+  auto Prog = compileWithFeedback(v2Profile(0, 5000, 10000, 10), Options);
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Explicit forcing and its precedence
+//===----------------------------------------------------------------------===//
+
+TEST(SubstrateSelection, ExplicitOverrideForces) {
+  core::CompileOptions Options;
+  Options.SubstrateOverrides["edge"] = "art";
+  Options.SubstrateOverrides["path"] = "brie";
+  auto Prog = core::Program::fromSource(TcSource, nullptr, Options);
+  ASSERT_NE(Prog, nullptr);
+  const std::string Ram = Prog->dumpRam();
+  EXPECT_NE(Ram.find("RELATION edge arity 2 orders [0 1] structure art"),
+            std::string::npos);
+  EXPECT_NE(Ram.find("RELATION path arity 2 orders [0 1] structure brie"),
+            std::string::npos);
+  const auto &Decisions = Prog->getSubstrateDecisions();
+  ASSERT_EQ(Decisions.count("edge"), 1u);
+  EXPECT_NE(Decisions.at("edge").find("forced"), std::string::npos);
+}
+
+TEST(SubstrateSelection, ExplicitOverrideBeatsFeedback) {
+  // Feedback says art; the user says brie. The user wins.
+  core::CompileOptions Options;
+  Options.SubstrateOverrides["path"] = "brie";
+  auto Prog = compileWithFeedback(v2Profile(0, 5000, 10000, 10), Options);
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_NE(Prog->dumpRam().find(
+                "RELATION path arity 2 orders [0 1] structure brie"),
+            std::string::npos);
+  EXPECT_NE(Prog->getSubstrateDecisions().at("path").find("brie"),
+            std::string::npos);
+}
+
+TEST(SubstrateSelection, RedundantOverrideRecordsNoDecision) {
+  core::CompileOptions Options;
+  Options.SubstrateOverrides["edge"] = "btree";
+  auto Prog = core::Program::fromSource(TcSource, nullptr, Options);
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Degradations: warn, never abort
+//===----------------------------------------------------------------------===//
+
+TEST(SubstrateSelection, UnknownRelationOrKindIsIgnored) {
+  core::CompileOptions Options;
+  Options.SubstrateOverrides["nosuch"] = "art";
+  Options.SubstrateOverrides["edge"] = "rope";
+  auto Prog = core::Program::fromSource(TcSource, nullptr, Options);
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+  EXPECT_NE(Prog->dumpRam().find(
+                "RELATION edge arity 2 orders [0 1] structure btree"),
+            std::string::npos);
+}
+
+TEST(SubstrateSelection, EqrelIsNeverResubstrated) {
+  constexpr const char *EqrelSource = R"(
+.decl link(a:number, b:number)
+.decl same(a:number, b:number) eqrel
+same(x, y) :- link(x, y).
+)";
+  core::CompileOptions Options;
+  Options.SubstrateOverrides["same"] = "art";
+  auto Prog = core::Program::fromSource(EqrelSource, nullptr, Options);
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+  EXPECT_NE(Prog->dumpRam().find("structure eqrel"), std::string::npos);
+}
+
+TEST(SubstrateSelection, OverArityTargetsAreRefused) {
+  constexpr const char *WideSource =
+      ".decl wide(a:number, b:number, c:number, d:number, e:number, "
+      "f:number, g:number, h:number, i:number)\n"
+      ".decl out(a:number)\n"
+      "out(a) :- wide(a, _, _, _, _, _, _, _, _).\n";
+  core::CompileOptions Options;
+  Options.SubstrateOverrides["wide"] = "art"; // arity 9 > portfolio limit 8
+  auto Prog = core::Program::fromSource(WideSource, nullptr, Options);
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+  EXPECT_NE(Prog->dumpRam().find("structure btree"), std::string::npos);
+}
+
+TEST(SubstrateSelection, V1FeedbackSeedsSipsButSelectsNothing) {
+  const std::string V1 =
+      "{\"schema\": \"stird-profile-v1\", \"relations\": ["
+      "{\"name\": \"edge\", \"final_size\": 500, \"peak_size\": 500},"
+      "{\"name\": \"path\", \"final_size\": 1000, \"peak_size\": 1000}]}";
+  std::string Error;
+  auto Feedback = translate::ProfileFeedback::fromJson(V1, &Error);
+  ASSERT_NE(Feedback, nullptr) << Error;
+  EXPECT_FALSE(Feedback->hasAccessPatterns());
+  core::CompileOptions Options;
+  Options.Sips = translate::SipsStrategy::Profile;
+  Options.Feedback = Feedback.get();
+  auto Prog = core::Program::fromSource(TcSource, nullptr, Options);
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+}
+
+TEST(SubstrateSelection, MalformedFeedbackFileDegradesToMaxBound) {
+  core::CompileOptions Options;
+  Options.Sips = translate::SipsStrategy::Profile;
+  Options.FeedbackPath = "/nonexistent/profile.json";
+  auto Prog = core::Program::fromSource(TcSource, nullptr, Options);
+  ASSERT_NE(Prog, nullptr); // warned, never aborted
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+}
+
+TEST(SubstrateSelection, StaleFeedbackSelectsNothing) {
+  // A v2 document covering none of this program's relations: the sips
+  // degradation nulls the feedback, so substrate selection sees none.
+  const std::string Stale =
+      "{\"schema\": \"stird-profile-v2\", \"relations\": ["
+      "{\"name\": \"other\", \"final_size\": 1000, \"peak_size\": 1000, "
+      "\"col0_min\": 0, \"col0_max\": 999, "
+      "\"point_lookups\": 10000, \"range_scans\": 1}]}";
+  std::string Error;
+  auto Feedback = translate::ProfileFeedback::fromJson(Stale, &Error);
+  ASSERT_NE(Feedback, nullptr) << Error;
+  core::CompileOptions Options;
+  Options.Sips = translate::SipsStrategy::Profile;
+  Options.Feedback = Feedback.get();
+  auto Prog = core::Program::fromSource(TcSource, nullptr, Options);
+  ASSERT_NE(Prog, nullptr);
+  EXPECT_TRUE(Prog->getSubstrateDecisions().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// The selected substrate actually runs
+//===----------------------------------------------------------------------===//
+
+TEST(SubstrateSelection, SelectedArtProgramComputesTheSameClosure) {
+  auto Reference = core::Program::fromSource(TcSource);
+  ASSERT_NE(Reference, nullptr);
+  auto Selected = compileWithFeedback(v2Profile(0, 5000, 10000, 10));
+  ASSERT_NE(Selected, nullptr);
+  ASSERT_EQ(Selected->getSubstrateDecisions().count("path"), 1u);
+
+  std::vector<DynTuple> Edges;
+  for (RamDomain I = 0; I < 50; ++I)
+    Edges.push_back({I, (I + 1) % 50});
+  auto run = [&](core::Program &Prog) {
+    interp::EngineOptions Opts;
+    Opts.EchoPrintSize = false;
+    auto Engine = Prog.makeEngine(Opts);
+    Engine->insertTuples("edge", Edges);
+    Engine->run();
+    auto Tuples = Engine->getTuples("path");
+    std::sort(Tuples.begin(), Tuples.end());
+    return Tuples;
+  };
+  EXPECT_EQ(run(*Reference), run(*Selected));
+}
+
+} // namespace

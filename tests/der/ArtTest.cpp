@@ -1,0 +1,473 @@
+//===- tests/der/ArtTest.cpp - Adaptive radix tree tests ----------------------===//
+//
+// Part of the stird project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ART substrate's correctness battery: node-type transitions in both
+/// directions (lazy expansion 4 -> 16 -> 48 -> 256 and shrink on erase),
+/// path-compression split/merge edge cases, iteration order against the
+/// B-tree's TupleCompare contract, a seeded 100k-operation fuzz against a
+/// std::set oracle, and the ArtIndex adapter's
+/// iteration-order-equals-Order property for every column permutation of
+/// arity <= 4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "der/Art.h"
+
+#include "interp/Relation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <set>
+#include <vector>
+
+using namespace stird;
+
+namespace {
+
+/// Deterministic random tuple generator (mirrors BTreeSetTest).
+template <std::size_t Arity>
+std::vector<Tuple<Arity>> randomTuples(std::size_t Count, RamDomain Range,
+                                       unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<RamDomain> Dist(-Range, Range);
+  std::vector<Tuple<Arity>> Tuples(Count);
+  for (auto &Tuple : Tuples)
+    for (auto &Cell : Tuple)
+      Cell = Dist(Rng);
+  return Tuples;
+}
+
+template <std::size_t Arity>
+std::vector<Tuple<Arity>> drain(const ArtSet<Arity> &Set) {
+  std::vector<Tuple<Arity>> Out;
+  for (auto It = Set.begin(), End = Set.end(); It != End; ++It)
+    Out.push_back(*It);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Basics: empty, single, duplicate
+//===----------------------------------------------------------------------===//
+
+TEST(ArtSet, EmptySet) {
+  ArtSet<2> Set;
+  EXPECT_EQ(Set.size(), 0u);
+  EXPECT_TRUE(Set.empty());
+  EXPECT_EQ(Set.begin(), Set.end());
+  EXPECT_FALSE(Set.contains({1, 2}));
+  EXPECT_FALSE(Set.erase({1, 2}));
+  EXPECT_TRUE(Set.partition(4).empty());
+}
+
+TEST(ArtSet, SingleTuple) {
+  ArtSet<2> Set;
+  EXPECT_TRUE(Set.insert({7, -3}));
+  EXPECT_EQ(Set.size(), 1u);
+  EXPECT_TRUE(Set.contains({7, -3}));
+  EXPECT_FALSE(Set.contains({7, 3}));
+  EXPECT_EQ(drain(Set), (std::vector<Tuple<2>>{{7, -3}}));
+  EXPECT_TRUE(Set.erase({7, -3}));
+  EXPECT_TRUE(Set.empty());
+  EXPECT_EQ(Set.begin(), Set.end());
+}
+
+TEST(ArtSet, DuplicateInsertsAreRejected) {
+  ArtSet<1> Set;
+  EXPECT_TRUE(Set.insert({42}));
+  EXPECT_FALSE(Set.insert({42}));
+  EXPECT_EQ(Set.size(), 1u);
+  for (const auto &T : randomTuples<1>(500, 40, 3)) {
+    const bool Grew = Set.insert(T);
+    EXPECT_FALSE(Set.insert(T)) << "second insert of " << T[0]
+                                << " reported growth";
+    (void)Grew;
+  }
+}
+
+TEST(ArtSet, ClearResets) {
+  ArtSet<2> Set;
+  for (const auto &T : randomTuples<2>(300, 50, 5))
+    Set.insert(T);
+  Set.clear();
+  EXPECT_EQ(Set.size(), 0u);
+  EXPECT_EQ(Set.begin(), Set.end());
+  EXPECT_TRUE(Set.insert({1, 1}));
+  EXPECT_EQ(Set.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Node-type transitions
+//===----------------------------------------------------------------------===//
+
+// Tuples {0, i} for i in [0, N) share the first seven key bytes, so they
+// all become children of one inner node keyed on the last byte: the node's
+// kind is exactly determined by N. nodeCounts() is {N4, N16, N48, N256}.
+
+TEST(ArtSet, GrowTransitions4To16To48To256) {
+  ArtSet<2> Set;
+  auto InnerKind = [&]() -> int {
+    const auto Counts = Set.nodeCounts();
+    EXPECT_EQ(Counts[0] + Counts[1] + Counts[2] + Counts[3], 1u)
+        << "expected exactly one inner node";
+    for (int K = 0; K < 4; ++K)
+      if (Counts[K])
+        return K;
+    return -1;
+  };
+  for (RamDomain I = 0; I < 256; ++I) {
+    Set.insert({0, I});
+    if (Set.size() < 2)
+      continue; // a lone tuple is a root leaf, no inner node yet
+    const int Kind = InnerKind();
+    if (Set.size() <= 4)
+      EXPECT_EQ(Kind, 0) << "N4 expected at " << Set.size();
+    else if (Set.size() <= 16)
+      EXPECT_EQ(Kind, 1) << "N16 expected at " << Set.size();
+    else if (Set.size() <= 48)
+      EXPECT_EQ(Kind, 2) << "N48 expected at " << Set.size();
+    else
+      EXPECT_EQ(Kind, 3) << "N256 expected at " << Set.size();
+  }
+  // Every tuple must survive all three expansions.
+  for (RamDomain I = 0; I < 256; ++I)
+    EXPECT_TRUE(Set.contains({0, I})) << I;
+}
+
+TEST(ArtSet, ShrinkTransitionsOnErase) {
+  ArtSet<2> Set;
+  for (RamDomain I = 0; I < 256; ++I)
+    Set.insert({0, I});
+  EXPECT_EQ(Set.nodeCounts()[3], 1u) << "expected a single N256";
+
+  // Erase from the top and check the node kind at every population
+  // against the shrink ladder: N256 -> N48 at <= 37 children, N48 -> N16
+  // at <= 12, N16 -> N4 at <= 3, and a lone child merges the N4 away.
+  for (RamDomain I = 255; I >= 1; --I) {
+    EXPECT_TRUE(Set.erase({0, I}));
+    if (Set.size() < 2)
+      break;
+    const auto Counts = Set.nodeCounts();
+    ASSERT_EQ(Counts[0] + Counts[1] + Counts[2] + Counts[3], 1u)
+        << "expected exactly one inner node at " << Set.size();
+    if (Set.size() <= 3)
+      EXPECT_EQ(Counts[0], 1u) << "N4 expected at " << Set.size();
+    else if (Set.size() <= 12)
+      EXPECT_EQ(Counts[1], 1u) << "N16 expected at " << Set.size();
+    else if (Set.size() <= 37)
+      EXPECT_EQ(Counts[2], 1u) << "N48 expected at " << Set.size();
+    else
+      EXPECT_EQ(Counts[3], 1u) << "N256 expected at " << Set.size();
+    // Everything not yet erased stays reachable.
+    EXPECT_TRUE(Set.contains({0, 0}));
+    EXPECT_TRUE(Set.contains({0, I - 1}));
+  }
+  // One tuple left: the tree must have collapsed to a root leaf.
+  const auto Final = Set.nodeCounts();
+  EXPECT_EQ(Final[0] + Final[1] + Final[2] + Final[3], 0u)
+      << "single-tuple tree still holds inner nodes";
+  EXPECT_EQ(Set.size(), 1u);
+  EXPECT_TRUE(Set.contains({0, 0}));
+}
+
+TEST(ArtSet, GrowEraseRegrow) {
+  ArtSet<1> Set;
+  for (int Round = 0; Round < 3; ++Round) {
+    for (RamDomain I = 0; I < 200; ++I)
+      EXPECT_TRUE(Set.insert({I})) << "round " << Round << " insert " << I;
+    for (RamDomain I = 0; I < 200; ++I)
+      EXPECT_TRUE(Set.erase({I})) << "round " << Round << " erase " << I;
+    EXPECT_TRUE(Set.empty()) << "round " << Round;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Path compression
+//===----------------------------------------------------------------------===//
+
+TEST(ArtSet, PathCompressionSplitAtEveryDepth) {
+  // {0, 0} and {0, D} share a prefix of 7 - k bytes depending on where D's
+  // first set byte lands; inserting pairs that diverge at every possible
+  // byte position exercises the split at each depth of the compressed run.
+  for (int Byte = 0; Byte < 8; ++Byte) {
+    ArtSet<2> Set;
+    Set.insert({0, 0});
+    Tuple<2> Other{0, 0};
+    // Set one bit inside the target byte of the 8-byte key image.
+    const int Cell = Byte / 4, Shift = 8 * (3 - (Byte % 4));
+    if (Cell == 0 && Shift == 24) {
+      // Flipping the top byte of column 0 crosses the sign bit; use a
+      // positive value that still diverges in byte 0.
+      Other[0] = std::numeric_limits<RamDomain>::max();
+    } else {
+      Other[Cell] = RamDomain(1) << Shift;
+    }
+    ASSERT_TRUE(Set.insert(Other)) << "byte " << Byte;
+    EXPECT_TRUE(Set.contains({0, 0})) << "byte " << Byte;
+    EXPECT_TRUE(Set.contains(Other)) << "byte " << Byte;
+    EXPECT_EQ(Set.size(), 2u);
+    // In-order iteration must agree with tuple comparison.
+    const auto Got = drain(Set);
+    ASSERT_EQ(Got.size(), 2u);
+    EXPECT_LT(Got[0], Got[1]) << "byte " << Byte;
+  }
+}
+
+TEST(ArtSet, PathCompressionMergeOnErase) {
+  // Three keys sharing a long prefix: erasing the middle sibling must
+  // collapse its branch point and re-extend the survivor's prefix; the
+  // survivor stays findable both by contains and by iteration.
+  ArtSet<2> Set;
+  Set.insert({5, 100});
+  Set.insert({5, 101});
+  Set.insert({5, 200});
+  ASSERT_TRUE(Set.erase({5, 101}));
+  EXPECT_TRUE(Set.contains({5, 100}));
+  EXPECT_TRUE(Set.contains({5, 200}));
+  EXPECT_FALSE(Set.contains({5, 101}));
+  EXPECT_EQ(drain(Set), (std::vector<Tuple<2>>{{5, 100}, {5, 200}}));
+  ASSERT_TRUE(Set.erase({5, 200}));
+  EXPECT_EQ(drain(Set), (std::vector<Tuple<2>>{{5, 100}}));
+  // Re-split after the merge.
+  EXPECT_TRUE(Set.insert({5, 101}));
+  EXPECT_EQ(drain(Set), (std::vector<Tuple<2>>{{5, 100}, {5, 101}}));
+}
+
+TEST(ArtSet, LongSharedPrefixChains) {
+  // Keys identical except for the last byte of a 16-byte image: the whole
+  // leading run lives in compressed prefixes.
+  ArtSet<4> Set;
+  std::set<Tuple<4>> Reference;
+  for (RamDomain I = 0; I < 64; ++I) {
+    Set.insert({11, 22, 33, I});
+    Reference.insert({11, 22, 33, I});
+  }
+  // And one key that diverges at the very first byte.
+  Set.insert({-11, 22, 33, 0});
+  Reference.insert({-11, 22, 33, 0});
+  EXPECT_EQ(Set.size(), Reference.size());
+  EXPECT_EQ(drain(Set),
+            (std::vector<Tuple<4>>(Reference.begin(), Reference.end())));
+}
+
+//===----------------------------------------------------------------------===//
+// Order contract: iteration equals TupleCompare, bounds match std::set
+//===----------------------------------------------------------------------===//
+
+template <typename ArityConstant> class ArtSetTypedTest : public ::testing::Test {};
+
+using TestedArities =
+    ::testing::Types<std::integral_constant<std::size_t, 1>,
+                     std::integral_constant<std::size_t, 2>,
+                     std::integral_constant<std::size_t, 3>,
+                     std::integral_constant<std::size_t, 4>,
+                     std::integral_constant<std::size_t, 8>>;
+TYPED_TEST_SUITE(ArtSetTypedTest, TestedArities);
+
+TYPED_TEST(ArtSetTypedTest, IterationIsSortedAndComplete) {
+  constexpr std::size_t Arity = TypeParam::value;
+  ArtSet<Arity> Set;
+  std::set<Tuple<Arity>> Reference;
+  // Negative values exercise the sign-bit flip in the key encoding.
+  for (const auto &T : randomTuples<Arity>(3000, 100, 7)) {
+    EXPECT_EQ(Set.insert(T), Reference.insert(T).second);
+  }
+  EXPECT_EQ(Set.size(), Reference.size());
+  EXPECT_EQ(drain(Set), (std::vector<Tuple<Arity>>(Reference.begin(),
+                                                   Reference.end())));
+}
+
+TYPED_TEST(ArtSetTypedTest, BoundsMatchStdSet) {
+  constexpr std::size_t Arity = TypeParam::value;
+  ArtSet<Arity> Set;
+  std::set<Tuple<Arity>> Reference;
+  for (const auto &T : randomTuples<Arity>(1000, 20, 11)) {
+    Set.insert(T);
+    Reference.insert(T);
+  }
+  for (const auto &Key : randomTuples<Arity>(300, 25, 12)) {
+    auto RefLower = Reference.lower_bound(Key);
+    auto TreeLower = Set.lowerBound(Key);
+    if (RefLower == Reference.end())
+      EXPECT_EQ(TreeLower, Set.end());
+    else
+      EXPECT_EQ(*TreeLower, *RefLower);
+
+    auto RefUpper = Reference.upper_bound(Key);
+    auto TreeUpper = Set.upperBound(Key);
+    if (RefUpper == Reference.end())
+      EXPECT_EQ(TreeUpper, Set.end());
+    else
+      EXPECT_EQ(*TreeUpper, *RefUpper);
+  }
+}
+
+TYPED_TEST(ArtSetTypedTest, ExtremeValues) {
+  constexpr std::size_t Arity = TypeParam::value;
+  constexpr RamDomain Min = std::numeric_limits<RamDomain>::min();
+  constexpr RamDomain Max = std::numeric_limits<RamDomain>::max();
+  ArtSet<Arity> Set;
+  std::set<Tuple<Arity>> Reference;
+  for (RamDomain V : {Min, RamDomain(-1), RamDomain(0), RamDomain(1), Max}) {
+    Tuple<Arity> T;
+    T.fill(V);
+    Set.insert(T);
+    Reference.insert(T);
+  }
+  EXPECT_EQ(drain(Set), (std::vector<Tuple<Arity>>(Reference.begin(),
+                                                   Reference.end())));
+  Tuple<Arity> MinT, MaxT;
+  MinT.fill(Min);
+  MaxT.fill(Max);
+  EXPECT_EQ(*Set.lowerBound(MinT), MinT);
+  EXPECT_EQ(*Set.lowerBound(MaxT), MaxT);
+  EXPECT_EQ(Set.upperBound(MaxT), Set.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded 100k-operation fuzz against a std::set oracle
+//===----------------------------------------------------------------------===//
+
+TEST(ArtSetFuzz, HundredThousandMixedOpsMatchStdSet) {
+  constexpr std::size_t Arity = 2;
+  ArtSet<Arity> Set;
+  std::set<Tuple<Arity>> Oracle;
+  std::mt19937_64 Rng(0xa27e5eedULL);
+  // A small domain keeps collisions (duplicate inserts, hitting erases,
+  // non-empty ranges) frequent; an occasional wide draw exercises deep
+  // splits and the sign boundary.
+  auto Draw = [&]() -> RamDomain {
+    if (Rng() % 16 == 0)
+      return static_cast<RamDomain>(Rng());
+    return static_cast<RamDomain>(Rng() % 512) - 256;
+  };
+  for (std::size_t Op = 0; Op < 100000; ++Op) {
+    const Tuple<Arity> T{Draw(), Draw()};
+    switch (Rng() % 4) {
+    case 0: // insert
+      ASSERT_EQ(Set.insert(T), Oracle.insert(T).second) << "op " << Op;
+      break;
+    case 1: // erase
+      ASSERT_EQ(Set.erase(T), Oracle.erase(T) != 0) << "op " << Op;
+      break;
+    case 2: // lookup
+      ASSERT_EQ(Set.contains(T), Oracle.count(T) != 0) << "op " << Op;
+      break;
+    default: { // bounded range scan
+      const Tuple<Arity> Hi{T[0], std::numeric_limits<RamDomain>::max()};
+      std::vector<Tuple<Arity>> Got;
+      for (auto It = Set.lowerBound({T[0],
+                                     std::numeric_limits<RamDomain>::min()}),
+                End = Set.upperBound(Hi);
+           It != End; ++It)
+        Got.push_back(*It);
+      std::vector<Tuple<Arity>> Want;
+      for (auto It = Oracle.lower_bound(
+               {T[0], std::numeric_limits<RamDomain>::min()});
+           It != Oracle.end() && (*It)[0] == T[0]; ++It)
+        Want.push_back(*It);
+      ASSERT_EQ(Got, Want) << "op " << Op << " prefix " << T[0];
+      break;
+    }
+    }
+    ASSERT_EQ(Set.size(), Oracle.size()) << "op " << Op;
+  }
+  // Full final sweep: contents and order.
+  EXPECT_EQ(drain(Set),
+            (std::vector<Tuple<Arity>>(Oracle.begin(), Oracle.end())));
+}
+
+//===----------------------------------------------------------------------===//
+// Partitioning
+//===----------------------------------------------------------------------===//
+
+TEST(ArtSetPartition, CoversExactlyOnceInOrder) {
+  ArtSet<2> Set;
+  std::set<Tuple<2>> Reference;
+  for (const auto &T : randomTuples<2>(5000, 2000, 21)) {
+    Set.insert(T);
+    Reference.insert(T);
+  }
+  for (std::size_t MaxParts : {std::size_t(1), std::size_t(2), std::size_t(7),
+                               std::size_t(16), std::size_t(64)}) {
+    std::vector<Tuple<2>> Seen;
+    const auto Parts = Set.partition(MaxParts);
+    EXPECT_LE(Parts.size(), std::max<std::size_t>(MaxParts, 1));
+    EXPECT_GE(Parts.size(), 1u);
+    for (const auto &[Begin, End] : Parts)
+      for (auto It = Begin; It != End; ++It)
+        Seen.push_back(*It);
+    EXPECT_EQ(Seen, (std::vector<Tuple<2>>(Reference.begin(),
+                                           Reference.end())))
+        << "MaxParts=" << MaxParts;
+  }
+}
+
+TEST(ArtSetPartition, TinySets) {
+  ArtSet<1> Set;
+  Set.insert({3});
+  auto Parts = Set.partition(8);
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(*Parts[0].first, (Tuple<1>{3}));
+  Set.insert({-3});
+  std::size_t Total = 0;
+  for (const auto &[Begin, End] : Set.partition(8))
+    for (auto It = Begin; It != End; ++It)
+      ++Total;
+  EXPECT_EQ(Total, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// ArtIndex: iteration order equals the index Order, every permutation
+// of arity <= 4
+//===----------------------------------------------------------------------===//
+
+template <std::size_t Arity> void checkAllPermutations() {
+  std::vector<std::uint32_t> Perm(Arity);
+  std::iota(Perm.begin(), Perm.end(), 0);
+  const auto Tuples = randomTuples<Arity>(400, 9, 31 + Arity);
+  do {
+    interp::ArtIndex<Arity> Index{interp::Order(Perm)};
+    interp::BTreeIndex<Arity> Reference{interp::Order(Perm)};
+    for (const auto &T : Tuples) {
+      EXPECT_EQ(Index.insert(T.data()), Reference.insert(T.data()));
+    }
+    ASSERT_EQ(Index.size(), Reference.size());
+    // The adapters iterate encoded tuples; equal Order means equal
+    // sequence, element for element.
+    auto ItA = Index.begin(), EndA = Index.end();
+    auto ItB = Reference.begin(), EndB = Reference.end();
+    for (; ItA != EndA && ItB != EndB; ++ItA, ++ItB)
+      ASSERT_EQ(*ItA, *ItB);
+    EXPECT_EQ(ItA == EndA, ItB == EndB);
+    // Bounded ranges agree for every prefix length.
+    for (std::size_t PrefixLen = 0; PrefixLen <= Arity; ++PrefixLen) {
+      for (const auto &Key : randomTuples<Arity>(40, 9, 77)) {
+        Tuple<Arity> Encoded;
+        interp::Order(Perm).encode(Key.data(), Encoded.data());
+        auto [ABegin, AEnd] = Index.range(Encoded.data(), PrefixLen);
+        auto [BBegin, BEnd] = Reference.range(Encoded.data(), PrefixLen);
+        for (; ABegin != AEnd && BBegin != BEnd; ++ABegin, ++BBegin)
+          ASSERT_EQ(*ABegin, *BBegin);
+        ASSERT_EQ(ABegin == AEnd, BBegin == BEnd)
+            << "prefix " << PrefixLen;
+        EXPECT_EQ(Index.containsRange(Encoded.data(), PrefixLen),
+                  Reference.containsRange(Encoded.data(), PrefixLen));
+      }
+    }
+  } while (std::next_permutation(Perm.begin(), Perm.end()));
+}
+
+TEST(ArtIndex, OrderContractArity1) { checkAllPermutations<1>(); }
+TEST(ArtIndex, OrderContractArity2) { checkAllPermutations<2>(); }
+TEST(ArtIndex, OrderContractArity3) { checkAllPermutations<3>(); }
+TEST(ArtIndex, OrderContractArity4) { checkAllPermutations<4>(); }
+
+} // namespace

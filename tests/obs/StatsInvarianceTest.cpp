@@ -97,6 +97,11 @@ void expectEqualStats(const std::string &Rel, const obs::RelationStats &A,
   EXPECT_EQ(A.IndexScanTuples, B.IndexScanTuples) << Rel;
   EXPECT_EQ(A.Reorders, B.Reorders) << Rel;
   EXPECT_EQ(A.PeakSize, B.PeakSize) << Rel;
+  // v2 access-pattern counters: classified once per search initiation on
+  // the issuing thread, so they are exactly thread-count-invariant even
+  // though the scans themselves fan out across morsels.
+  EXPECT_EQ(A.PointLookups, B.PointLookups) << Rel;
+  EXPECT_EQ(A.RangeScans, B.RangeScans) << Rel;
 }
 
 TEST(StatsInvarianceTest, CountersMatchAcrossThreadCounts) {
@@ -126,9 +131,15 @@ TEST(StatsInvarianceTest, CountersMatchAcrossThreadCounts) {
       ASSERT_TRUE(ParStats.count(Rel)) << Rel;
       expectEqualStats(Rel, A, ParStats.at(Rel));
     }
-    // The workload actually exercised the counters being compared.
+    // The workload actually exercised the counters being compared. The
+    // recursive rule probes path with a bounded prefix (range scans) and
+    // the counters never exceed the searches that initiated them.
     EXPECT_GT(SeqStats.at("path").InsertsNew, 100u);
     EXPECT_GT(SeqStats.at("near").InsertsNew, 0u);
+    EXPECT_GT(SeqStats.at("edge").RangeScans, 0u);
+    for (const auto &[Rel, A] : SeqStats)
+      EXPECT_LE(A.PointLookups + A.RangeScans, A.IndexScans + A.Contains)
+          << Rel;
   }
 }
 

@@ -9,10 +9,13 @@
 /// maintenance differential suite. Walks seeds forward from a starting
 /// point (--seed, or the wall clock when omitted) for a time budget
 /// (--seconds), checking that (a) every --sips strategy at -j1 and -j4
-/// reproduces the unreordered sequential run, and (b) replaying a seeded
-/// mixed insert/retract stream through the maintenance plan matches a
-/// one-shot evaluation of the net EDB at every batch prefix, at -j1 and
-/// -j4. Generated programs use only negation/recursion/constraints, so
+/// reproduces the unreordered sequential run, (b) forcing every relation
+/// onto each alternative substrate (--substrate; brie, art) changes
+/// nothing — a failure witness names the diverging substrate pair — and
+/// (c) replaying a seeded mixed insert/retract stream through the
+/// maintenance plan matches a one-shot evaluation of the net EDB at every
+/// batch prefix, at -j1 and -j4.
+/// Generated programs use only negation/recursion/constraints, so
 /// maintenance ineligibility itself is reported as a failure (the plan
 /// must never silently fall back for such programs). On a mismatch it
 /// writes three artifacts into --out and exits nonzero:
@@ -74,15 +77,20 @@ std::vector<std::string> declaredRelations(const std::string &Source) {
   return Names;
 }
 
-/// Runs \p Source under one configuration. Returns false on compile
-/// failure (relations left empty) — callers treat that as "not the bug
-/// we are chasing", never as a mismatch.
+/// Runs \p Source under one configuration. A non-empty \p Substrate forces
+/// every declared relation onto that substrate (the --substrate path).
+/// Returns false on compile failure (relations left empty) — callers treat
+/// that as "not the bug we are chasing", never as a mismatch.
 bool run(const std::string &Source, translate::SipsStrategy Sips,
          const translate::ProfileFeedback *Feedback, std::size_t Threads,
-         Contents &Out, std::string *ProfileJson = nullptr) {
+         Contents &Out, std::string *ProfileJson = nullptr,
+         const std::string &Substrate = "") {
   core::CompileOptions Compile;
   Compile.Sips = Sips;
   Compile.Feedback = Feedback;
+  if (!Substrate.empty())
+    for (const std::string &Name : declaredRelations(Source))
+      Compile.SubstrateOverrides[Name] = Substrate;
   std::vector<std::string> Errors;
   auto Prog = core::Program::fromSource(Source, &Errors, Compile);
   if (!Prog)
@@ -134,6 +142,24 @@ bool mismatches(const std::string &Source, std::string &Witness) {
         Witness = std::string("--sips=") +
                   translate::sipsStrategyName(Strategy) + " -j" +
                   std::to_string(Threads);
+        return true;
+      }
+    }
+  }
+
+  // Substrate axis: every relation forced onto each alternative substrate,
+  // source-order plans, sequential and parallel. A witness names the
+  // diverging substrate pair — the reference runs on the declared (btree)
+  // structures.
+  for (const char *Substrate : {"brie", "art"}) {
+    for (std::size_t Threads : {std::size_t(1), std::size_t(4)}) {
+      Contents Out;
+      if (!run(Source, translate::SipsStrategy::Source, nullptr, Threads,
+               Out, nullptr, Substrate))
+        continue;
+      if (Out != Reference) {
+        Witness = std::string("substrate pair btree vs ") + Substrate +
+                  " -j" + std::to_string(Threads);
         return true;
       }
     }

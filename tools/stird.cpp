@@ -21,9 +21,14 @@
 ///   --fuse-conditions     enable fused-condition super-instructions (5.2)
 ///   --sips <strategy>     rule-body join order: source | max-bound |
 ///                         profile (default source)
-///   --feedback <file>     stird-profile-v1 JSON seeding --sips=profile
+///   --feedback <file>     stird-profile-v1/-v2 JSON seeding --sips=profile
 ///                         (implies it); malformed or stale documents warn
-///                         and fall back to max-bound
+///                         and fall back to max-bound; v2 access-pattern
+///                         counters also drive per-relation substrate
+///                         selection
+///   --substrate <r:k,..>  force per-relation substrates (btree|brie|art)
+///   --no-substrate-feedback
+///                         disable feedback-driven substrate selection
 ///   --dump-ram            print the RAM program and exit
 ///   --profile             print the per-rule profile after the run
 ///   --profile=<file>      write the JSON profile document instead
@@ -129,6 +134,7 @@ int main(int argc, char **argv) {
     Ctx.Backend = tools::backendName(Options.TheBackend);
     Ctx.Threads = Options.NumThreads > 0 ? Options.NumThreads : 1;
     Ctx.TotalSeconds = TotalSeconds;
+    Ctx.SubstrateDecisions = Prog->getSubstrateDecisions();
     std::ofstream Out(ProfilePath);
     if (!Out) {
       std::fprintf(stderr, "cannot write '%s'\n", ProfilePath.c_str());
